@@ -1,0 +1,354 @@
+//! Grid File baseline (Nievergelt et al.), as configured in §6.1 of the
+//! paper: a regular `√(n/B) x √(n/B)` grid over the data space, one block's
+//! worth of points per cell under a uniform distribution.  A cell table maps
+//! every cell to the list of blocks storing its points.
+
+use common::SpatialIndex;
+use geom::{Point, Rect};
+use storage::{BlockId, BlockStore};
+
+/// Grid File index ("Grid" in the paper's figures).
+#[derive(Debug)]
+pub struct GridFile {
+    store: BlockStore,
+    /// Blocks of each cell, row-major (`cell = row * side + col`).
+    cells: Vec<Vec<BlockId>>,
+    /// Number of columns (= rows) of the grid.
+    side: usize,
+    n_points: usize,
+}
+
+impl GridFile {
+    /// Bulk-loads a Grid File with block capacity `block_capacity`.
+    pub fn build(points: Vec<Point>, block_capacity: usize) -> Self {
+        let n = points.len();
+        // √(n / B) cells per dimension (at least 1).
+        let side = (((n as f64 / block_capacity as f64).sqrt()).ceil() as usize).max(1);
+        let mut per_cell: Vec<Vec<Point>> = vec![Vec::new(); side * side];
+        for p in &points {
+            per_cell[Self::cell_of(side, p)].push(*p);
+        }
+        let mut store = BlockStore::new(block_capacity);
+        let mut cells = vec![Vec::new(); side * side];
+        for (cell, pts) in per_cell.into_iter().enumerate() {
+            if pts.is_empty() {
+                continue;
+            }
+            let range = store.pack(&pts);
+            cells[cell] = range.collect();
+        }
+        Self {
+            store,
+            cells,
+            side,
+            n_points: n,
+        }
+    }
+
+    #[inline]
+    fn cell_of(side: usize, p: &Point) -> usize {
+        let col = ((p.x * side as f64) as usize).min(side - 1);
+        let row = ((p.y * side as f64) as usize).min(side - 1);
+        row * side + col
+    }
+
+    #[inline]
+    fn cell_rect(&self, cell: usize) -> Rect {
+        let col = cell % self.side;
+        let row = cell / self.side;
+        let w = 1.0 / self.side as f64;
+        Rect::new(col as f64 * w, row as f64 * w, (col + 1) as f64 * w, (row + 1) as f64 * w)
+    }
+
+    /// Cells whose extent intersects the window.
+    fn cells_in_window(&self, window: &Rect) -> Vec<usize> {
+        let side = self.side;
+        let clamp = |v: f64| ((v * side as f64) as isize).clamp(0, side as isize - 1) as usize;
+        let (c0, c1) = (clamp(window.min_x), clamp(window.max_x));
+        let (r0, r1) = (clamp(window.min_y), clamp(window.max_y));
+        let mut out = Vec::with_capacity((c1 - c0 + 1) * (r1 - r0 + 1));
+        for row in r0..=r1 {
+            for col in c0..=c1 {
+                out.push(row * side + col);
+            }
+        }
+        out
+    }
+
+    /// Grid resolution (cells per dimension).
+    pub fn grid_side(&self) -> usize {
+        self.side
+    }
+}
+
+impl SpatialIndex for GridFile {
+    fn name(&self) -> &'static str {
+        "Grid"
+    }
+
+    fn len(&self) -> usize {
+        self.n_points
+    }
+
+    fn point_query(&self, q: &Point) -> Option<Point> {
+        let cell = Self::cell_of(self.side, q);
+        for &b in &self.cells[cell] {
+            if let Some(p) = self.store.read(b).find_at(q.x, q.y) {
+                return Some(*p);
+            }
+        }
+        None
+    }
+
+    fn window_query(&self, window: &Rect) -> Vec<Point> {
+        let mut out = Vec::new();
+        for cell in self.cells_in_window(window) {
+            for &b in &self.cells[cell] {
+                for p in self.store.read(b).points() {
+                    if window.contains(p) {
+                        out.push(*p);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn knn_query(&self, q: &Point, k: usize) -> Vec<Point> {
+        if k == 0 || self.n_points == 0 {
+            return Vec::new();
+        }
+        let k_eff = k.min(self.n_points);
+        let mut best: Vec<(f64, Point)> = Vec::with_capacity(k_eff + 1);
+        let qcell = Self::cell_of(self.side, q);
+        let (qcol, qrow) = (qcell % self.side, qcell / self.side);
+        let cell_width = 1.0 / self.side as f64;
+
+        // Expand ring by ring around the query cell; stop when the closest
+        // possible point in the next unexplored ring cannot improve the k-th
+        // distance.
+        let max_ring = self.side; // enough to cover the whole grid
+        for ring in 0..=max_ring {
+            if best.len() >= k_eff {
+                // Minimum distance to any cell in this ring.
+                let ring_dist = (ring.saturating_sub(1)) as f64 * cell_width;
+                if ring_dist > best[k_eff - 1].0 {
+                    break;
+                }
+            }
+            let mut visit = |col: isize, row: isize| {
+                if col < 0 || row < 0 || col >= self.side as isize || row >= self.side as isize {
+                    return;
+                }
+                let cell = row as usize * self.side + col as usize;
+                if best.len() >= k_eff
+                    && self.cell_rect(cell).min_dist(q) > best[k_eff - 1].0
+                {
+                    return;
+                }
+                for &b in &self.cells[cell] {
+                    for p in self.store.read(b).points() {
+                        let d = p.dist(q);
+                        if best.len() < k_eff || d < best[k_eff - 1].0 {
+                            let pos = best
+                                .binary_search_by(|(bd, bp)| {
+                                    bd.partial_cmp(&d)
+                                        .unwrap_or(std::cmp::Ordering::Equal)
+                                        .then(bp.id.cmp(&p.id))
+                                })
+                                .unwrap_or_else(|e| e);
+                            best.insert(pos, (d, *p));
+                            if best.len() > k_eff {
+                                best.pop();
+                            }
+                        }
+                    }
+                }
+            };
+            if ring == 0 {
+                visit(qcol as isize, qrow as isize);
+                continue;
+            }
+            let r = ring as isize;
+            let (qc, qr) = (qcol as isize, qrow as isize);
+            for d in -r..=r {
+                visit(qc + d, qr - r);
+                visit(qc + d, qr + r);
+                if d > -r && d < r {
+                    visit(qc - r, qr + d);
+                    visit(qc + r, qr + d);
+                }
+            }
+        }
+        best.into_iter().map(|(_, p)| p).collect()
+    }
+
+    fn insert(&mut self, p: Point) {
+        let cell = Self::cell_of(self.side, &p);
+        // "Grid adds a new point p to the last block in the cell enclosing p"
+        // (§6.2.5); allocate a new block when the last one is full.
+        let target = match self.cells[cell].last() {
+            Some(&b) if !self.store.read(b).is_full() => b,
+            _ => {
+                let b = self.store.allocate();
+                self.cells[cell].push(b);
+                b
+            }
+        };
+        self.store.write(target).push(p);
+        self.n_points += 1;
+    }
+
+    fn delete(&mut self, p: &Point) -> bool {
+        let cell = Self::cell_of(self.side, p);
+        for i in 0..self.cells[cell].len() {
+            let b = self.cells[cell][i];
+            let found = self.store.read(b).find_at(p.x, p.y).map(|q| q.id);
+            if let Some(id) = found {
+                if id == p.id || p.id == 0 {
+                    self.store.write(b).remove_by_id(id);
+                    self.n_points -= 1;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    fn block_accesses(&self) -> u64 {
+        self.store.block_accesses()
+    }
+
+    fn reset_stats(&self) {
+        self.store.reset_stats();
+    }
+
+    fn size_bytes(&self) -> usize {
+        let cell_table: usize = self
+            .cells
+            .iter()
+            .map(|c| c.len() * std::mem::size_of::<BlockId>() + std::mem::size_of::<Vec<BlockId>>())
+            .sum();
+        self.store.size_bytes() + cell_table
+    }
+
+    fn height(&self) -> usize {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use common::brute_force;
+    use datagen::{generate, Distribution};
+
+    fn build_small() -> (Vec<Point>, GridFile) {
+        let pts = generate(Distribution::Uniform, 1500, 7);
+        let grid = GridFile::build(pts.clone(), 20);
+        (pts, grid)
+    }
+
+    #[test]
+    fn point_queries_find_every_point() {
+        let (pts, grid) = build_small();
+        for p in &pts {
+            assert_eq!(grid.point_query(p).unwrap().id, p.id);
+        }
+        assert!(grid.point_query(&Point::new(0.123456, 0.654321)).is_none());
+    }
+
+    #[test]
+    fn window_queries_are_exact() {
+        let (pts, grid) = build_small();
+        for w in [
+            Rect::new(0.1, 0.1, 0.4, 0.3),
+            Rect::new(0.0, 0.0, 1.0, 1.0),
+            Rect::new(0.91, 0.91, 0.99, 0.99),
+        ] {
+            let mut truth: Vec<u64> = brute_force::window_query(&pts, &w).iter().map(|p| p.id).collect();
+            let mut got: Vec<u64> = grid.window_query(&w).iter().map(|p| p.id).collect();
+            truth.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(got, truth);
+        }
+    }
+
+    #[test]
+    fn knn_matches_brute_force_distances() {
+        let (pts, grid) = build_small();
+        for q in [Point::new(0.5, 0.5), Point::new(0.02, 0.98), Point::new(0.77, 0.11)] {
+            for k in [1, 7, 30] {
+                let truth = brute_force::knn_query(&pts, &q, k);
+                let got = grid.knn_query(&q, k);
+                assert_eq!(got.len(), k);
+                for (t, g) in truth.iter().zip(&got) {
+                    assert!(
+                        (t.dist(&q) - g.dist(&q)).abs() < 1e-12,
+                        "k={k} truth {} got {}",
+                        t.dist(&q),
+                        g.dist(&q)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_data_produces_multi_block_cells() {
+        let pts = generate(Distribution::skewed_default(), 3000, 3);
+        let grid = GridFile::build(pts.clone(), 20);
+        // Dense cells near y = 0 need several blocks.
+        let max_blocks = grid.cells.iter().map(Vec::len).max().unwrap();
+        assert!(max_blocks > 1);
+        // Queries still exact.
+        let w = Rect::new(0.0, 0.0, 0.3, 0.05);
+        assert_eq!(
+            grid.window_query(&w).len(),
+            brute_force::window_query(&pts, &w).len()
+        );
+    }
+
+    #[test]
+    fn insert_and_delete_round_trip() {
+        let (_, mut grid) = build_small();
+        let p = Point::with_id(0.333, 0.444, 900_000);
+        grid.insert(p);
+        assert_eq!(grid.len(), 1501);
+        assert_eq!(grid.point_query(&p).unwrap().id, p.id);
+        assert!(grid.delete(&p));
+        assert!(grid.point_query(&p).is_none());
+        assert_eq!(grid.len(), 1500);
+        assert!(!grid.delete(&p));
+    }
+
+    #[test]
+    fn block_accesses_are_counted_per_query() {
+        let (pts, grid) = build_small();
+        grid.reset_stats();
+        let _ = grid.point_query(&pts[0]);
+        let per_point = grid.block_accesses();
+        assert!(per_point >= 1);
+        grid.reset_stats();
+        let _ = grid.window_query(&Rect::new(0.0, 0.0, 0.5, 0.5));
+        assert!(grid.block_accesses() > per_point);
+    }
+
+    #[test]
+    fn empty_grid_handles_queries() {
+        let grid = GridFile::build(vec![], 20);
+        assert!(grid.is_empty());
+        assert!(grid.point_query(&Point::new(0.5, 0.5)).is_none());
+        assert!(grid.window_query(&Rect::unit()).is_empty());
+        assert!(grid.knn_query(&Point::new(0.5, 0.5), 3).is_empty());
+    }
+
+    #[test]
+    fn grid_side_matches_configuration_rule() {
+        let pts = generate(Distribution::Uniform, 10_000, 1);
+        let grid = GridFile::build(pts, 100);
+        assert_eq!(grid.grid_side(), 10); // sqrt(10000 / 100)
+        assert_eq!(grid.height(), 1);
+        assert_eq!(grid.name(), "Grid");
+    }
+}

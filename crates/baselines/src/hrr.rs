@@ -1,0 +1,575 @@
+//! HRR — the rank-space-based R-tree baseline (Qi et al., PVLDB 2018).
+//!
+//! This is the R-tree bulk-loading technique the RSMI paper builds its
+//! ordering on: points are mapped to the rank space, ordered along a Hilbert
+//! curve, and every `B` consecutive points are packed into a leaf; upper
+//! levels are built by packing every `F` node MBRs into a parent.  The
+//! resulting R-tree offers "the state-of-the-art window query performance"
+//! and is the paper's strongest traditional competitor.
+
+use common::SpatialIndex;
+use geom::{Point, Rect};
+use sfc::{CurveKind, RankSpace};
+use storage::{AccessCounter, BlockId, BlockStore};
+
+/// Fan-out of internal nodes (the paper stores up to 100 MBRs per node).
+const FANOUT: usize = 100;
+
+#[derive(Debug, Clone)]
+enum NodeKind {
+    /// Children are other internal nodes.
+    Internal(Vec<usize>),
+    /// Children are data blocks in the block store.
+    LeafParent(Vec<BlockId>),
+}
+
+#[derive(Debug, Clone)]
+struct TreeNode {
+    mbr: Rect,
+    kind: NodeKind,
+}
+
+/// The bulk-loaded rank-space Hilbert R-tree ("HRR").
+#[derive(Debug)]
+pub struct HilbertRTree {
+    store: BlockStore,
+    nodes: Vec<TreeNode>,
+    /// MBR of each data block (kept in the directory so that traversal can
+    /// prune without touching the block itself).
+    block_mbrs: Vec<Rect>,
+    root: Option<usize>,
+    height: usize,
+    n_points: usize,
+    node_accesses: AccessCounter,
+}
+
+impl HilbertRTree {
+    /// Bulk-loads the tree with the given block capacity.
+    pub fn build(points: Vec<Point>, block_capacity: usize) -> Self {
+        let n = points.len();
+        let mut store = BlockStore::new(block_capacity);
+        let node_accesses = store.access_counter();
+        if n == 0 {
+            return Self {
+                store,
+                nodes: Vec::new(),
+                block_mbrs: Vec::new(),
+                root: None,
+                height: 0,
+                n_points: 0,
+                node_accesses,
+            };
+        }
+        // Rank-space Hilbert ordering, then packing (§3.1 of the RSMI paper,
+        // which reuses exactly this construction).
+        let rs = RankSpace::new(&points);
+        let perm = rs.sorted_permutation(CurveKind::Hilbert);
+        let ordered: Vec<Point> = perm.into_iter().map(|i| points[i]).collect();
+        let range = store.pack(&ordered);
+        let block_mbrs: Vec<Rect> = range.clone().map(|id| store.peek(id).mbr()).collect();
+
+        // Build the directory bottom-up: pack every FANOUT children into a
+        // parent node, level by level, until a single root remains.
+        let mut nodes: Vec<TreeNode> = Vec::new();
+        let mut current: Vec<usize> = Vec::new();
+        for chunk_start in (0..block_mbrs.len()).step_by(FANOUT) {
+            let chunk_end = (chunk_start + FANOUT).min(block_mbrs.len());
+            let blocks: Vec<BlockId> = (range.start + chunk_start..range.start + chunk_end).collect();
+            let mbr = block_mbrs[chunk_start..chunk_end]
+                .iter()
+                .fold(Rect::empty(), |acc, r| acc.union(r));
+            nodes.push(TreeNode {
+                mbr,
+                kind: NodeKind::LeafParent(blocks),
+            });
+            current.push(nodes.len() - 1);
+        }
+        let mut height = 2; // leaf-parent level + data blocks
+        while current.len() > 1 {
+            let mut next = Vec::new();
+            for chunk in current.chunks(FANOUT) {
+                let mbr = chunk
+                    .iter()
+                    .map(|&i| nodes[i].mbr)
+                    .fold(Rect::empty(), |acc, r| acc.union(&r));
+                nodes.push(TreeNode {
+                    mbr,
+                    kind: NodeKind::Internal(chunk.to_vec()),
+                });
+                next.push(nodes.len() - 1);
+            }
+            current = next;
+            height += 1;
+        }
+        let root = current.first().copied();
+        Self {
+            store,
+            nodes,
+            block_mbrs,
+            root,
+            height,
+            n_points: n,
+            node_accesses,
+        }
+    }
+
+    fn block_mbr(&self, id: BlockId) -> Rect {
+        self.block_mbrs
+            .get(id)
+            .copied()
+            .unwrap_or_else(|| self.store.peek(id).mbr())
+    }
+
+    fn update_block_mbr(&mut self, id: BlockId) {
+        let mbr = self.store.peek(id).mbr();
+        if id < self.block_mbrs.len() {
+            self.block_mbrs[id] = mbr;
+        } else {
+            // Blocks appended by insertion splits.
+            while self.block_mbrs.len() < id {
+                self.block_mbrs.push(Rect::empty());
+            }
+            self.block_mbrs.push(mbr);
+        }
+    }
+
+    /// Recomputes ancestor MBRs along a root-to-node path after an update.
+    fn refresh_mbrs(&mut self, path: &[usize]) {
+        for &node_id in path.iter().rev() {
+            let mbr = match &self.nodes[node_id].kind {
+                NodeKind::Internal(children) => children
+                    .iter()
+                    .map(|&c| self.nodes[c].mbr)
+                    .fold(Rect::empty(), |acc, r| acc.union(&r)),
+                NodeKind::LeafParent(blocks) => blocks
+                    .iter()
+                    .map(|&b| self.block_mbr(b))
+                    .fold(Rect::empty(), |acc, r| acc.union(&r)),
+            };
+            self.nodes[node_id].mbr = mbr;
+        }
+    }
+
+    /// Chooses the leaf-parent (and block) with the minimum MBR enlargement
+    /// for an insertion, returning the path of internal nodes.
+    fn choose_block(&self, p: &Point) -> Option<(Vec<usize>, BlockId)> {
+        let mut cur = self.root?;
+        let mut path = vec![cur];
+        loop {
+            match &self.nodes[cur].kind {
+                NodeKind::Internal(children) => {
+                    let best = children
+                        .iter()
+                        .copied()
+                        .min_by(|&a, &b| {
+                            let ea = self.nodes[a].mbr.enlargement(&Rect::from_point(*p));
+                            let eb = self.nodes[b].mbr.enlargement(&Rect::from_point(*p));
+                            ea.partial_cmp(&eb)
+                                .unwrap_or(std::cmp::Ordering::Equal)
+                                .then_with(|| {
+                                    self.nodes[a]
+                                        .mbr
+                                        .area()
+                                        .partial_cmp(&self.nodes[b].mbr.area())
+                                        .unwrap_or(std::cmp::Ordering::Equal)
+                                })
+                        })
+                        .expect("internal nodes have children");
+                    path.push(best);
+                    cur = best;
+                }
+                NodeKind::LeafParent(blocks) => {
+                    let best = blocks
+                        .iter()
+                        .copied()
+                        .min_by(|&a, &b| {
+                            let ea = self.block_mbr(a).enlargement(&Rect::from_point(*p));
+                            let eb = self.block_mbr(b).enlargement(&Rect::from_point(*p));
+                            ea.partial_cmp(&eb).unwrap_or(std::cmp::Ordering::Equal)
+                        })
+                        .expect("leaf parents have blocks");
+                    return Some((path, best));
+                }
+            }
+        }
+    }
+}
+
+impl SpatialIndex for HilbertRTree {
+    fn name(&self) -> &'static str {
+        "HRR"
+    }
+
+    fn len(&self) -> usize {
+        self.n_points
+    }
+
+    fn point_query(&self, q: &Point) -> Option<Point> {
+        let root = self.root?;
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            if !self.nodes[id].mbr.contains(q) {
+                continue;
+            }
+            self.node_accesses.add(1);
+            match &self.nodes[id].kind {
+                NodeKind::Internal(children) => {
+                    for &c in children {
+                        if self.nodes[c].mbr.contains(q) {
+                            stack.push(c);
+                        }
+                    }
+                }
+                NodeKind::LeafParent(blocks) => {
+                    for &b in blocks {
+                        if !self.block_mbr(b).contains(q) {
+                            continue;
+                        }
+                        if let Some(p) = self.store.read(b).find_at(q.x, q.y) {
+                            return Some(*p);
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    fn window_query(&self, window: &Rect) -> Vec<Point> {
+        let mut out = Vec::new();
+        let Some(root) = self.root else { return out };
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            if !self.nodes[id].mbr.intersects(window) {
+                continue;
+            }
+            self.node_accesses.add(1);
+            match &self.nodes[id].kind {
+                NodeKind::Internal(children) => {
+                    for &c in children {
+                        if self.nodes[c].mbr.intersects(window) {
+                            stack.push(c);
+                        }
+                    }
+                }
+                NodeKind::LeafParent(blocks) => {
+                    for &b in blocks {
+                        if !self.block_mbr(b).intersects(window) {
+                            continue;
+                        }
+                        for p in self.store.read(b).points() {
+                            if window.contains(p) {
+                                out.push(*p);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn knn_query(&self, q: &Point, k: usize) -> Vec<Point> {
+        // Best-first search (Roussopoulos et al.) over nodes, blocks and
+        // points, ordered by MINDIST / distance.
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        enum Item {
+            Node(usize),
+            Block(BlockId),
+            Point(Point),
+        }
+        struct Entry(f64, Item);
+        impl PartialEq for Entry {
+            fn eq(&self, other: &Self) -> bool {
+                self.0 == other.0
+            }
+        }
+        impl Eq for Entry {}
+        impl Ord for Entry {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.0.partial_cmp(&other.0).unwrap_or(std::cmp::Ordering::Equal)
+            }
+        }
+        impl PartialOrd for Entry {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        let mut out = Vec::new();
+        if k == 0 {
+            return out;
+        }
+        let Some(root) = self.root else { return out };
+        let mut heap = BinaryHeap::new();
+        heap.push(Reverse(Entry(self.nodes[root].mbr.min_dist(q), Item::Node(root))));
+        while let Some(Reverse(Entry(_, item))) = heap.pop() {
+            match item {
+                Item::Point(p) => {
+                    out.push(p);
+                    if out.len() == k {
+                        break;
+                    }
+                }
+                Item::Block(b) => {
+                    for p in self.store.read(b).points() {
+                        heap.push(Reverse(Entry(p.dist(q), Item::Point(*p))));
+                    }
+                }
+                Item::Node(id) => {
+                    self.node_accesses.add(1);
+                    match &self.nodes[id].kind {
+                        NodeKind::Internal(children) => {
+                            for &c in children {
+                                heap.push(Reverse(Entry(self.nodes[c].mbr.min_dist(q), Item::Node(c))));
+                            }
+                        }
+                        NodeKind::LeafParent(blocks) => {
+                            for &b in blocks {
+                                heap.push(Reverse(Entry(self.block_mbr(b).min_dist(q), Item::Block(b))));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn insert(&mut self, p: Point) {
+        if self.root.is_none() {
+            *self = HilbertRTree::build(vec![p], self.store.capacity());
+            return;
+        }
+        let (path, block) = self.choose_block(&p).expect("non-empty tree");
+        if !self.store.peek(block).is_full() {
+            self.store.write(block).push(p);
+            self.update_block_mbr(block);
+        } else {
+            // Split: move the half of the block farthest from the new point's
+            // side along the longer MBR axis into a fresh block registered
+            // under the same leaf parent.
+            let mut pts: Vec<Point> = self.store.peek(block).points().to_vec();
+            pts.push(p);
+            let mbr = pts.iter().fold(Rect::empty(), |mut acc, q| {
+                acc.expand_to_point(*q);
+                acc
+            });
+            if mbr.width() >= mbr.height() {
+                pts.sort_by(|a, b| a.x.partial_cmp(&b.x).unwrap_or(std::cmp::Ordering::Equal));
+            } else {
+                pts.sort_by(|a, b| a.y.partial_cmp(&b.y).unwrap_or(std::cmp::Ordering::Equal));
+            }
+            let half = pts.len() / 2;
+            let second: Vec<Point> = pts.split_off(half);
+            // Rewrite the original block with the first half.
+            let original = self.store.write(block);
+            let old_ids: Vec<u64> = original.points().iter().map(|q| q.id).collect();
+            for id in old_ids {
+                original.remove_by_id(id);
+            }
+            for q in &pts {
+                original.push(*q);
+            }
+            let new_block = self.store.allocate();
+            for q in &second {
+                self.store.peek_mut(new_block).push(*q);
+            }
+            self.update_block_mbr(block);
+            self.update_block_mbr(new_block);
+            // Register the new block under the leaf parent (allowed to exceed
+            // the nominal fan-out; a full node-split cascade is not needed
+            // for the paper's insertion experiments).
+            if let Some(&leaf_parent) = path.last() {
+                if let NodeKind::LeafParent(blocks) = &mut self.nodes[leaf_parent].kind {
+                    blocks.push(new_block);
+                }
+            }
+        }
+        self.refresh_mbrs(&path);
+        self.n_points += 1;
+    }
+
+    fn delete(&mut self, p: &Point) -> bool {
+        let Some(root) = self.root else { return false };
+        // Locate the block containing p with an MBR-guided search.
+        let mut stack = vec![(root, Vec::new())];
+        while let Some((id, path)) = stack.pop() {
+            if !self.nodes[id].mbr.contains(p) {
+                continue;
+            }
+            let mut path = path;
+            path.push(id);
+            match self.nodes[id].kind.clone() {
+                NodeKind::Internal(children) => {
+                    for c in children {
+                        stack.push((c, path.clone()));
+                    }
+                }
+                NodeKind::LeafParent(blocks) => {
+                    for b in blocks {
+                        let found = self.store.read(b).find_at(p.x, p.y).map(|q| q.id);
+                        if let Some(id_found) = found {
+                            if id_found == p.id || p.id == 0 {
+                                self.store.write(b).remove_by_id(id_found);
+                                self.update_block_mbr(b);
+                                self.refresh_mbrs(&path);
+                                self.n_points -= 1;
+                                return true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    fn block_accesses(&self) -> u64 {
+        self.store.block_accesses()
+    }
+
+    fn reset_stats(&self) {
+        self.store.reset_stats();
+    }
+
+    fn size_bytes(&self) -> usize {
+        let dir: usize = self
+            .nodes
+            .iter()
+            .map(|n| {
+                std::mem::size_of::<Rect>()
+                    + match &n.kind {
+                        NodeKind::Internal(c) => c.len() * std::mem::size_of::<usize>(),
+                        NodeKind::LeafParent(b) => b.len() * std::mem::size_of::<BlockId>(),
+                    }
+            })
+            .sum();
+        // HRR additionally keeps two B-trees for the rank-space mapping of
+        // updates (the reason it is larger than RSMI in Fig. 7a); charge an
+        // equivalent of 2 x 16 bytes per point for them.
+        self.store.size_bytes() + dir + self.block_mbrs.len() * std::mem::size_of::<Rect>()
+            + self.n_points * 32
+    }
+
+    fn height(&self) -> usize {
+        self.height
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use common::brute_force;
+    use datagen::{generate, Distribution};
+
+    fn build_small(n: usize) -> (Vec<Point>, HilbertRTree) {
+        let pts = generate(Distribution::skewed_default(), n, 23);
+        let tree = HilbertRTree::build(pts.clone(), 20);
+        (pts, tree)
+    }
+
+    #[test]
+    fn point_queries_find_every_point() {
+        let (pts, tree) = build_small(1500);
+        for p in &pts {
+            assert_eq!(tree.point_query(p).map(|f| f.id), Some(p.id));
+        }
+        assert!(tree.point_query(&Point::new(0.987654, 0.123456)).is_none());
+    }
+
+    #[test]
+    fn window_queries_are_exact() {
+        let (pts, tree) = build_small(2000);
+        for w in [
+            Rect::new(0.0, 0.0, 0.2, 0.01),
+            Rect::new(0.3, 0.0, 0.7, 0.2),
+            Rect::new(0.0, 0.0, 1.0, 1.0),
+        ] {
+            let mut truth: Vec<u64> = brute_force::window_query(&pts, &w).iter().map(|p| p.id).collect();
+            let mut got: Vec<u64> = tree.window_query(&w).iter().map(|p| p.id).collect();
+            truth.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(got, truth);
+        }
+    }
+
+    #[test]
+    fn knn_matches_brute_force_distances() {
+        let (pts, tree) = build_small(1000);
+        for q in [Point::new(0.5, 0.1), Point::new(0.9, 0.9)] {
+            for k in [1, 10, 50] {
+                let truth = brute_force::knn_query(&pts, &q, k);
+                let got = tree.knn_query(&q, k);
+                assert_eq!(got.len(), k);
+                for (t, g) in truth.iter().zip(&got) {
+                    assert!((t.dist(&q) - g.dist(&q)).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tree_height_grows_logarithmically() {
+        let (_, small) = build_small(500);
+        let pts = generate(Distribution::Uniform, 50_000, 29);
+        let big = HilbertRTree::build(pts, 100);
+        assert!(small.height() >= 2);
+        assert!(big.height() >= small.height());
+        assert!(big.height() <= 4);
+    }
+
+    #[test]
+    fn inserts_are_found_and_window_queries_stay_exact() {
+        let (pts, mut tree) = build_small(800);
+        let extra: Vec<Point> = (0..200)
+            .map(|i| Point::with_id(0.001 + 0.004 * (i as f64 % 10.0), 0.002 + 0.0001 * i as f64, 50_000 + i))
+            .collect();
+        for p in &extra {
+            tree.insert(*p);
+        }
+        assert_eq!(tree.len(), 1000);
+        for p in &extra {
+            assert_eq!(tree.point_query(p).map(|f| f.id), Some(p.id));
+        }
+        let w = Rect::new(0.0, 0.0, 0.05, 0.05);
+        let mut all = pts.clone();
+        all.extend_from_slice(&extra);
+        let mut truth: Vec<u64> = brute_force::window_query(&all, &w).iter().map(|p| p.id).collect();
+        let mut got: Vec<u64> = tree.window_query(&w).iter().map(|p| p.id).collect();
+        truth.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(got, truth);
+    }
+
+    #[test]
+    fn delete_removes_points() {
+        let (pts, mut tree) = build_small(600);
+        assert!(tree.delete(&pts[100]));
+        assert!(tree.point_query(&pts[100]).is_none());
+        assert_eq!(tree.len(), 599);
+        assert!(!tree.delete(&pts[100]));
+    }
+
+    #[test]
+    fn empty_tree_is_harmless_and_bootstraps_on_insert() {
+        let mut tree = HilbertRTree::build(vec![], 20);
+        assert!(tree.point_query(&Point::new(0.5, 0.5)).is_none());
+        assert!(tree.window_query(&Rect::unit()).is_empty());
+        assert!(tree.knn_query(&Point::new(0.5, 0.5), 5).is_empty());
+        tree.insert(Point::with_id(0.1, 0.9, 3));
+        assert_eq!(tree.len(), 1);
+        assert!(tree.point_query(&Point::new(0.1, 0.9)).is_some());
+    }
+
+    #[test]
+    fn access_accounting_counts_nodes_and_blocks() {
+        let (pts, tree) = build_small(2000);
+        tree.reset_stats();
+        let _ = tree.point_query(&pts[0]);
+        // At least the leaf-parent node and one block are touched.
+        assert!(tree.block_accesses() >= 2);
+    }
+}

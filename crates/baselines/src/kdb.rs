@@ -1,0 +1,530 @@
+//! K-D-B-tree baseline (Robinson, SIGMOD 1981), as used in §6.1: a kd-tree
+//! realised with B-tree-style multi-way nodes so that both the directory and
+//! the data reside in fixed-capacity blocks.
+//!
+//! The bulk-load recursively cuts each node's region into an (up to)
+//! `√F x √F` grid of equi-depth cells (quantile cuts by x, then by y inside
+//! every column), mirroring the alternating-dimension splits of a kd-tree
+//! while keeping the fan-out of a disk-based K-D-B-tree.  Regions tile their
+//! parent region exactly, so every location belongs to exactly one leaf —
+//! the property that makes K-D-B window queries overlap-free.
+
+use common::SpatialIndex;
+use geom::{Point, Rect};
+use storage::{AccessCounter, BlockId, BlockStore};
+
+/// Directory fan-out (√FANOUT cuts per dimension), matching the paper's 100
+/// entries per internal node.
+const FANOUT_SIDE: usize = 10;
+
+#[derive(Debug, Clone)]
+enum NodeKind {
+    Internal(Vec<usize>),
+    Leaf(BlockId),
+}
+
+#[derive(Debug, Clone)]
+struct KdbNode {
+    region: Rect,
+    kind: NodeKind,
+}
+
+/// The K-D-B-tree ("KDB" in the paper's figures).
+#[derive(Debug)]
+pub struct KdbTree {
+    store: BlockStore,
+    nodes: Vec<KdbNode>,
+    root: Option<usize>,
+    height: usize,
+    n_points: usize,
+    node_accesses: AccessCounter,
+}
+
+impl KdbTree {
+    /// Bulk-loads a K-D-B-tree with the given block capacity.
+    pub fn build(points: Vec<Point>, block_capacity: usize) -> Self {
+        let mut tree = Self {
+            store: BlockStore::new(block_capacity),
+            nodes: Vec::new(),
+            root: None,
+            height: 0,
+            n_points: points.len(),
+            node_accesses: AccessCounter::new(),
+        };
+        tree.node_accesses = tree.store.access_counter();
+        if !points.is_empty() {
+            let root = tree.build_node(points, Rect::unit(), 1);
+            tree.root = Some(root);
+        }
+        tree
+    }
+
+    fn build_node(&mut self, mut points: Vec<Point>, region: Rect, depth: usize) -> usize {
+        self.height = self.height.max(depth);
+        let capacity = self.store.capacity();
+        if points.len() <= capacity {
+            let block = self.store.allocate();
+            for p in &points {
+                self.store.peek_mut(block).push(*p);
+            }
+            let id = self.nodes.len();
+            self.nodes.push(KdbNode {
+                region,
+                kind: NodeKind::Leaf(block),
+            });
+            return id;
+        }
+        // Quantile cuts: up to FANOUT_SIDE columns by x, then as many cells
+        // by y within each column.  The cut count adapts to the node's
+        // cardinality so leaves stay close to full (≈ `capacity` points)
+        // instead of degenerating into near-empty blocks.  Cell regions tile
+        // `region` exactly.
+        let n = points.len();
+        let side = ((n as f64 / capacity as f64).sqrt().ceil() as usize).clamp(2, FANOUT_SIDE);
+        points.sort_by(|a, b| a.x.partial_cmp(&b.x).unwrap_or(std::cmp::Ordering::Equal));
+        let col_size = n.div_ceil(side);
+        let mut children = Vec::new();
+        let n_cols = n.div_ceil(col_size);
+        let mut col_points: Vec<Vec<Point>> = points.chunks(col_size).map(<[Point]>::to_vec).collect();
+        let mut x_lo = region.min_x;
+        for (ci, col) in col_points.iter_mut().enumerate() {
+            // The column's upper x boundary: the parent's boundary for the
+            // last column, otherwise the first x of the next column.
+            let x_hi = if ci + 1 == n_cols {
+                region.max_x
+            } else {
+                points[(ci + 1) * col_size].x
+            };
+            col.sort_by(|a, b| a.y.partial_cmp(&b.y).unwrap_or(std::cmp::Ordering::Equal));
+            let cell_size = col.len().div_ceil(side).max(1);
+            let n_cells = col.len().div_ceil(cell_size);
+            let mut y_lo = region.min_y;
+            for (ri, cell) in col.chunks(cell_size).enumerate() {
+                let y_hi = if ri + 1 == n_cells {
+                    region.max_y
+                } else {
+                    col[(ri + 1) * cell_size].y
+                };
+                let cell_region = Rect::new(x_lo, y_lo, x_hi, y_hi);
+                let child = self.build_node(cell.to_vec(), cell_region, depth + 1);
+                children.push(child);
+                y_lo = y_hi;
+            }
+            x_lo = x_hi;
+        }
+        let id = self.nodes.len();
+        self.nodes.push(KdbNode {
+            region,
+            kind: NodeKind::Internal(children),
+        });
+        id
+    }
+
+    /// Descends to the leaf whose region contains the point.
+    fn locate_leaf(&self, p: &Point) -> Option<usize> {
+        let mut cur = self.root?;
+        loop {
+            self.node_accesses.add(1);
+            match &self.nodes[cur].kind {
+                NodeKind::Leaf(_) => return Some(cur),
+                NodeKind::Internal(children) => {
+                    let next = children
+                        .iter()
+                        .copied()
+                        .find(|&c| self.nodes[c].region.contains(p))
+                        // Numerical edge: fall back to the nearest region.
+                        .or_else(|| {
+                            children.iter().copied().min_by(|&a, &b| {
+                                self.nodes[a]
+                                    .region
+                                    .min_dist(p)
+                                    .partial_cmp(&self.nodes[b].region.min_dist(p))
+                                    .unwrap_or(std::cmp::Ordering::Equal)
+                            })
+                        })?;
+                    cur = next;
+                }
+            }
+        }
+    }
+
+    /// Splits a full leaf into an internal node with two half leaves.
+    fn split_leaf(&mut self, leaf_idx: usize, extra: Point) {
+        let (region, block) = match &self.nodes[leaf_idx].kind {
+            NodeKind::Leaf(b) => (self.nodes[leaf_idx].region, *b),
+            NodeKind::Internal(_) => unreachable!("split_leaf called on an internal node"),
+        };
+        let mut pts: Vec<Point> = self.store.peek(block).points().to_vec();
+        pts.push(extra);
+        let split_x = region.width() >= region.height();
+        if split_x {
+            pts.sort_by(|a, b| a.x.partial_cmp(&b.x).unwrap_or(std::cmp::Ordering::Equal));
+        } else {
+            pts.sort_by(|a, b| a.y.partial_cmp(&b.y).unwrap_or(std::cmp::Ordering::Equal));
+        }
+        let half = pts.len() / 2;
+        let boundary = if split_x { pts[half].x } else { pts[half].y };
+        let (left_region, right_region) = if split_x {
+            (
+                Rect::new(region.min_x, region.min_y, boundary, region.max_y),
+                Rect::new(boundary, region.min_y, region.max_x, region.max_y),
+            )
+        } else {
+            (
+                Rect::new(region.min_x, region.min_y, region.max_x, boundary),
+                Rect::new(region.min_x, boundary, region.max_x, region.max_y),
+            )
+        };
+        let right: Vec<Point> = pts.split_off(half);
+        // Reuse the existing block for the left half.
+        {
+            let blk = self.store.peek_mut(block);
+            let ids: Vec<u64> = blk.points().iter().map(|p| p.id).collect();
+            for id in ids {
+                blk.remove_by_id(id);
+            }
+            for p in &pts {
+                blk.push(*p);
+            }
+        }
+        let right_block = self.store.allocate();
+        for p in &right {
+            self.store.peek_mut(right_block).push(*p);
+        }
+        let left_node = self.nodes.len();
+        self.nodes.push(KdbNode {
+            region: left_region,
+            kind: NodeKind::Leaf(block),
+        });
+        let right_node = self.nodes.len();
+        self.nodes.push(KdbNode {
+            region: right_region,
+            kind: NodeKind::Leaf(right_block),
+        });
+        self.nodes[leaf_idx].kind = NodeKind::Internal(vec![left_node, right_node]);
+    }
+}
+
+impl SpatialIndex for KdbTree {
+    fn name(&self) -> &'static str {
+        "KDB"
+    }
+
+    fn len(&self) -> usize {
+        self.n_points
+    }
+
+    fn point_query(&self, q: &Point) -> Option<Point> {
+        // A point on a partition boundary is contained in the regions of two
+        // sibling leaves, so the search must follow every containing child,
+        // not just the first one.
+        let root = self.root?;
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            if !self.nodes[id].region.contains(q) {
+                continue;
+            }
+            self.node_accesses.add(1);
+            match &self.nodes[id].kind {
+                NodeKind::Internal(children) => {
+                    for &c in children {
+                        if self.nodes[c].region.contains(q) {
+                            stack.push(c);
+                        }
+                    }
+                }
+                NodeKind::Leaf(block) => {
+                    if let Some(p) = self.store.read(*block).find_at(q.x, q.y) {
+                        return Some(*p);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    fn window_query(&self, window: &Rect) -> Vec<Point> {
+        let mut out = Vec::new();
+        let Some(root) = self.root else { return out };
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            if !self.nodes[id].region.intersects(window) {
+                continue;
+            }
+            self.node_accesses.add(1);
+            match &self.nodes[id].kind {
+                NodeKind::Internal(children) => {
+                    for &c in children {
+                        if self.nodes[c].region.intersects(window) {
+                            stack.push(c);
+                        }
+                    }
+                }
+                NodeKind::Leaf(block) => {
+                    for p in self.store.read(*block).points() {
+                        if window.contains(p) {
+                            out.push(*p);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn knn_query(&self, q: &Point, k: usize) -> Vec<Point> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        enum Item {
+            Node(usize),
+            Point(Point),
+        }
+        struct Entry(f64, Item);
+        impl PartialEq for Entry {
+            fn eq(&self, other: &Self) -> bool {
+                self.0 == other.0
+            }
+        }
+        impl Eq for Entry {}
+        impl Ord for Entry {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.0.partial_cmp(&other.0).unwrap_or(std::cmp::Ordering::Equal)
+            }
+        }
+        impl PartialOrd for Entry {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        let mut out = Vec::new();
+        if k == 0 {
+            return out;
+        }
+        let Some(root) = self.root else { return out };
+        let mut heap = BinaryHeap::new();
+        heap.push(Reverse(Entry(self.nodes[root].region.min_dist(q), Item::Node(root))));
+        while let Some(Reverse(Entry(_, item))) = heap.pop() {
+            match item {
+                Item::Point(p) => {
+                    out.push(p);
+                    if out.len() == k {
+                        break;
+                    }
+                }
+                Item::Node(id) => {
+                    self.node_accesses.add(1);
+                    match &self.nodes[id].kind {
+                        NodeKind::Internal(children) => {
+                            for &c in children {
+                                heap.push(Reverse(Entry(
+                                    self.nodes[c].region.min_dist(q),
+                                    Item::Node(c),
+                                )));
+                            }
+                        }
+                        NodeKind::Leaf(block) => {
+                            for p in self.store.read(*block).points() {
+                                heap.push(Reverse(Entry(p.dist(q), Item::Point(*p))));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn insert(&mut self, p: Point) {
+        if self.root.is_none() {
+            *self = KdbTree::build(vec![p], self.store.capacity());
+            return;
+        }
+        let leaf = self.locate_leaf(&p).expect("non-empty tree");
+        let block = match self.nodes[leaf].kind {
+            NodeKind::Leaf(b) => b,
+            NodeKind::Internal(_) => unreachable!("locate_leaf returns leaves"),
+        };
+        if self.store.read(block).is_full() {
+            self.split_leaf(leaf, p);
+        } else {
+            self.store.write(block).push(p);
+        }
+        self.n_points += 1;
+    }
+
+    fn delete(&mut self, p: &Point) -> bool {
+        let Some(root) = self.root else { return false };
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            if !self.nodes[id].region.contains(p) {
+                continue;
+            }
+            self.node_accesses.add(1);
+            match self.nodes[id].kind.clone() {
+                NodeKind::Internal(children) => {
+                    for c in children {
+                        if self.nodes[c].region.contains(p) {
+                            stack.push(c);
+                        }
+                    }
+                }
+                NodeKind::Leaf(block) => {
+                    let found = self.store.read(block).find_at(p.x, p.y).map(|q| q.id);
+                    if let Some(id_found) = found {
+                        if id_found == p.id || p.id == 0 {
+                            self.store.write(block).remove_by_id(id_found);
+                            self.n_points -= 1;
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    fn block_accesses(&self) -> u64 {
+        self.store.block_accesses()
+    }
+
+    fn reset_stats(&self) {
+        self.store.reset_stats();
+    }
+
+    fn size_bytes(&self) -> usize {
+        let dir: usize = self
+            .nodes
+            .iter()
+            .map(|n| {
+                std::mem::size_of::<Rect>()
+                    + match &n.kind {
+                        NodeKind::Internal(c) => c.len() * std::mem::size_of::<usize>(),
+                        NodeKind::Leaf(_) => std::mem::size_of::<BlockId>(),
+                    }
+            })
+            .sum();
+        self.store.size_bytes() + dir
+    }
+
+    fn height(&self) -> usize {
+        self.height
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use common::brute_force;
+    use datagen::{generate, Distribution};
+
+    fn build_small(n: usize, dist: Distribution) -> (Vec<Point>, KdbTree) {
+        let pts = generate(dist, n, 31);
+        let tree = KdbTree::build(pts.clone(), 20);
+        (pts, tree)
+    }
+
+    #[test]
+    fn point_queries_find_every_point() {
+        let (pts, tree) = build_small(1500, Distribution::Uniform);
+        for p in &pts {
+            assert_eq!(tree.point_query(p).map(|f| f.id), Some(p.id));
+        }
+        assert!(tree.point_query(&Point::new(0.5000001, 0.4999999)).is_none());
+    }
+
+    #[test]
+    fn leaf_regions_tile_the_space() {
+        // Every unit-square location must land in exactly one leaf via
+        // locate_leaf, and window queries over the whole space return all
+        // points exactly once.
+        let (pts, tree) = build_small(2000, Distribution::skewed_default());
+        let all = tree.window_query(&Rect::unit());
+        assert_eq!(all.len(), pts.len());
+        let mut ids: Vec<u64> = all.iter().map(|p| p.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), pts.len());
+    }
+
+    #[test]
+    fn window_queries_are_exact() {
+        let (pts, tree) = build_small(2500, Distribution::Normal);
+        for w in [
+            Rect::new(0.4, 0.4, 0.6, 0.6),
+            Rect::new(0.0, 0.0, 0.3, 1.0),
+            Rect::new(0.48, 0.01, 0.52, 0.99),
+        ] {
+            let mut truth: Vec<u64> = brute_force::window_query(&pts, &w).iter().map(|p| p.id).collect();
+            let mut got: Vec<u64> = tree.window_query(&w).iter().map(|p| p.id).collect();
+            truth.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(got, truth);
+        }
+    }
+
+    #[test]
+    fn knn_matches_brute_force_distances() {
+        let (pts, tree) = build_small(1200, Distribution::TigerLike);
+        for q in [Point::new(0.2, 0.2), Point::new(0.8, 0.5)] {
+            for k in [1, 5, 25] {
+                let truth = brute_force::knn_query(&pts, &q, k);
+                let got = tree.knn_query(&q, k);
+                assert_eq!(got.len(), k);
+                for (t, g) in truth.iter().zip(&got) {
+                    assert!((t.dist(&q) - g.dist(&q)).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn insert_splits_full_leaves_and_points_remain_findable() {
+        let (pts, mut tree) = build_small(500, Distribution::Uniform);
+        let nodes_before = tree.nodes.len();
+        // Cram many points into one small area to force leaf splits.
+        let extra: Vec<Point> = (0..300)
+            .map(|i| Point::with_id(0.5 + 0.0001 * (i % 20) as f64, 0.5 + 0.0001 * (i / 20) as f64, 90_000 + i))
+            .collect();
+        for p in &extra {
+            tree.insert(*p);
+        }
+        assert!(tree.nodes.len() > nodes_before, "no leaf was split");
+        assert_eq!(tree.len(), 800);
+        for p in extra.iter().chain(pts.iter().step_by(7)) {
+            assert_eq!(tree.point_query(p).map(|f| f.id), Some(p.id));
+        }
+    }
+
+    #[test]
+    fn delete_removes_points() {
+        let (pts, mut tree) = build_small(600, Distribution::Uniform);
+        assert!(tree.delete(&pts[42]));
+        assert!(tree.point_query(&pts[42]).is_none());
+        assert!(!tree.delete(&pts[42]));
+        assert_eq!(tree.len(), 599);
+    }
+
+    #[test]
+    fn empty_tree_and_bootstrap_insert() {
+        let mut tree = KdbTree::build(vec![], 20);
+        assert!(tree.point_query(&Point::new(0.5, 0.5)).is_none());
+        assert!(tree.window_query(&Rect::unit()).is_empty());
+        assert!(tree.knn_query(&Point::new(0.5, 0.5), 4).is_empty());
+        tree.insert(Point::with_id(0.25, 0.75, 11));
+        assert_eq!(tree.len(), 1);
+        assert!(tree.point_query(&Point::new(0.25, 0.75)).is_some());
+    }
+
+    #[test]
+    fn height_and_accounting_are_reported() {
+        let (pts, tree) = build_small(5000, Distribution::Uniform);
+        assert!(tree.height() >= 2);
+        tree.reset_stats();
+        let _ = tree.point_query(&pts[0]);
+        assert!(tree.block_accesses() >= 2); // at least root + block
+        assert!(tree.size_bytes() > 0);
+        assert_eq!(tree.name(), "KDB");
+    }
+}

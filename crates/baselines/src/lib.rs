@@ -1,0 +1,29 @@
+//! Baseline spatial indices the paper compares RSMI against (§6.1).
+//!
+//! | Paper name | Type | Module |
+//! |---|---|---|
+//! | Grid       | Grid File (regular grid, block buckets)              | [`gridfile`] |
+//! | KDB        | K-D-B-tree (space-partitioning, block storage)       | [`kdb`]      |
+//! | HRR        | Rank-space Hilbert-packed R-tree (bulk-loaded)       | [`hrr`]      |
+//! | RR\*       | R\*-tree built by dynamic insertion                  | [`rstar`]    |
+//! | ZM         | Z-order learned model (3-level RMI over Z-values)    | [`zm`]       |
+//!
+//! Every index implements [`common::SpatialIndex`], stores its data points in
+//! blocks of the same capacity `B`, and charges node/block reads to an access
+//! counter so that the "# block accesses" axis of the paper's figures is
+//! comparable across index families.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gridfile;
+pub mod hrr;
+pub mod kdb;
+pub mod rstar;
+pub mod zm;
+
+pub use gridfile::GridFile;
+pub use hrr::HilbertRTree;
+pub use kdb::KdbTree;
+pub use rstar::RStarTree;
+pub use zm::ZOrderModel;

@@ -1,0 +1,639 @@
+//! R\*-tree baseline ("RR\*" in the paper's figures).
+//!
+//! The paper compares against the *revised* R\*-tree of Beckmann & Seeger
+//! (2009), using the authors' original C implementation.  That code is not
+//! redistributable, so this module provides a faithful classic R\*-tree
+//! (Beckmann et al., 1990) built by dynamic insertion: `ChooseSubtree` with
+//! overlap-minimising leaf selection and the R\*-axis/distribution split.
+//! Forced reinsertion is omitted (see DESIGN.md §2); its main effect is a
+//! modest quality improvement that does not change the comparison's shape —
+//! the role of RR\* in the evaluation is "strong dynamic R-tree baseline
+//! with slow, insertion-based construction".
+
+use common::SpatialIndex;
+use geom::{Point, Rect};
+use storage::AccessCounter;
+
+/// Maximum entries per node (paper: 100 points per leaf / 100 MBRs per node).
+const MAX_ENTRIES: usize = 100;
+/// Minimum fill after a split (40 % of the maximum, the R\*-tree default).
+const MIN_ENTRIES: usize = 40;
+
+#[derive(Debug, Clone)]
+enum NodeKind {
+    Leaf(Vec<Point>),
+    Internal(Vec<(Rect, usize)>),
+}
+
+#[derive(Debug, Clone)]
+struct RNode {
+    mbr: Rect,
+    kind: NodeKind,
+}
+
+impl RNode {
+    fn recompute_mbr(&mut self) {
+        self.mbr = match &self.kind {
+            NodeKind::Leaf(points) => points.iter().fold(Rect::empty(), |mut acc, p| {
+                acc.expand_to_point(*p);
+                acc
+            }),
+            NodeKind::Internal(children) => children
+                .iter()
+                .fold(Rect::empty(), |acc, (r, _)| acc.union(r)),
+        };
+    }
+
+    fn len(&self) -> usize {
+        match &self.kind {
+            NodeKind::Leaf(p) => p.len(),
+            NodeKind::Internal(c) => c.len(),
+        }
+    }
+}
+
+/// A pair of entry lists produced by a node split.
+type EntrySplit = (Vec<(Rect, usize)>, Vec<(Rect, usize)>);
+
+/// The R\*-tree index.
+#[derive(Debug)]
+pub struct RStarTree {
+    nodes: Vec<RNode>,
+    root: Option<usize>,
+    height: usize,
+    n_points: usize,
+    accesses: AccessCounter,
+    block_capacity: usize,
+}
+
+impl RStarTree {
+    /// Creates an empty tree.  `block_capacity` is accepted for interface
+    /// symmetry with the other indices; leaf capacity is [`MAX_ENTRIES`].
+    pub fn new(block_capacity: usize) -> Self {
+        Self {
+            nodes: Vec::new(),
+            root: None,
+            height: 0,
+            n_points: 0,
+            accesses: AccessCounter::new(),
+            block_capacity,
+        }
+    }
+
+    /// Builds the tree by inserting every point, which is how the paper
+    /// constructs RR\* (top-down insertions; Fig. 7b shows the resulting
+    /// high construction cost).
+    pub fn build(points: Vec<Point>, block_capacity: usize) -> Self {
+        let mut tree = Self::new(block_capacity);
+        for p in points {
+            tree.insert(p);
+        }
+        tree
+    }
+
+    fn new_node(&mut self, kind: NodeKind) -> usize {
+        let mut node = RNode {
+            mbr: Rect::empty(),
+            kind,
+        };
+        node.recompute_mbr();
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    /// R\*-tree ChooseSubtree: minimise overlap enlargement when the children
+    /// are leaves, area enlargement otherwise.
+    fn choose_subtree(&self, node: usize, p: &Point) -> usize {
+        let NodeKind::Internal(children) = &self.nodes[node].kind else {
+            unreachable!("choose_subtree is only called on internal nodes");
+        };
+        let point_rect = Rect::from_point(*p);
+        let children_are_leaves = children
+            .first()
+            .map(|(_, c)| matches!(self.nodes[*c].kind, NodeKind::Leaf(_)))
+            .unwrap_or(false);
+        let mut best = children[0].1;
+        let mut best_key = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+        for &(rect, child) in children {
+            let enlarged = rect.union(&point_rect);
+            let overlap_delta = if children_are_leaves {
+                // Overlap of the enlarged rectangle with all siblings, minus
+                // the current overlap.
+                children
+                    .iter()
+                    .filter(|(_, c)| *c != child)
+                    .map(|(r, _)| enlarged.intersection_area(r) - rect.intersection_area(r))
+                    .sum()
+            } else {
+                0.0
+            };
+            let key = (overlap_delta, rect.enlargement(&point_rect), rect.area());
+            if key < best_key {
+                best_key = key;
+                best = child;
+            }
+        }
+        best
+    }
+
+    /// R\*-tree split of a leaf's points: choose the axis with the smallest
+    /// total margin over all candidate distributions, then the distribution
+    /// with the smallest overlap (ties: smallest total area).
+    fn split_points(mut points: Vec<Point>) -> (Vec<Point>, Vec<Point>) {
+        let candidates = |pts: &mut Vec<Point>, by_x: bool| -> (f64, usize, f64, f64) {
+            if by_x {
+                pts.sort_by(|a, b| a.x.partial_cmp(&b.x).unwrap_or(std::cmp::Ordering::Equal));
+            } else {
+                pts.sort_by(|a, b| a.y.partial_cmp(&b.y).unwrap_or(std::cmp::Ordering::Equal));
+            }
+            let n = pts.len();
+            let mut margin_sum = 0.0;
+            let mut best_split = MIN_ENTRIES;
+            let mut best_overlap = f64::INFINITY;
+            let mut best_area = f64::INFINITY;
+            for split in MIN_ENTRIES..=(n - MIN_ENTRIES) {
+                let left = pts[..split].iter().fold(Rect::empty(), |mut acc, p| {
+                    acc.expand_to_point(*p);
+                    acc
+                });
+                let right = pts[split..].iter().fold(Rect::empty(), |mut acc, p| {
+                    acc.expand_to_point(*p);
+                    acc
+                });
+                margin_sum += left.margin() + right.margin();
+                let overlap = left.intersection_area(&right);
+                let area = left.area() + right.area();
+                if (overlap, area) < (best_overlap, best_area) {
+                    best_overlap = overlap;
+                    best_area = area;
+                    best_split = split;
+                }
+            }
+            (margin_sum, best_split, best_overlap, best_area)
+        };
+        let (margin_x, split_x, ..) = candidates(&mut points, true);
+        let (margin_y, split_y, ..) = candidates(&mut points, false);
+        // `points` is currently sorted by y (last call); resort if x wins.
+        let split = if margin_x <= margin_y {
+            points.sort_by(|a, b| a.x.partial_cmp(&b.x).unwrap_or(std::cmp::Ordering::Equal));
+            split_x
+        } else {
+            split_y
+        };
+        let right = points.split_off(split);
+        (points, right)
+    }
+
+    /// Same split procedure for internal entries, keyed on MBR centres.
+    fn split_entries(mut entries: Vec<(Rect, usize)>) -> EntrySplit {
+        let margin_of = |entries: &mut Vec<(Rect, usize)>, by_x: bool| -> (f64, usize) {
+            if by_x {
+                entries.sort_by(|a, b| {
+                    (a.0.min_x, a.0.max_x)
+                        .partial_cmp(&(b.0.min_x, b.0.max_x))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+            } else {
+                entries.sort_by(|a, b| {
+                    (a.0.min_y, a.0.max_y)
+                        .partial_cmp(&(b.0.min_y, b.0.max_y))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+            }
+            let n = entries.len();
+            let lo = MIN_ENTRIES.min(n / 2).max(1);
+            let mut margin_sum = 0.0;
+            let mut best_split = lo;
+            let mut best_key = (f64::INFINITY, f64::INFINITY);
+            for split in lo..=(n - lo) {
+                let left = entries[..split]
+                    .iter()
+                    .fold(Rect::empty(), |acc, (r, _)| acc.union(r));
+                let right = entries[split..]
+                    .iter()
+                    .fold(Rect::empty(), |acc, (r, _)| acc.union(r));
+                margin_sum += left.margin() + right.margin();
+                let key = (left.intersection_area(&right), left.area() + right.area());
+                if key < best_key {
+                    best_key = key;
+                    best_split = split;
+                }
+            }
+            (margin_sum, best_split)
+        };
+        let (margin_x, split_x) = margin_of(&mut entries, true);
+        let (margin_y, split_y) = margin_of(&mut entries, false);
+        let split = if margin_x <= margin_y {
+            entries.sort_by(|a, b| {
+                (a.0.min_x, a.0.max_x)
+                    .partial_cmp(&(b.0.min_x, b.0.max_x))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            split_x
+        } else {
+            split_y
+        };
+        let right = entries.split_off(split);
+        (entries, right)
+    }
+
+    /// Recursive insertion; returns a new sibling (MBR, node) when the child
+    /// was split.
+    fn insert_into(&mut self, node: usize, p: Point) -> Option<(Rect, usize)> {
+        match &self.nodes[node].kind {
+            NodeKind::Leaf(_) => {
+                if let NodeKind::Leaf(points) = &mut self.nodes[node].kind {
+                    points.push(p);
+                }
+                if self.nodes[node].len() > MAX_ENTRIES {
+                    let points = match std::mem::replace(&mut self.nodes[node].kind, NodeKind::Leaf(Vec::new())) {
+                        NodeKind::Leaf(pts) => pts,
+                        NodeKind::Internal(_) => unreachable!(),
+                    };
+                    let (left, right) = Self::split_points(points);
+                    self.nodes[node].kind = NodeKind::Leaf(left);
+                    self.nodes[node].recompute_mbr();
+                    let sibling = self.new_node(NodeKind::Leaf(right));
+                    Some((self.nodes[sibling].mbr, sibling))
+                } else {
+                    self.nodes[node].mbr.expand_to_point(p);
+                    None
+                }
+            }
+            NodeKind::Internal(_) => {
+                let child = self.choose_subtree(node, &p);
+                let split = self.insert_into(child, p);
+                // Refresh this child's MBR entry.
+                let child_mbr = self.nodes[child].mbr;
+                if let NodeKind::Internal(children) = &mut self.nodes[node].kind {
+                    if let Some(entry) = children.iter_mut().find(|(_, c)| *c == child) {
+                        entry.0 = child_mbr;
+                    }
+                    if let Some((mbr, sibling)) = split {
+                        children.push((mbr, sibling));
+                    }
+                }
+                self.nodes[node].recompute_mbr();
+                if self.nodes[node].len() > MAX_ENTRIES {
+                    let entries = match std::mem::replace(
+                        &mut self.nodes[node].kind,
+                        NodeKind::Internal(Vec::new()),
+                    ) {
+                        NodeKind::Internal(e) => e,
+                        NodeKind::Leaf(_) => unreachable!(),
+                    };
+                    let (left, right) = Self::split_entries(entries);
+                    self.nodes[node].kind = NodeKind::Internal(left);
+                    self.nodes[node].recompute_mbr();
+                    let sibling = self.new_node(NodeKind::Internal(right));
+                    Some((self.nodes[sibling].mbr, sibling))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+impl SpatialIndex for RStarTree {
+    fn name(&self) -> &'static str {
+        "RR*"
+    }
+
+    fn len(&self) -> usize {
+        self.n_points
+    }
+
+    fn point_query(&self, q: &Point) -> Option<Point> {
+        let root = self.root?;
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            if !self.nodes[id].mbr.contains(q) {
+                continue;
+            }
+            self.accesses.add(1);
+            match &self.nodes[id].kind {
+                NodeKind::Internal(children) => {
+                    for (rect, child) in children {
+                        if rect.contains(q) {
+                            stack.push(*child);
+                        }
+                    }
+                }
+                NodeKind::Leaf(points) => {
+                    if let Some(p) = points.iter().find(|p| p.x == q.x && p.y == q.y) {
+                        return Some(*p);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    fn window_query(&self, window: &Rect) -> Vec<Point> {
+        let mut out = Vec::new();
+        let Some(root) = self.root else { return out };
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            if !self.nodes[id].mbr.intersects(window) {
+                continue;
+            }
+            self.accesses.add(1);
+            match &self.nodes[id].kind {
+                NodeKind::Internal(children) => {
+                    for (rect, child) in children {
+                        if rect.intersects(window) {
+                            stack.push(*child);
+                        }
+                    }
+                }
+                NodeKind::Leaf(points) => {
+                    for p in points {
+                        if window.contains(p) {
+                            out.push(*p);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn knn_query(&self, q: &Point, k: usize) -> Vec<Point> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        enum Item {
+            Node(usize),
+            Point(Point),
+        }
+        struct Entry(f64, Item);
+        impl PartialEq for Entry {
+            fn eq(&self, other: &Self) -> bool {
+                self.0 == other.0
+            }
+        }
+        impl Eq for Entry {}
+        impl Ord for Entry {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.0.partial_cmp(&other.0).unwrap_or(std::cmp::Ordering::Equal)
+            }
+        }
+        impl PartialOrd for Entry {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        let mut out = Vec::new();
+        if k == 0 {
+            return out;
+        }
+        let Some(root) = self.root else { return out };
+        let mut heap = BinaryHeap::new();
+        heap.push(Reverse(Entry(self.nodes[root].mbr.min_dist(q), Item::Node(root))));
+        while let Some(Reverse(Entry(_, item))) = heap.pop() {
+            match item {
+                Item::Point(p) => {
+                    out.push(p);
+                    if out.len() == k {
+                        break;
+                    }
+                }
+                Item::Node(id) => {
+                    self.accesses.add(1);
+                    match &self.nodes[id].kind {
+                        NodeKind::Internal(children) => {
+                            for (rect, child) in children {
+                                heap.push(Reverse(Entry(rect.min_dist(q), Item::Node(*child))));
+                            }
+                        }
+                        NodeKind::Leaf(points) => {
+                            for p in points {
+                                heap.push(Reverse(Entry(p.dist(q), Item::Point(*p))));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn insert(&mut self, p: Point) {
+        match self.root {
+            None => {
+                let root = self.new_node(NodeKind::Leaf(vec![p]));
+                self.root = Some(root);
+                self.height = 1;
+            }
+            Some(root) => {
+                if let Some((sibling_mbr, sibling)) = self.insert_into(root, p) {
+                    // Root split: grow the tree by one level.
+                    let old_root_mbr = self.nodes[root].mbr;
+                    let new_root = self.new_node(NodeKind::Internal(vec![
+                        (old_root_mbr, root),
+                        (sibling_mbr, sibling),
+                    ]));
+                    self.root = Some(new_root);
+                    self.height += 1;
+                }
+            }
+        }
+        self.n_points += 1;
+    }
+
+    fn delete(&mut self, p: &Point) -> bool {
+        // Locate the leaf containing p via an MBR-guided search, remove it,
+        // and tighten ancestor MBRs.  Underflow handling (entry reinsertion)
+        // is omitted: the paper's deletion experiments only flag points as
+        // deleted as well.
+        let Some(root) = self.root else { return false };
+        fn recurse(tree: &mut RStarTree, node: usize, p: &Point) -> bool {
+            if !tree.nodes[node].mbr.contains(p) {
+                return false;
+            }
+            tree.accesses.add(1);
+            match tree.nodes[node].kind.clone() {
+                NodeKind::Leaf(_) => {
+                    if let NodeKind::Leaf(points) = &mut tree.nodes[node].kind {
+                        let before = points.len();
+                        points.retain(|q| !(q.x == p.x && q.y == p.y && (q.id == p.id || p.id == 0)));
+                        if points.len() != before {
+                            tree.nodes[node].recompute_mbr();
+                            return true;
+                        }
+                    }
+                    false
+                }
+                NodeKind::Internal(children) => {
+                    for (rect, child) in children {
+                        if rect.contains(p) && recurse(tree, child, p) {
+                            let child_mbr = tree.nodes[child].mbr;
+                            if let NodeKind::Internal(entries) = &mut tree.nodes[node].kind {
+                                if let Some(entry) = entries.iter_mut().find(|(_, c)| *c == child) {
+                                    entry.0 = child_mbr;
+                                }
+                            }
+                            tree.nodes[node].recompute_mbr();
+                            return true;
+                        }
+                    }
+                    false
+                }
+            }
+        }
+        if recurse(self, root, p) {
+            self.n_points -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn block_accesses(&self) -> u64 {
+        self.accesses.get()
+    }
+
+    fn reset_stats(&self) {
+        self.accesses.reset();
+    }
+
+    fn size_bytes(&self) -> usize {
+        // R*-tree nodes are charged at full capacity (like disk pages); this
+        // is why RR* is the largest structure in Fig. 7a.
+        let leaf_page = self.block_capacity.max(MAX_ENTRIES) * std::mem::size_of::<Point>();
+        self.nodes
+            .iter()
+            .map(|n| match &n.kind {
+                NodeKind::Leaf(_) => leaf_page,
+                NodeKind::Internal(_) => MAX_ENTRIES * (std::mem::size_of::<Rect>() + 8),
+            })
+            .sum::<usize>()
+            + self.nodes.len() * std::mem::size_of::<Rect>()
+    }
+
+    fn height(&self) -> usize {
+        self.height
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use common::brute_force;
+    use datagen::{generate, Distribution};
+
+    fn build_small(n: usize) -> (Vec<Point>, RStarTree) {
+        let pts = generate(Distribution::Normal, n, 37);
+        let tree = RStarTree::build(pts.clone(), 100);
+        (pts, tree)
+    }
+
+    #[test]
+    fn point_queries_find_every_point() {
+        let (pts, tree) = build_small(1200);
+        for p in &pts {
+            assert_eq!(tree.point_query(p).map(|f| f.id), Some(p.id));
+        }
+        assert!(tree.point_query(&Point::new(0.123, 0.321)).is_none());
+    }
+
+    #[test]
+    fn node_occupancy_respects_bounds_after_splits() {
+        let (_, tree) = build_small(3000);
+        for (i, node) in tree.nodes.iter().enumerate() {
+            if Some(i) == tree.root {
+                continue;
+            }
+            assert!(node.len() <= MAX_ENTRIES, "node {i} overflows");
+        }
+        assert!(tree.height() >= 2);
+    }
+
+    #[test]
+    fn mbrs_contain_their_subtrees() {
+        let (_, tree) = build_small(2000);
+        fn check(tree: &RStarTree, node: usize) {
+            match &tree.nodes[node].kind {
+                NodeKind::Leaf(points) => {
+                    for p in points {
+                        assert!(tree.nodes[node].mbr.contains(p));
+                    }
+                }
+                NodeKind::Internal(children) => {
+                    for (rect, child) in children {
+                        assert!(tree.nodes[node].mbr.contains_rect(rect));
+                        assert!(rect.contains_rect(&tree.nodes[*child].mbr));
+                        check(tree, *child);
+                    }
+                }
+            }
+        }
+        check(&tree, tree.root.unwrap());
+    }
+
+    #[test]
+    fn window_queries_are_exact() {
+        let (pts, tree) = build_small(2500);
+        for w in [
+            Rect::new(0.45, 0.45, 0.55, 0.55),
+            Rect::new(0.0, 0.0, 1.0, 1.0),
+            Rect::new(0.3, 0.6, 0.35, 0.9),
+        ] {
+            let mut truth: Vec<u64> = brute_force::window_query(&pts, &w).iter().map(|p| p.id).collect();
+            let mut got: Vec<u64> = tree.window_query(&w).iter().map(|p| p.id).collect();
+            truth.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(got, truth);
+        }
+    }
+
+    #[test]
+    fn knn_matches_brute_force_distances() {
+        let (pts, tree) = build_small(1500);
+        for q in [Point::new(0.5, 0.5), Point::new(0.1, 0.85)] {
+            for k in [1, 10, 100] {
+                let truth = brute_force::knn_query(&pts, &q, k);
+                let got = tree.knn_query(&q, k);
+                assert_eq!(got.len(), k);
+                for (t, g) in truth.iter().zip(&got) {
+                    assert!((t.dist(&q) - g.dist(&q)).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delete_removes_points_and_shrinks_count() {
+        let (pts, mut tree) = build_small(800);
+        for p in pts.iter().take(50) {
+            assert!(tree.delete(p), "failed to delete {p:?}");
+            assert!(tree.point_query(p).is_none());
+        }
+        assert_eq!(tree.len(), 750);
+        assert!(!tree.delete(&pts[0]));
+    }
+
+    #[test]
+    fn empty_tree_queries_and_first_insert() {
+        let mut tree = RStarTree::new(100);
+        assert!(tree.point_query(&Point::new(0.5, 0.5)).is_none());
+        assert!(tree.window_query(&Rect::unit()).is_empty());
+        assert!(tree.knn_query(&Point::new(0.5, 0.5), 3).is_empty());
+        tree.insert(Point::with_id(0.4, 0.2, 9));
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.height(), 1);
+        assert!(tree.point_query(&Point::new(0.4, 0.2)).is_some());
+    }
+
+    #[test]
+    fn access_accounting_and_size_reporting() {
+        let (pts, tree) = build_small(2000);
+        tree.reset_stats();
+        let _ = tree.point_query(&pts[3]);
+        assert!(tree.block_accesses() >= 2);
+        assert!(tree.size_bytes() > 0);
+        assert_eq!(tree.name(), "RR*");
+    }
+}

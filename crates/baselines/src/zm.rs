@@ -1,0 +1,635 @@
+//! ZM — the learned Z-order model baseline (Wang et al., MDM 2019), as
+//! implemented by the RSMI paper's authors for their comparison: "a recursive
+//! version of the model with three levels with 1, √(n/B²), and n/B²
+//! sub-models each" (§6.1).
+//!
+//! The model maps a point's Z-curve value (computed on the raw coordinates,
+//! *not* in rank space — that is exactly the difference RSMI addresses) to
+//! the rank of the point among all points sorted by Z-value.  The rank
+//! determines the data block (`rank / B`).
+
+use common::SpatialIndex;
+use geom::{Point, Rect};
+use mlp::{MlpConfig, ScaledRegressor};
+use sfc::zcurve;
+use storage::{BlockId, BlockStore};
+
+/// Bits per dimension of the Z-curve grid.  With 20 bits per dimension the
+/// 40-bit curve value is exactly representable in an `f64` mantissa, so the
+/// learned models see no quantisation noise.
+const Z_ORDER: u32 = 20;
+
+/// Configuration of the ZM baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct ZmConfig {
+    /// Block capacity `B`.
+    pub block_capacity: usize,
+    /// Training epochs per sub-model.
+    pub epochs: usize,
+    /// SGD learning rate.
+    pub learning_rate: f64,
+    /// Seed for deterministic training.
+    pub seed: u64,
+}
+
+impl Default for ZmConfig {
+    fn default() -> Self {
+        Self {
+            block_capacity: 100,
+            epochs: 40,
+            learning_rate: 0.15,
+            seed: 42,
+        }
+    }
+}
+
+impl ZmConfig {
+    /// Small configuration for tests.
+    pub fn fast() -> Self {
+        Self {
+            block_capacity: 50,
+            epochs: 25,
+            learning_rate: 0.3,
+            ..Self::default()
+        }
+    }
+}
+
+/// The three-level recursive Z-order model ("ZM" in the figures).
+#[derive(Debug)]
+pub struct ZOrderModel {
+    config: ZmConfig,
+    store: BlockStore,
+    root: Option<ScaledRegressor>,
+    level1: Vec<Option<ScaledRegressor>>,
+    level2: Vec<Option<ScaledRegressor>>,
+    /// Live point count (grows/shrinks with updates).
+    n_points: usize,
+    /// Point count at bulk-load time; model routing and rank clamping must
+    /// use this fixed value so that predictions stay deterministic across
+    /// later insertions and deletions.
+    built_n: usize,
+    model_count: usize,
+}
+
+impl ZOrderModel {
+    /// Bulk-loads the ZM index.
+    pub fn build(points: Vec<Point>, config: ZmConfig) -> Self {
+        let n = points.len();
+        let mut store = BlockStore::new(config.block_capacity);
+        if n == 0 {
+            return Self {
+                config,
+                store,
+                root: None,
+                level1: Vec::new(),
+                level2: Vec::new(),
+                n_points: 0,
+                built_n: 0,
+                model_count: 0,
+            };
+        }
+        // Sort by Z-value and pack into blocks.
+        let mut keyed: Vec<(u64, Point)> = points
+            .iter()
+            .map(|p| (zcurve::encode_unit(p.x, p.y, Z_ORDER), *p))
+            .collect();
+        keyed.sort_by_key(|(z, p)| (*z, p.id));
+        let ordered: Vec<Point> = keyed.iter().map(|(_, p)| *p).collect();
+        store.pack(&ordered);
+
+        let keys: Vec<Vec<f64>> = keyed.iter().map(|(z, _)| vec![*z as f64]).collect();
+        let ranks: Vec<u64> = (0..n as u64).collect();
+
+        let b2 = (config.block_capacity * config.block_capacity) as f64;
+        let m1 = ((n as f64 / b2).sqrt().ceil() as usize).max(1);
+        let m2 = ((n as f64 / b2).ceil() as usize).max(1);
+
+        let mlp_config = |seed_offset: u64| MlpConfig {
+            input_dim: 1,
+            hidden: 16,
+            learning_rate: config.learning_rate,
+            epochs: config.epochs,
+            batch_size: 32,
+            seed: config.seed.wrapping_add(seed_offset),
+        };
+
+        let mut model_count = 0usize;
+        // Level 0: one model over the whole key space.
+        let root = ScaledRegressor::fit(mlp_config(0), &keys, &ranks);
+        model_count += 1;
+
+        // Level 1: assign each point by the root's predicted rank.
+        let mut groups1: Vec<Vec<usize>> = vec![Vec::new(); m1];
+        for (i, key) in keys.iter().enumerate() {
+            let pred = root.predict(key);
+            let idx = ((pred as usize * m1) / n).min(m1 - 1);
+            groups1[idx].push(i);
+        }
+        let mut level1: Vec<Option<ScaledRegressor>> = Vec::with_capacity(m1);
+        for (g, idxs) in groups1.iter().enumerate() {
+            if idxs.is_empty() {
+                level1.push(None);
+                continue;
+            }
+            let sub_keys: Vec<Vec<f64>> = idxs.iter().map(|&i| keys[i].clone()).collect();
+            let sub_ranks: Vec<u64> = idxs.iter().map(|&i| ranks[i]).collect();
+            level1.push(Some(ScaledRegressor::fit(
+                mlp_config(1 + g as u64),
+                &sub_keys,
+                &sub_ranks,
+            )));
+            model_count += 1;
+        }
+
+        // Level 2: assign by the level-1 predictions.
+        let mut groups2: Vec<Vec<usize>> = vec![Vec::new(); m2];
+        for (g, idxs) in groups1.iter().enumerate() {
+            let model = level1[g].as_ref().expect("group non-empty implies model");
+            for &i in idxs {
+                let pred = model.predict(&keys[i]);
+                let idx = ((pred as usize * m2) / n).min(m2 - 1);
+                groups2[idx].push(i);
+            }
+        }
+        let mut level2: Vec<Option<ScaledRegressor>> = Vec::with_capacity(m2);
+        for (g, idxs) in groups2.iter().enumerate() {
+            if idxs.is_empty() {
+                level2.push(None);
+                continue;
+            }
+            let sub_keys: Vec<Vec<f64>> = idxs.iter().map(|&i| keys[i].clone()).collect();
+            let sub_ranks: Vec<u64> = idxs.iter().map(|&i| ranks[i]).collect();
+            level2.push(Some(ScaledRegressor::fit(
+                mlp_config(1000 + g as u64),
+                &sub_keys,
+                &sub_ranks,
+            )));
+            model_count += 1;
+        }
+
+        Self {
+            config,
+            store,
+            root: Some(root),
+            level1,
+            level2,
+            n_points: n,
+            built_n: n,
+            model_count,
+        }
+    }
+
+    /// The number of learned sub-models (1 + m1 + m2 minus empty slots).
+    pub fn model_count(&self) -> usize {
+        self.model_count
+    }
+
+    /// Maximum error bounds over the leaf-level models, in *blocks*
+    /// (reported in Table 4 of the paper).
+    pub fn error_bounds_blocks(&self) -> (u64, u64) {
+        let b = self.config.block_capacity as u64;
+        let mut below = 0;
+        let mut above = 0;
+        for m in self.level2.iter().flatten() {
+            below = below.max(m.err_below().div_ceil(b));
+            above = above.max(m.err_above().div_ceil(b));
+        }
+        (below, above)
+    }
+
+    fn nearest_model(
+        models: &[Option<ScaledRegressor>],
+        idx: usize,
+    ) -> Option<&ScaledRegressor> {
+        if let Some(Some(m)) = models.get(idx) {
+            return Some(m);
+        }
+        for offset in 1..models.len().max(1) {
+            if idx >= offset {
+                if let Some(m) = &models[idx - offset] {
+                    return Some(m);
+                }
+            }
+            if idx + offset < models.len() {
+                if let Some(m) = &models[idx + offset] {
+                    return Some(m);
+                }
+            }
+        }
+        None
+    }
+
+    /// Predicted rank range `[lo, hi]` for a Z-value, covering the leaf
+    /// model's error bounds.
+    fn predicted_rank_range(&self, z: u64) -> Option<(u64, u64)> {
+        let root = self.root.as_ref()?;
+        let key = [z as f64];
+        // Use the bulk-load cardinality, not the live count: routing must be
+        // identical for the same key before and after updates, otherwise a
+        // point inserted earlier could fall outside a later scan range.
+        let n = self.built_n;
+        let pred0 = root.predict(&key);
+        let idx1 = ((pred0 as usize * self.level1.len()) / n).min(self.level1.len() - 1);
+        let m1 = Self::nearest_model(&self.level1, idx1)?;
+        let pred1 = m1.predict(&key);
+        let idx2 = ((pred1 as usize * self.level2.len()) / n).min(self.level2.len() - 1);
+        let m2 = Self::nearest_model(&self.level2, idx2)?;
+        let pred2 = m2.predict(&key);
+        let lo = pred2.saturating_sub(m2.err_above());
+        let hi = (pred2 + m2.err_below()).min(n as u64 - 1);
+        Some((lo, hi))
+    }
+
+    /// Predicted block range for a Z-value.
+    fn predicted_block_range(&self, z: u64) -> Option<(BlockId, BlockId)> {
+        let (lo, hi) = self.predicted_rank_range(z)?;
+        let b = self.config.block_capacity as u64;
+        let max_block = self.store.len().saturating_sub(1);
+        Some((
+            ((lo / b) as usize).min(max_block),
+            ((hi / b) as usize).min(max_block),
+        ))
+    }
+
+    /// Scans blocks `begin..=end` (following the chain, including overflow
+    /// blocks) and applies `f` to each.
+    fn scan_chain(&self, begin: BlockId, end: BlockId, mut f: impl FnMut(&storage::Block)) {
+        let mut cur = Some(begin);
+        let mut guard = self.store.len() + 1;
+        while let Some(id) = cur {
+            let block = self.store.read(id);
+            f(block);
+            if id == end {
+                let mut next = block.next();
+                while let Some(nb) = next {
+                    if !self.store.peek(nb).is_overflow() {
+                        break;
+                    }
+                    let ov = self.store.read(nb);
+                    f(ov);
+                    next = ov.next();
+                }
+                break;
+            }
+            cur = block.next();
+            guard -= 1;
+            if guard == 0 {
+                break;
+            }
+        }
+    }
+
+    /// Read access to the underlying block store.
+    pub fn block_store(&self) -> &BlockStore {
+        &self.store
+    }
+}
+
+impl SpatialIndex for ZOrderModel {
+    fn name(&self) -> &'static str {
+        "ZM"
+    }
+
+    fn len(&self) -> usize {
+        self.n_points
+    }
+
+    fn point_query(&self, q: &Point) -> Option<Point> {
+        let z = zcurve::encode_unit(q.x, q.y, Z_ORDER);
+        let (lo, hi) = self.predicted_block_range(z)?;
+        let mut found = None;
+        self.scan_chain(lo, hi, |block| {
+            if found.is_none() {
+                if let Some(p) = block.find_at(q.x, q.y) {
+                    found = Some(*p);
+                }
+            }
+        });
+        found
+    }
+
+    fn window_query(&self, window: &Rect) -> Vec<Point> {
+        let mut out = Vec::new();
+        if self.n_points == 0 {
+            return out;
+        }
+        // For the Z-curve the minimum and maximum curve values inside the
+        // window are attained at its bottom-left and top-right corners.
+        let zl = zcurve::encode_unit(window.min_x, window.min_y, Z_ORDER);
+        let zh = zcurve::encode_unit(window.max_x, window.max_y, Z_ORDER);
+        let Some((lo, _)) = self.predicted_block_range(zl) else {
+            return out;
+        };
+        let Some((_, hi)) = self.predicted_block_range(zh) else {
+            return out;
+        };
+        let (lo, hi) = (lo.min(hi), hi.max(lo));
+        self.scan_chain(lo, hi, |block| {
+            for p in block.points() {
+                if window.contains(p) {
+                    out.push(*p);
+                }
+            }
+        });
+        out
+    }
+
+    fn knn_query(&self, q: &Point, k: usize) -> Vec<Point> {
+        // The ZM paper has no kNN algorithm; the RSMI authors run their own
+        // search-region-expansion algorithm on top of ZM (§6.2.4).  The skew
+        // parameters default to 1 since ZM learns no marginal CDFs.
+        if k == 0 || self.n_points == 0 {
+            return Vec::new();
+        }
+        let k_eff = k.min(self.n_points);
+        let base = (k_eff as f64 / self.n_points as f64).sqrt();
+        let mut width = base;
+        let mut height = base;
+        let mut best: Vec<(f64, Point)> = Vec::with_capacity(k_eff + 1);
+        loop {
+            let window = Rect::centered(q.x, q.y, width, height);
+            best.clear();
+            let candidates = self.window_query(&window);
+            for p in candidates {
+                let d = p.dist(q);
+                let pos = best
+                    .binary_search_by(|(bd, bp)| {
+                        bd.partial_cmp(&d)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then(bp.id.cmp(&p.id))
+                    })
+                    .unwrap_or_else(|e| e);
+                if pos < k_eff {
+                    best.insert(pos, (d, p));
+                    if best.len() > k_eff {
+                        best.pop();
+                    }
+                }
+            }
+            let covers_space = width >= 2.0 && height >= 2.0;
+            if best.len() < k_eff {
+                if covers_space {
+                    // Guarantee k results: fall back to scanning all blocks.
+                    best.clear();
+                    for (_, block) in self.store.iter() {
+                        for p in block.points() {
+                            let d = p.dist(q);
+                            let pos = best
+                                .binary_search_by(|(bd, bp)| {
+                                    bd.partial_cmp(&d)
+                                        .unwrap_or(std::cmp::Ordering::Equal)
+                                        .then(bp.id.cmp(&p.id))
+                                })
+                                .unwrap_or_else(|e| e);
+                            if pos < k_eff {
+                                best.insert(pos, (d, *p));
+                                if best.len() > k_eff {
+                                    best.pop();
+                                }
+                            }
+                        }
+                    }
+                    break;
+                }
+                width = (width * 2.0).min(2.0);
+                height = (height * 2.0).min(2.0);
+                continue;
+            }
+            let dk = best[k_eff - 1].0;
+            if dk > (width * width + height * height).sqrt() / 2.0 && !covers_space {
+                width = (2.0 * dk).min(2.0);
+                height = (2.0 * dk).min(2.0);
+                continue;
+            }
+            break;
+        }
+        best.into_iter().map(|(_, p)| p).collect()
+    }
+
+    fn insert(&mut self, p: Point) {
+        if self.n_points == 0 {
+            *self = ZOrderModel::build(vec![p], self.config);
+            return;
+        }
+        let z = zcurve::encode_unit(p.x, p.y, Z_ORDER);
+        let (lo, hi) = self
+            .predicted_block_range(z)
+            .expect("non-empty index has models");
+        // Insert into the predicted block (middle of the range), or the
+        // first block of its overflow chain that has space, or a new
+        // overflow block.
+        let target_base = (lo + hi) / 2;
+        let chain = self.store.overflow_chain(target_base);
+        let mut target = None;
+        for id in &chain {
+            if !self.store.read(*id).is_full() {
+                target = Some(*id);
+                break;
+            }
+        }
+        let target = target.unwrap_or_else(|| {
+            self.store
+                .insert_overflow_after(*chain.last().expect("chain non-empty"))
+        });
+        self.store.write(target).push(p);
+        self.n_points += 1;
+    }
+
+    fn delete(&mut self, p: &Point) -> bool {
+        if self.n_points == 0 {
+            return false;
+        }
+        let z = zcurve::encode_unit(p.x, p.y, Z_ORDER);
+        let Some((lo, hi)) = self.predicted_block_range(z) else {
+            return false;
+        };
+        // Search the predicted chain explicitly (instead of via `scan_chain`)
+        // so the block can be mutated once the victim is located.
+        let mut victim: Option<(BlockId, u64)> = None;
+        let mut cur = Some(lo);
+        let mut guard = self.store.len() + 1;
+        while let Some(id) = cur {
+            let block = self.store.read(id);
+            if let Some(found) = block.find_at(p.x, p.y) {
+                if found.id == p.id || p.id == 0 {
+                    victim = Some((id, found.id));
+                    break;
+                }
+            }
+            if id == hi {
+                let mut next = block.next();
+                while let Some(nb) = next {
+                    if !self.store.peek(nb).is_overflow() {
+                        break;
+                    }
+                    let ov = self.store.read(nb);
+                    if let Some(found) = ov.find_at(p.x, p.y) {
+                        if found.id == p.id || p.id == 0 {
+                            victim = Some((nb, found.id));
+                            break;
+                        }
+                    }
+                    next = ov.next();
+                }
+                break;
+            }
+            cur = block.next();
+            guard -= 1;
+            if guard == 0 {
+                break;
+            }
+        }
+        if let Some((block_id, point_id)) = victim {
+            self.store.write(block_id).remove_by_id(point_id);
+            self.n_points -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn block_accesses(&self) -> u64 {
+        self.store.block_accesses()
+    }
+
+    fn reset_stats(&self) {
+        self.store.reset_stats();
+    }
+
+    fn size_bytes(&self) -> usize {
+        let models: usize = self.root.as_ref().map(|m| m.size_bytes()).unwrap_or(0)
+            + self
+                .level1
+                .iter()
+                .flatten()
+                .map(ScaledRegressor::size_bytes)
+                .sum::<usize>()
+            + self
+                .level2
+                .iter()
+                .flatten()
+                .map(ScaledRegressor::size_bytes)
+                .sum::<usize>();
+        self.store.size_bytes() + models
+    }
+
+    fn height(&self) -> usize {
+        3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use common::{brute_force, metrics};
+    use datagen::{generate, Distribution};
+
+    fn build_small(n: usize) -> (Vec<Point>, ZOrderModel) {
+        let pts = generate(Distribution::Uniform, n, 17);
+        let zm = ZOrderModel::build(pts.clone(), ZmConfig::fast());
+        (pts, zm)
+    }
+
+    #[test]
+    fn point_queries_find_every_point() {
+        let (pts, zm) = build_small(1200);
+        for p in &pts {
+            let found = zm.point_query(p);
+            assert_eq!(found.map(|f| f.id), Some(p.id), "lost {p:?}");
+        }
+    }
+
+    #[test]
+    fn point_query_misses_absent_points() {
+        let (_, zm) = build_small(500);
+        assert!(zm.point_query(&Point::new(0.111111, 0.222222)).is_none());
+    }
+
+    #[test]
+    fn window_queries_have_no_false_positives_and_reasonable_recall() {
+        let (pts, zm) = build_small(2000);
+        let mut recalls = Vec::new();
+        for w in [
+            Rect::new(0.1, 0.1, 0.3, 0.3),
+            Rect::new(0.45, 0.45, 0.55, 0.6),
+            Rect::new(0.7, 0.2, 0.95, 0.4),
+        ] {
+            let truth = brute_force::window_query(&pts, &w);
+            let got = zm.window_query(&w);
+            assert_eq!(metrics::false_positive_rate(&got, &truth), 0.0);
+            recalls.push(metrics::recall(&got, &truth));
+        }
+        assert!(metrics::mean(&recalls) > 0.8, "recall {recalls:?}");
+    }
+
+    #[test]
+    fn knn_returns_k_points_with_decent_recall() {
+        let (pts, zm) = build_small(2000);
+        let q = Point::new(0.4, 0.6);
+        let k = 10;
+        let got = zm.knn_query(&q, k);
+        assert_eq!(got.len(), k);
+        let truth = brute_force::knn_query(&pts, &q, k);
+        assert!(metrics::knn_recall(&got, &truth, &q, k) > 0.7);
+    }
+
+    #[test]
+    fn insert_and_delete_round_trip() {
+        let (_, mut zm) = build_small(800);
+        let p = Point::with_id(0.31415, 0.27182, 777_777);
+        zm.insert(p);
+        assert_eq!(zm.len(), 801);
+        assert_eq!(zm.point_query(&p).map(|f| f.id), Some(p.id));
+        assert!(zm.delete(&p));
+        assert!(zm.point_query(&p).is_none());
+        assert_eq!(zm.len(), 800);
+    }
+
+    #[test]
+    fn error_bounds_and_model_count_are_reported() {
+        let (_, zm) = build_small(3000);
+        assert!(zm.model_count() >= 3);
+        let (below, above) = zm.error_bounds_blocks();
+        // The Z-order model on raw coordinates has non-trivial error bounds.
+        assert!(below + above > 0);
+        assert_eq!(zm.height(), 3);
+        assert_eq!(zm.name(), "ZM");
+        assert!(zm.size_bytes() > 0);
+    }
+
+    #[test]
+    fn routing_is_stable_across_many_updates() {
+        // Regression test: model routing must use the bulk-load cardinality,
+        // not the live count, or points inserted earlier become unreachable
+        // as the count drifts.
+        let (pts, mut zm) = build_small(1000);
+        let inserted: Vec<Point> = (0..300)
+            .map(|i| {
+                let base = pts[(i * 3) % pts.len()];
+                Point::with_id((base.x + 1e-5).min(1.0), base.y, 500_000 + i as u64)
+            })
+            .collect();
+        for (i, p) in inserted.iter().enumerate() {
+            zm.insert(*p);
+            // Interleave deletions so the live count also shrinks.
+            if i % 4 == 0 {
+                assert!(zm.delete(&pts[i]), "delete of original point {i} failed");
+            }
+        }
+        for p in &inserted {
+            assert_eq!(zm.point_query(p).map(|f| f.id), Some(p.id), "lost {p:?}");
+        }
+    }
+
+    #[test]
+    fn empty_zm_handles_queries_and_bootstrap_insert() {
+        let mut zm = ZOrderModel::build(vec![], ZmConfig::fast());
+        assert!(zm.point_query(&Point::new(0.5, 0.5)).is_none());
+        assert!(zm.window_query(&Rect::unit()).is_empty());
+        assert!(zm.knn_query(&Point::new(0.5, 0.5), 3).is_empty());
+        zm.insert(Point::with_id(0.5, 0.5, 1));
+        assert_eq!(zm.len(), 1);
+        assert!(zm.point_query(&Point::new(0.5, 0.5)).is_some());
+    }
+}

@@ -1,0 +1,38 @@
+//! kNN-query latency benchmarks (Figs. 14–16): per-query latency of every
+//! index family at the paper's default k = 25.
+
+use bench::{build_index, AnyIndex, HarnessConfig, IndexKind};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::{generate, queries, Distribution};
+
+fn bench_knn_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knn_query_skewed_20k_k25");
+    group.sample_size(30);
+    let data = generate(Distribution::skewed_default(), 20_000, 1);
+    let qs = queries::knn_queries(&data, 128, 3);
+    let cfg = HarnessConfig {
+        block_capacity: 100,
+        partition_threshold: 5_000,
+        epochs: 20,
+        seed: 1,
+    };
+    for kind in IndexKind::all() {
+        let built = build_index(kind, &data, &cfg);
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &built, |b, built| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = &qs[i % qs.len()];
+                i += 1;
+                let res = match (&built.index, built.kind) {
+                    (AnyIndex::Rsmi(r), IndexKind::Rsmia) => r.knn_query_exact(q, 25),
+                    _ => built.index.as_index().knn_query(q, 25),
+                };
+                black_box(res)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_knn_queries);
+criterion_main!(benches);

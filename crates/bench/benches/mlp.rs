@@ -1,0 +1,54 @@
+//! Micro-benchmarks of the learned-model substrate: training cost (the
+//! construction-time component of Figs. 7b/9b and Table 3) and inference cost
+//! (the O(M) term of every RSMI query).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mlp::{MlpConfig, ScaledRegressor};
+
+fn training_set(n: usize) -> (Vec<Vec<f64>>, Vec<u64>) {
+    let inputs: Vec<Vec<f64>> = (0..n)
+        .map(|i| vec![(i % 100) as f64 / 100.0, (i / 100) as f64 / 100.0])
+        .collect();
+    let targets: Vec<u64> = (0..n).map(|i| (i / 100) as u64).collect();
+    (inputs, targets)
+}
+
+fn bench_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mlp_train");
+    group.sample_size(10);
+    let (inputs, targets) = training_set(2_000);
+    let cfg = MlpConfig {
+        input_dim: 2,
+        hidden: 32,
+        learning_rate: 0.15,
+        epochs: 20,
+        batch_size: 32,
+        seed: 1,
+    };
+    group.bench_function("fit_2k_points_20_epochs", |b| {
+        b.iter(|| ScaledRegressor::fit(cfg, black_box(&inputs), black_box(&targets)))
+    });
+    group.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mlp_predict");
+    group.sample_size(100);
+    let (inputs, targets) = training_set(2_000);
+    let cfg = MlpConfig {
+        input_dim: 2,
+        hidden: 51, // the paper's hidden-layer size for 100 output blocks
+        learning_rate: 0.15,
+        epochs: 10,
+        batch_size: 32,
+        seed: 1,
+    };
+    let model = ScaledRegressor::fit(cfg, &inputs, &targets);
+    group.bench_function("predict_xy_hidden51", |b| {
+        b.iter(|| model.predict_xy(black_box(0.42), black_box(0.58)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_training, bench_inference);
+criterion_main!(benches);

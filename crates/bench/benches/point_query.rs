@@ -1,0 +1,35 @@
+//! Point-query latency benchmarks (Figs. 6a and 8a): per-query latency of
+//! every index family on the same Skewed data set.
+
+use bench::{build_index, HarnessConfig, IndexKind};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::{generate, queries, Distribution};
+
+fn bench_point_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("point_query_skewed_20k");
+    group.sample_size(30);
+    let data = generate(Distribution::skewed_default(), 20_000, 1);
+    let qs = queries::point_queries(&data, 256, 3);
+    let cfg = HarnessConfig {
+        block_capacity: 100,
+        partition_threshold: 5_000,
+        epochs: 20,
+        seed: 1,
+    };
+    for kind in IndexKind::without_rsmia() {
+        let built = build_index(kind, &data, &cfg);
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &built, |b, built| {
+            let index = built.index.as_index();
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = &qs[i % qs.len()];
+                i += 1;
+                black_box(index.point_query(q))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_point_queries);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Micro-benchmarks of the space-filling-curve substrate: the per-point
+//! encoding cost that enters every bulk-load and query (latency component of
+//! Figs. 6–16).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use datagen::{generate, Distribution};
+use sfc::{hilbert, zcurve, CurveKind, RankSpace};
+
+fn bench_curves(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sfc_encode");
+    group.sample_size(50);
+    group.bench_function("z_encode", |b| {
+        b.iter(|| zcurve::encode(black_box(123_456), black_box(654_321)))
+    });
+    group.bench_function("hilbert_encode_order20", |b| {
+        b.iter(|| hilbert::encode(black_box(123_456), black_box(654_321), 20))
+    });
+    group.bench_function("z_decode", |b| {
+        b.iter(|| zcurve::decode(black_box(0x0000_5555_AAAA_FFFF)))
+    });
+    group.bench_function("hilbert_decode_order20", |b| {
+        b.iter(|| hilbert::decode(black_box(0x0000_0055_AAAA_FFFF), 20))
+    });
+    group.finish();
+}
+
+fn bench_rank_space(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rank_space");
+    group.sample_size(20);
+    let points = generate(Distribution::skewed_default(), 10_000, 1);
+    group.bench_function("transform_10k", |b| {
+        b.iter(|| RankSpace::new(black_box(&points)))
+    });
+    let rs = RankSpace::new(&points);
+    group.bench_function("sorted_permutation_hilbert_10k", |b| {
+        b.iter(|| rs.sorted_permutation(CurveKind::Hilbert))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_curves, bench_rank_space);
+criterion_main!(benches);

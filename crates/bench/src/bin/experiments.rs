@@ -1,0 +1,724 @@
+//! Regenerates every table and figure of the paper's evaluation (§6).
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments <id> [--scale S] [--epochs E]
+//! experiments all
+//! ```
+//!
+//! where `<id>` is one of `table3`, `table4`, `fig6` … `fig19`,
+//! `ablation-rank`, `ablation-curve`, `ablation-grouping`, or `all`.
+//!
+//! The paper's experiments run on up to 128 million points and train each
+//! sub-model for 500 epochs (16 h of training for the largest data set).
+//! The harness defaults reproduce the *shape* of every experiment at laptop
+//! scale: data sizes are tens of thousands of points and epochs are reduced.
+//! `--scale` multiplies all data-set sizes and `--epochs` restores any epoch
+//! count, so the experiments can be pushed back toward paper scale on bigger
+//! machines.
+
+use bench::{
+    build_index, fmt, markdown_table, measure_insertions, measure_knn_queries,
+    measure_point_queries, measure_window_queries, HarnessConfig, IndexKind,
+};
+use common::SpatialIndex;
+use datagen::queries::{self, WindowSpec};
+use datagen::{generate, Distribution};
+use geom::Point;
+use rsmi::{Rsmi, RsmiConfig};
+use sfc::CurveKind;
+
+/// One window-experiment configuration: axis label, data set, query windows.
+type WindowConfig = (String, Vec<Point>, Vec<geom::Rect>);
+/// One kNN-experiment configuration: axis label, data set, query points, k.
+type KnnConfig = (String, Vec<Point>, Vec<Point>, usize);
+
+const POINT_QUERIES: usize = 1000;
+const RANGE_QUERIES: usize = 100;
+const SEED: u64 = 42;
+
+#[derive(Clone, Copy)]
+struct Opts {
+    scale: f64,
+    epochs: usize,
+}
+
+impl Opts {
+    fn n_default(&self) -> usize {
+        (20_000.0 * self.scale) as usize
+    }
+
+    fn sizes(&self) -> Vec<usize> {
+        [5_000.0, 10_000.0, 20_000.0, 40_000.0]
+            .iter()
+            .map(|s| (s * self.scale) as usize)
+            .collect()
+    }
+
+    fn harness(&self) -> HarnessConfig {
+        HarnessConfig {
+            block_capacity: 100,
+            partition_threshold: 5_000,
+            epochs: self.epochs,
+            seed: SEED,
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which = String::from("all");
+    let mut opts = Opts {
+        scale: 1.0,
+        epochs: 30,
+    };
+    let mut it = args.iter().peekable();
+    if let Some(first) = it.peek() {
+        if !first.starts_with("--") {
+            which = it.next().unwrap().clone();
+        }
+    }
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                opts.scale = it.next().and_then(|v| v.parse().ok()).unwrap_or(1.0);
+            }
+            "--epochs" => {
+                opts.epochs = it.next().and_then(|v| v.parse().ok()).unwrap_or(30);
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!("# RSMI reproduction experiments");
+    println!(
+        "\n_scale = {} (default data set = {} points), epochs = {}, B = 100_\n",
+        opts.scale,
+        opts.n_default(),
+        opts.epochs
+    );
+
+    let all = which == "all";
+    let run = |name: &str| all || which == name;
+
+    if run("table3") {
+        table3(&opts);
+    }
+    if run("table4") {
+        table4(&opts);
+    }
+    if run("fig6") || run("fig7") {
+        fig6_7(&opts);
+    }
+    if run("fig8") || run("fig9") {
+        fig8_9(&opts);
+    }
+    if run("fig10") {
+        fig10(&opts);
+    }
+    if run("fig11") {
+        fig11(&opts);
+    }
+    if run("fig12") {
+        fig12(&opts);
+    }
+    if run("fig13") {
+        fig13(&opts);
+    }
+    if run("fig14") {
+        fig14(&opts);
+    }
+    if run("fig15") {
+        fig15(&opts);
+    }
+    if run("fig16") {
+        fig16(&opts);
+    }
+    if run("fig17") || run("fig18") || run("fig19") {
+        fig17_18_19(&opts);
+    }
+    if run("ablation-rank") {
+        ablation_rank(&opts);
+    }
+    if run("ablation-curve") {
+        ablation_curve(&opts);
+    }
+    if run("ablation-grouping") {
+        ablation_grouping(&opts);
+    }
+}
+
+fn dataset(dist: Distribution, n: usize) -> Vec<Point> {
+    generate(dist, n, SEED)
+}
+
+// ---------------------------------------------------------------------
+// Table 3: impact of the partition threshold N
+// ---------------------------------------------------------------------
+fn table3(opts: &Opts) {
+    let n = (50_000.0 * opts.scale) as usize;
+    let data = dataset(Distribution::skewed_default(), n);
+    let point_qs = queries::point_queries(&data, POINT_QUERIES, 1);
+    let thresholds = [1_000usize, 2_500, 5_000, 10_000, 20_000];
+    let mut rows = Vec::new();
+    for &threshold in &thresholds {
+        let cfg = RsmiConfig::default()
+            .with_partition_threshold(threshold)
+            .with_epochs(opts.epochs);
+        let start = std::time::Instant::now();
+        let index = Rsmi::build(data.clone(), cfg);
+        let build = start.elapsed().as_secs_f64();
+        let stats = index.stats();
+        index.reset_stats();
+        let qstart = std::time::Instant::now();
+        for q in &point_qs {
+            let _ = index.point_query(q);
+        }
+        let qtime = qstart.elapsed().as_secs_f64() * 1e6 / point_qs.len() as f64;
+        let blocks = index.block_store().block_accesses() as f64 / point_qs.len() as f64;
+        rows.push(vec![
+            threshold.to_string(),
+            fmt(build),
+            stats.height.to_string(),
+            fmt(stats.size_bytes as f64 / (1024.0 * 1024.0)),
+            fmt(blocks),
+            fmt(qtime),
+        ]);
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &format!("Table 3 — impact of partition threshold N (Skewed, n = {n})"),
+            &["N", "construction (s)", "height", "index size (MB)", "point-query block accesses", "point-query time (us)"],
+            &rows
+        )
+    );
+}
+
+// ---------------------------------------------------------------------
+// Table 4: prediction error bounds of ZM and RSMI
+// ---------------------------------------------------------------------
+fn table4(opts: &Opts) {
+    let cfg = opts.harness();
+    let mut rows = Vec::new();
+    for dist in Distribution::all() {
+        let data = dataset(dist, opts.n_default());
+        let rsmi = Rsmi::build(data.clone(), cfg.rsmi_config());
+        let stats = rsmi.stats();
+        let zm = baselines::ZOrderModel::build(data, cfg.zm_config());
+        let (zb, za) = zm.error_bounds_blocks();
+        rows.push(vec![
+            dist.name().to_string(),
+            format!("({zb}, {za})"),
+            format!("({}, {})", stats.max_err_below, stats.max_err_above),
+        ]);
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &format!("Table 4 — prediction error bounds in blocks (err_l, err_a), n = {}", opts.n_default()),
+            &["data set", "ZM", "RSMI"],
+            &rows
+        )
+    );
+}
+
+// ---------------------------------------------------------------------
+// Figures 6 & 7: point queries, index size, construction time vs distribution
+// ---------------------------------------------------------------------
+fn fig6_7(opts: &Opts) {
+    let cfg = opts.harness();
+    let mut q_rows = Vec::new();
+    let mut s_rows = Vec::new();
+    for dist in Distribution::all() {
+        let data = dataset(dist, opts.n_default());
+        let point_qs = queries::point_queries(&data, POINT_QUERIES, 1);
+        for kind in IndexKind::without_rsmia() {
+            let built = build_index(kind, &data, &cfg);
+            let m = measure_point_queries(&built, &point_qs);
+            q_rows.push(vec![
+                dist.name().to_string(),
+                m.index.clone(),
+                fmt(m.avg_time_us),
+                fmt(m.avg_block_accesses),
+            ]);
+            s_rows.push(vec![
+                dist.name().to_string(),
+                built.kind.name().to_string(),
+                fmt(built.index.as_index().size_bytes() as f64 / (1024.0 * 1024.0)),
+                fmt(built.build_seconds),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &format!("Figure 6 — point query vs data distribution (n = {})", opts.n_default()),
+            &["data set", "index", "query time (us)", "block accesses"],
+            &q_rows
+        )
+    );
+    println!(
+        "{}",
+        markdown_table(
+            &format!("Figure 7 — index size and construction time vs data distribution (n = {})", opts.n_default()),
+            &["data set", "index", "size (MB)", "construction (s)"],
+            &s_rows
+        )
+    );
+}
+
+// ---------------------------------------------------------------------
+// Figures 8 & 9: point queries, size, construction vs data-set size
+// ---------------------------------------------------------------------
+fn fig8_9(opts: &Opts) {
+    let cfg = opts.harness();
+    let mut q_rows = Vec::new();
+    let mut s_rows = Vec::new();
+    for n in opts.sizes() {
+        let data = dataset(Distribution::skewed_default(), n);
+        let point_qs = queries::point_queries(&data, POINT_QUERIES, 1);
+        for kind in IndexKind::without_rsmia() {
+            let built = build_index(kind, &data, &cfg);
+            let m = measure_point_queries(&built, &point_qs);
+            q_rows.push(vec![
+                n.to_string(),
+                m.index.clone(),
+                fmt(m.avg_time_us),
+                fmt(m.avg_block_accesses),
+            ]);
+            s_rows.push(vec![
+                n.to_string(),
+                built.kind.name().to_string(),
+                fmt(built.index.as_index().size_bytes() as f64 / (1024.0 * 1024.0)),
+                fmt(built.build_seconds),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        markdown_table(
+            "Figure 8 — point query vs data set size (Skewed)",
+            &["n", "index", "query time (us)", "block accesses"],
+            &q_rows
+        )
+    );
+    println!(
+        "{}",
+        markdown_table(
+            "Figure 9 — index size and construction time vs data set size (Skewed)",
+            &["n", "index", "size (MB)", "construction (s)"],
+            &s_rows
+        )
+    );
+}
+
+// ---------------------------------------------------------------------
+// Window-query figures
+// ---------------------------------------------------------------------
+fn window_experiment(
+    title: &str,
+    axis: &str,
+    configs: &[WindowConfig],
+    cfg: &HarnessConfig,
+) {
+    let mut rows = Vec::new();
+    for (label, data, windows) in configs {
+        for kind in IndexKind::all() {
+            let built = build_index(kind, data, cfg);
+            let m = measure_window_queries(&built, data, windows);
+            rows.push(vec![
+                label.clone(),
+                m.index.clone(),
+                fmt(m.avg_time_us / 1000.0),
+                fmt(m.recall),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        markdown_table(title, &[axis, "index", "query time (ms)", "recall"], &rows)
+    );
+}
+
+fn fig10(opts: &Opts) {
+    let cfg = opts.harness();
+    let configs: Vec<WindowConfig> = Distribution::all()
+        .iter()
+        .map(|&dist| {
+            let data = dataset(dist, opts.n_default());
+            let ws = queries::window_queries(&data, WindowSpec::default(), RANGE_QUERIES, 2);
+            (dist.name().to_string(), data, ws)
+        })
+        .collect();
+    window_experiment(
+        &format!("Figure 10 — window query vs data distribution (n = {}, 0.01% windows)", opts.n_default()),
+        "data set",
+        &configs,
+        &cfg,
+    );
+}
+
+fn fig11(opts: &Opts) {
+    let cfg = opts.harness();
+    let configs: Vec<WindowConfig> = opts
+        .sizes()
+        .into_iter()
+        .map(|n| {
+            let data = dataset(Distribution::skewed_default(), n);
+            let ws = queries::window_queries(&data, WindowSpec::default(), RANGE_QUERIES, 2);
+            (n.to_string(), data, ws)
+        })
+        .collect();
+    window_experiment(
+        "Figure 11 — window query vs data set size (Skewed)",
+        "n",
+        &configs,
+        &cfg,
+    );
+}
+
+fn fig12(opts: &Opts) {
+    let cfg = opts.harness();
+    let data = dataset(Distribution::skewed_default(), opts.n_default());
+    let configs: Vec<WindowConfig> = queries::WINDOW_SIZE_PERCENTS
+        .iter()
+        .map(|&pct| {
+            let spec = WindowSpec {
+                area_percent: pct,
+                aspect_ratio: 1.0,
+            };
+            let ws = queries::window_queries(&data, spec, RANGE_QUERIES, 3);
+            (format!("{pct}%"), data.clone(), ws)
+        })
+        .collect();
+    window_experiment(
+        &format!("Figure 12 — window query vs query window size (Skewed, n = {})", opts.n_default()),
+        "window size",
+        &configs,
+        &cfg,
+    );
+}
+
+fn fig13(opts: &Opts) {
+    let cfg = opts.harness();
+    let data = dataset(Distribution::skewed_default(), opts.n_default());
+    let configs: Vec<WindowConfig> = queries::ASPECT_RATIOS
+        .iter()
+        .map(|&ratio| {
+            let spec = WindowSpec {
+                area_percent: 0.01,
+                aspect_ratio: ratio,
+            };
+            let ws = queries::window_queries(&data, spec, RANGE_QUERIES, 5);
+            (format!("{ratio}"), data.clone(), ws)
+        })
+        .collect();
+    window_experiment(
+        &format!("Figure 13 — window query vs aspect ratio (Skewed, n = {})", opts.n_default()),
+        "aspect ratio",
+        &configs,
+        &cfg,
+    );
+}
+
+// ---------------------------------------------------------------------
+// kNN figures
+// ---------------------------------------------------------------------
+fn knn_experiment(
+    title: &str,
+    axis: &str,
+    configs: &[KnnConfig],
+    cfg: &HarnessConfig,
+) {
+    let mut rows = Vec::new();
+    for (label, data, qs, k) in configs {
+        for kind in IndexKind::all() {
+            let built = build_index(kind, data, cfg);
+            let m = measure_knn_queries(&built, data, qs, *k);
+            rows.push(vec![
+                label.clone(),
+                m.index.clone(),
+                fmt(m.avg_time_us / 1000.0),
+                fmt(m.recall),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        markdown_table(title, &[axis, "index", "query time (ms)", "recall"], &rows)
+    );
+}
+
+fn fig14(opts: &Opts) {
+    let cfg = opts.harness();
+    let configs: Vec<KnnConfig> = Distribution::all()
+        .iter()
+        .map(|&dist| {
+            let data = dataset(dist, opts.n_default());
+            let qs = queries::knn_queries(&data, RANGE_QUERIES, 7);
+            (dist.name().to_string(), data, qs, 25)
+        })
+        .collect();
+    knn_experiment(
+        &format!("Figure 14 — kNN query vs data distribution (k = 25, n = {})", opts.n_default()),
+        "data set",
+        &configs,
+        &cfg,
+    );
+}
+
+fn fig15(opts: &Opts) {
+    let cfg = opts.harness();
+    let configs: Vec<KnnConfig> = opts
+        .sizes()
+        .into_iter()
+        .map(|n| {
+            let data = dataset(Distribution::skewed_default(), n);
+            let qs = queries::knn_queries(&data, RANGE_QUERIES, 7);
+            (n.to_string(), data, qs, 25)
+        })
+        .collect();
+    knn_experiment(
+        "Figure 15 — kNN query vs data set size (Skewed, k = 25)",
+        "n",
+        &configs,
+        &cfg,
+    );
+}
+
+fn fig16(opts: &Opts) {
+    let cfg = opts.harness();
+    let data = dataset(Distribution::skewed_default(), opts.n_default());
+    let qs = queries::knn_queries(&data, RANGE_QUERIES, 7);
+    let configs: Vec<KnnConfig> = queries::K_VALUES
+        .iter()
+        .map(|&k| (k.to_string(), data.clone(), qs.clone(), k))
+        .collect();
+    knn_experiment(
+        &format!("Figure 16 — kNN query vs k (Skewed, n = {})", opts.n_default()),
+        "k",
+        &configs,
+        &cfg,
+    );
+}
+
+// ---------------------------------------------------------------------
+// Figures 17–19: update handling
+// ---------------------------------------------------------------------
+fn fig17_18_19(opts: &Opts) {
+    let cfg = opts.harness();
+    let data = dataset(Distribution::skewed_default(), opts.n_default());
+    let total_inserts = data.len() / 2;
+    let all_inserts = queries::insertion_points(&data, total_inserts, 11);
+    let batch = data.len() / 10;
+
+    let mut insert_rows = Vec::new();
+    let mut point_rows = Vec::new();
+    let mut window_rows = Vec::new();
+    let mut knn_rows = Vec::new();
+
+    let kinds: Vec<IndexKind> = IndexKind::without_rsmia();
+    for kind in kinds {
+        let mut built = build_index(kind, &data, &cfg);
+        let mut all_points = data.clone();
+        for step in 1..=5usize {
+            let slice = &all_inserts[(step - 1) * batch..step * batch];
+            let m = measure_insertions(&mut built, slice);
+            all_points.extend_from_slice(slice);
+            let pct = step * 10;
+
+            insert_rows.push(vec![
+                format!("{pct}%"),
+                m.index.clone(),
+                fmt(m.avg_time_us),
+            ]);
+
+            let point_qs = queries::point_queries(&all_points, POINT_QUERIES, 13);
+            let pm = measure_point_queries(&built, &point_qs);
+            point_rows.push(vec![
+                format!("{pct}%"),
+                pm.index.clone(),
+                fmt(pm.avg_time_us),
+                fmt(pm.avg_block_accesses),
+            ]);
+
+            let ws = queries::window_queries(&all_points, WindowSpec::default(), RANGE_QUERIES, 17);
+            let wm = measure_window_queries(&built, &all_points, &ws);
+            window_rows.push(vec![
+                format!("{pct}%"),
+                wm.index.clone(),
+                fmt(wm.avg_time_us / 1000.0),
+                fmt(wm.recall),
+            ]);
+
+            let knn_qs = queries::knn_queries(&all_points, RANGE_QUERIES, 19);
+            let km = measure_knn_queries(&built, &all_points, &knn_qs, 25);
+            knn_rows.push(vec![
+                format!("{pct}%"),
+                km.index.clone(),
+                fmt(km.avg_time_us / 1000.0),
+                fmt(km.recall),
+            ]);
+        }
+    }
+
+    // RSMIr rows: insertion time amortised over the periodic rebuilds, plus
+    // point-query performance after each batch.
+    {
+        let mut index = Rsmi::build(data.clone(), cfg.rsmi_config());
+        let mut all_points = data.clone();
+        for step in 1..=5usize {
+            let slice = &all_inserts[(step - 1) * batch..step * batch];
+            let start = std::time::Instant::now();
+            for p in slice {
+                index.insert(*p);
+            }
+            index.rebuild();
+            let amortised = start.elapsed().as_secs_f64() * 1e6 / slice.len() as f64;
+            all_points.extend_from_slice(slice);
+            let pct = step * 10;
+            insert_rows.push(vec![format!("{pct}%"), "RSMIr".to_string(), fmt(amortised)]);
+
+            index.reset_stats();
+            let point_qs = queries::point_queries(&all_points, POINT_QUERIES, 13);
+            let qstart = std::time::Instant::now();
+            for q in &point_qs {
+                let _ = index.point_query(q);
+            }
+            let us = qstart.elapsed().as_secs_f64() * 1e6 / point_qs.len() as f64;
+            let blocks = index.block_store().block_accesses() as f64 / point_qs.len() as f64;
+            point_rows.push(vec![format!("{pct}%"), "RSMIr".to_string(), fmt(us), fmt(blocks)]);
+        }
+    }
+
+    println!(
+        "{}",
+        markdown_table(
+            &format!("Figure 17a — insertion time (Skewed, n = {})", opts.n_default()),
+            &["inserted", "index", "insert time (us)"],
+            &insert_rows
+        )
+    );
+    println!(
+        "{}",
+        markdown_table(
+            "Figure 17b — point queries after insertions",
+            &["inserted", "index", "query time (us)", "block accesses"],
+            &point_rows
+        )
+    );
+    println!(
+        "{}",
+        markdown_table(
+            "Figure 18 — window queries after insertions",
+            &["inserted", "index", "query time (ms)", "recall"],
+            &window_rows
+        )
+    );
+    println!(
+        "{}",
+        markdown_table(
+            "Figure 19 — kNN queries after insertions",
+            &["inserted", "index", "query time (ms)", "recall"],
+            &knn_rows
+        )
+    );
+}
+
+// ---------------------------------------------------------------------
+// Ablations (DESIGN.md §5)
+// ---------------------------------------------------------------------
+fn ablation_rank(opts: &Opts) {
+    let data = dataset(Distribution::skewed_default(), opts.n_default());
+    let mut rows = Vec::new();
+    for (label, use_rank) in [("rank-space (paper)", true), ("raw coordinates", false)] {
+        let cfg = opts.harness().rsmi_config().with_rank_space(use_rank);
+        let index = Rsmi::build(data.clone(), cfg);
+        let stats = index.stats();
+        let point_qs = queries::point_queries(&data, POINT_QUERIES, 1);
+        index.reset_stats();
+        for q in &point_qs {
+            let _ = index.point_query(q);
+        }
+        let blocks = index.block_store().block_accesses() as f64 / point_qs.len() as f64;
+        rows.push(vec![
+            label.to_string(),
+            format!("({}, {})", stats.max_err_below, stats.max_err_above),
+            fmt(blocks),
+        ]);
+    }
+    println!(
+        "{}",
+        markdown_table(
+            "Ablation — rank-space ordering vs raw-coordinate ordering (Skewed)",
+            &["leaf ordering", "max (err_l, err_a)", "point-query block accesses"],
+            &rows
+        )
+    );
+}
+
+fn ablation_curve(opts: &Opts) {
+    let data = dataset(Distribution::skewed_default(), opts.n_default());
+    let ws = queries::window_queries(&data, WindowSpec::default(), RANGE_QUERIES, 2);
+    let mut rows = Vec::new();
+    for (label, curve) in [("Hilbert (paper default)", CurveKind::Hilbert), ("Z-curve", CurveKind::Z)] {
+        let cfg = opts.harness().rsmi_config().with_curve(curve);
+        let index = Rsmi::build(data.clone(), cfg);
+        let mut recalls = Vec::new();
+        index.reset_stats();
+        let start = std::time::Instant::now();
+        let results: Vec<Vec<Point>> = ws.iter().map(|w| index.window_query(w)).collect();
+        let elapsed = start.elapsed().as_secs_f64() * 1e6 / ws.len() as f64;
+        for (w, got) in ws.iter().zip(&results) {
+            let truth = common::brute_force::window_query(&data, w);
+            recalls.push(common::metrics::recall(got, &truth));
+        }
+        rows.push(vec![
+            label.to_string(),
+            fmt(elapsed / 1000.0),
+            fmt(common::metrics::mean(&recalls)),
+        ]);
+    }
+    println!(
+        "{}",
+        markdown_table(
+            "Ablation — ordering curve for RSMI window queries (Skewed)",
+            &["curve", "window query time (ms)", "recall"],
+            &rows
+        )
+    );
+}
+
+fn ablation_grouping(opts: &Opts) {
+    let data = dataset(Distribution::skewed_default(), opts.n_default());
+    let point_qs = queries::point_queries(&data, POINT_QUERIES, 1);
+    let mut rows = Vec::new();
+    for (label, by_prediction) in [
+        ("model predictions (paper)", true),
+        ("true grid cells", false),
+    ] {
+        let cfg = opts.harness().rsmi_config().with_group_by_prediction(by_prediction);
+        let index = Rsmi::build(data.clone(), cfg);
+        let hits = point_qs
+            .iter()
+            .filter(|q| index.point_query(q).is_some())
+            .count();
+        rows.push(vec![
+            label.to_string(),
+            fmt(hits as f64 / point_qs.len() as f64),
+        ]);
+    }
+    println!(
+        "{}",
+        markdown_table(
+            "Ablation — grouping points by model prediction vs true cell (Skewed)",
+            &["grouping", "point-query hit rate"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,411 @@
+//! Experiment-harness library: building the competing indices uniformly and
+//! measuring query cost, block accesses, and recall the way §6 of the paper
+//! reports them.
+//!
+//! The binary `experiments` (in `src/bin/experiments.rs`) uses these helpers
+//! to regenerate every table and figure; the Criterion benches use them to
+//! build fixtures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use baselines::{GridFile, HilbertRTree, KdbTree, RStarTree, ZOrderModel};
+use baselines::zm::ZmConfig;
+use common::{brute_force, metrics, SpatialIndex};
+use geom::{Point, Rect};
+use rsmi::{Rsmi, RsmiConfig};
+use serde::Serialize;
+
+/// The index families compared in the paper's figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    /// Grid File.
+    Grid,
+    /// Rank-space Hilbert packed R-tree.
+    Hrr,
+    /// K-D-B-tree.
+    Kdb,
+    /// R*-tree (dynamic insertion).
+    RStar,
+    /// RSMI (approximate window/kNN answers).
+    Rsmi,
+    /// RSMI with MBR-based exact query answering (only differs at query
+    /// time; shares the RSMI structure).
+    Rsmia,
+    /// Z-order learned model.
+    Zm,
+}
+
+impl IndexKind {
+    /// All families, in the order the paper's legends list them.
+    pub fn all() -> Vec<IndexKind> {
+        vec![
+            IndexKind::Grid,
+            IndexKind::Hrr,
+            IndexKind::Kdb,
+            IndexKind::RStar,
+            IndexKind::Rsmi,
+            IndexKind::Rsmia,
+            IndexKind::Zm,
+        ]
+    }
+
+    /// The families without the RSMIa duplicate (used for point queries and
+    /// update measurements where RSMIa is identical to RSMI).
+    pub fn without_rsmia() -> Vec<IndexKind> {
+        Self::all().into_iter().filter(|k| *k != IndexKind::Rsmia).collect()
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            IndexKind::Grid => "Grid",
+            IndexKind::Hrr => "HRR",
+            IndexKind::Kdb => "KDB",
+            IndexKind::RStar => "RR*",
+            IndexKind::Rsmi => "RSMI",
+            IndexKind::Rsmia => "RSMIa",
+            IndexKind::Zm => "ZM",
+        }
+    }
+}
+
+/// A built index together with its construction-time measurement.
+pub struct BuiltIndex {
+    /// Which family this is.
+    pub kind: IndexKind,
+    /// The index itself.
+    pub index: AnyIndex,
+    /// Construction wall-clock time in seconds.
+    pub build_seconds: f64,
+}
+
+/// Concrete index storage (avoids `dyn` so the exact-variant methods of RSMI
+/// stay reachable).
+pub enum AnyIndex {
+    /// Grid File.
+    Grid(GridFile),
+    /// Hilbert R-tree.
+    Hrr(HilbertRTree),
+    /// K-D-B-tree.
+    Kdb(KdbTree),
+    /// R*-tree.
+    RStar(RStarTree),
+    /// RSMI (used for both RSMI and RSMIa rows).
+    Rsmi(Rsmi),
+    /// Z-order model.
+    Zm(ZOrderModel),
+}
+
+impl AnyIndex {
+    /// Borrow as the common trait object.
+    pub fn as_index(&self) -> &dyn SpatialIndex {
+        match self {
+            AnyIndex::Grid(i) => i,
+            AnyIndex::Hrr(i) => i,
+            AnyIndex::Kdb(i) => i,
+            AnyIndex::RStar(i) => i,
+            AnyIndex::Rsmi(i) => i,
+            AnyIndex::Zm(i) => i,
+        }
+    }
+
+    /// Borrow mutably as the common trait object.
+    pub fn as_index_mut(&mut self) -> &mut dyn SpatialIndex {
+        match self {
+            AnyIndex::Grid(i) => i,
+            AnyIndex::Hrr(i) => i,
+            AnyIndex::Kdb(i) => i,
+            AnyIndex::RStar(i) => i,
+            AnyIndex::Rsmi(i) => i,
+            AnyIndex::Zm(i) => i,
+        }
+    }
+}
+
+/// Tuning shared by all experiment runs.
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessConfig {
+    /// Block capacity `B` for every index.
+    pub block_capacity: usize,
+    /// RSMI partition threshold `N`.
+    pub partition_threshold: usize,
+    /// Training epochs for the learned indices.
+    pub epochs: usize,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        Self {
+            block_capacity: 100,
+            partition_threshold: 10_000,
+            epochs: 30,
+            seed: 42,
+        }
+    }
+}
+
+impl HarnessConfig {
+    /// The RSMI configuration corresponding to this harness configuration.
+    pub fn rsmi_config(&self) -> RsmiConfig {
+        RsmiConfig::default()
+            .with_block_capacity(self.block_capacity)
+            .with_partition_threshold(self.partition_threshold)
+            .with_epochs(self.epochs)
+    }
+
+    /// The ZM configuration corresponding to this harness configuration.
+    pub fn zm_config(&self) -> ZmConfig {
+        ZmConfig {
+            block_capacity: self.block_capacity,
+            epochs: self.epochs,
+            ..ZmConfig::default()
+        }
+    }
+}
+
+/// Builds one index family over the given points, measuring build time.
+pub fn build_index(kind: IndexKind, points: &[Point], cfg: &HarnessConfig) -> BuiltIndex {
+    let pts = points.to_vec();
+    let start = std::time::Instant::now();
+    let index = match kind {
+        IndexKind::Grid => AnyIndex::Grid(GridFile::build(pts, cfg.block_capacity)),
+        IndexKind::Hrr => AnyIndex::Hrr(HilbertRTree::build(pts, cfg.block_capacity)),
+        IndexKind::Kdb => AnyIndex::Kdb(KdbTree::build(pts, cfg.block_capacity)),
+        IndexKind::RStar => AnyIndex::RStar(RStarTree::build(pts, cfg.block_capacity)),
+        IndexKind::Rsmi | IndexKind::Rsmia => AnyIndex::Rsmi(Rsmi::build(pts, cfg.rsmi_config())),
+        IndexKind::Zm => AnyIndex::Zm(ZOrderModel::build(pts, cfg.zm_config())),
+    };
+    BuiltIndex {
+        kind,
+        index,
+        build_seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// One measured row of an experiment (one index on one workload).
+#[derive(Debug, Clone, Serialize)]
+pub struct Measurement {
+    /// Index family name.
+    pub index: String,
+    /// Average query (or update) time in microseconds.
+    pub avg_time_us: f64,
+    /// Average block accesses per operation.
+    pub avg_block_accesses: f64,
+    /// Average recall against brute force (1.0 for exact indices).
+    pub recall: f64,
+}
+
+/// Measures point queries: average latency and block accesses.
+pub fn measure_point_queries(built: &BuiltIndex, queries: &[Point]) -> Measurement {
+    let index = built.index.as_index();
+    index.reset_stats();
+    let start = std::time::Instant::now();
+    let mut hits = 0usize;
+    for q in queries {
+        if index.point_query(q).is_some() {
+            hits += 1;
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    Measurement {
+        index: built.kind.name().to_string(),
+        avg_time_us: elapsed * 1e6 / queries.len().max(1) as f64,
+        avg_block_accesses: index.block_accesses() as f64 / queries.len().max(1) as f64,
+        recall: hits as f64 / queries.len().max(1) as f64,
+    }
+}
+
+/// Measures window queries: average latency, block accesses and recall
+/// against the brute-force ground truth.
+pub fn measure_window_queries(
+    built: &BuiltIndex,
+    data: &[Point],
+    windows: &[Rect],
+) -> Measurement {
+    let index = built.index.as_index();
+    index.reset_stats();
+    let mut recalls = Vec::with_capacity(windows.len());
+    let start = std::time::Instant::now();
+    let mut results: Vec<Vec<Point>> = Vec::with_capacity(windows.len());
+    for w in windows {
+        let got = match (&built.index, built.kind) {
+            (AnyIndex::Rsmi(r), IndexKind::Rsmia) => r.window_query_exact(w),
+            _ => index.window_query(w),
+        };
+        results.push(got);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    for (w, got) in windows.iter().zip(&results) {
+        let truth = brute_force::window_query(data, w);
+        recalls.push(metrics::recall(got, &truth));
+    }
+    Measurement {
+        index: built.kind.name().to_string(),
+        avg_time_us: elapsed * 1e6 / windows.len().max(1) as f64,
+        avg_block_accesses: index.block_accesses() as f64 / windows.len().max(1) as f64,
+        recall: metrics::mean(&recalls),
+    }
+}
+
+/// Measures kNN queries: average latency, block accesses and recall.
+pub fn measure_knn_queries(
+    built: &BuiltIndex,
+    data: &[Point],
+    queries: &[Point],
+    k: usize,
+) -> Measurement {
+    let index = built.index.as_index();
+    index.reset_stats();
+    let start = std::time::Instant::now();
+    let mut results: Vec<Vec<Point>> = Vec::with_capacity(queries.len());
+    for q in queries {
+        let got = match (&built.index, built.kind) {
+            (AnyIndex::Rsmi(r), IndexKind::Rsmia) => r.knn_query_exact(q, k),
+            _ => index.knn_query(q, k),
+        };
+        results.push(got);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let mut recalls = Vec::with_capacity(queries.len());
+    for (q, got) in queries.iter().zip(&results) {
+        let truth = brute_force::knn_query(data, q, k);
+        recalls.push(metrics::knn_recall(got, &truth, q, k));
+    }
+    Measurement {
+        index: built.kind.name().to_string(),
+        avg_time_us: elapsed * 1e6 / queries.len().max(1) as f64,
+        avg_block_accesses: index.block_accesses() as f64 / queries.len().max(1) as f64,
+        recall: metrics::mean(&recalls),
+    }
+}
+
+/// Measures the average insertion time over a batch of new points.
+pub fn measure_insertions(built: &mut BuiltIndex, inserts: &[Point]) -> Measurement {
+    let start = std::time::Instant::now();
+    for p in inserts {
+        built.index.as_index_mut().insert(*p);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    Measurement {
+        index: built.kind.name().to_string(),
+        avg_time_us: elapsed * 1e6 / inserts.len().max(1) as f64,
+        avg_block_accesses: 0.0,
+        recall: 1.0,
+    }
+}
+
+/// Formats a list of measurements as a GitHub-flavoured markdown table.
+pub fn markdown_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("\n### {title}\n\n"));
+    out.push_str(&format!("| {} |\n", header.join(" | ")));
+    out.push_str(&format!("|{}\n", "---|".repeat(header.len())));
+    for row in rows {
+        out.push_str(&format!("| {} |\n", row.join(" | ")));
+    }
+    out
+}
+
+/// Convenience: formats a float with three significant decimals.
+pub fn fmt(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::{generate, queries, Distribution};
+
+    fn tiny_cfg() -> HarnessConfig {
+        HarnessConfig {
+            block_capacity: 20,
+            partition_threshold: 500,
+            epochs: 15,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn all_index_kinds_build_and_answer_point_queries() {
+        let data = generate(Distribution::Uniform, 800, 3);
+        let qs = queries::point_queries(&data, 50, 5);
+        for kind in IndexKind::without_rsmia() {
+            let built = build_index(kind, &data, &tiny_cfg());
+            let m = measure_point_queries(&built, &qs);
+            assert_eq!(m.recall, 1.0, "{} missed indexed points", kind.name());
+            assert!(m.avg_time_us >= 0.0);
+            assert!(built.build_seconds >= 0.0);
+        }
+    }
+
+    #[test]
+    fn window_measurement_reports_recall_one_for_exact_indices() {
+        let data = generate(Distribution::Normal, 1000, 7);
+        let ws = queries::window_queries(&data, queries::WindowSpec::default(), 20, 9);
+        for kind in [IndexKind::Grid, IndexKind::Hrr, IndexKind::Kdb, IndexKind::RStar, IndexKind::Rsmia] {
+            let built = build_index(kind, &data, &tiny_cfg());
+            let m = measure_window_queries(&built, &data, &ws);
+            assert!(
+                m.recall > 0.999,
+                "{} should be exact, recall {}",
+                kind.name(),
+                m.recall
+            );
+        }
+    }
+
+    #[test]
+    fn learned_indices_report_recall_between_zero_and_one() {
+        let data = generate(Distribution::skewed_default(), 1500, 11);
+        let ws = queries::window_queries(&data, queries::WindowSpec::default(), 20, 13);
+        for kind in [IndexKind::Rsmi, IndexKind::Zm] {
+            let built = build_index(kind, &data, &tiny_cfg());
+            let m = measure_window_queries(&built, &data, &ws);
+            assert!((0.0..=1.0).contains(&m.recall));
+        }
+    }
+
+    #[test]
+    fn knn_measurement_works_for_rsmi_and_hrr() {
+        let data = generate(Distribution::Uniform, 1000, 17);
+        let qs = queries::knn_queries(&data, 20, 19);
+        for kind in [IndexKind::Rsmi, IndexKind::Rsmia, IndexKind::Hrr] {
+            let built = build_index(kind, &data, &tiny_cfg());
+            let m = measure_knn_queries(&built, &data, &qs, 5);
+            assert!(m.recall > 0.5, "{} recall {}", kind.name(), m.recall);
+        }
+    }
+
+    #[test]
+    fn insertion_measurement_counts_time_per_insert() {
+        let data = generate(Distribution::Uniform, 500, 23);
+        let ins = queries::insertion_points(&data, 100, 29);
+        let mut built = build_index(IndexKind::Grid, &data, &tiny_cfg());
+        let m = measure_insertions(&mut built, &ins);
+        assert!(m.avg_time_us >= 0.0);
+        assert_eq!(built.index.as_index().len(), 600);
+    }
+
+    #[test]
+    fn markdown_table_formats_rows() {
+        let t = markdown_table(
+            "Demo",
+            &["index", "time"],
+            &[vec!["RSMI".into(), "1.0".into()]],
+        );
+        assert!(t.contains("### Demo"));
+        assert!(t.contains("| RSMI | 1.0 |"));
+        assert_eq!(fmt(123.456), "123");
+        assert_eq!(fmt(1.234), "1.23");
+        assert_eq!(fmt(0.1234), "0.1234");
+    }
+}

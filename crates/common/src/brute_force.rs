@@ -1,0 +1,101 @@
+//! Brute-force reference implementations of the three query types.
+//!
+//! These are the ground truth against which recall (window and kNN queries of
+//! the learned indices) is measured, and the oracle used by correctness tests
+//! of every index.
+
+use geom::{Point, Rect};
+
+/// Returns the indexed point with exactly the query coordinates, if any.
+pub fn point_query(points: &[Point], q: &Point) -> Option<Point> {
+    points.iter().copied().find(|p| p.same_location(q))
+}
+
+/// Returns all points inside the window (boundaries inclusive).
+pub fn window_query(points: &[Point], window: &Rect) -> Vec<Point> {
+    points
+        .iter()
+        .copied()
+        .filter(|p| window.contains(p))
+        .collect()
+}
+
+/// Returns the `k` nearest neighbours of `q`, closest first.
+///
+/// Ties are broken by point id so that the result is deterministic and
+/// comparable across indices.
+pub fn knn_query(points: &[Point], q: &Point, k: usize) -> Vec<Point> {
+    let mut v: Vec<Point> = points.to_vec();
+    v.sort_by(|a, b| {
+        a.dist_sq(q)
+            .partial_cmp(&b.dist_sq(q))
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.id.cmp(&b.id))
+    });
+    v.truncate(k);
+    v
+}
+
+/// The distance of the `k`-th nearest neighbour (used to validate approximate
+/// kNN answers independently of tie-breaking).
+pub fn kth_distance(points: &[Point], q: &Point, k: usize) -> f64 {
+    let nn = knn_query(points, q, k);
+    nn.last().map_or(f64::INFINITY, |p| p.dist(q))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Point> {
+        vec![
+            Point::with_id(0.1, 0.1, 1),
+            Point::with_id(0.2, 0.2, 2),
+            Point::with_id(0.8, 0.8, 3),
+            Point::with_id(0.5, 0.5, 4),
+            Point::with_id(0.55, 0.5, 5),
+        ]
+    }
+
+    #[test]
+    fn point_query_finds_exact_match_only() {
+        let pts = sample();
+        assert_eq!(point_query(&pts, &Point::new(0.5, 0.5)).unwrap().id, 4);
+        assert!(point_query(&pts, &Point::new(0.5, 0.50001)).is_none());
+    }
+
+    #[test]
+    fn window_query_respects_boundaries() {
+        let pts = sample();
+        let w = Rect::new(0.1, 0.1, 0.2, 0.2);
+        let res = window_query(&pts, &w);
+        assert_eq!(res.len(), 2);
+    }
+
+    #[test]
+    fn knn_query_orders_by_distance() {
+        let pts = sample();
+        let res = knn_query(&pts, &Point::new(0.5, 0.5), 3);
+        assert_eq!(res[0].id, 4);
+        assert_eq!(res[1].id, 5);
+        assert_eq!(res.len(), 3);
+        // distances non-decreasing
+        let q = Point::new(0.5, 0.5);
+        assert!(res[0].dist(&q) <= res[1].dist(&q));
+        assert!(res[1].dist(&q) <= res[2].dist(&q));
+    }
+
+    #[test]
+    fn knn_with_k_larger_than_n_returns_all() {
+        let pts = sample();
+        assert_eq!(knn_query(&pts, &Point::new(0.0, 0.0), 100).len(), pts.len());
+    }
+
+    #[test]
+    fn kth_distance_is_infinite_for_empty_sets() {
+        assert_eq!(kth_distance(&[], &Point::new(0.5, 0.5), 3), f64::INFINITY);
+        let pts = sample();
+        let d = kth_distance(&pts, &Point::new(0.5, 0.5), 1);
+        assert_eq!(d, 0.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Shared abstractions used by every index in the reproduction.
+//!
+//! * [`SpatialIndex`] — the trait all indices (RSMI and the five baselines)
+//!   implement so that the experiment harness, examples, and integration
+//!   tests can treat them uniformly.
+//! * [`brute_force`] — reference implementations of the three query types,
+//!   used as ground truth for recall measurements and correctness tests.
+//! * [`metrics`] — recall computation and small measurement helpers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod brute_force;
+pub mod metrics;
+
+use geom::{Point, Rect};
+
+/// The interface shared by every spatial index in this repository.
+///
+/// The three query types are the paper's: point queries (§4.1), window
+/// queries (§4.2) and k-nearest-neighbour queries (§4.3).  Indices that only
+/// produce approximate window/kNN answers (RSMI, ZM) document this on their
+/// concrete types; the trait itself does not promise exactness.
+pub trait SpatialIndex {
+    /// A short human-readable name used in experiment output ("RSMI", "ZM",
+    /// "Grid", "KDB", "HRR", "RR*").
+    fn name(&self) -> &'static str;
+
+    /// Number of points currently indexed.
+    fn len(&self) -> usize;
+
+    /// Whether the index holds no points.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up a point with exactly the query's coordinates and returns it
+    /// (with its stored identifier), or `None` if it is not indexed.
+    fn point_query(&self, q: &Point) -> Option<Point>;
+
+    /// Returns the points inside the query window.
+    fn window_query(&self, window: &Rect) -> Vec<Point>;
+
+    /// Returns (up to) the `k` nearest neighbours of `q`, closest first.
+    fn knn_query(&self, q: &Point, k: usize) -> Vec<Point>;
+
+    /// Inserts a point.
+    fn insert(&mut self, p: Point);
+
+    /// Deletes the point with the given coordinates and id; returns whether
+    /// a point was removed.
+    fn delete(&mut self, p: &Point) -> bool;
+
+    /// Block (and node) accesses accumulated since the last
+    /// [`SpatialIndex::reset_stats`].
+    fn block_accesses(&self) -> u64;
+
+    /// Resets the access statistics.
+    fn reset_stats(&self);
+
+    /// Approximate total size of the structure in bytes (data blocks plus
+    /// directory / models), for the paper's index-size comparisons.
+    fn size_bytes(&self) -> usize;
+
+    /// Height of the structure: number of levels above the data blocks
+    /// (model levels for the learned indices, node levels for trees).
+    fn height(&self) -> usize;
+}
+
+/// Statistics recorded while bulk-loading an index, reported in the paper's
+/// construction-time and index-size figures (Figs. 7 and 9, Table 3).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BuildStats {
+    /// Wall-clock construction time in seconds.
+    pub build_seconds: f64,
+    /// Total index size in bytes.
+    pub size_bytes: usize,
+    /// Structure height (levels above the data blocks).
+    pub height: usize,
+    /// Number of learned sub-models (zero for traditional indices).
+    pub model_count: usize,
+}
+
+/// Convenience: collects [`BuildStats`] for an already-built index.
+pub fn build_stats_of<I: SpatialIndex + ?Sized>(index: &I, build_seconds: f64) -> BuildStats {
+    BuildStats {
+        build_seconds,
+        size_bytes: index.size_bytes(),
+        height: index.height(),
+        model_count: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy(Vec<Point>);
+
+    impl SpatialIndex for Dummy {
+        fn name(&self) -> &'static str {
+            "dummy"
+        }
+        fn len(&self) -> usize {
+            self.0.len()
+        }
+        fn point_query(&self, q: &Point) -> Option<Point> {
+            self.0.iter().copied().find(|p| p.same_location(q))
+        }
+        fn window_query(&self, window: &Rect) -> Vec<Point> {
+            self.0.iter().copied().filter(|p| window.contains(p)).collect()
+        }
+        fn knn_query(&self, q: &Point, k: usize) -> Vec<Point> {
+            let mut v = self.0.clone();
+            v.sort_by(|a, b| a.dist_sq(q).partial_cmp(&b.dist_sq(q)).unwrap());
+            v.truncate(k);
+            v
+        }
+        fn insert(&mut self, p: Point) {
+            self.0.push(p);
+        }
+        fn delete(&mut self, p: &Point) -> bool {
+            let before = self.0.len();
+            self.0.retain(|x| !(x.same_location(p) && x.id == p.id));
+            self.0.len() != before
+        }
+        fn block_accesses(&self) -> u64 {
+            0
+        }
+        fn reset_stats(&self) {}
+        fn size_bytes(&self) -> usize {
+            self.0.len() * std::mem::size_of::<Point>()
+        }
+        fn height(&self) -> usize {
+            1
+        }
+    }
+
+    #[test]
+    fn default_is_empty_follows_len() {
+        let mut d = Dummy(vec![]);
+        assert!(d.is_empty());
+        d.insert(Point::new(0.5, 0.5));
+        assert!(!d.is_empty());
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn build_stats_of_reads_size_and_height() {
+        let d = Dummy(vec![Point::new(0.1, 0.1); 10]);
+        let s = build_stats_of(&d, 1.5);
+        assert_eq!(s.size_bytes, 10 * std::mem::size_of::<Point>());
+        assert_eq!(s.height, 1);
+        assert_eq!(s.build_seconds, 1.5);
+    }
+}

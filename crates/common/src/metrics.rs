@@ -1,0 +1,133 @@
+//! Recall computation and timing helpers used by tests and the harness.
+
+use geom::Point;
+use std::time::Instant;
+
+/// Recall of an approximate result set against the ground truth: the fraction
+/// of true answers that were returned.
+///
+/// Matching is by point id, which is unique in all generated workloads.  An
+/// empty ground truth yields recall 1.0 (there was nothing to miss), matching
+/// the convention used in the paper's recall plots.
+pub fn recall(result: &[Point], truth: &[Point]) -> f64 {
+    if truth.is_empty() {
+        return 1.0;
+    }
+    let truth_ids: std::collections::HashSet<u64> = truth.iter().map(|p| p.id).collect();
+    let hit = result.iter().filter(|p| truth_ids.contains(&p.id)).count();
+    hit as f64 / truth.len() as f64
+}
+
+/// Fraction of returned points that are *not* in the ground truth
+/// (false-positive rate of the result set).  The paper's window algorithm
+/// guarantees this is zero for RSMI because results are filtered against the
+/// query window.
+pub fn false_positive_rate(result: &[Point], truth: &[Point]) -> f64 {
+    if result.is_empty() {
+        return 0.0;
+    }
+    let truth_ids: std::collections::HashSet<u64> = truth.iter().map(|p| p.id).collect();
+    let fp = result.iter().filter(|p| !truth_ids.contains(&p.id)).count();
+    fp as f64 / result.len() as f64
+}
+
+/// kNN recall as defined in §6.2.4: the number of true kNN points returned
+/// divided by `k` (identical to precision when exactly `k` points are
+/// returned).  Because distance ties can be broken differently by different
+/// indices, a returned point also counts as correct when its distance to the
+/// query does not exceed the true k-th distance (plus a small tolerance).
+pub fn knn_recall(result: &[Point], truth: &[Point], q: &Point, k: usize) -> f64 {
+    if k == 0 {
+        return 1.0;
+    }
+    let truth_ids: std::collections::HashSet<u64> = truth.iter().map(|p| p.id).collect();
+    let kth = truth.last().map_or(f64::INFINITY, |p| p.dist(q)) + 1e-12;
+    let hit = result
+        .iter()
+        .filter(|p| truth_ids.contains(&p.id) || p.dist(q) <= kth)
+        .count()
+        .min(k);
+    hit as f64 / k.min(truth.len().max(1)) as f64
+}
+
+/// Times a closure and returns `(result, seconds)`.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Mean of a slice (0.0 for an empty slice).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(id: u64) -> Point {
+        Point::with_id(id as f64 / 10.0, id as f64 / 10.0, id)
+    }
+
+    #[test]
+    fn recall_counts_matching_ids() {
+        let truth = vec![p(1), p(2), p(3), p(4)];
+        let result = vec![p(1), p(3)];
+        assert!((recall(&result, &truth) - 0.5).abs() < 1e-12);
+        assert_eq!(recall(&[], &truth), 0.0);
+        assert_eq!(recall(&result, &[]), 1.0);
+        assert_eq!(recall(&truth, &truth), 1.0);
+    }
+
+    #[test]
+    fn false_positive_rate_counts_extras() {
+        let truth = vec![p(1), p(2)];
+        let result = vec![p(1), p(2), p(9)];
+        assert!((false_positive_rate(&result, &truth) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(false_positive_rate(&[], &truth), 0.0);
+    }
+
+    #[test]
+    fn knn_recall_accepts_equidistant_substitutes() {
+        let q = Point::new(0.0, 0.0);
+        // Truth: ids 1 and 2 at distances 0.1 and 0.2.
+        let truth = vec![
+            Point::with_id(0.1, 0.0, 1),
+            Point::with_id(0.2, 0.0, 2),
+        ];
+        // Result returns id 3, which is exactly as far as the true 2nd NN.
+        let result = vec![
+            Point::with_id(0.1, 0.0, 1),
+            Point::with_id(0.0, 0.2, 3),
+        ];
+        assert_eq!(knn_recall(&result, &truth, &q, 2), 1.0);
+        // Missing answers reduce the recall.
+        let partial = vec![Point::with_id(0.1, 0.0, 1)];
+        assert_eq!(knn_recall(&partial, &truth, &q, 2), 0.5);
+    }
+
+    #[test]
+    fn knn_recall_handles_degenerate_inputs() {
+        let q = Point::new(0.0, 0.0);
+        assert_eq!(knn_recall(&[], &[], &q, 0), 1.0);
+        assert_eq!(knn_recall(&[], &[p(1)], &q, 5), 0.0);
+    }
+
+    #[test]
+    fn timed_returns_value_and_positive_duration() {
+        let (v, secs) = timed(|| (0..1000).sum::<u64>());
+        assert_eq!(v, 499_500);
+        assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,337 @@
+//! Bulk-loading (recursive construction) of the RSMI (§3.2).
+
+use crate::node::{InternalNode, LeafNode, Node, NodeId};
+use crate::RsmiConfig;
+use geom::{bounding_rect, Point, Rect};
+use mlp::{MlpConfig, ScaledRegressor};
+use sfc::rank_space::{point_cmp_x, point_cmp_y, rank_space_order};
+use sfc::RankSpace;
+use storage::BlockStore;
+
+/// Output of a bulk-load.
+pub(crate) struct BuildOutput {
+    pub nodes: Vec<Node>,
+    pub root: Option<NodeId>,
+    pub store: BlockStore,
+    pub height: usize,
+    pub model_count: usize,
+}
+
+/// Recursive builder state.
+pub(crate) struct Builder {
+    config: RsmiConfig,
+    store: BlockStore,
+    nodes: Vec<Node>,
+    model_count: usize,
+    max_depth: usize,
+}
+
+impl Builder {
+    pub(crate) fn run(config: RsmiConfig, points: Vec<Point>) -> BuildOutput {
+        let mut builder = Builder {
+            store: BlockStore::new(config.block_capacity),
+            config,
+            nodes: Vec::new(),
+            model_count: 0,
+            max_depth: 0,
+        };
+        let root = if points.is_empty() {
+            None
+        } else {
+            Some(builder.build_node(points, 0))
+        };
+        BuildOutput {
+            nodes: builder.nodes,
+            root,
+            store: builder.store,
+            height: builder.max_depth + 1,
+            model_count: builder.model_count,
+        }
+    }
+
+    /// The side length of the internal partitioning grid:
+    /// `2^⌊log₄(N / B)⌋`, at least 2 so every internal node partitions.
+    fn grid_side(&self) -> usize {
+        let ratio = (self.config.partition_threshold / self.config.block_capacity).max(1);
+        let log4 = (ratio as f64).log(4.0).floor() as u32;
+        (1usize << log4).max(2)
+    }
+
+    fn mlp_config(&self, classes: usize) -> MlpConfig {
+        let mut cfg = MlpConfig::for_coordinates(classes.max(1));
+        cfg.epochs = self.config.epochs;
+        cfg.learning_rate = self.config.learning_rate;
+        cfg.seed = self.config.seed.wrapping_add(self.model_count as u64);
+        cfg
+    }
+
+    fn build_node(&mut self, points: Vec<Point>, depth: usize) -> NodeId {
+        self.max_depth = self.max_depth.max(depth);
+        if points.len() <= self.config.partition_threshold || depth >= self.config.max_depth {
+            self.build_leaf(points)
+        } else {
+            self.build_internal(points, depth)
+        }
+    }
+
+    /// Builds a leaf model (§3.1): rank-space ordering, SFC packing into
+    /// blocks, and an MLP predicting local block offsets from coordinates.
+    fn build_leaf(&mut self, points: Vec<Point>) -> NodeId {
+        debug_assert!(!points.is_empty());
+        let capacity = self.config.block_capacity;
+        let curve = self.config.curve;
+
+        // Order the points.
+        let ordered: Vec<Point> = if self.config.use_rank_space {
+            let rs = RankSpace::new(&points);
+            let perm = rs.sorted_permutation(curve);
+            perm.into_iter().map(|i| points[i]).collect()
+        } else {
+            // Ablation: apply the curve directly to raw coordinates on a grid
+            // of the same order as the rank space would use.
+            let order = rank_space_order(points.len()).min(20);
+            let mut with_cv: Vec<(u64, Point)> = points
+                .iter()
+                .map(|p| {
+                    let v = match curve {
+                        sfc::CurveKind::Z => sfc::zcurve::encode_unit(p.x, p.y, order),
+                        sfc::CurveKind::Hilbert => sfc::hilbert::encode_unit(p.x, p.y, order),
+                    };
+                    (v, *p)
+                })
+                .collect();
+            with_cv.sort_by_key(|(v, _)| *v);
+            with_cv.into_iter().map(|(_, p)| p).collect()
+        };
+
+        // Pack into blocks (Equation 1) and record training targets.
+        let range = self.store.pack(&ordered);
+        let first_block = range.start;
+        let n_blocks = range.len().max(1);
+
+        let inputs: Vec<Vec<f64>> = ordered.iter().map(|p| vec![p.x, p.y]).collect();
+        let targets: Vec<u64> = (0..ordered.len())
+            .map(|rank| (rank / capacity) as u64)
+            .collect();
+        let model = ScaledRegressor::fit(self.mlp_config(n_blocks), &inputs, &targets);
+        self.model_count += 1;
+
+        let mbr = bounding_rect(&ordered).unwrap_or_else(Rect::empty);
+        let id = self.nodes.len();
+        self.nodes.push(Node::Leaf(LeafNode {
+            model,
+            first_block,
+            n_blocks,
+            mbr,
+        }));
+        id
+    }
+
+    /// Builds an internal node (§3.2): a non-regular, data-driven grid whose
+    /// cells are enumerated by the SFC; a model learns the cell curve value
+    /// of every point, and points are grouped by the model's predictions.
+    fn build_internal(&mut self, mut points: Vec<Point>, depth: usize) -> NodeId {
+        let s = self.grid_side();
+        let cells = s * s;
+        let grid_order = s.trailing_zeros();
+        let n = points.len();
+
+        // Step 1: data-driven grid.  Cut the data into `s` columns of equal
+        // cardinality by x, then each column into `s` cells by y.
+        points.sort_by(point_cmp_x);
+        let col_size = n.div_ceil(s);
+        let mut true_cell: Vec<u64> = vec![0; n];
+        for (col, col_points) in points.chunks(col_size).enumerate() {
+            // Indices of this column within the sorted-by-x order.
+            let col_start = col * col_size;
+            let mut idx: Vec<usize> = (col_start..col_start + col_points.len()).collect();
+            idx.sort_by(|&a, &b| point_cmp_y(&points[a], &points[b]));
+            let cell_size = col_points.len().div_ceil(s).max(1);
+            for (row, row_idx) in idx.chunks(cell_size).enumerate() {
+                let cv = self
+                    .config
+                    .curve
+                    .encode(col as u32, (row as u32).min(s as u32 - 1), grid_order);
+                for &i in row_idx {
+                    true_cell[i] = cv;
+                }
+            }
+        }
+
+        // Step 2: learn the partitioning function M_{i,j}.
+        let inputs: Vec<Vec<f64>> = points.iter().map(|p| vec![p.x, p.y]).collect();
+        let model = ScaledRegressor::fit(self.mlp_config(cells), &inputs, &true_cell);
+        self.model_count += 1;
+
+        // Step 3: group the points by the model's predictions (the learned
+        // grouping of Fig. 4) or by the true cell (ablation).
+        let mut groups: Vec<Vec<Point>> = vec![Vec::new(); cells];
+        if self.config.group_by_prediction {
+            for (i, p) in points.iter().enumerate() {
+                let j = (model.predict(&inputs[i]) as usize).min(cells - 1);
+                groups[j].push(*p);
+            }
+        } else {
+            for (i, p) in points.iter().enumerate() {
+                groups[true_cell[i] as usize].push(*p);
+            }
+        }
+
+        // Note: if the model collapses all points into one predicted group,
+        // recursion makes no progress; the per-group guard below turns such a
+        // group into a (large) leaf instead.  Regrouping by the true cell
+        // would break the routing guarantee, because queries are routed by
+        // the model's predictions.
+
+        // Step 4: recurse per non-empty group, in cell-curve-value order so
+        // that the global block order follows the curve.
+        let mut children: Vec<Option<NodeId>> = vec![None; cells];
+        let mut child_mbrs: Vec<Rect> = vec![Rect::empty(); cells];
+        let mbr = bounding_rect(&points).unwrap_or_else(Rect::empty);
+        // `points` is no longer needed; free it before recursing.
+        drop(points);
+        drop(inputs);
+
+        for (cell, group) in groups.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            child_mbrs[cell] = bounding_rect(&group).unwrap_or_else(Rect::empty);
+            // A group that did not shrink would recurse forever as an
+            // internal node; force it to become a leaf instead.
+            let child = if group.len() >= n {
+                self.max_depth = self.max_depth.max(depth + 1);
+                self.build_leaf(group)
+            } else {
+                self.build_node(group, depth + 1)
+            };
+            children[cell] = Some(child);
+        }
+
+        let id = self.nodes.len();
+        self.nodes.push(Node::Internal(InternalNode {
+            model,
+            children,
+            child_mbrs,
+            mbr,
+        }));
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_points(n: usize) -> Vec<Point> {
+        // Deterministic pseudo-random points without pulling in `rand`.
+        let mut pts = Vec::with_capacity(n);
+        let mut state = 0x12345678u64;
+        for id in 0..n {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let x = (state >> 11) as f64 / (1u64 << 53) as f64;
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let y = (state >> 11) as f64 / (1u64 << 53) as f64;
+            pts.push(Point::with_id(x, y, id as u64));
+        }
+        pts
+    }
+
+    fn test_config() -> RsmiConfig {
+        RsmiConfig {
+            block_capacity: 20,
+            partition_threshold: 200,
+            epochs: 15,
+            learning_rate: 0.3,
+            ..RsmiConfig::default()
+        }
+    }
+
+    #[test]
+    fn small_data_set_builds_a_single_leaf() {
+        let out = Builder::run(test_config(), uniform_points(150));
+        assert_eq!(out.nodes.len(), 1);
+        assert!(out.nodes[out.root.unwrap()].is_leaf());
+        assert_eq!(out.height, 1);
+        assert_eq!(out.model_count, 1);
+        assert_eq!(out.store.total_points(), 150);
+        assert_eq!(out.store.len(), 8); // ceil(150 / 20)
+    }
+
+    #[test]
+    fn large_data_set_builds_a_recursive_structure() {
+        let out = Builder::run(test_config(), uniform_points(2000));
+        assert!(out.height >= 2, "2000 points with N=200 must recurse");
+        assert!(out.model_count > 1);
+        assert_eq!(out.store.total_points(), 2000);
+        // Every point is stored exactly once.
+        let mut ids: Vec<u64> = out
+            .store
+            .iter()
+            .flat_map(|(_, b)| b.points().iter().map(|p| p.id))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 2000);
+    }
+
+    #[test]
+    fn empty_input_produces_an_empty_index() {
+        let out = Builder::run(test_config(), vec![]);
+        assert!(out.root.is_none());
+        assert!(out.nodes.is_empty());
+        assert_eq!(out.store.total_points(), 0);
+    }
+
+    #[test]
+    fn grid_side_follows_the_paper_formula() {
+        // N = 10_000, B = 100 -> N/B = 100 -> 2^⌊log4 100⌋ = 2^3 = 8.
+        let builder = Builder {
+            config: RsmiConfig::default(),
+            store: BlockStore::new(100),
+            nodes: Vec::new(),
+            model_count: 0,
+            max_depth: 0,
+        };
+        assert_eq!(builder.grid_side(), 8);
+        // N = 8, B = 2 -> N/B = 4 -> 2^1 = 2 (the paper's Fig. 4 example).
+        let builder2 = Builder {
+            config: RsmiConfig {
+                partition_threshold: 8,
+                block_capacity: 2,
+                ..RsmiConfig::default()
+            },
+            store: BlockStore::new(2),
+            nodes: Vec::new(),
+            model_count: 0,
+            max_depth: 0,
+        };
+        assert_eq!(builder2.grid_side(), 2);
+    }
+
+    #[test]
+    fn duplicate_locations_do_not_break_the_build() {
+        let mut pts = uniform_points(300);
+        // Add many duplicates of one location.
+        for i in 0..100 {
+            pts.push(Point::with_id(0.25, 0.25, 10_000 + i));
+        }
+        let out = Builder::run(test_config(), pts);
+        assert_eq!(out.store.total_points(), 400);
+    }
+
+    #[test]
+    fn leaf_blocks_are_chained_in_allocation_order() {
+        let out = Builder::run(test_config(), uniform_points(1000));
+        // Walk the chain from block 0 and count the reachable blocks; all
+        // bulk-loaded blocks must be reachable.
+        let mut count = 1;
+        let mut cur = 0;
+        while let Some(next) = out.store.peek(cur).next() {
+            assert_eq!(next, cur + 1, "bulk blocks must be chained consecutively");
+            cur = next;
+            count += 1;
+        }
+        assert_eq!(count, out.store.len());
+    }
+}

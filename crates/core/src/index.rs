@@ -1,0 +1,1042 @@
+//! The RSMI index: queries (§4), updates (§5), and statistics.
+
+use crate::build::Builder;
+use crate::node::{LeafNode, Node, NodeId};
+use crate::pmf::PiecewiseCdf;
+use crate::RsmiConfig;
+use common::SpatialIndex;
+use geom::{Point, Rect};
+use serde::{Deserialize, Serialize};
+use sfc::CurveKind;
+use std::collections::HashSet;
+use storage::{BlockId, BlockStore};
+
+/// Summary statistics of a built RSMI (Tables 3 and 4 of the paper).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RsmiStats {
+    /// Number of indexed points.
+    pub n_points: usize,
+    /// Structure height (number of model levels).
+    pub height: usize,
+    /// Total number of learned sub-models.
+    pub model_count: usize,
+    /// Number of leaf models.
+    pub leaf_count: usize,
+    /// Average number of sub-models invoked to reach a data block, weighted
+    /// by the number of points under each leaf.
+    pub avg_depth: f64,
+    /// Largest under-prediction bound (`err_ℓ`) over all leaf models.
+    pub max_err_below: u64,
+    /// Largest over-prediction bound (`err_a`) over all leaf models.
+    pub max_err_above: u64,
+    /// Total index size in bytes (blocks + models + directory).
+    pub size_bytes: usize,
+    /// Wall-clock construction time in seconds.
+    pub build_seconds: f64,
+}
+
+/// The Recursive Spatial Model Index.
+///
+/// See the crate-level documentation for an overview and a usage example.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct Rsmi {
+    config: RsmiConfig,
+    nodes: Vec<Node>,
+    root: Option<NodeId>,
+    store: BlockStore,
+    n_points: usize,
+    height: usize,
+    model_count: usize,
+    cdf_x: PiecewiseCdf,
+    cdf_y: PiecewiseCdf,
+    build_seconds: f64,
+}
+
+impl Rsmi {
+    /// Bulk-loads an RSMI from a point set.
+    pub fn build(points: Vec<Point>, config: RsmiConfig) -> Self {
+        let start = std::time::Instant::now();
+        let n_points = points.len();
+        let xs: Vec<f64> = points.iter().map(|p| p.x).collect();
+        let ys: Vec<f64> = points.iter().map(|p| p.y).collect();
+        let cdf_x = PiecewiseCdf::fit(&xs, config.cdf_pieces);
+        let cdf_y = PiecewiseCdf::fit(&ys, config.cdf_pieces);
+        let out = Builder::run(config, points);
+        Self {
+            config,
+            nodes: out.nodes,
+            root: out.root,
+            store: out.store,
+            n_points,
+            height: out.height,
+            model_count: out.model_count,
+            cdf_x,
+            cdf_y,
+            build_seconds: start.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// The configuration used to build the index.
+    pub fn config(&self) -> &RsmiConfig {
+        &self.config
+    }
+
+    /// Statistics of the built structure.
+    pub fn stats(&self) -> RsmiStats {
+        let mut leaf_count = 0usize;
+        let mut max_below = 0u64;
+        let mut max_above = 0u64;
+        for node in &self.nodes {
+            if let Node::Leaf(leaf) = node {
+                leaf_count += 1;
+                max_below = max_below.max(leaf.model.err_below());
+                max_above = max_above.max(leaf.model.err_above());
+            }
+        }
+        RsmiStats {
+            n_points: self.n_points,
+            height: self.height,
+            model_count: self.model_count,
+            leaf_count,
+            avg_depth: self.average_depth(),
+            max_err_below: max_below,
+            max_err_above: max_above,
+            size_bytes: self.size_bytes(),
+            build_seconds: self.build_seconds,
+        }
+    }
+
+    /// Average number of sub-models invoked to reach a data block, weighted
+    /// by points per leaf (reported in §6.2.2).
+    pub fn average_depth(&self) -> f64 {
+        let Some(root) = self.root else { return 0.0 };
+        let mut total_depth = 0f64;
+        let mut total_points = 0f64;
+        let mut stack = vec![(root, 1usize)];
+        while let Some((id, depth)) = stack.pop() {
+            match &self.nodes[id] {
+                Node::Internal(n) => {
+                    for child in n.children.iter().flatten() {
+                        stack.push((*child, depth + 1));
+                    }
+                }
+                Node::Leaf(leaf) => {
+                    let pts: usize = (0..leaf.n_blocks)
+                        .map(|i| self.store.peek(leaf.first_block + i).len())
+                        .sum();
+                    total_depth += (depth * pts) as f64;
+                    total_points += pts as f64;
+                }
+            }
+        }
+        if total_points == 0.0 {
+            0.0
+        } else {
+            total_depth / total_points
+        }
+    }
+
+    /// Collects all live points in storage order (used by rebuild and tests).
+    pub fn collect_points(&self) -> Vec<Point> {
+        self.store
+            .iter()
+            .flat_map(|(_, b)| b.points().iter().copied())
+            .collect()
+    }
+
+    /// Fully rebuilds the index from its current contents.
+    ///
+    /// This realises the paper's **RSMIr** variant: a periodic rebuild (the
+    /// paper retrains the sub-models that exceeded the partition threshold
+    /// after every 10 % of insertions; the reproduction rebuilds the whole
+    /// structure, which restores optimal layout at a coarser granularity —
+    /// see DESIGN.md §2).
+    pub fn rebuild(&mut self) {
+        let points = self.collect_points();
+        let rebuilt = Rsmi::build(points, self.config);
+        *self = rebuilt;
+    }
+
+    // ------------------------------------------------------------------
+    // Routing
+    // ------------------------------------------------------------------
+
+    /// Descends from the root to a leaf following model predictions
+    /// (Algorithm 1, lines 1–3).  Returns the path of internal nodes with
+    /// the child-cell chosen at each, plus the leaf ID.
+    fn descend(&self, x: f64, y: f64) -> Option<(Vec<(NodeId, usize)>, NodeId)> {
+        let mut cur = self.root?;
+        let mut path = Vec::with_capacity(self.height);
+        loop {
+            match &self.nodes[cur] {
+                Node::Leaf(_) => return Some((path, cur)),
+                Node::Internal(node) => {
+                    let j = node.model.predict_xy(x, y) as usize;
+                    let (cell, child) = node.nearest_child(j)?;
+                    path.push((cur, cell));
+                    cur = child;
+                }
+            }
+        }
+    }
+
+    fn leaf(&self, id: NodeId) -> &LeafNode {
+        match &self.nodes[id] {
+            Node::Leaf(l) => l,
+            Node::Internal(_) => unreachable!("descend always ends at a leaf"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Point queries (§4.1)
+    // ------------------------------------------------------------------
+
+    /// Point query (Algorithm 1): returns the indexed point with exactly the
+    /// query coordinates, if present.
+    pub fn point_query(&self, q: &Point) -> Option<Point> {
+        let (_, leaf_id) = self.descend(q.x, q.y)?;
+        let leaf = self.leaf(leaf_id);
+        let (lo, hi) = leaf.predicted_range(q.x, q.y);
+        for base in lo..=hi {
+            for id in self.store.overflow_chain(base) {
+                let block = self.store.read(id);
+                if let Some(p) = block.find_at(q.x, q.y) {
+                    return Some(*p);
+                }
+            }
+        }
+        None
+    }
+
+    // ------------------------------------------------------------------
+    // Window queries (§4.2)
+    // ------------------------------------------------------------------
+
+    /// The anchor points whose predicted blocks bound the scan range: the
+    /// bottom-left and top-right corners for Z-ordered data, all four
+    /// corners for Hilbert-ordered data (§4.2).
+    fn window_anchors(&self, window: &Rect) -> Vec<Point> {
+        match self.config.curve {
+            CurveKind::Z => vec![
+                Point::new(window.min_x, window.min_y),
+                Point::new(window.max_x, window.max_y),
+            ],
+            CurveKind::Hilbert => window.corners().to_vec(),
+        }
+    }
+
+    /// Predicted global block range `[begin, end]` covering a window, from
+    /// the error-bounded predictions of its anchor points.
+    fn window_block_range(&self, window: &Rect) -> Option<(BlockId, BlockId)> {
+        let mut begin = usize::MAX;
+        let mut end = 0usize;
+        for anchor in self.window_anchors(window) {
+            let (_, leaf_id) = self.descend(anchor.x, anchor.y)?;
+            let leaf = self.leaf(leaf_id);
+            let (lo, hi) = leaf.predicted_range(anchor.x, anchor.y);
+            begin = begin.min(lo);
+            end = end.max(hi);
+        }
+        if begin == usize::MAX {
+            None
+        } else {
+            Some((begin, end.max(begin)))
+        }
+    }
+
+    /// Scans the block chain from `begin` through `end` (inclusive),
+    /// including overflow blocks spliced into the chain, and calls `f` on
+    /// every block read.
+    fn scan_chain(&self, begin: BlockId, end: BlockId, mut f: impl FnMut(&storage::Block)) {
+        let mut cur = Some(begin);
+        let mut guard = self.store.len() + 1;
+        while let Some(id) = cur {
+            let block = self.store.read(id);
+            f(block);
+            if id == end {
+                // Include the overflow blocks chained directly after `end`.
+                let mut next = block.next();
+                while let Some(n) = next {
+                    if !self.store.peek(n).is_overflow() {
+                        break;
+                    }
+                    let ov = self.store.read(n);
+                    f(ov);
+                    next = ov.next();
+                }
+                break;
+            }
+            cur = block.next();
+            guard -= 1;
+            if guard == 0 {
+                break;
+            }
+        }
+    }
+
+    /// Window query (Algorithm 2).
+    ///
+    /// The answer is **approximate**: it never contains points outside the
+    /// window (results are filtered), but points whose blocks fall outside
+    /// the predicted scan range may be missed.  The paper reports recall
+    /// above 87 % across all settings; use [`Rsmi::window_query_exact`] when
+    /// exact answers are required.
+    pub fn window_query(&self, window: &Rect) -> Vec<Point> {
+        let mut out = Vec::new();
+        let Some((begin, end)) = self.window_block_range(window) else {
+            return out;
+        };
+        self.scan_chain(begin, end, |block| {
+            for p in block.points() {
+                if window.contains(p) {
+                    out.push(*p);
+                }
+            }
+        });
+        out
+    }
+
+    /// Exact window query — the paper's **RSMIa** variant: an R-tree-style
+    /// traversal over the MBRs stored with every sub-model.
+    pub fn window_query_exact(&self, window: &Rect) -> Vec<Point> {
+        let mut out = Vec::new();
+        let Some(root) = self.root else { return out };
+        let counter = self.store.access_counter();
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            match &self.nodes[id] {
+                Node::Internal(node) => {
+                    // One "node access" per internal node visited, so block
+                    // accesses remain comparable with the tree baselines.
+                    counter.add(1);
+                    for (cell, child) in node.children.iter().enumerate() {
+                        if let Some(c) = child {
+                            if node.child_mbrs[cell].intersects(window) {
+                                stack.push(*c);
+                            }
+                        }
+                    }
+                }
+                Node::Leaf(leaf) => {
+                    if !leaf.mbr.intersects(window) {
+                        continue;
+                    }
+                    for i in 0..leaf.n_blocks {
+                        for id in self.store.overflow_chain(leaf.first_block + i) {
+                            let block = self.store.read(id);
+                            if !block.mbr().intersects(window) {
+                                continue;
+                            }
+                            for p in block.points() {
+                                if window.contains(p) {
+                                    out.push(*p);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // kNN queries (§4.3)
+    // ------------------------------------------------------------------
+
+    /// Approximate kNN query (Algorithm 3): search-region expansion around
+    /// the query point, with the initial region sized by the learned
+    /// marginal CDFs (Equation 6).
+    pub fn knn_query(&self, q: &Point, k: usize) -> Vec<Point> {
+        if k == 0 || self.n_points == 0 || self.root.is_none() {
+            return Vec::new();
+        }
+        let k_eff = k.min(self.n_points);
+        let delta = 0.01;
+        let alpha_x = self.cdf_x.alpha(q.x, delta);
+        let alpha_y = self.cdf_y.alpha(q.y, delta);
+        let base = (k_eff as f64 / self.n_points as f64).sqrt();
+        let mut width = (alpha_x * base).min(2.0);
+        let mut height = (alpha_y * base).min(2.0);
+
+        // Best-k list kept sorted by distance (k is small; linear insertion
+        // is cheaper than a heap for the paper's k ≤ 625).
+        let mut best: Vec<(f64, Point)> = Vec::with_capacity(k_eff + 1);
+        let mut visited: HashSet<BlockId> = HashSet::new();
+
+        loop {
+            let window = Rect::centered(q.x, q.y, width, height);
+            if let Some((begin, end)) = self.window_block_range(&window) {
+                let kth = |best: &Vec<(f64, Point)>| {
+                    if best.len() < k_eff {
+                        f64::INFINITY
+                    } else {
+                        best[k_eff - 1].0
+                    }
+                };
+                self.scan_chain(begin, end, |block| {
+                    // `scan_chain` charges the read; skip re-processing
+                    // blocks already examined in a previous round.
+                    let id_guess = block.points().first().map(|p| p.id).unwrap_or(u64::MAX);
+                    let _ = id_guess; // blocks are identified below by content hash of first point
+                    let dist_bound = kth(&best);
+                    if best.len() >= k_eff && block.mbr().min_dist(q) >= dist_bound {
+                        return;
+                    }
+                    for p in block.points() {
+                        let d = p.dist(q);
+                        if best.len() < k_eff || d < kth(&best) {
+                            let pos = best
+                                .binary_search_by(|(bd, bp)| {
+                                    bd.partial_cmp(&d)
+                                        .unwrap_or(std::cmp::Ordering::Equal)
+                                        .then(bp.id.cmp(&p.id))
+                                })
+                                .unwrap_or_else(|e| e);
+                            best.insert(pos, (d, *p));
+                            if best.len() > k_eff {
+                                best.pop();
+                            }
+                        }
+                    }
+                });
+                // Track visited blocks by id range to avoid double counting in
+                // the expansion bookkeeping (reads are still charged, matching
+                // the paper's "unvisited" check being per expansion round).
+                visited.extend(begin..=end);
+            }
+
+            let covers_space = width >= 2.0 && height >= 2.0;
+            if best.len() < k_eff {
+                if covers_space {
+                    // The learned routing missed some blocks even for a
+                    // space-covering window; fall back to a full scan so the
+                    // result is always k points.
+                    self.full_scan_knn(q, k_eff, &mut best);
+                    break;
+                }
+                width = (width * 2.0).min(2.0);
+                height = (height * 2.0).min(2.0);
+                continue;
+            }
+            let dk = best[k_eff - 1].0;
+            let half_diag = (width * width + height * height).sqrt() / 2.0;
+            if dk > half_diag && !covers_space {
+                width = (2.0 * dk).min(2.0);
+                height = (2.0 * dk).min(2.0);
+                continue;
+            }
+            break;
+        }
+        best.into_iter().map(|(_, p)| p).collect()
+    }
+
+    fn full_scan_knn(&self, q: &Point, k: usize, best: &mut Vec<(f64, Point)>) {
+        best.clear();
+        for (_, block) in self.store.iter() {
+            for p in block.points() {
+                let d = p.dist(q);
+                let pos = best
+                    .binary_search_by(|(bd, bp)| {
+                        bd.partial_cmp(&d)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then(bp.id.cmp(&p.id))
+                    })
+                    .unwrap_or_else(|e| e);
+                if pos < k {
+                    best.insert(pos, (d, *p));
+                    if best.len() > k {
+                        best.pop();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Exact kNN query — the RSMIa variant: a best-first traversal over the
+    /// sub-model MBRs (the classical algorithm of Roussopoulos et al.).
+    pub fn knn_query_exact(&self, q: &Point, k: usize) -> Vec<Point> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        #[derive(PartialEq)]
+        struct Entry {
+            dist: f64,
+            kind: EntryKind,
+        }
+        #[derive(PartialEq)]
+        enum EntryKind {
+            Node(NodeId),
+            Block(BlockId),
+            Point(Point),
+        }
+        impl Eq for Entry {}
+        impl Ord for Entry {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.dist
+                    .partial_cmp(&other.dist)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            }
+        }
+        impl PartialOrd for Entry {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        let mut out = Vec::new();
+        if k == 0 {
+            return out;
+        }
+        let Some(root) = self.root else { return out };
+        let counter = self.store.access_counter();
+        let mut heap: BinaryHeap<Reverse<Entry>> = BinaryHeap::new();
+        heap.push(Reverse(Entry {
+            dist: self.nodes[root].mbr().min_dist(q),
+            kind: EntryKind::Node(root),
+        }));
+        while let Some(Reverse(entry)) = heap.pop() {
+            match entry.kind {
+                EntryKind::Point(p) => {
+                    out.push(p);
+                    if out.len() == k {
+                        break;
+                    }
+                }
+                EntryKind::Block(id) => {
+                    let block = self.store.read(id);
+                    for p in block.points() {
+                        heap.push(Reverse(Entry {
+                            dist: p.dist(q),
+                            kind: EntryKind::Point(*p),
+                        }));
+                    }
+                }
+                EntryKind::Node(id) => match &self.nodes[id] {
+                    Node::Internal(node) => {
+                        counter.add(1);
+                        for (cell, child) in node.children.iter().enumerate() {
+                            if let Some(c) = child {
+                                heap.push(Reverse(Entry {
+                                    dist: node.child_mbrs[cell].min_dist(q),
+                                    kind: EntryKind::Node(*c),
+                                }));
+                            }
+                        }
+                    }
+                    Node::Leaf(leaf) => {
+                        counter.add(1);
+                        for i in 0..leaf.n_blocks {
+                            for b in self.store.overflow_chain(leaf.first_block + i) {
+                                let dist = self.store.peek(b).mbr().min_dist(q);
+                                heap.push(Reverse(Entry {
+                                    dist,
+                                    kind: EntryKind::Block(b),
+                                }));
+                            }
+                        }
+                    }
+                },
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Updates (§5)
+    // ------------------------------------------------------------------
+
+    /// Inserts a point.
+    ///
+    /// The point is placed in the block predicted by the index; if that
+    /// block (and the overflow blocks already chained after it) is full, a
+    /// new overflow block is spliced in after it.  MBRs along the routing
+    /// path are enlarged so the exact-query variants stay correct.
+    pub fn insert(&mut self, p: Point) {
+        if self.root.is_none() {
+            *self = Rsmi::build(vec![p], self.config);
+            return;
+        }
+        let Some((path, leaf_id)) = self.descend(p.x, p.y) else {
+            return;
+        };
+        // Enlarge MBRs along the path (§5: "recursively update the MBRs of
+        // the ancestor models").
+        for (node_id, cell) in &path {
+            if let Node::Internal(node) = &mut self.nodes[*node_id] {
+                node.mbr.expand_to_point(p);
+                node.child_mbrs[*cell].expand_to_point(p);
+            }
+        }
+        let (predicted, leaf_first, leaf_blocks) = {
+            let leaf = self.leaf(leaf_id);
+            (
+                leaf.global_block(leaf.model.predict_xy(p.x, p.y)),
+                leaf.first_block,
+                leaf.n_blocks,
+            )
+        };
+        debug_assert!(predicted >= leaf_first && predicted < leaf_first + leaf_blocks);
+        if let Node::Leaf(leaf) = &mut self.nodes[leaf_id] {
+            leaf.mbr.expand_to_point(p);
+        }
+        // Find space in the predicted block or its overflow chain.
+        let chain = self.store.overflow_chain(predicted);
+        let mut target = None;
+        for id in &chain {
+            if !self.store.read(*id).is_full() {
+                target = Some(*id);
+                break;
+            }
+        }
+        let target = target.unwrap_or_else(|| {
+            self.store
+                .insert_overflow_after(*chain.last().expect("chain contains the base block"))
+        });
+        self.store.write(target).push(p);
+        self.n_points += 1;
+    }
+
+    /// Deletes the point with the given coordinates and id.  Returns whether
+    /// a point was removed.  Blocks are never shrunk (§5), so error bounds
+    /// remain valid; the freed slot is reused by later insertions.
+    pub fn delete(&mut self, p: &Point) -> bool {
+        let Some((_, leaf_id)) = self.descend(p.x, p.y) else {
+            return false;
+        };
+        let leaf = self.leaf(leaf_id);
+        let (lo, hi) = leaf.predicted_range(p.x, p.y);
+        for base in lo..=hi {
+            for id in self.store.overflow_chain(base) {
+                let found = {
+                    let block = self.store.read(id);
+                    block.find_at(p.x, p.y).map(|q| q.id)
+                };
+                if let Some(found_id) = found {
+                    if found_id == p.id || p.id == 0 {
+                        self.store.write(id).remove_by_id(found_id);
+                        self.n_points -= 1;
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    // ------------------------------------------------------------------
+    // Persistence
+    // ------------------------------------------------------------------
+
+    /// Serialises the whole index (models, directory, and data blocks) to a
+    /// JSON string, so a bulk-loaded index can be built once and shipped.
+    ///
+    /// Training a learned index is the expensive part of its life cycle
+    /// (§6.2.2); persistence lets deployments pay it offline.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Restores an index previously serialised with [`Rsmi::to_json`].
+    ///
+    /// The block-access counter starts from zero in the restored index.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Number of overflow blocks created by insertions since the last
+    /// (re)build — the `I` of the paper's update cost analysis.
+    pub fn overflow_block_count(&self) -> usize {
+        self.store.iter().filter(|(_, b)| b.is_overflow()).count()
+    }
+
+    /// Read access to the underlying block store (used by the harness for
+    /// block-access accounting).
+    pub fn block_store(&self) -> &BlockStore {
+        &self.store
+    }
+}
+
+impl SpatialIndex for Rsmi {
+    fn name(&self) -> &'static str {
+        "RSMI"
+    }
+
+    fn len(&self) -> usize {
+        self.n_points
+    }
+
+    fn point_query(&self, q: &Point) -> Option<Point> {
+        Rsmi::point_query(self, q)
+    }
+
+    fn window_query(&self, window: &Rect) -> Vec<Point> {
+        Rsmi::window_query(self, window)
+    }
+
+    fn knn_query(&self, q: &Point, k: usize) -> Vec<Point> {
+        Rsmi::knn_query(self, q, k)
+    }
+
+    fn insert(&mut self, p: Point) {
+        Rsmi::insert(self, p)
+    }
+
+    fn delete(&mut self, p: &Point) -> bool {
+        Rsmi::delete(self, p)
+    }
+
+    fn block_accesses(&self) -> u64 {
+        self.store.block_accesses()
+    }
+
+    fn reset_stats(&self) {
+        self.store.reset_stats();
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.store.size_bytes()
+            + self.nodes.iter().map(Node::size_bytes).sum::<usize>()
+            + self.cdf_x.size_bytes()
+            + self.cdf_y.size_bytes()
+    }
+
+    fn height(&self) -> usize {
+        self.height
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use common::{brute_force, metrics};
+
+    fn grid_points(side: usize) -> Vec<Point> {
+        let mut pts = Vec::with_capacity(side * side);
+        for i in 0..side {
+            for j in 0..side {
+                pts.push(Point::with_id(
+                    (i as f64 + 0.5) / side as f64,
+                    (j as f64 + 0.5) / side as f64,
+                    (i * side + j) as u64,
+                ));
+            }
+        }
+        pts
+    }
+
+    fn pseudo_random_points(n: usize, seed: u64) -> Vec<Point> {
+        let mut state = seed | 1;
+        let mut pts = Vec::with_capacity(n);
+        for id in 0..n {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let x = (state >> 11) as f64 / (1u64 << 53) as f64;
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let y = (state >> 11) as f64 / (1u64 << 53) as f64;
+            pts.push(Point::with_id(x, y, id as u64));
+        }
+        pts
+    }
+
+    fn small_config() -> RsmiConfig {
+        RsmiConfig {
+            block_capacity: 16,
+            partition_threshold: 300,
+            epochs: 20,
+            learning_rate: 0.3,
+            ..RsmiConfig::default()
+        }
+    }
+
+    #[test]
+    fn every_indexed_point_is_found_by_a_point_query() {
+        let pts = pseudo_random_points(1200, 3);
+        let index = Rsmi::build(pts.clone(), small_config());
+        for p in &pts {
+            let found = index.point_query(p);
+            assert!(found.is_some(), "point {:?} not found", p);
+            assert_eq!(found.unwrap().id, p.id);
+        }
+    }
+
+    #[test]
+    fn point_query_misses_points_that_were_never_inserted() {
+        let pts = grid_points(20);
+        let index = Rsmi::build(pts, small_config());
+        assert!(index.point_query(&Point::new(0.003, 0.0071)).is_none());
+    }
+
+    #[test]
+    fn empty_index_answers_queries_gracefully() {
+        let index = Rsmi::build(vec![], small_config());
+        assert_eq!(index.len(), 0);
+        assert!(index.point_query(&Point::new(0.5, 0.5)).is_none());
+        assert!(index.window_query(&Rect::unit()).is_empty());
+        assert!(index.knn_query(&Point::new(0.5, 0.5), 3).is_empty());
+        assert!(index.window_query_exact(&Rect::unit()).is_empty());
+        assert!(index.knn_query_exact(&Point::new(0.5, 0.5), 3).is_empty());
+    }
+
+    #[test]
+    fn window_query_has_no_false_positives_and_good_recall() {
+        let pts = pseudo_random_points(2000, 9);
+        let index = Rsmi::build(pts.clone(), small_config());
+        let windows = [
+            Rect::new(0.1, 0.1, 0.3, 0.25),
+            Rect::new(0.4, 0.4, 0.6, 0.6),
+            Rect::new(0.0, 0.0, 1.0, 0.05),
+            Rect::new(0.72, 0.11, 0.93, 0.37),
+        ];
+        let mut recalls = Vec::new();
+        for w in &windows {
+            let truth = brute_force::window_query(&pts, w);
+            let got = index.window_query(w);
+            assert_eq!(metrics::false_positive_rate(&got, &truth), 0.0);
+            recalls.push(metrics::recall(&got, &truth));
+        }
+        let avg = metrics::mean(&recalls);
+        assert!(avg > 0.8, "average recall too low: {avg} ({recalls:?})");
+    }
+
+    #[test]
+    fn exact_window_query_matches_brute_force() {
+        let pts = pseudo_random_points(1500, 5);
+        let index = Rsmi::build(pts.clone(), small_config());
+        for w in [
+            Rect::new(0.2, 0.3, 0.5, 0.6),
+            Rect::new(0.0, 0.0, 0.1, 1.0),
+            Rect::new(0.9, 0.9, 1.0, 1.0),
+        ] {
+            let mut truth: Vec<u64> = brute_force::window_query(&pts, &w).iter().map(|p| p.id).collect();
+            let mut got: Vec<u64> = index.window_query_exact(&w).iter().map(|p| p.id).collect();
+            truth.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(got, truth);
+        }
+    }
+
+    #[test]
+    fn exact_knn_matches_brute_force_distances() {
+        let pts = pseudo_random_points(800, 7);
+        let index = Rsmi::build(pts.clone(), small_config());
+        for q in [Point::new(0.5, 0.5), Point::new(0.05, 0.95), Point::new(0.99, 0.01)] {
+            for k in [1, 5, 20] {
+                let truth = brute_force::knn_query(&pts, &q, k);
+                let got = index.knn_query_exact(&q, k);
+                assert_eq!(got.len(), k);
+                for (a, b) in truth.iter().zip(&got) {
+                    assert!((a.dist(&q) - b.dist(&q)).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn approximate_knn_returns_k_points_with_high_recall() {
+        let pts = pseudo_random_points(2000, 21);
+        let index = Rsmi::build(pts.clone(), small_config());
+        let mut recalls = Vec::new();
+        for q in [
+            Point::new(0.5, 0.5),
+            Point::new(0.1, 0.2),
+            Point::new(0.85, 0.6),
+            Point::new(0.01, 0.99),
+        ] {
+            let k = 10;
+            let got = index.knn_query(&q, k);
+            assert_eq!(got.len(), k);
+            let truth = brute_force::knn_query(&pts, &q, k);
+            recalls.push(metrics::knn_recall(&got, &truth, &q, k));
+        }
+        let avg = metrics::mean(&recalls);
+        assert!(avg > 0.8, "kNN recall too low: {avg}");
+    }
+
+    #[test]
+    fn knn_with_k_larger_than_data_returns_all_points() {
+        let pts = grid_points(5); // 25 points
+        let index = Rsmi::build(pts.clone(), small_config());
+        let got = index.knn_query(&Point::new(0.5, 0.5), 100);
+        assert_eq!(got.len(), 25);
+    }
+
+    #[test]
+    fn inserted_points_are_found_and_counted() {
+        let pts = pseudo_random_points(600, 31);
+        let mut index = Rsmi::build(pts.clone(), small_config());
+        let new_points: Vec<Point> = (0..200)
+            .map(|i| {
+                let base = pts[i * 3];
+                Point::with_id((base.x + 0.001).min(1.0), base.y, 10_000 + i as u64)
+            })
+            .collect();
+        for p in &new_points {
+            index.insert(*p);
+        }
+        assert_eq!(index.len(), 800);
+        for p in &new_points {
+            let found = index.point_query(p);
+            assert_eq!(found.map(|f| f.id), Some(p.id), "inserted point lost: {p:?}");
+        }
+        // Old points are still reachable.
+        for p in pts.iter().step_by(7) {
+            assert!(index.point_query(p).is_some());
+        }
+    }
+
+    #[test]
+    fn insert_into_empty_index_bootstraps_it() {
+        let mut index = Rsmi::build(vec![], small_config());
+        index.insert(Point::with_id(0.3, 0.4, 1));
+        index.insert(Point::with_id(0.6, 0.1, 2));
+        assert_eq!(index.len(), 2);
+        assert_eq!(index.point_query(&Point::new(0.3, 0.4)).unwrap().id, 1);
+        assert_eq!(index.point_query(&Point::new(0.6, 0.1)).unwrap().id, 2);
+    }
+
+    #[test]
+    fn deleted_points_disappear_and_slots_are_reused() {
+        let pts = pseudo_random_points(500, 13);
+        let mut index = Rsmi::build(pts.clone(), small_config());
+        let victim = pts[123];
+        assert!(index.delete(&victim));
+        assert_eq!(index.len(), 499);
+        assert!(index.point_query(&victim).is_none());
+        // Deleting again fails.
+        assert!(!index.delete(&victim));
+        // Other points survive.
+        assert!(index.point_query(&pts[124]).is_some());
+        // Re-inserting a point at the same location works.
+        index.insert(victim);
+        assert!(index.point_query(&victim).is_some());
+    }
+
+    #[test]
+    fn window_queries_see_inserted_points() {
+        let pts = pseudo_random_points(800, 17);
+        let mut index = Rsmi::build(pts.clone(), small_config());
+        let extra = Point::with_id(0.505, 0.505, 99_999);
+        index.insert(extra);
+        let w = Rect::new(0.45, 0.45, 0.55, 0.55);
+        let exact = index.window_query_exact(&w);
+        assert!(exact.iter().any(|p| p.id == extra.id), "exact window query must see the insert");
+    }
+
+    #[test]
+    fn rebuild_restores_layout_and_preserves_content() {
+        let pts = pseudo_random_points(700, 23);
+        let mut index = Rsmi::build(pts.clone(), small_config());
+        for i in 0..300 {
+            let base = pts[i * 2];
+            index.insert(Point::with_id(base.x, (base.y + 0.002).min(1.0), 50_000 + i as u64));
+        }
+        assert!(index.overflow_block_count() > 0, "insertions should create overflow blocks");
+        let before = index.len();
+        index.rebuild();
+        assert_eq!(index.len(), before);
+        assert_eq!(index.overflow_block_count(), 0);
+        // All points still found.
+        for p in pts.iter().step_by(11) {
+            assert!(index.point_query(p).is_some());
+        }
+    }
+
+    #[test]
+    fn stats_report_plausible_values() {
+        let pts = pseudo_random_points(1500, 41);
+        let index = Rsmi::build(pts, small_config());
+        let stats = index.stats();
+        assert_eq!(stats.n_points, 1500);
+        assert!(stats.height >= 2);
+        assert!(stats.leaf_count >= 2);
+        assert!(stats.model_count >= stats.leaf_count);
+        assert!(stats.avg_depth >= 1.0);
+        assert!(stats.avg_depth <= stats.height as f64);
+        assert!(stats.size_bytes > 0);
+        assert!(index.block_accesses() > 0 || index.block_store().block_accesses() == index.block_accesses());
+    }
+
+    #[test]
+    fn block_access_accounting_resets() {
+        let pts = pseudo_random_points(500, 47);
+        let index = Rsmi::build(pts.clone(), small_config());
+        index.reset_stats();
+        assert_eq!(index.block_accesses(), 0);
+        let _ = index.point_query(&pts[0]);
+        assert!(index.block_accesses() >= 1);
+        index.reset_stats();
+        assert_eq!(index.block_accesses(), 0);
+    }
+
+    #[test]
+    fn z_curve_configuration_also_works() {
+        let pts = pseudo_random_points(900, 53);
+        let cfg = small_config().with_curve(CurveKind::Z);
+        let index = Rsmi::build(pts.clone(), cfg);
+        for p in pts.iter().step_by(13) {
+            assert!(index.point_query(p).is_some());
+        }
+        let w = Rect::new(0.3, 0.3, 0.5, 0.5);
+        let truth = brute_force::window_query(&pts, &w);
+        let got = index.window_query(&w);
+        assert_eq!(metrics::false_positive_rate(&got, &truth), 0.0);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_structure_and_answers() {
+        let pts = pseudo_random_points(800, 71);
+        let index = Rsmi::build(pts.clone(), small_config());
+        let json = index.to_json().expect("serialise");
+        let restored = Rsmi::from_json(&json).expect("deserialise");
+        assert_eq!(restored.len(), index.len());
+        assert_eq!(restored.height(), index.height());
+        assert_eq!(restored.stats().model_count, index.stats().model_count);
+        // Point queries keep working and agree with the original index.
+        for p in pts.iter().step_by(23) {
+            assert_eq!(
+                restored.point_query(p).map(|f| f.id),
+                index.point_query(p).map(|f| f.id)
+            );
+        }
+        // Window queries return identical id sets.
+        let w = Rect::new(0.2, 0.2, 0.45, 0.5);
+        let mut a: Vec<u64> = index.window_query(&w).iter().map(|p| p.id).collect();
+        let mut b: Vec<u64> = restored.window_query(&w).iter().map(|p| p.id).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        // The restored index is mutable like any other.
+        let mut restored = restored;
+        restored.insert(Point::with_id(0.5, 0.5, 123_456));
+        assert!(restored.point_query(&Point::new(0.5, 0.5)).is_some());
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_input() {
+        assert!(Rsmi::from_json("{not valid json").is_err());
+        assert!(Rsmi::from_json("{\"nodes\": []}").is_err());
+    }
+
+    #[test]
+    fn ablation_configurations_still_index_correctly() {
+        let pts = pseudo_random_points(900, 61);
+        // Raw-coordinate ordering keeps the point-query guarantee (only the
+        // leaf CDF gets harder to learn).
+        let cfg = small_config().with_rank_space(false);
+        let index = Rsmi::build(pts.clone(), cfg);
+        for p in pts.iter().step_by(17) {
+            assert!(index.point_query(p).is_some(), "cfg {cfg:?}");
+        }
+        // Grouping by the *true* grid cell (instead of the model prediction)
+        // breaks the routing guarantee — exactly the paper's argument for
+        // learned grouping — but the MBR-based exact queries stay correct.
+        let cfg = small_config().with_group_by_prediction(false);
+        let index = Rsmi::build(pts.clone(), cfg);
+        let w = Rect::new(0.2, 0.2, 0.5, 0.5);
+        let mut truth: Vec<u64> = brute_force::window_query(&pts, &w).iter().map(|p| p.id).collect();
+        let mut got: Vec<u64> = index.window_query_exact(&w).iter().map(|p| p.id).collect();
+        truth.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(got, truth);
+    }
+}

@@ -1,0 +1,213 @@
+//! Query-workload generators (Table 2 of the paper).
+//!
+//! "We generate queries that follow the data distribution for each set of
+//! query experiments" (§6.1): query anchors are sampled from the data set
+//! itself, so dense regions receive proportionally more queries.
+
+use geom::{Point, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Default number of queries per experiment in the paper (window and kNN).
+pub const DEFAULT_QUERY_COUNT: usize = 1000;
+
+/// The paper's window-size axis: query window area as a *percentage* of the
+/// data-space area (Table 2), default 0.01 %.
+pub const WINDOW_SIZE_PERCENTS: [f64; 5] = [0.0006, 0.0025, 0.01, 0.04, 0.16];
+
+/// The paper's aspect-ratio axis, default 1.
+pub const ASPECT_RATIOS: [f64; 5] = [0.25, 0.5, 1.0, 2.0, 4.0];
+
+/// The paper's k axis for kNN queries, default 25.
+pub const K_VALUES: [usize; 5] = [1, 5, 25, 125, 625];
+
+/// Parameters of a window-query workload.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct WindowSpec {
+    /// Window area as a percentage of the data space (e.g. `0.01` = 0.01 %).
+    pub area_percent: f64,
+    /// Width : height ratio of the window.
+    pub aspect_ratio: f64,
+}
+
+impl Default for WindowSpec {
+    fn default() -> Self {
+        Self {
+            area_percent: 0.01,
+            aspect_ratio: 1.0,
+        }
+    }
+}
+
+impl WindowSpec {
+    /// Absolute width and height of a window in the unit square.
+    pub fn dimensions(&self) -> (f64, f64) {
+        let area = self.area_percent / 100.0;
+        let width = (area * self.aspect_ratio).sqrt();
+        let height = (area / self.aspect_ratio).sqrt();
+        (width, height)
+    }
+}
+
+/// Samples `count` query points from the data set (the paper uses the data
+/// points themselves as point queries).
+pub fn point_queries(data: &[Point], count: usize, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| data[rng.gen_range(0..data.len())])
+        .collect()
+}
+
+/// Generates point queries that are *not* in the data set (negative lookups),
+/// by jittering sampled data points.
+pub fn negative_point_queries(data: &[Point], count: usize, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+    (0..count)
+        .map(|i| {
+            let p = data[rng.gen_range(0..data.len())];
+            Point::with_id(
+                (p.x + 1e-7 + 1e-6 * rng.gen::<f64>()).min(1.0),
+                (p.y + 1e-7 + 1e-6 * rng.gen::<f64>()).min(1.0),
+                u64::MAX - i as u64,
+            )
+        })
+        .collect()
+}
+
+/// Generates `count` window queries following the data distribution: each
+/// window is centred at a sampled data point and clamped to the unit square.
+pub fn window_queries(data: &[Point], spec: WindowSpec, count: usize, seed: u64) -> Vec<Rect> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (w, h) = spec.dimensions();
+    (0..count)
+        .map(|_| {
+            let c = data[rng.gen_range(0..data.len())];
+            let cx = c.x.clamp(w / 2.0, 1.0 - w / 2.0);
+            let cy = c.y.clamp(h / 2.0, 1.0 - h / 2.0);
+            Rect::centered(cx, cy, w, h)
+        })
+        .collect()
+}
+
+/// Generates `count` kNN query points following the data distribution
+/// (sampled data points with a small jitter so they are rarely exact data
+/// locations).
+pub fn knn_queries(data: &[Point], count: usize, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|i| {
+            let p = data[rng.gen_range(0..data.len())];
+            Point::with_id(
+                (p.x + 0.001 * (rng.gen::<f64>() - 0.5)).clamp(0.0, 1.0),
+                (p.y + 0.001 * (rng.gen::<f64>() - 0.5)).clamp(0.0, 1.0),
+                i as u64,
+            )
+        })
+        .collect()
+}
+
+/// Generates `count` new points for insertion experiments, following the same
+/// distribution as the data (sampled with jitter), with ids that do not clash
+/// with the existing `0..n` ids.
+pub fn insertion_points(data: &[Point], count: usize, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+    let base = data.len() as u64;
+    (0..count)
+        .map(|i| {
+            let p = data[rng.gen_range(0..data.len())];
+            Point::with_id(
+                (p.x + 0.01 * (rng.gen::<f64>() - 0.5)).clamp(0.0, 1.0),
+                (p.y + 0.01 * (rng.gen::<f64>() - 0.5)).clamp(0.0, 1.0),
+                base + i as u64,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, Distribution};
+
+    #[test]
+    fn window_spec_dimensions_match_area_and_ratio() {
+        let spec = WindowSpec {
+            area_percent: 0.16,
+            aspect_ratio: 4.0,
+        };
+        let (w, h) = spec.dimensions();
+        assert!((w * h - 0.0016).abs() < 1e-12);
+        assert!((w / h - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_window_spec_is_the_paper_default() {
+        let spec = WindowSpec::default();
+        assert_eq!(spec.area_percent, 0.01);
+        assert_eq!(spec.aspect_ratio, 1.0);
+    }
+
+    #[test]
+    fn point_queries_come_from_the_data() {
+        let data = generate(Distribution::Uniform, 200, 11);
+        let qs = point_queries(&data, 50, 1);
+        assert_eq!(qs.len(), 50);
+        for q in &qs {
+            assert!(data.iter().any(|p| p.id == q.id && p.same_location(q)));
+        }
+    }
+
+    #[test]
+    fn negative_point_queries_are_not_in_the_data() {
+        let data = generate(Distribution::Uniform, 200, 11);
+        let qs = negative_point_queries(&data, 50, 1);
+        for q in &qs {
+            assert!(!data.iter().any(|p| p.same_location(q)));
+        }
+    }
+
+    #[test]
+    fn window_queries_stay_inside_the_unit_square() {
+        let data = generate(Distribution::skewed_default(), 500, 13);
+        for &pct in &WINDOW_SIZE_PERCENTS {
+            for &ratio in &ASPECT_RATIOS {
+                let spec = WindowSpec {
+                    area_percent: pct,
+                    aspect_ratio: ratio,
+                };
+                for w in window_queries(&data, spec, 20, 3) {
+                    assert!(w.min_x >= -1e-12 && w.max_x <= 1.0 + 1e-12);
+                    assert!(w.min_y >= -1e-12 && w.max_y <= 1.0 + 1e-12);
+                    let (ww, hh) = spec.dimensions();
+                    assert!((w.width() - ww).abs() < 1e-9);
+                    assert!((w.height() - hh).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let data = generate(Distribution::Normal, 300, 17);
+        assert_eq!(point_queries(&data, 10, 5), point_queries(&data, 10, 5));
+        assert_eq!(knn_queries(&data, 10, 5), knn_queries(&data, 10, 5));
+        let spec = WindowSpec::default();
+        assert_eq!(
+            window_queries(&data, spec, 10, 5),
+            window_queries(&data, spec, 10, 5)
+        );
+    }
+
+    #[test]
+    fn insertion_points_have_fresh_ids() {
+        let data = generate(Distribution::Uniform, 100, 19);
+        let ins = insertion_points(&data, 50, 2);
+        assert_eq!(ins.len(), 50);
+        for p in &ins {
+            assert!(p.id >= 100);
+            assert!((0.0..=1.0).contains(&p.x));
+            assert!((0.0..=1.0).contains(&p.y));
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! A minimal multilayer perceptron (MLP) substrate.
+//!
+//! The RSMI paper trains, for every sub-model, "a multilayer perceptron with
+//! an input layer, a hidden layer, and an output layer", sigmoid activation
+//! in the hidden layer, L2 loss, and stochastic gradient descent (§6.1).  The
+//! original implementation uses the PyTorch C++ API; this crate hand-rolls an
+//! equivalent network so the reproduction has no ML-framework dependency.
+//!
+//! Contents:
+//!
+//! * [`Mlp`] — the network itself (forward pass, SGD backward pass),
+//! * [`MlpConfig`] — architecture and training hyper-parameters,
+//! * [`Normalizer`] — min-max scaling of inputs/outputs into `[0, 1]`, as the
+//!   paper does before training,
+//! * [`ScaledRegressor`] — the convenience wrapper used by the indices: it
+//!   owns the normalisers and predicts *integer* targets (block IDs or
+//!   partition IDs) from raw coordinates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod network;
+mod normalizer;
+mod regressor;
+
+pub use network::{Mlp, MlpConfig};
+pub use normalizer::Normalizer;
+pub use regressor::ScaledRegressor;
+
+/// Numerically stable logistic sigmoid.
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_basic_values() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(10.0) > 0.9999);
+        assert!(sigmoid(-10.0) < 0.0001);
+    }
+
+    #[test]
+    fn sigmoid_is_monotone_and_bounded() {
+        let mut prev = sigmoid(-50.0);
+        let mut x = -50.0;
+        while x <= 50.0 {
+            let s = sigmoid(x);
+            assert!((0.0..=1.0).contains(&s));
+            assert!(s >= prev);
+            prev = s;
+            x += 0.5;
+        }
+    }
+
+    #[test]
+    fn sigmoid_does_not_overflow_for_extreme_inputs() {
+        assert!(sigmoid(-1e6).is_finite());
+        assert!(sigmoid(1e6).is_finite());
+    }
+}

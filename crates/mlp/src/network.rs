@@ -1,0 +1,454 @@
+//! The feed-forward network and its SGD trainer.
+
+use crate::sigmoid;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Architecture and training hyper-parameters of a sub-model.
+///
+/// Paper defaults (§6.1): hidden size = (#inputs + #output classes) / 2,
+/// sigmoid hidden activation, learning rate 0.01, 500 epochs, L2 loss.  The
+/// reproduction keeps the architecture but uses a smaller default epoch count
+/// so the full experiment suite runs on a laptop; the harness can restore the
+/// paper's value with [`MlpConfig::epochs`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MlpConfig {
+    /// Number of input features (2 for RSMI coordinates, 1 for ZM Z-values).
+    pub input_dim: usize,
+    /// Number of hidden neurons.
+    pub hidden: usize,
+    /// SGD learning rate.
+    pub learning_rate: f64,
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size (1 = pure SGD).
+    pub batch_size: usize,
+    /// Seed for weight initialisation and shuffling, for reproducibility.
+    pub seed: u64,
+}
+
+impl MlpConfig {
+    /// Configuration for a 2-D coordinate model with the paper's
+    /// hidden-layer sizing rule for `classes` output values.
+    pub fn for_coordinates(classes: usize) -> Self {
+        Self {
+            input_dim: 2,
+            hidden: ((2 + classes) / 2).clamp(4, 64),
+            ..Self::default()
+        }
+    }
+
+    /// Configuration for a 1-D key model (the ZM baseline).
+    pub fn for_keys(classes: usize) -> Self {
+        Self {
+            input_dim: 1,
+            hidden: classes.div_ceil(2).clamp(4, 64),
+            ..Self::default()
+        }
+    }
+
+    /// Returns a copy with a different seed (used to diversify sub-models).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with a different epoch count.
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        Self {
+            input_dim: 2,
+            hidden: 32,
+            learning_rate: 0.01,
+            epochs: 60,
+            batch_size: 32,
+            seed: 42,
+        }
+    }
+}
+
+/// A fully connected network with one sigmoid hidden layer and a linear
+/// scalar output, trained with mini-batch SGD on the L2 loss.
+///
+/// Inputs and targets are expected to be normalised into `[0, 1]` (see
+/// [`crate::Normalizer`]); the output is unbounded but in practice stays near
+/// the unit interval.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    config: MlpConfig,
+    /// Hidden-layer weights, `hidden x input_dim`, row-major.
+    w1: Vec<f64>,
+    /// Hidden-layer biases, length `hidden`.
+    b1: Vec<f64>,
+    /// Output weights, length `hidden`.
+    w2: Vec<f64>,
+    /// Output bias.
+    b2: f64,
+}
+
+impl Mlp {
+    /// Creates a network with small random weights.
+    pub fn new(config: MlpConfig) -> Self {
+        assert!(config.input_dim > 0, "input_dim must be positive");
+        assert!(config.hidden > 0, "hidden must be positive");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        // Xavier-style range for the sigmoid hidden layer.
+        let limit1 = (6.0 / (config.input_dim + config.hidden) as f64).sqrt();
+        let limit2 = (6.0 / (config.hidden + 1) as f64).sqrt();
+        let w1 = (0..config.hidden * config.input_dim)
+            .map(|_| rng.gen_range(-limit1..limit1))
+            .collect();
+        let w2 = (0..config.hidden)
+            .map(|_| rng.gen_range(-limit2..limit2))
+            .collect();
+        Self {
+            config,
+            w1,
+            b1: vec![0.0; config.hidden],
+            w2,
+            b2: 0.0,
+        }
+    }
+
+    /// The configuration the network was created with.
+    pub fn config(&self) -> &MlpConfig {
+        &self.config
+    }
+
+    /// Forward pass for a single sample; `input.len()` must equal
+    /// `config.input_dim`.
+    pub fn predict(&self, input: &[f64]) -> f64 {
+        debug_assert_eq!(input.len(), self.config.input_dim);
+        let mut out = self.b2;
+        let d = self.config.input_dim;
+        for h in 0..self.config.hidden {
+            let mut z = self.b1[h];
+            let row = &self.w1[h * d..(h + 1) * d];
+            for (w, x) in row.iter().zip(input) {
+                z += w * x;
+            }
+            out += self.w2[h] * sigmoid(z);
+        }
+        out
+    }
+
+    /// Mean squared error over a data set.
+    pub fn mse(&self, inputs: &[Vec<f64>], targets: &[f64]) -> f64 {
+        assert_eq!(inputs.len(), targets.len());
+        if inputs.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = inputs
+            .iter()
+            .zip(targets)
+            .map(|(x, &t)| {
+                let e = self.predict(x) - t;
+                e * e
+            })
+            .sum();
+        sum / inputs.len() as f64
+    }
+
+    /// Trains the network in place with mini-batch SGD, minimising the L2
+    /// loss between predictions and `targets` (Equation 3 of the paper).
+    ///
+    /// Returns the final training MSE.
+    // Index-based loops keep the forward and backward passes symmetric and
+    // allocation-free; clippy's iterator suggestion obscures the math here.
+    #[allow(clippy::needless_range_loop)]
+    pub fn train(&mut self, inputs: &[Vec<f64>], targets: &[f64]) -> f64 {
+        assert_eq!(
+            inputs.len(),
+            targets.len(),
+            "inputs and targets must have the same length"
+        );
+        let n = inputs.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let d = self.config.input_dim;
+        let h_count = self.config.hidden;
+        let batch = self.config.batch_size.max(1);
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x9E37_79B9_7F4A_7C15);
+        let mut order: Vec<usize> = (0..n).collect();
+
+        // Per-batch gradient accumulators, reused across iterations to avoid
+        // reallocating in the hot loop.
+        let mut g_w1 = vec![0.0; h_count * d];
+        let mut g_b1 = vec![0.0; h_count];
+        let mut g_w2 = vec![0.0; h_count];
+        let mut hidden = vec![0.0; h_count];
+
+        for _epoch in 0..self.config.epochs {
+            // Fisher-Yates shuffle with the seeded RNG.
+            for i in (1..n).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            for chunk in order.chunks(batch) {
+                g_w1.iter_mut().for_each(|g| *g = 0.0);
+                g_b1.iter_mut().for_each(|g| *g = 0.0);
+                g_w2.iter_mut().for_each(|g| *g = 0.0);
+                let mut g_b2 = 0.0;
+
+                for &idx in chunk {
+                    let x = &inputs[idx];
+                    // Forward, caching hidden activations.
+                    let mut out = self.b2;
+                    for h in 0..h_count {
+                        let mut z = self.b1[h];
+                        let row = &self.w1[h * d..(h + 1) * d];
+                        for (w, xv) in row.iter().zip(x) {
+                            z += w * xv;
+                        }
+                        let a = sigmoid(z);
+                        hidden[h] = a;
+                        out += self.w2[h] * a;
+                    }
+                    // Backward: dL/dout for L = (out - t)^2 is 2 * (out - t);
+                    // the constant 2 is folded into the learning rate.
+                    let delta = out - targets[idx];
+                    g_b2 += delta;
+                    for h in 0..h_count {
+                        let a = hidden[h];
+                        g_w2[h] += delta * a;
+                        let dz = delta * self.w2[h] * a * (1.0 - a);
+                        g_b1[h] += dz;
+                        let row = &mut g_w1[h * d..(h + 1) * d];
+                        for (g, xv) in row.iter_mut().zip(x) {
+                            *g += dz * xv;
+                        }
+                    }
+                }
+
+                let scale = self.config.learning_rate / chunk.len() as f64;
+                for (w, g) in self.w1.iter_mut().zip(&g_w1) {
+                    *w -= scale * g;
+                }
+                for (b, g) in self.b1.iter_mut().zip(&g_b1) {
+                    *b -= scale * g;
+                }
+                for (w, g) in self.w2.iter_mut().zip(&g_w2) {
+                    *w -= scale * g;
+                }
+                self.b2 -= scale * g_b2;
+            }
+        }
+        self.mse(inputs, targets)
+    }
+
+    /// Size of the model parameters in bytes (used for index-size reporting).
+    pub fn size_bytes(&self) -> usize {
+        (self.w1.len() + self.b1.len() + self.w2.len() + 1) * std::mem::size_of::<f64>()
+    }
+
+    /// Analytic gradient of the loss for a single sample, flattened in the
+    /// order `[w1, b1, w2, b2]`.  Exposed for gradient-check tests.
+    #[doc(hidden)]
+    #[allow(clippy::needless_range_loop)]
+    pub fn gradient(&self, x: &[f64], target: f64) -> Vec<f64> {
+        let d = self.config.input_dim;
+        let h_count = self.config.hidden;
+        let mut hidden = vec![0.0; h_count];
+        let mut out = self.b2;
+        for h in 0..h_count {
+            let mut z = self.b1[h];
+            for (w, xv) in self.w1[h * d..(h + 1) * d].iter().zip(x) {
+                z += w * xv;
+            }
+            hidden[h] = sigmoid(z);
+            out += self.w2[h] * hidden[h];
+        }
+        let delta = out - target;
+        let mut grad = Vec::with_capacity(h_count * d + 2 * h_count + 1);
+        for h in 0..h_count {
+            for xv in x.iter().take(d) {
+                grad.push(delta * self.w2[h] * hidden[h] * (1.0 - hidden[h]) * xv);
+            }
+        }
+        for h in 0..h_count {
+            grad.push(delta * self.w2[h] * hidden[h] * (1.0 - hidden[h]));
+        }
+        for &a in hidden.iter().take(h_count) {
+            grad.push(delta * a);
+        }
+        grad.push(delta);
+        grad
+    }
+
+    /// Returns a flat copy of all parameters (for gradient-check tests).
+    #[doc(hidden)]
+    pub fn parameters(&self) -> Vec<f64> {
+        let mut p = self.w1.clone();
+        p.extend_from_slice(&self.b1);
+        p.extend_from_slice(&self.w2);
+        p.push(self.b2);
+        p
+    }
+
+    /// Overwrites all parameters from a flat vector (for gradient checks).
+    #[doc(hidden)]
+    pub fn set_parameters(&mut self, p: &[f64]) {
+        let n1 = self.w1.len();
+        let n2 = self.b1.len();
+        let n3 = self.w2.len();
+        assert_eq!(p.len(), n1 + n2 + n3 + 1);
+        self.w1.copy_from_slice(&p[..n1]);
+        self.b1.copy_from_slice(&p[n1..n1 + n2]);
+        self.w2.copy_from_slice(&p[n1 + n2..n1 + n2 + n3]);
+        self.b2 = p[n1 + n2 + n3];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_config() -> MlpConfig {
+        MlpConfig {
+            input_dim: 2,
+            hidden: 8,
+            learning_rate: 0.5,
+            epochs: 400,
+            batch_size: 8,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn learns_a_linear_function() {
+        // f(x, y) = 0.3 x + 0.5 y + 0.1 on the unit square.
+        let mut inputs = Vec::new();
+        let mut targets = Vec::new();
+        for i in 0..20 {
+            for j in 0..20 {
+                let x = i as f64 / 19.0;
+                let y = j as f64 / 19.0;
+                inputs.push(vec![x, y]);
+                targets.push(0.3 * x + 0.5 * y + 0.1);
+            }
+        }
+        let mut mlp = Mlp::new(toy_config());
+        let before = mlp.mse(&inputs, &targets);
+        let after = mlp.train(&inputs, &targets);
+        assert!(after < before, "training must reduce the loss");
+        assert!(after < 1e-3, "final MSE too high: {after}");
+    }
+
+    #[test]
+    fn learns_a_monotone_cdf_like_function() {
+        // A CDF-shaped 1-D target, the kind of function learned indices fit.
+        let n = 200;
+        let inputs: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / (n - 1) as f64]).collect();
+        let targets: Vec<f64> = inputs.iter().map(|x| x[0].powf(0.5)).collect();
+        let cfg = MlpConfig {
+            input_dim: 1,
+            hidden: 16,
+            learning_rate: 0.5,
+            epochs: 600,
+            batch_size: 16,
+            seed: 3,
+        };
+        let mut mlp = Mlp::new(cfg);
+        let mse = mlp.train(&inputs, &targets);
+        assert!(mse < 3e-3, "MSE {mse} too high for a smooth CDF");
+        // Predictions should be roughly monotone.
+        let preds: Vec<f64> = inputs.iter().map(|x| mlp.predict(x)).collect();
+        let violations = preds.windows(2).filter(|w| w[1] + 0.02 < w[0]).count();
+        assert!(violations < n / 20, "too many monotonicity violations: {violations}");
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let cfg = MlpConfig {
+            input_dim: 2,
+            hidden: 4,
+            learning_rate: 0.1,
+            epochs: 1,
+            batch_size: 1,
+            seed: 11,
+        };
+        let mlp = Mlp::new(cfg);
+        let x = vec![0.3, 0.7];
+        let target = 0.42;
+        let analytic = mlp.gradient(&x, target);
+        let params = mlp.parameters();
+        let eps = 1e-6;
+        let loss = |m: &Mlp| {
+            let e = m.predict(&x) - target;
+            0.5 * e * e
+        };
+        for (i, grad_i) in analytic.iter().enumerate() {
+            let mut plus = mlp.clone();
+            let mut p = params.clone();
+            p[i] += eps;
+            plus.set_parameters(&p);
+            let mut minus = mlp.clone();
+            p[i] -= 2.0 * eps;
+            minus.set_parameters(&p);
+            let numeric = (loss(&plus) - loss(&minus)) / (2.0 * eps);
+            assert!(
+                (numeric - grad_i).abs() < 1e-5,
+                "param {i}: numeric {numeric} vs analytic {grad_i}"
+            );
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic_for_a_fixed_seed() {
+        let inputs: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64 / 49.0, 0.5]).collect();
+        let targets: Vec<f64> = (0..50).map(|i| i as f64 / 49.0).collect();
+        let mut a = Mlp::new(toy_config());
+        let mut b = Mlp::new(toy_config());
+        a.train(&inputs, &targets);
+        b.train(&inputs, &targets);
+        assert_eq!(a.parameters(), b.parameters());
+    }
+
+    #[test]
+    fn empty_training_set_is_a_noop() {
+        let mut mlp = Mlp::new(toy_config());
+        let before = mlp.parameters();
+        let mse = mlp.train(&[], &[]);
+        assert_eq!(mse, 0.0);
+        assert_eq!(mlp.parameters(), before);
+    }
+
+    #[test]
+    fn size_bytes_counts_all_parameters() {
+        let cfg = MlpConfig {
+            input_dim: 2,
+            hidden: 8,
+            ..MlpConfig::default()
+        };
+        let mlp = Mlp::new(cfg);
+        assert_eq!(mlp.size_bytes(), (8 * 2 + 8 + 8 + 1) * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn mismatched_lengths_panic() {
+        let mut mlp = Mlp::new(toy_config());
+        mlp.train(&[vec![0.0, 0.0]], &[]);
+    }
+
+    #[test]
+    fn config_constructors_follow_paper_sizing_rule() {
+        let c = MlpConfig::for_coordinates(100);
+        assert_eq!(c.input_dim, 2);
+        assert_eq!(c.hidden, 51);
+        let k = MlpConfig::for_keys(100);
+        assert_eq!(k.input_dim, 1);
+        assert_eq!(k.hidden, 50);
+        // Clamped for tiny/huge class counts.
+        assert_eq!(MlpConfig::for_coordinates(1).hidden, 4);
+        assert_eq!(MlpConfig::for_coordinates(1000).hidden, 64);
+    }
+}

@@ -1,0 +1,239 @@
+//! A wrapper turning the raw MLP into the "indexing function" used by the
+//! learned indices: raw coordinates in, integer block/partition IDs out.
+
+use crate::{Mlp, MlpConfig, Normalizer};
+use serde::{Deserialize, Serialize};
+
+/// A regression model over integer targets.
+///
+/// This is the unit every learned index sub-model is made of: it owns
+///
+/// * a [`Normalizer`] for the raw inputs (coordinates or curve keys),
+/// * an [`Mlp`] trained on normalised inputs and targets scaled to `[0, 1]`,
+/// * the maximum target value, used to rescale predictions back to IDs.
+///
+/// Predictions are rounded and clamped to `[0, max_target]`, matching the
+/// paper's practice of normalising block IDs into the unit range for training
+/// and scaling back at query time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScaledRegressor {
+    mlp: Mlp,
+    input_norm: Normalizer,
+    max_target: u64,
+    /// Maximum under-prediction observed on the training set (err_ell).
+    err_below: u64,
+    /// Maximum over-prediction observed on the training set (err_a).
+    err_above: u64,
+}
+
+impl ScaledRegressor {
+    /// Trains a regressor on `(inputs[i], targets[i])` pairs.
+    ///
+    /// `inputs` are raw feature rows (e.g. point coordinates); `targets` are
+    /// the ground-truth integer IDs.  After training, the maximum signed
+    /// prediction errors over the training set are recorded as the model's
+    /// error bounds (Equations 4 and 5 of the paper).
+    ///
+    /// # Panics
+    /// Panics when `inputs` and `targets` lengths differ or when `inputs` is
+    /// empty.
+    pub fn fit(config: MlpConfig, inputs: &[Vec<f64>], targets: &[u64]) -> Self {
+        assert_eq!(inputs.len(), targets.len(), "inputs/targets length mismatch");
+        assert!(!inputs.is_empty(), "cannot fit a regressor on an empty set");
+
+        let input_norm = Normalizer::fit(inputs);
+        let max_target = *targets.iter().max().expect("non-empty");
+        let scale = max_target.max(1) as f64;
+
+        let norm_inputs: Vec<Vec<f64>> = inputs.iter().map(|r| input_norm.transform(r)).collect();
+        let norm_targets: Vec<f64> = targets.iter().map(|&t| t as f64 / scale).collect();
+
+        let mut mlp = Mlp::new(config);
+        mlp.train(&norm_inputs, &norm_targets);
+
+        let mut model = Self {
+            mlp,
+            input_norm,
+            max_target,
+            err_below: 0,
+            err_above: 0,
+        };
+        model.compute_error_bounds(inputs, targets);
+        model
+    }
+
+    /// Recomputes the error bounds against a (possibly different) data set.
+    ///
+    /// Used by the indices after bulk-loading and by the rebuild variant
+    /// after retraining.
+    pub fn compute_error_bounds(&mut self, inputs: &[Vec<f64>], targets: &[u64]) {
+        let mut below = 0i64;
+        let mut above = 0i64;
+        for (row, &t) in inputs.iter().zip(targets) {
+            let pred = self.predict(row) as i64;
+            let diff = pred - t as i64;
+            if diff < 0 {
+                below = below.max(-diff);
+            } else {
+                above = above.max(diff);
+            }
+        }
+        self.err_below = below as u64;
+        self.err_above = above as u64;
+    }
+
+    /// Predicts the integer ID for a raw feature row, clamped to
+    /// `[0, max_target]`.
+    #[inline]
+    pub fn predict(&self, row: &[f64]) -> u64 {
+        let normed = self.input_norm.transform(row);
+        let raw = self.mlp.predict(&normed);
+        let scaled = raw * self.max_target.max(1) as f64;
+        scaled.round().clamp(0.0, self.max_target as f64) as u64
+    }
+
+    /// Predicts for a 2-D point without allocating the intermediate row.
+    #[inline]
+    pub fn predict_xy(&self, x: f64, y: f64) -> u64 {
+        let mut buf = [0.0f64; 2];
+        self.input_norm.transform_into(&[x, y], &mut buf);
+        let raw = self.mlp.predict(&buf);
+        let scaled = raw * self.max_target.max(1) as f64;
+        scaled.round().clamp(0.0, self.max_target as f64) as u64
+    }
+
+    /// Maximum under-prediction on the training set (the paper's `err_ℓ`).
+    #[inline]
+    pub fn err_below(&self) -> u64 {
+        self.err_below
+    }
+
+    /// Maximum over-prediction on the training set (the paper's `err_a`).
+    #[inline]
+    pub fn err_above(&self) -> u64 {
+        self.err_above
+    }
+
+    /// Widens the error bounds; used by the update algorithms when insertions
+    /// shift data without retraining.
+    pub fn widen_error_bounds(&mut self, extra_below: u64, extra_above: u64) {
+        self.err_below += extra_below;
+        self.err_above += extra_above;
+    }
+
+    /// The largest target value seen during training.
+    #[inline]
+    pub fn max_target(&self) -> u64 {
+        self.max_target
+    }
+
+    /// Approximate in-memory size of the model, for index-size accounting.
+    pub fn size_bytes(&self) -> usize {
+        self.mlp.size_bytes() + self.input_norm.size_bytes() + 3 * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config(input_dim: usize) -> MlpConfig {
+        MlpConfig {
+            input_dim,
+            hidden: 12,
+            learning_rate: 0.4,
+            epochs: 300,
+            batch_size: 16,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn fits_block_ids_of_uniform_points() {
+        // 400 points on a diagonal, 4 points per "block": the mapping from
+        // coordinates to block id is trivially learnable.
+        let n = 400usize;
+        let inputs: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![i as f64 / n as f64, i as f64 / n as f64])
+            .collect();
+        let targets: Vec<u64> = (0..n).map(|i| (i / 4) as u64).collect();
+        let model = ScaledRegressor::fit(fast_config(2), &inputs, &targets);
+        // Error bounds should be a small fraction of the 100-block range.
+        assert!(model.err_below() + model.err_above() < 30,
+            "error bounds too wide: ({}, {})", model.err_below(), model.err_above());
+        // And every training prediction must fall within the bounds.
+        for (row, &t) in inputs.iter().zip(&targets) {
+            let p = model.predict(row) as i64;
+            assert!(p >= t as i64 - model.err_below() as i64);
+            assert!(p <= t as i64 + model.err_above() as i64);
+        }
+    }
+
+    #[test]
+    fn predictions_are_clamped_to_target_range() {
+        let inputs: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, i as f64]).collect();
+        let targets: Vec<u64> = (0..50).map(|i| i as u64).collect();
+        let model = ScaledRegressor::fit(fast_config(2), &inputs, &targets);
+        // Far outside the training range the clamp keeps predictions valid.
+        assert!(model.predict(&[1e9, 1e9]) <= model.max_target());
+        // predict on raw rows equals predict_xy.
+        assert_eq!(model.predict(&[3.0, 3.0]), model.predict_xy(3.0, 3.0));
+    }
+
+    #[test]
+    fn error_bounds_cover_all_training_points_by_construction() {
+        let inputs: Vec<Vec<f64>> = (0..200)
+            .map(|i| vec![(i % 20) as f64 / 20.0, (i / 20) as f64 / 10.0])
+            .collect();
+        let targets: Vec<u64> = (0..200).map(|i| (i / 10) as u64).collect();
+        let model = ScaledRegressor::fit(fast_config(2), &inputs, &targets);
+        for (row, &t) in inputs.iter().zip(&targets) {
+            let p = model.predict(row) as i64;
+            assert!(p - t as i64 <= model.err_above() as i64);
+            assert!(t as i64 - p <= model.err_below() as i64);
+        }
+    }
+
+    #[test]
+    fn widen_error_bounds_adds_slack() {
+        let inputs = vec![vec![0.0, 0.0], vec![1.0, 1.0]];
+        let targets = vec![0u64, 1];
+        let mut model = ScaledRegressor::fit(fast_config(2), &inputs, &targets);
+        let (b, a) = (model.err_below(), model.err_above());
+        model.widen_error_bounds(2, 3);
+        assert_eq!(model.err_below(), b + 2);
+        assert_eq!(model.err_above(), a + 3);
+    }
+
+    #[test]
+    fn single_key_models_work_for_one_dimensional_inputs() {
+        let inputs: Vec<Vec<f64>> = (0..300).map(|i| vec![i as f64]).collect();
+        let targets: Vec<u64> = (0..300).map(|i| (i / 3) as u64).collect();
+        let model = ScaledRegressor::fit(fast_config(1), &inputs, &targets);
+        let pred = model.predict(&[150.0]);
+        assert!((pred as i64 - 50).unsigned_abs() <= model.err_below().max(model.err_above()) + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn fitting_an_empty_set_panics() {
+        let _ = ScaledRegressor::fit(fast_config(2), &[], &[]);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_predictions_and_bounds() {
+        let inputs: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![(i % 10) as f64 / 10.0, (i / 10) as f64 / 10.0])
+            .collect();
+        let targets: Vec<u64> = (0..100).map(|i| (i / 5) as u64).collect();
+        let model = ScaledRegressor::fit(fast_config(2), &inputs, &targets);
+        let json = serde_json::to_string(&model).expect("serialise");
+        let restored: ScaledRegressor = serde_json::from_str(&json).expect("deserialise");
+        assert_eq!(restored.err_below(), model.err_below());
+        assert_eq!(restored.err_above(), model.err_above());
+        assert_eq!(restored.max_target(), model.max_target());
+        for row in inputs.iter().step_by(7) {
+            assert_eq!(restored.predict(row), model.predict(row));
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Hilbert curve encoding.
+//!
+//! RSMI orders points with a Hilbert curve by default because its better
+//! locality yields better query performance than the Z-curve (§6.1).  The
+//! implementation below is the classic iterative rotate-and-flip algorithm
+//! ("xy2d"/"d2xy"), generalised to an arbitrary curve order up to 31.
+
+/// Rotates/flips a quadrant so that the recursion of the Hilbert construction
+/// lines up.  `n` is the current (power-of-two) grid side length.
+#[inline]
+fn rot(n: u64, x: &mut u64, y: &mut u64, rx: u64, ry: u64) {
+    if ry == 0 {
+        if rx == 1 {
+            *x = n.wrapping_sub(1).wrapping_sub(*x);
+            *y = n.wrapping_sub(1).wrapping_sub(*y);
+        }
+        std::mem::swap(x, y);
+    }
+}
+
+/// Encodes grid cell `(x, y)` of a `2^order x 2^order` grid into its Hilbert
+/// curve value (the distance along the curve), in `[0, 4^order)`.
+///
+/// # Panics
+/// Panics if `order > 31` or if a coordinate does not fit in the grid.
+pub fn encode(x: u32, y: u32, order: u32) -> u64 {
+    assert!(order <= 31, "hilbert order {order} too large (max 31)");
+    let n: u64 = 1 << order;
+    let (mut x, mut y) = (x as u64, y as u64);
+    assert!(x < n && y < n, "coordinate ({x}, {y}) outside 2^{order} grid");
+    let mut d: u64 = 0;
+    let mut s: u64 = n >> 1;
+    while s > 0 {
+        let rx = u64::from((x & s) > 0);
+        let ry = u64::from((y & s) > 0);
+        d += s * s * ((3 * rx) ^ ry);
+        rot(n, &mut x, &mut y, rx, ry);
+        s >>= 1;
+    }
+    d
+}
+
+/// Decodes a Hilbert curve value back into its `(x, y)` grid cell.
+///
+/// # Panics
+/// Panics if `order > 31` or the value is out of range for the grid.
+pub fn decode(d: u64, order: u32) -> (u32, u32) {
+    assert!(order <= 31, "hilbert order {order} too large (max 31)");
+    let n: u64 = 1 << order;
+    assert!(d < n * n, "hilbert value {d} outside 4^{order} range");
+    let (mut x, mut y): (u64, u64) = (0, 0);
+    let mut t = d;
+    let mut s: u64 = 1;
+    while s < n {
+        let rx = 1 & (t / 2);
+        let ry = 1 & (t ^ rx);
+        rot(s, &mut x, &mut y, rx, ry);
+        x += s * rx;
+        y += s * ry;
+        t /= 4;
+        s <<= 1;
+    }
+    (x as u32, y as u32)
+}
+
+/// Maps a point in the unit square onto the Hilbert curve of a `2^order`
+/// grid, analogously to [`crate::zcurve::encode_unit`].
+#[inline]
+pub fn encode_unit(x: f64, y: f64, order: u32) -> u64 {
+    let scale = (1u64 << order) as f64;
+    let max = (1u64 << order) - 1;
+    let gx = ((x.clamp(0.0, 1.0) * scale) as u64).min(max) as u32;
+    let gy = ((y.clamp(0.0, 1.0) * scale) as u64).min(max) as u32;
+    encode(gx, gy, order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_one_matches_manual_curve() {
+        // The order-1 Hilbert curve visits (0,0), (0,1), (1,1), (1,0).
+        assert_eq!(encode(0, 0, 1), 0);
+        assert_eq!(encode(0, 1, 1), 1);
+        assert_eq!(encode(1, 1, 1), 2);
+        assert_eq!(encode(1, 0, 1), 3);
+    }
+
+    #[test]
+    fn order_two_is_a_permutation_with_adjacent_steps() {
+        let order = 2;
+        let n = 4u32;
+        let mut cells = [(0u32, 0u32); 16];
+        for x in 0..n {
+            for y in 0..n {
+                cells[encode(x, y, order) as usize] = (x, y);
+            }
+        }
+        // Consecutive curve values must be adjacent grid cells (Manhattan
+        // distance exactly 1) — the defining property of the Hilbert curve.
+        for w in cells.windows(2) {
+            let (x0, y0) = w[0];
+            let (x1, y1) = w[1];
+            let d = (x0 as i64 - x1 as i64).abs() + (y0 as i64 - y1 as i64).abs();
+            assert_eq!(d, 1, "cells {:?} -> {:?} are not adjacent", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn roundtrip_various_orders() {
+        for order in [1u32, 2, 3, 5, 8, 16, 20] {
+            let n = 1u64 << order;
+            for &(x, y) in &[
+                (0u64, 0u64),
+                (n - 1, 0),
+                (0, n - 1),
+                (n - 1, n - 1),
+                (n / 2, n / 3),
+            ] {
+                let v = encode(x as u32, y as u32, order);
+                assert_eq!(decode(v, order), (x as u32, y as u32));
+            }
+        }
+    }
+
+    #[test]
+    fn curve_values_cover_full_range() {
+        let order = 3;
+        let mut seen = [false; 64];
+        for x in 0..8 {
+            for y in 0..8 {
+                seen[encode(x, y, order) as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn encode_panics_on_out_of_grid_coordinate() {
+        encode(4, 0, 2);
+    }
+
+    #[test]
+    fn encode_unit_handles_boundaries() {
+        let order = 10;
+        let v0 = encode_unit(0.0, 0.0, order);
+        let v1 = encode_unit(1.0, 1.0, order);
+        assert!(v0 < 1 << (2 * order));
+        assert!(v1 < 1 << (2 * order));
+    }
+
+    #[test]
+    fn adjacency_holds_for_order_three() {
+        let order = 3;
+        let n = 8u32;
+        let mut cells = vec![(0u32, 0u32); (n * n) as usize];
+        for x in 0..n {
+            for y in 0..n {
+                cells[encode(x, y, order) as usize] = (x, y);
+            }
+        }
+        for w in cells.windows(2) {
+            let d = (w[0].0 as i64 - w[1].0 as i64).abs() + (w[0].1 as i64 - w[1].1 as i64).abs();
+            assert_eq!(d, 1);
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the space-filling curves and rank-space transform.
+
+use geom::Point;
+use proptest::prelude::*;
+use sfc::{hilbert, rank_space::rank_space_order, zcurve, CurveKind, RankSpace};
+
+proptest! {
+    #[test]
+    fn zcurve_roundtrips(x in any::<u32>(), y in any::<u32>()) {
+        prop_assert_eq!(zcurve::decode(zcurve::encode(x, y)), (x, y));
+    }
+
+    #[test]
+    fn hilbert_roundtrips(order in 1u32..=20, raw_x in any::<u32>(), raw_y in any::<u32>()) {
+        let mask = (1u64 << order) - 1;
+        let x = (raw_x as u64 & mask) as u32;
+        let y = (raw_y as u64 & mask) as u32;
+        let v = hilbert::encode(x, y, order);
+        prop_assert!(v < 1u64 << (2 * order));
+        prop_assert_eq!(hilbert::decode(v, order), (x, y));
+    }
+
+    #[test]
+    fn hilbert_consecutive_values_are_adjacent_cells(order in 1u32..=6, raw in any::<u64>()) {
+        // The defining locality property: consecutive curve positions differ
+        // by exactly one step in exactly one dimension.
+        let max = 1u64 << (2 * order);
+        let d = raw % (max - 1);
+        let (x0, y0) = hilbert::decode(d, order);
+        let (x1, y1) = hilbert::decode(d + 1, order);
+        let dist = (x0 as i64 - x1 as i64).abs() + (y0 as i64 - y1 as i64).abs();
+        prop_assert_eq!(dist, 1);
+    }
+
+    #[test]
+    fn zcurve_is_monotone_in_each_coordinate(x in 0u32..1000, y in 0u32..1000, dx in 1u32..100, dy in 1u32..100) {
+        // Increasing either coordinate strictly increases the Z-value when
+        // the other is fixed.
+        prop_assert!(zcurve::encode(x + dx, y) > zcurve::encode(x, y));
+        prop_assert!(zcurve::encode(x, y + dy) > zcurve::encode(x, y));
+    }
+
+    #[test]
+    fn rank_space_is_a_double_permutation(
+        coords in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 2..200)
+    ) {
+        let pts: Vec<Point> = coords
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| Point::with_id(x, y, i as u64))
+            .collect();
+        let rs = RankSpace::new(&pts);
+        let n = pts.len();
+        let mut seen_x = vec![false; n];
+        let mut seen_y = vec![false; n];
+        for i in 0..n {
+            let (rx, ry) = rs.rank(i);
+            prop_assert!((rx as usize) < n && (ry as usize) < n);
+            prop_assert!(!seen_x[rx as usize]);
+            prop_assert!(!seen_y[ry as usize]);
+            seen_x[rx as usize] = true;
+            seen_y[ry as usize] = true;
+        }
+    }
+
+    #[test]
+    fn rank_space_curve_values_fit_in_order(
+        coords in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 2..200)
+    ) {
+        let pts: Vec<Point> = coords
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| Point::with_id(x, y, i as u64))
+            .collect();
+        let rs = RankSpace::new(&pts);
+        let bound = 1u64 << (2 * rs.order());
+        for curve in [CurveKind::Z, CurveKind::Hilbert] {
+            for v in rs.curve_values(curve) {
+                prop_assert!(v < bound);
+            }
+        }
+        prop_assert!(1usize << rs.order() >= pts.len());
+        prop_assert_eq!(rs.order(), rank_space_order(pts.len()));
+    }
+
+    #[test]
+    fn sorted_permutation_is_stable_under_curve(
+        coords in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 2..100)
+    ) {
+        let pts: Vec<Point> = coords
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| Point::with_id(x, y, i as u64))
+            .collect();
+        let rs = RankSpace::new(&pts);
+        for curve in [CurveKind::Z, CurveKind::Hilbert] {
+            let perm = rs.sorted_permutation(curve);
+            let vals: Vec<u64> = perm.iter().map(|&i| rs.curve_value(i, curve)).collect();
+            prop_assert!(vals.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! A single data block.
+
+use geom::{Point, Rect};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a block within a [`crate::BlockStore`].
+pub type BlockId = usize;
+
+/// A fixed-capacity block of data points.
+///
+/// Blocks are chained with `prev`/`next` pointers in curve-value order so
+/// that window queries can scan a contiguous range of blocks (§3.2).  Blocks
+/// created by insertions after bulk-loading are flagged with
+/// [`Block::is_overflow`] so that they "do not count towards the error
+/// bounds" (§5): query algorithms treat them as extensions of their
+/// predecessor block.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Block {
+    entries: Vec<Point>,
+    capacity: usize,
+    prev: Option<BlockId>,
+    next: Option<BlockId>,
+    overflow: bool,
+}
+
+impl Block {
+    /// Creates an empty block with the given capacity.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "block capacity must be positive");
+        Self {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            prev: None,
+            next: None,
+            overflow: false,
+        }
+    }
+
+    /// Number of live points in the block.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the block holds no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the block is at capacity.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// The block's configured capacity (`B`).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether this block was created by an insertion after bulk-loading.
+    #[inline]
+    pub fn is_overflow(&self) -> bool {
+        self.overflow
+    }
+
+    /// Marks the block as an insertion-created overflow block.
+    #[inline]
+    pub fn set_overflow(&mut self, overflow: bool) {
+        self.overflow = overflow;
+    }
+
+    /// ID of the preceding block in curve order, if any.
+    #[inline]
+    pub fn prev(&self) -> Option<BlockId> {
+        self.prev
+    }
+
+    /// ID of the following block in curve order, if any.
+    #[inline]
+    pub fn next(&self) -> Option<BlockId> {
+        self.next
+    }
+
+    /// Sets the predecessor link.
+    #[inline]
+    pub fn set_prev(&mut self, prev: Option<BlockId>) {
+        self.prev = prev;
+    }
+
+    /// Sets the successor link.
+    #[inline]
+    pub fn set_next(&mut self, next: Option<BlockId>) {
+        self.next = next;
+    }
+
+    /// Appends a point.
+    ///
+    /// # Panics
+    /// Panics if the block is full; callers are expected to check
+    /// [`Block::is_full`] and allocate an overflow block instead.
+    pub fn push(&mut self, p: Point) {
+        assert!(!self.is_full(), "push into a full block");
+        self.entries.push(p);
+    }
+
+    /// The points currently stored in the block.
+    #[inline]
+    pub fn points(&self) -> &[Point] {
+        &self.entries
+    }
+
+    /// Removes the point with the given id, swapping in the last entry
+    /// (the paper's deletion strategy: "swap p with the last point in this
+    /// block and mark p as deleted").  Returns the removed point.
+    pub fn remove_by_id(&mut self, id: u64) -> Option<Point> {
+        let pos = self.entries.iter().position(|p| p.id == id)?;
+        Some(self.entries.swap_remove(pos))
+    }
+
+    /// Finds a point with exactly the given coordinates.
+    pub fn find_at(&self, x: f64, y: f64) -> Option<&Point> {
+        self.entries.iter().find(|p| p.x == x && p.y == y)
+    }
+
+    /// The minimum bounding rectangle of the block's points (empty rectangle
+    /// for an empty block).
+    pub fn mbr(&self) -> Rect {
+        let mut r = Rect::empty();
+        for p in &self.entries {
+            r.expand_to_point(*p);
+        }
+        r
+    }
+
+    /// Approximate in-memory size of the block in bytes, for index-size
+    /// accounting.  The fixed capacity is charged even when the block is not
+    /// full, mirroring an on-disk page.
+    pub fn size_bytes(&self) -> usize {
+        self.capacity * std::mem::size_of::<Point>() + 4 * std::mem::size_of::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_until_full_then_panic() {
+        let mut b = Block::new(3);
+        b.push(Point::new(0.1, 0.1));
+        b.push(Point::new(0.2, 0.2));
+        b.push(Point::new(0.3, 0.3));
+        assert!(b.is_full());
+        let result = std::panic::catch_unwind(move || {
+            let mut b = b;
+            b.push(Point::new(0.4, 0.4));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn remove_by_id_frees_space() {
+        let mut b = Block::new(2);
+        b.push(Point::with_id(0.1, 0.1, 7));
+        b.push(Point::with_id(0.2, 0.2, 8));
+        assert!(b.is_full());
+        let removed = b.remove_by_id(7).unwrap();
+        assert_eq!(removed.id, 7);
+        assert!(!b.is_full());
+        assert_eq!(b.len(), 1);
+        assert!(b.remove_by_id(99).is_none());
+    }
+
+    #[test]
+    fn find_at_matches_exact_coordinates() {
+        let mut b = Block::new(4);
+        b.push(Point::with_id(0.25, 0.75, 3));
+        assert_eq!(b.find_at(0.25, 0.75).unwrap().id, 3);
+        assert!(b.find_at(0.25, 0.7500001).is_none());
+    }
+
+    #[test]
+    fn mbr_covers_all_points_and_empty_block_has_empty_mbr() {
+        let mut b = Block::new(4);
+        assert!(b.mbr().is_empty());
+        b.push(Point::new(0.2, 0.8));
+        b.push(Point::new(0.6, 0.1));
+        let m = b.mbr();
+        assert_eq!(m, Rect::new(0.2, 0.1, 0.6, 0.8));
+    }
+
+    #[test]
+    fn links_and_overflow_flag_roundtrip() {
+        let mut b = Block::new(2);
+        assert_eq!(b.prev(), None);
+        assert_eq!(b.next(), None);
+        b.set_prev(Some(5));
+        b.set_next(Some(7));
+        b.set_overflow(true);
+        assert_eq!(b.prev(), Some(5));
+        assert_eq!(b.next(), Some(7));
+        assert!(b.is_overflow());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_is_rejected() {
+        let _ = Block::new(0);
+    }
+}

@@ -1,0 +1,29 @@
+//! Block storage layer.
+//!
+//! The paper stores data points in external-memory style *blocks* of capacity
+//! `B` (100 in all experiments) and reports the number of block accesses per
+//! query as the I/O cost proxy — all indices, learned and traditional, sit on
+//! top of the same block abstraction.  This crate provides that abstraction:
+//!
+//! * [`Block`] — a fixed-capacity container of points with `prev`/`next`
+//!   links so that consecutive blocks can be scanned like a linked list
+//!   (Fig. 4 of the paper),
+//! * [`BlockStore`] — an arena of blocks with built-in access accounting,
+//! * [`AccessCounter`] — the shared counter behind the accounting.
+//!
+//! Everything is kept in main memory, exactly as in the paper's experimental
+//! setup ("We run all indices and algorithms in main memory for ease of
+//! comparison"); block accesses are what an external-memory deployment would
+//! pay.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod block;
+mod store;
+
+pub use block::{Block, BlockId};
+pub use store::{AccessCounter, BlockStore};
+
+/// The block capacity used throughout the paper's experiments (`B = 100`).
+pub const DEFAULT_BLOCK_CAPACITY: usize = 100;

@@ -1,0 +1,356 @@
+//! The block arena with access accounting.
+
+use crate::block::{Block, BlockId};
+use geom::Point;
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shared counter of block accesses.
+///
+/// Indices hand out clones of this counter to their internal components; the
+/// experiment harness resets it before a query batch and reads it afterwards.
+/// Node accesses of tree baselines are charged to the same counter so that
+/// "# block accesses" is comparable across index families, as in the paper.
+#[derive(Debug, Clone, Default)]
+pub struct AccessCounter(Arc<AtomicU64>);
+
+impl AccessCounter {
+    /// Creates a counter starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` accesses.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current number of recorded accesses.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets the counter to zero.
+    #[inline]
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// An arena of fixed-capacity blocks with access accounting.
+///
+/// Blocks are addressed by [`BlockId`]; the store never reuses IDs, so a
+/// block ID handed out during bulk-loading stays valid across insertions and
+/// deletions (deleted points simply leave free slots, as in §5 of the paper).
+#[derive(Debug, Serialize, Deserialize)]
+pub struct BlockStore {
+    blocks: Vec<Block>,
+    capacity: usize,
+    #[serde(skip, default)]
+    accesses: AccessCounter,
+}
+
+impl BlockStore {
+    /// Creates an empty store whose blocks will have capacity `capacity`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "block capacity must be positive");
+        Self {
+            blocks: Vec::new(),
+            capacity,
+            accesses: AccessCounter::new(),
+        }
+    }
+
+    /// The block capacity `B`.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of blocks allocated so far.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether no blocks have been allocated.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Total number of live points across all blocks.
+    pub fn total_points(&self) -> usize {
+        self.blocks.iter().map(Block::len).sum()
+    }
+
+    /// The shared access counter.
+    pub fn access_counter(&self) -> AccessCounter {
+        self.accesses.clone()
+    }
+
+    /// Number of block accesses recorded since the last reset.
+    pub fn block_accesses(&self) -> u64 {
+        self.accesses.get()
+    }
+
+    /// Resets the access counter.
+    pub fn reset_stats(&self) {
+        self.accesses.reset();
+    }
+
+    /// Allocates a new empty block and returns its ID.
+    pub fn allocate(&mut self) -> BlockId {
+        let id = self.blocks.len();
+        self.blocks.push(Block::new(self.capacity));
+        id
+    }
+
+    /// Reads a block, charging one block access.
+    #[inline]
+    pub fn read(&self, id: BlockId) -> &Block {
+        self.accesses.add(1);
+        &self.blocks[id]
+    }
+
+    /// Reads a block without charging an access (used for maintenance such
+    /// as MBR recomputation, which the paper does not count as query I/O).
+    #[inline]
+    pub fn peek(&self, id: BlockId) -> &Block {
+        &self.blocks[id]
+    }
+
+    /// Mutable access to a block, charging one block access.
+    #[inline]
+    pub fn write(&mut self, id: BlockId) -> &mut Block {
+        self.accesses.add(1);
+        &mut self.blocks[id]
+    }
+
+    /// Mutable access without charging an access.
+    #[inline]
+    pub fn peek_mut(&mut self, id: BlockId) -> &mut Block {
+        &mut self.blocks[id]
+    }
+
+    /// Packs `points`, already sorted in the desired order, into consecutive
+    /// blocks of capacity `B`, linking them `prev`/`next` and to the block
+    /// preceding the packed range (if any).
+    ///
+    /// Returns the range of block IDs created.  This implements the packing
+    /// step of the paper's Equation 1: the `i`-th point (0-based rank) lands
+    /// in local block `i / B`.
+    pub fn pack(&mut self, points: &[Point]) -> Range<BlockId> {
+        let start = self.blocks.len();
+        if points.is_empty() {
+            return start..start;
+        }
+        for chunk in points.chunks(self.capacity) {
+            let id = self.allocate();
+            for &p in chunk {
+                self.blocks[id].push(p);
+            }
+        }
+        let end = self.blocks.len();
+        for id in start..end {
+            if id > start {
+                self.blocks[id].set_prev(Some(id - 1));
+            } else if start > 0 {
+                // Link the first packed block after the previously packed
+                // range so the global chain stays connected.
+                self.blocks[id].set_prev(Some(start - 1));
+                self.blocks[start - 1].set_next(Some(id));
+            }
+            if id + 1 < end {
+                self.blocks[id].set_next(Some(id + 1));
+            }
+        }
+        start..end
+    }
+
+    /// Creates a new overflow block and splices it into the chain directly
+    /// after `after` (the insertion strategy of §5).  Returns its ID.
+    pub fn insert_overflow_after(&mut self, after: BlockId) -> BlockId {
+        let id = self.allocate();
+        let old_next = self.blocks[after].next();
+        self.blocks[id].set_overflow(true);
+        self.blocks[id].set_prev(Some(after));
+        self.blocks[id].set_next(old_next);
+        self.blocks[after].set_next(Some(id));
+        if let Some(n) = old_next {
+            self.blocks[n].set_prev(Some(id));
+        }
+        id
+    }
+
+    /// Follows `next` links starting at `id` (inclusive) and returns the IDs
+    /// of `id` plus all *overflow* blocks chained immediately after it.
+    ///
+    /// Query algorithms use this to extend a predicted block with the blocks
+    /// created by insertions, which are excluded from the error bounds.
+    pub fn overflow_chain(&self, id: BlockId) -> Vec<BlockId> {
+        let mut ids = vec![id];
+        let mut cur = self.blocks[id].next();
+        while let Some(n) = cur {
+            if !self.blocks[n].is_overflow() {
+                break;
+            }
+            ids.push(n);
+            cur = self.blocks[n].next();
+        }
+        ids
+    }
+
+    /// Iterates over all blocks without charging accesses (used by rebuild
+    /// and verification code).
+    pub fn iter(&self) -> impl Iterator<Item = (BlockId, &Block)> {
+        self.blocks.iter().enumerate()
+    }
+
+    /// Approximate total size of all blocks in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.blocks.iter().map(Block::size_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| Point::with_id(i as f64 / n as f64, i as f64 / n as f64, i as u64))
+            .collect()
+    }
+
+    #[test]
+    fn pack_creates_ceil_n_over_b_blocks() {
+        let mut store = BlockStore::new(10);
+        let range = store.pack(&pts(25));
+        assert_eq!(range, 0..3);
+        assert_eq!(store.peek(0).len(), 10);
+        assert_eq!(store.peek(1).len(), 10);
+        assert_eq!(store.peek(2).len(), 5);
+        assert_eq!(store.total_points(), 25);
+    }
+
+    #[test]
+    fn pack_links_blocks_in_order() {
+        let mut store = BlockStore::new(4);
+        store.pack(&pts(12));
+        assert_eq!(store.peek(0).prev(), None);
+        assert_eq!(store.peek(0).next(), Some(1));
+        assert_eq!(store.peek(1).prev(), Some(0));
+        assert_eq!(store.peek(1).next(), Some(2));
+        assert_eq!(store.peek(2).next(), None);
+    }
+
+    #[test]
+    fn consecutive_pack_calls_stay_chained() {
+        let mut store = BlockStore::new(4);
+        let first = store.pack(&pts(8));
+        let second = store.pack(&pts(4));
+        assert_eq!(first, 0..2);
+        assert_eq!(second, 2..3);
+        assert_eq!(store.peek(1).next(), Some(2));
+        assert_eq!(store.peek(2).prev(), Some(1));
+    }
+
+    #[test]
+    fn pack_empty_returns_empty_range() {
+        let mut store = BlockStore::new(4);
+        let r = store.pack(&[]);
+        assert!(r.is_empty());
+        assert_eq!(store.len(), 0);
+    }
+
+    #[test]
+    fn read_and_write_charge_accesses_but_peek_does_not() {
+        let mut store = BlockStore::new(4);
+        store.pack(&pts(8));
+        assert_eq!(store.block_accesses(), 0);
+        let _ = store.read(0);
+        let _ = store.read(1);
+        let _ = store.peek(0);
+        assert_eq!(store.block_accesses(), 2);
+        let _ = store.write(0);
+        assert_eq!(store.block_accesses(), 3);
+        store.reset_stats();
+        assert_eq!(store.block_accesses(), 0);
+    }
+
+    #[test]
+    fn access_counter_is_shared() {
+        let store = BlockStore::new(4);
+        let counter = store.access_counter();
+        counter.add(5);
+        assert_eq!(store.block_accesses(), 5);
+    }
+
+    #[test]
+    fn insert_overflow_after_splices_the_chain() {
+        let mut store = BlockStore::new(4);
+        store.pack(&pts(8)); // blocks 0 and 1
+        let ov = store.insert_overflow_after(0);
+        assert_eq!(ov, 2);
+        assert!(store.peek(ov).is_overflow());
+        assert_eq!(store.peek(0).next(), Some(ov));
+        assert_eq!(store.peek(ov).prev(), Some(0));
+        assert_eq!(store.peek(ov).next(), Some(1));
+        assert_eq!(store.peek(1).prev(), Some(ov));
+    }
+
+    #[test]
+    fn overflow_chain_returns_base_plus_overflow_blocks_only() {
+        let mut store = BlockStore::new(2);
+        store.pack(&pts(4)); // blocks 0 and 1
+        let ov1 = store.insert_overflow_after(0);
+        let ov2 = store.insert_overflow_after(ov1);
+        assert_eq!(store.overflow_chain(0), vec![0, ov1, ov2]);
+        // block 1 is a regular block, so the chain from it stops immediately.
+        assert_eq!(store.overflow_chain(1), vec![1]);
+    }
+
+    #[test]
+    fn size_bytes_scales_with_block_count() {
+        let mut store = BlockStore::new(10);
+        store.pack(&pts(25));
+        let one = store.peek(0).size_bytes();
+        assert_eq!(store.size_bytes(), 3 * one);
+    }
+}
+
+#[cfg(test)]
+mod serde_tests {
+    use super::*;
+    use geom::Point;
+
+    #[test]
+    fn block_store_serde_round_trip_preserves_contents_and_links() {
+        let mut store = BlockStore::new(4);
+        let pts: Vec<Point> = (0..10)
+            .map(|i| Point::with_id(i as f64 / 10.0, 0.5, i as u64))
+            .collect();
+        store.pack(&pts);
+        let ov = store.insert_overflow_after(0);
+        store.peek_mut(ov).push(Point::with_id(0.99, 0.99, 99));
+
+        let json = serde_json::to_string(&store).expect("serialise");
+        let restored: BlockStore = serde_json::from_str(&json).expect("deserialise");
+
+        assert_eq!(restored.len(), store.len());
+        assert_eq!(restored.capacity(), store.capacity());
+        assert_eq!(restored.total_points(), store.total_points());
+        // Chain structure survives, including the overflow splice.
+        assert_eq!(restored.peek(0).next(), Some(ov));
+        assert_eq!(restored.peek(ov).prev(), Some(0));
+        assert!(restored.peek(ov).is_overflow());
+        assert_eq!(restored.overflow_chain(0), store.overflow_chain(0));
+        // The access counter starts fresh in the restored store.
+        assert_eq!(restored.block_accesses(), 0);
+    }
+}

@@ -1,0 +1,59 @@
+//! Quickstart: build an RSMI over synthetic data and run the three query
+//! types the paper supports (point, window, kNN), plus an insertion.
+//!
+//! Run with `cargo run --release -p rsmi --example quickstart`.
+
+use common::SpatialIndex;
+use datagen::{generate, Distribution};
+use geom::{Point, Rect};
+use rsmi::{Rsmi, RsmiConfig};
+
+fn main() {
+    // 1. Generate 50k points from a skewed distribution (the paper's default
+    //    synthetic workload) and bulk-load the index.
+    let points = generate(Distribution::skewed_default(), 50_000, 42);
+    let config = RsmiConfig::default()
+        .with_partition_threshold(5_000)
+        .with_epochs(30);
+    let start = std::time::Instant::now();
+    let mut index = Rsmi::build(points.clone(), config);
+    println!(
+        "built RSMI over {} points in {:.2}s (height {}, {} sub-models, {:.1} MB)",
+        index.len(),
+        start.elapsed().as_secs_f64(),
+        index.stats().height,
+        index.stats().model_count,
+        index.size_bytes() as f64 / (1024.0 * 1024.0),
+    );
+
+    // 2. Point query: look up an indexed point by its coordinates.
+    let target = points[1234];
+    let found = index.point_query(&target).expect("indexed point must be found");
+    println!("point query: found point id {} at ({:.4}, {:.4})", found.id, found.x, found.y);
+
+    // 3. Window query ("search this area"): approximate but never returns a
+    //    point outside the window.
+    let window = Rect::new(0.40, 0.02, 0.45, 0.06);
+    let in_window = index.window_query(&window);
+    let exact = index.window_query_exact(&window);
+    println!(
+        "window query: {} points returned (exact answer has {}, recall {:.1}%)",
+        in_window.len(),
+        exact.len(),
+        100.0 * in_window.len() as f64 / exact.len().max(1) as f64
+    );
+
+    // 4. kNN query ("dinner near me").
+    let me = Point::new(0.5, 0.03);
+    let nn = index.knn_query(&me, 5);
+    println!("5 nearest neighbours of ({:.2}, {:.2}):", me.x, me.y);
+    for p in &nn {
+        println!("  id {:>6}  at ({:.4}, {:.4})  dist {:.5}", p.id, p.x, p.y, p.dist(&me));
+    }
+
+    // 5. Updates: insert a new point and find it again.
+    let new_point = Point::with_id(0.5001, 0.0301, 999_999);
+    index.insert(new_point);
+    assert!(index.point_query(&new_point).is_some());
+    println!("inserted point {} and found it again; index now holds {} points", new_point.id, index.len());
+}

@@ -1,0 +1,51 @@
+//! A stream of insertions with periodic rebuilds (the paper's RSMIr
+//! variant): shows how query performance degrades as overflow blocks
+//! accumulate and recovers after a rebuild.
+//!
+//! Run with `cargo run --release -p rsmi --example update_stream`.
+
+use common::SpatialIndex;
+use datagen::{generate, queries, Distribution};
+use rsmi::{Rsmi, RsmiConfig};
+
+fn main() {
+    let n = 50_000;
+    let data = generate(Distribution::skewed_default(), n, 21);
+    let mut index = Rsmi::build(
+        data.clone(),
+        RsmiConfig::default().with_partition_threshold(5_000).with_epochs(25),
+    );
+    let inserts = queries::insertion_points(&data, n / 2, 5);
+    let batch = n / 10;
+
+    println!("initial: {} points, {} overflow blocks", index.len(), index.overflow_block_count());
+    println!("\n{:>8} {:>16} {:>18} {:>16}", "inserted", "overflow blocks", "point query (us)", "after rebuild (us)");
+
+    let mut all_points = data.clone();
+    for step in 1..=5 {
+        let slice = &inserts[(step - 1) * batch..step * batch];
+        for p in slice {
+            index.insert(*p);
+        }
+        all_points.extend_from_slice(slice);
+        let qs = queries::point_queries(&all_points, 2_000, step as u64);
+
+        let overflow = index.overflow_block_count();
+        let start = std::time::Instant::now();
+        for q in &qs {
+            let _ = index.point_query(q);
+        }
+        let before = start.elapsed().as_secs_f64() * 1e6 / qs.len() as f64;
+
+        // Periodic rebuild (RSMIr): retrain on the current contents.
+        index.rebuild();
+        let start = std::time::Instant::now();
+        for q in &qs {
+            let _ = index.point_query(q);
+        }
+        let after = start.elapsed().as_secs_f64() * 1e6 / qs.len() as f64;
+
+        println!("{:>7}% {:>16} {:>18.2} {:>16.2}", step * 10, overflow, before, after);
+    }
+    println!("\nfinal index: {} points, height {}", index.len(), index.height());
+}

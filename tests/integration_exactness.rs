@@ -1,0 +1,107 @@
+//! Cross-index integration tests: every index family must agree with brute
+//! force on the queries that are supposed to be exact, on the same workloads.
+
+use baselines::{GridFile, HilbertRTree, KdbTree, RStarTree};
+use common::{brute_force, SpatialIndex};
+use datagen::{generate, queries, Distribution};
+use rsmi::{Rsmi, RsmiConfig};
+
+fn exact_indices(data: &[geom::Point]) -> Vec<Box<dyn SpatialIndex>> {
+    vec![
+        Box::new(GridFile::build(data.to_vec(), 50)),
+        Box::new(HilbertRTree::build(data.to_vec(), 50)),
+        Box::new(KdbTree::build(data.to_vec(), 50)),
+        Box::new(RStarTree::build(data.to_vec(), 50)),
+    ]
+}
+
+fn sorted_ids(points: &[geom::Point]) -> Vec<u64> {
+    let mut ids: Vec<u64> = points.iter().map(|p| p.id).collect();
+    ids.sort_unstable();
+    ids
+}
+
+#[test]
+fn every_index_answers_point_queries_for_all_distributions() {
+    for dist in Distribution::all() {
+        let data = generate(dist, 3_000, 13);
+        let mut indices = exact_indices(&data);
+        indices.push(Box::new(Rsmi::build(data.clone(), RsmiConfig::fast())));
+        for index in &indices {
+            for p in data.iter().step_by(29) {
+                assert_eq!(
+                    index.point_query(p).map(|f| f.id),
+                    Some(p.id),
+                    "{} lost point {:?} on {}",
+                    index.name(),
+                    p,
+                    dist.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn exact_window_queries_agree_with_brute_force() {
+    let data = generate(Distribution::TigerLike, 4_000, 17);
+    let windows = queries::window_queries(&data, queries::WindowSpec { area_percent: 0.5, aspect_ratio: 1.0 }, 25, 3);
+    let indices = exact_indices(&data);
+    let rsmi = Rsmi::build(data.clone(), RsmiConfig::fast());
+    for w in &windows {
+        let truth = sorted_ids(&brute_force::window_query(&data, w));
+        for index in &indices {
+            assert_eq!(
+                sorted_ids(&index.window_query(w)),
+                truth,
+                "{} window answer differs",
+                index.name()
+            );
+        }
+        assert_eq!(sorted_ids(&rsmi.window_query_exact(w)), truth, "RSMIa differs");
+    }
+}
+
+#[test]
+fn exact_knn_distances_agree_with_brute_force() {
+    let data = generate(Distribution::OsmLike, 3_000, 19);
+    let qs = queries::knn_queries(&data, 20, 7);
+    let indices = exact_indices(&data);
+    let rsmi = Rsmi::build(data.clone(), RsmiConfig::fast());
+    for q in &qs {
+        for k in [1usize, 10, 40] {
+            let truth = brute_force::knn_query(&data, q, k);
+            for index in &indices {
+                let got = index.knn_query(q, k);
+                assert_eq!(got.len(), k, "{} returned {} of {k}", index.name(), got.len());
+                for (t, g) in truth.iter().zip(&got) {
+                    assert!(
+                        (t.dist(q) - g.dist(q)).abs() < 1e-12,
+                        "{} kNN distance mismatch",
+                        index.name()
+                    );
+                }
+            }
+            let got = rsmi.knn_query_exact(q, k);
+            for (t, g) in truth.iter().zip(&got) {
+                assert!((t.dist(q) - g.dist(q)).abs() < 1e-12, "RSMIa kNN distance mismatch");
+            }
+        }
+    }
+}
+
+#[test]
+fn learned_indices_never_return_false_positives_for_windows() {
+    let data = generate(Distribution::Normal, 4_000, 23);
+    let rsmi = Rsmi::build(data.clone(), RsmiConfig::fast());
+    let zm = baselines::ZOrderModel::build(data.clone(), baselines::zm::ZmConfig::fast());
+    let windows = queries::window_queries(&data, queries::WindowSpec::default(), 50, 5);
+    for w in &windows {
+        for p in rsmi.window_query(w) {
+            assert!(w.contains(&p), "RSMI returned a point outside the window");
+        }
+        for p in zm.window_query(w) {
+            assert!(w.contains(&p), "ZM returned a point outside the window");
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based integration tests across crates: index invariants that must
+//! hold for arbitrary (small) point sets and query shapes.
+
+use common::brute_force;
+use datagen::{generate, Distribution};
+use geom::{Point, Rect};
+use proptest::prelude::*;
+use rsmi::{Rsmi, RsmiConfig};
+
+fn arb_points(max: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 1..max).prop_map(|coords| {
+        coords
+            .into_iter()
+            .enumerate()
+            .map(|(i, (x, y))| Point::with_id(x, y, i as u64))
+            .collect()
+    })
+}
+
+fn tiny_config() -> RsmiConfig {
+    RsmiConfig {
+        block_capacity: 8,
+        partition_threshold: 64,
+        epochs: 8,
+        learning_rate: 0.4,
+        ..RsmiConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn rsmi_point_queries_have_no_false_negatives(points in arb_points(300)) {
+        let index = Rsmi::build(points.clone(), tiny_config());
+        for p in &points {
+            // Duplicates of the same location are allowed to return any of
+            // the co-located points.
+            let found = index.point_query(p);
+            prop_assert!(found.is_some(), "lost {:?}", p);
+            prop_assert!(found.unwrap().same_location(p));
+        }
+    }
+
+    #[test]
+    fn rsmi_window_queries_have_no_false_positives(
+        points in arb_points(300),
+        win in (0.0f64..1.0, 0.0f64..1.0, 0.0f64..0.5, 0.0f64..0.5)
+    ) {
+        let index = Rsmi::build(points, tiny_config());
+        let window = Rect::new(win.0, win.1, (win.0 + win.2).min(1.0), (win.1 + win.3).min(1.0));
+        for p in index.window_query(&window) {
+            prop_assert!(window.contains(&p));
+        }
+    }
+
+    #[test]
+    fn rsmia_window_queries_are_exact(
+        points in arb_points(300),
+        win in (0.0f64..1.0, 0.0f64..1.0, 0.0f64..0.5, 0.0f64..0.5)
+    ) {
+        let index = Rsmi::build(points.clone(), tiny_config());
+        let window = Rect::new(win.0, win.1, (win.0 + win.2).min(1.0), (win.1 + win.3).min(1.0));
+        let mut truth: Vec<u64> = brute_force::window_query(&points, &window).iter().map(|p| p.id).collect();
+        let mut got: Vec<u64> = index.window_query_exact(&window).iter().map(|p| p.id).collect();
+        truth.sort_unstable();
+        got.sort_unstable();
+        prop_assert_eq!(got, truth);
+    }
+
+    #[test]
+    fn rsmi_knn_returns_min_k_n_points_sorted_by_distance(
+        points in arb_points(200),
+        qx in 0.0f64..1.0,
+        qy in 0.0f64..1.0,
+        k in 1usize..20
+    ) {
+        let index = Rsmi::build(points.clone(), tiny_config());
+        let q = Point::new(qx, qy);
+        let got = index.knn_query(&q, k);
+        prop_assert_eq!(got.len(), k.min(points.len()));
+        for pair in got.windows(2) {
+            prop_assert!(pair[0].dist(&q) <= pair[1].dist(&q) + 1e-12);
+        }
+        // Exact variant matches brute-force distances.
+        let exact = index.knn_query_exact(&q, k);
+        let truth = brute_force::knn_query(&points, &q, k);
+        for (t, g) in truth.iter().zip(&exact) {
+            prop_assert!((t.dist(&q) - g.dist(&q)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn baseline_window_queries_agree_with_each_other(
+        seed in 0u64..50,
+        win in (0.0f64..1.0, 0.0f64..1.0, 0.0f64..0.4, 0.0f64..0.4)
+    ) {
+        let points = generate(Distribution::skewed_default(), 400, seed);
+        let window = Rect::new(win.0, win.1, (win.0 + win.2).min(1.0), (win.1 + win.3).min(1.0));
+        let grid = baselines::GridFile::build(points.clone(), 16);
+        let kdb = baselines::KdbTree::build(points.clone(), 16);
+        let hrr = baselines::HilbertRTree::build(points.clone(), 16);
+        let truth = {
+            let mut ids: Vec<u64> = brute_force::window_query(&points, &window).iter().map(|p| p.id).collect();
+            ids.sort_unstable();
+            ids
+        };
+        use common::SpatialIndex;
+        for index in [&grid as &dyn SpatialIndex, &kdb, &hrr] {
+            let mut ids: Vec<u64> = index.window_query(&window).iter().map(|p| p.id).collect();
+            ids.sort_unstable();
+            prop_assert_eq!(&ids, &truth, "{} disagrees", index.name());
+        }
+    }
+}
