@@ -3,7 +3,7 @@
 //! worth of points per cell under a uniform distribution.  A cell table maps
 //! every cell to the list of blocks storing its points.
 
-use common::SpatialIndex;
+use common::{QueryContext, SpatialIndex};
 use geom::{Point, Rect};
 use storage::{BlockId, BlockStore};
 
@@ -57,7 +57,12 @@ impl GridFile {
         let col = cell % self.side;
         let row = cell / self.side;
         let w = 1.0 / self.side as f64;
-        Rect::new(col as f64 * w, row as f64 * w, (col + 1) as f64 * w, (row + 1) as f64 * w)
+        Rect::new(
+            col as f64 * w,
+            row as f64 * w,
+            (col + 1) as f64 * w,
+            (row + 1) as f64 * w,
+        )
     }
 
     /// Cells whose extent intersects the window.
@@ -79,6 +84,15 @@ impl GridFile {
     pub fn grid_side(&self) -> usize {
         self.side
     }
+
+    /// Reads a block as part of a query, charging the access and its
+    /// candidates to the context.
+    #[inline]
+    fn read_block(&self, id: BlockId, cx: &mut QueryContext) -> &storage::Block {
+        let block = self.store.block(id);
+        cx.count_block_scan(block.len());
+        block
+    }
 }
 
 impl SpatialIndex for GridFile {
@@ -90,33 +104,42 @@ impl SpatialIndex for GridFile {
         self.n_points
     }
 
-    fn point_query(&self, q: &Point) -> Option<Point> {
+    fn point_query(&self, q: &Point, cx: &mut QueryContext) -> Option<Point> {
         let cell = Self::cell_of(self.side, q);
         for &b in &self.cells[cell] {
-            if let Some(p) = self.store.read(b).find_at(q.x, q.y) {
+            if let Some(p) = self.read_block(b, cx).find_at(q.x, q.y) {
                 return Some(*p);
             }
         }
         None
     }
 
-    fn window_query(&self, window: &Rect) -> Vec<Point> {
-        let mut out = Vec::new();
+    fn window_query_visit(
+        &self,
+        window: &Rect,
+        cx: &mut QueryContext,
+        visit: &mut dyn FnMut(&Point),
+    ) {
         for cell in self.cells_in_window(window) {
             for &b in &self.cells[cell] {
-                for p in self.store.read(b).points() {
+                for p in self.read_block(b, cx).points() {
                     if window.contains(p) {
-                        out.push(*p);
+                        visit(p);
                     }
                 }
             }
         }
-        out
     }
 
-    fn knn_query(&self, q: &Point, k: usize) -> Vec<Point> {
+    fn knn_query_visit(
+        &self,
+        q: &Point,
+        k: usize,
+        cx: &mut QueryContext,
+        visit: &mut dyn FnMut(&Point),
+    ) {
         if k == 0 || self.n_points == 0 {
-            return Vec::new();
+            return;
         }
         let k_eff = k.min(self.n_points);
         let mut best: Vec<(f64, Point)> = Vec::with_capacity(k_eff + 1);
@@ -136,18 +159,16 @@ impl SpatialIndex for GridFile {
                     break;
                 }
             }
-            let mut visit = |col: isize, row: isize| {
+            let mut visit_cell = |col: isize, row: isize, cx: &mut QueryContext| {
                 if col < 0 || row < 0 || col >= self.side as isize || row >= self.side as isize {
                     return;
                 }
                 let cell = row as usize * self.side + col as usize;
-                if best.len() >= k_eff
-                    && self.cell_rect(cell).min_dist(q) > best[k_eff - 1].0
-                {
+                if best.len() >= k_eff && self.cell_rect(cell).min_dist(q) > best[k_eff - 1].0 {
                     return;
                 }
                 for &b in &self.cells[cell] {
-                    for p in self.store.read(b).points() {
+                    for p in self.read_block(b, cx).points() {
                         let d = p.dist(q);
                         if best.len() < k_eff || d < best[k_eff - 1].0 {
                             let pos = best
@@ -166,21 +187,23 @@ impl SpatialIndex for GridFile {
                 }
             };
             if ring == 0 {
-                visit(qcol as isize, qrow as isize);
+                visit_cell(qcol as isize, qrow as isize, cx);
                 continue;
             }
             let r = ring as isize;
             let (qc, qr) = (qcol as isize, qrow as isize);
             for d in -r..=r {
-                visit(qc + d, qr - r);
-                visit(qc + d, qr + r);
+                visit_cell(qc + d, qr - r, cx);
+                visit_cell(qc + d, qr + r, cx);
                 if d > -r && d < r {
-                    visit(qc - r, qr + d);
-                    visit(qc + r, qr + d);
+                    visit_cell(qc - r, qr + d, cx);
+                    visit_cell(qc + r, qr + d, cx);
                 }
             }
         }
-        best.into_iter().map(|(_, p)| p).collect()
+        for (_, p) in &best {
+            visit(p);
+        }
     }
 
     fn insert(&mut self, p: Point) {
@@ -188,14 +211,14 @@ impl SpatialIndex for GridFile {
         // "Grid adds a new point p to the last block in the cell enclosing p"
         // (§6.2.5); allocate a new block when the last one is full.
         let target = match self.cells[cell].last() {
-            Some(&b) if !self.store.read(b).is_full() => b,
+            Some(&b) if !self.store.block(b).is_full() => b,
             _ => {
                 let b = self.store.allocate();
                 self.cells[cell].push(b);
                 b
             }
         };
-        self.store.write(target).push(p);
+        self.store.block_mut(target).push(p);
         self.n_points += 1;
     }
 
@@ -203,24 +226,16 @@ impl SpatialIndex for GridFile {
         let cell = Self::cell_of(self.side, p);
         for i in 0..self.cells[cell].len() {
             let b = self.cells[cell][i];
-            let found = self.store.read(b).find_at(p.x, p.y).map(|q| q.id);
+            let found = self.store.block(b).find_at(p.x, p.y).map(|q| q.id);
             if let Some(id) = found {
                 if id == p.id || p.id == 0 {
-                    self.store.write(b).remove_by_id(id);
+                    self.store.block_mut(b).remove_by_id(id);
                     self.n_points -= 1;
                     return true;
                 }
             }
         }
         false
-    }
-
-    fn block_accesses(&self) -> u64 {
-        self.store.block_accesses()
-    }
-
-    fn reset_stats(&self) {
-        self.store.reset_stats();
     }
 
     fn size_bytes(&self) -> usize {
@@ -243,6 +258,10 @@ mod tests {
     use common::brute_force;
     use datagen::{generate, Distribution};
 
+    fn cx() -> QueryContext {
+        QueryContext::new()
+    }
+
     fn build_small() -> (Vec<Point>, GridFile) {
         let pts = generate(Distribution::Uniform, 1500, 7);
         let grid = GridFile::build(pts.clone(), 20);
@@ -253,9 +272,11 @@ mod tests {
     fn point_queries_find_every_point() {
         let (pts, grid) = build_small();
         for p in &pts {
-            assert_eq!(grid.point_query(p).unwrap().id, p.id);
+            assert_eq!(grid.point_query(p, &mut cx()).unwrap().id, p.id);
         }
-        assert!(grid.point_query(&Point::new(0.123456, 0.654321)).is_none());
+        assert!(grid
+            .point_query(&Point::new(0.123456, 0.654321), &mut cx())
+            .is_none());
     }
 
     #[test]
@@ -266,8 +287,15 @@ mod tests {
             Rect::new(0.0, 0.0, 1.0, 1.0),
             Rect::new(0.91, 0.91, 0.99, 0.99),
         ] {
-            let mut truth: Vec<u64> = brute_force::window_query(&pts, &w).iter().map(|p| p.id).collect();
-            let mut got: Vec<u64> = grid.window_query(&w).iter().map(|p| p.id).collect();
+            let mut truth: Vec<u64> = brute_force::window_query(&pts, &w)
+                .iter()
+                .map(|p| p.id)
+                .collect();
+            let mut got: Vec<u64> = grid
+                .window_query(&w, &mut cx())
+                .iter()
+                .map(|p| p.id)
+                .collect();
             truth.sort_unstable();
             got.sort_unstable();
             assert_eq!(got, truth);
@@ -277,10 +305,14 @@ mod tests {
     #[test]
     fn knn_matches_brute_force_distances() {
         let (pts, grid) = build_small();
-        for q in [Point::new(0.5, 0.5), Point::new(0.02, 0.98), Point::new(0.77, 0.11)] {
+        for q in [
+            Point::new(0.5, 0.5),
+            Point::new(0.02, 0.98),
+            Point::new(0.77, 0.11),
+        ] {
             for k in [1, 7, 30] {
                 let truth = brute_force::knn_query(&pts, &q, k);
-                let got = grid.knn_query(&q, k);
+                let got = grid.knn_query(&q, k, &mut cx());
                 assert_eq!(got.len(), k);
                 for (t, g) in truth.iter().zip(&got) {
                     assert!(
@@ -304,7 +336,7 @@ mod tests {
         // Queries still exact.
         let w = Rect::new(0.0, 0.0, 0.3, 0.05);
         assert_eq!(
-            grid.window_query(&w).len(),
+            grid.window_query(&w, &mut cx()).len(),
             brute_force::window_query(&pts, &w).len()
         );
     }
@@ -315,9 +347,9 @@ mod tests {
         let p = Point::with_id(0.333, 0.444, 900_000);
         grid.insert(p);
         assert_eq!(grid.len(), 1501);
-        assert_eq!(grid.point_query(&p).unwrap().id, p.id);
+        assert_eq!(grid.point_query(&p, &mut cx()).unwrap().id, p.id);
         assert!(grid.delete(&p));
-        assert!(grid.point_query(&p).is_none());
+        assert!(grid.point_query(&p, &mut cx()).is_none());
         assert_eq!(grid.len(), 1500);
         assert!(!grid.delete(&p));
     }
@@ -325,22 +357,24 @@ mod tests {
     #[test]
     fn block_accesses_are_counted_per_query() {
         let (pts, grid) = build_small();
-        grid.reset_stats();
-        let _ = grid.point_query(&pts[0]);
-        let per_point = grid.block_accesses();
-        assert!(per_point >= 1);
-        grid.reset_stats();
-        let _ = grid.window_query(&Rect::new(0.0, 0.0, 0.5, 0.5));
-        assert!(grid.block_accesses() > per_point);
+        let mut c = cx();
+        let _ = grid.point_query(&pts[0], &mut c);
+        let per_point = c.take_stats();
+        assert!(per_point.blocks_touched >= 1);
+        assert!(per_point.candidates_scanned >= 1);
+        let _ = grid.window_query(&Rect::new(0.0, 0.0, 0.5, 0.5), &mut c);
+        assert!(c.stats.blocks_touched > per_point.blocks_touched);
     }
 
     #[test]
     fn empty_grid_handles_queries() {
         let grid = GridFile::build(vec![], 20);
         assert!(grid.is_empty());
-        assert!(grid.point_query(&Point::new(0.5, 0.5)).is_none());
-        assert!(grid.window_query(&Rect::unit()).is_empty());
-        assert!(grid.knn_query(&Point::new(0.5, 0.5), 3).is_empty());
+        assert!(grid.point_query(&Point::new(0.5, 0.5), &mut cx()).is_none());
+        assert!(grid.window_query(&Rect::unit(), &mut cx()).is_empty());
+        assert!(grid
+            .knn_query(&Point::new(0.5, 0.5), 3, &mut cx())
+            .is_empty());
     }
 
     #[test]

@@ -7,10 +7,10 @@
 //! resulting R-tree offers "the state-of-the-art window query performance"
 //! and is the paper's strongest traditional competitor.
 
-use common::SpatialIndex;
+use common::{QueryContext, SpatialIndex};
 use geom::{Point, Rect};
 use sfc::{CurveKind, RankSpace};
-use storage::{AccessCounter, BlockId, BlockStore};
+use storage::{BlockId, BlockStore};
 
 /// Fan-out of internal nodes (the paper stores up to 100 MBRs per node).
 const FANOUT: usize = 100;
@@ -40,7 +40,6 @@ pub struct HilbertRTree {
     root: Option<usize>,
     height: usize,
     n_points: usize,
-    node_accesses: AccessCounter,
 }
 
 impl HilbertRTree {
@@ -48,7 +47,6 @@ impl HilbertRTree {
     pub fn build(points: Vec<Point>, block_capacity: usize) -> Self {
         let n = points.len();
         let mut store = BlockStore::new(block_capacity);
-        let node_accesses = store.access_counter();
         if n == 0 {
             return Self {
                 store,
@@ -57,7 +55,6 @@ impl HilbertRTree {
                 root: None,
                 height: 0,
                 n_points: 0,
-                node_accesses,
             };
         }
         // Rank-space Hilbert ordering, then packing (§3.1 of the RSMI paper,
@@ -66,7 +63,7 @@ impl HilbertRTree {
         let perm = rs.sorted_permutation(CurveKind::Hilbert);
         let ordered: Vec<Point> = perm.into_iter().map(|i| points[i]).collect();
         let range = store.pack(&ordered);
-        let block_mbrs: Vec<Rect> = range.clone().map(|id| store.peek(id).mbr()).collect();
+        let block_mbrs: Vec<Rect> = range.clone().map(|id| store.block(id).mbr()).collect();
 
         // Build the directory bottom-up: pack every FANOUT children into a
         // parent node, level by level, until a single root remains.
@@ -74,7 +71,8 @@ impl HilbertRTree {
         let mut current: Vec<usize> = Vec::new();
         for chunk_start in (0..block_mbrs.len()).step_by(FANOUT) {
             let chunk_end = (chunk_start + FANOUT).min(block_mbrs.len());
-            let blocks: Vec<BlockId> = (range.start + chunk_start..range.start + chunk_end).collect();
+            let blocks: Vec<BlockId> =
+                (range.start + chunk_start..range.start + chunk_end).collect();
             let mbr = block_mbrs[chunk_start..chunk_end]
                 .iter()
                 .fold(Rect::empty(), |acc, r| acc.union(r));
@@ -109,7 +107,6 @@ impl HilbertRTree {
             root,
             height,
             n_points: n,
-            node_accesses,
         }
     }
 
@@ -117,11 +114,11 @@ impl HilbertRTree {
         self.block_mbrs
             .get(id)
             .copied()
-            .unwrap_or_else(|| self.store.peek(id).mbr())
+            .unwrap_or_else(|| self.store.block(id).mbr())
     }
 
     fn update_block_mbr(&mut self, id: BlockId) {
-        let mbr = self.store.peek(id).mbr();
+        let mbr = self.store.block(id).mbr();
         if id < self.block_mbrs.len() {
             self.block_mbrs[id] = mbr;
         } else {
@@ -193,6 +190,15 @@ impl HilbertRTree {
             }
         }
     }
+
+    /// Reads a block as part of a query, charging the access and its
+    /// candidates to the context.
+    #[inline]
+    fn read_block(&self, id: BlockId, cx: &mut QueryContext) -> &storage::Block {
+        let block = self.store.block(id);
+        cx.count_block_scan(block.len());
+        block
+    }
 }
 
 impl SpatialIndex for HilbertRTree {
@@ -204,14 +210,14 @@ impl SpatialIndex for HilbertRTree {
         self.n_points
     }
 
-    fn point_query(&self, q: &Point) -> Option<Point> {
+    fn point_query(&self, q: &Point, cx: &mut QueryContext) -> Option<Point> {
         let root = self.root?;
         let mut stack = vec![root];
         while let Some(id) = stack.pop() {
             if !self.nodes[id].mbr.contains(q) {
                 continue;
             }
-            self.node_accesses.add(1);
+            cx.count_node();
             match &self.nodes[id].kind {
                 NodeKind::Internal(children) => {
                     for &c in children {
@@ -225,7 +231,7 @@ impl SpatialIndex for HilbertRTree {
                         if !self.block_mbr(b).contains(q) {
                             continue;
                         }
-                        if let Some(p) = self.store.read(b).find_at(q.x, q.y) {
+                        if let Some(p) = self.read_block(b, cx).find_at(q.x, q.y) {
                             return Some(*p);
                         }
                     }
@@ -235,15 +241,19 @@ impl SpatialIndex for HilbertRTree {
         None
     }
 
-    fn window_query(&self, window: &Rect) -> Vec<Point> {
-        let mut out = Vec::new();
-        let Some(root) = self.root else { return out };
+    fn window_query_visit(
+        &self,
+        window: &Rect,
+        cx: &mut QueryContext,
+        visit: &mut dyn FnMut(&Point),
+    ) {
+        let Some(root) = self.root else { return };
         let mut stack = vec![root];
         while let Some(id) = stack.pop() {
             if !self.nodes[id].mbr.intersects(window) {
                 continue;
             }
-            self.node_accesses.add(1);
+            cx.count_node();
             match &self.nodes[id].kind {
                 NodeKind::Internal(children) => {
                     for &c in children {
@@ -257,19 +267,24 @@ impl SpatialIndex for HilbertRTree {
                         if !self.block_mbr(b).intersects(window) {
                             continue;
                         }
-                        for p in self.store.read(b).points() {
+                        for p in self.read_block(b, cx).points() {
                             if window.contains(p) {
-                                out.push(*p);
+                                visit(p);
                             }
                         }
                     }
                 }
             }
         }
-        out
     }
 
-    fn knn_query(&self, q: &Point, k: usize) -> Vec<Point> {
+    fn knn_query_visit(
+        &self,
+        q: &Point,
+        k: usize,
+        cx: &mut QueryContext,
+        visit: &mut dyn FnMut(&Point),
+    ) {
         // Best-first search (Roussopoulos et al.) over nodes, blocks and
         // points, ordered by MINDIST / distance.
         use std::cmp::Reverse;
@@ -289,7 +304,9 @@ impl SpatialIndex for HilbertRTree {
         impl Eq for Entry {}
         impl Ord for Entry {
             fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-                self.0.partial_cmp(&other.0).unwrap_or(std::cmp::Ordering::Equal)
+                self.0
+                    .partial_cmp(&other.0)
+                    .unwrap_or(std::cmp::Ordering::Equal)
             }
         }
         impl PartialOrd for Entry {
@@ -298,44 +315,53 @@ impl SpatialIndex for HilbertRTree {
             }
         }
 
-        let mut out = Vec::new();
         if k == 0 {
-            return out;
+            return;
         }
-        let Some(root) = self.root else { return out };
+        let Some(root) = self.root else { return };
+        let mut found = 0usize;
         let mut heap = BinaryHeap::new();
-        heap.push(Reverse(Entry(self.nodes[root].mbr.min_dist(q), Item::Node(root))));
+        heap.push(Reverse(Entry(
+            self.nodes[root].mbr.min_dist(q),
+            Item::Node(root),
+        )));
         while let Some(Reverse(Entry(_, item))) = heap.pop() {
             match item {
                 Item::Point(p) => {
-                    out.push(p);
-                    if out.len() == k {
+                    visit(&p);
+                    found += 1;
+                    if found == k {
                         break;
                     }
                 }
                 Item::Block(b) => {
-                    for p in self.store.read(b).points() {
+                    for p in self.read_block(b, cx).points() {
                         heap.push(Reverse(Entry(p.dist(q), Item::Point(*p))));
                     }
                 }
                 Item::Node(id) => {
-                    self.node_accesses.add(1);
+                    cx.count_node();
                     match &self.nodes[id].kind {
                         NodeKind::Internal(children) => {
                             for &c in children {
-                                heap.push(Reverse(Entry(self.nodes[c].mbr.min_dist(q), Item::Node(c))));
+                                heap.push(Reverse(Entry(
+                                    self.nodes[c].mbr.min_dist(q),
+                                    Item::Node(c),
+                                )));
                             }
                         }
                         NodeKind::LeafParent(blocks) => {
                             for &b in blocks {
-                                heap.push(Reverse(Entry(self.block_mbr(b).min_dist(q), Item::Block(b))));
+                                heap.push(Reverse(Entry(
+                                    self.block_mbr(b).min_dist(q),
+                                    Item::Block(b),
+                                )));
                             }
                         }
                     }
                 }
             }
         }
-        out
     }
 
     fn insert(&mut self, p: Point) {
@@ -344,14 +370,14 @@ impl SpatialIndex for HilbertRTree {
             return;
         }
         let (path, block) = self.choose_block(&p).expect("non-empty tree");
-        if !self.store.peek(block).is_full() {
-            self.store.write(block).push(p);
+        if !self.store.block(block).is_full() {
+            self.store.block_mut(block).push(p);
             self.update_block_mbr(block);
         } else {
             // Split: move the half of the block farthest from the new point's
             // side along the longer MBR axis into a fresh block registered
             // under the same leaf parent.
-            let mut pts: Vec<Point> = self.store.peek(block).points().to_vec();
+            let mut pts: Vec<Point> = self.store.block(block).points().to_vec();
             pts.push(p);
             let mbr = pts.iter().fold(Rect::empty(), |mut acc, q| {
                 acc.expand_to_point(*q);
@@ -365,7 +391,7 @@ impl SpatialIndex for HilbertRTree {
             let half = pts.len() / 2;
             let second: Vec<Point> = pts.split_off(half);
             // Rewrite the original block with the first half.
-            let original = self.store.write(block);
+            let original = self.store.block_mut(block);
             let old_ids: Vec<u64> = original.points().iter().map(|q| q.id).collect();
             for id in old_ids {
                 original.remove_by_id(id);
@@ -375,7 +401,7 @@ impl SpatialIndex for HilbertRTree {
             }
             let new_block = self.store.allocate();
             for q in &second {
-                self.store.peek_mut(new_block).push(*q);
+                self.store.block_mut(new_block).push(*q);
             }
             self.update_block_mbr(block);
             self.update_block_mbr(new_block);
@@ -410,10 +436,10 @@ impl SpatialIndex for HilbertRTree {
                 }
                 NodeKind::LeafParent(blocks) => {
                     for b in blocks {
-                        let found = self.store.read(b).find_at(p.x, p.y).map(|q| q.id);
+                        let found = self.store.block(b).find_at(p.x, p.y).map(|q| q.id);
                         if let Some(id_found) = found {
                             if id_found == p.id || p.id == 0 {
-                                self.store.write(b).remove_by_id(id_found);
+                                self.store.block_mut(b).remove_by_id(id_found);
                                 self.update_block_mbr(b);
                                 self.refresh_mbrs(&path);
                                 self.n_points -= 1;
@@ -425,14 +451,6 @@ impl SpatialIndex for HilbertRTree {
             }
         }
         false
-    }
-
-    fn block_accesses(&self) -> u64 {
-        self.store.block_accesses()
-    }
-
-    fn reset_stats(&self) {
-        self.store.reset_stats();
     }
 
     fn size_bytes(&self) -> usize {
@@ -450,7 +468,9 @@ impl SpatialIndex for HilbertRTree {
         // HRR additionally keeps two B-trees for the rank-space mapping of
         // updates (the reason it is larger than RSMI in Fig. 7a); charge an
         // equivalent of 2 x 16 bytes per point for them.
-        self.store.size_bytes() + dir + self.block_mbrs.len() * std::mem::size_of::<Rect>()
+        self.store.size_bytes()
+            + dir
+            + self.block_mbrs.len() * std::mem::size_of::<Rect>()
             + self.n_points * 32
     }
 
@@ -465,6 +485,10 @@ mod tests {
     use common::brute_force;
     use datagen::{generate, Distribution};
 
+    fn cx() -> QueryContext {
+        QueryContext::new()
+    }
+
     fn build_small(n: usize) -> (Vec<Point>, HilbertRTree) {
         let pts = generate(Distribution::skewed_default(), n, 23);
         let tree = HilbertRTree::build(pts.clone(), 20);
@@ -475,9 +499,11 @@ mod tests {
     fn point_queries_find_every_point() {
         let (pts, tree) = build_small(1500);
         for p in &pts {
-            assert_eq!(tree.point_query(p).map(|f| f.id), Some(p.id));
+            assert_eq!(tree.point_query(p, &mut cx()).map(|f| f.id), Some(p.id));
         }
-        assert!(tree.point_query(&Point::new(0.987654, 0.123456)).is_none());
+        assert!(tree
+            .point_query(&Point::new(0.987654, 0.123456), &mut cx())
+            .is_none());
     }
 
     #[test]
@@ -488,8 +514,15 @@ mod tests {
             Rect::new(0.3, 0.0, 0.7, 0.2),
             Rect::new(0.0, 0.0, 1.0, 1.0),
         ] {
-            let mut truth: Vec<u64> = brute_force::window_query(&pts, &w).iter().map(|p| p.id).collect();
-            let mut got: Vec<u64> = tree.window_query(&w).iter().map(|p| p.id).collect();
+            let mut truth: Vec<u64> = brute_force::window_query(&pts, &w)
+                .iter()
+                .map(|p| p.id)
+                .collect();
+            let mut got: Vec<u64> = tree
+                .window_query(&w, &mut cx())
+                .iter()
+                .map(|p| p.id)
+                .collect();
             truth.sort_unstable();
             got.sort_unstable();
             assert_eq!(got, truth);
@@ -502,7 +535,7 @@ mod tests {
         for q in [Point::new(0.5, 0.1), Point::new(0.9, 0.9)] {
             for k in [1, 10, 50] {
                 let truth = brute_force::knn_query(&pts, &q, k);
-                let got = tree.knn_query(&q, k);
+                let got = tree.knn_query(&q, k, &mut cx());
                 assert_eq!(got.len(), k);
                 for (t, g) in truth.iter().zip(&got) {
                     assert!((t.dist(&q) - g.dist(&q)).abs() < 1e-12);
@@ -525,20 +558,33 @@ mod tests {
     fn inserts_are_found_and_window_queries_stay_exact() {
         let (pts, mut tree) = build_small(800);
         let extra: Vec<Point> = (0..200)
-            .map(|i| Point::with_id(0.001 + 0.004 * (i as f64 % 10.0), 0.002 + 0.0001 * i as f64, 50_000 + i))
+            .map(|i| {
+                Point::with_id(
+                    0.001 + 0.004 * (i as f64 % 10.0),
+                    0.002 + 0.0001 * i as f64,
+                    50_000 + i,
+                )
+            })
             .collect();
         for p in &extra {
             tree.insert(*p);
         }
         assert_eq!(tree.len(), 1000);
         for p in &extra {
-            assert_eq!(tree.point_query(p).map(|f| f.id), Some(p.id));
+            assert_eq!(tree.point_query(p, &mut cx()).map(|f| f.id), Some(p.id));
         }
         let w = Rect::new(0.0, 0.0, 0.05, 0.05);
         let mut all = pts.clone();
         all.extend_from_slice(&extra);
-        let mut truth: Vec<u64> = brute_force::window_query(&all, &w).iter().map(|p| p.id).collect();
-        let mut got: Vec<u64> = tree.window_query(&w).iter().map(|p| p.id).collect();
+        let mut truth: Vec<u64> = brute_force::window_query(&all, &w)
+            .iter()
+            .map(|p| p.id)
+            .collect();
+        let mut got: Vec<u64> = tree
+            .window_query(&w, &mut cx())
+            .iter()
+            .map(|p| p.id)
+            .collect();
         truth.sort_unstable();
         got.sort_unstable();
         assert_eq!(got, truth);
@@ -548,7 +594,7 @@ mod tests {
     fn delete_removes_points() {
         let (pts, mut tree) = build_small(600);
         assert!(tree.delete(&pts[100]));
-        assert!(tree.point_query(&pts[100]).is_none());
+        assert!(tree.point_query(&pts[100], &mut cx()).is_none());
         assert_eq!(tree.len(), 599);
         assert!(!tree.delete(&pts[100]));
     }
@@ -556,20 +602,24 @@ mod tests {
     #[test]
     fn empty_tree_is_harmless_and_bootstraps_on_insert() {
         let mut tree = HilbertRTree::build(vec![], 20);
-        assert!(tree.point_query(&Point::new(0.5, 0.5)).is_none());
-        assert!(tree.window_query(&Rect::unit()).is_empty());
-        assert!(tree.knn_query(&Point::new(0.5, 0.5), 5).is_empty());
+        assert!(tree.point_query(&Point::new(0.5, 0.5), &mut cx()).is_none());
+        assert!(tree.window_query(&Rect::unit(), &mut cx()).is_empty());
+        assert!(tree
+            .knn_query(&Point::new(0.5, 0.5), 5, &mut cx())
+            .is_empty());
         tree.insert(Point::with_id(0.1, 0.9, 3));
         assert_eq!(tree.len(), 1);
-        assert!(tree.point_query(&Point::new(0.1, 0.9)).is_some());
+        assert!(tree.point_query(&Point::new(0.1, 0.9), &mut cx()).is_some());
     }
 
     #[test]
     fn access_accounting_counts_nodes_and_blocks() {
         let (pts, tree) = build_small(2000);
-        tree.reset_stats();
-        let _ = tree.point_query(&pts[0]);
+        let mut c = cx();
+        let _ = tree.point_query(&pts[0], &mut c);
         // At least the leaf-parent node and one block are touched.
-        assert!(tree.block_accesses() >= 2);
+        assert!(c.stats.nodes_visited >= 1);
+        assert!(c.stats.blocks_touched >= 1);
+        assert!(c.stats.total_accesses() >= 2);
     }
 }

@@ -9,9 +9,9 @@
 //! parent region exactly, so every location belongs to exactly one leaf —
 //! the property that makes K-D-B window queries overlap-free.
 
-use common::SpatialIndex;
+use common::{QueryContext, SpatialIndex};
 use geom::{Point, Rect};
-use storage::{AccessCounter, BlockId, BlockStore};
+use storage::{BlockId, BlockStore};
 
 /// Directory fan-out (√FANOUT cuts per dimension), matching the paper's 100
 /// entries per internal node.
@@ -37,7 +37,6 @@ pub struct KdbTree {
     root: Option<usize>,
     height: usize,
     n_points: usize,
-    node_accesses: AccessCounter,
 }
 
 impl KdbTree {
@@ -49,9 +48,7 @@ impl KdbTree {
             root: None,
             height: 0,
             n_points: points.len(),
-            node_accesses: AccessCounter::new(),
         };
-        tree.node_accesses = tree.store.access_counter();
         if !points.is_empty() {
             let root = tree.build_node(points, Rect::unit(), 1);
             tree.root = Some(root);
@@ -65,7 +62,7 @@ impl KdbTree {
         if points.len() <= capacity {
             let block = self.store.allocate();
             for p in &points {
-                self.store.peek_mut(block).push(*p);
+                self.store.block_mut(block).push(*p);
             }
             let id = self.nodes.len();
             self.nodes.push(KdbNode {
@@ -85,7 +82,8 @@ impl KdbTree {
         let col_size = n.div_ceil(side);
         let mut children = Vec::new();
         let n_cols = n.div_ceil(col_size);
-        let mut col_points: Vec<Vec<Point>> = points.chunks(col_size).map(<[Point]>::to_vec).collect();
+        let mut col_points: Vec<Vec<Point>> =
+            points.chunks(col_size).map(<[Point]>::to_vec).collect();
         let mut x_lo = region.min_x;
         for (ci, col) in col_points.iter_mut().enumerate() {
             // The column's upper x boundary: the parent's boundary for the
@@ -124,7 +122,6 @@ impl KdbTree {
     fn locate_leaf(&self, p: &Point) -> Option<usize> {
         let mut cur = self.root?;
         loop {
-            self.node_accesses.add(1);
             match &self.nodes[cur].kind {
                 NodeKind::Leaf(_) => return Some(cur),
                 NodeKind::Internal(children) => {
@@ -154,7 +151,7 @@ impl KdbTree {
             NodeKind::Leaf(b) => (self.nodes[leaf_idx].region, *b),
             NodeKind::Internal(_) => unreachable!("split_leaf called on an internal node"),
         };
-        let mut pts: Vec<Point> = self.store.peek(block).points().to_vec();
+        let mut pts: Vec<Point> = self.store.block(block).points().to_vec();
         pts.push(extra);
         let split_x = region.width() >= region.height();
         if split_x {
@@ -178,7 +175,7 @@ impl KdbTree {
         let right: Vec<Point> = pts.split_off(half);
         // Reuse the existing block for the left half.
         {
-            let blk = self.store.peek_mut(block);
+            let blk = self.store.block_mut(block);
             let ids: Vec<u64> = blk.points().iter().map(|p| p.id).collect();
             for id in ids {
                 blk.remove_by_id(id);
@@ -189,7 +186,7 @@ impl KdbTree {
         }
         let right_block = self.store.allocate();
         for p in &right {
-            self.store.peek_mut(right_block).push(*p);
+            self.store.block_mut(right_block).push(*p);
         }
         let left_node = self.nodes.len();
         self.nodes.push(KdbNode {
@@ -203,6 +200,15 @@ impl KdbTree {
         });
         self.nodes[leaf_idx].kind = NodeKind::Internal(vec![left_node, right_node]);
     }
+
+    /// Reads a block as part of a query, charging the access and its
+    /// candidates to the context.
+    #[inline]
+    fn read_block(&self, id: BlockId, cx: &mut QueryContext) -> &storage::Block {
+        let block = self.store.block(id);
+        cx.count_block_scan(block.len());
+        block
+    }
 }
 
 impl SpatialIndex for KdbTree {
@@ -214,7 +220,7 @@ impl SpatialIndex for KdbTree {
         self.n_points
     }
 
-    fn point_query(&self, q: &Point) -> Option<Point> {
+    fn point_query(&self, q: &Point, cx: &mut QueryContext) -> Option<Point> {
         // A point on a partition boundary is contained in the regions of two
         // sibling leaves, so the search must follow every containing child,
         // not just the first one.
@@ -224,9 +230,9 @@ impl SpatialIndex for KdbTree {
             if !self.nodes[id].region.contains(q) {
                 continue;
             }
-            self.node_accesses.add(1);
             match &self.nodes[id].kind {
                 NodeKind::Internal(children) => {
+                    cx.count_node();
                     for &c in children {
                         if self.nodes[c].region.contains(q) {
                             stack.push(c);
@@ -234,7 +240,7 @@ impl SpatialIndex for KdbTree {
                     }
                 }
                 NodeKind::Leaf(block) => {
-                    if let Some(p) = self.store.read(*block).find_at(q.x, q.y) {
+                    if let Some(p) = self.read_block(*block, cx).find_at(q.x, q.y) {
                         return Some(*p);
                     }
                 }
@@ -243,17 +249,21 @@ impl SpatialIndex for KdbTree {
         None
     }
 
-    fn window_query(&self, window: &Rect) -> Vec<Point> {
-        let mut out = Vec::new();
-        let Some(root) = self.root else { return out };
+    fn window_query_visit(
+        &self,
+        window: &Rect,
+        cx: &mut QueryContext,
+        visit: &mut dyn FnMut(&Point),
+    ) {
+        let Some(root) = self.root else { return };
         let mut stack = vec![root];
         while let Some(id) = stack.pop() {
             if !self.nodes[id].region.intersects(window) {
                 continue;
             }
-            self.node_accesses.add(1);
             match &self.nodes[id].kind {
                 NodeKind::Internal(children) => {
+                    cx.count_node();
                     for &c in children {
                         if self.nodes[c].region.intersects(window) {
                             stack.push(c);
@@ -261,18 +271,23 @@ impl SpatialIndex for KdbTree {
                     }
                 }
                 NodeKind::Leaf(block) => {
-                    for p in self.store.read(*block).points() {
+                    for p in self.read_block(*block, cx).points() {
                         if window.contains(p) {
-                            out.push(*p);
+                            visit(p);
                         }
                     }
                 }
             }
         }
-        out
     }
 
-    fn knn_query(&self, q: &Point, k: usize) -> Vec<Point> {
+    fn knn_query_visit(
+        &self,
+        q: &Point,
+        k: usize,
+        cx: &mut QueryContext,
+        visit: &mut dyn FnMut(&Point),
+    ) {
         use std::cmp::Reverse;
         use std::collections::BinaryHeap;
 
@@ -289,7 +304,9 @@ impl SpatialIndex for KdbTree {
         impl Eq for Entry {}
         impl Ord for Entry {
             fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-                self.0.partial_cmp(&other.0).unwrap_or(std::cmp::Ordering::Equal)
+                self.0
+                    .partial_cmp(&other.0)
+                    .unwrap_or(std::cmp::Ordering::Equal)
             }
         }
         impl PartialOrd for Entry {
@@ -298,42 +315,43 @@ impl SpatialIndex for KdbTree {
             }
         }
 
-        let mut out = Vec::new();
         if k == 0 {
-            return out;
+            return;
         }
-        let Some(root) = self.root else { return out };
+        let Some(root) = self.root else { return };
+        let mut found = 0usize;
         let mut heap = BinaryHeap::new();
-        heap.push(Reverse(Entry(self.nodes[root].region.min_dist(q), Item::Node(root))));
+        heap.push(Reverse(Entry(
+            self.nodes[root].region.min_dist(q),
+            Item::Node(root),
+        )));
         while let Some(Reverse(Entry(_, item))) = heap.pop() {
             match item {
                 Item::Point(p) => {
-                    out.push(p);
-                    if out.len() == k {
+                    visit(&p);
+                    found += 1;
+                    if found == k {
                         break;
                     }
                 }
-                Item::Node(id) => {
-                    self.node_accesses.add(1);
-                    match &self.nodes[id].kind {
-                        NodeKind::Internal(children) => {
-                            for &c in children {
-                                heap.push(Reverse(Entry(
-                                    self.nodes[c].region.min_dist(q),
-                                    Item::Node(c),
-                                )));
-                            }
-                        }
-                        NodeKind::Leaf(block) => {
-                            for p in self.store.read(*block).points() {
-                                heap.push(Reverse(Entry(p.dist(q), Item::Point(*p))));
-                            }
+                Item::Node(id) => match &self.nodes[id].kind {
+                    NodeKind::Internal(children) => {
+                        cx.count_node();
+                        for &c in children {
+                            heap.push(Reverse(Entry(
+                                self.nodes[c].region.min_dist(q),
+                                Item::Node(c),
+                            )));
                         }
                     }
-                }
+                    NodeKind::Leaf(block) => {
+                        for p in self.read_block(*block, cx).points() {
+                            heap.push(Reverse(Entry(p.dist(q), Item::Point(*p))));
+                        }
+                    }
+                },
             }
         }
-        out
     }
 
     fn insert(&mut self, p: Point) {
@@ -346,10 +364,10 @@ impl SpatialIndex for KdbTree {
             NodeKind::Leaf(b) => b,
             NodeKind::Internal(_) => unreachable!("locate_leaf returns leaves"),
         };
-        if self.store.read(block).is_full() {
+        if self.store.block(block).is_full() {
             self.split_leaf(leaf, p);
         } else {
-            self.store.write(block).push(p);
+            self.store.block_mut(block).push(p);
         }
         self.n_points += 1;
     }
@@ -361,7 +379,6 @@ impl SpatialIndex for KdbTree {
             if !self.nodes[id].region.contains(p) {
                 continue;
             }
-            self.node_accesses.add(1);
             match self.nodes[id].kind.clone() {
                 NodeKind::Internal(children) => {
                     for c in children {
@@ -371,10 +388,10 @@ impl SpatialIndex for KdbTree {
                     }
                 }
                 NodeKind::Leaf(block) => {
-                    let found = self.store.read(block).find_at(p.x, p.y).map(|q| q.id);
+                    let found = self.store.block(block).find_at(p.x, p.y).map(|q| q.id);
                     if let Some(id_found) = found {
                         if id_found == p.id || p.id == 0 {
-                            self.store.write(block).remove_by_id(id_found);
+                            self.store.block_mut(block).remove_by_id(id_found);
                             self.n_points -= 1;
                             return true;
                         }
@@ -383,14 +400,6 @@ impl SpatialIndex for KdbTree {
             }
         }
         false
-    }
-
-    fn block_accesses(&self) -> u64 {
-        self.store.block_accesses()
-    }
-
-    fn reset_stats(&self) {
-        self.store.reset_stats();
     }
 
     fn size_bytes(&self) -> usize {
@@ -419,6 +428,10 @@ mod tests {
     use common::brute_force;
     use datagen::{generate, Distribution};
 
+    fn cx() -> QueryContext {
+        QueryContext::new()
+    }
+
     fn build_small(n: usize, dist: Distribution) -> (Vec<Point>, KdbTree) {
         let pts = generate(dist, n, 31);
         let tree = KdbTree::build(pts.clone(), 20);
@@ -429,9 +442,11 @@ mod tests {
     fn point_queries_find_every_point() {
         let (pts, tree) = build_small(1500, Distribution::Uniform);
         for p in &pts {
-            assert_eq!(tree.point_query(p).map(|f| f.id), Some(p.id));
+            assert_eq!(tree.point_query(p, &mut cx()).map(|f| f.id), Some(p.id));
         }
-        assert!(tree.point_query(&Point::new(0.5000001, 0.4999999)).is_none());
+        assert!(tree
+            .point_query(&Point::new(0.5000001, 0.4999999), &mut cx())
+            .is_none());
     }
 
     #[test]
@@ -440,7 +455,7 @@ mod tests {
         // locate_leaf, and window queries over the whole space return all
         // points exactly once.
         let (pts, tree) = build_small(2000, Distribution::skewed_default());
-        let all = tree.window_query(&Rect::unit());
+        let all = tree.window_query(&Rect::unit(), &mut cx());
         assert_eq!(all.len(), pts.len());
         let mut ids: Vec<u64> = all.iter().map(|p| p.id).collect();
         ids.sort_unstable();
@@ -456,8 +471,15 @@ mod tests {
             Rect::new(0.0, 0.0, 0.3, 1.0),
             Rect::new(0.48, 0.01, 0.52, 0.99),
         ] {
-            let mut truth: Vec<u64> = brute_force::window_query(&pts, &w).iter().map(|p| p.id).collect();
-            let mut got: Vec<u64> = tree.window_query(&w).iter().map(|p| p.id).collect();
+            let mut truth: Vec<u64> = brute_force::window_query(&pts, &w)
+                .iter()
+                .map(|p| p.id)
+                .collect();
+            let mut got: Vec<u64> = tree
+                .window_query(&w, &mut cx())
+                .iter()
+                .map(|p| p.id)
+                .collect();
             truth.sort_unstable();
             got.sort_unstable();
             assert_eq!(got, truth);
@@ -470,7 +492,7 @@ mod tests {
         for q in [Point::new(0.2, 0.2), Point::new(0.8, 0.5)] {
             for k in [1, 5, 25] {
                 let truth = brute_force::knn_query(&pts, &q, k);
-                let got = tree.knn_query(&q, k);
+                let got = tree.knn_query(&q, k, &mut cx());
                 assert_eq!(got.len(), k);
                 for (t, g) in truth.iter().zip(&got) {
                     assert!((t.dist(&q) - g.dist(&q)).abs() < 1e-12);
@@ -485,7 +507,13 @@ mod tests {
         let nodes_before = tree.nodes.len();
         // Cram many points into one small area to force leaf splits.
         let extra: Vec<Point> = (0..300)
-            .map(|i| Point::with_id(0.5 + 0.0001 * (i % 20) as f64, 0.5 + 0.0001 * (i / 20) as f64, 90_000 + i))
+            .map(|i| {
+                Point::with_id(
+                    0.5 + 0.0001 * (i % 20) as f64,
+                    0.5 + 0.0001 * (i / 20) as f64,
+                    90_000 + i,
+                )
+            })
             .collect();
         for p in &extra {
             tree.insert(*p);
@@ -493,7 +521,7 @@ mod tests {
         assert!(tree.nodes.len() > nodes_before, "no leaf was split");
         assert_eq!(tree.len(), 800);
         for p in extra.iter().chain(pts.iter().step_by(7)) {
-            assert_eq!(tree.point_query(p).map(|f| f.id), Some(p.id));
+            assert_eq!(tree.point_query(p, &mut cx()).map(|f| f.id), Some(p.id));
         }
     }
 
@@ -501,7 +529,7 @@ mod tests {
     fn delete_removes_points() {
         let (pts, mut tree) = build_small(600, Distribution::Uniform);
         assert!(tree.delete(&pts[42]));
-        assert!(tree.point_query(&pts[42]).is_none());
+        assert!(tree.point_query(&pts[42], &mut cx()).is_none());
         assert!(!tree.delete(&pts[42]));
         assert_eq!(tree.len(), 599);
     }
@@ -509,21 +537,27 @@ mod tests {
     #[test]
     fn empty_tree_and_bootstrap_insert() {
         let mut tree = KdbTree::build(vec![], 20);
-        assert!(tree.point_query(&Point::new(0.5, 0.5)).is_none());
-        assert!(tree.window_query(&Rect::unit()).is_empty());
-        assert!(tree.knn_query(&Point::new(0.5, 0.5), 4).is_empty());
+        assert!(tree.point_query(&Point::new(0.5, 0.5), &mut cx()).is_none());
+        assert!(tree.window_query(&Rect::unit(), &mut cx()).is_empty());
+        assert!(tree
+            .knn_query(&Point::new(0.5, 0.5), 4, &mut cx())
+            .is_empty());
         tree.insert(Point::with_id(0.25, 0.75, 11));
         assert_eq!(tree.len(), 1);
-        assert!(tree.point_query(&Point::new(0.25, 0.75)).is_some());
+        assert!(tree
+            .point_query(&Point::new(0.25, 0.75), &mut cx())
+            .is_some());
     }
 
     #[test]
     fn height_and_accounting_are_reported() {
         let (pts, tree) = build_small(5000, Distribution::Uniform);
         assert!(tree.height() >= 2);
-        tree.reset_stats();
-        let _ = tree.point_query(&pts[0]);
-        assert!(tree.block_accesses() >= 2); // at least root + block
+        let mut c = cx();
+        let _ = tree.point_query(&pts[0], &mut c);
+        // At least the root node and one block are touched.
+        assert!(c.stats.nodes_visited >= 1);
+        assert!(c.stats.blocks_touched >= 1);
         assert!(tree.size_bytes() > 0);
         assert_eq!(tree.name(), "KDB");
     }

@@ -9,9 +9,10 @@
 //! | ZM         | Z-order learned model (3-level RMI over Z-values)    | [`zm`]       |
 //!
 //! Every index implements [`common::SpatialIndex`], stores its data points in
-//! blocks of the same capacity `B`, and charges node/block reads to an access
-//! counter so that the "# block accesses" axis of the paper's figures is
-//! comparable across index families.
+//! blocks of the same capacity `B`, and charges node/block reads per query to
+//! the caller's `common::QueryContext`, so that the "# block accesses" axis
+//! of the paper's figures is comparable across index families and every
+//! index stays `Send + Sync`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -10,9 +10,8 @@
 //! the role of RR\* in the evaluation is "strong dynamic R-tree baseline
 //! with slow, insertion-based construction".
 
-use common::SpatialIndex;
+use common::{QueryContext, SpatialIndex};
 use geom::{Point, Rect};
-use storage::AccessCounter;
 
 /// Maximum entries per node (paper: 100 points per leaf / 100 MBRs per node).
 const MAX_ENTRIES: usize = 100;
@@ -62,7 +61,6 @@ pub struct RStarTree {
     root: Option<usize>,
     height: usize,
     n_points: usize,
-    accesses: AccessCounter,
     block_capacity: usize,
 }
 
@@ -75,7 +73,6 @@ impl RStarTree {
             root: None,
             height: 0,
             n_points: 0,
-            accesses: AccessCounter::new(),
             block_capacity,
         }
     }
@@ -246,7 +243,10 @@ impl RStarTree {
                     points.push(p);
                 }
                 if self.nodes[node].len() > MAX_ENTRIES {
-                    let points = match std::mem::replace(&mut self.nodes[node].kind, NodeKind::Leaf(Vec::new())) {
+                    let points = match std::mem::replace(
+                        &mut self.nodes[node].kind,
+                        NodeKind::Leaf(Vec::new()),
+                    ) {
                         NodeKind::Leaf(pts) => pts,
                         NodeKind::Internal(_) => unreachable!(),
                     };
@@ -304,16 +304,16 @@ impl SpatialIndex for RStarTree {
         self.n_points
     }
 
-    fn point_query(&self, q: &Point) -> Option<Point> {
+    fn point_query(&self, q: &Point, cx: &mut QueryContext) -> Option<Point> {
         let root = self.root?;
         let mut stack = vec![root];
         while let Some(id) = stack.pop() {
             if !self.nodes[id].mbr.contains(q) {
                 continue;
             }
-            self.accesses.add(1);
             match &self.nodes[id].kind {
                 NodeKind::Internal(children) => {
+                    cx.count_node();
                     for (rect, child) in children {
                         if rect.contains(q) {
                             stack.push(*child);
@@ -321,6 +321,8 @@ impl SpatialIndex for RStarTree {
                     }
                 }
                 NodeKind::Leaf(points) => {
+                    // A leaf is this tree's data page: charge it as a block.
+                    cx.count_block_scan(points.len());
                     if let Some(p) = points.iter().find(|p| p.x == q.x && p.y == q.y) {
                         return Some(*p);
                     }
@@ -330,17 +332,21 @@ impl SpatialIndex for RStarTree {
         None
     }
 
-    fn window_query(&self, window: &Rect) -> Vec<Point> {
-        let mut out = Vec::new();
-        let Some(root) = self.root else { return out };
+    fn window_query_visit(
+        &self,
+        window: &Rect,
+        cx: &mut QueryContext,
+        visit: &mut dyn FnMut(&Point),
+    ) {
+        let Some(root) = self.root else { return };
         let mut stack = vec![root];
         while let Some(id) = stack.pop() {
             if !self.nodes[id].mbr.intersects(window) {
                 continue;
             }
-            self.accesses.add(1);
             match &self.nodes[id].kind {
                 NodeKind::Internal(children) => {
+                    cx.count_node();
                     for (rect, child) in children {
                         if rect.intersects(window) {
                             stack.push(*child);
@@ -348,18 +354,24 @@ impl SpatialIndex for RStarTree {
                     }
                 }
                 NodeKind::Leaf(points) => {
+                    cx.count_block_scan(points.len());
                     for p in points {
                         if window.contains(p) {
-                            out.push(*p);
+                            visit(p);
                         }
                     }
                 }
             }
         }
-        out
     }
 
-    fn knn_query(&self, q: &Point, k: usize) -> Vec<Point> {
+    fn knn_query_visit(
+        &self,
+        q: &Point,
+        k: usize,
+        cx: &mut QueryContext,
+        visit: &mut dyn FnMut(&Point),
+    ) {
         use std::cmp::Reverse;
         use std::collections::BinaryHeap;
 
@@ -376,7 +388,9 @@ impl SpatialIndex for RStarTree {
         impl Eq for Entry {}
         impl Ord for Entry {
             fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-                self.0.partial_cmp(&other.0).unwrap_or(std::cmp::Ordering::Equal)
+                self.0
+                    .partial_cmp(&other.0)
+                    .unwrap_or(std::cmp::Ordering::Equal)
             }
         }
         impl PartialOrd for Entry {
@@ -385,39 +399,41 @@ impl SpatialIndex for RStarTree {
             }
         }
 
-        let mut out = Vec::new();
         if k == 0 {
-            return out;
+            return;
         }
-        let Some(root) = self.root else { return out };
+        let Some(root) = self.root else { return };
+        let mut found = 0usize;
         let mut heap = BinaryHeap::new();
-        heap.push(Reverse(Entry(self.nodes[root].mbr.min_dist(q), Item::Node(root))));
+        heap.push(Reverse(Entry(
+            self.nodes[root].mbr.min_dist(q),
+            Item::Node(root),
+        )));
         while let Some(Reverse(Entry(_, item))) = heap.pop() {
             match item {
                 Item::Point(p) => {
-                    out.push(p);
-                    if out.len() == k {
+                    visit(&p);
+                    found += 1;
+                    if found == k {
                         break;
                     }
                 }
-                Item::Node(id) => {
-                    self.accesses.add(1);
-                    match &self.nodes[id].kind {
-                        NodeKind::Internal(children) => {
-                            for (rect, child) in children {
-                                heap.push(Reverse(Entry(rect.min_dist(q), Item::Node(*child))));
-                            }
-                        }
-                        NodeKind::Leaf(points) => {
-                            for p in points {
-                                heap.push(Reverse(Entry(p.dist(q), Item::Point(*p))));
-                            }
+                Item::Node(id) => match &self.nodes[id].kind {
+                    NodeKind::Internal(children) => {
+                        cx.count_node();
+                        for (rect, child) in children {
+                            heap.push(Reverse(Entry(rect.min_dist(q), Item::Node(*child))));
                         }
                     }
-                }
+                    NodeKind::Leaf(points) => {
+                        cx.count_block_scan(points.len());
+                        for p in points {
+                            heap.push(Reverse(Entry(p.dist(q), Item::Point(*p))));
+                        }
+                    }
+                },
             }
         }
-        out
     }
 
     fn insert(&mut self, p: Point) {
@@ -453,12 +469,12 @@ impl SpatialIndex for RStarTree {
             if !tree.nodes[node].mbr.contains(p) {
                 return false;
             }
-            tree.accesses.add(1);
             match tree.nodes[node].kind.clone() {
                 NodeKind::Leaf(_) => {
                     if let NodeKind::Leaf(points) = &mut tree.nodes[node].kind {
                         let before = points.len();
-                        points.retain(|q| !(q.x == p.x && q.y == p.y && (q.id == p.id || p.id == 0)));
+                        points
+                            .retain(|q| !(q.x == p.x && q.y == p.y && (q.id == p.id || p.id == 0)));
                         if points.len() != before {
                             tree.nodes[node].recompute_mbr();
                             return true;
@@ -491,14 +507,6 @@ impl SpatialIndex for RStarTree {
         }
     }
 
-    fn block_accesses(&self) -> u64 {
-        self.accesses.get()
-    }
-
-    fn reset_stats(&self) {
-        self.accesses.reset();
-    }
-
     fn size_bytes(&self) -> usize {
         // R*-tree nodes are charged at full capacity (like disk pages); this
         // is why RR* is the largest structure in Fig. 7a.
@@ -524,6 +532,10 @@ mod tests {
     use common::brute_force;
     use datagen::{generate, Distribution};
 
+    fn cx() -> QueryContext {
+        QueryContext::new()
+    }
+
     fn build_small(n: usize) -> (Vec<Point>, RStarTree) {
         let pts = generate(Distribution::Normal, n, 37);
         let tree = RStarTree::build(pts.clone(), 100);
@@ -534,9 +546,11 @@ mod tests {
     fn point_queries_find_every_point() {
         let (pts, tree) = build_small(1200);
         for p in &pts {
-            assert_eq!(tree.point_query(p).map(|f| f.id), Some(p.id));
+            assert_eq!(tree.point_query(p, &mut cx()).map(|f| f.id), Some(p.id));
         }
-        assert!(tree.point_query(&Point::new(0.123, 0.321)).is_none());
+        assert!(tree
+            .point_query(&Point::new(0.123, 0.321), &mut cx())
+            .is_none());
     }
 
     #[test]
@@ -581,8 +595,15 @@ mod tests {
             Rect::new(0.0, 0.0, 1.0, 1.0),
             Rect::new(0.3, 0.6, 0.35, 0.9),
         ] {
-            let mut truth: Vec<u64> = brute_force::window_query(&pts, &w).iter().map(|p| p.id).collect();
-            let mut got: Vec<u64> = tree.window_query(&w).iter().map(|p| p.id).collect();
+            let mut truth: Vec<u64> = brute_force::window_query(&pts, &w)
+                .iter()
+                .map(|p| p.id)
+                .collect();
+            let mut got: Vec<u64> = tree
+                .window_query(&w, &mut cx())
+                .iter()
+                .map(|p| p.id)
+                .collect();
             truth.sort_unstable();
             got.sort_unstable();
             assert_eq!(got, truth);
@@ -595,7 +616,7 @@ mod tests {
         for q in [Point::new(0.5, 0.5), Point::new(0.1, 0.85)] {
             for k in [1, 10, 100] {
                 let truth = brute_force::knn_query(&pts, &q, k);
-                let got = tree.knn_query(&q, k);
+                let got = tree.knn_query(&q, k, &mut cx());
                 assert_eq!(got.len(), k);
                 for (t, g) in truth.iter().zip(&got) {
                     assert!((t.dist(&q) - g.dist(&q)).abs() < 1e-12);
@@ -609,7 +630,7 @@ mod tests {
         let (pts, mut tree) = build_small(800);
         for p in pts.iter().take(50) {
             assert!(tree.delete(p), "failed to delete {p:?}");
-            assert!(tree.point_query(p).is_none());
+            assert!(tree.point_query(p, &mut cx()).is_none());
         }
         assert_eq!(tree.len(), 750);
         assert!(!tree.delete(&pts[0]));
@@ -618,21 +639,23 @@ mod tests {
     #[test]
     fn empty_tree_queries_and_first_insert() {
         let mut tree = RStarTree::new(100);
-        assert!(tree.point_query(&Point::new(0.5, 0.5)).is_none());
-        assert!(tree.window_query(&Rect::unit()).is_empty());
-        assert!(tree.knn_query(&Point::new(0.5, 0.5), 3).is_empty());
+        assert!(tree.point_query(&Point::new(0.5, 0.5), &mut cx()).is_none());
+        assert!(tree.window_query(&Rect::unit(), &mut cx()).is_empty());
+        assert!(tree
+            .knn_query(&Point::new(0.5, 0.5), 3, &mut cx())
+            .is_empty());
         tree.insert(Point::with_id(0.4, 0.2, 9));
         assert_eq!(tree.len(), 1);
         assert_eq!(tree.height(), 1);
-        assert!(tree.point_query(&Point::new(0.4, 0.2)).is_some());
+        assert!(tree.point_query(&Point::new(0.4, 0.2), &mut cx()).is_some());
     }
 
     #[test]
     fn access_accounting_and_size_reporting() {
         let (pts, tree) = build_small(2000);
-        tree.reset_stats();
-        let _ = tree.point_query(&pts[3]);
-        assert!(tree.block_accesses() >= 2);
+        let mut c = cx();
+        let _ = tree.point_query(&pts[3], &mut c);
+        assert!(c.stats.total_accesses() >= 2);
         assert!(tree.size_bytes() > 0);
         assert_eq!(tree.name(), "RR*");
     }

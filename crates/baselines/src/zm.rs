@@ -8,7 +8,7 @@
 //! the rank of the point among all points sorted by Z-value.  The rank
 //! determines the data block (`rank / B`).
 
-use common::SpatialIndex;
+use common::{QueryContext, SpatialIndex};
 use geom::{Point, Rect};
 use mlp::{MlpConfig, ScaledRegressor};
 use sfc::zcurve;
@@ -198,10 +198,7 @@ impl ZOrderModel {
         (below, above)
     }
 
-    fn nearest_model(
-        models: &[Option<ScaledRegressor>],
-        idx: usize,
-    ) -> Option<&ScaledRegressor> {
+    fn nearest_model(models: &[Option<ScaledRegressor>], idx: usize) -> Option<&ScaledRegressor> {
         if let Some(Some(m)) = models.get(idx) {
             return Some(m);
         }
@@ -221,20 +218,23 @@ impl ZOrderModel {
     }
 
     /// Predicted rank range `[lo, hi]` for a Z-value, covering the leaf
-    /// model's error bounds.
-    fn predicted_rank_range(&self, z: u64) -> Option<(u64, u64)> {
+    /// model's error bounds.  Charges one node visit per sub-model invoked.
+    fn predicted_rank_range(&self, z: u64, cx: &mut QueryContext) -> Option<(u64, u64)> {
         let root = self.root.as_ref()?;
         let key = [z as f64];
         // Use the bulk-load cardinality, not the live count: routing must be
         // identical for the same key before and after updates, otherwise a
         // point inserted earlier could fall outside a later scan range.
         let n = self.built_n;
+        cx.count_node();
         let pred0 = root.predict(&key);
         let idx1 = ((pred0 as usize * self.level1.len()) / n).min(self.level1.len() - 1);
         let m1 = Self::nearest_model(&self.level1, idx1)?;
+        cx.count_node();
         let pred1 = m1.predict(&key);
         let idx2 = ((pred1 as usize * self.level2.len()) / n).min(self.level2.len() - 1);
         let m2 = Self::nearest_model(&self.level2, idx2)?;
+        cx.count_node();
         let pred2 = m2.predict(&key);
         let lo = pred2.saturating_sub(m2.err_above());
         let hi = (pred2 + m2.err_below()).min(n as u64 - 1);
@@ -242,8 +242,8 @@ impl ZOrderModel {
     }
 
     /// Predicted block range for a Z-value.
-    fn predicted_block_range(&self, z: u64) -> Option<(BlockId, BlockId)> {
-        let (lo, hi) = self.predicted_rank_range(z)?;
+    fn predicted_block_range(&self, z: u64, cx: &mut QueryContext) -> Option<(BlockId, BlockId)> {
+        let (lo, hi) = self.predicted_rank_range(z, cx)?;
         let b = self.config.block_capacity as u64;
         let max_block = self.store.len().saturating_sub(1);
         Some((
@@ -252,21 +252,36 @@ impl ZOrderModel {
         ))
     }
 
+    /// Reads a block as part of a query, charging the access and its
+    /// candidates to the context.
+    #[inline]
+    fn read_block(&self, id: BlockId, cx: &mut QueryContext) -> &storage::Block {
+        let block = self.store.block(id);
+        cx.count_block_scan(block.len());
+        block
+    }
+
     /// Scans blocks `begin..=end` (following the chain, including overflow
-    /// blocks) and applies `f` to each.
-    fn scan_chain(&self, begin: BlockId, end: BlockId, mut f: impl FnMut(&storage::Block)) {
+    /// blocks), charging each read to `cx` and applying `f` to each block.
+    fn scan_chain(
+        &self,
+        begin: BlockId,
+        end: BlockId,
+        cx: &mut QueryContext,
+        mut f: impl FnMut(&storage::Block),
+    ) {
         let mut cur = Some(begin);
         let mut guard = self.store.len() + 1;
         while let Some(id) = cur {
-            let block = self.store.read(id);
+            let block = self.read_block(id, cx);
             f(block);
             if id == end {
                 let mut next = block.next();
                 while let Some(nb) = next {
-                    if !self.store.peek(nb).is_overflow() {
+                    if !self.store.block(nb).is_overflow() {
                         break;
                     }
-                    let ov = self.store.read(nb);
+                    let ov = self.read_block(nb, cx);
                     f(ov);
                     next = ov.next();
                 }
@@ -295,11 +310,11 @@ impl SpatialIndex for ZOrderModel {
         self.n_points
     }
 
-    fn point_query(&self, q: &Point) -> Option<Point> {
+    fn point_query(&self, q: &Point, cx: &mut QueryContext) -> Option<Point> {
         let z = zcurve::encode_unit(q.x, q.y, Z_ORDER);
-        let (lo, hi) = self.predicted_block_range(z)?;
+        let (lo, hi) = self.predicted_block_range(z, cx)?;
         let mut found = None;
-        self.scan_chain(lo, hi, |block| {
+        self.scan_chain(lo, hi, cx, |block| {
             if found.is_none() {
                 if let Some(p) = block.find_at(q.x, q.y) {
                     found = Some(*p);
@@ -309,38 +324,47 @@ impl SpatialIndex for ZOrderModel {
         found
     }
 
-    fn window_query(&self, window: &Rect) -> Vec<Point> {
-        let mut out = Vec::new();
+    fn window_query_visit(
+        &self,
+        window: &Rect,
+        cx: &mut QueryContext,
+        visit: &mut dyn FnMut(&Point),
+    ) {
         if self.n_points == 0 {
-            return out;
+            return;
         }
         // For the Z-curve the minimum and maximum curve values inside the
         // window are attained at its bottom-left and top-right corners.
         let zl = zcurve::encode_unit(window.min_x, window.min_y, Z_ORDER);
         let zh = zcurve::encode_unit(window.max_x, window.max_y, Z_ORDER);
-        let Some((lo, _)) = self.predicted_block_range(zl) else {
-            return out;
+        let Some((lo, _)) = self.predicted_block_range(zl, cx) else {
+            return;
         };
-        let Some((_, hi)) = self.predicted_block_range(zh) else {
-            return out;
+        let Some((_, hi)) = self.predicted_block_range(zh, cx) else {
+            return;
         };
         let (lo, hi) = (lo.min(hi), hi.max(lo));
-        self.scan_chain(lo, hi, |block| {
+        self.scan_chain(lo, hi, cx, |block| {
             for p in block.points() {
                 if window.contains(p) {
-                    out.push(*p);
+                    visit(p);
                 }
             }
         });
-        out
     }
 
-    fn knn_query(&self, q: &Point, k: usize) -> Vec<Point> {
+    fn knn_query_visit(
+        &self,
+        q: &Point,
+        k: usize,
+        cx: &mut QueryContext,
+        visit: &mut dyn FnMut(&Point),
+    ) {
         // The ZM paper has no kNN algorithm; the RSMI authors run their own
         // search-region-expansion algorithm on top of ZM (§6.2.4).  The skew
         // parameters default to 1 since ZM learns no marginal CDFs.
         if k == 0 || self.n_points == 0 {
-            return Vec::new();
+            return;
         }
         let k_eff = k.min(self.n_points);
         let base = (k_eff as f64 / self.n_points as f64).sqrt();
@@ -350,7 +374,8 @@ impl SpatialIndex for ZOrderModel {
         loop {
             let window = Rect::centered(q.x, q.y, width, height);
             best.clear();
-            let candidates = self.window_query(&window);
+            let mut candidates = Vec::new();
+            self.window_query_visit(&window, cx, &mut |p| candidates.push(*p));
             for p in candidates {
                 let d = p.dist(q);
                 let pos = best
@@ -372,7 +397,8 @@ impl SpatialIndex for ZOrderModel {
                 if covers_space {
                     // Guarantee k results: fall back to scanning all blocks.
                     best.clear();
-                    for (_, block) in self.store.iter() {
+                    for (id, _) in self.store.iter() {
+                        let block = self.read_block(id, cx);
                         for p in block.points() {
                             let d = p.dist(q);
                             let pos = best
@@ -404,7 +430,9 @@ impl SpatialIndex for ZOrderModel {
             }
             break;
         }
-        best.into_iter().map(|(_, p)| p).collect()
+        for (_, p) in &best {
+            visit(p);
+        }
     }
 
     fn insert(&mut self, p: Point) {
@@ -413,8 +441,9 @@ impl SpatialIndex for ZOrderModel {
             return;
         }
         let z = zcurve::encode_unit(p.x, p.y, Z_ORDER);
+        let mut scratch = QueryContext::new();
         let (lo, hi) = self
-            .predicted_block_range(z)
+            .predicted_block_range(z, &mut scratch)
             .expect("non-empty index has models");
         // Insert into the predicted block (middle of the range), or the
         // first block of its overflow chain that has space, or a new
@@ -423,7 +452,7 @@ impl SpatialIndex for ZOrderModel {
         let chain = self.store.overflow_chain(target_base);
         let mut target = None;
         for id in &chain {
-            if !self.store.read(*id).is_full() {
+            if !self.store.block(*id).is_full() {
                 target = Some(*id);
                 break;
             }
@@ -432,7 +461,7 @@ impl SpatialIndex for ZOrderModel {
             self.store
                 .insert_overflow_after(*chain.last().expect("chain non-empty"))
         });
-        self.store.write(target).push(p);
+        self.store.block_mut(target).push(p);
         self.n_points += 1;
     }
 
@@ -441,7 +470,8 @@ impl SpatialIndex for ZOrderModel {
             return false;
         }
         let z = zcurve::encode_unit(p.x, p.y, Z_ORDER);
-        let Some((lo, hi)) = self.predicted_block_range(z) else {
+        let mut scratch = QueryContext::new();
+        let Some((lo, hi)) = self.predicted_block_range(z, &mut scratch) else {
             return false;
         };
         // Search the predicted chain explicitly (instead of via `scan_chain`)
@@ -450,7 +480,7 @@ impl SpatialIndex for ZOrderModel {
         let mut cur = Some(lo);
         let mut guard = self.store.len() + 1;
         while let Some(id) = cur {
-            let block = self.store.read(id);
+            let block = self.store.block(id);
             if let Some(found) = block.find_at(p.x, p.y) {
                 if found.id == p.id || p.id == 0 {
                     victim = Some((id, found.id));
@@ -460,10 +490,10 @@ impl SpatialIndex for ZOrderModel {
             if id == hi {
                 let mut next = block.next();
                 while let Some(nb) = next {
-                    if !self.store.peek(nb).is_overflow() {
+                    if !self.store.block(nb).is_overflow() {
                         break;
                     }
-                    let ov = self.store.read(nb);
+                    let ov = self.store.block(nb);
                     if let Some(found) = ov.find_at(p.x, p.y) {
                         if found.id == p.id || p.id == 0 {
                             victim = Some((nb, found.id));
@@ -481,20 +511,12 @@ impl SpatialIndex for ZOrderModel {
             }
         }
         if let Some((block_id, point_id)) = victim {
-            self.store.write(block_id).remove_by_id(point_id);
+            self.store.block_mut(block_id).remove_by_id(point_id);
             self.n_points -= 1;
             true
         } else {
             false
         }
-    }
-
-    fn block_accesses(&self) -> u64 {
-        self.store.block_accesses()
-    }
-
-    fn reset_stats(&self) {
-        self.store.reset_stats();
     }
 
     fn size_bytes(&self) -> usize {
@@ -517,6 +539,10 @@ impl SpatialIndex for ZOrderModel {
     fn height(&self) -> usize {
         3
     }
+
+    fn model_count(&self) -> usize {
+        self.model_count
+    }
 }
 
 #[cfg(test)]
@@ -524,6 +550,10 @@ mod tests {
     use super::*;
     use common::{brute_force, metrics};
     use datagen::{generate, Distribution};
+
+    fn cx() -> QueryContext {
+        QueryContext::new()
+    }
 
     fn build_small(n: usize) -> (Vec<Point>, ZOrderModel) {
         let pts = generate(Distribution::Uniform, n, 17);
@@ -535,7 +565,7 @@ mod tests {
     fn point_queries_find_every_point() {
         let (pts, zm) = build_small(1200);
         for p in &pts {
-            let found = zm.point_query(p);
+            let found = zm.point_query(p, &mut cx());
             assert_eq!(found.map(|f| f.id), Some(p.id), "lost {p:?}");
         }
     }
@@ -543,7 +573,9 @@ mod tests {
     #[test]
     fn point_query_misses_absent_points() {
         let (_, zm) = build_small(500);
-        assert!(zm.point_query(&Point::new(0.111111, 0.222222)).is_none());
+        assert!(zm
+            .point_query(&Point::new(0.111111, 0.222222), &mut cx())
+            .is_none());
     }
 
     #[test]
@@ -556,7 +588,7 @@ mod tests {
             Rect::new(0.7, 0.2, 0.95, 0.4),
         ] {
             let truth = brute_force::window_query(&pts, &w);
-            let got = zm.window_query(&w);
+            let got = zm.window_query(&w, &mut cx());
             assert_eq!(metrics::false_positive_rate(&got, &truth), 0.0);
             recalls.push(metrics::recall(&got, &truth));
         }
@@ -568,7 +600,7 @@ mod tests {
         let (pts, zm) = build_small(2000);
         let q = Point::new(0.4, 0.6);
         let k = 10;
-        let got = zm.knn_query(&q, k);
+        let got = zm.knn_query(&q, k, &mut cx());
         assert_eq!(got.len(), k);
         let truth = brute_force::knn_query(&pts, &q, k);
         assert!(metrics::knn_recall(&got, &truth, &q, k) > 0.7);
@@ -580,9 +612,9 @@ mod tests {
         let p = Point::with_id(0.31415, 0.27182, 777_777);
         zm.insert(p);
         assert_eq!(zm.len(), 801);
-        assert_eq!(zm.point_query(&p).map(|f| f.id), Some(p.id));
+        assert_eq!(zm.point_query(&p, &mut cx()).map(|f| f.id), Some(p.id));
         assert!(zm.delete(&p));
-        assert!(zm.point_query(&p).is_none());
+        assert!(zm.point_query(&p, &mut cx()).is_none());
         assert_eq!(zm.len(), 800);
     }
 
@@ -618,18 +650,22 @@ mod tests {
             }
         }
         for p in &inserted {
-            assert_eq!(zm.point_query(p).map(|f| f.id), Some(p.id), "lost {p:?}");
+            assert_eq!(
+                zm.point_query(p, &mut cx()).map(|f| f.id),
+                Some(p.id),
+                "lost {p:?}"
+            );
         }
     }
 
     #[test]
     fn empty_zm_handles_queries_and_bootstrap_insert() {
         let mut zm = ZOrderModel::build(vec![], ZmConfig::fast());
-        assert!(zm.point_query(&Point::new(0.5, 0.5)).is_none());
-        assert!(zm.window_query(&Rect::unit()).is_empty());
-        assert!(zm.knn_query(&Point::new(0.5, 0.5), 3).is_empty());
+        assert!(zm.point_query(&Point::new(0.5, 0.5), &mut cx()).is_none());
+        assert!(zm.window_query(&Rect::unit(), &mut cx()).is_empty());
+        assert!(zm.knn_query(&Point::new(0.5, 0.5), 3, &mut cx()).is_empty());
         zm.insert(Point::with_id(0.5, 0.5, 1));
         assert_eq!(zm.len(), 1);
-        assert!(zm.point_query(&Point::new(0.5, 0.5)).is_some());
+        assert!(zm.point_query(&Point::new(0.5, 0.5), &mut cx()).is_some());
     }
 }

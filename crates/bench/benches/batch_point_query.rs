@@ -1,0 +1,60 @@
+//! Batch vs per-call point queries: documents the amortisation win of the
+//! batch entry points of the redesigned query API.
+//!
+//! The batch form runs the whole workload through one `QueryContext` and one
+//! virtual dispatch per *batch*, where the per-call form pays the dynamic
+//! dispatch, stats bookkeeping, and result handling per *query*.
+
+use bench::{build_timed, IndexConfig, IndexKind};
+use common::QueryContext;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::{generate, queries, Distribution};
+
+fn bench_batch_vs_single(c: &mut Criterion) {
+    let mut group = c.benchmark_group("point_query_batch_vs_single_skewed_20k");
+    group.sample_size(20);
+    let data = generate(Distribution::skewed_default(), 20_000, 1);
+    let qs = queries::point_queries(&data, 1024, 3);
+    let cfg = IndexConfig {
+        block_capacity: 100,
+        partition_threshold: 5_000,
+        epochs: 20,
+        seed: 1,
+        ..IndexConfig::default()
+    };
+    for kind in [IndexKind::Rsmi, IndexKind::Hrr, IndexKind::Grid] {
+        let built = build_timed(kind, &data, &cfg);
+        group.bench_with_input(
+            BenchmarkId::new("single", kind.name()),
+            &built,
+            |b, built| {
+                b.iter(|| {
+                    let mut cx = QueryContext::new();
+                    let mut hits = 0usize;
+                    for q in &qs {
+                        if built.index.point_query(black_box(q), &mut cx).is_some() {
+                            hits += 1;
+                        }
+                    }
+                    black_box((hits, cx.stats))
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("batch", kind.name()),
+            &built,
+            |b, built| {
+                b.iter(|| {
+                    let mut cx = QueryContext::new();
+                    let answers = built.index.point_queries(black_box(&qs), &mut cx);
+                    let hits = answers.iter().filter(|a| a.is_some()).count();
+                    black_box((hits, cx.stats))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_vs_single);
+criterion_main!(benches);

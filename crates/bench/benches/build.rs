@@ -1,7 +1,7 @@
 //! Construction-time benchmarks (Figs. 7b and 9b, Table 3): bulk-loading each
 //! index family on the same Skewed data set.
 
-use bench::{build_index, HarnessConfig, IndexKind};
+use bench::{build_timed, IndexConfig, IndexKind};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use datagen::{generate, Distribution};
 
@@ -9,16 +9,21 @@ fn bench_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("build_skewed_5k");
     group.sample_size(10);
     let data = generate(Distribution::skewed_default(), 5_000, 1);
-    let cfg = HarnessConfig {
+    let cfg = IndexConfig {
         block_capacity: 100,
         partition_threshold: 2_000,
         epochs: 15,
         seed: 1,
+        ..IndexConfig::default()
     };
     for kind in IndexKind::without_rsmia() {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
-            b.iter(|| build_index(kind, &data, &cfg));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| build_timed(kind, &data, &cfg));
+            },
+        );
     }
     group.finish();
 }

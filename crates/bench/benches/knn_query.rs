@@ -1,7 +1,8 @@
 //! kNN-query latency benchmarks (Figs. 14–16): per-query latency of every
 //! index family at the paper's default k = 25.
 
-use bench::{build_index, AnyIndex, HarnessConfig, IndexKind};
+use bench::{build_timed, IndexConfig, IndexKind};
+use common::QueryContext;
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use datagen::{generate, queries, Distribution};
 
@@ -10,26 +11,32 @@ fn bench_knn_queries(c: &mut Criterion) {
     group.sample_size(30);
     let data = generate(Distribution::skewed_default(), 20_000, 1);
     let qs = queries::knn_queries(&data, 128, 3);
-    let cfg = HarnessConfig {
+    let cfg = IndexConfig {
         block_capacity: 100,
         partition_threshold: 5_000,
         epochs: 20,
         seed: 1,
+        ..IndexConfig::default()
     };
     for kind in IndexKind::all() {
-        let built = build_index(kind, &data, &cfg);
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &built, |b, built| {
-            let mut i = 0usize;
-            b.iter(|| {
-                let q = &qs[i % qs.len()];
-                i += 1;
-                let res = match (&built.index, built.kind) {
-                    (AnyIndex::Rsmi(r), IndexKind::Rsmia) => r.knn_query_exact(q, 25),
-                    _ => built.index.as_index().knn_query(q, 25),
-                };
-                black_box(res)
-            });
-        });
+        let built = build_timed(kind, &data, &cfg);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &built,
+            |b, built| {
+                let mut cx = QueryContext::new();
+                let mut i = 0usize;
+                b.iter(|| {
+                    let q = &qs[i % qs.len()];
+                    i += 1;
+                    let mut count = 0usize;
+                    built
+                        .index
+                        .knn_query_visit(q, 25, &mut cx, &mut |_| count += 1);
+                    black_box(count)
+                });
+            },
+        );
     }
     group.finish();
 }

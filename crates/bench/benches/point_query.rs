@@ -1,7 +1,8 @@
 //! Point-query latency benchmarks (Figs. 6a and 8a): per-query latency of
 //! every index family on the same Skewed data set.
 
-use bench::{build_index, HarnessConfig, IndexKind};
+use bench::{build_timed, IndexConfig, IndexKind};
+use common::QueryContext;
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use datagen::{generate, queries, Distribution};
 
@@ -10,23 +11,28 @@ fn bench_point_queries(c: &mut Criterion) {
     group.sample_size(30);
     let data = generate(Distribution::skewed_default(), 20_000, 1);
     let qs = queries::point_queries(&data, 256, 3);
-    let cfg = HarnessConfig {
+    let cfg = IndexConfig {
         block_capacity: 100,
         partition_threshold: 5_000,
         epochs: 20,
         seed: 1,
+        ..IndexConfig::default()
     };
     for kind in IndexKind::without_rsmia() {
-        let built = build_index(kind, &data, &cfg);
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &built, |b, built| {
-            let index = built.index.as_index();
-            let mut i = 0usize;
-            b.iter(|| {
-                let q = &qs[i % qs.len()];
-                i += 1;
-                black_box(index.point_query(q))
-            });
-        });
+        let built = build_timed(kind, &data, &cfg);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &built,
+            |b, built| {
+                let mut cx = QueryContext::new();
+                let mut i = 0usize;
+                b.iter(|| {
+                    let q = &qs[i % qs.len()];
+                    i += 1;
+                    black_box(built.index.point_query(q, &mut cx))
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -1,8 +1,12 @@
 //! Window-query latency benchmarks (Figs. 10–13): per-query latency of every
 //! index family, including the exact RSMIa traversal, on the default window
 //! workload (0.01 % area, aspect ratio 1).
+//!
+//! The visitor form is benchmarked (count results, no allocation), which is
+//! what the zero-copy API is for.
 
-use bench::{build_index, AnyIndex, HarnessConfig, IndexKind};
+use bench::{build_timed, IndexConfig, IndexKind};
+use common::QueryContext;
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use datagen::{generate, queries, Distribution};
 
@@ -11,26 +15,32 @@ fn bench_window_queries(c: &mut Criterion) {
     group.sample_size(30);
     let data = generate(Distribution::skewed_default(), 20_000, 1);
     let ws = queries::window_queries(&data, queries::WindowSpec::default(), 128, 3);
-    let cfg = HarnessConfig {
+    let cfg = IndexConfig {
         block_capacity: 100,
         partition_threshold: 5_000,
         epochs: 20,
         seed: 1,
+        ..IndexConfig::default()
     };
     for kind in IndexKind::all() {
-        let built = build_index(kind, &data, &cfg);
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &built, |b, built| {
-            let mut i = 0usize;
-            b.iter(|| {
-                let w = &ws[i % ws.len()];
-                i += 1;
-                let res = match (&built.index, built.kind) {
-                    (AnyIndex::Rsmi(r), IndexKind::Rsmia) => r.window_query_exact(w),
-                    _ => built.index.as_index().window_query(w),
-                };
-                black_box(res)
-            });
-        });
+        let built = build_timed(kind, &data, &cfg);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &built,
+            |b, built| {
+                let mut cx = QueryContext::new();
+                let mut i = 0usize;
+                b.iter(|| {
+                    let w = &ws[i % ws.len()];
+                    i += 1;
+                    let mut count = 0usize;
+                    built
+                        .index
+                        .window_query_visit(w, &mut cx, &mut |_| count += 1);
+                    black_box(count)
+                });
+            },
+        );
     }
     group.finish();
 }

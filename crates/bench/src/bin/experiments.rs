@@ -3,12 +3,21 @@
 //! Usage:
 //!
 //! ```text
-//! experiments <id> [--scale S] [--epochs E]
+//! experiments <id> [--scale S] [--epochs E] [--only INDEX[,INDEX...]]
 //! experiments all
 //! ```
 //!
 //! where `<id>` is one of `table3`, `table4`, `fig6` … `fig19`,
-//! `ablation-rank`, `ablation-curve`, `ablation-grouping`, or `all`.
+//! `ablation-rank`, `ablation-curve`, `ablation-grouping`, or `all`, and
+//! `--only` restricts the cross-family figures to the named index families
+//! (parsed through the registry, e.g. `--only RSMI,HRR`).
+//!
+//! Every index is constructed through the dynamic registry
+//! (`registry::build_index`) and measured through the uniform
+//! `common::SpatialIndex` API — the binary contains no per-index special
+//! casing.  The only concrete-type access is in `table4`/`ablation-rank`,
+//! which report *internal model error bounds* of the two learned families,
+//! a diagnostic the uniform query API deliberately does not expose.
 //!
 //! The paper's experiments run on up to 128 million points and train each
 //! sub-model for 500 epochs (16 h of training for the largest data set).
@@ -19,15 +28,13 @@
 //! machines.
 
 use bench::{
-    build_index, fmt, markdown_table, measure_insertions, measure_knn_queries,
-    measure_point_queries, measure_window_queries, HarnessConfig, IndexKind,
+    build_timed, fmt, markdown_table, measure_insertions, measure_knn_queries,
+    measure_point_queries, measure_window_queries, IndexConfig, IndexKind,
 };
-use common::SpatialIndex;
+use common::QueryContext;
 use datagen::queries::{self, WindowSpec};
 use datagen::{generate, Distribution};
 use geom::Point;
-use rsmi::{Rsmi, RsmiConfig};
-use sfc::CurveKind;
 
 /// One window-experiment configuration: axis label, data set, query windows.
 type WindowConfig = (String, Vec<Point>, Vec<geom::Rect>);
@@ -38,10 +45,11 @@ const POINT_QUERIES: usize = 1000;
 const RANGE_QUERIES: usize = 100;
 const SEED: u64 = 42;
 
-#[derive(Clone, Copy)]
+#[derive(Clone)]
 struct Opts {
     scale: f64,
     epochs: usize,
+    only: Option<Vec<IndexKind>>,
 }
 
 impl Opts {
@@ -56,12 +64,22 @@ impl Opts {
             .collect()
     }
 
-    fn harness(&self) -> HarnessConfig {
-        HarnessConfig {
+    fn harness(&self) -> IndexConfig {
+        IndexConfig {
             block_capacity: 100,
             partition_threshold: 5_000,
             epochs: self.epochs,
             seed: SEED,
+            ..IndexConfig::default()
+        }
+    }
+
+    /// The families a cross-family experiment should cover, honouring
+    /// `--only`.
+    fn kinds(&self, base: Vec<IndexKind>) -> Vec<IndexKind> {
+        match &self.only {
+            None => base,
+            Some(only) => base.into_iter().filter(|k| only.contains(k)).collect(),
         }
     }
 }
@@ -72,6 +90,7 @@ fn main() {
     let mut opts = Opts {
         scale: 1.0,
         epochs: 30,
+        only: None,
     };
     let mut it = args.iter().peekable();
     if let Some(first) = it.peek() {
@@ -86,6 +105,22 @@ fn main() {
             }
             "--epochs" => {
                 opts.epochs = it.next().and_then(|v| v.parse().ok()).unwrap_or(30);
+            }
+            "--only" => {
+                let spec = it.next().cloned().unwrap_or_default();
+                let kinds: Result<Vec<IndexKind>, String> =
+                    spec.split(',').map(str::parse).collect();
+                match kinds {
+                    Ok(kinds) if !kinds.is_empty() => opts.only = Some(kinds),
+                    Ok(_) => {
+                        eprintln!("--only expects a comma-separated list of index names");
+                        std::process::exit(2);
+                    }
+                    Err(e) => {
+                        eprintln!("--only: {e}");
+                        std::process::exit(2);
+                    }
+                }
             }
             other => {
                 eprintln!("unknown argument: {other}");
@@ -166,34 +201,30 @@ fn table3(opts: &Opts) {
     let thresholds = [1_000usize, 2_500, 5_000, 10_000, 20_000];
     let mut rows = Vec::new();
     for &threshold in &thresholds {
-        let cfg = RsmiConfig::default()
-            .with_partition_threshold(threshold)
-            .with_epochs(opts.epochs);
-        let start = std::time::Instant::now();
-        let index = Rsmi::build(data.clone(), cfg);
-        let build = start.elapsed().as_secs_f64();
-        let stats = index.stats();
-        index.reset_stats();
-        let qstart = std::time::Instant::now();
-        for q in &point_qs {
-            let _ = index.point_query(q);
-        }
-        let qtime = qstart.elapsed().as_secs_f64() * 1e6 / point_qs.len() as f64;
-        let blocks = index.block_store().block_accesses() as f64 / point_qs.len() as f64;
+        let cfg = opts.harness().with_partition_threshold(threshold);
+        let built = build_timed(IndexKind::Rsmi, &data, &cfg);
+        let m = measure_point_queries(&built, &point_qs);
         rows.push(vec![
             threshold.to_string(),
-            fmt(build),
-            stats.height.to_string(),
-            fmt(stats.size_bytes as f64 / (1024.0 * 1024.0)),
-            fmt(blocks),
-            fmt(qtime),
+            fmt(built.build_seconds),
+            built.index.height().to_string(),
+            fmt(built.index.size_bytes() as f64 / (1024.0 * 1024.0)),
+            fmt(m.avg_block_accesses),
+            fmt(m.avg_time_us),
         ]);
     }
     println!(
         "{}",
         markdown_table(
             &format!("Table 3 — impact of partition threshold N (Skewed, n = {n})"),
-            &["N", "construction (s)", "height", "index size (MB)", "point-query block accesses", "point-query time (us)"],
+            &[
+                "N",
+                "construction (s)",
+                "height",
+                "index size (MB)",
+                "point-query block accesses",
+                "point-query time (us)"
+            ],
             &rows
         )
     );
@@ -203,11 +234,13 @@ fn table3(opts: &Opts) {
 // Table 4: prediction error bounds of ZM and RSMI
 // ---------------------------------------------------------------------
 fn table4(opts: &Opts) {
+    // Error bounds are internal model diagnostics, not part of the uniform
+    // query API, so this table uses the concrete learned types directly.
     let cfg = opts.harness();
     let mut rows = Vec::new();
     for dist in Distribution::all() {
         let data = dataset(dist, opts.n_default());
-        let rsmi = Rsmi::build(data.clone(), cfg.rsmi_config());
+        let rsmi = rsmi::Rsmi::build(data.clone(), cfg.rsmi_config());
         let stats = rsmi.stats();
         let zm = baselines::ZOrderModel::build(data, cfg.zm_config());
         let (zb, za) = zm.error_bounds_blocks();
@@ -220,7 +253,10 @@ fn table4(opts: &Opts) {
     println!(
         "{}",
         markdown_table(
-            &format!("Table 4 — prediction error bounds in blocks (err_l, err_a), n = {}", opts.n_default()),
+            &format!(
+                "Table 4 — prediction error bounds in blocks (err_l, err_a), n = {}",
+                opts.n_default()
+            ),
             &["data set", "ZM", "RSMI"],
             &rows
         )
@@ -237,8 +273,8 @@ fn fig6_7(opts: &Opts) {
     for dist in Distribution::all() {
         let data = dataset(dist, opts.n_default());
         let point_qs = queries::point_queries(&data, POINT_QUERIES, 1);
-        for kind in IndexKind::without_rsmia() {
-            let built = build_index(kind, &data, &cfg);
+        for kind in opts.kinds(IndexKind::without_rsmia()) {
+            let built = build_timed(kind, &data, &cfg);
             let m = measure_point_queries(&built, &point_qs);
             q_rows.push(vec![
                 dist.name().to_string(),
@@ -249,7 +285,7 @@ fn fig6_7(opts: &Opts) {
             s_rows.push(vec![
                 dist.name().to_string(),
                 built.kind.name().to_string(),
-                fmt(built.index.as_index().size_bytes() as f64 / (1024.0 * 1024.0)),
+                fmt(built.index.size_bytes() as f64 / (1024.0 * 1024.0)),
                 fmt(built.build_seconds),
             ]);
         }
@@ -257,7 +293,10 @@ fn fig6_7(opts: &Opts) {
     println!(
         "{}",
         markdown_table(
-            &format!("Figure 6 — point query vs data distribution (n = {})", opts.n_default()),
+            &format!(
+                "Figure 6 — point query vs data distribution (n = {})",
+                opts.n_default()
+            ),
             &["data set", "index", "query time (us)", "block accesses"],
             &q_rows
         )
@@ -265,7 +304,10 @@ fn fig6_7(opts: &Opts) {
     println!(
         "{}",
         markdown_table(
-            &format!("Figure 7 — index size and construction time vs data distribution (n = {})", opts.n_default()),
+            &format!(
+                "Figure 7 — index size and construction time vs data distribution (n = {})",
+                opts.n_default()
+            ),
             &["data set", "index", "size (MB)", "construction (s)"],
             &s_rows
         )
@@ -282,8 +324,8 @@ fn fig8_9(opts: &Opts) {
     for n in opts.sizes() {
         let data = dataset(Distribution::skewed_default(), n);
         let point_qs = queries::point_queries(&data, POINT_QUERIES, 1);
-        for kind in IndexKind::without_rsmia() {
-            let built = build_index(kind, &data, &cfg);
+        for kind in opts.kinds(IndexKind::without_rsmia()) {
+            let built = build_timed(kind, &data, &cfg);
             let m = measure_point_queries(&built, &point_qs);
             q_rows.push(vec![
                 n.to_string(),
@@ -294,7 +336,7 @@ fn fig8_9(opts: &Opts) {
             s_rows.push(vec![
                 n.to_string(),
                 built.kind.name().to_string(),
-                fmt(built.index.as_index().size_bytes() as f64 / (1024.0 * 1024.0)),
+                fmt(built.index.size_bytes() as f64 / (1024.0 * 1024.0)),
                 fmt(built.build_seconds),
             ]);
         }
@@ -324,12 +366,13 @@ fn window_experiment(
     title: &str,
     axis: &str,
     configs: &[WindowConfig],
-    cfg: &HarnessConfig,
+    cfg: &IndexConfig,
+    opts: &Opts,
 ) {
     let mut rows = Vec::new();
     for (label, data, windows) in configs {
-        for kind in IndexKind::all() {
-            let built = build_index(kind, data, cfg);
+        for kind in opts.kinds(IndexKind::all()) {
+            let built = build_timed(kind, data, cfg);
             let m = measure_window_queries(&built, data, windows);
             rows.push(vec![
                 label.clone(),
@@ -356,10 +399,14 @@ fn fig10(opts: &Opts) {
         })
         .collect();
     window_experiment(
-        &format!("Figure 10 — window query vs data distribution (n = {}, 0.01% windows)", opts.n_default()),
+        &format!(
+            "Figure 10 — window query vs data distribution (n = {}, 0.01% windows)",
+            opts.n_default()
+        ),
         "data set",
         &configs,
         &cfg,
+        opts,
     );
 }
 
@@ -379,6 +426,7 @@ fn fig11(opts: &Opts) {
         "n",
         &configs,
         &cfg,
+        opts,
     );
 }
 
@@ -397,10 +445,14 @@ fn fig12(opts: &Opts) {
         })
         .collect();
     window_experiment(
-        &format!("Figure 12 — window query vs query window size (Skewed, n = {})", opts.n_default()),
+        &format!(
+            "Figure 12 — window query vs query window size (Skewed, n = {})",
+            opts.n_default()
+        ),
         "window size",
         &configs,
         &cfg,
+        opts,
     );
 }
 
@@ -419,26 +471,25 @@ fn fig13(opts: &Opts) {
         })
         .collect();
     window_experiment(
-        &format!("Figure 13 — window query vs aspect ratio (Skewed, n = {})", opts.n_default()),
+        &format!(
+            "Figure 13 — window query vs aspect ratio (Skewed, n = {})",
+            opts.n_default()
+        ),
         "aspect ratio",
         &configs,
         &cfg,
+        opts,
     );
 }
 
 // ---------------------------------------------------------------------
 // kNN figures
 // ---------------------------------------------------------------------
-fn knn_experiment(
-    title: &str,
-    axis: &str,
-    configs: &[KnnConfig],
-    cfg: &HarnessConfig,
-) {
+fn knn_experiment(title: &str, axis: &str, configs: &[KnnConfig], cfg: &IndexConfig, opts: &Opts) {
     let mut rows = Vec::new();
     for (label, data, qs, k) in configs {
-        for kind in IndexKind::all() {
-            let built = build_index(kind, data, cfg);
+        for kind in opts.kinds(IndexKind::all()) {
+            let built = build_timed(kind, data, cfg);
             let m = measure_knn_queries(&built, data, qs, *k);
             rows.push(vec![
                 label.clone(),
@@ -465,10 +516,14 @@ fn fig14(opts: &Opts) {
         })
         .collect();
     knn_experiment(
-        &format!("Figure 14 — kNN query vs data distribution (k = 25, n = {})", opts.n_default()),
+        &format!(
+            "Figure 14 — kNN query vs data distribution (k = 25, n = {})",
+            opts.n_default()
+        ),
         "data set",
         &configs,
         &cfg,
+        opts,
     );
 }
 
@@ -488,6 +543,7 @@ fn fig15(opts: &Opts) {
         "n",
         &configs,
         &cfg,
+        opts,
     );
 }
 
@@ -500,10 +556,14 @@ fn fig16(opts: &Opts) {
         .map(|&k| (k.to_string(), data.clone(), qs.clone(), k))
         .collect();
     knn_experiment(
-        &format!("Figure 16 — kNN query vs k (Skewed, n = {})", opts.n_default()),
+        &format!(
+            "Figure 16 — kNN query vs k (Skewed, n = {})",
+            opts.n_default()
+        ),
         "k",
         &configs,
         &cfg,
+        opts,
     );
 }
 
@@ -522,9 +582,8 @@ fn fig17_18_19(opts: &Opts) {
     let mut window_rows = Vec::new();
     let mut knn_rows = Vec::new();
 
-    let kinds: Vec<IndexKind> = IndexKind::without_rsmia();
-    for kind in kinds {
-        let mut built = build_index(kind, &data, &cfg);
+    for kind in opts.kinds(IndexKind::without_rsmia()) {
+        let mut built = build_timed(kind, &data, &cfg);
         let mut all_points = data.clone();
         for step in 1..=5usize {
             let slice = &all_inserts[(step - 1) * batch..step * batch];
@@ -532,11 +591,7 @@ fn fig17_18_19(opts: &Opts) {
             all_points.extend_from_slice(slice);
             let pct = step * 10;
 
-            insert_rows.push(vec![
-                format!("{pct}%"),
-                m.index.clone(),
-                fmt(m.avg_time_us),
-            ]);
+            insert_rows.push(vec![format!("{pct}%"), m.index.clone(), fmt(m.avg_time_us)]);
 
             let point_qs = queries::point_queries(&all_points, POINT_QUERIES, 13);
             let pm = measure_point_queries(&built, &point_qs);
@@ -567,39 +622,47 @@ fn fig17_18_19(opts: &Opts) {
         }
     }
 
-    // RSMIr rows: insertion time amortised over the periodic rebuilds, plus
-    // point-query performance after each batch.
-    {
-        let mut index = Rsmi::build(data.clone(), cfg.rsmi_config());
+    // RSMIr rows: the same registry-built RSMI, with the trait's `rebuild`
+    // maintenance hook invoked after every 10 % batch; insertion time is
+    // amortised over the rebuilds.
+    if opts.kinds(vec![IndexKind::Rsmi]).contains(&IndexKind::Rsmi) {
+        let mut built = build_timed(IndexKind::Rsmi, &data, &cfg);
         let mut all_points = data.clone();
         for step in 1..=5usize {
             let slice = &all_inserts[(step - 1) * batch..step * batch];
             let start = std::time::Instant::now();
             for p in slice {
-                index.insert(*p);
+                built.index.insert(*p);
             }
-            index.rebuild();
+            built.index.rebuild();
             let amortised = start.elapsed().as_secs_f64() * 1e6 / slice.len() as f64;
             all_points.extend_from_slice(slice);
             let pct = step * 10;
             insert_rows.push(vec![format!("{pct}%"), "RSMIr".to_string(), fmt(amortised)]);
 
-            index.reset_stats();
             let point_qs = queries::point_queries(&all_points, POINT_QUERIES, 13);
+            let mut cx = QueryContext::new();
             let qstart = std::time::Instant::now();
-            for q in &point_qs {
-                let _ = index.point_query(q);
-            }
+            let _ = built.index.point_queries(&point_qs, &mut cx);
             let us = qstart.elapsed().as_secs_f64() * 1e6 / point_qs.len() as f64;
-            let blocks = index.block_store().block_accesses() as f64 / point_qs.len() as f64;
-            point_rows.push(vec![format!("{pct}%"), "RSMIr".to_string(), fmt(us), fmt(blocks)]);
+            let stats = cx.take_stats();
+            let blocks = stats.total_accesses() as f64 / point_qs.len() as f64;
+            point_rows.push(vec![
+                format!("{pct}%"),
+                "RSMIr".to_string(),
+                fmt(us),
+                fmt(blocks),
+            ]);
         }
     }
 
     println!(
         "{}",
         markdown_table(
-            &format!("Figure 17a — insertion time (Skewed, n = {})", opts.n_default()),
+            &format!(
+                "Figure 17a — insertion time (Skewed, n = {})",
+                opts.n_default()
+            ),
             &["inserted", "index", "insert time (us)"],
             &insert_rows
         )
@@ -634,18 +697,20 @@ fn fig17_18_19(opts: &Opts) {
 // Ablations (DESIGN.md §5)
 // ---------------------------------------------------------------------
 fn ablation_rank(opts: &Opts) {
+    // Error bounds are internal model diagnostics (see `table4`), so the
+    // concrete RSMI type is used here; the query measurement itself goes
+    // through the uniform API.
     let data = dataset(Distribution::skewed_default(), opts.n_default());
     let mut rows = Vec::new();
     for (label, use_rank) in [("rank-space (paper)", true), ("raw coordinates", false)] {
         let cfg = opts.harness().rsmi_config().with_rank_space(use_rank);
-        let index = Rsmi::build(data.clone(), cfg);
+        let index = rsmi::Rsmi::build(data.clone(), cfg);
         let stats = index.stats();
         let point_qs = queries::point_queries(&data, POINT_QUERIES, 1);
-        index.reset_stats();
-        for q in &point_qs {
-            let _ = index.point_query(q);
-        }
-        let blocks = index.block_store().block_accesses() as f64 / point_qs.len() as f64;
+        let mut cx = QueryContext::new();
+        use common::SpatialIndex;
+        let _ = index.point_queries(&point_qs, &mut cx);
+        let blocks = cx.take_stats().total_accesses() as f64 / point_qs.len() as f64;
         rows.push(vec![
             label.to_string(),
             format!("({}, {})", stats.max_err_below, stats.max_err_above),
@@ -656,32 +721,35 @@ fn ablation_rank(opts: &Opts) {
         "{}",
         markdown_table(
             "Ablation — rank-space ordering vs raw-coordinate ordering (Skewed)",
-            &["leaf ordering", "max (err_l, err_a)", "point-query block accesses"],
+            &[
+                "leaf ordering",
+                "max (err_l, err_a)",
+                "point-query block accesses"
+            ],
             &rows
         )
     );
 }
 
 fn ablation_curve(opts: &Opts) {
+    use sfc::CurveKind;
     let data = dataset(Distribution::skewed_default(), opts.n_default());
     let ws = queries::window_queries(&data, WindowSpec::default(), RANGE_QUERIES, 2);
     let mut rows = Vec::new();
-    for (label, curve) in [("Hilbert (paper default)", CurveKind::Hilbert), ("Z-curve", CurveKind::Z)] {
-        let cfg = opts.harness().rsmi_config().with_curve(curve);
-        let index = Rsmi::build(data.clone(), cfg);
-        let mut recalls = Vec::new();
-        index.reset_stats();
-        let start = std::time::Instant::now();
-        let results: Vec<Vec<Point>> = ws.iter().map(|w| index.window_query(w)).collect();
-        let elapsed = start.elapsed().as_secs_f64() * 1e6 / ws.len() as f64;
-        for (w, got) in ws.iter().zip(&results) {
-            let truth = common::brute_force::window_query(&data, w);
-            recalls.push(common::metrics::recall(got, &truth));
-        }
+    for (label, curve) in [
+        ("Hilbert (paper default)", CurveKind::Hilbert),
+        ("Z-curve", CurveKind::Z),
+    ] {
+        let cfg = IndexConfig {
+            curve,
+            ..opts.harness()
+        };
+        let built = build_timed(IndexKind::Rsmi, &data, &cfg);
+        let m = measure_window_queries(&built, &data, &ws);
         rows.push(vec![
             label.to_string(),
-            fmt(elapsed / 1000.0),
-            fmt(common::metrics::mean(&recalls)),
+            fmt(m.avg_time_us / 1000.0),
+            fmt(m.recall),
         ]);
     }
     println!(
@@ -702,11 +770,20 @@ fn ablation_grouping(opts: &Opts) {
         ("model predictions (paper)", true),
         ("true grid cells", false),
     ] {
-        let cfg = opts.harness().rsmi_config().with_group_by_prediction(by_prediction);
-        let index = Rsmi::build(data.clone(), cfg);
-        let hits = point_qs
+        // `group_by_prediction` is an RSMI-internal ablation knob, not a
+        // registry parameter; the measurement still goes through the
+        // uniform API.
+        let cfg = opts
+            .harness()
+            .rsmi_config()
+            .with_group_by_prediction(by_prediction);
+        let index = rsmi::Rsmi::build(data.clone(), cfg);
+        let mut cx = QueryContext::new();
+        use common::SpatialIndex;
+        let hits = index
+            .point_queries(&point_qs, &mut cx)
             .iter()
-            .filter(|q| index.point_query(q).is_some())
+            .filter(|a| a.is_some())
             .count();
         rows.push(vec![
             label.to_string(),

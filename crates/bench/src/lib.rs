@@ -2,182 +2,38 @@
 //! measuring query cost, block accesses, and recall the way §6 of the paper
 //! reports them.
 //!
+//! All indices are constructed through the dynamic registry
+//! ([`registry::build_index`]) and measured through the uniform
+//! [`common::SpatialIndex`] query API with per-batch [`common::QueryContext`]
+//! statistics — there is no per-index special casing anywhere in the
+//! harness.
+//!
 //! The binary `experiments` (in `src/bin/experiments.rs`) uses these helpers
-//! to regenerate every table and figure; the Criterion benches use them to
-//! build fixtures.
+//! to regenerate every table and figure; the benches under `benches/` use
+//! them to build fixtures.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use baselines::{GridFile, HilbertRTree, KdbTree, RStarTree, ZOrderModel};
-use baselines::zm::ZmConfig;
-use common::{brute_force, metrics, SpatialIndex};
+use common::{brute_force, metrics, QueryContext, SpatialIndex};
 use geom::{Point, Rect};
-use rsmi::{Rsmi, RsmiConfig};
-use serde::Serialize;
 
-/// The index families compared in the paper's figures.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum IndexKind {
-    /// Grid File.
-    Grid,
-    /// Rank-space Hilbert packed R-tree.
-    Hrr,
-    /// K-D-B-tree.
-    Kdb,
-    /// R*-tree (dynamic insertion).
-    RStar,
-    /// RSMI (approximate window/kNN answers).
-    Rsmi,
-    /// RSMI with MBR-based exact query answering (only differs at query
-    /// time; shares the RSMI structure).
-    Rsmia,
-    /// Z-order learned model.
-    Zm,
-}
-
-impl IndexKind {
-    /// All families, in the order the paper's legends list them.
-    pub fn all() -> Vec<IndexKind> {
-        vec![
-            IndexKind::Grid,
-            IndexKind::Hrr,
-            IndexKind::Kdb,
-            IndexKind::RStar,
-            IndexKind::Rsmi,
-            IndexKind::Rsmia,
-            IndexKind::Zm,
-        ]
-    }
-
-    /// The families without the RSMIa duplicate (used for point queries and
-    /// update measurements where RSMIa is identical to RSMI).
-    pub fn without_rsmia() -> Vec<IndexKind> {
-        Self::all().into_iter().filter(|k| *k != IndexKind::Rsmia).collect()
-    }
-
-    /// Display name matching the paper's figures.
-    pub fn name(&self) -> &'static str {
-        match self {
-            IndexKind::Grid => "Grid",
-            IndexKind::Hrr => "HRR",
-            IndexKind::Kdb => "KDB",
-            IndexKind::RStar => "RR*",
-            IndexKind::Rsmi => "RSMI",
-            IndexKind::Rsmia => "RSMIa",
-            IndexKind::Zm => "ZM",
-        }
-    }
-}
+pub use registry::{build_index, IndexConfig, IndexKind};
 
 /// A built index together with its construction-time measurement.
 pub struct BuiltIndex {
     /// Which family this is.
     pub kind: IndexKind,
-    /// The index itself.
-    pub index: AnyIndex,
+    /// The index itself, behind the uniform trait.
+    pub index: Box<dyn SpatialIndex>,
     /// Construction wall-clock time in seconds.
     pub build_seconds: f64,
 }
 
-/// Concrete index storage (avoids `dyn` so the exact-variant methods of RSMI
-/// stay reachable).
-pub enum AnyIndex {
-    /// Grid File.
-    Grid(GridFile),
-    /// Hilbert R-tree.
-    Hrr(HilbertRTree),
-    /// K-D-B-tree.
-    Kdb(KdbTree),
-    /// R*-tree.
-    RStar(RStarTree),
-    /// RSMI (used for both RSMI and RSMIa rows).
-    Rsmi(Rsmi),
-    /// Z-order model.
-    Zm(ZOrderModel),
-}
-
-impl AnyIndex {
-    /// Borrow as the common trait object.
-    pub fn as_index(&self) -> &dyn SpatialIndex {
-        match self {
-            AnyIndex::Grid(i) => i,
-            AnyIndex::Hrr(i) => i,
-            AnyIndex::Kdb(i) => i,
-            AnyIndex::RStar(i) => i,
-            AnyIndex::Rsmi(i) => i,
-            AnyIndex::Zm(i) => i,
-        }
-    }
-
-    /// Borrow mutably as the common trait object.
-    pub fn as_index_mut(&mut self) -> &mut dyn SpatialIndex {
-        match self {
-            AnyIndex::Grid(i) => i,
-            AnyIndex::Hrr(i) => i,
-            AnyIndex::Kdb(i) => i,
-            AnyIndex::RStar(i) => i,
-            AnyIndex::Rsmi(i) => i,
-            AnyIndex::Zm(i) => i,
-        }
-    }
-}
-
-/// Tuning shared by all experiment runs.
-#[derive(Debug, Clone, Copy)]
-pub struct HarnessConfig {
-    /// Block capacity `B` for every index.
-    pub block_capacity: usize,
-    /// RSMI partition threshold `N`.
-    pub partition_threshold: usize,
-    /// Training epochs for the learned indices.
-    pub epochs: usize,
-    /// Random seed.
-    pub seed: u64,
-}
-
-impl Default for HarnessConfig {
-    fn default() -> Self {
-        Self {
-            block_capacity: 100,
-            partition_threshold: 10_000,
-            epochs: 30,
-            seed: 42,
-        }
-    }
-}
-
-impl HarnessConfig {
-    /// The RSMI configuration corresponding to this harness configuration.
-    pub fn rsmi_config(&self) -> RsmiConfig {
-        RsmiConfig::default()
-            .with_block_capacity(self.block_capacity)
-            .with_partition_threshold(self.partition_threshold)
-            .with_epochs(self.epochs)
-    }
-
-    /// The ZM configuration corresponding to this harness configuration.
-    pub fn zm_config(&self) -> ZmConfig {
-        ZmConfig {
-            block_capacity: self.block_capacity,
-            epochs: self.epochs,
-            ..ZmConfig::default()
-        }
-    }
-}
-
 /// Builds one index family over the given points, measuring build time.
-pub fn build_index(kind: IndexKind, points: &[Point], cfg: &HarnessConfig) -> BuiltIndex {
-    let pts = points.to_vec();
+pub fn build_timed(kind: IndexKind, points: &[Point], cfg: &IndexConfig) -> BuiltIndex {
     let start = std::time::Instant::now();
-    let index = match kind {
-        IndexKind::Grid => AnyIndex::Grid(GridFile::build(pts, cfg.block_capacity)),
-        IndexKind::Hrr => AnyIndex::Hrr(HilbertRTree::build(pts, cfg.block_capacity)),
-        IndexKind::Kdb => AnyIndex::Kdb(KdbTree::build(pts, cfg.block_capacity)),
-        IndexKind::RStar => AnyIndex::RStar(RStarTree::build(pts, cfg.block_capacity)),
-        IndexKind::Rsmi | IndexKind::Rsmia => AnyIndex::Rsmi(Rsmi::build(pts, cfg.rsmi_config())),
-        IndexKind::Zm => AnyIndex::Zm(ZOrderModel::build(pts, cfg.zm_config())),
-    };
+    let index = build_index(kind, points, cfg);
     BuiltIndex {
         kind,
         index,
@@ -186,58 +42,53 @@ pub fn build_index(kind: IndexKind, points: &[Point], cfg: &HarnessConfig) -> Bu
 }
 
 /// One measured row of an experiment (one index on one workload).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Measurement {
     /// Index family name.
     pub index: String,
     /// Average query (or update) time in microseconds.
     pub avg_time_us: f64,
-    /// Average block accesses per operation.
+    /// Average block + node accesses per operation (the paper's
+    /// "# block accesses" axis; node visits of the tree baselines are
+    /// charged to the same axis, as in §6.1).
     pub avg_block_accesses: f64,
+    /// Average candidate points examined per operation.
+    pub avg_candidates: f64,
     /// Average recall against brute force (1.0 for exact indices).
     pub recall: f64,
 }
 
-/// Measures point queries: average latency and block accesses.
+fn per_query(v: u64, n: usize) -> f64 {
+    v as f64 / n.max(1) as f64
+}
+
+/// Measures point queries (as one batch): average latency, accesses, hit
+/// rate.
 pub fn measure_point_queries(built: &BuiltIndex, queries: &[Point]) -> Measurement {
-    let index = built.index.as_index();
-    index.reset_stats();
+    let mut cx = QueryContext::new();
     let start = std::time::Instant::now();
-    let mut hits = 0usize;
-    for q in queries {
-        if index.point_query(q).is_some() {
-            hits += 1;
-        }
-    }
+    let answers = built.index.point_queries(queries, &mut cx);
     let elapsed = start.elapsed().as_secs_f64();
+    let hits = answers.iter().filter(|a| a.is_some()).count();
+    let stats = cx.take_stats();
     Measurement {
         index: built.kind.name().to_string(),
         avg_time_us: elapsed * 1e6 / queries.len().max(1) as f64,
-        avg_block_accesses: index.block_accesses() as f64 / queries.len().max(1) as f64,
+        avg_block_accesses: per_query(stats.total_accesses(), queries.len()),
+        avg_candidates: per_query(stats.candidates_scanned, queries.len()),
         recall: hits as f64 / queries.len().max(1) as f64,
     }
 }
 
-/// Measures window queries: average latency, block accesses and recall
-/// against the brute-force ground truth.
-pub fn measure_window_queries(
-    built: &BuiltIndex,
-    data: &[Point],
-    windows: &[Rect],
-) -> Measurement {
-    let index = built.index.as_index();
-    index.reset_stats();
-    let mut recalls = Vec::with_capacity(windows.len());
+/// Measures window queries (as one batch): average latency, accesses and
+/// recall against the brute-force ground truth.
+pub fn measure_window_queries(built: &BuiltIndex, data: &[Point], windows: &[Rect]) -> Measurement {
+    let mut cx = QueryContext::new();
     let start = std::time::Instant::now();
-    let mut results: Vec<Vec<Point>> = Vec::with_capacity(windows.len());
-    for w in windows {
-        let got = match (&built.index, built.kind) {
-            (AnyIndex::Rsmi(r), IndexKind::Rsmia) => r.window_query_exact(w),
-            _ => index.window_query(w),
-        };
-        results.push(got);
-    }
+    let results = built.index.window_queries(windows, &mut cx);
     let elapsed = start.elapsed().as_secs_f64();
+    let stats = cx.take_stats();
+    let mut recalls = Vec::with_capacity(windows.len());
     for (w, got) in windows.iter().zip(&results) {
         let truth = brute_force::window_query(data, w);
         recalls.push(metrics::recall(got, &truth));
@@ -245,30 +96,25 @@ pub fn measure_window_queries(
     Measurement {
         index: built.kind.name().to_string(),
         avg_time_us: elapsed * 1e6 / windows.len().max(1) as f64,
-        avg_block_accesses: index.block_accesses() as f64 / windows.len().max(1) as f64,
+        avg_block_accesses: per_query(stats.total_accesses(), windows.len()),
+        avg_candidates: per_query(stats.candidates_scanned, windows.len()),
         recall: metrics::mean(&recalls),
     }
 }
 
-/// Measures kNN queries: average latency, block accesses and recall.
+/// Measures kNN queries (as one batch): average latency, accesses and
+/// recall.
 pub fn measure_knn_queries(
     built: &BuiltIndex,
     data: &[Point],
     queries: &[Point],
     k: usize,
 ) -> Measurement {
-    let index = built.index.as_index();
-    index.reset_stats();
+    let mut cx = QueryContext::new();
     let start = std::time::Instant::now();
-    let mut results: Vec<Vec<Point>> = Vec::with_capacity(queries.len());
-    for q in queries {
-        let got = match (&built.index, built.kind) {
-            (AnyIndex::Rsmi(r), IndexKind::Rsmia) => r.knn_query_exact(q, k),
-            _ => index.knn_query(q, k),
-        };
-        results.push(got);
-    }
+    let results = built.index.knn_queries(queries, k, &mut cx);
     let elapsed = start.elapsed().as_secs_f64();
+    let stats = cx.take_stats();
     let mut recalls = Vec::with_capacity(queries.len());
     for (q, got) in queries.iter().zip(&results) {
         let truth = brute_force::knn_query(data, q, k);
@@ -277,7 +123,8 @@ pub fn measure_knn_queries(
     Measurement {
         index: built.kind.name().to_string(),
         avg_time_us: elapsed * 1e6 / queries.len().max(1) as f64,
-        avg_block_accesses: index.block_accesses() as f64 / queries.len().max(1) as f64,
+        avg_block_accesses: per_query(stats.total_accesses(), queries.len()),
+        avg_candidates: per_query(stats.candidates_scanned, queries.len()),
         recall: metrics::mean(&recalls),
     }
 }
@@ -286,13 +133,14 @@ pub fn measure_knn_queries(
 pub fn measure_insertions(built: &mut BuiltIndex, inserts: &[Point]) -> Measurement {
     let start = std::time::Instant::now();
     for p in inserts {
-        built.index.as_index_mut().insert(*p);
+        built.index.insert(*p);
     }
     let elapsed = start.elapsed().as_secs_f64();
     Measurement {
         index: built.kind.name().to_string(),
         avg_time_us: elapsed * 1e6 / inserts.len().max(1) as f64,
         avg_block_accesses: 0.0,
+        avg_candidates: 0.0,
         recall: 1.0,
     }
 }
@@ -325,12 +173,13 @@ mod tests {
     use super::*;
     use datagen::{generate, queries, Distribution};
 
-    fn tiny_cfg() -> HarnessConfig {
-        HarnessConfig {
+    fn tiny_cfg() -> IndexConfig {
+        IndexConfig {
             block_capacity: 20,
             partition_threshold: 500,
             epochs: 15,
             seed: 1,
+            ..IndexConfig::default()
         }
     }
 
@@ -339,10 +188,15 @@ mod tests {
         let data = generate(Distribution::Uniform, 800, 3);
         let qs = queries::point_queries(&data, 50, 5);
         for kind in IndexKind::without_rsmia() {
-            let built = build_index(kind, &data, &tiny_cfg());
+            let built = build_timed(kind, &data, &tiny_cfg());
             let m = measure_point_queries(&built, &qs);
             assert_eq!(m.recall, 1.0, "{} missed indexed points", kind.name());
             assert!(m.avg_time_us >= 0.0);
+            assert!(
+                m.avg_block_accesses > 0.0,
+                "{} charged nothing",
+                kind.name()
+            );
             assert!(built.build_seconds >= 0.0);
         }
     }
@@ -351,8 +205,11 @@ mod tests {
     fn window_measurement_reports_recall_one_for_exact_indices() {
         let data = generate(Distribution::Normal, 1000, 7);
         let ws = queries::window_queries(&data, queries::WindowSpec::default(), 20, 9);
-        for kind in [IndexKind::Grid, IndexKind::Hrr, IndexKind::Kdb, IndexKind::RStar, IndexKind::Rsmia] {
-            let built = build_index(kind, &data, &tiny_cfg());
+        for kind in IndexKind::all()
+            .into_iter()
+            .filter(IndexKind::exact_windows)
+        {
+            let built = build_timed(kind, &data, &tiny_cfg());
             let m = measure_window_queries(&built, &data, &ws);
             assert!(
                 m.recall > 0.999,
@@ -368,7 +225,7 @@ mod tests {
         let data = generate(Distribution::skewed_default(), 1500, 11);
         let ws = queries::window_queries(&data, queries::WindowSpec::default(), 20, 13);
         for kind in [IndexKind::Rsmi, IndexKind::Zm] {
-            let built = build_index(kind, &data, &tiny_cfg());
+            let built = build_timed(kind, &data, &tiny_cfg());
             let m = measure_window_queries(&built, &data, &ws);
             assert!((0.0..=1.0).contains(&m.recall));
         }
@@ -379,7 +236,7 @@ mod tests {
         let data = generate(Distribution::Uniform, 1000, 17);
         let qs = queries::knn_queries(&data, 20, 19);
         for kind in [IndexKind::Rsmi, IndexKind::Rsmia, IndexKind::Hrr] {
-            let built = build_index(kind, &data, &tiny_cfg());
+            let built = build_timed(kind, &data, &tiny_cfg());
             let m = measure_knn_queries(&built, &data, &qs, 5);
             assert!(m.recall > 0.5, "{} recall {}", kind.name(), m.recall);
         }
@@ -389,10 +246,26 @@ mod tests {
     fn insertion_measurement_counts_time_per_insert() {
         let data = generate(Distribution::Uniform, 500, 23);
         let ins = queries::insertion_points(&data, 100, 29);
-        let mut built = build_index(IndexKind::Grid, &data, &tiny_cfg());
+        let mut built = build_timed(IndexKind::Grid, &data, &tiny_cfg());
         let m = measure_insertions(&mut built, &ins);
         assert!(m.avg_time_us >= 0.0);
-        assert_eq!(built.index.as_index().len(), 600);
+        assert_eq!(built.index.len(), 600);
+    }
+
+    #[test]
+    fn batch_and_per_call_point_queries_agree() {
+        let data = generate(Distribution::Uniform, 900, 31);
+        let qs = queries::point_queries(&data, 64, 33);
+        let built = build_timed(IndexKind::Hrr, &data, &tiny_cfg());
+        let mut batch_cx = QueryContext::new();
+        let batch = built.index.point_queries(&qs, &mut batch_cx);
+        let mut single_cx = QueryContext::new();
+        let single: Vec<_> = qs
+            .iter()
+            .map(|q| built.index.point_query(q, &mut single_cx))
+            .collect();
+        assert_eq!(batch, single);
+        assert_eq!(batch_cx.stats, single_cx.stats);
     }
 
     #[test]

@@ -2,7 +2,14 @@
 //!
 //! * [`SpatialIndex`] — the trait all indices (RSMI and the five baselines)
 //!   implement so that the experiment harness, examples, and integration
-//!   tests can treat them uniformly.
+//!   tests can treat them uniformly.  Queries come in three forms: zero-copy
+//!   visitor methods (the required core), `Vec`-returning adapters, and
+//!   batch entry points that amortise per-call overhead.
+//! * [`QueryContext`] / [`QueryStats`] — explicit per-query cost accounting
+//!   (blocks touched, nodes visited, candidates scanned).  Indices never
+//!   count accesses through interior mutability, so every index is
+//!   `Send + Sync` and a single index can serve many threads, each with its
+//!   own context.
 //! * [`brute_force`] — reference implementations of the three query types,
 //!   used as ground truth for recall measurements and correctness tests.
 //! * [`metrics`] — recall computation and small measurement helpers.
@@ -15,13 +22,133 @@ pub mod metrics;
 
 use geom::{Point, Rect};
 
+/// Per-query cost counters, the paper's "# block accesses" axis split into
+/// its components so that learned and traditional indices stay comparable.
+///
+/// All counters accumulate: running several queries through the same
+/// [`QueryContext`] sums their costs, which is what the batch entry points
+/// and the experiment harness rely on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Data blocks read.  For an external-memory deployment this is the I/O
+    /// cost of the query.
+    pub blocks_touched: u64,
+    /// Directory / model nodes visited.  Tree baselines charge one unit per
+    /// node so the totals remain comparable with the paper's accounting.
+    pub nodes_visited: u64,
+    /// Points examined (inside blocks) before filtering, a proxy for the CPU
+    /// cost of a query.
+    pub candidates_scanned: u64,
+}
+
+impl QueryStats {
+    /// The combined block + node access count — the quantity the paper
+    /// reports as "# block accesses" (node accesses of the tree baselines
+    /// are charged to the same axis, §6.1).
+    #[inline]
+    pub fn total_accesses(&self) -> u64 {
+        self.blocks_touched + self.nodes_visited
+    }
+
+    /// Adds another stats record into this one.
+    #[inline]
+    pub fn merge(&mut self, other: &QueryStats) {
+        self.blocks_touched += other.blocks_touched;
+        self.nodes_visited += other.nodes_visited;
+        self.candidates_scanned += other.candidates_scanned;
+    }
+}
+
+impl std::ops::AddAssign for QueryStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.merge(&rhs);
+    }
+}
+
+/// Mutable state threaded through every query.
+///
+/// A context is cheap to create; callers typically make one per query (to
+/// get per-query stats) or one per batch (to get aggregate stats).  Because
+/// the context — not the index — carries the counters, indices stay free of
+/// interior mutability and can be shared across threads.
+#[derive(Debug, Clone, Default)]
+pub struct QueryContext {
+    /// Cost counters accumulated by the queries run with this context.
+    pub stats: QueryStats,
+}
+
+impl QueryContext {
+    /// Creates a fresh context with zeroed counters.
+    #[inline]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges one data-block read.
+    #[inline]
+    pub fn count_block(&mut self) {
+        self.stats.blocks_touched += 1;
+    }
+
+    /// Charges one directory/model-node visit.
+    #[inline]
+    pub fn count_node(&mut self) {
+        self.stats.nodes_visited += 1;
+    }
+
+    /// Charges `n` candidate points examined.
+    #[inline]
+    pub fn count_candidates(&mut self, n: usize) {
+        self.stats.candidates_scanned += n as u64;
+    }
+
+    /// Charges one data-block read whose `candidates` points will all be
+    /// examined — the single place that defines the charging policy of a
+    /// block scan, shared by every index implementation.
+    #[inline]
+    pub fn count_block_scan(&mut self, candidates: usize) {
+        self.stats.blocks_touched += 1;
+        self.stats.candidates_scanned += candidates as u64;
+    }
+
+    /// Returns the accumulated stats and resets the counters, so one context
+    /// can be reused across queries while still reading per-query costs.
+    #[inline]
+    pub fn take_stats(&mut self) -> QueryStats {
+        std::mem::take(&mut self.stats)
+    }
+}
+
 /// The interface shared by every spatial index in this repository.
 ///
 /// The three query types are the paper's: point queries (§4.1), window
 /// queries (§4.2) and k-nearest-neighbour queries (§4.3).  Indices that only
 /// produce approximate window/kNN answers (RSMI, ZM) document this on their
 /// concrete types; the trait itself does not promise exactness.
-pub trait SpatialIndex {
+///
+/// # Query forms
+///
+/// * **Visitor methods** ([`window_query_visit`](Self::window_query_visit),
+///   [`knn_query_visit`](Self::knn_query_visit)) are the required core: they
+///   hand each result to a callback by reference and never allocate on
+///   behalf of the caller.
+/// * **`Vec` adapters** ([`window_query`](Self::window_query),
+///   [`knn_query`](Self::knn_query)) are provided for ergonomics and copy
+///   results into a fresh vector.
+/// * **Batch entry points** ([`point_queries`](Self::point_queries),
+///   [`window_queries`](Self::window_queries),
+///   [`knn_queries`](Self::knn_queries)) run a whole workload through one
+///   context.  They are the unit future sharding/parallel execution will
+///   apply to; implementations may override them with cache-friendlier
+///   schedules.
+///
+/// # Statistics
+///
+/// Every query charges its cost to the [`QueryContext`] passed in.  Indices
+/// must not keep internal access counters: the `Send + Sync` supertrait
+/// bound (and a compile-time conformance test) enforce that an index can be
+/// shared across threads, each thread carrying its own context.
+pub trait SpatialIndex: Send + Sync {
     /// A short human-readable name used in experiment output ("RSMI", "ZM",
     /// "Grid", "KDB", "HRR", "RR*").
     fn name(&self) -> &'static str;
@@ -36,13 +163,26 @@ pub trait SpatialIndex {
 
     /// Looks up a point with exactly the query's coordinates and returns it
     /// (with its stored identifier), or `None` if it is not indexed.
-    fn point_query(&self, q: &Point) -> Option<Point>;
+    fn point_query(&self, q: &Point, cx: &mut QueryContext) -> Option<Point>;
 
-    /// Returns the points inside the query window.
-    fn window_query(&self, window: &Rect) -> Vec<Point>;
+    /// Calls `visit` for every result of the window query.  Visit order is
+    /// unspecified; results never lie outside the window.
+    fn window_query_visit(
+        &self,
+        window: &Rect,
+        cx: &mut QueryContext,
+        visit: &mut dyn FnMut(&Point),
+    );
 
-    /// Returns (up to) the `k` nearest neighbours of `q`, closest first.
-    fn knn_query(&self, q: &Point, k: usize) -> Vec<Point>;
+    /// Calls `visit` for (up to) the `k` nearest neighbours of `q`, closest
+    /// first.
+    fn knn_query_visit(
+        &self,
+        q: &Point,
+        k: usize,
+        cx: &mut QueryContext,
+        visit: &mut dyn FnMut(&Point),
+    );
 
     /// Inserts a point.
     fn insert(&mut self, p: Point);
@@ -51,12 +191,10 @@ pub trait SpatialIndex {
     /// a point was removed.
     fn delete(&mut self, p: &Point) -> bool;
 
-    /// Block (and node) accesses accumulated since the last
-    /// [`SpatialIndex::reset_stats`].
-    fn block_accesses(&self) -> u64;
-
-    /// Resets the access statistics.
-    fn reset_stats(&self);
+    /// Rebuilds the structure from its current contents, restoring optimal
+    /// layout after many updates (the paper's RSMIr maintenance policy).
+    /// Indices whose layout does not degrade may leave this a no-op.
+    fn rebuild(&mut self) {}
 
     /// Approximate total size of the structure in bytes (data blocks plus
     /// directory / models), for the paper's index-size comparisons.
@@ -65,6 +203,51 @@ pub trait SpatialIndex {
     /// Height of the structure: number of levels above the data blocks
     /// (model levels for the learned indices, node levels for trees).
     fn height(&self) -> usize;
+
+    /// Number of learned sub-models (zero for traditional indices).
+    fn model_count(&self) -> usize {
+        0
+    }
+
+    // ------------------------------------------------------------------
+    // Provided: Vec adapters over the visitor core
+    // ------------------------------------------------------------------
+
+    /// Returns the points inside the query window as a fresh vector.
+    fn window_query(&self, window: &Rect, cx: &mut QueryContext) -> Vec<Point> {
+        let mut out = Vec::new();
+        self.window_query_visit(window, cx, &mut |p| out.push(*p));
+        out
+    }
+
+    /// Returns (up to) the `k` nearest neighbours of `q`, closest first, as
+    /// a fresh vector.
+    fn knn_query(&self, q: &Point, k: usize, cx: &mut QueryContext) -> Vec<Point> {
+        let mut out = Vec::with_capacity(k);
+        self.knn_query_visit(q, k, cx, &mut |p| out.push(*p));
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Provided: batch entry points
+    // ------------------------------------------------------------------
+
+    /// Runs a batch of point queries through one context, returning one
+    /// answer per query.  Costs accumulate in `cx`.
+    fn point_queries(&self, qs: &[Point], cx: &mut QueryContext) -> Vec<Option<Point>> {
+        qs.iter().map(|q| self.point_query(q, cx)).collect()
+    }
+
+    /// Runs a batch of window queries through one context, returning one
+    /// result set per window.
+    fn window_queries(&self, windows: &[Rect], cx: &mut QueryContext) -> Vec<Vec<Point>> {
+        windows.iter().map(|w| self.window_query(w, cx)).collect()
+    }
+
+    /// Runs a batch of kNN queries (same `k`) through one context.
+    fn knn_queries(&self, qs: &[Point], k: usize, cx: &mut QueryContext) -> Vec<Vec<Point>> {
+        qs.iter().map(|q| self.knn_query(q, k, cx)).collect()
+    }
 }
 
 /// Statistics recorded while bulk-loading an index, reported in the paper's
@@ -87,7 +270,7 @@ pub fn build_stats_of<I: SpatialIndex + ?Sized>(index: &I, build_seconds: f64) -
         build_seconds,
         size_bytes: index.size_bytes(),
         height: index.height(),
-        model_count: 0,
+        model_count: index.model_count(),
     }
 }
 
@@ -104,17 +287,39 @@ mod tests {
         fn len(&self) -> usize {
             self.0.len()
         }
-        fn point_query(&self, q: &Point) -> Option<Point> {
+        fn point_query(&self, q: &Point, cx: &mut QueryContext) -> Option<Point> {
+            cx.count_block();
+            cx.count_candidates(self.0.len());
             self.0.iter().copied().find(|p| p.same_location(q))
         }
-        fn window_query(&self, window: &Rect) -> Vec<Point> {
-            self.0.iter().copied().filter(|p| window.contains(p)).collect()
+        fn window_query_visit(
+            &self,
+            window: &Rect,
+            cx: &mut QueryContext,
+            visit: &mut dyn FnMut(&Point),
+        ) {
+            cx.count_block();
+            for p in &self.0 {
+                cx.count_candidates(1);
+                if window.contains(p) {
+                    visit(p);
+                }
+            }
         }
-        fn knn_query(&self, q: &Point, k: usize) -> Vec<Point> {
+        fn knn_query_visit(
+            &self,
+            q: &Point,
+            k: usize,
+            cx: &mut QueryContext,
+            visit: &mut dyn FnMut(&Point),
+        ) {
+            cx.count_block();
+            cx.count_candidates(self.0.len());
             let mut v = self.0.clone();
             v.sort_by(|a, b| a.dist_sq(q).partial_cmp(&b.dist_sq(q)).unwrap());
-            v.truncate(k);
-            v
+            for p in v.iter().take(k) {
+                visit(p);
+            }
         }
         fn insert(&mut self, p: Point) {
             self.0.push(p);
@@ -124,15 +329,14 @@ mod tests {
             self.0.retain(|x| !(x.same_location(p) && x.id == p.id));
             self.0.len() != before
         }
-        fn block_accesses(&self) -> u64 {
-            0
-        }
-        fn reset_stats(&self) {}
         fn size_bytes(&self) -> usize {
             self.0.len() * std::mem::size_of::<Point>()
         }
         fn height(&self) -> usize {
             1
+        }
+        fn model_count(&self) -> usize {
+            7
         }
     }
 
@@ -146,11 +350,85 @@ mod tests {
     }
 
     #[test]
-    fn build_stats_of_reads_size_and_height() {
+    fn build_stats_of_reads_size_height_and_model_count() {
         let d = Dummy(vec![Point::new(0.1, 0.1); 10]);
         let s = build_stats_of(&d, 1.5);
         assert_eq!(s.size_bytes, 10 * std::mem::size_of::<Point>());
         assert_eq!(s.height, 1);
+        assert_eq!(s.model_count, 7);
         assert_eq!(s.build_seconds, 1.5);
+    }
+
+    #[test]
+    fn vec_adapters_match_visitor_results() {
+        let d = Dummy(vec![
+            Point::with_id(0.1, 0.1, 1),
+            Point::with_id(0.6, 0.6, 2),
+            Point::with_id(0.7, 0.7, 3),
+        ]);
+        let w = Rect::new(0.5, 0.5, 1.0, 1.0);
+        let mut cx = QueryContext::new();
+        let via_vec = d.window_query(&w, &mut cx);
+        let mut via_visit = Vec::new();
+        d.window_query_visit(&w, &mut cx, &mut |p| via_visit.push(*p));
+        assert_eq!(via_vec, via_visit);
+        let nn = d.knn_query(&Point::new(0.0, 0.0), 2, &mut cx);
+        assert_eq!(nn.len(), 2);
+        assert_eq!(nn[0].id, 1);
+    }
+
+    #[test]
+    fn context_accumulates_and_take_stats_resets() {
+        let d = Dummy(vec![Point::with_id(0.2, 0.2, 1); 4]);
+        let mut cx = QueryContext::new();
+        let _ = d.point_query(&Point::new(0.2, 0.2), &mut cx);
+        assert_eq!(cx.stats.blocks_touched, 1);
+        assert_eq!(cx.stats.candidates_scanned, 4);
+        let _ = d.point_query(&Point::new(0.9, 0.9), &mut cx);
+        assert_eq!(cx.stats.blocks_touched, 2);
+        let taken = cx.take_stats();
+        assert_eq!(taken.blocks_touched, 2);
+        assert_eq!(cx.stats, QueryStats::default());
+        assert_eq!(taken.total_accesses(), 2);
+    }
+
+    #[test]
+    fn batch_entry_points_answer_every_query() {
+        let pts: Vec<Point> = (0..10)
+            .map(|i| Point::with_id(i as f64 / 10.0, i as f64 / 10.0, i))
+            .collect();
+        let d = Dummy(pts.clone());
+        let mut cx = QueryContext::new();
+        let answers = d.point_queries(&pts[..5], &mut cx);
+        assert_eq!(answers.len(), 5);
+        assert!(answers.iter().all(|a| a.is_some()));
+        assert_eq!(cx.stats.blocks_touched, 5);
+
+        let windows = [Rect::new(0.0, 0.0, 0.5, 0.5), Rect::unit()];
+        let results = d.window_queries(&windows, &mut cx);
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[1].len(), 10);
+
+        let knn = d.knn_queries(&pts[..3], 2, &mut cx);
+        assert!(knn.iter().all(|r| r.len() == 2));
+    }
+
+    #[test]
+    fn stats_merge_and_add_assign_sum_fields() {
+        let mut a = QueryStats {
+            blocks_touched: 1,
+            nodes_visited: 2,
+            candidates_scanned: 3,
+        };
+        let b = QueryStats {
+            blocks_touched: 10,
+            nodes_visited: 20,
+            candidates_scanned: 30,
+        };
+        a += b;
+        assert_eq!(a.blocks_touched, 11);
+        assert_eq!(a.nodes_visited, 22);
+        assert_eq!(a.candidates_scanned, 33);
+        assert_eq!(a.total_accesses(), 33);
     }
 }

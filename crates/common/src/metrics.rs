@@ -96,15 +96,9 @@ mod tests {
     fn knn_recall_accepts_equidistant_substitutes() {
         let q = Point::new(0.0, 0.0);
         // Truth: ids 1 and 2 at distances 0.1 and 0.2.
-        let truth = vec![
-            Point::with_id(0.1, 0.0, 1),
-            Point::with_id(0.2, 0.0, 2),
-        ];
+        let truth = vec![Point::with_id(0.1, 0.0, 1), Point::with_id(0.2, 0.0, 2)];
         // Result returns id 3, which is exactly as far as the true 2nd NN.
-        let result = vec![
-            Point::with_id(0.1, 0.0, 1),
-            Point::with_id(0.0, 0.2, 3),
-        ];
+        let result = vec![Point::with_id(0.1, 0.0, 1), Point::with_id(0.0, 0.2, 3)];
         assert_eq!(knn_recall(&result, &truth, &q, 2), 1.0);
         // Missing answers reduce the recall.
         let partial = vec![Point::with_id(0.1, 0.0, 1)];

@@ -148,10 +148,11 @@ impl Builder {
             idx.sort_by(|&a, &b| point_cmp_y(&points[a], &points[b]));
             let cell_size = col_points.len().div_ceil(s).max(1);
             for (row, row_idx) in idx.chunks(cell_size).enumerate() {
-                let cv = self
-                    .config
-                    .curve
-                    .encode(col as u32, (row as u32).min(s as u32 - 1), grid_order);
+                let cv = self.config.curve.encode(
+                    col as u32,
+                    (row as u32).min(s as u32 - 1),
+                    grid_order,
+                );
                 for &i in row_idx {
                     true_cell[i] = cv;
                 }
@@ -228,9 +229,13 @@ mod tests {
         let mut pts = Vec::with_capacity(n);
         let mut state = 0x12345678u64;
         for id in 0..n {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let x = (state >> 11) as f64 / (1u64 << 53) as f64;
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let y = (state >> 11) as f64 / (1u64 << 53) as f64;
             pts.push(Point::with_id(x, y, id as u64));
         }
@@ -327,7 +332,7 @@ mod tests {
         // bulk-loaded blocks must be reachable.
         let mut count = 1;
         let mut cur = 0;
-        while let Some(next) = out.store.peek(cur).next() {
+        while let Some(next) = out.store.block(cur).next() {
             assert_eq!(next, cur + 1, "bulk blocks must be chained consecutively");
             cur = next;
             count += 1;

@@ -4,15 +4,13 @@ use crate::build::Builder;
 use crate::node::{LeafNode, Node, NodeId};
 use crate::pmf::PiecewiseCdf;
 use crate::RsmiConfig;
-use common::SpatialIndex;
+use common::{QueryContext, SpatialIndex};
 use geom::{Point, Rect};
-use serde::{Deserialize, Serialize};
 use sfc::CurveKind;
-use std::collections::HashSet;
 use storage::{BlockId, BlockStore};
 
 /// Summary statistics of a built RSMI (Tables 3 and 4 of the paper).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct RsmiStats {
     /// Number of indexed points.
     pub n_points: usize,
@@ -38,7 +36,10 @@ pub struct RsmiStats {
 /// The Recursive Spatial Model Index.
 ///
 /// See the crate-level documentation for an overview and a usage example.
-#[derive(Debug, Serialize, Deserialize)]
+/// Window and kNN answers are **approximate** (high recall, no false
+/// positives); wrap the index in [`RsmiExact`] for the paper's RSMIa variant
+/// with exact answers.
+#[derive(Debug)]
 pub struct Rsmi {
     config: RsmiConfig,
     nodes: Vec<Node>,
@@ -101,7 +102,7 @@ impl Rsmi {
             avg_depth: self.average_depth(),
             max_err_below: max_below,
             max_err_above: max_above,
-            size_bytes: self.size_bytes(),
+            size_bytes: SpatialIndex::size_bytes(self),
             build_seconds: self.build_seconds,
         }
     }
@@ -122,7 +123,7 @@ impl Rsmi {
                 }
                 Node::Leaf(leaf) => {
                     let pts: usize = (0..leaf.n_blocks)
-                        .map(|i| self.store.peek(leaf.first_block + i).len())
+                        .map(|i| self.store.block(leaf.first_block + i).len())
                         .sum();
                     total_depth += (depth * pts) as f64;
                     total_points += pts as f64;
@@ -162,15 +163,22 @@ impl Rsmi {
     // ------------------------------------------------------------------
 
     /// Descends from the root to a leaf following model predictions
-    /// (Algorithm 1, lines 1–3).  Returns the path of internal nodes with
-    /// the child-cell chosen at each, plus the leaf ID.
-    fn descend(&self, x: f64, y: f64) -> Option<(Vec<(NodeId, usize)>, NodeId)> {
+    /// (Algorithm 1, lines 1–3), charging one node visit per internal model
+    /// invoked.  Returns the path of internal nodes with the child-cell
+    /// chosen at each, plus the leaf ID.
+    fn descend(
+        &self,
+        x: f64,
+        y: f64,
+        cx: &mut QueryContext,
+    ) -> Option<(Vec<(NodeId, usize)>, NodeId)> {
         let mut cur = self.root?;
         let mut path = Vec::with_capacity(self.height);
         loop {
             match &self.nodes[cur] {
                 Node::Leaf(_) => return Some((path, cur)),
                 Node::Internal(node) => {
+                    cx.count_node();
                     let j = node.model.predict_xy(x, y) as usize;
                     let (cell, child) = node.nearest_child(j)?;
                     path.push((cur, cell));
@@ -187,19 +195,28 @@ impl Rsmi {
         }
     }
 
+    /// Reads a block as part of a query, charging the access and its
+    /// candidates to the context.
+    #[inline]
+    fn read_block(&self, id: BlockId, cx: &mut QueryContext) -> &storage::Block {
+        let block = self.store.block(id);
+        cx.count_block_scan(block.len());
+        block
+    }
+
     // ------------------------------------------------------------------
     // Point queries (§4.1)
     // ------------------------------------------------------------------
 
     /// Point query (Algorithm 1): returns the indexed point with exactly the
     /// query coordinates, if present.
-    pub fn point_query(&self, q: &Point) -> Option<Point> {
-        let (_, leaf_id) = self.descend(q.x, q.y)?;
+    pub fn point_query(&self, q: &Point, cx: &mut QueryContext) -> Option<Point> {
+        let (_, leaf_id) = self.descend(q.x, q.y, cx)?;
         let leaf = self.leaf(leaf_id);
         let (lo, hi) = leaf.predicted_range(q.x, q.y);
         for base in lo..=hi {
             for id in self.store.overflow_chain(base) {
-                let block = self.store.read(id);
+                let block = self.read_block(id, cx);
                 if let Some(p) = block.find_at(q.x, q.y) {
                     return Some(*p);
                 }
@@ -227,11 +244,15 @@ impl Rsmi {
 
     /// Predicted global block range `[begin, end]` covering a window, from
     /// the error-bounded predictions of its anchor points.
-    fn window_block_range(&self, window: &Rect) -> Option<(BlockId, BlockId)> {
+    fn window_block_range(
+        &self,
+        window: &Rect,
+        cx: &mut QueryContext,
+    ) -> Option<(BlockId, BlockId)> {
         let mut begin = usize::MAX;
         let mut end = 0usize;
         for anchor in self.window_anchors(window) {
-            let (_, leaf_id) = self.descend(anchor.x, anchor.y)?;
+            let (_, leaf_id) = self.descend(anchor.x, anchor.y, cx)?;
             let leaf = self.leaf(leaf_id);
             let (lo, hi) = leaf.predicted_range(anchor.x, anchor.y);
             begin = begin.min(lo);
@@ -245,22 +266,28 @@ impl Rsmi {
     }
 
     /// Scans the block chain from `begin` through `end` (inclusive),
-    /// including overflow blocks spliced into the chain, and calls `f` on
-    /// every block read.
-    fn scan_chain(&self, begin: BlockId, end: BlockId, mut f: impl FnMut(&storage::Block)) {
+    /// including overflow blocks spliced into the chain, charging each block
+    /// read (and its candidates) to `cx` and calling `f` on every block.
+    fn scan_chain(
+        &self,
+        begin: BlockId,
+        end: BlockId,
+        cx: &mut QueryContext,
+        mut f: impl FnMut(&storage::Block),
+    ) {
         let mut cur = Some(begin);
         let mut guard = self.store.len() + 1;
         while let Some(id) = cur {
-            let block = self.store.read(id);
+            let block = self.read_block(id, cx);
             f(block);
             if id == end {
                 // Include the overflow blocks chained directly after `end`.
                 let mut next = block.next();
                 while let Some(n) = next {
-                    if !self.store.peek(n).is_overflow() {
+                    if !self.store.block(n).is_overflow() {
                         break;
                     }
-                    let ov = self.store.read(n);
+                    let ov = self.read_block(n, cx);
                     f(ov);
                     next = ov.next();
                 }
@@ -274,41 +301,47 @@ impl Rsmi {
         }
     }
 
-    /// Window query (Algorithm 2).
+    /// Window query (Algorithm 2), visitor form.
     ///
     /// The answer is **approximate**: it never contains points outside the
     /// window (results are filtered), but points whose blocks fall outside
     /// the predicted scan range may be missed.  The paper reports recall
-    /// above 87 % across all settings; use [`Rsmi::window_query_exact`] when
-    /// exact answers are required.
-    pub fn window_query(&self, window: &Rect) -> Vec<Point> {
-        let mut out = Vec::new();
-        let Some((begin, end)) = self.window_block_range(window) else {
-            return out;
+    /// above 87 % across all settings; use [`Rsmi::window_query_exact_visit`]
+    /// (or the [`RsmiExact`] wrapper) when exact answers are required.
+    pub fn window_query_visit(
+        &self,
+        window: &Rect,
+        cx: &mut QueryContext,
+        visit: &mut dyn FnMut(&Point),
+    ) {
+        let Some((begin, end)) = self.window_block_range(window, cx) else {
+            return;
         };
-        self.scan_chain(begin, end, |block| {
+        self.scan_chain(begin, end, cx, |block| {
             for p in block.points() {
                 if window.contains(p) {
-                    out.push(*p);
+                    visit(p);
                 }
             }
         });
-        out
     }
 
     /// Exact window query — the paper's **RSMIa** variant: an R-tree-style
     /// traversal over the MBRs stored with every sub-model.
-    pub fn window_query_exact(&self, window: &Rect) -> Vec<Point> {
-        let mut out = Vec::new();
-        let Some(root) = self.root else { return out };
-        let counter = self.store.access_counter();
+    pub fn window_query_exact_visit(
+        &self,
+        window: &Rect,
+        cx: &mut QueryContext,
+        visit: &mut dyn FnMut(&Point),
+    ) {
+        let Some(root) = self.root else { return };
         let mut stack = vec![root];
         while let Some(id) = stack.pop() {
             match &self.nodes[id] {
                 Node::Internal(node) => {
-                    // One "node access" per internal node visited, so block
+                    // One "node access" per internal node visited, so total
                     // accesses remain comparable with the tree baselines.
-                    counter.add(1);
+                    cx.count_node();
                     for (cell, child) in node.children.iter().enumerate() {
                         if let Some(c) = child {
                             if node.child_mbrs[cell].intersects(window) {
@@ -323,13 +356,17 @@ impl Rsmi {
                     }
                     for i in 0..leaf.n_blocks {
                         for id in self.store.overflow_chain(leaf.first_block + i) {
-                            let block = self.store.read(id);
+                            // The MBR test reads the block's points, so the
+                            // block access is charged even when it prunes.
+                            cx.count_block();
+                            let block = self.store.block(id);
                             if !block.mbr().intersects(window) {
                                 continue;
                             }
+                            cx.count_candidates(block.len());
                             for p in block.points() {
                                 if window.contains(p) {
-                                    out.push(*p);
+                                    visit(p);
                                 }
                             }
                         }
@@ -337,6 +374,12 @@ impl Rsmi {
                 }
             }
         }
+    }
+
+    /// Exact window query returning a fresh vector.
+    pub fn window_query_exact(&self, window: &Rect, cx: &mut QueryContext) -> Vec<Point> {
+        let mut out = Vec::new();
+        self.window_query_exact_visit(window, cx, &mut |p| out.push(*p));
         out
     }
 
@@ -344,12 +387,19 @@ impl Rsmi {
     // kNN queries (§4.3)
     // ------------------------------------------------------------------
 
-    /// Approximate kNN query (Algorithm 3): search-region expansion around
-    /// the query point, with the initial region sized by the learned
-    /// marginal CDFs (Equation 6).
-    pub fn knn_query(&self, q: &Point, k: usize) -> Vec<Point> {
+    /// Approximate kNN query (Algorithm 3), visitor form: search-region
+    /// expansion around the query point, with the initial region sized by
+    /// the learned marginal CDFs (Equation 6).  Visits results closest
+    /// first.
+    pub fn knn_query_visit(
+        &self,
+        q: &Point,
+        k: usize,
+        cx: &mut QueryContext,
+        visit: &mut dyn FnMut(&Point),
+    ) {
         if k == 0 || self.n_points == 0 || self.root.is_none() {
-            return Vec::new();
+            return;
         }
         let k_eff = k.min(self.n_points);
         let delta = 0.01;
@@ -362,11 +412,10 @@ impl Rsmi {
         // Best-k list kept sorted by distance (k is small; linear insertion
         // is cheaper than a heap for the paper's k ≤ 625).
         let mut best: Vec<(f64, Point)> = Vec::with_capacity(k_eff + 1);
-        let mut visited: HashSet<BlockId> = HashSet::new();
 
         loop {
             let window = Rect::centered(q.x, q.y, width, height);
-            if let Some((begin, end)) = self.window_block_range(&window) {
+            if let Some((begin, end)) = self.window_block_range(&window, cx) {
                 let kth = |best: &Vec<(f64, Point)>| {
                     if best.len() < k_eff {
                         f64::INFINITY
@@ -374,11 +423,7 @@ impl Rsmi {
                         best[k_eff - 1].0
                     }
                 };
-                self.scan_chain(begin, end, |block| {
-                    // `scan_chain` charges the read; skip re-processing
-                    // blocks already examined in a previous round.
-                    let id_guess = block.points().first().map(|p| p.id).unwrap_or(u64::MAX);
-                    let _ = id_guess; // blocks are identified below by content hash of first point
+                self.scan_chain(begin, end, cx, |block| {
                     let dist_bound = kth(&best);
                     if best.len() >= k_eff && block.mbr().min_dist(q) >= dist_bound {
                         return;
@@ -386,24 +431,23 @@ impl Rsmi {
                     for p in block.points() {
                         let d = p.dist(q);
                         if best.len() < k_eff || d < kth(&best) {
-                            let pos = best
-                                .binary_search_by(|(bd, bp)| {
-                                    bd.partial_cmp(&d)
-                                        .unwrap_or(std::cmp::Ordering::Equal)
-                                        .then(bp.id.cmp(&p.id))
-                                })
-                                .unwrap_or_else(|e| e);
-                            best.insert(pos, (d, *p));
-                            if best.len() > k_eff {
-                                best.pop();
+                            // Expansion rounds re-scan earlier blocks: an
+                            // exact (distance, id) hit means this point was
+                            // already collected — inserting it again would
+                            // evict a genuine neighbour.
+                            if let Err(pos) = best.binary_search_by(|(bd, bp)| {
+                                bd.partial_cmp(&d)
+                                    .unwrap_or(std::cmp::Ordering::Equal)
+                                    .then(bp.id.cmp(&p.id))
+                            }) {
+                                best.insert(pos, (d, *p));
+                                if best.len() > k_eff {
+                                    best.pop();
+                                }
                             }
                         }
                     }
                 });
-                // Track visited blocks by id range to avoid double counting in
-                // the expansion bookkeeping (reads are still charged, matching
-                // the paper's "unvisited" check being per expansion round).
-                visited.extend(begin..=end);
             }
 
             let covers_space = width >= 2.0 && height >= 2.0;
@@ -412,7 +456,7 @@ impl Rsmi {
                     // The learned routing missed some blocks even for a
                     // space-covering window; fall back to a full scan so the
                     // result is always k points.
-                    self.full_scan_knn(q, k_eff, &mut best);
+                    self.full_scan_knn(q, k_eff, cx, &mut best);
                     break;
                 }
                 width = (width * 2.0).min(2.0);
@@ -428,12 +472,21 @@ impl Rsmi {
             }
             break;
         }
-        best.into_iter().map(|(_, p)| p).collect()
+        for (_, p) in &best {
+            visit(p);
+        }
     }
 
-    fn full_scan_knn(&self, q: &Point, k: usize, best: &mut Vec<(f64, Point)>) {
+    fn full_scan_knn(
+        &self,
+        q: &Point,
+        k: usize,
+        cx: &mut QueryContext,
+        best: &mut Vec<(f64, Point)>,
+    ) {
         best.clear();
-        for (_, block) in self.store.iter() {
+        for (id, _) in self.store.iter() {
+            let block = self.read_block(id, cx);
             for p in block.points() {
                 let d = p.dist(q);
                 let pos = best
@@ -453,9 +506,16 @@ impl Rsmi {
         }
     }
 
-    /// Exact kNN query — the RSMIa variant: a best-first traversal over the
-    /// sub-model MBRs (the classical algorithm of Roussopoulos et al.).
-    pub fn knn_query_exact(&self, q: &Point, k: usize) -> Vec<Point> {
+    /// Exact kNN query, visitor form — the RSMIa variant: a best-first
+    /// traversal over the sub-model MBRs (the classical algorithm of
+    /// Roussopoulos et al.).  Visits results closest first.
+    pub fn knn_query_exact_visit(
+        &self,
+        q: &Point,
+        k: usize,
+        cx: &mut QueryContext,
+        visit: &mut dyn FnMut(&Point),
+    ) {
         use std::cmp::Reverse;
         use std::collections::BinaryHeap;
 
@@ -484,12 +544,11 @@ impl Rsmi {
             }
         }
 
-        let mut out = Vec::new();
         if k == 0 {
-            return out;
+            return;
         }
-        let Some(root) = self.root else { return out };
-        let counter = self.store.access_counter();
+        let Some(root) = self.root else { return };
+        let mut found = 0usize;
         let mut heap: BinaryHeap<Reverse<Entry>> = BinaryHeap::new();
         heap.push(Reverse(Entry {
             dist: self.nodes[root].mbr().min_dist(q),
@@ -498,13 +557,14 @@ impl Rsmi {
         while let Some(Reverse(entry)) = heap.pop() {
             match entry.kind {
                 EntryKind::Point(p) => {
-                    out.push(p);
-                    if out.len() == k {
+                    visit(&p);
+                    found += 1;
+                    if found == k {
                         break;
                     }
                 }
                 EntryKind::Block(id) => {
-                    let block = self.store.read(id);
+                    let block = self.read_block(id, cx);
                     for p in block.points() {
                         heap.push(Reverse(Entry {
                             dist: p.dist(q),
@@ -514,7 +574,7 @@ impl Rsmi {
                 }
                 EntryKind::Node(id) => match &self.nodes[id] {
                     Node::Internal(node) => {
-                        counter.add(1);
+                        cx.count_node();
                         for (cell, child) in node.children.iter().enumerate() {
                             if let Some(c) = child {
                                 heap.push(Reverse(Entry {
@@ -525,10 +585,10 @@ impl Rsmi {
                         }
                     }
                     Node::Leaf(leaf) => {
-                        counter.add(1);
+                        cx.count_node();
                         for i in 0..leaf.n_blocks {
                             for b in self.store.overflow_chain(leaf.first_block + i) {
-                                let dist = self.store.peek(b).mbr().min_dist(q);
+                                let dist = self.store.block(b).mbr().min_dist(q);
                                 heap.push(Reverse(Entry {
                                     dist,
                                     kind: EntryKind::Block(b),
@@ -539,6 +599,12 @@ impl Rsmi {
                 },
             }
         }
+    }
+
+    /// Exact kNN query returning a fresh vector, closest first.
+    pub fn knn_query_exact(&self, q: &Point, k: usize, cx: &mut QueryContext) -> Vec<Point> {
+        let mut out = Vec::with_capacity(k);
+        self.knn_query_exact_visit(q, k, cx, &mut |p| out.push(*p));
         out
     }
 
@@ -557,7 +623,10 @@ impl Rsmi {
             *self = Rsmi::build(vec![p], self.config);
             return;
         }
-        let Some((path, leaf_id)) = self.descend(p.x, p.y) else {
+        // Updates are maintenance, not queries: route with a throwaway
+        // context so nothing is charged to any caller's statistics.
+        let mut scratch = QueryContext::new();
+        let Some((path, leaf_id)) = self.descend(p.x, p.y, &mut scratch) else {
             return;
         };
         // Enlarge MBRs along the path (§5: "recursively update the MBRs of
@@ -584,7 +653,7 @@ impl Rsmi {
         let chain = self.store.overflow_chain(predicted);
         let mut target = None;
         for id in &chain {
-            if !self.store.read(*id).is_full() {
+            if !self.store.block(*id).is_full() {
                 target = Some(*id);
                 break;
             }
@@ -593,7 +662,7 @@ impl Rsmi {
             self.store
                 .insert_overflow_after(*chain.last().expect("chain contains the base block"))
         });
-        self.store.write(target).push(p);
+        self.store.block_mut(target).push(p);
         self.n_points += 1;
     }
 
@@ -601,7 +670,8 @@ impl Rsmi {
     /// a point was removed.  Blocks are never shrunk (§5), so error bounds
     /// remain valid; the freed slot is reused by later insertions.
     pub fn delete(&mut self, p: &Point) -> bool {
-        let Some((_, leaf_id)) = self.descend(p.x, p.y) else {
+        let mut scratch = QueryContext::new();
+        let Some((_, leaf_id)) = self.descend(p.x, p.y, &mut scratch) else {
             return false;
         };
         let leaf = self.leaf(leaf_id);
@@ -609,12 +679,12 @@ impl Rsmi {
         for base in lo..=hi {
             for id in self.store.overflow_chain(base) {
                 let found = {
-                    let block = self.store.read(id);
+                    let block = self.store.block(id);
                     block.find_at(p.x, p.y).map(|q| q.id)
                 };
                 if let Some(found_id) = found {
                     if found_id == p.id || p.id == 0 {
-                        self.store.write(id).remove_by_id(found_id);
+                        self.store.block_mut(id).remove_by_id(found_id);
                         self.n_points -= 1;
                         return true;
                     }
@@ -624,34 +694,13 @@ impl Rsmi {
         false
     }
 
-    // ------------------------------------------------------------------
-    // Persistence
-    // ------------------------------------------------------------------
-
-    /// Serialises the whole index (models, directory, and data blocks) to a
-    /// JSON string, so a bulk-loaded index can be built once and shipped.
-    ///
-    /// Training a learned index is the expensive part of its life cycle
-    /// (§6.2.2); persistence lets deployments pay it offline.
-    pub fn to_json(&self) -> Result<String, serde_json::Error> {
-        serde_json::to_string(self)
-    }
-
-    /// Restores an index previously serialised with [`Rsmi::to_json`].
-    ///
-    /// The block-access counter starts from zero in the restored index.
-    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(json)
-    }
-
     /// Number of overflow blocks created by insertions since the last
     /// (re)build — the `I` of the paper's update cost analysis.
     pub fn overflow_block_count(&self) -> usize {
         self.store.iter().filter(|(_, b)| b.is_overflow()).count()
     }
 
-    /// Read access to the underlying block store (used by the harness for
-    /// block-access accounting).
+    /// Read access to the underlying block store.
     pub fn block_store(&self) -> &BlockStore {
         &self.store
     }
@@ -666,16 +715,27 @@ impl SpatialIndex for Rsmi {
         self.n_points
     }
 
-    fn point_query(&self, q: &Point) -> Option<Point> {
-        Rsmi::point_query(self, q)
+    fn point_query(&self, q: &Point, cx: &mut QueryContext) -> Option<Point> {
+        Rsmi::point_query(self, q, cx)
     }
 
-    fn window_query(&self, window: &Rect) -> Vec<Point> {
-        Rsmi::window_query(self, window)
+    fn window_query_visit(
+        &self,
+        window: &Rect,
+        cx: &mut QueryContext,
+        visit: &mut dyn FnMut(&Point),
+    ) {
+        Rsmi::window_query_visit(self, window, cx, visit)
     }
 
-    fn knn_query(&self, q: &Point, k: usize) -> Vec<Point> {
-        Rsmi::knn_query(self, q, k)
+    fn knn_query_visit(
+        &self,
+        q: &Point,
+        k: usize,
+        cx: &mut QueryContext,
+        visit: &mut dyn FnMut(&Point),
+    ) {
+        Rsmi::knn_query_visit(self, q, k, cx, visit)
     }
 
     fn insert(&mut self, p: Point) {
@@ -686,12 +746,8 @@ impl SpatialIndex for Rsmi {
         Rsmi::delete(self, p)
     }
 
-    fn block_accesses(&self) -> u64 {
-        self.store.block_accesses()
-    }
-
-    fn reset_stats(&self) {
-        self.store.reset_stats();
+    fn rebuild(&mut self) {
+        Rsmi::rebuild(self)
     }
 
     fn size_bytes(&self) -> usize {
@@ -703,6 +759,98 @@ impl SpatialIndex for Rsmi {
 
     fn height(&self) -> usize {
         self.height
+    }
+
+    fn model_count(&self) -> usize {
+        self.model_count
+    }
+}
+
+/// The paper's **RSMIa** variant: the same structure as [`Rsmi`], answering
+/// window and kNN queries *exactly* through an MBR-guided traversal instead
+/// of the learned scan-range prediction.
+///
+/// The wrapper shares no state with other indices — it owns its `Rsmi` — so
+/// the registry can hand it out as an independent `Box<dyn SpatialIndex>`.
+#[derive(Debug)]
+pub struct RsmiExact(Rsmi);
+
+impl RsmiExact {
+    /// Bulk-loads the underlying RSMI.
+    pub fn build(points: Vec<Point>, config: RsmiConfig) -> Self {
+        Self(Rsmi::build(points, config))
+    }
+
+    /// Wraps an already-built RSMI.
+    pub fn from_rsmi(inner: Rsmi) -> Self {
+        Self(inner)
+    }
+
+    /// The wrapped index.
+    pub fn inner(&self) -> &Rsmi {
+        &self.0
+    }
+
+    /// Unwraps into the plain (approximate) index.
+    pub fn into_inner(self) -> Rsmi {
+        self.0
+    }
+}
+
+impl SpatialIndex for RsmiExact {
+    fn name(&self) -> &'static str {
+        "RSMIa"
+    }
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn point_query(&self, q: &Point, cx: &mut QueryContext) -> Option<Point> {
+        self.0.point_query(q, cx)
+    }
+
+    fn window_query_visit(
+        &self,
+        window: &Rect,
+        cx: &mut QueryContext,
+        visit: &mut dyn FnMut(&Point),
+    ) {
+        self.0.window_query_exact_visit(window, cx, visit)
+    }
+
+    fn knn_query_visit(
+        &self,
+        q: &Point,
+        k: usize,
+        cx: &mut QueryContext,
+        visit: &mut dyn FnMut(&Point),
+    ) {
+        self.0.knn_query_exact_visit(q, k, cx, visit)
+    }
+
+    fn insert(&mut self, p: Point) {
+        self.0.insert(p)
+    }
+
+    fn delete(&mut self, p: &Point) -> bool {
+        self.0.delete(p)
+    }
+
+    fn rebuild(&mut self) {
+        self.0.rebuild()
+    }
+
+    fn size_bytes(&self) -> usize {
+        SpatialIndex::size_bytes(&self.0)
+    }
+
+    fn height(&self) -> usize {
+        SpatialIndex::height(&self.0)
+    }
+
+    fn model_count(&self) -> usize {
+        SpatialIndex::model_count(&self.0)
     }
 }
 
@@ -748,12 +896,17 @@ mod tests {
         }
     }
 
+    fn cx() -> QueryContext {
+        QueryContext::new()
+    }
+
     #[test]
     fn every_indexed_point_is_found_by_a_point_query() {
         let pts = pseudo_random_points(1200, 3);
         let index = Rsmi::build(pts.clone(), small_config());
+        let mut c = cx();
         for p in &pts {
-            let found = index.point_query(p);
+            let found = index.point_query(p, &mut c);
             assert!(found.is_some(), "point {:?} not found", p);
             assert_eq!(found.unwrap().id, p.id);
         }
@@ -763,18 +916,23 @@ mod tests {
     fn point_query_misses_points_that_were_never_inserted() {
         let pts = grid_points(20);
         let index = Rsmi::build(pts, small_config());
-        assert!(index.point_query(&Point::new(0.003, 0.0071)).is_none());
+        assert!(index
+            .point_query(&Point::new(0.003, 0.0071), &mut cx())
+            .is_none());
     }
 
     #[test]
     fn empty_index_answers_queries_gracefully() {
         let index = Rsmi::build(vec![], small_config());
+        let mut c = cx();
         assert_eq!(index.len(), 0);
-        assert!(index.point_query(&Point::new(0.5, 0.5)).is_none());
-        assert!(index.window_query(&Rect::unit()).is_empty());
-        assert!(index.knn_query(&Point::new(0.5, 0.5), 3).is_empty());
-        assert!(index.window_query_exact(&Rect::unit()).is_empty());
-        assert!(index.knn_query_exact(&Point::new(0.5, 0.5), 3).is_empty());
+        assert!(index.point_query(&Point::new(0.5, 0.5), &mut c).is_none());
+        assert!(SpatialIndex::window_query(&index, &Rect::unit(), &mut c).is_empty());
+        assert!(SpatialIndex::knn_query(&index, &Point::new(0.5, 0.5), 3, &mut c).is_empty());
+        assert!(index.window_query_exact(&Rect::unit(), &mut c).is_empty());
+        assert!(index
+            .knn_query_exact(&Point::new(0.5, 0.5), 3, &mut c)
+            .is_empty());
     }
 
     #[test]
@@ -788,9 +946,10 @@ mod tests {
             Rect::new(0.72, 0.11, 0.93, 0.37),
         ];
         let mut recalls = Vec::new();
+        let mut c = cx();
         for w in &windows {
             let truth = brute_force::window_query(&pts, w);
-            let got = index.window_query(w);
+            let got = SpatialIndex::window_query(&index, w, &mut c);
             assert_eq!(metrics::false_positive_rate(&got, &truth), 0.0);
             recalls.push(metrics::recall(&got, &truth));
         }
@@ -802,13 +961,21 @@ mod tests {
     fn exact_window_query_matches_brute_force() {
         let pts = pseudo_random_points(1500, 5);
         let index = Rsmi::build(pts.clone(), small_config());
+        let mut c = cx();
         for w in [
             Rect::new(0.2, 0.3, 0.5, 0.6),
             Rect::new(0.0, 0.0, 0.1, 1.0),
             Rect::new(0.9, 0.9, 1.0, 1.0),
         ] {
-            let mut truth: Vec<u64> = brute_force::window_query(&pts, &w).iter().map(|p| p.id).collect();
-            let mut got: Vec<u64> = index.window_query_exact(&w).iter().map(|p| p.id).collect();
+            let mut truth: Vec<u64> = brute_force::window_query(&pts, &w)
+                .iter()
+                .map(|p| p.id)
+                .collect();
+            let mut got: Vec<u64> = index
+                .window_query_exact(&w, &mut c)
+                .iter()
+                .map(|p| p.id)
+                .collect();
             truth.sort_unstable();
             got.sort_unstable();
             assert_eq!(got, truth);
@@ -819,10 +986,15 @@ mod tests {
     fn exact_knn_matches_brute_force_distances() {
         let pts = pseudo_random_points(800, 7);
         let index = Rsmi::build(pts.clone(), small_config());
-        for q in [Point::new(0.5, 0.5), Point::new(0.05, 0.95), Point::new(0.99, 0.01)] {
+        let mut c = cx();
+        for q in [
+            Point::new(0.5, 0.5),
+            Point::new(0.05, 0.95),
+            Point::new(0.99, 0.01),
+        ] {
             for k in [1, 5, 20] {
                 let truth = brute_force::knn_query(&pts, &q, k);
-                let got = index.knn_query_exact(&q, k);
+                let got = index.knn_query_exact(&q, k, &mut c);
                 assert_eq!(got.len(), k);
                 for (a, b) in truth.iter().zip(&got) {
                     assert!((a.dist(&q) - b.dist(&q)).abs() < 1e-12);
@@ -836,6 +1008,7 @@ mod tests {
         let pts = pseudo_random_points(2000, 21);
         let index = Rsmi::build(pts.clone(), small_config());
         let mut recalls = Vec::new();
+        let mut c = cx();
         for q in [
             Point::new(0.5, 0.5),
             Point::new(0.1, 0.2),
@@ -843,7 +1016,7 @@ mod tests {
             Point::new(0.01, 0.99),
         ] {
             let k = 10;
-            let got = index.knn_query(&q, k);
+            let got = SpatialIndex::knn_query(&index, &q, k, &mut c);
             assert_eq!(got.len(), k);
             let truth = brute_force::knn_query(&pts, &q, k);
             recalls.push(metrics::knn_recall(&got, &truth, &q, k));
@@ -853,10 +1026,39 @@ mod tests {
     }
 
     #[test]
+    fn approximate_knn_returns_distinct_points_across_expansion_rounds() {
+        // Regression: the search-region expansion re-scans blocks from
+        // earlier rounds; already-collected points must not be inserted
+        // into the best-k list a second time (each duplicate would evict a
+        // genuine neighbour).
+        let pts = pseudo_random_points(300, 99);
+        let index = Rsmi::build(pts.clone(), small_config());
+        let mut c = cx();
+        for q in [
+            Point::new(0.8, 0.05),
+            Point::new(0.01, 0.99),
+            Point::new(0.5, 0.5),
+        ] {
+            for k in [25usize, 100, 250] {
+                let got = SpatialIndex::knn_query(&index, &q, k, &mut c);
+                assert_eq!(got.len(), k.min(pts.len()));
+                let mut ids: Vec<u64> = got.iter().map(|p| p.id).collect();
+                ids.sort_unstable();
+                ids.dedup();
+                assert_eq!(
+                    ids.len(),
+                    got.len(),
+                    "duplicate kNN results for q={q:?} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn knn_with_k_larger_than_data_returns_all_points() {
         let pts = grid_points(5); // 25 points
         let index = Rsmi::build(pts.clone(), small_config());
-        let got = index.knn_query(&Point::new(0.5, 0.5), 100);
+        let got = SpatialIndex::knn_query(&index, &Point::new(0.5, 0.5), 100, &mut cx());
         assert_eq!(got.len(), 25);
     }
 
@@ -874,13 +1076,18 @@ mod tests {
             index.insert(*p);
         }
         assert_eq!(index.len(), 800);
+        let mut c = cx();
         for p in &new_points {
-            let found = index.point_query(p);
-            assert_eq!(found.map(|f| f.id), Some(p.id), "inserted point lost: {p:?}");
+            let found = index.point_query(p, &mut c);
+            assert_eq!(
+                found.map(|f| f.id),
+                Some(p.id),
+                "inserted point lost: {p:?}"
+            );
         }
         // Old points are still reachable.
         for p in pts.iter().step_by(7) {
-            assert!(index.point_query(p).is_some());
+            assert!(index.point_query(p, &mut c).is_some());
         }
     }
 
@@ -890,8 +1097,15 @@ mod tests {
         index.insert(Point::with_id(0.3, 0.4, 1));
         index.insert(Point::with_id(0.6, 0.1, 2));
         assert_eq!(index.len(), 2);
-        assert_eq!(index.point_query(&Point::new(0.3, 0.4)).unwrap().id, 1);
-        assert_eq!(index.point_query(&Point::new(0.6, 0.1)).unwrap().id, 2);
+        let mut c = cx();
+        assert_eq!(
+            index.point_query(&Point::new(0.3, 0.4), &mut c).unwrap().id,
+            1
+        );
+        assert_eq!(
+            index.point_query(&Point::new(0.6, 0.1), &mut c).unwrap().id,
+            2
+        );
     }
 
     #[test]
@@ -901,14 +1115,15 @@ mod tests {
         let victim = pts[123];
         assert!(index.delete(&victim));
         assert_eq!(index.len(), 499);
-        assert!(index.point_query(&victim).is_none());
+        let mut c = cx();
+        assert!(index.point_query(&victim, &mut c).is_none());
         // Deleting again fails.
         assert!(!index.delete(&victim));
         // Other points survive.
-        assert!(index.point_query(&pts[124]).is_some());
+        assert!(index.point_query(&pts[124], &mut c).is_some());
         // Re-inserting a point at the same location works.
         index.insert(victim);
-        assert!(index.point_query(&victim).is_some());
+        assert!(index.point_query(&victim, &mut c).is_some());
     }
 
     #[test]
@@ -918,8 +1133,11 @@ mod tests {
         let extra = Point::with_id(0.505, 0.505, 99_999);
         index.insert(extra);
         let w = Rect::new(0.45, 0.45, 0.55, 0.55);
-        let exact = index.window_query_exact(&w);
-        assert!(exact.iter().any(|p| p.id == extra.id), "exact window query must see the insert");
+        let exact = index.window_query_exact(&w, &mut cx());
+        assert!(
+            exact.iter().any(|p| p.id == extra.id),
+            "exact window query must see the insert"
+        );
     }
 
     #[test]
@@ -928,16 +1146,24 @@ mod tests {
         let mut index = Rsmi::build(pts.clone(), small_config());
         for i in 0..300 {
             let base = pts[i * 2];
-            index.insert(Point::with_id(base.x, (base.y + 0.002).min(1.0), 50_000 + i as u64));
+            index.insert(Point::with_id(
+                base.x,
+                (base.y + 0.002).min(1.0),
+                50_000 + i as u64,
+            ));
         }
-        assert!(index.overflow_block_count() > 0, "insertions should create overflow blocks");
+        assert!(
+            index.overflow_block_count() > 0,
+            "insertions should create overflow blocks"
+        );
         let before = index.len();
         index.rebuild();
         assert_eq!(index.len(), before);
         assert_eq!(index.overflow_block_count(), 0);
         // All points still found.
+        let mut c = cx();
         for p in pts.iter().step_by(11) {
-            assert!(index.point_query(p).is_some());
+            assert!(index.point_query(p, &mut c).is_some());
         }
     }
 
@@ -953,19 +1179,26 @@ mod tests {
         assert!(stats.avg_depth >= 1.0);
         assert!(stats.avg_depth <= stats.height as f64);
         assert!(stats.size_bytes > 0);
-        assert!(index.block_accesses() > 0 || index.block_store().block_accesses() == index.block_accesses());
+        assert_eq!(SpatialIndex::model_count(&index), stats.model_count);
     }
 
     #[test]
-    fn block_access_accounting_resets() {
+    fn per_query_stats_are_charged_to_the_context() {
         let pts = pseudo_random_points(500, 47);
         let index = Rsmi::build(pts.clone(), small_config());
-        index.reset_stats();
-        assert_eq!(index.block_accesses(), 0);
-        let _ = index.point_query(&pts[0]);
-        assert!(index.block_accesses() >= 1);
-        index.reset_stats();
-        assert_eq!(index.block_accesses(), 0);
+        let mut c = cx();
+        assert_eq!(c.stats.total_accesses(), 0);
+        let _ = index.point_query(&pts[0], &mut c);
+        let first = c.take_stats();
+        assert!(first.blocks_touched >= 1, "{first:?}");
+        assert!(first.nodes_visited >= 1, "{first:?}");
+        assert!(first.candidates_scanned >= 1, "{first:?}");
+        // After take_stats the context is clean again.
+        assert_eq!(c.stats.total_accesses(), 0);
+        // Two identical queries through one context cost twice one query.
+        let _ = index.point_query(&pts[0], &mut c);
+        let _ = index.point_query(&pts[0], &mut c);
+        assert_eq!(c.stats.total_accesses(), 2 * first.total_accesses());
     }
 
     #[test]
@@ -973,48 +1206,55 @@ mod tests {
         let pts = pseudo_random_points(900, 53);
         let cfg = small_config().with_curve(CurveKind::Z);
         let index = Rsmi::build(pts.clone(), cfg);
+        let mut c = cx();
         for p in pts.iter().step_by(13) {
-            assert!(index.point_query(p).is_some());
+            assert!(index.point_query(p, &mut c).is_some());
         }
         let w = Rect::new(0.3, 0.3, 0.5, 0.5);
         let truth = brute_force::window_query(&pts, &w);
-        let got = index.window_query(&w);
+        let got = SpatialIndex::window_query(&index, &w, &mut c);
         assert_eq!(metrics::false_positive_rate(&got, &truth), 0.0);
     }
 
     #[test]
-    fn json_round_trip_preserves_structure_and_answers() {
-        let pts = pseudo_random_points(800, 71);
-        let index = Rsmi::build(pts.clone(), small_config());
-        let json = index.to_json().expect("serialise");
-        let restored = Rsmi::from_json(&json).expect("deserialise");
-        assert_eq!(restored.len(), index.len());
-        assert_eq!(restored.height(), index.height());
-        assert_eq!(restored.stats().model_count, index.stats().model_count);
-        // Point queries keep working and agree with the original index.
-        for p in pts.iter().step_by(23) {
-            assert_eq!(
-                restored.point_query(p).map(|f| f.id),
-                index.point_query(p).map(|f| f.id)
-            );
+    fn rsmi_exact_wrapper_answers_exactly_through_the_trait() {
+        let pts = pseudo_random_points(1200, 77);
+        let exact = RsmiExact::build(pts.clone(), small_config());
+        assert_eq!(exact.name(), "RSMIa");
+        assert_eq!(exact.len(), pts.len());
+        assert!(SpatialIndex::model_count(&exact) > 0);
+        let mut c = cx();
+        let w = Rect::new(0.25, 0.25, 0.6, 0.55);
+        let mut truth: Vec<u64> = brute_force::window_query(&pts, &w)
+            .iter()
+            .map(|p| p.id)
+            .collect();
+        let mut got: Vec<u64> = SpatialIndex::window_query(&exact, &w, &mut c)
+            .iter()
+            .map(|p| p.id)
+            .collect();
+        truth.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(got, truth);
+        let q = Point::new(0.4, 0.4);
+        let knn_truth = brute_force::knn_query(&pts, &q, 7);
+        let knn_got = SpatialIndex::knn_query(&exact, &q, 7, &mut c);
+        for (t, g) in knn_truth.iter().zip(&knn_got) {
+            assert!((t.dist(&q) - g.dist(&q)).abs() < 1e-12);
         }
-        // Window queries return identical id sets.
-        let w = Rect::new(0.2, 0.2, 0.45, 0.5);
-        let mut a: Vec<u64> = index.window_query(&w).iter().map(|p| p.id).collect();
-        let mut b: Vec<u64> = restored.window_query(&w).iter().map(|p| p.id).collect();
-        a.sort_unstable();
-        b.sort_unstable();
-        assert_eq!(a, b);
-        // The restored index is mutable like any other.
-        let mut restored = restored;
-        restored.insert(Point::with_id(0.5, 0.5, 123_456));
-        assert!(restored.point_query(&Point::new(0.5, 0.5)).is_some());
+        // The wrapper is mutable like any other index.
+        let mut exact = exact;
+        let p = Point::with_id(0.111, 0.222, 424_242);
+        exact.insert(p);
+        assert_eq!(exact.point_query(&p, &mut c).map(|f| f.id), Some(p.id));
+        assert!(exact.delete(&p));
     }
 
     #[test]
-    fn from_json_rejects_malformed_input() {
-        assert!(Rsmi::from_json("{not valid json").is_err());
-        assert!(Rsmi::from_json("{\"nodes\": []}").is_err());
+    fn indices_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Rsmi>();
+        assert_send_sync::<RsmiExact>();
     }
 
     #[test]
@@ -1024,8 +1264,9 @@ mod tests {
         // leaf CDF gets harder to learn).
         let cfg = small_config().with_rank_space(false);
         let index = Rsmi::build(pts.clone(), cfg);
+        let mut c = cx();
         for p in pts.iter().step_by(17) {
-            assert!(index.point_query(p).is_some(), "cfg {cfg:?}");
+            assert!(index.point_query(p, &mut c).is_some(), "cfg {cfg:?}");
         }
         // Grouping by the *true* grid cell (instead of the model prediction)
         // breaks the routing guarantee — exactly the paper's argument for
@@ -1033,8 +1274,15 @@ mod tests {
         let cfg = small_config().with_group_by_prediction(false);
         let index = Rsmi::build(pts.clone(), cfg);
         let w = Rect::new(0.2, 0.2, 0.5, 0.5);
-        let mut truth: Vec<u64> = brute_force::window_query(&pts, &w).iter().map(|p| p.id).collect();
-        let mut got: Vec<u64> = index.window_query_exact(&w).iter().map(|p| p.id).collect();
+        let mut truth: Vec<u64> = brute_force::window_query(&pts, &w)
+            .iter()
+            .map(|p| p.id)
+            .collect();
+        let mut got: Vec<u64> = index
+            .window_query_exact(&w, &mut c)
+            .iter()
+            .map(|p| p.id)
+            .collect();
         truth.sort_unstable();
         got.sort_unstable();
         assert_eq!(got, truth);

@@ -25,36 +25,48 @@
 //!    false positives); kNN queries expand a data-distribution-scaled search
 //!    region around the query point.
 //! 4. **Updates (§5).**  Insertions go to the predicted block or to a linked
-//!    overflow block; deletions leave free slots; [`Rsmi::rebuild_overflowed`]
+//!    overflow block; deletions leave free slots; [`Rsmi::rebuild`]
 //!    implements the RSMIr periodic-rebuild variant.
 //!
 //! The MBR-augmented exact variants of window and kNN queries (the paper's
-//! **RSMIa**) are available as [`Rsmi::window_query_exact`] and
-//! [`Rsmi::knn_query_exact`].
+//! **RSMIa**) are available as [`Rsmi::window_query_exact`] /
+//! [`Rsmi::knn_query_exact`], or uniformly through the [`RsmiExact`]
+//! wrapper, which answers exactly via the common `SpatialIndex` trait.
 //!
 //! # Quick start
+//!
+//! Queries go through the zero-copy visitor/`Vec` API of
+//! [`common::SpatialIndex`], with per-query costs charged to an explicit
+//! [`common::QueryContext`]:
 //!
 //! ```
 //! use datagen::{generate, Distribution};
 //! use geom::{Point, Rect};
 //! use rsmi::{Rsmi, RsmiConfig};
-//! use common::SpatialIndex;
+//! use common::{QueryContext, SpatialIndex};
 //!
 //! let points = generate(Distribution::Uniform, 2_000, 42);
 //! let index = Rsmi::build(points.clone(), RsmiConfig::fast());
+//! let mut cx = QueryContext::new();
 //!
 //! // Point query: every indexed point can be found again.
-//! assert_eq!(index.point_query(&points[7]).unwrap().id, points[7].id);
+//! assert_eq!(index.point_query(&points[7], &mut cx).unwrap().id, points[7].id);
 //!
-//! // Window query (approximate — no false positives).
+//! // Window query, zero-copy visitor form (approximate — no false positives).
 //! let window = Rect::new(0.4, 0.4, 0.6, 0.6);
-//! for p in index.window_query(&window) {
-//!     assert!(window.contains(&p));
-//! }
+//! index.window_query_visit(&window, &mut cx, &mut |p| {
+//!     assert!(window.contains(p));
+//! });
 //!
-//! // kNN query.
-//! let nn = index.knn_query(&Point::new(0.5, 0.5), 5);
+//! // kNN query via the Vec adapter of the trait.
+//! let nn = SpatialIndex::knn_query(&index, &Point::new(0.5, 0.5), 5, &mut cx);
 //! assert_eq!(nn.len(), 5);
+//!
+//! // Batch point queries amortise per-call overhead and aggregate stats.
+//! let answers = index.point_queries(&points[..64], &mut cx);
+//! assert!(answers.iter().all(|a| a.is_some()));
+//! let stats = cx.take_stats();
+//! assert!(stats.blocks_touched > 0);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -65,14 +77,13 @@ mod index;
 mod node;
 mod pmf;
 
-pub use index::{Rsmi, RsmiStats};
+pub use index::{Rsmi, RsmiExact, RsmiStats};
 pub use pmf::PiecewiseCdf;
 
-use serde::{Deserialize, Serialize};
 use sfc::CurveKind;
 
 /// Configuration of an RSMI index.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct RsmiConfig {
     /// Block capacity `B` (the paper uses 100).
     pub block_capacity: usize,

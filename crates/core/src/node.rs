@@ -9,14 +9,13 @@
 
 use geom::Rect;
 use mlp::ScaledRegressor;
-use serde::{Deserialize, Serialize};
 use storage::BlockId;
 
 /// Index of a node within the RSMI arena.
 pub type NodeId = usize;
 
 /// An internal node: a learned partitioning function plus its children.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct InternalNode {
     /// The partitioning model `M_{i,j}`: maps coordinates to the curve value
     /// of a cell of this node's non-regular grid.
@@ -67,7 +66,7 @@ impl InternalNode {
 }
 
 /// A leaf node: a learned indexing model over a contiguous range of blocks.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LeafNode {
     /// The indexing model: maps coordinates to a *local* block offset in
     /// `[0, n_blocks)`.
@@ -121,7 +120,7 @@ impl LeafNode {
 }
 
 /// A node of the RSMI arena.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Node {
     /// Routing node with a learned partitioning function.
     Internal(InternalNode),

@@ -6,10 +6,8 @@
 //! paper approximates it with a *piecewise mapping function* built from
 //! `γ = 100` equi-depth partitions of each dimension.
 
-use serde::{Deserialize, Serialize};
-
 /// A piecewise-linear approximation of a one-dimensional CDF.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PiecewiseCdf {
     /// Breakpoint coordinates, ascending; `xs[i]` is the upper boundary of
     /// the `i`-th equi-depth partition.

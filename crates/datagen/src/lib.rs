@@ -21,10 +21,9 @@ pub mod queries;
 use geom::Point;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// The data-set families of Table 2.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Distribution {
     /// Uniform over the unit square.
     Uniform,
@@ -81,7 +80,11 @@ pub fn generate(dist: Distribution, n: usize, seed: u64) -> Vec<Point> {
     match dist {
         Distribution::Uniform => {
             for id in 0..n {
-                pts.push(Point::with_id(rng.gen::<f64>(), rng.gen::<f64>(), id as u64));
+                pts.push(Point::with_id(
+                    rng.gen::<f64>(),
+                    rng.gen::<f64>(),
+                    id as u64,
+                ));
             }
         }
         Distribution::Normal => {
@@ -141,7 +144,13 @@ fn generate_tiger_like(rng: &mut StdRng, n: usize, pts: &mut Vec<Point>) {
         })
         .collect();
     let towns: Vec<(f64, f64, f64)> = (0..n_towns)
-        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>(), 0.005 + 0.02 * rng.gen::<f64>()))
+        .map(|_| {
+            (
+                rng.gen::<f64>(),
+                rng.gen::<f64>(),
+                0.005 + 0.02 * rng.gen::<f64>(),
+            )
+        })
         .collect();
 
     for id in 0..n {
@@ -277,8 +286,14 @@ mod tests {
         let uni = occupancy_variance(&generate(Distribution::Uniform, 20_000, 5));
         let tiger = occupancy_variance(&generate(Distribution::TigerLike, 20_000, 5));
         let osm = occupancy_variance(&generate(Distribution::OsmLike, 20_000, 5));
-        assert!(tiger > 2.0 * uni, "tiger-like should be clustered (var {tiger} vs {uni})");
-        assert!(osm > 2.0 * uni, "osm-like should be clustered (var {osm} vs {uni})");
+        assert!(
+            tiger > 2.0 * uni,
+            "tiger-like should be clustered (var {tiger} vs {uni})"
+        );
+        assert!(
+            osm > 2.0 * uni,
+            "osm-like should be clustered (var {osm} vs {uni})"
+        );
     }
 
     #[test]
@@ -294,6 +309,10 @@ mod tests {
             pts.iter().map(|p| (p.x.to_bits(), p.y.to_bits())).collect();
         coords.sort_unstable();
         coords.dedup();
-        assert_eq!(coords.len(), pts.len(), "exact duplicate coordinates generated");
+        assert_eq!(
+            coords.len(),
+            pts.len(),
+            "exact duplicate coordinates generated"
+        );
     }
 }

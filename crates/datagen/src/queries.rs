@@ -7,7 +7,6 @@
 use geom::{Point, Rect};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Default number of queries per experiment in the paper (window and kNN).
 pub const DEFAULT_QUERY_COUNT: usize = 1000;
@@ -23,7 +22,7 @@ pub const ASPECT_RATIOS: [f64; 5] = [0.25, 0.5, 1.0, 2.0, 4.0];
 pub const K_VALUES: [usize; 5] = [1, 5, 25, 125, 625];
 
 /// Parameters of a window-query workload.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct WindowSpec {
     /// Window area as a percentage of the data space (e.g. `0.01` = 0.01 %).
     pub area_percent: f64,

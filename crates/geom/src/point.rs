@@ -1,7 +1,5 @@
 //! 2-D points with identifiers.
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier type carried by every data point.
 ///
 /// In the paper a point query returns "a pointer to the point indexed in the
@@ -14,7 +12,7 @@ pub type PointId = u64;
 /// Coordinates are `f64` in the original data space.  The paper normalises
 /// coordinates into the unit square before training, which is handled by the
 /// model layers, not by this type.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Point {
     /// x-coordinate in the original space.
     pub x: f64,

@@ -1,63 +1,21 @@
 //! Axis-aligned rectangles: query windows and minimum bounding rectangles.
 
 use crate::point::Point;
-use serde::{Deserialize, Serialize};
 
 /// An axis-aligned rectangle `[min_x, max_x] x [min_y, max_y]`.
 ///
 /// Used for window queries (§4.2 of the paper) and as the MBR attached to
 /// R-tree nodes and to RSMI sub-models (the RSMIa variant).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Rect {
     /// Minimum x-coordinate (inclusive).
-    #[serde(with = "serde_lower_bound")]
     pub min_x: f64,
     /// Minimum y-coordinate (inclusive).
-    #[serde(with = "serde_lower_bound")]
     pub min_y: f64,
     /// Maximum x-coordinate (inclusive).
-    #[serde(with = "serde_upper_bound")]
     pub max_x: f64,
     /// Maximum y-coordinate (inclusive).
-    #[serde(with = "serde_upper_bound")]
     pub max_y: f64,
-}
-
-/// JSON cannot represent IEEE infinities (serde_json writes them as `null`),
-/// but the identity element [`Rect::empty`] uses `+∞` lower bounds.  These
-/// helpers round-trip such bounds as `null`.
-mod serde_lower_bound {
-    use serde::{Deserialize, Deserializer, Serializer};
-
-    pub fn serialize<S: Serializer>(v: &f64, s: S) -> Result<S::Ok, S::Error> {
-        if v.is_finite() {
-            s.serialize_some(v)
-        } else {
-            s.serialize_none()
-        }
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<f64, D::Error> {
-        Ok(Option::<f64>::deserialize(d)?.unwrap_or(f64::INFINITY))
-    }
-}
-
-/// Counterpart of [`serde_lower_bound`] for the `-∞` upper bounds of
-/// [`Rect::empty`].
-mod serde_upper_bound {
-    use serde::{Deserialize, Deserializer, Serializer};
-
-    pub fn serialize<S: Serializer>(v: &f64, s: S) -> Result<S::Ok, S::Error> {
-        if v.is_finite() {
-            s.serialize_some(v)
-        } else {
-            s.serialize_none()
-        }
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<f64, D::Error> {
-        Ok(Option::<f64>::deserialize(d)?.unwrap_or(f64::NEG_INFINITY))
-    }
 }
 
 impl Rect {
@@ -405,19 +363,6 @@ mod tests {
         assert_eq!(p.x, 0.6);
         assert_eq!(p.y, 0.2);
         assert!(r.contains(&p));
-    }
-
-    #[test]
-    fn serde_round_trips_normal_and_empty_rects() {
-        let normal = Rect::new(0.1, 0.2, 0.3, 0.4);
-        let json = serde_json::to_string(&normal).unwrap();
-        assert_eq!(serde_json::from_str::<Rect>(&json).unwrap(), normal);
-
-        let empty = Rect::empty();
-        let json = serde_json::to_string(&empty).unwrap();
-        let back: Rect = serde_json::from_str(&json).unwrap();
-        assert!(back.is_empty());
-        assert_eq!(back, empty);
     }
 
     #[test]

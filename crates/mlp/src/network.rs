@@ -3,7 +3,6 @@
 use crate::sigmoid;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Architecture and training hyper-parameters of a sub-model.
 ///
@@ -12,7 +11,7 @@ use serde::{Deserialize, Serialize};
 /// reproduction keeps the architecture but uses a smaller default epoch count
 /// so the full experiment suite runs on a laptop; the harness can restore the
 /// paper's value with [`MlpConfig::epochs`].
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct MlpConfig {
     /// Number of input features (2 for RSMI coordinates, 1 for ZM Z-values).
     pub input_dim: usize,
@@ -80,7 +79,7 @@ impl Default for MlpConfig {
 /// Inputs and targets are expected to be normalised into `[0, 1]` (see
 /// [`crate::Normalizer`]); the output is unbounded but in practice stays near
 /// the unit interval.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Mlp {
     config: MlpConfig,
     /// Hidden-layer weights, `hidden x input_dim`, row-major.
@@ -362,7 +361,10 @@ mod tests {
         // Predictions should be roughly monotone.
         let preds: Vec<f64> = inputs.iter().map(|x| mlp.predict(x)).collect();
         let violations = preds.windows(2).filter(|w| w[1] + 0.02 < w[0]).count();
-        assert!(violations < n / 20, "too many monotonicity violations: {violations}");
+        assert!(
+            violations < n / 20,
+            "too many monotonicity violations: {violations}"
+        );
     }
 
     #[test]

@@ -1,14 +1,12 @@
 //! Min-max normalisation of model inputs and outputs.
 
-use serde::{Deserialize, Serialize};
-
 /// Per-dimension min-max scaler mapping raw values into `[0, 1]`.
 ///
 /// "For ease of model training, the point coordinates and block IDs are
 /// normalized into the unit range" (§6.1).  Each index sub-model owns one
 /// normaliser fitted on the data it is trained on, so child models see their
 /// local region stretched over the full unit square.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Normalizer {
     lo: Vec<f64>,
     hi: Vec<f64>,
@@ -31,7 +29,10 @@ impl Normalizer {
             }
         }
         if dim == 0 {
-            return Self { lo: vec![], hi: vec![] };
+            return Self {
+                lo: vec![],
+                hi: vec![],
+            };
         }
         Self { lo, hi }
     }

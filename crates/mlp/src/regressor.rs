@@ -2,7 +2,6 @@
 //! learned indices: raw coordinates in, integer block/partition IDs out.
 
 use crate::{Mlp, MlpConfig, Normalizer};
-use serde::{Deserialize, Serialize};
 
 /// A regression model over integer targets.
 ///
@@ -15,7 +14,7 @@ use serde::{Deserialize, Serialize};
 /// Predictions are rounded and clamped to `[0, max_target]`, matching the
 /// paper's practice of normalising block IDs into the unit range for training
 /// and scaling back at query time.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ScaledRegressor {
     mlp: Mlp,
     input_norm: Normalizer,
@@ -38,7 +37,11 @@ impl ScaledRegressor {
     /// Panics when `inputs` and `targets` lengths differ or when `inputs` is
     /// empty.
     pub fn fit(config: MlpConfig, inputs: &[Vec<f64>], targets: &[u64]) -> Self {
-        assert_eq!(inputs.len(), targets.len(), "inputs/targets length mismatch");
+        assert_eq!(
+            inputs.len(),
+            targets.len(),
+            "inputs/targets length mismatch"
+        );
         assert!(!inputs.is_empty(), "cannot fit a regressor on an empty set");
 
         let input_norm = Normalizer::fit(inputs);
@@ -159,8 +162,12 @@ mod tests {
         let targets: Vec<u64> = (0..n).map(|i| (i / 4) as u64).collect();
         let model = ScaledRegressor::fit(fast_config(2), &inputs, &targets);
         // Error bounds should be a small fraction of the 100-block range.
-        assert!(model.err_below() + model.err_above() < 30,
-            "error bounds too wide: ({}, {})", model.err_below(), model.err_above());
+        assert!(
+            model.err_below() + model.err_above() < 30,
+            "error bounds too wide: ({}, {})",
+            model.err_below(),
+            model.err_above()
+        );
         // And every training prediction must fall within the bounds.
         for (row, &t) in inputs.iter().zip(&targets) {
             let p = model.predict(row) as i64;
@@ -218,22 +225,5 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn fitting_an_empty_set_panics() {
         let _ = ScaledRegressor::fit(fast_config(2), &[], &[]);
-    }
-
-    #[test]
-    fn serde_round_trip_preserves_predictions_and_bounds() {
-        let inputs: Vec<Vec<f64>> = (0..100)
-            .map(|i| vec![(i % 10) as f64 / 10.0, (i / 10) as f64 / 10.0])
-            .collect();
-        let targets: Vec<u64> = (0..100).map(|i| (i / 5) as u64).collect();
-        let model = ScaledRegressor::fit(fast_config(2), &inputs, &targets);
-        let json = serde_json::to_string(&model).expect("serialise");
-        let restored: ScaledRegressor = serde_json::from_str(&json).expect("deserialise");
-        assert_eq!(restored.err_below(), model.err_below());
-        assert_eq!(restored.err_above(), model.err_above());
-        assert_eq!(restored.max_target(), model.max_target());
-        for row in inputs.iter().step_by(7) {
-            assert_eq!(restored.predict(row), model.predict(row));
-        }
     }
 }

@@ -1,0 +1,312 @@
+//! Dynamic index registry: construct any index family through one entry
+//! point, by kind or by name.
+//!
+//! The paper's value is a head-to-head comparison of seven index variants;
+//! this crate is the single place that knows how to build each of them.  The
+//! bench harness, the experiments binary, the examples, and the integration
+//! tests all construct indices exclusively through [`build_index`], so
+//! adding an index family is a one-file change.
+//!
+//! ```
+//! use registry::{build_index, IndexConfig, IndexKind};
+//! use common::{QueryContext, SpatialIndex};
+//! use geom::Point;
+//!
+//! let points: Vec<Point> = (0..500)
+//!     .map(|i| Point::with_id((i as f64 * 0.618) % 1.0, (i as f64 * 0.414) % 1.0, i))
+//!     .collect();
+//! let index = build_index(IndexKind::Grid, &points, &IndexConfig::fast());
+//! let mut cx = QueryContext::new();
+//! assert_eq!(index.point_query(&points[7], &mut cx).unwrap().id, 7);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use baselines::zm::ZmConfig;
+use baselines::{GridFile, HilbertRTree, KdbTree, RStarTree, ZOrderModel};
+use common::SpatialIndex;
+use geom::Point;
+use rsmi::{Rsmi, RsmiConfig, RsmiExact};
+use sfc::CurveKind;
+
+/// The index families compared in the paper's figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IndexKind {
+    /// Grid File.
+    Grid,
+    /// Rank-space Hilbert packed R-tree.
+    Hrr,
+    /// K-D-B-tree.
+    Kdb,
+    /// R*-tree (dynamic insertion).
+    RStar,
+    /// RSMI (approximate window/kNN answers).
+    Rsmi,
+    /// RSMI with MBR-based exact query answering (same structure as RSMI,
+    /// exact traversal at query time).
+    Rsmia,
+    /// Z-order learned model.
+    Zm,
+}
+
+impl IndexKind {
+    /// All families, in the order the paper's legends list them.
+    pub fn all() -> Vec<IndexKind> {
+        vec![
+            IndexKind::Grid,
+            IndexKind::Hrr,
+            IndexKind::Kdb,
+            IndexKind::RStar,
+            IndexKind::Rsmi,
+            IndexKind::Rsmia,
+            IndexKind::Zm,
+        ]
+    }
+
+    /// The families without the RSMIa duplicate (used for point queries and
+    /// update measurements where RSMIa is identical to RSMI).
+    pub fn without_rsmia() -> Vec<IndexKind> {
+        Self::all()
+            .into_iter()
+            .filter(|k| *k != IndexKind::Rsmia)
+            .collect()
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            IndexKind::Grid => "Grid",
+            IndexKind::Hrr => "HRR",
+            IndexKind::Kdb => "KDB",
+            IndexKind::RStar => "RR*",
+            IndexKind::Rsmi => "RSMI",
+            IndexKind::Rsmia => "RSMIa",
+            IndexKind::Zm => "ZM",
+        }
+    }
+
+    /// Whether window queries of this family are exact (match brute force).
+    pub fn exact_windows(&self) -> bool {
+        !matches!(self, IndexKind::Rsmi | IndexKind::Zm)
+    }
+
+    /// Whether kNN queries of this family are exact.
+    pub fn exact_knn(&self) -> bool {
+        !matches!(self, IndexKind::Rsmi | IndexKind::Zm)
+    }
+
+    /// Whether this family contains learned sub-models.
+    pub fn is_learned(&self) -> bool {
+        matches!(self, IndexKind::Rsmi | IndexKind::Rsmia | IndexKind::Zm)
+    }
+}
+
+impl std::fmt::Display for IndexKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for IndexKind {
+    type Err = String;
+
+    /// Parses a family from its display name (case-insensitive; `RR*` also
+    /// accepts `rstar`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "grid" => Ok(IndexKind::Grid),
+            "hrr" => Ok(IndexKind::Hrr),
+            "kdb" => Ok(IndexKind::Kdb),
+            "rr*" | "rstar" | "r*" => Ok(IndexKind::RStar),
+            "rsmi" => Ok(IndexKind::Rsmi),
+            "rsmia" => Ok(IndexKind::Rsmia),
+            "zm" => Ok(IndexKind::Zm),
+            other => Err(format!(
+                "unknown index kind '{other}' (expected one of Grid, HRR, KDB, RR*, RSMI, RSMIa, ZM)"
+            )),
+        }
+    }
+}
+
+/// Construction parameters shared by every index family.
+#[derive(Debug, Clone, Copy)]
+pub struct IndexConfig {
+    /// Block capacity `B` for every index (the paper uses 100).
+    pub block_capacity: usize,
+    /// RSMI partition threshold `N`.
+    pub partition_threshold: usize,
+    /// Training epochs for the learned indices.
+    pub epochs: usize,
+    /// SGD learning rate for the learned indices.
+    pub learning_rate: f64,
+    /// Random seed for deterministic model initialisation.
+    pub seed: u64,
+    /// Space-filling curve used by RSMI's ordering.
+    pub curve: CurveKind,
+}
+
+impl Default for IndexConfig {
+    fn default() -> Self {
+        Self {
+            block_capacity: 100,
+            partition_threshold: 10_000,
+            epochs: 30,
+            learning_rate: 0.15,
+            seed: 42,
+            curve: CurveKind::Hilbert,
+        }
+    }
+}
+
+impl IndexConfig {
+    /// Small configuration for tests and doc examples: builds finish in
+    /// milliseconds.
+    pub fn fast() -> Self {
+        Self {
+            block_capacity: 50,
+            partition_threshold: 2_000,
+            epochs: 25,
+            learning_rate: 0.3,
+            ..Self::default()
+        }
+    }
+
+    /// Returns a copy with the given block capacity `B`.
+    pub fn with_block_capacity(mut self, b: usize) -> Self {
+        self.block_capacity = b;
+        self
+    }
+
+    /// Returns a copy with the given partition threshold `N`.
+    pub fn with_partition_threshold(mut self, n: usize) -> Self {
+        self.partition_threshold = n;
+        self
+    }
+
+    /// Returns a copy with the given epoch count.
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Returns a copy with the given seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The RSMI configuration corresponding to this configuration.
+    pub fn rsmi_config(&self) -> RsmiConfig {
+        let mut cfg = RsmiConfig::default()
+            .with_block_capacity(self.block_capacity)
+            .with_partition_threshold(self.partition_threshold)
+            .with_epochs(self.epochs)
+            .with_curve(self.curve);
+        cfg.learning_rate = self.learning_rate;
+        cfg.seed = self.seed;
+        cfg
+    }
+
+    /// The ZM configuration corresponding to this configuration.
+    pub fn zm_config(&self) -> ZmConfig {
+        ZmConfig {
+            block_capacity: self.block_capacity,
+            epochs: self.epochs,
+            learning_rate: self.learning_rate,
+            seed: self.seed,
+        }
+    }
+}
+
+/// Builds one index family over the given points.
+///
+/// This is the registry's single construction entry point: callers select a
+/// family dynamically (by [`IndexKind`] value or by parsing a name) and get
+/// back a boxed [`SpatialIndex`] answering the uniform query API.
+pub fn build_index(kind: IndexKind, points: &[Point], cfg: &IndexConfig) -> Box<dyn SpatialIndex> {
+    let pts = points.to_vec();
+    match kind {
+        IndexKind::Grid => Box::new(GridFile::build(pts, cfg.block_capacity)),
+        IndexKind::Hrr => Box::new(HilbertRTree::build(pts, cfg.block_capacity)),
+        IndexKind::Kdb => Box::new(KdbTree::build(pts, cfg.block_capacity)),
+        IndexKind::RStar => Box::new(RStarTree::build(pts, cfg.block_capacity)),
+        IndexKind::Rsmi => Box::new(Rsmi::build(pts, cfg.rsmi_config())),
+        IndexKind::Rsmia => Box::new(RsmiExact::build(pts, cfg.rsmi_config())),
+        IndexKind::Zm => Box::new(ZOrderModel::build(pts, cfg.zm_config())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use common::QueryContext;
+    use datagen::{generate, Distribution};
+
+    #[test]
+    fn every_kind_builds_and_reports_its_name() {
+        let data = generate(Distribution::Uniform, 400, 3);
+        for kind in IndexKind::all() {
+            let index = build_index(kind, &data, &IndexConfig::fast());
+            assert_eq!(index.name(), kind.name());
+            assert_eq!(index.len(), data.len());
+        }
+    }
+
+    #[test]
+    fn built_indices_answer_point_queries() {
+        let data = generate(Distribution::Normal, 600, 5);
+        let mut cx = QueryContext::new();
+        for kind in IndexKind::all() {
+            let index = build_index(kind, &data, &IndexConfig::fast());
+            for p in data.iter().step_by(41) {
+                assert_eq!(
+                    index.point_query(p, &mut cx).map(|f| f.id),
+                    Some(p.id),
+                    "{} lost a point",
+                    kind.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kind_names_round_trip_through_from_str() {
+        for kind in IndexKind::all() {
+            let parsed: IndexKind = kind.name().parse().expect("parse display name");
+            assert_eq!(parsed, kind);
+        }
+        assert_eq!("rstar".parse::<IndexKind>().unwrap(), IndexKind::RStar);
+        assert!("nonsense".parse::<IndexKind>().is_err());
+    }
+
+    #[test]
+    fn exactness_flags_partition_the_families() {
+        assert!(IndexKind::Grid.exact_windows());
+        assert!(IndexKind::Rsmia.exact_windows());
+        assert!(!IndexKind::Rsmi.exact_windows());
+        assert!(!IndexKind::Zm.exact_knn());
+        assert!(IndexKind::Rsmia.is_learned());
+        assert!(!IndexKind::Kdb.is_learned());
+    }
+
+    #[test]
+    fn learned_kinds_expose_model_counts_through_the_trait() {
+        let data = generate(Distribution::Uniform, 1500, 7);
+        for kind in IndexKind::all() {
+            let index = build_index(kind, &data, &IndexConfig::fast());
+            if kind.is_learned() {
+                assert!(index.model_count() > 0, "{} has no models", kind.name());
+            } else {
+                assert_eq!(index.model_count(), 0, "{}", kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn boxed_indices_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync + ?Sized>() {}
+        assert_send_sync::<dyn SpatialIndex>();
+        assert_send_sync::<Box<dyn SpatialIndex>>();
+    }
+}

@@ -27,7 +27,10 @@ pub fn encode(x: u32, y: u32, order: u32) -> u64 {
     assert!(order <= 31, "hilbert order {order} too large (max 31)");
     let n: u64 = 1 << order;
     let (mut x, mut y) = (x as u64, y as u64);
-    assert!(x < n && y < n, "coordinate ({x}, {y}) outside 2^{order} grid");
+    assert!(
+        x < n && y < n,
+        "coordinate ({x}, {y}) outside 2^{order} grid"
+    );
     let mut d: u64 = 0;
     let mut s: u64 = n >> 1;
     while s > 0 {

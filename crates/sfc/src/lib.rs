@@ -25,10 +25,8 @@ pub mod zcurve;
 
 pub use rank_space::{rank_space_order, RankSpace};
 
-use serde::{Deserialize, Serialize};
-
 /// Which space-filling curve to use for ordering points.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum CurveKind {
     /// Z-order (Morton) curve: interleaves the bits of the two coordinates.
     Z,

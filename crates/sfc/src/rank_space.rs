@@ -246,7 +246,8 @@ mod tests {
             vals.sort_unstable();
             let diffs: Vec<f64> = vals.windows(2).map(|w| (w[1] - w[0]) as f64).collect();
             let mean = diffs.iter().sum::<f64>() / diffs.len() as f64;
-            let var = diffs.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / diffs.len() as f64;
+            let var =
+                diffs.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / diffs.len() as f64;
             // Coefficient-of-variation-like measure so scale differences do
             // not dominate.
             var.sqrt() / mean

@@ -1,102 +1,123 @@
-//! Property-based tests for the space-filling curves and rank-space transform.
+//! Property-style tests for the space-filling curves and rank-space
+//! transform, driven by a seeded pseudo-random sampler (the environment has
+//! no `proptest`; see `vendor/README.md`).
 
 use geom::Point;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use sfc::{hilbert, rank_space::rank_space_order, zcurve, CurveKind, RankSpace};
 
-proptest! {
-    #[test]
-    fn zcurve_roundtrips(x in any::<u32>(), y in any::<u32>()) {
-        prop_assert_eq!(zcurve::decode(zcurve::encode(x, y)), (x, y));
-    }
+const CASES: usize = 256;
 
-    #[test]
-    fn hilbert_roundtrips(order in 1u32..=20, raw_x in any::<u32>(), raw_y in any::<u32>()) {
+fn rand_points(rng: &mut StdRng, lo: usize, hi: usize) -> Vec<Point> {
+    let n = rng.gen_range(lo..hi);
+    (0..n)
+        .map(|i| Point::with_id(rng.gen::<f64>(), rng.gen::<f64>(), i as u64))
+        .collect()
+}
+
+#[test]
+fn zcurve_roundtrips() {
+    let mut rng = StdRng::seed_from_u64(11);
+    for _ in 0..CASES {
+        let x = rng.gen::<u64>() as u32;
+        let y = rng.gen::<u64>() as u32;
+        assert_eq!(zcurve::decode(zcurve::encode(x, y)), (x, y));
+    }
+}
+
+#[test]
+fn hilbert_roundtrips() {
+    let mut rng = StdRng::seed_from_u64(12);
+    for _ in 0..CASES {
+        let order = rng.gen_range(1usize..=20) as u32;
         let mask = (1u64 << order) - 1;
-        let x = (raw_x as u64 & mask) as u32;
-        let y = (raw_y as u64 & mask) as u32;
+        let x = (rng.gen::<u64>() & mask) as u32;
+        let y = (rng.gen::<u64>() & mask) as u32;
         let v = hilbert::encode(x, y, order);
-        prop_assert!(v < 1u64 << (2 * order));
-        prop_assert_eq!(hilbert::decode(v, order), (x, y));
+        assert!(v < 1u64 << (2 * order));
+        assert_eq!(hilbert::decode(v, order), (x, y));
     }
+}
 
-    #[test]
-    fn hilbert_consecutive_values_are_adjacent_cells(order in 1u32..=6, raw in any::<u64>()) {
-        // The defining locality property: consecutive curve positions differ
-        // by exactly one step in exactly one dimension.
+#[test]
+fn hilbert_consecutive_values_are_adjacent_cells() {
+    // The defining locality property: consecutive curve positions differ
+    // by exactly one step in exactly one dimension.
+    let mut rng = StdRng::seed_from_u64(13);
+    for _ in 0..CASES {
+        let order = rng.gen_range(1usize..=6) as u32;
         let max = 1u64 << (2 * order);
-        let d = raw % (max - 1);
+        let d = rng.gen::<u64>() % (max - 1);
         let (x0, y0) = hilbert::decode(d, order);
         let (x1, y1) = hilbert::decode(d + 1, order);
         let dist = (x0 as i64 - x1 as i64).abs() + (y0 as i64 - y1 as i64).abs();
-        prop_assert_eq!(dist, 1);
+        assert_eq!(dist, 1);
     }
+}
 
-    #[test]
-    fn zcurve_is_monotone_in_each_coordinate(x in 0u32..1000, y in 0u32..1000, dx in 1u32..100, dy in 1u32..100) {
-        // Increasing either coordinate strictly increases the Z-value when
-        // the other is fixed.
-        prop_assert!(zcurve::encode(x + dx, y) > zcurve::encode(x, y));
-        prop_assert!(zcurve::encode(x, y + dy) > zcurve::encode(x, y));
+#[test]
+fn zcurve_is_monotone_in_each_coordinate() {
+    // Increasing either coordinate strictly increases the Z-value when
+    // the other is fixed.
+    let mut rng = StdRng::seed_from_u64(14);
+    for _ in 0..CASES {
+        let x = rng.gen_range(0usize..1000) as u32;
+        let y = rng.gen_range(0usize..1000) as u32;
+        let dx = rng.gen_range(1usize..100) as u32;
+        let dy = rng.gen_range(1usize..100) as u32;
+        assert!(zcurve::encode(x + dx, y) > zcurve::encode(x, y));
+        assert!(zcurve::encode(x, y + dy) > zcurve::encode(x, y));
     }
+}
 
-    #[test]
-    fn rank_space_is_a_double_permutation(
-        coords in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 2..200)
-    ) {
-        let pts: Vec<Point> = coords
-            .iter()
-            .enumerate()
-            .map(|(i, &(x, y))| Point::with_id(x, y, i as u64))
-            .collect();
+#[test]
+fn rank_space_is_a_double_permutation() {
+    let mut rng = StdRng::seed_from_u64(15);
+    for _ in 0..64 {
+        let pts = rand_points(&mut rng, 2, 200);
         let rs = RankSpace::new(&pts);
         let n = pts.len();
         let mut seen_x = vec![false; n];
         let mut seen_y = vec![false; n];
         for i in 0..n {
             let (rx, ry) = rs.rank(i);
-            prop_assert!((rx as usize) < n && (ry as usize) < n);
-            prop_assert!(!seen_x[rx as usize]);
-            prop_assert!(!seen_y[ry as usize]);
+            assert!((rx as usize) < n && (ry as usize) < n);
+            assert!(!seen_x[rx as usize]);
+            assert!(!seen_y[ry as usize]);
             seen_x[rx as usize] = true;
             seen_y[ry as usize] = true;
         }
     }
+}
 
-    #[test]
-    fn rank_space_curve_values_fit_in_order(
-        coords in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 2..200)
-    ) {
-        let pts: Vec<Point> = coords
-            .iter()
-            .enumerate()
-            .map(|(i, &(x, y))| Point::with_id(x, y, i as u64))
-            .collect();
+#[test]
+fn rank_space_curve_values_fit_in_order() {
+    let mut rng = StdRng::seed_from_u64(16);
+    for _ in 0..64 {
+        let pts = rand_points(&mut rng, 2, 200);
         let rs = RankSpace::new(&pts);
         let bound = 1u64 << (2 * rs.order());
         for curve in [CurveKind::Z, CurveKind::Hilbert] {
             for v in rs.curve_values(curve) {
-                prop_assert!(v < bound);
+                assert!(v < bound);
             }
         }
-        prop_assert!(1usize << rs.order() >= pts.len());
-        prop_assert_eq!(rs.order(), rank_space_order(pts.len()));
+        assert!(1usize << rs.order() >= pts.len());
+        assert_eq!(rs.order(), rank_space_order(pts.len()));
     }
+}
 
-    #[test]
-    fn sorted_permutation_is_stable_under_curve(
-        coords in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 2..100)
-    ) {
-        let pts: Vec<Point> = coords
-            .iter()
-            .enumerate()
-            .map(|(i, &(x, y))| Point::with_id(x, y, i as u64))
-            .collect();
+#[test]
+fn sorted_permutation_is_stable_under_curve() {
+    let mut rng = StdRng::seed_from_u64(17);
+    for _ in 0..64 {
+        let pts = rand_points(&mut rng, 2, 100);
         let rs = RankSpace::new(&pts);
         for curve in [CurveKind::Z, CurveKind::Hilbert] {
             let perm = rs.sorted_permutation(curve);
             let vals: Vec<u64> = perm.iter().map(|&i| rs.curve_value(i, curve)).collect();
-            prop_assert!(vals.windows(2).all(|w| w[0] <= w[1]));
+            assert!(vals.windows(2).all(|w| w[0] <= w[1]));
         }
     }
 }

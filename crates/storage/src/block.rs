@@ -1,7 +1,6 @@
 //! A single data block.
 
 use geom::{Point, Rect};
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a block within a [`crate::BlockStore`].
 pub type BlockId = usize;
@@ -14,7 +13,7 @@ pub type BlockId = usize;
 /// [`Block::is_overflow`] so that they "do not count towards the error
 /// bounds" (§5): query algorithms treat them as extensions of their
 /// predecessor block.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Block {
     entries: Vec<Point>,
     capacity: usize,

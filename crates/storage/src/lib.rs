@@ -8,13 +8,14 @@
 //! * [`Block`] — a fixed-capacity container of points with `prev`/`next`
 //!   links so that consecutive blocks can be scanned like a linked list
 //!   (Fig. 4 of the paper),
-//! * [`BlockStore`] — an arena of blocks with built-in access accounting,
-//! * [`AccessCounter`] — the shared counter behind the accounting.
+//! * [`BlockStore`] — an arena of blocks.
 //!
 //! Everything is kept in main memory, exactly as in the paper's experimental
 //! setup ("We run all indices and algorithms in main memory for ease of
 //! comparison"); block accesses are what an external-memory deployment would
-//! pay.
+//! pay.  Access *accounting* lives with the queries, not here: query code
+//! charges each modelled I/O to its `common::QueryContext`, so the store
+//! stays free of interior mutability and indices built on it are `Sync`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,7 +24,7 @@ mod block;
 mod store;
 
 pub use block::{Block, BlockId};
-pub use store::{AccessCounter, BlockStore};
+pub use store::BlockStore;
 
 /// The block capacity used throughout the paper's experiments (`B = 100`).
 pub const DEFAULT_BLOCK_CAPACITY: usize = 100;

@@ -1,57 +1,22 @@
-//! The block arena with access accounting.
+//! The block arena.
 
 use crate::block::{Block, BlockId};
 use geom::Point;
-use serde::{Deserialize, Serialize};
 use std::ops::Range;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 
-/// A shared counter of block accesses.
-///
-/// Indices hand out clones of this counter to their internal components; the
-/// experiment harness resets it before a query batch and reads it afterwards.
-/// Node accesses of tree baselines are charged to the same counter so that
-/// "# block accesses" is comparable across index families, as in the paper.
-#[derive(Debug, Clone, Default)]
-pub struct AccessCounter(Arc<AtomicU64>);
-
-impl AccessCounter {
-    /// Creates a counter starting at zero.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Adds `n` accesses.
-    #[inline]
-    pub fn add(&self, n: u64) {
-        self.0.fetch_add(n, Ordering::Relaxed);
-    }
-
-    /// Current number of recorded accesses.
-    #[inline]
-    pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
-    }
-
-    /// Resets the counter to zero.
-    #[inline]
-    pub fn reset(&self) {
-        self.0.store(0, Ordering::Relaxed);
-    }
-}
-
-/// An arena of fixed-capacity blocks with access accounting.
+/// An arena of fixed-capacity blocks.
 ///
 /// Blocks are addressed by [`BlockId`]; the store never reuses IDs, so a
 /// block ID handed out during bulk-loading stays valid across insertions and
 /// deletions (deleted points simply leave free slots, as in §5 of the paper).
-#[derive(Debug, Serialize, Deserialize)]
+///
+/// The store itself does **no** access accounting: query code charges block
+/// reads to its `QueryContext` (`common::QueryContext`), which keeps the
+/// store free of interior mutability and therefore `Sync`.
+#[derive(Debug)]
 pub struct BlockStore {
     blocks: Vec<Block>,
     capacity: usize,
-    #[serde(skip, default)]
-    accesses: AccessCounter,
 }
 
 impl BlockStore {
@@ -61,7 +26,6 @@ impl BlockStore {
         Self {
             blocks: Vec::new(),
             capacity,
-            accesses: AccessCounter::new(),
         }
     }
 
@@ -88,21 +52,6 @@ impl BlockStore {
         self.blocks.iter().map(Block::len).sum()
     }
 
-    /// The shared access counter.
-    pub fn access_counter(&self) -> AccessCounter {
-        self.accesses.clone()
-    }
-
-    /// Number of block accesses recorded since the last reset.
-    pub fn block_accesses(&self) -> u64 {
-        self.accesses.get()
-    }
-
-    /// Resets the access counter.
-    pub fn reset_stats(&self) {
-        self.accesses.reset();
-    }
-
     /// Allocates a new empty block and returns its ID.
     pub fn allocate(&mut self) -> BlockId {
         let id = self.blocks.len();
@@ -110,30 +59,17 @@ impl BlockStore {
         id
     }
 
-    /// Reads a block, charging one block access.
+    /// Shared access to a block.  Query code that models this as an I/O must
+    /// charge it to its `QueryContext` (`count_block`); maintenance reads
+    /// (MBR recomputation, rebuilds) go uncharged, as in the paper.
     #[inline]
-    pub fn read(&self, id: BlockId) -> &Block {
-        self.accesses.add(1);
+    pub fn block(&self, id: BlockId) -> &Block {
         &self.blocks[id]
     }
 
-    /// Reads a block without charging an access (used for maintenance such
-    /// as MBR recomputation, which the paper does not count as query I/O).
+    /// Mutable access to a block.
     #[inline]
-    pub fn peek(&self, id: BlockId) -> &Block {
-        &self.blocks[id]
-    }
-
-    /// Mutable access to a block, charging one block access.
-    #[inline]
-    pub fn write(&mut self, id: BlockId) -> &mut Block {
-        self.accesses.add(1);
-        &mut self.blocks[id]
-    }
-
-    /// Mutable access without charging an access.
-    #[inline]
-    pub fn peek_mut(&mut self, id: BlockId) -> &mut Block {
+    pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
         &mut self.blocks[id]
     }
 
@@ -205,8 +141,7 @@ impl BlockStore {
         ids
     }
 
-    /// Iterates over all blocks without charging accesses (used by rebuild
-    /// and verification code).
+    /// Iterates over all blocks (used by rebuild and verification code).
     pub fn iter(&self) -> impl Iterator<Item = (BlockId, &Block)> {
         self.blocks.iter().enumerate()
     }
@@ -232,9 +167,9 @@ mod tests {
         let mut store = BlockStore::new(10);
         let range = store.pack(&pts(25));
         assert_eq!(range, 0..3);
-        assert_eq!(store.peek(0).len(), 10);
-        assert_eq!(store.peek(1).len(), 10);
-        assert_eq!(store.peek(2).len(), 5);
+        assert_eq!(store.block(0).len(), 10);
+        assert_eq!(store.block(1).len(), 10);
+        assert_eq!(store.block(2).len(), 5);
         assert_eq!(store.total_points(), 25);
     }
 
@@ -242,11 +177,11 @@ mod tests {
     fn pack_links_blocks_in_order() {
         let mut store = BlockStore::new(4);
         store.pack(&pts(12));
-        assert_eq!(store.peek(0).prev(), None);
-        assert_eq!(store.peek(0).next(), Some(1));
-        assert_eq!(store.peek(1).prev(), Some(0));
-        assert_eq!(store.peek(1).next(), Some(2));
-        assert_eq!(store.peek(2).next(), None);
+        assert_eq!(store.block(0).prev(), None);
+        assert_eq!(store.block(0).next(), Some(1));
+        assert_eq!(store.block(1).prev(), Some(0));
+        assert_eq!(store.block(1).next(), Some(2));
+        assert_eq!(store.block(2).next(), None);
     }
 
     #[test]
@@ -256,8 +191,8 @@ mod tests {
         let second = store.pack(&pts(4));
         assert_eq!(first, 0..2);
         assert_eq!(second, 2..3);
-        assert_eq!(store.peek(1).next(), Some(2));
-        assert_eq!(store.peek(2).prev(), Some(1));
+        assert_eq!(store.block(1).next(), Some(2));
+        assert_eq!(store.block(2).prev(), Some(1));
     }
 
     #[test]
@@ -269,39 +204,16 @@ mod tests {
     }
 
     #[test]
-    fn read_and_write_charge_accesses_but_peek_does_not() {
-        let mut store = BlockStore::new(4);
-        store.pack(&pts(8));
-        assert_eq!(store.block_accesses(), 0);
-        let _ = store.read(0);
-        let _ = store.read(1);
-        let _ = store.peek(0);
-        assert_eq!(store.block_accesses(), 2);
-        let _ = store.write(0);
-        assert_eq!(store.block_accesses(), 3);
-        store.reset_stats();
-        assert_eq!(store.block_accesses(), 0);
-    }
-
-    #[test]
-    fn access_counter_is_shared() {
-        let store = BlockStore::new(4);
-        let counter = store.access_counter();
-        counter.add(5);
-        assert_eq!(store.block_accesses(), 5);
-    }
-
-    #[test]
     fn insert_overflow_after_splices_the_chain() {
         let mut store = BlockStore::new(4);
         store.pack(&pts(8)); // blocks 0 and 1
         let ov = store.insert_overflow_after(0);
         assert_eq!(ov, 2);
-        assert!(store.peek(ov).is_overflow());
-        assert_eq!(store.peek(0).next(), Some(ov));
-        assert_eq!(store.peek(ov).prev(), Some(0));
-        assert_eq!(store.peek(ov).next(), Some(1));
-        assert_eq!(store.peek(1).prev(), Some(ov));
+        assert!(store.block(ov).is_overflow());
+        assert_eq!(store.block(0).next(), Some(ov));
+        assert_eq!(store.block(ov).prev(), Some(0));
+        assert_eq!(store.block(ov).next(), Some(1));
+        assert_eq!(store.block(1).prev(), Some(ov));
     }
 
     #[test]
@@ -319,38 +231,13 @@ mod tests {
     fn size_bytes_scales_with_block_count() {
         let mut store = BlockStore::new(10);
         store.pack(&pts(25));
-        let one = store.peek(0).size_bytes();
+        let one = store.block(0).size_bytes();
         assert_eq!(store.size_bytes(), 3 * one);
     }
-}
-
-#[cfg(test)]
-mod serde_tests {
-    use super::*;
-    use geom::Point;
 
     #[test]
-    fn block_store_serde_round_trip_preserves_contents_and_links() {
-        let mut store = BlockStore::new(4);
-        let pts: Vec<Point> = (0..10)
-            .map(|i| Point::with_id(i as f64 / 10.0, 0.5, i as u64))
-            .collect();
-        store.pack(&pts);
-        let ov = store.insert_overflow_after(0);
-        store.peek_mut(ov).push(Point::with_id(0.99, 0.99, 99));
-
-        let json = serde_json::to_string(&store).expect("serialise");
-        let restored: BlockStore = serde_json::from_str(&json).expect("deserialise");
-
-        assert_eq!(restored.len(), store.len());
-        assert_eq!(restored.capacity(), store.capacity());
-        assert_eq!(restored.total_points(), store.total_points());
-        // Chain structure survives, including the overflow splice.
-        assert_eq!(restored.peek(0).next(), Some(ov));
-        assert_eq!(restored.peek(ov).prev(), Some(0));
-        assert!(restored.peek(ov).is_overflow());
-        assert_eq!(restored.overflow_chain(0), store.overflow_chain(0));
-        // The access counter starts fresh in the restored store.
-        assert_eq!(restored.block_accesses(), 0);
+    fn block_store_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BlockStore>();
     }
 }

@@ -1,60 +1,54 @@
 //! "Search this area": window queries over a Tiger-like geographic data set,
 //! comparing the approximate RSMI answer, the exact RSMIa traversal, and a
-//! traditional R-tree, and reporting recall.
+//! traditional R-tree, and reporting recall.  All three variants come from
+//! the dynamic registry — no concrete index types appear in this example.
 //!
-//! Run with `cargo run --release -p rsmi --example map_window`.
+//! Run with `cargo run --release --example map_window`.
 
-use baselines::HilbertRTree;
-use common::{brute_force, metrics, SpatialIndex};
+use common::{brute_force, metrics, QueryContext};
 use datagen::{generate, queries, Distribution};
-use rsmi::{Rsmi, RsmiConfig};
+use registry::{build_index, IndexConfig, IndexKind};
 
 fn main() {
     let n = 100_000;
     let features = generate(Distribution::TigerLike, n, 3);
     println!("indexing {n} Tiger-like geographic features…");
 
-    let rsmi = Rsmi::build(
-        features.clone(),
-        RsmiConfig::default().with_partition_threshold(5_000).with_epochs(25),
-    );
-    let hrr = HilbertRTree::build(features.clone(), 100);
+    let config = IndexConfig::default()
+        .with_partition_threshold(5_000)
+        .with_epochs(25);
+    let kinds = [IndexKind::Rsmi, IndexKind::Rsmia, IndexKind::Hrr];
+    let indices: Vec<_> = kinds
+        .iter()
+        .map(|&kind| build_index(kind, &features, &config))
+        .collect();
 
     // Map viewports of different sizes, positioned where the data is.
     for &area_pct in &[0.01f64, 0.16] {
-        let spec = queries::WindowSpec { area_percent: area_pct, aspect_ratio: 2.0 };
-        let windows = queries::window_queries(&features, spec, 100, 11);
-
-        let mut rows = Vec::new();
-        // RSMI approximate.
-        let start = std::time::Instant::now();
-        let approx: Vec<_> = windows.iter().map(|w| rsmi.window_query(w)).collect();
-        let t_approx = start.elapsed().as_secs_f64() * 1e3 / windows.len() as f64;
-        // RSMIa exact.
-        let start = std::time::Instant::now();
-        let exact: Vec<_> = windows.iter().map(|w| rsmi.window_query_exact(w)).collect();
-        let t_exact = start.elapsed().as_secs_f64() * 1e3 / windows.len() as f64;
-        // HRR.
-        let start = std::time::Instant::now();
-        let tree: Vec<_> = windows.iter().map(|w| hrr.window_query(w)).collect();
-        let t_tree = start.elapsed().as_secs_f64() * 1e3 / windows.len() as f64;
-
-        let recall_of = |answers: &[Vec<geom::Point>]| {
-            let mut recalls = Vec::new();
-            for (w, got) in windows.iter().zip(answers) {
-                let truth = brute_force::window_query(&features, w);
-                recalls.push(metrics::recall(got, &truth));
-            }
-            metrics::mean(&recalls)
+        let spec = queries::WindowSpec {
+            area_percent: area_pct,
+            aspect_ratio: 2.0,
         };
-        rows.push(("RSMI", t_approx, recall_of(&approx)));
-        rows.push(("RSMIa", t_exact, recall_of(&exact)));
-        rows.push(("HRR", t_tree, recall_of(&tree)));
+        let windows = queries::window_queries(&features, spec, 100, 11);
 
         println!("\nviewport area = {area_pct}% of the map, aspect ratio 2:1");
         println!("{:<8} {:>14} {:>10}", "index", "avg time (ms)", "recall");
-        for (name, t, r) in rows {
-            println!("{name:<8} {t:>14.3} {r:>10.3}");
+        for index in &indices {
+            let mut cx = QueryContext::new();
+            let start = std::time::Instant::now();
+            let answers = index.window_queries(&windows, &mut cx);
+            let avg_ms = start.elapsed().as_secs_f64() * 1e3 / windows.len() as f64;
+
+            let mut recalls = Vec::new();
+            for (w, got) in windows.iter().zip(&answers) {
+                let truth = brute_force::window_query(&features, w);
+                recalls.push(metrics::recall(got, &truth));
+            }
+            println!(
+                "{:<8} {avg_ms:>14.3} {:>10.3}",
+                index.name(),
+                metrics::mean(&recalls)
+            );
         }
     }
 }

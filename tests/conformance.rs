@@ -1,0 +1,247 @@
+//! Conformance suite for the uniform query API: one shared test body runs
+//! point/window/kNN/insert/delete/stats invariants against **every**
+//! [`IndexKind`] built through the dynamic registry, so all index families
+//! are held to the same contract.
+
+use common::{brute_force, QueryContext, SpatialIndex};
+use datagen::{generate, queries, Distribution};
+use geom::{Point, Rect};
+use registry::{build_index, IndexConfig, IndexKind};
+
+fn cfg() -> IndexConfig {
+    IndexConfig::fast()
+}
+
+fn windows(data: &[Point]) -> Vec<Rect> {
+    queries::window_queries(data, queries::WindowSpec::default(), 20, 9)
+}
+
+/// The shared conformance body: every invariant an index family must
+/// satisfy, exact or approximate.
+fn conformance_body(kind: IndexKind) {
+    let data = generate(Distribution::skewed_default(), 1_500, 71);
+    let mut index = build_index(kind, &data, &cfg());
+    let mut cx = QueryContext::new();
+
+    // Identity.
+    assert_eq!(index.name(), kind.name());
+    assert_eq!(index.len(), data.len());
+    assert!(!index.is_empty());
+    assert!(index.size_bytes() > 0);
+    assert!(index.height() >= 1);
+    assert_eq!(index.model_count() > 0, kind.is_learned());
+
+    // Point queries: exact for every family.
+    for p in data.iter().step_by(13) {
+        assert_eq!(
+            index.point_query(p, &mut cx).map(|f| f.id),
+            Some(p.id),
+            "{} lost {p:?}",
+            kind.name()
+        );
+    }
+    assert!(
+        index
+            .point_query(&Point::new(0.123456, 0.654321), &mut cx)
+            .is_none(),
+        "{} invented a point",
+        kind.name()
+    );
+
+    // Per-query stats: a point query must touch at least one block, and the
+    // context must accumulate across queries.
+    let before = cx.take_stats();
+    assert!(
+        before.blocks_touched > 0,
+        "{} charged no blocks",
+        kind.name()
+    );
+    let _ = index.point_query(&data[0], &mut cx);
+    let one = cx.take_stats();
+    assert!(one.total_accesses() > 0);
+    let _ = index.point_query(&data[0], &mut cx);
+    let _ = index.point_query(&data[0], &mut cx);
+    assert_eq!(cx.take_stats().total_accesses(), 2 * one.total_accesses());
+
+    // Window queries: never a false positive; exact families match brute
+    // force; the visitor and Vec forms agree.
+    for w in windows(&data) {
+        let got = index.window_query(&w, &mut cx);
+        for p in &got {
+            assert!(
+                w.contains(p),
+                "{} returned a point outside the window",
+                kind.name()
+            );
+        }
+        let mut visited = Vec::new();
+        index.window_query_visit(&w, &mut cx, &mut |p| visited.push(*p));
+        assert_eq!(got, visited, "{} visitor/Vec mismatch", kind.name());
+        if kind.exact_windows() {
+            let mut truth: Vec<u64> = brute_force::window_query(&data, &w)
+                .iter()
+                .map(|p| p.id)
+                .collect();
+            let mut ids: Vec<u64> = got.iter().map(|p| p.id).collect();
+            truth.sort_unstable();
+            ids.sort_unstable();
+            assert_eq!(ids, truth, "{} window answer differs", kind.name());
+        }
+    }
+
+    // kNN queries: min(k, n) *distinct* results, sorted by distance; exact
+    // families match brute-force distances.
+    for q in [Point::new(0.3, 0.1), Point::new(0.9, 0.8)] {
+        for k in [1usize, 10, 2_000] {
+            let got = index.knn_query(&q, k, &mut cx);
+            assert_eq!(got.len(), k.min(data.len()), "{} k={k}", kind.name());
+            let mut ids: Vec<u64> = got.iter().map(|p| p.id).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(
+                ids.len(),
+                got.len(),
+                "{} returned duplicate kNN results for k={k}",
+                kind.name()
+            );
+            for pair in got.windows(2) {
+                assert!(
+                    pair[0].dist(&q) <= pair[1].dist(&q) + 1e-12,
+                    "{} kNN order broken",
+                    kind.name()
+                );
+            }
+            if kind.exact_knn() {
+                let truth = brute_force::knn_query(&data, &q, k);
+                for (t, g) in truth.iter().zip(&got) {
+                    assert!(
+                        (t.dist(&q) - g.dist(&q)).abs() < 1e-12,
+                        "{} kNN distance mismatch",
+                        kind.name()
+                    );
+                }
+            }
+        }
+    }
+
+    // Batch entry points agree with per-call queries.
+    let probe: Vec<Point> = data.iter().step_by(29).copied().collect();
+    let batch = index.point_queries(&probe, &mut cx);
+    let single: Vec<_> = probe
+        .iter()
+        .map(|q| index.point_query(q, &mut cx))
+        .collect();
+    assert_eq!(batch, single, "{} batch/single mismatch", kind.name());
+
+    // Insert: findable afterwards, count grows.
+    let extra = Point::with_id(0.42421, 0.13137, 900_001);
+    index.insert(extra);
+    assert_eq!(index.len(), data.len() + 1, "{}", kind.name());
+    assert_eq!(
+        index.point_query(&extra, &mut cx).map(|f| f.id),
+        Some(extra.id),
+        "{} lost an inserted point",
+        kind.name()
+    );
+
+    // Delete: removed, count shrinks, second delete fails.
+    assert!(index.delete(&extra), "{}", kind.name());
+    assert!(
+        index.point_query(&extra, &mut cx).is_none(),
+        "{}",
+        kind.name()
+    );
+    assert!(!index.delete(&extra), "{}", kind.name());
+    assert_eq!(index.len(), data.len(), "{}", kind.name());
+
+    // Rebuild is at worst a no-op: content survives.
+    index.rebuild();
+    assert_eq!(
+        index.len(),
+        data.len(),
+        "{} rebuild lost points",
+        kind.name()
+    );
+    for p in data.iter().step_by(97) {
+        assert!(
+            index.point_query(p, &mut cx).is_some(),
+            "{} rebuild lost {p:?}",
+            kind.name()
+        );
+    }
+
+    // Empty indices answer queries gracefully.
+    let empty = build_index(kind, &[], &cfg());
+    assert!(empty.is_empty());
+    assert!(empty.point_query(&Point::new(0.5, 0.5), &mut cx).is_none());
+    assert!(empty.window_query(&Rect::unit(), &mut cx).is_empty());
+    assert!(empty
+        .knn_query(&Point::new(0.5, 0.5), 3, &mut cx)
+        .is_empty());
+}
+
+macro_rules! conformance_tests {
+    ($($name:ident => $kind:expr),+ $(,)?) => {
+        $(
+            #[test]
+            fn $name() {
+                conformance_body($kind);
+            }
+        )+
+    };
+}
+
+conformance_tests! {
+    conformance_grid => IndexKind::Grid,
+    conformance_hrr => IndexKind::Hrr,
+    conformance_kdb => IndexKind::Kdb,
+    conformance_rstar => IndexKind::RStar,
+    conformance_rsmi => IndexKind::Rsmi,
+    conformance_rsmia => IndexKind::Rsmia,
+    conformance_zm => IndexKind::Zm,
+}
+
+#[test]
+fn registry_covers_every_kind_exactly_once() {
+    let all = IndexKind::all();
+    assert_eq!(all.len(), 7);
+    let names: std::collections::HashSet<&str> = all.iter().map(IndexKind::name).collect();
+    assert_eq!(names.len(), 7, "duplicate display names");
+}
+
+/// Compile-time assertion that no index type relies on interior mutability
+/// for statistics: every concrete index and the boxed trait object are
+/// `Send + Sync`.
+#[test]
+fn every_index_type_is_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync + ?Sized>() {}
+    assert_send_sync::<baselines::GridFile>();
+    assert_send_sync::<baselines::HilbertRTree>();
+    assert_send_sync::<baselines::KdbTree>();
+    assert_send_sync::<baselines::RStarTree>();
+    assert_send_sync::<baselines::ZOrderModel>();
+    assert_send_sync::<rsmi::Rsmi>();
+    assert_send_sync::<rsmi::RsmiExact>();
+    assert_send_sync::<dyn SpatialIndex>();
+    assert_send_sync::<Box<dyn SpatialIndex>>();
+}
+
+/// The redesign's point: one shared index, many threads, each with its own
+/// per-query statistics.
+#[test]
+fn shared_index_serves_concurrent_queries() {
+    let data = generate(Distribution::Uniform, 2_000, 5);
+    let index = build_index(IndexKind::Rsmi, &data, &cfg());
+    let index_ref: &dyn SpatialIndex = index.as_ref();
+    std::thread::scope(|scope| {
+        for chunk in data.chunks(500) {
+            scope.spawn(move || {
+                let mut cx = QueryContext::new();
+                for p in chunk.iter().step_by(7) {
+                    assert_eq!(index_ref.point_query(p, &mut cx).map(|f| f.id), Some(p.id));
+                }
+                assert!(cx.stats.blocks_touched > 0);
+            });
+        }
+    });
+}

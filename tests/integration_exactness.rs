@@ -1,18 +1,20 @@
 //! Cross-index integration tests: every index family must agree with brute
-//! force on the queries that are supposed to be exact, on the same workloads.
+//! force on the queries that are supposed to be exact, on the same
+//! workloads.  Indices are constructed exclusively through the registry.
 
-use baselines::{GridFile, HilbertRTree, KdbTree, RStarTree};
-use common::{brute_force, SpatialIndex};
+use common::{brute_force, QueryContext};
 use datagen::{generate, queries, Distribution};
-use rsmi::{Rsmi, RsmiConfig};
+use registry::{build_index, IndexConfig, IndexKind};
 
-fn exact_indices(data: &[geom::Point]) -> Vec<Box<dyn SpatialIndex>> {
-    vec![
-        Box::new(GridFile::build(data.to_vec(), 50)),
-        Box::new(HilbertRTree::build(data.to_vec(), 50)),
-        Box::new(KdbTree::build(data.to_vec(), 50)),
-        Box::new(RStarTree::build(data.to_vec(), 50)),
-    ]
+fn cfg() -> IndexConfig {
+    IndexConfig::fast()
+}
+
+fn exact_window_kinds() -> Vec<IndexKind> {
+    IndexKind::all()
+        .into_iter()
+        .filter(IndexKind::exact_windows)
+        .collect()
 }
 
 fn sorted_ids(points: &[geom::Point]) -> Vec<u64> {
@@ -23,14 +25,16 @@ fn sorted_ids(points: &[geom::Point]) -> Vec<u64> {
 
 #[test]
 fn every_index_answers_point_queries_for_all_distributions() {
+    let mut cx = QueryContext::new();
     for dist in Distribution::all() {
         let data = generate(dist, 3_000, 13);
-        let mut indices = exact_indices(&data);
-        indices.push(Box::new(Rsmi::build(data.clone(), RsmiConfig::fast())));
-        for index in &indices {
+        // RSMIa's point query is the identical code path to RSMI's, so skip
+        // the duplicate (expensive) learned build.
+        for kind in IndexKind::without_rsmia() {
+            let index = build_index(kind, &data, &cfg());
             for p in data.iter().step_by(29) {
                 assert_eq!(
-                    index.point_query(p).map(|f| f.id),
+                    index.point_query(p, &mut cx).map(|f| f.id),
                     Some(p.id),
                     "{} lost point {:?} on {}",
                     index.name(),
@@ -45,20 +49,27 @@ fn every_index_answers_point_queries_for_all_distributions() {
 #[test]
 fn exact_window_queries_agree_with_brute_force() {
     let data = generate(Distribution::TigerLike, 4_000, 17);
-    let windows = queries::window_queries(&data, queries::WindowSpec { area_percent: 0.5, aspect_ratio: 1.0 }, 25, 3);
-    let indices = exact_indices(&data);
-    let rsmi = Rsmi::build(data.clone(), RsmiConfig::fast());
-    for w in &windows {
-        let truth = sorted_ids(&brute_force::window_query(&data, w));
-        for index in &indices {
+    let windows = queries::window_queries(
+        &data,
+        queries::WindowSpec {
+            area_percent: 0.5,
+            aspect_ratio: 1.0,
+        },
+        25,
+        3,
+    );
+    let mut cx = QueryContext::new();
+    for kind in exact_window_kinds() {
+        let index = build_index(kind, &data, &cfg());
+        for w in &windows {
+            let truth = sorted_ids(&brute_force::window_query(&data, w));
             assert_eq!(
-                sorted_ids(&index.window_query(w)),
+                sorted_ids(&index.window_query(w, &mut cx)),
                 truth,
                 "{} window answer differs",
                 index.name()
             );
         }
-        assert_eq!(sorted_ids(&rsmi.window_query_exact(w)), truth, "RSMIa differs");
     }
 }
 
@@ -66,14 +77,20 @@ fn exact_window_queries_agree_with_brute_force() {
 fn exact_knn_distances_agree_with_brute_force() {
     let data = generate(Distribution::OsmLike, 3_000, 19);
     let qs = queries::knn_queries(&data, 20, 7);
-    let indices = exact_indices(&data);
-    let rsmi = Rsmi::build(data.clone(), RsmiConfig::fast());
-    for q in &qs {
-        for k in [1usize, 10, 40] {
-            let truth = brute_force::knn_query(&data, q, k);
-            for index in &indices {
-                let got = index.knn_query(q, k);
-                assert_eq!(got.len(), k, "{} returned {} of {k}", index.name(), got.len());
+    let mut cx = QueryContext::new();
+    for kind in IndexKind::all().into_iter().filter(IndexKind::exact_knn) {
+        let index = build_index(kind, &data, &cfg());
+        for q in &qs {
+            for k in [1usize, 10, 40] {
+                let truth = brute_force::knn_query(&data, q, k);
+                let got = index.knn_query(q, k, &mut cx);
+                assert_eq!(
+                    got.len(),
+                    k,
+                    "{} returned {} of {k}",
+                    index.name(),
+                    got.len()
+                );
                 for (t, g) in truth.iter().zip(&got) {
                     assert!(
                         (t.dist(q) - g.dist(q)).abs() < 1e-12,
@@ -82,10 +99,6 @@ fn exact_knn_distances_agree_with_brute_force() {
                     );
                 }
             }
-            let got = rsmi.knn_query_exact(q, k);
-            for (t, g) in truth.iter().zip(&got) {
-                assert!((t.dist(q) - g.dist(q)).abs() < 1e-12, "RSMIa kNN distance mismatch");
-            }
         }
     }
 }
@@ -93,15 +106,18 @@ fn exact_knn_distances_agree_with_brute_force() {
 #[test]
 fn learned_indices_never_return_false_positives_for_windows() {
     let data = generate(Distribution::Normal, 4_000, 23);
-    let rsmi = Rsmi::build(data.clone(), RsmiConfig::fast());
-    let zm = baselines::ZOrderModel::build(data.clone(), baselines::zm::ZmConfig::fast());
     let windows = queries::window_queries(&data, queries::WindowSpec::default(), 50, 5);
-    for w in &windows {
-        for p in rsmi.window_query(w) {
-            assert!(w.contains(&p), "RSMI returned a point outside the window");
-        }
-        for p in zm.window_query(w) {
-            assert!(w.contains(&p), "ZM returned a point outside the window");
+    let mut cx = QueryContext::new();
+    for kind in [IndexKind::Rsmi, IndexKind::Zm] {
+        let index = build_index(kind, &data, &cfg());
+        for w in &windows {
+            index.window_query_visit(w, &mut cx, &mut |p| {
+                assert!(
+                    w.contains(p),
+                    "{} returned a point outside the window",
+                    kind.name()
+                );
+            });
         }
     }
 }

@@ -1,115 +1,149 @@
-//! Property-based integration tests across crates: index invariants that must
-//! hold for arbitrary (small) point sets and query shapes.
+//! Property-style integration tests across crates: index invariants that
+//! must hold for arbitrary (small) point sets and query shapes, driven by a
+//! seeded pseudo-random sampler (the environment has no `proptest`; see
+//! `vendor/README.md`).  Indices are constructed through the registry.
 
-use common::brute_force;
+use common::{brute_force, QueryContext};
 use datagen::{generate, Distribution};
 use geom::{Point, Rect};
-use proptest::prelude::*;
-use rsmi::{Rsmi, RsmiConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use registry::{build_index, IndexConfig, IndexKind};
 
-fn arb_points(max: usize) -> impl Strategy<Value = Vec<Point>> {
-    prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 1..max).prop_map(|coords| {
-        coords
-            .into_iter()
-            .enumerate()
-            .map(|(i, (x, y))| Point::with_id(x, y, i as u64))
-            .collect()
-    })
+const CASES: usize = 24;
+
+fn rand_points(rng: &mut StdRng, max: usize) -> Vec<Point> {
+    let n = rng.gen_range(1usize..max);
+    (0..n)
+        .map(|i| Point::with_id(rng.gen::<f64>(), rng.gen::<f64>(), i as u64))
+        .collect()
 }
 
-fn tiny_config() -> RsmiConfig {
-    RsmiConfig {
+fn rand_window(rng: &mut StdRng) -> Rect {
+    let x = rng.gen::<f64>();
+    let y = rng.gen::<f64>();
+    let w = rng.gen_range(0.0f64..0.5);
+    let h = rng.gen_range(0.0f64..0.5);
+    Rect::new(x, y, (x + w).min(1.0), (y + h).min(1.0))
+}
+
+fn tiny_config() -> IndexConfig {
+    IndexConfig {
         block_capacity: 8,
         partition_threshold: 64,
         epochs: 8,
         learning_rate: 0.4,
-        ..RsmiConfig::default()
+        ..IndexConfig::default()
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn rsmi_point_queries_have_no_false_negatives(points in arb_points(300)) {
-        let index = Rsmi::build(points.clone(), tiny_config());
+#[test]
+fn rsmi_point_queries_have_no_false_negatives() {
+    let mut rng = StdRng::seed_from_u64(101);
+    let mut cx = QueryContext::new();
+    for _ in 0..CASES {
+        let points = rand_points(&mut rng, 300);
+        let index = build_index(IndexKind::Rsmi, &points, &tiny_config());
         for p in &points {
             // Duplicates of the same location are allowed to return any of
             // the co-located points.
-            let found = index.point_query(p);
-            prop_assert!(found.is_some(), "lost {:?}", p);
-            prop_assert!(found.unwrap().same_location(p));
+            let found = index.point_query(p, &mut cx);
+            assert!(found.is_some(), "lost {:?}", p);
+            assert!(found.unwrap().same_location(p));
         }
     }
+}
 
-    #[test]
-    fn rsmi_window_queries_have_no_false_positives(
-        points in arb_points(300),
-        win in (0.0f64..1.0, 0.0f64..1.0, 0.0f64..0.5, 0.0f64..0.5)
-    ) {
-        let index = Rsmi::build(points, tiny_config());
-        let window = Rect::new(win.0, win.1, (win.0 + win.2).min(1.0), (win.1 + win.3).min(1.0));
-        for p in index.window_query(&window) {
-            prop_assert!(window.contains(&p));
-        }
+#[test]
+fn rsmi_window_queries_have_no_false_positives() {
+    let mut rng = StdRng::seed_from_u64(102);
+    let mut cx = QueryContext::new();
+    for _ in 0..CASES {
+        let points = rand_points(&mut rng, 300);
+        let index = build_index(IndexKind::Rsmi, &points, &tiny_config());
+        let window = rand_window(&mut rng);
+        index.window_query_visit(&window, &mut cx, &mut |p| {
+            assert!(window.contains(p));
+        });
     }
+}
 
-    #[test]
-    fn rsmia_window_queries_are_exact(
-        points in arb_points(300),
-        win in (0.0f64..1.0, 0.0f64..1.0, 0.0f64..0.5, 0.0f64..0.5)
-    ) {
-        let index = Rsmi::build(points.clone(), tiny_config());
-        let window = Rect::new(win.0, win.1, (win.0 + win.2).min(1.0), (win.1 + win.3).min(1.0));
-        let mut truth: Vec<u64> = brute_force::window_query(&points, &window).iter().map(|p| p.id).collect();
-        let mut got: Vec<u64> = index.window_query_exact(&window).iter().map(|p| p.id).collect();
+#[test]
+fn rsmia_window_queries_are_exact() {
+    let mut rng = StdRng::seed_from_u64(103);
+    let mut cx = QueryContext::new();
+    for _ in 0..CASES {
+        let points = rand_points(&mut rng, 300);
+        let index = build_index(IndexKind::Rsmia, &points, &tiny_config());
+        let window = rand_window(&mut rng);
+        let mut truth: Vec<u64> = brute_force::window_query(&points, &window)
+            .iter()
+            .map(|p| p.id)
+            .collect();
+        let mut got: Vec<u64> = index
+            .window_query(&window, &mut cx)
+            .iter()
+            .map(|p| p.id)
+            .collect();
         truth.sort_unstable();
         got.sort_unstable();
-        prop_assert_eq!(got, truth);
+        assert_eq!(got, truth);
     }
+}
 
-    #[test]
-    fn rsmi_knn_returns_min_k_n_points_sorted_by_distance(
-        points in arb_points(200),
-        qx in 0.0f64..1.0,
-        qy in 0.0f64..1.0,
-        k in 1usize..20
-    ) {
-        let index = Rsmi::build(points.clone(), tiny_config());
-        let q = Point::new(qx, qy);
-        let got = index.knn_query(&q, k);
-        prop_assert_eq!(got.len(), k.min(points.len()));
+#[test]
+fn rsmi_knn_returns_min_k_n_points_sorted_by_distance() {
+    let mut rng = StdRng::seed_from_u64(104);
+    let mut cx = QueryContext::new();
+    for _ in 0..CASES {
+        let points = rand_points(&mut rng, 200);
+        let approx = build_index(IndexKind::Rsmi, &points, &tiny_config());
+        let exact = build_index(IndexKind::Rsmia, &points, &tiny_config());
+        let q = Point::new(rng.gen::<f64>(), rng.gen::<f64>());
+        let k = rng.gen_range(1usize..20);
+        let got = approx.knn_query(&q, k, &mut cx);
+        assert_eq!(got.len(), k.min(points.len()));
         for pair in got.windows(2) {
-            prop_assert!(pair[0].dist(&q) <= pair[1].dist(&q) + 1e-12);
+            assert!(pair[0].dist(&q) <= pair[1].dist(&q) + 1e-12);
         }
         // Exact variant matches brute-force distances.
-        let exact = index.knn_query_exact(&q, k);
+        let exact_got = exact.knn_query(&q, k, &mut cx);
         let truth = brute_force::knn_query(&points, &q, k);
-        for (t, g) in truth.iter().zip(&exact) {
-            prop_assert!((t.dist(&q) - g.dist(&q)).abs() < 1e-12);
+        for (t, g) in truth.iter().zip(&exact_got) {
+            assert!((t.dist(&q) - g.dist(&q)).abs() < 1e-12);
         }
     }
+}
 
-    #[test]
-    fn baseline_window_queries_agree_with_each_other(
-        seed in 0u64..50,
-        win in (0.0f64..1.0, 0.0f64..1.0, 0.0f64..0.4, 0.0f64..0.4)
-    ) {
+#[test]
+fn baseline_window_queries_agree_with_each_other() {
+    let mut rng = StdRng::seed_from_u64(105);
+    let mut cx = QueryContext::new();
+    let cfg = IndexConfig {
+        block_capacity: 16,
+        ..tiny_config()
+    };
+    for _ in 0..CASES {
+        let seed = rng.gen_range(0usize..50) as u64;
         let points = generate(Distribution::skewed_default(), 400, seed);
-        let window = Rect::new(win.0, win.1, (win.0 + win.2).min(1.0), (win.1 + win.3).min(1.0));
-        let grid = baselines::GridFile::build(points.clone(), 16);
-        let kdb = baselines::KdbTree::build(points.clone(), 16);
-        let hrr = baselines::HilbertRTree::build(points.clone(), 16);
+        let window = rand_window(&mut rng);
         let truth = {
-            let mut ids: Vec<u64> = brute_force::window_query(&points, &window).iter().map(|p| p.id).collect();
+            let mut ids: Vec<u64> = brute_force::window_query(&points, &window)
+                .iter()
+                .map(|p| p.id)
+                .collect();
             ids.sort_unstable();
             ids
         };
-        use common::SpatialIndex;
-        for index in [&grid as &dyn SpatialIndex, &kdb, &hrr] {
-            let mut ids: Vec<u64> = index.window_query(&window).iter().map(|p| p.id).collect();
+        for kind in [IndexKind::Grid, IndexKind::Kdb, IndexKind::Hrr] {
+            let index = build_index(kind, &points, &cfg);
+            let mut ids: Vec<u64> = index
+                .window_query(&window, &mut cx)
+                .iter()
+                .map(|p| p.id)
+                .collect();
             ids.sort_unstable();
-            prop_assert_eq!(&ids, &truth, "{} disagrees", index.name());
+            assert_eq!(&ids, &truth, "{} disagrees", index.name());
         }
     }
 }

@@ -1,26 +1,23 @@
 //! Update-handling integration tests (§5 and §6.2.5): insertions and
-//! deletions preserve queryability for every index family.
+//! deletions preserve queryability for every index family built through the
+//! registry.
 
-use baselines::{GridFile, HilbertRTree, KdbTree, RStarTree, ZOrderModel};
-use common::SpatialIndex;
+use common::{QueryContext, SpatialIndex};
 use datagen::{generate, queries, Distribution};
-use rsmi::{Rsmi, RsmiConfig};
+use registry::{build_index, IndexConfig, IndexKind};
 
 fn all_indices(data: &[geom::Point]) -> Vec<Box<dyn SpatialIndex>> {
-    vec![
-        Box::new(GridFile::build(data.to_vec(), 50)),
-        Box::new(HilbertRTree::build(data.to_vec(), 50)),
-        Box::new(KdbTree::build(data.to_vec(), 50)),
-        Box::new(RStarTree::build(data.to_vec(), 50)),
-        Box::new(Rsmi::build(data.to_vec(), RsmiConfig::fast())),
-        Box::new(ZOrderModel::build(data.to_vec(), baselines::zm::ZmConfig::fast())),
-    ]
+    IndexKind::without_rsmia()
+        .into_iter()
+        .map(|kind| build_index(kind, data, &IndexConfig::fast()))
+        .collect()
 }
 
 #[test]
 fn inserted_points_are_findable_in_every_index() {
     let data = generate(Distribution::skewed_default(), 2_000, 3);
     let inserts = queries::insertion_points(&data, 400, 5);
+    let mut cx = QueryContext::new();
     for mut index in all_indices(&data) {
         for p in &inserts {
             index.insert(*p);
@@ -28,7 +25,7 @@ fn inserted_points_are_findable_in_every_index() {
         assert_eq!(index.len(), 2_400, "{} count wrong", index.name());
         for p in &inserts {
             assert_eq!(
-                index.point_query(p).map(|f| f.id),
+                index.point_query(p, &mut cx).map(|f| f.id),
                 Some(p.id),
                 "{} lost inserted point",
                 index.name()
@@ -36,7 +33,11 @@ fn inserted_points_are_findable_in_every_index() {
         }
         // Pre-existing points must survive the insertions.
         for p in data.iter().step_by(37) {
-            assert!(index.point_query(p).is_some(), "{} lost original point", index.name());
+            assert!(
+                index.point_query(p, &mut cx).is_some(),
+                "{} lost original point",
+                index.name()
+            );
         }
     }
 }
@@ -44,13 +45,18 @@ fn inserted_points_are_findable_in_every_index() {
 #[test]
 fn deletions_remove_points_in_every_index() {
     let data = generate(Distribution::Uniform, 1_500, 7);
+    let mut cx = QueryContext::new();
     for mut index in all_indices(&data) {
         for p in data.iter().take(100) {
             assert!(index.delete(p), "{} failed to delete {:?}", index.name(), p);
         }
         assert_eq!(index.len(), 1_400, "{}", index.name());
         for p in data.iter().take(100) {
-            assert!(index.point_query(p).is_none(), "{} still finds a deleted point", index.name());
+            assert!(
+                index.point_query(p, &mut cx).is_none(),
+                "{} still finds a deleted point",
+                index.name()
+            );
         }
         // Deleting a missing point reports false.
         assert!(!index.delete(&data[0]), "{}", index.name());
@@ -61,7 +67,7 @@ fn deletions_remove_points_in_every_index() {
 fn interleaved_updates_and_queries_stay_consistent() {
     let data = generate(Distribution::Normal, 2_000, 11);
     let inserts = queries::insertion_points(&data, 500, 13);
-    let mut rsmi = Rsmi::build(data.clone(), RsmiConfig::fast());
+    let mut rsmi = build_index(IndexKind::Rsmi, &data, &IndexConfig::fast());
     for (i, p) in inserts.iter().enumerate() {
         rsmi.insert(*p);
         if i % 5 == 0 {
@@ -72,44 +78,37 @@ fn interleaved_updates_and_queries_stay_consistent() {
     }
     // The structure still answers window queries without false positives.
     let windows = queries::window_queries(&data, queries::WindowSpec::default(), 30, 17);
+    let mut cx = QueryContext::new();
     for w in &windows {
-        for p in rsmi.window_query(w) {
-            assert!(w.contains(&p));
-        }
+        rsmi.window_query_visit(w, &mut cx, &mut |p| {
+            assert!(w.contains(p));
+        });
     }
 }
 
 #[test]
 fn rsmi_rebuild_after_heavy_insertion_restores_point_query_cost() {
     let data = generate(Distribution::skewed_default(), 4_000, 19);
-    let mut index = Rsmi::build(data.clone(), RsmiConfig::fast());
+    let mut index = build_index(IndexKind::Rsmi, &data, &IndexConfig::fast());
     let inserts = queries::insertion_points(&data, 2_000, 23);
     for p in &inserts {
         index.insert(*p);
     }
-    let overflow_before = index.overflow_block_count();
-    assert!(overflow_before > 0);
 
     let qs = queries::point_queries(&data, 500, 29);
-    index.reset_stats();
-    for q in &qs {
-        let _ = index.point_query(q);
-    }
-    let accesses_before = index.block_accesses();
+    let mut cx = QueryContext::new();
+    let _ = index.point_queries(&qs, &mut cx);
+    let accesses_before = cx.take_stats().total_accesses();
 
     index.rebuild();
-    assert_eq!(index.overflow_block_count(), 0);
-    index.reset_stats();
-    for q in &qs {
-        let _ = index.point_query(q);
-    }
-    let accesses_after = index.block_accesses();
+    let _ = index.point_queries(&qs, &mut cx);
+    let accesses_after = cx.take_stats().total_accesses();
     assert!(
         accesses_after <= accesses_before,
-        "rebuild should not increase point-query block accesses ({accesses_before} -> {accesses_after})"
+        "rebuild should not increase point-query accesses ({accesses_before} -> {accesses_after})"
     );
     // Every point (original + inserted) is still present.
     for p in data.iter().step_by(41).chain(inserts.iter().step_by(41)) {
-        assert!(index.point_query(p).is_some());
+        assert!(index.point_query(p, &mut cx).is_some());
     }
 }

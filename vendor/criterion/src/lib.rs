@@ -1,0 +1,187 @@
+//! Offline stand-in for the subset of the `criterion` benchmarking API used
+//! by `crates/bench/benches/*`.
+//!
+//! Each benchmark runs a short warm-up, then `sample_size` timed samples of
+//! an adaptive number of iterations, and reports the median per-iteration
+//! time on stdout.  There is no statistical analysis, plotting, or baseline
+//! comparison — just honest wall-clock medians, which is what the in-repo
+//! benches need to document relative costs (e.g. batch vs per-call queries).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for a parameterised benchmark.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id with a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Creates an id from the parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Times closures supplied by the benchmark body.
+pub struct Bencher {
+    /// Median per-iteration time of the last `iter` call.
+    last_median: Duration,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records its median execution time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and calibration: find an iteration count that takes
+        // roughly a millisecond, so timer resolution is not a factor.
+        let mut iters = 1u64;
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                break elapsed / iters.max(1) as u32;
+            }
+            iters *= 4;
+        };
+        let _ = per_iter;
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            samples.push(start.elapsed() / iters.max(1) as u32);
+        }
+        samples.sort();
+        self.last_median = samples[samples.len() / 2];
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    fn run(&mut self, label: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut bencher = Bencher {
+            last_median: Duration::ZERO,
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        println!(
+            "{}/{:<32} median {:>12.3?}",
+            self.name, label, bencher.last_median
+        );
+    }
+
+    /// Benchmarks a closure.
+    pub fn bench_function(&mut self, label: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        self.run(label, f);
+        self
+    }
+
+    /// Benchmarks a closure against a borrowed input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = id.label.clone();
+        self.run(&label, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream reports summaries here; the shim is per-line).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a single closure outside a group.
+    pub fn bench_function(&mut self, label: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        self.benchmark_group("bench").run(label, f);
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something_positive() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_test");
+        group.sample_size(3);
+        group.bench_function("spin", |b| {
+            b.iter(|| (0..1000u64).sum::<u64>());
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats_labels() {
+        assert_eq!(BenchmarkId::new("f", 3).label, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("RSMI").label, "RSMI");
+    }
+}
