@@ -170,7 +170,12 @@ impl SpatialIndex for GridFile {
                 for &b in &self.cells[cell] {
                     for p in self.read_block(b, cx).points() {
                         let d = p.dist(q);
-                        if best.len() < k_eff || d < best[k_eff - 1].0 {
+                        // (distance, id) acceptance so distance ties resolve
+                        // to the smaller id, matching brute force and the
+                        // sharded engine's k-way merge.
+                        if best.len() < k_eff
+                            || (d, p.id) < (best[k_eff - 1].0, best[k_eff - 1].1.id)
+                        {
                             let pos = best
                                 .binary_search_by(|(bd, bp)| {
                                     bd.partial_cmp(&d)

@@ -295,10 +295,13 @@ impl SpatialIndex for HilbertRTree {
             Block(BlockId),
             Point(Point),
         }
-        struct Entry(f64, Item);
+        // Ordered by (distance, container-before-point, point id) so that
+        // equal-distance points emit deterministically in id order (nodes
+        // and blocks expand first, letting tied points inside them compete).
+        struct Entry(f64, bool, u64, Item);
         impl PartialEq for Entry {
             fn eq(&self, other: &Self) -> bool {
-                self.0 == other.0
+                self.cmp(other) == std::cmp::Ordering::Equal
             }
         }
         impl Eq for Entry {}
@@ -307,6 +310,8 @@ impl SpatialIndex for HilbertRTree {
                 self.0
                     .partial_cmp(&other.0)
                     .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(self.1.cmp(&other.1))
+                    .then(self.2.cmp(&other.2))
             }
         }
         impl PartialOrd for Entry {
@@ -323,9 +328,11 @@ impl SpatialIndex for HilbertRTree {
         let mut heap = BinaryHeap::new();
         heap.push(Reverse(Entry(
             self.nodes[root].mbr.min_dist(q),
+            false,
+            0,
             Item::Node(root),
         )));
-        while let Some(Reverse(Entry(_, item))) = heap.pop() {
+        while let Some(Reverse(Entry(_, _, _, item))) = heap.pop() {
             match item {
                 Item::Point(p) => {
                     visit(&p);
@@ -336,7 +343,7 @@ impl SpatialIndex for HilbertRTree {
                 }
                 Item::Block(b) => {
                     for p in self.read_block(b, cx).points() {
-                        heap.push(Reverse(Entry(p.dist(q), Item::Point(*p))));
+                        heap.push(Reverse(Entry(p.dist(q), true, p.id, Item::Point(*p))));
                     }
                 }
                 Item::Node(id) => {
@@ -346,6 +353,8 @@ impl SpatialIndex for HilbertRTree {
                             for &c in children {
                                 heap.push(Reverse(Entry(
                                     self.nodes[c].mbr.min_dist(q),
+                                    false,
+                                    0,
                                     Item::Node(c),
                                 )));
                             }
@@ -354,6 +363,8 @@ impl SpatialIndex for HilbertRTree {
                             for &b in blocks {
                                 heap.push(Reverse(Entry(
                                     self.block_mbr(b).min_dist(q),
+                                    false,
+                                    0,
                                     Item::Block(b),
                                 )));
                             }

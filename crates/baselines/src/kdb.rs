@@ -295,10 +295,14 @@ impl SpatialIndex for KdbTree {
             Node(usize),
             Point(Point),
         }
-        struct Entry(f64, Item);
+        // Ordered by (distance, node-before-point, point id): equal-distance
+        // points emit in id order, and a node at the same distance is
+        // expanded first so any tied point inside it can still compete —
+        // making kNN answers deterministic across runs and shards.
+        struct Entry(f64, bool, u64, Item);
         impl PartialEq for Entry {
             fn eq(&self, other: &Self) -> bool {
-                self.0 == other.0
+                self.cmp(other) == std::cmp::Ordering::Equal
             }
         }
         impl Eq for Entry {}
@@ -307,6 +311,8 @@ impl SpatialIndex for KdbTree {
                 self.0
                     .partial_cmp(&other.0)
                     .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(self.1.cmp(&other.1))
+                    .then(self.2.cmp(&other.2))
             }
         }
         impl PartialOrd for Entry {
@@ -323,9 +329,11 @@ impl SpatialIndex for KdbTree {
         let mut heap = BinaryHeap::new();
         heap.push(Reverse(Entry(
             self.nodes[root].region.min_dist(q),
+            false,
+            0,
             Item::Node(root),
         )));
-        while let Some(Reverse(Entry(_, item))) = heap.pop() {
+        while let Some(Reverse(Entry(_, _, _, item))) = heap.pop() {
             match item {
                 Item::Point(p) => {
                     visit(&p);
@@ -340,13 +348,15 @@ impl SpatialIndex for KdbTree {
                         for &c in children {
                             heap.push(Reverse(Entry(
                                 self.nodes[c].region.min_dist(q),
+                                false,
+                                0,
                                 Item::Node(c),
                             )));
                         }
                     }
                     NodeKind::Leaf(block) => {
                         for p in self.read_block(*block, cx).points() {
-                            heap.push(Reverse(Entry(p.dist(q), Item::Point(*p))));
+                            heap.push(Reverse(Entry(p.dist(q), true, p.id, Item::Point(*p))));
                         }
                     }
                 },

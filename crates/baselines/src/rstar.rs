@@ -66,7 +66,8 @@ pub struct RStarTree {
 
 impl RStarTree {
     /// Creates an empty tree.  `block_capacity` is accepted for interface
-    /// symmetry with the other indices; leaf capacity is [`MAX_ENTRIES`].
+    /// symmetry with the other indices; leaf capacity is the R*-tree's own
+    /// `MAX_ENTRIES` constant (100, the paper's `B`).
     pub fn new(block_capacity: usize) -> Self {
         Self {
             nodes: Vec::new(),
@@ -379,10 +380,13 @@ impl SpatialIndex for RStarTree {
             Node(usize),
             Point(Point),
         }
-        struct Entry(f64, Item);
+        // Ordered by (distance, node-before-point, point id) so that
+        // equal-distance points emit deterministically in id order (nodes
+        // expand first, letting tied points inside them compete).
+        struct Entry(f64, bool, u64, Item);
         impl PartialEq for Entry {
             fn eq(&self, other: &Self) -> bool {
-                self.0 == other.0
+                self.cmp(other) == std::cmp::Ordering::Equal
             }
         }
         impl Eq for Entry {}
@@ -391,6 +395,8 @@ impl SpatialIndex for RStarTree {
                 self.0
                     .partial_cmp(&other.0)
                     .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(self.1.cmp(&other.1))
+                    .then(self.2.cmp(&other.2))
             }
         }
         impl PartialOrd for Entry {
@@ -407,9 +413,11 @@ impl SpatialIndex for RStarTree {
         let mut heap = BinaryHeap::new();
         heap.push(Reverse(Entry(
             self.nodes[root].mbr.min_dist(q),
+            false,
+            0,
             Item::Node(root),
         )));
-        while let Some(Reverse(Entry(_, item))) = heap.pop() {
+        while let Some(Reverse(Entry(_, _, _, item))) = heap.pop() {
             match item {
                 Item::Point(p) => {
                     visit(&p);
@@ -422,13 +430,18 @@ impl SpatialIndex for RStarTree {
                     NodeKind::Internal(children) => {
                         cx.count_node();
                         for (rect, child) in children {
-                            heap.push(Reverse(Entry(rect.min_dist(q), Item::Node(*child))));
+                            heap.push(Reverse(Entry(
+                                rect.min_dist(q),
+                                false,
+                                0,
+                                Item::Node(*child),
+                            )));
                         }
                     }
                     NodeKind::Leaf(points) => {
                         cx.count_block_scan(points.len());
                         for p in points {
-                            heap.push(Reverse(Entry(p.dist(q), Item::Point(*p))));
+                            heap.push(Reverse(Entry(p.dist(q), true, p.id, Item::Point(*p))));
                         }
                     }
                 },

@@ -1,0 +1,49 @@
+//! Window-query latency of the sharded serving engine at 1 / 4 / 8 shards,
+//! fixed data size, hotspot workload.
+//!
+//! Expected shape (see the crate docs of `bench`): one shard is the
+//! unsharded index plus a thin facade, so it sets the baseline; at 4 and 8
+//! shards the per-query work drops because the hotspot workload intersects
+//! only the shards covering the hot region (`shards_pruned` grows with the
+//! shard count), while each visited shard is smaller.  The win saturates
+//! once the hot region's shards are split further — more shards past that
+//! point only add fan-out bookkeeping.
+
+use bench::{build_timed, IndexConfig, IndexKind};
+use common::QueryContext;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::{generate, queries, Distribution};
+use registry::BaseKind;
+
+fn bench_sharded_window(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharded_window_skewed_50k");
+    group.sample_size(30);
+    let data = generate(Distribution::skewed_default(), 50_000, 1);
+    let ws = queries::hotspot_window_queries(&data, queries::WindowSpec::default(), 128, 3);
+    for shards in [1usize, 4, 8] {
+        let cfg = IndexConfig {
+            block_capacity: 100,
+            shards,
+            ..IndexConfig::default()
+        };
+        let built = build_timed(BaseKind::Hrr.sharded(), &data, &cfg);
+        assert_eq!(built.kind, IndexKind::Sharded(BaseKind::Hrr));
+        group.bench_with_input(BenchmarkId::new("shards", shards), &built, |b, built| {
+            let mut cx = QueryContext::new();
+            let mut i = 0usize;
+            b.iter(|| {
+                let w = &ws[i % ws.len()];
+                i += 1;
+                let mut count = 0usize;
+                built
+                    .index
+                    .window_query_visit(w, &mut cx, &mut |_| count += 1);
+                black_box(count)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharded_window);
+criterion_main!(benches);

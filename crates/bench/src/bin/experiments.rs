@@ -4,13 +4,20 @@
 //!
 //! ```text
 //! experiments <id> [--scale S] [--epochs E] [--only INDEX[,INDEX...]]
+//!                  [--shards N] [--threads N]
 //! experiments all
 //! ```
 //!
 //! where `<id>` is one of `table3`, `table4`, `fig6` … `fig19`,
-//! `ablation-rank`, `ablation-curve`, `ablation-grouping`, or `all`, and
-//! `--only` restricts the cross-family figures to the named index families
-//! (parsed through the registry, e.g. `--only RSMI,HRR`).
+//! `ablation-rank`, `ablation-curve`, `ablation-grouping`, `sharded`, or
+//! `all`, and `--only` restricts the cross-family figures to the named index
+//! families (parsed through the registry, e.g. `--only RSMI,HRR`).
+//!
+//! `sharded` is not a paper figure: it measures the sharded serving engine
+//! (`crates/engine`) against the unsharded families — shard fan-out
+//! (`shards_visited` / `shards_pruned`) on a hotspot window workload and the
+//! wall-clock speedup of the multi-threaded batch executor.  `--shards` and
+//! `--threads` parameterise it (defaults 4 and 4).
 //!
 //! Every index is constructed through the dynamic registry
 //! (`registry::build_index`) and measured through the uniform
@@ -50,6 +57,8 @@ struct Opts {
     scale: f64,
     epochs: usize,
     only: Option<Vec<IndexKind>>,
+    shards: usize,
+    threads: usize,
 }
 
 impl Opts {
@@ -70,6 +79,8 @@ impl Opts {
             partition_threshold: 5_000,
             epochs: self.epochs,
             seed: SEED,
+            shards: self.shards,
+            threads: self.threads,
             ..IndexConfig::default()
         }
     }
@@ -91,6 +102,8 @@ fn main() {
         scale: 1.0,
         epochs: 30,
         only: None,
+        shards: 4,
+        threads: 4,
     };
     let mut it = args.iter().peekable();
     if let Some(first) = it.peek() {
@@ -105,6 +118,20 @@ fn main() {
             }
             "--epochs" => {
                 opts.epochs = it.next().and_then(|v| v.parse().ok()).unwrap_or(30);
+            }
+            "--shards" => {
+                opts.shards = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&s| s > 0)
+                    .unwrap_or(4);
+            }
+            "--threads" => {
+                opts.threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&t| t > 0)
+                    .unwrap_or(4);
             }
             "--only" => {
                 let spec = it.next().cloned().unwrap_or_default();
@@ -175,6 +202,9 @@ fn main() {
     }
     if run("fig17") || run("fig18") || run("fig19") {
         fig17_18_19(&opts);
+    }
+    if run("sharded") {
+        sharded(&opts);
     }
     if run("ablation-rank") {
         ablation_rank(&opts);
@@ -689,6 +719,86 @@ fn fig17_18_19(opts: &Opts) {
             "Figure 19 — kNN queries after insertions",
             &["inserted", "index", "query time (ms)", "recall"],
             &knn_rows
+        )
+    );
+}
+
+// ---------------------------------------------------------------------
+// Sharded serving engine (crates/engine)
+// ---------------------------------------------------------------------
+fn sharded(opts: &Opts) {
+    use registry::BaseKind;
+
+    let n = opts.n_default();
+    let data = dataset(Distribution::skewed_default(), n);
+    let windows = queries::hotspot_window_queries(&data, WindowSpec::default(), RANGE_QUERIES, 3);
+    let cfg = opts.harness();
+
+    // `--only` may name either form of a family (`HRR` or `sharded-hrr`);
+    // both select the same comparison row.
+    let bases: Vec<BaseKind> = BaseKind::all()
+        .into_iter()
+        .filter(|b| match &opts.only {
+            None => true,
+            Some(only) => only.contains(&b.unsharded()) || only.contains(&b.sharded()),
+        })
+        .filter(|b| *b != BaseKind::Rsmia)
+        .collect();
+
+    let mut rows = Vec::new();
+    for base in bases {
+        // Reference: the unsharded family on the same batch workload.
+        let flat = build_timed(base.unsharded(), &data, &cfg);
+        let mut cx = QueryContext::new();
+        let start = std::time::Instant::now();
+        let _ = flat.index.window_queries(&windows, &mut cx);
+        let flat_ms = start.elapsed().as_secs_f64() * 1e3 / windows.len() as f64;
+
+        // Sharded composition, same inner family.  One build serves both
+        // timings: a sequential per-call loop (the --threads 1 path) and the
+        // parallel batch entry point (--threads N).
+        let built = build_timed(base.sharded(), &data, &cfg);
+        let mut seq_cx = QueryContext::new();
+        let start = std::time::Instant::now();
+        for w in &windows {
+            let _ = built.index.window_query(w, &mut seq_cx);
+        }
+        let seq_ms = start.elapsed().as_secs_f64() * 1e3 / windows.len() as f64;
+        let stats = seq_cx.take_stats();
+
+        let mut par_cx = QueryContext::new();
+        let start = std::time::Instant::now();
+        let _ = built.index.window_queries(&windows, &mut par_cx);
+        let par_ms = start.elapsed().as_secs_f64() * 1e3 / windows.len() as f64;
+
+        let per_query = |v: u64| v as f64 / windows.len() as f64;
+        rows.push(vec![
+            built.kind.name().to_string(),
+            fmt(flat_ms),
+            fmt(seq_ms),
+            fmt(par_ms),
+            fmt(seq_ms / par_ms.max(1e-9)),
+            fmt(per_query(stats.shards_visited)),
+            fmt(per_query(stats.shards_pruned)),
+        ]);
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &format!(
+                "Sharded serving — hotspot windows (Skewed, n = {n}, S = {}, {} worker threads)",
+                opts.shards, opts.threads
+            ),
+            &[
+                "index",
+                "unsharded (ms)",
+                "sharded 1-thread (ms)",
+                &format!("sharded {}-thread (ms)", opts.threads),
+                "batch speedup",
+                "shards visited/query",
+                "shards pruned/query",
+            ],
+            &rows
         )
     );
 }

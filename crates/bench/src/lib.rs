@@ -11,6 +11,25 @@
 //! The binary `experiments` (in `src/bin/experiments.rs`) uses these helpers
 //! to regenerate every table and figure; the benches under `benches/` use
 //! them to build fixtures.
+//!
+//! # Sharded serving benchmarks
+//!
+//! `benches/sharded_window.rs` compares the sharded engine at 1 / 4 / 8
+//! shards on a fixed 50k-point skewed data set under the hotspot window
+//! workload.  The expected shape:
+//!
+//! * **1 shard** — the unsharded index behind a thin routing facade; the
+//!   baseline.  Any overhead over the plain index is the cost of the facade
+//!   (one MBR intersection test per query) and should be negligible.
+//! * **4 / 8 shards** — hotspot queries intersect only the shards covering
+//!   the hot region, so `shards_pruned` per query grows with the shard
+//!   count while the visited shards shrink; per-query latency drops
+//!   accordingly.
+//! * **beyond** — once the hot region's shards are already skipped or
+//!   split, additional shards only add fan-out bookkeeping; the curve
+//!   flattens (and eventually rises).  The `sharded` experiment of the
+//!   `experiments` binary reports the same effect with shard counters and
+//!   the multi-threaded batch speedup.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -18,7 +37,7 @@
 use common::{brute_force, metrics, QueryContext, SpatialIndex};
 use geom::{Point, Rect};
 
-pub use registry::{build_index, IndexConfig, IndexKind};
+pub use registry::{build_index, BaseKind, IndexConfig, IndexKind};
 
 /// A built index together with its construction-time measurement.
 pub struct BuiltIndex {

@@ -39,6 +39,13 @@ pub struct QueryStats {
     /// Points examined (inside blocks) before filtering, a proxy for the CPU
     /// cost of a query.
     pub candidates_scanned: u64,
+    /// Shards whose inner index was actually queried.  Zero for unsharded
+    /// indices; a sharded serving layer charges one unit per shard it fans
+    /// out to.
+    pub shards_visited: u64,
+    /// Shards skipped by the query planner (routing or MBR/mindist pruning)
+    /// without touching their inner index.
+    pub shards_pruned: u64,
 }
 
 impl QueryStats {
@@ -56,6 +63,8 @@ impl QueryStats {
         self.blocks_touched += other.blocks_touched;
         self.nodes_visited += other.nodes_visited;
         self.candidates_scanned += other.candidates_scanned;
+        self.shards_visited += other.shards_visited;
+        self.shards_pruned += other.shards_pruned;
     }
 }
 
@@ -100,6 +109,20 @@ impl QueryContext {
     #[inline]
     pub fn count_candidates(&mut self, n: usize) {
         self.stats.candidates_scanned += n as u64;
+    }
+
+    /// Charges one shard fan-out: the planner decided to query this shard's
+    /// inner index.
+    #[inline]
+    pub fn count_shard_visit(&mut self) {
+        self.stats.shards_visited += 1;
+    }
+
+    /// Charges `n` shards skipped by the planner without touching their
+    /// inner index.
+    #[inline]
+    pub fn count_shards_pruned(&mut self, n: usize) {
+        self.stats.shards_pruned += n as u64;
     }
 
     /// Charges one data-block read whose `candidates` points will all be
@@ -419,16 +442,34 @@ mod tests {
             blocks_touched: 1,
             nodes_visited: 2,
             candidates_scanned: 3,
+            shards_visited: 4,
+            shards_pruned: 5,
         };
         let b = QueryStats {
             blocks_touched: 10,
             nodes_visited: 20,
             candidates_scanned: 30,
+            shards_visited: 40,
+            shards_pruned: 50,
         };
         a += b;
         assert_eq!(a.blocks_touched, 11);
         assert_eq!(a.nodes_visited, 22);
         assert_eq!(a.candidates_scanned, 33);
+        assert_eq!(a.shards_visited, 44);
+        assert_eq!(a.shards_pruned, 55);
+        // Shard counters are engine-level fan-out metrics, not accesses.
         assert_eq!(a.total_accesses(), 33);
+    }
+
+    #[test]
+    fn shard_counters_accumulate_through_the_context() {
+        let mut cx = QueryContext::new();
+        cx.count_shard_visit();
+        cx.count_shard_visit();
+        cx.count_shards_pruned(3);
+        assert_eq!(cx.stats.shards_visited, 2);
+        assert_eq!(cx.stats.shards_pruned, 3);
+        assert_eq!(cx.stats.total_accesses(), 0);
     }
 }

@@ -519,9 +519,13 @@ impl Rsmi {
         use std::cmp::Reverse;
         use std::collections::BinaryHeap;
 
-        #[derive(PartialEq)]
         struct Entry {
             dist: f64,
+            /// `(container-before-point, point id)`: equal-distance points
+            /// emit deterministically in id order, and containers at the
+            /// same distance expand first so tied points inside them still
+            /// compete.
+            tie: (bool, u64),
             kind: EntryKind,
         }
         #[derive(PartialEq)]
@@ -530,12 +534,18 @@ impl Rsmi {
             Block(BlockId),
             Point(Point),
         }
+        impl PartialEq for Entry {
+            fn eq(&self, other: &Self) -> bool {
+                self.cmp(other) == std::cmp::Ordering::Equal
+            }
+        }
         impl Eq for Entry {}
         impl Ord for Entry {
             fn cmp(&self, other: &Self) -> std::cmp::Ordering {
                 self.dist
                     .partial_cmp(&other.dist)
                     .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(self.tie.cmp(&other.tie))
             }
         }
         impl PartialOrd for Entry {
@@ -552,6 +562,7 @@ impl Rsmi {
         let mut heap: BinaryHeap<Reverse<Entry>> = BinaryHeap::new();
         heap.push(Reverse(Entry {
             dist: self.nodes[root].mbr().min_dist(q),
+            tie: (false, 0),
             kind: EntryKind::Node(root),
         }));
         while let Some(Reverse(entry)) = heap.pop() {
@@ -568,6 +579,7 @@ impl Rsmi {
                     for p in block.points() {
                         heap.push(Reverse(Entry {
                             dist: p.dist(q),
+                            tie: (true, p.id),
                             kind: EntryKind::Point(*p),
                         }));
                     }
@@ -579,6 +591,7 @@ impl Rsmi {
                             if let Some(c) = child {
                                 heap.push(Reverse(Entry {
                                     dist: node.child_mbrs[cell].min_dist(q),
+                                    tie: (false, 0),
                                     kind: EntryKind::Node(*c),
                                 }));
                             }
@@ -591,6 +604,7 @@ impl Rsmi {
                                 let dist = self.store.block(b).mbr().min_dist(q);
                                 heap.push(Reverse(Entry {
                                     dist,
+                                    tie: (false, 0),
                                     kind: EntryKind::Block(b),
                                 }));
                             }

@@ -89,6 +89,85 @@ pub fn window_queries(data: &[Point], spec: WindowSpec, count: usize, seed: u64)
         .collect()
 }
 
+/// Generates `count` **hotspot** window queries: all query centres are drawn
+/// from one small Gaussian cluster around a (seeded) anchor data point, the
+/// way real serving traffic piles onto one city or venue.
+///
+/// Under a sharded serving layer this is the workload that rewards MBR
+/// pruning most: almost every query intersects the same few shards, so the
+/// planner skips the rest.
+pub fn hotspot_window_queries(
+    data: &[Point],
+    spec: WindowSpec,
+    count: usize,
+    seed: u64,
+) -> Vec<Rect> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x407);
+    let anchor = data[rng.gen_range(0..data.len())];
+    let spread = 0.02;
+    let (w, h) = spec.dimensions();
+    (0..count)
+        .map(|_| {
+            // Box–Muller pair around the anchor, truncated to the unit
+            // square; the cluster is tight so queries stay in the hotspot.
+            let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            let u2: f64 = rng.gen();
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f64::consts::PI * u2;
+            let cx = (anchor.x + spread * r * theta.cos()).clamp(w / 2.0, 1.0 - w / 2.0);
+            let cy = (anchor.y + spread * r * theta.sin()).clamp(h / 2.0, 1.0 - h / 2.0);
+            Rect::centered(cx, cy, w, h)
+        })
+        .collect()
+}
+
+/// One operation of a mixed point/window/kNN workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MixedQuery {
+    /// Exact-match point lookup.
+    Point(Point),
+    /// Window query.
+    Window(Rect),
+    /// k-nearest-neighbour query.
+    Knn(Point, usize),
+}
+
+/// Generates a mixed workload of roughly equal parts point, window and kNN
+/// queries (all following the data distribution), shuffled into one stream —
+/// the shape a serving layer sees, rather than the paper's per-type
+/// experiments.
+pub fn mixed_workload(
+    data: &[Point],
+    spec: WindowSpec,
+    k: usize,
+    count: usize,
+    seed: u64,
+) -> Vec<MixedQuery> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x111ED);
+    let (w, h) = spec.dimensions();
+    (0..count)
+        .map(|i| {
+            let p = data[rng.gen_range(0..data.len())];
+            match rng.gen_range(0..3u64) {
+                0 => MixedQuery::Point(p),
+                1 => {
+                    let cx = p.x.clamp(w / 2.0, 1.0 - w / 2.0);
+                    let cy = p.y.clamp(h / 2.0, 1.0 - h / 2.0);
+                    MixedQuery::Window(Rect::centered(cx, cy, w, h))
+                }
+                _ => MixedQuery::Knn(
+                    Point::with_id(
+                        (p.x + 0.001 * (rng.gen::<f64>() - 0.5)).clamp(0.0, 1.0),
+                        (p.y + 0.001 * (rng.gen::<f64>() - 0.5)).clamp(0.0, 1.0),
+                        i as u64,
+                    ),
+                    k,
+                ),
+            }
+        })
+        .collect()
+}
+
 /// Generates `count` kNN query points following the data distribution
 /// (sampled data points with a small jitter so they are rarely exact data
 /// locations).
@@ -196,6 +275,57 @@ mod tests {
             window_queries(&data, spec, 10, 5),
             window_queries(&data, spec, 10, 5)
         );
+    }
+
+    #[test]
+    fn hotspot_windows_cluster_around_one_anchor() {
+        let data = generate(Distribution::Uniform, 2_000, 21);
+        let spec = WindowSpec::default();
+        let ws = hotspot_window_queries(&data, spec, 200, 5);
+        assert_eq!(ws.len(), 200);
+        // Deterministic for a seed.
+        assert_eq!(ws, hotspot_window_queries(&data, spec, 200, 5));
+        // All centres fall inside a small disc: the workload covers a tiny
+        // fraction of the data space, unlike the data-following workload.
+        let centres: Vec<Point> = ws.iter().map(Rect::center).collect();
+        let mean = Point::new(
+            centres.iter().map(|c| c.x).sum::<f64>() / centres.len() as f64,
+            centres.iter().map(|c| c.y).sum::<f64>() / centres.len() as f64,
+        );
+        let within = centres.iter().filter(|c| c.dist(&mean) < 0.15).count();
+        assert!(within > 190, "hotspot not concentrated: {within}/200");
+        for w in &ws {
+            assert!(w.min_x >= -1e-12 && w.max_x <= 1.0 + 1e-12);
+            assert!(w.min_y >= -1e-12 && w.max_y <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn mixed_workload_contains_all_three_query_types() {
+        let data = generate(Distribution::Normal, 1_000, 23);
+        let mix = mixed_workload(&data, WindowSpec::default(), 10, 300, 7);
+        assert_eq!(mix.len(), 300);
+        assert_eq!(
+            mix,
+            mixed_workload(&data, WindowSpec::default(), 10, 300, 7)
+        );
+        let points = mix
+            .iter()
+            .filter(|q| matches!(q, MixedQuery::Point(_)))
+            .count();
+        let windows = mix
+            .iter()
+            .filter(|q| matches!(q, MixedQuery::Window(_)))
+            .count();
+        let knns = mix
+            .iter()
+            .filter(|q| matches!(q, MixedQuery::Knn(_, k) if *k == 10))
+            .count();
+        assert_eq!(points + windows + knns, 300);
+        // Roughly equal thirds.
+        for share in [points, windows, knns] {
+            assert!((60..=140).contains(&share), "unbalanced mix: {share}/300");
+        }
     }
 
     #[test]

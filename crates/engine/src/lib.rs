@@ -1,0 +1,593 @@
+//! Sharded, multi-threaded serving engine layered on top of any
+//! [`SpatialIndex`] family.
+//!
+//! The RSMI paper partitions data recursively *inside* one index; "The Case
+//! for Learned Spatial Indexes" (Pandey et al.) and LiLIS show the same
+//! partition-then-learn recipe winning *across* workers.  This crate is that
+//! serving layer:
+//!
+//! * [`partition`] — the learned partitioner: points are ordered by their
+//!   global rank-space Hilbert key (reusing `sfc`) and cut into `S`
+//!   near-equal shards, each with an MBR and a curve-key range.
+//! * [`ShardedIndex`] — a [`SpatialIndex`] whose shards each hold an inner
+//!   index built by a caller-supplied factory (the registry passes
+//!   `registry::build_index`, keeping this crate free of index-family
+//!   dependencies).  Shards build in parallel on `std::thread::scope`.
+//! * A **query planner**: point queries route to exactly one shard via the
+//!   frozen partitioner, window queries fan out only to shards whose MBR
+//!   intersects the window, and kNN queries visit shards best-first by MBR
+//!   `MINDIST` with a distance-bound cutoff and a `(distance, id)` k-way
+//!   merge.  Skipped shards are charged to the new
+//!   [`QueryStats::shards_pruned`](common::QueryStats) counter.
+//! * [`executor`] — the batch executor: the trait's batch entry points split
+//!   a workload over a scoped worker pool, one [`QueryContext`] per worker,
+//!   and merge the per-worker statistics, making batch serving actually
+//!   parallel.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod executor;
+pub mod partition;
+
+use common::{QueryContext, SpatialIndex};
+use geom::{Point, Rect};
+use partition::Partitioner;
+use sfc::CurveKind;
+
+/// Configuration of the sharded serving layer.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedConfig {
+    /// Number of shards to cut the data into (clamped to at least 1 and at
+    /// most the point count).
+    pub shards: usize,
+    /// Worker threads used by the batch entry points (1 = sequential).
+    pub threads: usize,
+    /// Space-filling curve ordering the rank-space partitioning keys.
+    pub curve: CurveKind,
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            threads: 1,
+            curve: CurveKind::Hilbert,
+        }
+    }
+}
+
+/// The factory building one shard's inner index from its points.
+pub type InnerBuilder<'a> = &'a (dyn Fn(&[Point]) -> Box<dyn SpatialIndex> + Sync);
+
+struct Shard {
+    index: Box<dyn SpatialIndex>,
+    /// Bounding rectangle of the shard's *current* contents; expanded on
+    /// insert so window/kNN pruning never cuts off live points.
+    mbr: Rect,
+}
+
+/// A sharded spatial index: `S` inner indices behind one [`SpatialIndex`]
+/// facade, with routed point queries, pruned window/kNN fan-out, and
+/// multi-threaded batch execution.
+pub struct ShardedIndex {
+    name: &'static str,
+    partitioner: Partitioner,
+    shards: Vec<Shard>,
+    threads: usize,
+}
+
+impl ShardedIndex {
+    /// Partitions `points`, builds one inner index per shard **in parallel**
+    /// (one scoped thread per shard), and assembles the serving facade.
+    ///
+    /// `name` is the registered display name (e.g. `"Sharded-RSMI"`);
+    /// `build_inner` constructs a shard's inner index — the registry passes
+    /// its own `build_index`, so any registered family can be sharded.
+    pub fn build(
+        points: &[Point],
+        cfg: ShardedConfig,
+        name: &'static str,
+        build_inner: InnerBuilder<'_>,
+    ) -> Self {
+        let (partitioner, slices) = Partitioner::partition(points, cfg.shards, cfg.curve);
+        // One build job per shard, capped at the machine's parallelism so a
+        // high shard count cannot oversubscribe cores (each job is a full
+        // inner-index build — sort + packing, or model training).
+        let workers = slices.len().min(
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        );
+        let shards = executor::parallel_map(slices, workers, |slice| Shard {
+            index: build_inner(&slice.points),
+            mbr: slice.mbr,
+        });
+        Self {
+            name,
+            partitioner,
+            shards,
+            threads: cfg.threads.max(1),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Worker threads used by the batch entry points.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Merges `(distance², point)` candidates, keeping the `k` best by
+    /// `(distance, id)` — the deterministic tie-break shared with
+    /// `brute_force::knn_query`.
+    fn merge_candidate(best: &mut Vec<(f64, Point)>, k: usize, d_sq: f64, p: Point) {
+        if best.len() >= k && {
+            let (kd, kp) = best[k - 1];
+            (d_sq, p.id) >= (kd, kp.id)
+        } {
+            return;
+        }
+        if let Err(pos) = best.binary_search_by(|(bd, bp)| {
+            bd.partial_cmp(&d_sq)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(bp.id.cmp(&p.id))
+        }) {
+            best.insert(pos, (d_sq, p));
+            best.truncate(k);
+        }
+    }
+}
+
+impl SpatialIndex for ShardedIndex {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.index.len()).sum()
+    }
+
+    fn point_query(&self, q: &Point, cx: &mut QueryContext) -> Option<Point> {
+        if self.shards.is_empty() {
+            return None;
+        }
+        // The frozen key function sends an indexed location to exactly the
+        // shard that holds it, so one shard answers the query.
+        let primary = self.partitioner.route(q.x, q.y);
+        cx.count_shard_visit();
+        if let Some(hit) = self.shards[primary].index.point_query(q, cx) {
+            cx.count_shards_pruned(self.shards.len() - 1);
+            return Some(hit);
+        }
+        // Miss in the routed shard: only possible for locations not indexed
+        // under the frozen keys (negative lookups, duplicate locations).
+        // Fall back to the shards whose MBR can contain the location.
+        let mut pruned = self.shards.len() - 1;
+        for (i, s) in self.shards.iter().enumerate() {
+            if i == primary || !s.mbr.contains(q) {
+                continue;
+            }
+            pruned -= 1;
+            cx.count_shard_visit();
+            if let Some(hit) = s.index.point_query(q, cx) {
+                cx.count_shards_pruned(pruned);
+                return Some(hit);
+            }
+        }
+        cx.count_shards_pruned(pruned);
+        None
+    }
+
+    fn window_query_visit(
+        &self,
+        window: &Rect,
+        cx: &mut QueryContext,
+        visit: &mut dyn FnMut(&Point),
+    ) {
+        let mut pruned = 0usize;
+        for s in &self.shards {
+            if s.mbr.intersects(window) {
+                cx.count_shard_visit();
+                s.index.window_query_visit(window, cx, visit);
+            } else {
+                pruned += 1;
+            }
+        }
+        cx.count_shards_pruned(pruned);
+    }
+
+    fn knn_query_visit(
+        &self,
+        q: &Point,
+        k: usize,
+        cx: &mut QueryContext,
+        visit: &mut dyn FnMut(&Point),
+    ) {
+        if k == 0 {
+            return;
+        }
+        let k_eff = k.min(self.len());
+        if k_eff == 0 {
+            return;
+        }
+        // Best-first over shards by MINDIST to the shard MBR (ties broken by
+        // shard position for determinism).
+        let mut order: Vec<(f64, usize)> = self
+            .shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.index.is_empty())
+            .map(|(i, s)| (s.mbr.min_dist_sq(q), i))
+            .collect();
+        order.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+        });
+        let empty_shards = self.shards.len() - order.len();
+
+        let mut best: Vec<(f64, Point)> = Vec::with_capacity(k_eff + 1);
+        let mut pruned = empty_shards;
+        for (i, &(mindist_sq, shard)) in order.iter().enumerate() {
+            // Distance-bound cutoff: once k candidates are collected, a
+            // shard whose MBR lies strictly beyond the k-th distance cannot
+            // contribute — and neither can any later (farther) shard.
+            if best.len() >= k_eff && mindist_sq > best[k_eff - 1].0 {
+                pruned += order.len() - i;
+                break;
+            }
+            cx.count_shard_visit();
+            self.shards[shard]
+                .index
+                .knn_query_visit(q, k_eff, cx, &mut |p| {
+                    Self::merge_candidate(&mut best, k_eff, p.dist_sq(q), *p);
+                });
+        }
+        cx.count_shards_pruned(pruned);
+        for (_, p) in &best {
+            visit(p);
+        }
+    }
+
+    fn insert(&mut self, p: Point) {
+        if self.shards.is_empty() {
+            return;
+        }
+        let shard = self.partitioner.route(p.x, p.y);
+        self.shards[shard].mbr.expand_to_point(p);
+        self.shards[shard].index.insert(p);
+    }
+
+    fn delete(&mut self, p: &Point) -> bool {
+        if self.shards.is_empty() {
+            return false;
+        }
+        let primary = self.partitioner.route(p.x, p.y);
+        if self.shards[primary].index.delete(p) {
+            return true;
+        }
+        for (i, s) in self.shards.iter_mut().enumerate() {
+            if i != primary && s.mbr.contains(p) && s.index.delete(p) {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn rebuild(&mut self) {
+        // Per-shard maintenance rebuild, parallel across the worker pool.
+        // The partitioning itself is frozen; only inner layouts are
+        // restored.
+        let w = self.threads.min(self.shards.len()).max(1);
+        if w <= 1 {
+            for s in &mut self.shards {
+                s.index.rebuild();
+            }
+            return;
+        }
+        let chunk = self.shards.len().div_ceil(w);
+        std::thread::scope(|scope| {
+            for shards in self.shards.chunks_mut(chunk) {
+                scope.spawn(move || {
+                    for s in shards {
+                        s.index.rebuild();
+                    }
+                });
+            }
+        });
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.partitioner.size_bytes()
+            + self
+                .shards
+                .iter()
+                .map(|s| s.index.size_bytes())
+                .sum::<usize>()
+    }
+
+    fn height(&self) -> usize {
+        // One routing level above the tallest inner index.
+        1 + self
+            .shards
+            .iter()
+            .map(|s| s.index.height())
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn model_count(&self) -> usize {
+        self.shards.iter().map(|s| s.index.model_count()).sum()
+    }
+
+    // ------------------------------------------------------------------
+    // Batch entry points: the parallel serving path
+    // ------------------------------------------------------------------
+
+    fn point_queries(&self, qs: &[Point], cx: &mut QueryContext) -> Vec<Option<Point>> {
+        let (out, stats) = executor::run_batch(qs, self.threads, |chunk, wcx| {
+            chunk.iter().map(|q| self.point_query(q, wcx)).collect()
+        });
+        cx.stats += stats;
+        out
+    }
+
+    fn window_queries(&self, windows: &[Rect], cx: &mut QueryContext) -> Vec<Vec<Point>> {
+        let (out, stats) = executor::run_batch(windows, self.threads, |chunk, wcx| {
+            chunk.iter().map(|w| self.window_query(w, wcx)).collect()
+        });
+        cx.stats += stats;
+        out
+    }
+
+    fn knn_queries(&self, qs: &[Point], k: usize, cx: &mut QueryContext) -> Vec<Vec<Point>> {
+        let (out, stats) = executor::run_batch(qs, self.threads, |chunk, wcx| {
+            chunk.iter().map(|q| self.knn_query(q, k, wcx)).collect()
+        });
+        cx.stats += stats;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use common::brute_force;
+    use datagen::{generate, queries, Distribution};
+
+    /// Minimal exact inner index (linear scans) so the engine's unit tests
+    /// do not depend on any index family crate.
+    struct Naive(Vec<Point>);
+
+    impl SpatialIndex for Naive {
+        fn name(&self) -> &'static str {
+            "Naive"
+        }
+        fn len(&self) -> usize {
+            self.0.len()
+        }
+        fn point_query(&self, q: &Point, cx: &mut QueryContext) -> Option<Point> {
+            cx.count_block_scan(self.0.len());
+            brute_force::point_query(&self.0, q)
+        }
+        fn window_query_visit(
+            &self,
+            window: &Rect,
+            cx: &mut QueryContext,
+            visit: &mut dyn FnMut(&Point),
+        ) {
+            cx.count_block_scan(self.0.len());
+            for p in self.0.iter().filter(|p| window.contains(p)) {
+                visit(p);
+            }
+        }
+        fn knn_query_visit(
+            &self,
+            q: &Point,
+            k: usize,
+            cx: &mut QueryContext,
+            visit: &mut dyn FnMut(&Point),
+        ) {
+            cx.count_block_scan(self.0.len());
+            for p in brute_force::knn_query(&self.0, q, k) {
+                visit(&p);
+            }
+        }
+        fn insert(&mut self, p: Point) {
+            self.0.push(p);
+        }
+        fn delete(&mut self, p: &Point) -> bool {
+            let before = self.0.len();
+            self.0.retain(|x| !(x.same_location(p) && x.id == p.id));
+            self.0.len() != before
+        }
+        fn size_bytes(&self) -> usize {
+            self.0.len() * std::mem::size_of::<Point>()
+        }
+        fn height(&self) -> usize {
+            1
+        }
+    }
+
+    fn naive_builder() -> impl Fn(&[Point]) -> Box<dyn SpatialIndex> + Sync {
+        |pts: &[Point]| Box::new(Naive(pts.to_vec())) as Box<dyn SpatialIndex>
+    }
+
+    fn build(data: &[Point], shards: usize, threads: usize) -> ShardedIndex {
+        ShardedIndex::build(
+            data,
+            ShardedConfig {
+                shards,
+                threads,
+                curve: CurveKind::Hilbert,
+            },
+            "Sharded-Naive",
+            &naive_builder(),
+        )
+    }
+
+    #[test]
+    fn point_queries_route_to_exactly_one_shard() {
+        let data = generate(Distribution::skewed_default(), 2_000, 3);
+        let index = build(&data, 8, 1);
+        assert_eq!(index.shard_count(), 8);
+        assert_eq!(index.len(), data.len());
+        let mut cx = QueryContext::new();
+        for p in data.iter().step_by(17) {
+            assert_eq!(index.point_query(p, &mut cx).map(|f| f.id), Some(p.id));
+        }
+        let n_queries = data.iter().step_by(17).count() as u64;
+        let stats = cx.take_stats();
+        assert_eq!(stats.shards_visited, n_queries, "routing fanned out");
+        assert_eq!(stats.shards_pruned, n_queries * 7);
+    }
+
+    #[test]
+    fn window_queries_prune_and_match_brute_force() {
+        let data = generate(Distribution::Uniform, 3_000, 5);
+        let index = build(&data, 8, 1);
+        let mut cx = QueryContext::new();
+        let ws = queries::window_queries(&data, queries::WindowSpec::default(), 30, 7);
+        for w in &ws {
+            let mut got: Vec<u64> = index
+                .window_query(w, &mut cx)
+                .iter()
+                .map(|p| p.id)
+                .collect();
+            let mut truth: Vec<u64> = brute_force::window_query(&data, w)
+                .iter()
+                .map(|p| p.id)
+                .collect();
+            got.sort_unstable();
+            truth.sort_unstable();
+            assert_eq!(got, truth);
+        }
+        let stats = cx.take_stats();
+        assert!(stats.shards_pruned > 0, "small windows should prune shards");
+        assert_eq!(
+            stats.shards_visited + stats.shards_pruned,
+            8 * ws.len() as u64
+        );
+    }
+
+    #[test]
+    fn knn_matches_brute_force_with_id_tiebreak() {
+        let data = generate(Distribution::OsmLike, 2_500, 9);
+        let index = build(&data, 6, 1);
+        let mut cx = QueryContext::new();
+        for q in queries::knn_queries(&data, 25, 11) {
+            for k in [1usize, 7, 40] {
+                let got = index.knn_query(&q, k, &mut cx);
+                let truth = brute_force::knn_query(&data, &q, k);
+                assert_eq!(
+                    got.iter().map(|p| p.id).collect::<Vec<_>>(),
+                    truth.iter().map(|p| p.id).collect::<Vec<_>>(),
+                    "k = {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn knn_cutoff_prunes_far_shards() {
+        let data = generate(Distribution::Uniform, 4_000, 13);
+        let index = build(&data, 8, 1);
+        let mut cx = QueryContext::new();
+        let _ = index.knn_query(&Point::new(0.5, 0.5), 5, &mut cx);
+        let stats = cx.take_stats();
+        assert!(stats.shards_visited >= 1);
+        assert!(
+            stats.shards_pruned > 0,
+            "a k=5 query should not fan out to all 8 shards"
+        );
+    }
+
+    #[test]
+    fn batch_execution_is_identical_across_thread_counts() {
+        let data = generate(Distribution::TigerLike, 2_000, 15);
+        let qs = queries::point_queries(&data, 200, 17);
+        let ws = queries::window_queries(&data, queries::WindowSpec::default(), 40, 19);
+        let knn = queries::knn_queries(&data, 40, 21);
+
+        let seq = build(&data, 4, 1);
+        let par = build(&data, 4, 4);
+        let (mut cx1, mut cx4) = (QueryContext::new(), QueryContext::new());
+        assert_eq!(
+            seq.point_queries(&qs, &mut cx1),
+            par.point_queries(&qs, &mut cx4)
+        );
+        assert_eq!(
+            seq.window_queries(&ws, &mut cx1),
+            par.window_queries(&ws, &mut cx4)
+        );
+        assert_eq!(
+            seq.knn_queries(&knn, 10, &mut cx1),
+            par.knn_queries(&knn, 10, &mut cx4)
+        );
+        assert_eq!(
+            cx1.stats, cx4.stats,
+            "merged stats must not depend on threading"
+        );
+    }
+
+    #[test]
+    fn insert_delete_and_rebuild_stay_consistent() {
+        let data = generate(Distribution::Normal, 1_000, 23);
+        let mut index = build(&data, 4, 2);
+        let mut cx = QueryContext::new();
+
+        let extra = Point::with_id(0.987, 0.013, 777_777);
+        index.insert(extra);
+        assert_eq!(index.len(), 1_001);
+        assert_eq!(
+            index.point_query(&extra, &mut cx).map(|p| p.id),
+            Some(extra.id)
+        );
+
+        // The expanded MBR keeps the inserted point visible to windows.
+        let w = Rect::centered(extra.x, extra.y, 0.01, 0.01);
+        assert!(index
+            .window_query(&w, &mut cx)
+            .iter()
+            .any(|p| p.id == extra.id));
+
+        assert!(index.delete(&extra));
+        assert!(!index.delete(&extra));
+        assert_eq!(index.len(), 1_000);
+
+        index.rebuild();
+        assert_eq!(index.len(), 1_000);
+        assert!(index.point_query(&data[11], &mut cx).is_some());
+    }
+
+    #[test]
+    fn empty_and_single_point_indices_answer_gracefully() {
+        let empty = build(&[], 4, 2);
+        let mut cx = QueryContext::new();
+        assert!(empty.is_empty());
+        assert_eq!(empty.shard_count(), 1);
+        assert!(empty.point_query(&Point::new(0.5, 0.5), &mut cx).is_none());
+        assert!(empty.window_query(&Rect::unit(), &mut cx).is_empty());
+        assert!(empty
+            .knn_query(&Point::new(0.5, 0.5), 3, &mut cx)
+            .is_empty());
+
+        let one = build(&[Point::with_id(0.4, 0.6, 9)], 4, 2);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one.knn_query(&Point::new(0.0, 0.0), 5, &mut cx).len(), 1);
+    }
+
+    #[test]
+    fn facade_reports_aggregate_structure() {
+        let data = generate(Distribution::Uniform, 1_200, 25);
+        let index = build(&data, 3, 1);
+        assert_eq!(index.name(), "Sharded-Naive");
+        assert!(index.size_bytes() > data.len() * std::mem::size_of::<Point>());
+        assert_eq!(index.height(), 2); // routing level + naive level
+        assert_eq!(index.model_count(), 0);
+    }
+}

@@ -1,0 +1,218 @@
+//! The learned partitioner: rank-space Hilbert-key range partitioning.
+//!
+//! Points are ordered by the curve value of their global rank-space cell
+//! (the same transform RSMI uses to order points *within* an index, §3.1)
+//! and cut into `S` near-equal contiguous runs.  Because the rank space is
+//! equi-depth in both marginals, the cut is balanced by construction — the
+//! "learned" CDF here is the exact empirical one, frozen at build time.
+//!
+//! Each shard records its minimum bounding rectangle (for window / kNN
+//! pruning) and its curve-key range (for point routing).  Routing a query
+//! location reduces to two binary searches (its x- and y-rank under the
+//! frozen marginals), one curve encode, and one binary search over the
+//! shard key boundaries — `O(log n)` with no per-shard work.
+
+use geom::{Point, Rect};
+use sfc::{rank_space_order, CurveKind, RankSpace};
+
+/// How a point set was cut into shards, plus the frozen routing tables.
+#[derive(Debug, Clone)]
+pub struct Partitioner {
+    curve: CurveKind,
+    order: u32,
+    /// `(x, y)` of every build point, sorted by `(x, y)`: the frozen
+    /// empirical marginal used to recover a location's x-rank.
+    by_x: Vec<(f64, f64)>,
+    /// `(y, x)` of every build point, sorted by `(y, x)`.
+    by_y: Vec<(f64, f64)>,
+    /// First curve key of each shard, ascending; routing picks the last
+    /// shard whose first key is `<=` the query key.
+    shard_key_lo: Vec<u64>,
+}
+
+/// One shard produced by [`Partitioner::partition`]: its points (in curve
+/// order) and their bounding rectangle.
+#[derive(Debug, Clone)]
+pub struct ShardSlice {
+    /// The shard's points, sorted by rank-space curve key.
+    pub points: Vec<Point>,
+    /// Minimum bounding rectangle of the shard's points.
+    pub mbr: Rect,
+}
+
+impl Partitioner {
+    /// Partitions `points` into (up to) `shards` near-equal slices by
+    /// rank-space curve key, returning the partitioner and the slices.
+    ///
+    /// The slice count is `min(shards, n)` but at least one, so empty and
+    /// tiny data sets degrade gracefully.
+    pub fn partition(points: &[Point], shards: usize, curve: CurveKind) -> (Self, Vec<ShardSlice>) {
+        let n = points.len();
+        let s = shards.max(1).min(n.max(1));
+
+        let rs = RankSpace::new(points);
+        let perm = rs.sorted_permutation(curve);
+        let keys = rs.curve_values(curve);
+
+        let mut by_x: Vec<(f64, f64)> = points.iter().map(|p| (p.x, p.y)).collect();
+        by_x.sort_by(cmp_pair);
+        let mut by_y: Vec<(f64, f64)> = points.iter().map(|p| (p.y, p.x)).collect();
+        by_y.sort_by(cmp_pair);
+
+        // Near-equal cut: the first `n % s` shards get one extra point.
+        let base = n / s;
+        let extra = n % s;
+        let mut slices = Vec::with_capacity(s);
+        let mut shard_key_lo = Vec::with_capacity(s);
+        let mut pos = 0usize;
+        for i in 0..s {
+            let len = base + usize::from(i < extra);
+            let run = &perm[pos..pos + len];
+            let mut mbr = Rect::empty();
+            let pts: Vec<Point> = run
+                .iter()
+                .map(|&idx| {
+                    mbr.expand_to_point(points[idx]);
+                    points[idx]
+                })
+                .collect();
+            shard_key_lo.push(run.first().map_or(0, |&idx| keys[idx]));
+            slices.push(ShardSlice { points: pts, mbr });
+            pos += len;
+        }
+
+        (
+            Self {
+                curve,
+                order: rank_space_order(n.max(1)),
+                by_x,
+                by_y,
+                shard_key_lo,
+            },
+            slices,
+        )
+    }
+
+    /// Number of shards this partitioner routes to.
+    #[inline]
+    pub fn shard_count(&self) -> usize {
+        self.shard_key_lo.len()
+    }
+
+    /// The shard a location belongs to under the frozen build-time key
+    /// function.
+    ///
+    /// For any build point with a unique location this is exactly the shard
+    /// the point was placed in; for locations unseen at build time (negative
+    /// lookups, inserts) it is the shard whose key range the location's
+    /// frozen-rank curve key falls into, so inserts and later lookups of the
+    /// same location always agree.
+    pub fn route(&self, x: f64, y: f64) -> usize {
+        let key = self.key_of(x, y);
+        self.shard_key_lo
+            .partition_point(|&lo| lo <= key)
+            .saturating_sub(1)
+    }
+
+    /// The rank-space curve key of a location under the frozen marginals.
+    fn key_of(&self, x: f64, y: f64) -> u64 {
+        let max_coord = (1u32 << self.order) - 1;
+        let rx = (self.by_x.partition_point(|&(px, py)| (px, py) < (x, y)) as u32).min(max_coord);
+        let ry = (self.by_y.partition_point(|&(py, px)| (py, px) < (y, x)) as u32).min(max_coord);
+        self.curve.encode(rx, ry, self.order)
+    }
+
+    /// Approximate memory held by the frozen routing tables, in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.by_x.len() * std::mem::size_of::<(f64, f64)>() * 2
+            + self.shard_key_lo.len() * std::mem::size_of::<u64>()
+    }
+}
+
+/// Total order on coordinate pairs (the data contains no NaNs).
+fn cmp_pair(a: &(f64, f64), b: &(f64, f64)) -> std::cmp::Ordering {
+    a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::{generate, Distribution};
+
+    #[test]
+    fn partition_is_near_equal_and_covers_all_points() {
+        let data = generate(Distribution::skewed_default(), 1003, 7);
+        let (p, slices) = Partitioner::partition(&data, 4, CurveKind::Hilbert);
+        assert_eq!(p.shard_count(), 4);
+        assert_eq!(slices.iter().map(|s| s.points.len()).sum::<usize>(), 1003);
+        for s in &slices {
+            assert!((250..=251).contains(&s.points.len()));
+            for pt in &s.points {
+                assert!(s.mbr.contains(pt));
+            }
+        }
+    }
+
+    #[test]
+    fn every_build_point_routes_to_its_own_shard() {
+        for dist in [Distribution::Uniform, Distribution::OsmLike] {
+            let data = generate(dist, 2_000, 11);
+            let (p, slices) = Partitioner::partition(&data, 8, CurveKind::Hilbert);
+            for (i, s) in slices.iter().enumerate() {
+                for pt in &s.points {
+                    assert_eq!(p.route(pt.x, pt.y), i, "{dist:?} misrouted {pt:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn routing_is_total_for_unseen_locations() {
+        let data = generate(Distribution::Normal, 500, 3);
+        let (p, _) = Partitioner::partition(&data, 4, CurveKind::Hilbert);
+        for (x, y) in [(0.0, 0.0), (1.0, 1.0), (0.5, 0.123), (0.999, 0.001)] {
+            assert!(p.route(x, y) < 4);
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_produce_at_least_one_shard() {
+        let (p, slices) = Partitioner::partition(&[], 4, CurveKind::Hilbert);
+        assert_eq!(p.shard_count(), 1);
+        assert!(slices[0].points.is_empty());
+        assert!(slices[0].mbr.is_empty());
+
+        let one = [Point::with_id(0.5, 0.5, 1)];
+        let (p, slices) = Partitioner::partition(&one, 4, CurveKind::Hilbert);
+        assert_eq!(p.shard_count(), 1);
+        assert_eq!(slices[0].points.len(), 1);
+        assert_eq!(p.route(0.5, 0.5), 0);
+    }
+
+    #[test]
+    fn shards_are_contiguous_in_curve_key_order() {
+        let data = generate(Distribution::Uniform, 600, 13);
+        let rs = RankSpace::new(&data);
+        let keys = rs.curve_values(CurveKind::Hilbert);
+        let (_, slices) = Partitioner::partition(&data, 3, CurveKind::Hilbert);
+        let mut last = 0u64;
+        for s in &slices {
+            for pt in &s.points {
+                let idx = data.iter().position(|d| d.id == pt.id).unwrap();
+                assert!(keys[idx] >= last, "curve order broken across shards");
+                last = keys[idx];
+            }
+        }
+    }
+
+    #[test]
+    fn z_curve_partitioning_also_routes_correctly() {
+        let data = generate(Distribution::TigerLike, 800, 17);
+        let (p, slices) = Partitioner::partition(&data, 5, CurveKind::Z);
+        for (i, s) in slices.iter().enumerate() {
+            for pt in s.points.iter().step_by(7) {
+                assert_eq!(p.route(pt.x, pt.y), i);
+            }
+        }
+    }
+}

@@ -30,9 +30,10 @@ use geom::Point;
 use rsmi::{Rsmi, RsmiConfig, RsmiExact};
 use sfc::CurveKind;
 
-/// The index families compared in the paper's figures.
+/// A leaf index family — the families compared head-to-head in the paper,
+/// and the inner-index payload of [`IndexKind::Sharded`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum IndexKind {
+pub enum BaseKind {
     /// Grid File.
     Grid,
     /// Rank-space Hilbert packed R-tree.
@@ -50,18 +51,86 @@ pub enum IndexKind {
     Zm,
 }
 
-impl IndexKind {
-    /// All families, in the order the paper's legends list them.
-    pub fn all() -> Vec<IndexKind> {
-        vec![
-            IndexKind::Grid,
-            IndexKind::Hrr,
-            IndexKind::Kdb,
-            IndexKind::RStar,
-            IndexKind::Rsmi,
-            IndexKind::Rsmia,
-            IndexKind::Zm,
+impl BaseKind {
+    /// All leaf families, in the order the paper's legends list them.
+    pub fn all() -> [BaseKind; 7] {
+        [
+            BaseKind::Grid,
+            BaseKind::Hrr,
+            BaseKind::Kdb,
+            BaseKind::RStar,
+            BaseKind::Rsmi,
+            BaseKind::Rsmia,
+            BaseKind::Zm,
         ]
+    }
+
+    /// The unsharded [`IndexKind`] of this family.
+    pub fn unsharded(self) -> IndexKind {
+        match self {
+            BaseKind::Grid => IndexKind::Grid,
+            BaseKind::Hrr => IndexKind::Hrr,
+            BaseKind::Kdb => IndexKind::Kdb,
+            BaseKind::RStar => IndexKind::RStar,
+            BaseKind::Rsmi => IndexKind::Rsmi,
+            BaseKind::Rsmia => IndexKind::Rsmia,
+            BaseKind::Zm => IndexKind::Zm,
+        }
+    }
+
+    /// The sharded [`IndexKind`] wrapping this family.
+    pub fn sharded(self) -> IndexKind {
+        IndexKind::Sharded(self)
+    }
+}
+
+/// The index families the registry can build: the paper's seven leaf
+/// families plus their sharded serving-engine composition
+/// (`crates/engine`), registered as `sharded-<family>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IndexKind {
+    /// Grid File.
+    Grid,
+    /// Rank-space Hilbert packed R-tree.
+    Hrr,
+    /// K-D-B-tree.
+    Kdb,
+    /// R*-tree (dynamic insertion).
+    RStar,
+    /// RSMI (approximate window/kNN answers).
+    Rsmi,
+    /// RSMI with MBR-based exact query answering (same structure as RSMI,
+    /// exact traversal at query time).
+    Rsmia,
+    /// Z-order learned model.
+    Zm,
+    /// The sharded serving engine wrapping one inner family: learned
+    /// rank-space partitioning, routed/pruned fan-out, parallel batches.
+    Sharded(BaseKind),
+}
+
+impl IndexKind {
+    /// The paper's seven leaf families, in the order its legends list them
+    /// (sharded compositions are not part of the paper's figures; see
+    /// [`IndexKind::all_sharded`]).
+    pub fn all() -> Vec<IndexKind> {
+        BaseKind::all()
+            .into_iter()
+            .map(BaseKind::unsharded)
+            .collect()
+    }
+
+    /// The seven sharded compositions, in the same order.
+    pub fn all_sharded() -> Vec<IndexKind> {
+        BaseKind::all().into_iter().map(BaseKind::sharded).collect()
+    }
+
+    /// Every kind the registry can build: leaf families then sharded
+    /// compositions.
+    pub fn all_with_sharded() -> Vec<IndexKind> {
+        let mut v = Self::all();
+        v.extend(Self::all_sharded());
+        v
     }
 
     /// The families without the RSMIa duplicate (used for point queries and
@@ -73,7 +142,16 @@ impl IndexKind {
             .collect()
     }
 
-    /// Display name matching the paper's figures.
+    /// The inner leaf family when this is a sharded composition.
+    pub fn base(&self) -> Option<BaseKind> {
+        match self {
+            IndexKind::Sharded(base) => Some(*base),
+            _ => None,
+        }
+    }
+
+    /// Display name matching the paper's figures (sharded compositions
+    /// prefix the inner family's name).
     pub fn name(&self) -> &'static str {
         match self {
             IndexKind::Grid => "Grid",
@@ -83,22 +161,45 @@ impl IndexKind {
             IndexKind::Rsmi => "RSMI",
             IndexKind::Rsmia => "RSMIa",
             IndexKind::Zm => "ZM",
+            IndexKind::Sharded(base) => match base {
+                BaseKind::Grid => "Sharded-Grid",
+                BaseKind::Hrr => "Sharded-HRR",
+                BaseKind::Kdb => "Sharded-KDB",
+                BaseKind::RStar => "Sharded-RR*",
+                BaseKind::Rsmi => "Sharded-RSMI",
+                BaseKind::Rsmia => "Sharded-RSMIa",
+                BaseKind::Zm => "Sharded-ZM",
+            },
         }
     }
 
     /// Whether window queries of this family are exact (match brute force).
+    /// Sharding preserves exactness: the union of exact per-shard answers
+    /// over MBR-intersecting shards is the exact answer.
     pub fn exact_windows(&self) -> bool {
-        !matches!(self, IndexKind::Rsmi | IndexKind::Zm)
+        match self {
+            IndexKind::Sharded(base) => base.unsharded().exact_windows(),
+            IndexKind::Rsmi | IndexKind::Zm => false,
+            _ => true,
+        }
     }
 
     /// Whether kNN queries of this family are exact.
     pub fn exact_knn(&self) -> bool {
-        !matches!(self, IndexKind::Rsmi | IndexKind::Zm)
+        match self {
+            IndexKind::Sharded(base) => base.unsharded().exact_knn(),
+            IndexKind::Rsmi | IndexKind::Zm => false,
+            _ => true,
+        }
     }
 
     /// Whether this family contains learned sub-models.
     pub fn is_learned(&self) -> bool {
-        matches!(self, IndexKind::Rsmi | IndexKind::Rsmia | IndexKind::Zm)
+        match self {
+            IndexKind::Sharded(base) => base.unsharded().is_learned(),
+            IndexKind::Rsmi | IndexKind::Rsmia | IndexKind::Zm => true,
+            _ => false,
+        }
     }
 }
 
@@ -112,9 +213,26 @@ impl std::str::FromStr for IndexKind {
     type Err = String;
 
     /// Parses a family from its display name (case-insensitive; `RR*` also
-    /// accepts `rstar`).
+    /// accepts `rstar`).  A `sharded-` prefix selects the sharded
+    /// composition of the suffix family, e.g. `sharded-rsmi`.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        match s.to_ascii_lowercase().as_str() {
+        let lower = s.to_ascii_lowercase();
+        if let Some(inner) = lower.strip_prefix("sharded-") {
+            let leaf: IndexKind = inner.parse()?;
+            return match leaf {
+                IndexKind::Grid => Ok(BaseKind::Grid.sharded()),
+                IndexKind::Hrr => Ok(BaseKind::Hrr.sharded()),
+                IndexKind::Kdb => Ok(BaseKind::Kdb.sharded()),
+                IndexKind::RStar => Ok(BaseKind::RStar.sharded()),
+                IndexKind::Rsmi => Ok(BaseKind::Rsmi.sharded()),
+                IndexKind::Rsmia => Ok(BaseKind::Rsmia.sharded()),
+                IndexKind::Zm => Ok(BaseKind::Zm.sharded()),
+                IndexKind::Sharded(_) => {
+                    Err(format!("cannot shard an already-sharded kind: '{s}'"))
+                }
+            };
+        }
+        match lower.as_str() {
             "grid" => Ok(IndexKind::Grid),
             "hrr" => Ok(IndexKind::Hrr),
             "kdb" => Ok(IndexKind::Kdb),
@@ -123,7 +241,8 @@ impl std::str::FromStr for IndexKind {
             "rsmia" => Ok(IndexKind::Rsmia),
             "zm" => Ok(IndexKind::Zm),
             other => Err(format!(
-                "unknown index kind '{other}' (expected one of Grid, HRR, KDB, RR*, RSMI, RSMIa, ZM)"
+                "unknown index kind '{other}' (expected one of Grid, HRR, KDB, RR*, RSMI, \
+                 RSMIa, ZM, or sharded-<kind>)"
             )),
         }
     }
@@ -142,8 +261,14 @@ pub struct IndexConfig {
     pub learning_rate: f64,
     /// Random seed for deterministic model initialisation.
     pub seed: u64,
-    /// Space-filling curve used by RSMI's ordering.
+    /// Space-filling curve used by RSMI's ordering (and by the sharded
+    /// engine's partitioner).
     pub curve: CurveKind,
+    /// Shard count for the `Sharded(_)` kinds (ignored by leaf families).
+    pub shards: usize,
+    /// Worker threads used by the batch entry points of the `Sharded(_)`
+    /// kinds (1 = sequential; ignored by leaf families).
+    pub threads: usize,
 }
 
 impl Default for IndexConfig {
@@ -155,6 +280,8 @@ impl Default for IndexConfig {
             learning_rate: 0.15,
             seed: 42,
             curve: CurveKind::Hilbert,
+            shards: 4,
+            threads: 1,
         }
     }
 }
@@ -196,6 +323,29 @@ impl IndexConfig {
         self
     }
 
+    /// Returns a copy with the given shard count (for `Sharded(_)` kinds).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Returns a copy with the given batch-executor thread count (for
+    /// `Sharded(_)` kinds).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The sharded-engine configuration corresponding to this
+    /// configuration.
+    pub fn sharded_config(&self) -> engine::ShardedConfig {
+        engine::ShardedConfig {
+            shards: self.shards,
+            threads: self.threads,
+            curve: self.curve,
+        }
+    }
+
     /// The RSMI configuration corresponding to this configuration.
     pub fn rsmi_config(&self) -> RsmiConfig {
         let mut cfg = RsmiConfig::default()
@@ -225,15 +375,27 @@ impl IndexConfig {
 /// family dynamically (by [`IndexKind`] value or by parsing a name) and get
 /// back a boxed [`SpatialIndex`] answering the uniform query API.
 pub fn build_index(kind: IndexKind, points: &[Point], cfg: &IndexConfig) -> Box<dyn SpatialIndex> {
-    let pts = points.to_vec();
     match kind {
-        IndexKind::Grid => Box::new(GridFile::build(pts, cfg.block_capacity)),
-        IndexKind::Hrr => Box::new(HilbertRTree::build(pts, cfg.block_capacity)),
-        IndexKind::Kdb => Box::new(KdbTree::build(pts, cfg.block_capacity)),
-        IndexKind::RStar => Box::new(RStarTree::build(pts, cfg.block_capacity)),
-        IndexKind::Rsmi => Box::new(Rsmi::build(pts, cfg.rsmi_config())),
-        IndexKind::Rsmia => Box::new(RsmiExact::build(pts, cfg.rsmi_config())),
-        IndexKind::Zm => Box::new(ZOrderModel::build(pts, cfg.zm_config())),
+        IndexKind::Grid => Box::new(GridFile::build(points.to_vec(), cfg.block_capacity)),
+        IndexKind::Hrr => Box::new(HilbertRTree::build(points.to_vec(), cfg.block_capacity)),
+        IndexKind::Kdb => Box::new(KdbTree::build(points.to_vec(), cfg.block_capacity)),
+        IndexKind::RStar => Box::new(RStarTree::build(points.to_vec(), cfg.block_capacity)),
+        IndexKind::Rsmi => Box::new(Rsmi::build(points.to_vec(), cfg.rsmi_config())),
+        IndexKind::Rsmia => Box::new(RsmiExact::build(points.to_vec(), cfg.rsmi_config())),
+        IndexKind::Zm => Box::new(ZOrderModel::build(points.to_vec(), cfg.zm_config())),
+        IndexKind::Sharded(base) => {
+            // The engine takes the registry's own entry point as the
+            // inner-index factory, so every registered leaf family composes
+            // with the sharded serving layer without a dependency cycle.
+            let inner_kind = base.unsharded();
+            let inner_cfg = *cfg;
+            Box::new(engine::ShardedIndex::build(
+                points,
+                cfg.sharded_config(),
+                kind.name(),
+                &move |pts| build_index(inner_kind, pts, &inner_cfg),
+            ))
+        }
     }
 }
 
@@ -272,12 +434,48 @@ mod tests {
 
     #[test]
     fn kind_names_round_trip_through_from_str() {
-        for kind in IndexKind::all() {
+        for kind in IndexKind::all_with_sharded() {
             let parsed: IndexKind = kind.name().parse().expect("parse display name");
             assert_eq!(parsed, kind);
         }
         assert_eq!("rstar".parse::<IndexKind>().unwrap(), IndexKind::RStar);
+        assert_eq!(
+            "sharded-rstar".parse::<IndexKind>().unwrap(),
+            BaseKind::RStar.sharded()
+        );
         assert!("nonsense".parse::<IndexKind>().is_err());
+        assert!("sharded-nonsense".parse::<IndexKind>().is_err());
+        assert!("sharded-sharded-rsmi".parse::<IndexKind>().is_err());
+    }
+
+    #[test]
+    fn sharded_kinds_inherit_the_inner_family_contract() {
+        for base in BaseKind::all() {
+            let kind = base.sharded();
+            assert_eq!(kind.base(), Some(base));
+            assert_eq!(kind.exact_windows(), base.unsharded().exact_windows());
+            assert_eq!(kind.exact_knn(), base.unsharded().exact_knn());
+            assert_eq!(kind.is_learned(), base.unsharded().is_learned());
+            assert!(kind.name().starts_with("Sharded-"));
+        }
+        assert_eq!(IndexKind::Rsmi.base(), None);
+    }
+
+    #[test]
+    fn sharded_builds_route_point_queries_through_the_engine() {
+        let data = generate(Distribution::skewed_default(), 900, 13);
+        let cfg = IndexConfig::fast().with_shards(4);
+        let index = build_index(BaseKind::Hrr.sharded(), &data, &cfg);
+        assert_eq!(index.name(), "Sharded-HRR");
+        assert_eq!(index.len(), data.len());
+        let mut cx = QueryContext::new();
+        for p in data.iter().step_by(31) {
+            assert_eq!(index.point_query(p, &mut cx).map(|f| f.id), Some(p.id));
+        }
+        let stats = cx.take_stats();
+        let n = data.iter().step_by(31).count() as u64;
+        assert_eq!(stats.shards_visited, n, "point routing fanned out");
+        assert_eq!(stats.shards_pruned, 3 * n);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 use common::{brute_force, QueryContext, SpatialIndex};
 use datagen::{generate, queries, Distribution};
 use geom::{Point, Rect};
-use registry::{build_index, IndexConfig, IndexKind};
+use registry::{build_index, BaseKind, IndexConfig, IndexKind};
 
 fn cfg() -> IndexConfig {
     IndexConfig::fast()
@@ -199,14 +199,25 @@ conformance_tests! {
     conformance_rsmi => IndexKind::Rsmi,
     conformance_rsmia => IndexKind::Rsmia,
     conformance_zm => IndexKind::Zm,
+    // The sharded serving engine composes with every leaf family through
+    // the registry and is held to the exact same contract.
+    conformance_sharded_grid => BaseKind::Grid.sharded(),
+    conformance_sharded_hrr => BaseKind::Hrr.sharded(),
+    conformance_sharded_kdb => BaseKind::Kdb.sharded(),
+    conformance_sharded_rstar => BaseKind::RStar.sharded(),
+    conformance_sharded_rsmi => BaseKind::Rsmi.sharded(),
+    conformance_sharded_rsmia => BaseKind::Rsmia.sharded(),
+    conformance_sharded_zm => BaseKind::Zm.sharded(),
 }
 
 #[test]
 fn registry_covers_every_kind_exactly_once() {
     let all = IndexKind::all();
     assert_eq!(all.len(), 7);
-    let names: std::collections::HashSet<&str> = all.iter().map(IndexKind::name).collect();
-    assert_eq!(names.len(), 7, "duplicate display names");
+    let everything = IndexKind::all_with_sharded();
+    assert_eq!(everything.len(), 14);
+    let names: std::collections::HashSet<&str> = everything.iter().map(IndexKind::name).collect();
+    assert_eq!(names.len(), 14, "duplicate display names");
 }
 
 /// Compile-time assertion that no index type relies on interior mutability
@@ -222,6 +233,7 @@ fn every_index_type_is_send_and_sync() {
     assert_send_sync::<baselines::ZOrderModel>();
     assert_send_sync::<rsmi::Rsmi>();
     assert_send_sync::<rsmi::RsmiExact>();
+    assert_send_sync::<engine::ShardedIndex>();
     assert_send_sync::<dyn SpatialIndex>();
     assert_send_sync::<Box<dyn SpatialIndex>>();
 }

@@ -1,0 +1,263 @@
+//! Determinism of the sharded serving engine: for exact inner families the
+//! sharded composition must return **identical** answers to the unsharded
+//! index on the same data — window result sets, kNN sequences under the
+//! `(distance, id)` tie-break, and point lookups — regardless of shard
+//! count or batch thread count.
+//!
+//! CI runs this suite in debug *and* release mode, because the batch
+//! executor's threaded paths only get real interleaving under optimised
+//! builds.
+
+use common::{QueryContext, SpatialIndex};
+use datagen::{generate, queries, Distribution};
+use geom::Point;
+use registry::{build_index, BaseKind, IndexConfig, IndexKind};
+
+fn cfg() -> IndexConfig {
+    IndexConfig::fast().with_shards(5)
+}
+
+/// Window answers as id-sorted point lists — "byte-identical" modulo the
+/// (unspecified) visit order of the trait.
+fn window_sets(index: &dyn SpatialIndex, windows: &[geom::Rect]) -> Vec<Vec<Point>> {
+    let mut cx = QueryContext::new();
+    let mut out = index.window_queries(windows, &mut cx);
+    for set in &mut out {
+        set.sort_by_key(|p| p.id);
+    }
+    out
+}
+
+#[test]
+fn sharded_matches_unsharded_for_every_exact_kind() {
+    let data = generate(Distribution::OsmLike, 6_000, 31);
+    let windows = queries::window_queries(&data, queries::WindowSpec::default(), 40, 33);
+    let knn_qs = queries::knn_queries(&data, 30, 35);
+    let point_qs = queries::point_queries(&data, 200, 37);
+    let negative_qs = queries::negative_point_queries(&data, 50, 39);
+
+    for base in BaseKind::all() {
+        if !base.unsharded().exact_windows() {
+            continue;
+        }
+        let flat = build_index(base.unsharded(), &data, &cfg());
+        let sharded = build_index(base.sharded(), &data, &cfg());
+        let mut cx = QueryContext::new();
+
+        assert_eq!(
+            window_sets(flat.as_ref(), &windows),
+            window_sets(sharded.as_ref(), &windows),
+            "{}: window sets differ from unsharded",
+            base.sharded().name()
+        );
+
+        for q in &knn_qs {
+            for k in [1usize, 10, 100] {
+                let a = flat.knn_query(q, k, &mut cx);
+                let b = sharded.knn_query(q, k, &mut cx);
+                assert_eq!(
+                    a.iter().map(|p| p.id).collect::<Vec<_>>(),
+                    b.iter().map(|p| p.id).collect::<Vec<_>>(),
+                    "{}: kNN (distance, id) sequence differs, k = {k}",
+                    base.sharded().name()
+                );
+            }
+        }
+
+        for q in point_qs.iter().chain(&negative_qs) {
+            assert_eq!(
+                flat.point_query(q, &mut cx).map(|p| p.id),
+                sharded.point_query(q, &mut cx).map(|p| p.id),
+                "{}: point answer differs",
+                base.sharded().name()
+            );
+        }
+    }
+}
+
+#[test]
+fn knn_distance_ties_resolve_by_id_in_every_exact_kind() {
+    // A lattice makes distance ties the common case instead of a
+    // measure-zero event: from a lattice point, each ring of neighbours is
+    // equidistant, so any k cutting through a ring exposes the tie-break.
+    let side = 21usize;
+    let data: Vec<Point> = (0..side * side)
+        .map(|i| {
+            let (r, c) = (i / side, i % side);
+            Point::with_id(
+                c as f64 / (side - 1) as f64,
+                r as f64 / (side - 1) as f64,
+                i as u64,
+            )
+        })
+        .collect();
+    let queries = [
+        Point::new(0.5, 0.5),
+        Point::new(0.25, 0.75),
+        Point::new(0.0, 0.0),
+    ];
+
+    for base in BaseKind::all() {
+        if !base.unsharded().exact_knn() {
+            continue;
+        }
+        let flat = build_index(base.unsharded(), &data, &cfg());
+        let sharded = build_index(base.sharded(), &data, &cfg());
+        let mut cx = QueryContext::new();
+        for q in &queries {
+            // k = 3 and 7 cut through the first rings of 4 tied points.
+            for k in [3usize, 7, 20] {
+                let truth: Vec<u64> = common::brute_force::knn_query(&data, q, k)
+                    .iter()
+                    .map(|p| p.id)
+                    .collect();
+                for (label, index) in [("flat", &flat), ("sharded", &sharded)] {
+                    assert_eq!(
+                        index
+                            .knn_query(q, k, &mut cx)
+                            .iter()
+                            .map(|p| p.id)
+                            .collect::<Vec<_>>(),
+                        truth,
+                        "{} {}: tie not broken by id, k = {k}, q = {q:?}",
+                        base.sharded().name(),
+                        label
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn approximate_kinds_are_self_deterministic_when_sharded() {
+    // RSMI and ZM answer windows/kNN approximately, so their sharded
+    // answers legitimately differ from the unsharded index (each shard
+    // learns its own models).  What must still hold: two identical builds
+    // answer identically, and answers never contain false positives.
+    let data = generate(Distribution::skewed_default(), 5_000, 41);
+    let windows = queries::window_queries(&data, queries::WindowSpec::default(), 30, 43);
+    for base in [BaseKind::Rsmi, BaseKind::Zm] {
+        let a = build_index(base.sharded(), &data, &cfg());
+        let b = build_index(base.sharded(), &data, &cfg());
+        assert_eq!(
+            window_sets(a.as_ref(), &windows),
+            window_sets(b.as_ref(), &windows),
+            "{}: rebuild changed answers",
+            base.sharded().name()
+        );
+        let mut cx = QueryContext::new();
+        for w in &windows {
+            for p in a.window_query(w, &mut cx) {
+                assert!(w.contains(&p), "{}: false positive", base.sharded().name());
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_thread_count_never_changes_results() {
+    let data = generate(Distribution::TigerLike, 8_000, 45);
+    let windows = queries::window_queries(&data, queries::WindowSpec::default(), 60, 47);
+    let point_qs = queries::point_queries(&data, 300, 49);
+    let knn_qs = queries::knn_queries(&data, 60, 51);
+
+    let seq = build_index(BaseKind::Kdb.sharded(), &data, &cfg().with_threads(1));
+    let par = build_index(BaseKind::Kdb.sharded(), &data, &cfg().with_threads(4));
+
+    let (mut cx1, mut cx4) = (QueryContext::new(), QueryContext::new());
+    assert_eq!(
+        seq.point_queries(&point_qs, &mut cx1),
+        par.point_queries(&point_qs, &mut cx4)
+    );
+    assert_eq!(
+        seq.window_queries(&windows, &mut cx1),
+        par.window_queries(&windows, &mut cx4)
+    );
+    assert_eq!(
+        seq.knn_queries(&knn_qs, 15, &mut cx1),
+        par.knn_queries(&knn_qs, 15, &mut cx4)
+    );
+    assert_eq!(
+        cx1.stats, cx4.stats,
+        "merged batch statistics must not depend on the thread count"
+    );
+}
+
+/// The acceptance-scale workload: ≥100k points, a window workload that
+/// provably prunes shards, answers byte-identical to the unsharded index.
+#[test]
+fn large_scale_window_workload_prunes_and_stays_identical() {
+    let data = generate(Distribution::skewed_default(), 100_000, 53);
+    let windows = queries::hotspot_window_queries(&data, queries::WindowSpec::default(), 50, 55);
+    let cfg = IndexConfig::default().with_shards(8);
+    for base in [BaseKind::Hrr, BaseKind::Grid] {
+        let flat = build_index(base.unsharded(), &data, &cfg);
+        let sharded = build_index(base.sharded(), &data, &cfg);
+
+        assert_eq!(
+            window_sets(flat.as_ref(), &windows),
+            window_sets(sharded.as_ref(), &windows),
+            "{}: 100k window answers differ",
+            base.sharded().name()
+        );
+
+        let mut cx = QueryContext::new();
+        let _ = sharded.window_queries(&windows, &mut cx);
+        let stats = cx.take_stats();
+        assert!(
+            stats.shards_pruned > 0,
+            "{}: hotspot windows over 100k points pruned nothing",
+            base.sharded().name()
+        );
+        assert_eq!(
+            stats.shards_visited + stats.shards_pruned,
+            8 * windows.len() as u64,
+            "{}: planner lost track of shards",
+            base.sharded().name()
+        );
+    }
+}
+
+#[test]
+fn mixed_workload_agrees_between_sharded_and_unsharded() {
+    let data = generate(Distribution::Uniform, 6_000, 57);
+    let mix = queries::mixed_workload(&data, queries::WindowSpec::default(), 12, 120, 59);
+    let flat = build_index(IndexKind::Hrr, &data, &cfg());
+    let sharded = build_index(BaseKind::Hrr.sharded(), &data, &cfg());
+    let mut cx = QueryContext::new();
+    for q in &mix {
+        match q {
+            queries::MixedQuery::Point(p) => {
+                assert_eq!(
+                    flat.point_query(p, &mut cx).map(|f| f.id),
+                    sharded.point_query(p, &mut cx).map(|f| f.id)
+                );
+            }
+            queries::MixedQuery::Window(w) => {
+                let mut a: Vec<u64> = flat.window_query(w, &mut cx).iter().map(|p| p.id).collect();
+                let mut b: Vec<u64> = sharded
+                    .window_query(w, &mut cx)
+                    .iter()
+                    .map(|p| p.id)
+                    .collect();
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b);
+            }
+            queries::MixedQuery::Knn(p, k) => {
+                assert_eq!(
+                    flat.knn_query(p, *k, &mut cx)
+                        .iter()
+                        .map(|f| f.id)
+                        .collect::<Vec<_>>(),
+                    sharded
+                        .knn_query(p, *k, &mut cx)
+                        .iter()
+                        .map(|f| f.id)
+                        .collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+}
