@@ -5,7 +5,11 @@
 
 use common::{QueryContext, SpatialIndex};
 use geom::{Point, Rect};
+use persist::{PersistError, SnapshotReader, SnapshotWriter};
 use storage::{BlockId, BlockStore};
+
+/// Section tag of the grid directory (the cell table).
+const SECTION_GRID: u32 = 0x4701;
 
 /// Grid File index ("Grid" in the paper's figures).
 #[derive(Debug)]
@@ -92,6 +96,43 @@ impl GridFile {
         let block = self.store.block(id);
         cx.count_block_scan(block.len());
         block
+    }
+
+    /// Reads a Grid File snapshot written by
+    /// [`SpatialIndex::write_snapshot`].
+    pub fn read_snapshot(r: &mut SnapshotReader<'_>) -> Result<Self, PersistError> {
+        let store = BlockStore::read_snapshot(r)?;
+        r.begin_section(SECTION_GRID)?;
+        let side = r.get_usize()?;
+        let n_points = r.get_usize()?;
+        let n_cells = r.get_len(8)?;
+        if side == 0 || side.checked_mul(side) != Some(n_cells) {
+            return Err(PersistError::Corrupt(format!(
+                "grid of side {side} with {n_cells} cells"
+            )));
+        }
+        let mut cells = Vec::with_capacity(n_cells);
+        for _ in 0..n_cells {
+            let len = r.get_len(8)?;
+            let mut blocks = Vec::with_capacity(len);
+            for _ in 0..len {
+                let b = r.get_usize()?;
+                if b >= store.len() {
+                    return Err(PersistError::Corrupt(format!(
+                        "cell references nonexistent block {b}"
+                    )));
+                }
+                blocks.push(b);
+            }
+            cells.push(blocks);
+        }
+        r.end_section()?;
+        Ok(Self {
+            store,
+            cells,
+            side,
+            n_points,
+        })
     }
 }
 
@@ -254,6 +295,22 @@ impl SpatialIndex for GridFile {
 
     fn height(&self) -> usize {
         1
+    }
+
+    fn write_snapshot(&self, w: &mut SnapshotWriter) -> Result<(), PersistError> {
+        self.store.write_snapshot(w);
+        w.begin_section(SECTION_GRID);
+        w.put_usize(self.side);
+        w.put_usize(self.n_points);
+        w.put_usize(self.cells.len());
+        for cell in &self.cells {
+            w.put_usize(cell.len());
+            for &b in cell {
+                w.put_usize(b);
+            }
+        }
+        w.end_section();
+        Ok(())
     }
 }
 

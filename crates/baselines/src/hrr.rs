@@ -9,11 +9,15 @@
 
 use common::{QueryContext, SpatialIndex};
 use geom::{Point, Rect};
+use persist::{PersistError, SnapshotReader, SnapshotWriter};
 use sfc::{CurveKind, RankSpace};
 use storage::{BlockId, BlockStore};
 
 /// Fan-out of internal nodes (the paper stores up to 100 MBRs per node).
 const FANOUT: usize = 100;
+
+/// Section tag of the HRR directory (nodes and block MBRs).
+const SECTION_HRR: u32 = 0x4801;
 
 #[derive(Debug, Clone)]
 enum NodeKind {
@@ -198,6 +202,73 @@ impl HilbertRTree {
         let block = self.store.block(id);
         cx.count_block_scan(block.len());
         block
+    }
+
+    /// Reads an HRR snapshot written by [`SpatialIndex::write_snapshot`].
+    pub fn read_snapshot(r: &mut SnapshotReader<'_>) -> Result<Self, PersistError> {
+        let store = BlockStore::read_snapshot(r)?;
+        r.begin_section(SECTION_HRR)?;
+        let root = r.get_opt_usize()?;
+        let height = r.get_usize()?;
+        let n_points = r.get_usize()?;
+        let n_nodes = r.get_len(33)?;
+        let mut nodes = Vec::with_capacity(n_nodes);
+        for _ in 0..n_nodes {
+            let mbr = r.get_rect()?;
+            let kind = match r.get_u8()? {
+                0 => {
+                    let len = r.get_len(8)?;
+                    let mut children = Vec::with_capacity(len);
+                    for _ in 0..len {
+                        let c = r.get_usize()?;
+                        if c >= n_nodes {
+                            return Err(PersistError::Corrupt(format!(
+                                "HRR node child {c} out of range"
+                            )));
+                        }
+                        children.push(c);
+                    }
+                    NodeKind::Internal(children)
+                }
+                1 => {
+                    let len = r.get_len(8)?;
+                    let mut blocks = Vec::with_capacity(len);
+                    for _ in 0..len {
+                        let b = r.get_usize()?;
+                        if b >= store.len() {
+                            return Err(PersistError::Corrupt(format!(
+                                "HRR leaf parent references nonexistent block {b}"
+                            )));
+                        }
+                        blocks.push(b);
+                    }
+                    NodeKind::LeafParent(blocks)
+                }
+                other => {
+                    return Err(PersistError::Corrupt(format!(
+                        "unknown HRR node kind byte {other}"
+                    )))
+                }
+            };
+            nodes.push(TreeNode { mbr, kind });
+        }
+        if root.is_some_and(|root| root >= n_nodes) {
+            return Err(PersistError::Corrupt("HRR root out of range".into()));
+        }
+        let n_mbrs = r.get_len(32)?;
+        let mut block_mbrs = Vec::with_capacity(n_mbrs);
+        for _ in 0..n_mbrs {
+            block_mbrs.push(r.get_rect()?);
+        }
+        r.end_section()?;
+        Ok(Self {
+            store,
+            nodes,
+            block_mbrs,
+            root,
+            height,
+            n_points,
+        })
     }
 }
 
@@ -487,6 +558,40 @@ impl SpatialIndex for HilbertRTree {
 
     fn height(&self) -> usize {
         self.height
+    }
+
+    fn write_snapshot(&self, w: &mut SnapshotWriter) -> Result<(), PersistError> {
+        self.store.write_snapshot(w);
+        w.begin_section(SECTION_HRR);
+        w.put_opt_usize(self.root);
+        w.put_usize(self.height);
+        w.put_usize(self.n_points);
+        w.put_usize(self.nodes.len());
+        for node in &self.nodes {
+            w.put_rect(&node.mbr);
+            match &node.kind {
+                NodeKind::Internal(children) => {
+                    w.put_u8(0);
+                    w.put_usize(children.len());
+                    for &c in children {
+                        w.put_usize(c);
+                    }
+                }
+                NodeKind::LeafParent(blocks) => {
+                    w.put_u8(1);
+                    w.put_usize(blocks.len());
+                    for &b in blocks {
+                        w.put_usize(b);
+                    }
+                }
+            }
+        }
+        w.put_usize(self.block_mbrs.len());
+        for mbr in &self.block_mbrs {
+            w.put_rect(mbr);
+        }
+        w.end_section();
+        Ok(())
     }
 }
 

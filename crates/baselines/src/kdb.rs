@@ -11,11 +11,15 @@
 
 use common::{QueryContext, SpatialIndex};
 use geom::{Point, Rect};
+use persist::{PersistError, SnapshotReader, SnapshotWriter};
 use storage::{BlockId, BlockStore};
 
 /// Directory fan-out (√FANOUT cuts per dimension), matching the paper's 100
 /// entries per internal node.
 const FANOUT_SIDE: usize = 10;
+
+/// Section tag of the K-D-B directory.
+const SECTION_KDB: u32 = 0x4B01;
 
 #[derive(Debug, Clone)]
 enum NodeKind {
@@ -208,6 +212,62 @@ impl KdbTree {
         let block = self.store.block(id);
         cx.count_block_scan(block.len());
         block
+    }
+
+    /// Reads a K-D-B snapshot written by [`SpatialIndex::write_snapshot`].
+    pub fn read_snapshot(r: &mut SnapshotReader<'_>) -> Result<Self, PersistError> {
+        let store = BlockStore::read_snapshot(r)?;
+        r.begin_section(SECTION_KDB)?;
+        let root = r.get_opt_usize()?;
+        let height = r.get_usize()?;
+        let n_points = r.get_usize()?;
+        let n_nodes = r.get_len(33)?;
+        let mut nodes = Vec::with_capacity(n_nodes);
+        for _ in 0..n_nodes {
+            let region = r.get_rect()?;
+            let kind = match r.get_u8()? {
+                0 => {
+                    let len = r.get_len(8)?;
+                    let mut children = Vec::with_capacity(len);
+                    for _ in 0..len {
+                        let c = r.get_usize()?;
+                        if c >= n_nodes {
+                            return Err(PersistError::Corrupt(format!(
+                                "KDB node child {c} out of range"
+                            )));
+                        }
+                        children.push(c);
+                    }
+                    NodeKind::Internal(children)
+                }
+                1 => {
+                    let b = r.get_usize()?;
+                    if b >= store.len() {
+                        return Err(PersistError::Corrupt(format!(
+                            "KDB leaf references nonexistent block {b}"
+                        )));
+                    }
+                    NodeKind::Leaf(b)
+                }
+                other => {
+                    return Err(PersistError::Corrupt(format!(
+                        "unknown KDB node kind byte {other}"
+                    )))
+                }
+            };
+            nodes.push(KdbNode { region, kind });
+        }
+        if root.is_some_and(|root| root >= n_nodes) {
+            return Err(PersistError::Corrupt("KDB root out of range".into()));
+        }
+        r.end_section()?;
+        Ok(Self {
+            store,
+            nodes,
+            root,
+            height,
+            n_points,
+        })
     }
 }
 
@@ -429,6 +489,33 @@ impl SpatialIndex for KdbTree {
 
     fn height(&self) -> usize {
         self.height
+    }
+
+    fn write_snapshot(&self, w: &mut SnapshotWriter) -> Result<(), PersistError> {
+        self.store.write_snapshot(w);
+        w.begin_section(SECTION_KDB);
+        w.put_opt_usize(self.root);
+        w.put_usize(self.height);
+        w.put_usize(self.n_points);
+        w.put_usize(self.nodes.len());
+        for node in &self.nodes {
+            w.put_rect(&node.region);
+            match &node.kind {
+                NodeKind::Internal(children) => {
+                    w.put_u8(0);
+                    w.put_usize(children.len());
+                    for &c in children {
+                        w.put_usize(c);
+                    }
+                }
+                NodeKind::Leaf(block) => {
+                    w.put_u8(1);
+                    w.put_usize(*block);
+                }
+            }
+        }
+        w.end_section();
+        Ok(())
     }
 }
 

@@ -12,9 +12,13 @@
 
 use common::{QueryContext, SpatialIndex};
 use geom::{Point, Rect};
+use persist::{PersistError, SnapshotReader, SnapshotWriter};
 
 /// Maximum entries per node (paper: 100 points per leaf / 100 MBRs per node).
 const MAX_ENTRIES: usize = 100;
+
+/// Section tag of the R*-tree node arena.
+const SECTION_RSTAR: u32 = 0x5201;
 /// Minimum fill after a split (40 % of the maximum, the R\*-tree default).
 const MIN_ENTRIES: usize = 40;
 
@@ -294,6 +298,63 @@ impl RStarTree {
             }
         }
     }
+
+    /// Reads an R*-tree snapshot written by
+    /// [`SpatialIndex::write_snapshot`].
+    pub fn read_snapshot(r: &mut SnapshotReader<'_>) -> Result<Self, PersistError> {
+        r.begin_section(SECTION_RSTAR)?;
+        let root = r.get_opt_usize()?;
+        let height = r.get_usize()?;
+        let n_points = r.get_usize()?;
+        let block_capacity = r.get_usize()?;
+        let n_nodes = r.get_len(33)?;
+        let mut nodes = Vec::with_capacity(n_nodes);
+        for _ in 0..n_nodes {
+            let mbr = r.get_rect()?;
+            let kind = match r.get_u8()? {
+                0 => {
+                    let len = r.get_len(40)?;
+                    let mut entries = Vec::with_capacity(len);
+                    for _ in 0..len {
+                        let rect = r.get_rect()?;
+                        let child = r.get_usize()?;
+                        if child >= n_nodes {
+                            return Err(PersistError::Corrupt(format!(
+                                "R*-tree entry child {child} out of range"
+                            )));
+                        }
+                        entries.push((rect, child));
+                    }
+                    NodeKind::Internal(entries)
+                }
+                1 => {
+                    let len = r.get_len(24)?;
+                    let mut points = Vec::with_capacity(len);
+                    for _ in 0..len {
+                        points.push(r.get_point()?);
+                    }
+                    NodeKind::Leaf(points)
+                }
+                other => {
+                    return Err(PersistError::Corrupt(format!(
+                        "unknown R*-tree node kind byte {other}"
+                    )))
+                }
+            };
+            nodes.push(RNode { mbr, kind });
+        }
+        if root.is_some_and(|root| root >= n_nodes) {
+            return Err(PersistError::Corrupt("R*-tree root out of range".into()));
+        }
+        r.end_section()?;
+        Ok(Self {
+            nodes,
+            root,
+            height,
+            n_points,
+            block_capacity,
+        })
+    }
 }
 
 impl SpatialIndex for RStarTree {
@@ -536,6 +597,37 @@ impl SpatialIndex for RStarTree {
 
     fn height(&self) -> usize {
         self.height
+    }
+
+    fn write_snapshot(&self, w: &mut SnapshotWriter) -> Result<(), PersistError> {
+        w.begin_section(SECTION_RSTAR);
+        w.put_opt_usize(self.root);
+        w.put_usize(self.height);
+        w.put_usize(self.n_points);
+        w.put_usize(self.block_capacity);
+        w.put_usize(self.nodes.len());
+        for node in &self.nodes {
+            w.put_rect(&node.mbr);
+            match &node.kind {
+                NodeKind::Internal(entries) => {
+                    w.put_u8(0);
+                    w.put_usize(entries.len());
+                    for (rect, child) in entries {
+                        w.put_rect(rect);
+                        w.put_usize(*child);
+                    }
+                }
+                NodeKind::Leaf(points) => {
+                    w.put_u8(1);
+                    w.put_usize(points.len());
+                    for p in points {
+                        w.put_point(p);
+                    }
+                }
+            }
+        }
+        w.end_section();
+        Ok(())
     }
 }
 

@@ -11,6 +11,7 @@
 use common::{QueryContext, SpatialIndex};
 use geom::{Point, Rect};
 use mlp::{MlpConfig, ScaledRegressor};
+use persist::{PersistError, SnapshotReader, SnapshotWriter};
 use sfc::zcurve;
 use storage::{BlockId, BlockStore};
 
@@ -18,6 +19,11 @@ use storage::{BlockId, BlockStore};
 /// 40-bit curve value is exactly representable in an `f64` mantissa, so the
 /// learned models see no quantisation noise.
 const Z_ORDER: u32 = 20;
+
+/// Section tag of the ZM metadata (config and counts).
+const SECTION_ZM_META: u32 = 0x5A01;
+/// Section tag of the ZM model levels (trained weights, no retraining).
+const SECTION_ZM_MODELS: u32 = 0x5A02;
 
 /// Configuration of the ZM baseline.
 #[derive(Debug, Clone, Copy)]
@@ -299,6 +305,78 @@ impl ZOrderModel {
     pub fn block_store(&self) -> &BlockStore {
         &self.store
     }
+
+    /// Reads a ZM snapshot written by [`SpatialIndex::write_snapshot`].
+    pub fn read_snapshot(r: &mut SnapshotReader<'_>) -> Result<Self, PersistError> {
+        r.begin_section(SECTION_ZM_META)?;
+        let config = ZmConfig {
+            block_capacity: r.get_usize()?,
+            epochs: r.get_usize()?,
+            learning_rate: r.get_f64()?,
+            seed: r.get_u64()?,
+        };
+        let n_points = r.get_usize()?;
+        let built_n = r.get_usize()?;
+        let model_count = r.get_usize()?;
+        r.end_section()?;
+        let store = BlockStore::read_snapshot(r)?;
+        if store.capacity() != config.block_capacity {
+            return Err(PersistError::Corrupt(
+                "ZM store capacity differs from its config".into(),
+            ));
+        }
+        r.begin_section(SECTION_ZM_MODELS)?;
+        let root = decode_opt_model(r)?;
+        let level1 = decode_model_level(r)?;
+        let level2 = decode_model_level(r)?;
+        r.end_section()?;
+        Ok(Self {
+            config,
+            store,
+            root,
+            level1,
+            level2,
+            n_points,
+            built_n,
+            model_count,
+        })
+    }
+}
+
+fn encode_opt_model(w: &mut SnapshotWriter, model: Option<&ScaledRegressor>) {
+    match model {
+        Some(m) => {
+            w.put_bool(true);
+            m.encode(w);
+        }
+        None => w.put_bool(false),
+    }
+}
+
+fn decode_opt_model(r: &mut SnapshotReader<'_>) -> Result<Option<ScaledRegressor>, PersistError> {
+    if r.get_bool()? {
+        Ok(Some(ScaledRegressor::decode(r)?))
+    } else {
+        Ok(None)
+    }
+}
+
+fn encode_model_level(w: &mut SnapshotWriter, level: &[Option<ScaledRegressor>]) {
+    w.put_usize(level.len());
+    for model in level {
+        encode_opt_model(w, model.as_ref());
+    }
+}
+
+fn decode_model_level(
+    r: &mut SnapshotReader<'_>,
+) -> Result<Vec<Option<ScaledRegressor>>, PersistError> {
+    let n = r.get_len(1)?;
+    let mut level = Vec::with_capacity(n);
+    for _ in 0..n {
+        level.push(decode_opt_model(r)?);
+    }
+    Ok(level)
 }
 
 impl SpatialIndex for ZOrderModel {
@@ -542,6 +620,25 @@ impl SpatialIndex for ZOrderModel {
 
     fn model_count(&self) -> usize {
         self.model_count
+    }
+
+    fn write_snapshot(&self, w: &mut SnapshotWriter) -> Result<(), PersistError> {
+        w.begin_section(SECTION_ZM_META);
+        w.put_usize(self.config.block_capacity);
+        w.put_usize(self.config.epochs);
+        w.put_f64(self.config.learning_rate);
+        w.put_u64(self.config.seed);
+        w.put_usize(self.n_points);
+        w.put_usize(self.built_n);
+        w.put_usize(self.model_count);
+        w.end_section();
+        self.store.write_snapshot(w);
+        w.begin_section(SECTION_ZM_MODELS);
+        encode_opt_model(w, self.root.as_ref());
+        encode_model_level(w, &self.level1);
+        encode_model_level(w, &self.level2);
+        w.end_section();
+        Ok(())
     }
 }
 

@@ -1,23 +1,41 @@
-//! Regenerates every table and figure of the paper's evaluation (§6).
+//! Regenerates every table and figure of the paper's evaluation (§6), and
+//! drives the persistence subsystem from the command line.
 //!
 //! Usage:
 //!
 //! ```text
 //! experiments <id> [--scale S] [--epochs E] [--only INDEX[,INDEX...]]
-//!                  [--shards N] [--threads N]
+//!                  [--shards N] [--threads N] [--json PATH]
+//!                  [--path PATH] [--kind KIND]
 //! experiments all
 //! ```
 //!
 //! where `<id>` is one of `table3`, `table4`, `fig6` … `fig19`,
-//! `ablation-rank`, `ablation-curve`, `ablation-grouping`, `sharded`, or
-//! `all`, and `--only` restricts the cross-family figures to the named index
-//! families (parsed through the registry, e.g. `--only RSMI,HRR`).
+//! `ablation-rank`, `ablation-curve`, `ablation-grouping`, `sharded`,
+//! `snapshot`, `serve`, or `all`, and `--only` restricts the cross-family
+//! figures to the named index families (parsed through the registry, e.g.
+//! `--only RSMI,HRR`).  A missing or unknown experiment id, and any flag
+//! with a missing or unparsable value, prints usage and exits with status 2.
+//!
+//! `--json PATH` additionally writes the run's tables as a machine-readable
+//! JSON summary (hand-rolled writer, no serde) — CI archives it as the
+//! repo's perf-trajectory artifact.
 //!
 //! `sharded` is not a paper figure: it measures the sharded serving engine
 //! (`crates/engine`) against the unsharded families — shard fan-out
 //! (`shards_visited` / `shards_pruned`) on a hotspot window workload and the
 //! wall-clock speedup of the multi-threaded batch executor.  `--shards` and
 //! `--threads` parameterise it (defaults 4 and 4).
+//!
+//! `snapshot` and `serve` drive persistence end-to-end.  `snapshot` builds
+//! the index selected by `--kind` (default `sharded-hrr`), runs the query
+//! workload, saves a versioned binary snapshot to `--path`, drops the
+//! index, loads it back, and asserts the replayed workload is answer- and
+//! stats-identical.  `serve` is the restart side: in a *fresh process* it
+//! loads the snapshot from `--path`, rebuilds the same index from scratch
+//! (the builds are deterministic), and diffs the two — the CI persistence
+//! gate runs the pair as consecutive process invocations.  Both exit 1 on
+//! any mismatch.
 //!
 //! Every index is constructed through the dynamic registry
 //! (`registry::build_index`) and measured through the uniform
@@ -35,13 +53,15 @@
 //! machines.
 
 use bench::{
-    build_timed, fmt, markdown_table, measure_insertions, measure_knn_queries,
-    measure_point_queries, measure_window_queries, IndexConfig, IndexKind,
+    build_timed, fmt, measure_insertions, measure_knn_queries, measure_point_queries,
+    measure_window_queries, replay_workload, IndexConfig, IndexKind, ReplaySpec, Report,
 };
 use common::QueryContext;
 use datagen::queries::{self, WindowSpec};
 use datagen::{generate, Distribution};
 use geom::Point;
+use registry::BaseKind;
+use std::path::PathBuf;
 
 /// One window-experiment configuration: axis label, data set, query windows.
 type WindowConfig = (String, Vec<Point>, Vec<geom::Rect>);
@@ -52,6 +72,58 @@ const POINT_QUERIES: usize = 1000;
 const RANGE_QUERIES: usize = 100;
 const SEED: u64 = 42;
 
+const USAGE: &str = "\
+usage: experiments <id> [flags]
+
+experiment ids:
+  table3 table4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15
+  fig16 fig17 fig18 fig19 ablation-rank ablation-curve ablation-grouping
+  sharded snapshot serve all
+
+flags:
+  --scale S      multiply all data-set sizes by S (default 1.0)
+  --epochs E     training epochs for the learned indices (default 30)
+  --only LIST    restrict cross-family experiments to these families,
+                 comma-separated (e.g. --only RSMI,HRR)
+  --shards N     shard count for the sharded engine (default 4)
+  --threads N    worker threads for batch execution (default 4)
+  --json PATH    also write the run's tables as a JSON summary
+  --path PATH    snapshot file for the snapshot/serve experiments
+  --kind KIND    index family for snapshot/serve (default sharded-hrr)";
+
+const KNOWN_EXPERIMENTS: &[&str] = &[
+    "table3",
+    "table4",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "ablation-rank",
+    "ablation-curve",
+    "ablation-grouping",
+    "sharded",
+    "snapshot",
+    "serve",
+    "all",
+];
+
+/// Prints an argument error plus usage and exits with status 2 (the
+/// misuse-of-CLI convention); experiment *failures* exit with status 1.
+fn usage_error(msg: &str) -> ! {
+    eprintln!("error: {msg}\n\n{USAGE}");
+    std::process::exit(2);
+}
+
 #[derive(Clone)]
 struct Opts {
     scale: f64,
@@ -59,6 +131,9 @@ struct Opts {
     only: Option<Vec<IndexKind>>,
     shards: usize,
     threads: usize,
+    json: Option<PathBuf>,
+    path: Option<PathBuf>,
+    kind: Option<IndexKind>,
 }
 
 impl Opts {
@@ -95,66 +170,88 @@ impl Opts {
     }
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut which = String::from("all");
+/// Reads the value of `flag` from the argument stream, exiting with usage
+/// on a missing value or a parse failure — flags never fall back silently.
+fn flag_value<T: std::str::FromStr>(
+    it: &mut std::iter::Peekable<std::slice::Iter<'_, String>>,
+    flag: &str,
+) -> T {
+    let Some(raw) = it.next() else {
+        usage_error(&format!("{flag} requires a value"));
+    };
+    match raw.parse() {
+        Ok(v) => v,
+        Err(_) => usage_error(&format!("{flag}: cannot parse '{raw}'")),
+    }
+}
+
+fn parse_args(args: &[String]) -> (String, Opts) {
     let mut opts = Opts {
         scale: 1.0,
         epochs: 30,
         only: None,
         shards: 4,
         threads: 4,
+        json: None,
+        path: None,
+        kind: None,
     };
     let mut it = args.iter().peekable();
-    if let Some(first) = it.peek() {
-        if !first.starts_with("--") {
-            which = it.next().unwrap().clone();
-        }
+    let Some(first) = it.next() else {
+        usage_error("missing experiment name");
+    };
+    if first.starts_with("--") {
+        usage_error("the experiment name must come before any flags");
+    }
+    let which = first.clone();
+    if !KNOWN_EXPERIMENTS.contains(&which.as_str()) {
+        usage_error(&format!("unknown experiment '{which}'"));
     }
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--scale" => {
-                opts.scale = it.next().and_then(|v| v.parse().ok()).unwrap_or(1.0);
+                opts.scale = flag_value(&mut it, "--scale");
+                if opts.scale <= 0.0 || !opts.scale.is_finite() {
+                    usage_error("--scale must be positive");
+                }
             }
-            "--epochs" => {
-                opts.epochs = it.next().and_then(|v| v.parse().ok()).unwrap_or(30);
-            }
+            "--epochs" => opts.epochs = flag_value(&mut it, "--epochs"),
             "--shards" => {
-                opts.shards = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .filter(|&s| s > 0)
-                    .unwrap_or(4);
+                opts.shards = flag_value(&mut it, "--shards");
+                if opts.shards == 0 {
+                    usage_error("--shards must be positive");
+                }
             }
             "--threads" => {
-                opts.threads = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .filter(|&t| t > 0)
-                    .unwrap_or(4);
+                opts.threads = flag_value(&mut it, "--threads");
+                if opts.threads == 0 {
+                    usage_error("--threads must be positive");
+                }
             }
             "--only" => {
-                let spec = it.next().cloned().unwrap_or_default();
+                let Some(spec) = it.next() else {
+                    usage_error("--only requires a comma-separated list of index names");
+                };
                 let kinds: Result<Vec<IndexKind>, String> =
                     spec.split(',').map(str::parse).collect();
                 match kinds {
                     Ok(kinds) if !kinds.is_empty() => opts.only = Some(kinds),
-                    Ok(_) => {
-                        eprintln!("--only expects a comma-separated list of index names");
-                        std::process::exit(2);
-                    }
-                    Err(e) => {
-                        eprintln!("--only: {e}");
-                        std::process::exit(2);
-                    }
+                    Ok(_) => usage_error("--only expects at least one index name"),
+                    Err(e) => usage_error(&format!("--only: {e}")),
                 }
             }
-            other => {
-                eprintln!("unknown argument: {other}");
-                std::process::exit(2);
-            }
+            "--json" => opts.json = Some(PathBuf::from(flag_value::<String>(&mut it, "--json"))),
+            "--path" => opts.path = Some(PathBuf::from(flag_value::<String>(&mut it, "--path"))),
+            "--kind" => opts.kind = Some(flag_value(&mut it, "--kind")),
+            other => usage_error(&format!("unknown argument: {other}")),
         }
     }
+    (which, opts)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (which, opts) = parse_args(&args);
 
     println!("# RSMI reproduction experiments");
     println!(
@@ -164,56 +261,87 @@ fn main() {
         opts.epochs
     );
 
+    let mut report = Report::new();
+    report.meta("experiment", &which);
+    report.meta("scale", opts.scale);
+    report.meta("epochs", opts.epochs);
+    report.meta("shards", opts.shards);
+    report.meta("threads", opts.threads);
+    report.meta("seed", SEED);
+
     let all = which == "all";
     let run = |name: &str| all || which == name;
+    // Set by the snapshot/serve verifications; a mismatch fails the run
+    // after the JSON summary is written.
+    let mut failed = false;
 
     if run("table3") {
-        table3(&opts);
+        table3(&opts, &mut report);
     }
     if run("table4") {
-        table4(&opts);
+        table4(&opts, &mut report);
     }
     if run("fig6") || run("fig7") {
-        fig6_7(&opts);
+        fig6_7(&opts, &mut report);
     }
     if run("fig8") || run("fig9") {
-        fig8_9(&opts);
+        fig8_9(&opts, &mut report);
     }
     if run("fig10") {
-        fig10(&opts);
+        fig10(&opts, &mut report);
     }
     if run("fig11") {
-        fig11(&opts);
+        fig11(&opts, &mut report);
     }
     if run("fig12") {
-        fig12(&opts);
+        fig12(&opts, &mut report);
     }
     if run("fig13") {
-        fig13(&opts);
+        fig13(&opts, &mut report);
     }
     if run("fig14") {
-        fig14(&opts);
+        fig14(&opts, &mut report);
     }
     if run("fig15") {
-        fig15(&opts);
+        fig15(&opts, &mut report);
     }
     if run("fig16") {
-        fig16(&opts);
+        fig16(&opts, &mut report);
     }
     if run("fig17") || run("fig18") || run("fig19") {
-        fig17_18_19(&opts);
+        fig17_18_19(&opts, &mut report);
     }
     if run("sharded") {
-        sharded(&opts);
+        sharded(&opts, &mut report);
+    }
+    if which == "snapshot" {
+        failed |= !snapshot_experiment(&opts, &mut report);
+    }
+    if which == "serve" {
+        failed |= !serve_experiment(&opts, &mut report);
     }
     if run("ablation-rank") {
-        ablation_rank(&opts);
+        ablation_rank(&opts, &mut report);
     }
     if run("ablation-curve") {
-        ablation_curve(&opts);
+        ablation_curve(&opts, &mut report);
     }
     if run("ablation-grouping") {
-        ablation_grouping(&opts);
+        ablation_grouping(&opts, &mut report);
+    }
+
+    if let Some(json_path) = &opts.json {
+        if let Err(e) = report.write_json(json_path) {
+            eprintln!(
+                "failed to write JSON summary to {}: {e}",
+                json_path.display()
+            );
+            std::process::exit(1);
+        }
+        println!("_JSON summary written to {}_", json_path.display());
+    }
+    if failed {
+        std::process::exit(1);
     }
 }
 
@@ -224,7 +352,7 @@ fn dataset(dist: Distribution, n: usize) -> Vec<Point> {
 // ---------------------------------------------------------------------
 // Table 3: impact of the partition threshold N
 // ---------------------------------------------------------------------
-fn table3(opts: &Opts) {
+fn table3(opts: &Opts, report: &mut Report) {
     let n = (50_000.0 * opts.scale) as usize;
     let data = dataset(Distribution::skewed_default(), n);
     let point_qs = queries::point_queries(&data, POINT_QUERIES, 1);
@@ -243,27 +371,24 @@ fn table3(opts: &Opts) {
             fmt(m.avg_time_us),
         ]);
     }
-    println!(
-        "{}",
-        markdown_table(
-            &format!("Table 3 — impact of partition threshold N (Skewed, n = {n})"),
-            &[
-                "N",
-                "construction (s)",
-                "height",
-                "index size (MB)",
-                "point-query block accesses",
-                "point-query time (us)"
-            ],
-            &rows
-        )
+    report.table(
+        &format!("Table 3 — impact of partition threshold N (Skewed, n = {n})"),
+        &[
+            "N",
+            "construction (s)",
+            "height",
+            "index size (MB)",
+            "point-query block accesses",
+            "point-query time (us)",
+        ],
+        rows,
     );
 }
 
 // ---------------------------------------------------------------------
 // Table 4: prediction error bounds of ZM and RSMI
 // ---------------------------------------------------------------------
-fn table4(opts: &Opts) {
+fn table4(opts: &Opts, report: &mut Report) {
     // Error bounds are internal model diagnostics, not part of the uniform
     // query API, so this table uses the concrete learned types directly.
     let cfg = opts.harness();
@@ -280,23 +405,20 @@ fn table4(opts: &Opts) {
             format!("({}, {})", stats.max_err_below, stats.max_err_above),
         ]);
     }
-    println!(
-        "{}",
-        markdown_table(
-            &format!(
-                "Table 4 — prediction error bounds in blocks (err_l, err_a), n = {}",
-                opts.n_default()
-            ),
-            &["data set", "ZM", "RSMI"],
-            &rows
-        )
+    report.table(
+        &format!(
+            "Table 4 — prediction error bounds in blocks (err_l, err_a), n = {}",
+            opts.n_default()
+        ),
+        &["data set", "ZM", "RSMI"],
+        rows,
     );
 }
 
 // ---------------------------------------------------------------------
 // Figures 6 & 7: point queries, index size, construction time vs distribution
 // ---------------------------------------------------------------------
-fn fig6_7(opts: &Opts) {
+fn fig6_7(opts: &Opts, report: &mut Report) {
     let cfg = opts.harness();
     let mut q_rows = Vec::new();
     let mut s_rows = Vec::new();
@@ -320,34 +442,28 @@ fn fig6_7(opts: &Opts) {
             ]);
         }
     }
-    println!(
-        "{}",
-        markdown_table(
-            &format!(
-                "Figure 6 — point query vs data distribution (n = {})",
-                opts.n_default()
-            ),
-            &["data set", "index", "query time (us)", "block accesses"],
-            &q_rows
-        )
+    report.table(
+        &format!(
+            "Figure 6 — point query vs data distribution (n = {})",
+            opts.n_default()
+        ),
+        &["data set", "index", "query time (us)", "block accesses"],
+        q_rows,
     );
-    println!(
-        "{}",
-        markdown_table(
-            &format!(
-                "Figure 7 — index size and construction time vs data distribution (n = {})",
-                opts.n_default()
-            ),
-            &["data set", "index", "size (MB)", "construction (s)"],
-            &s_rows
-        )
+    report.table(
+        &format!(
+            "Figure 7 — index size and construction time vs data distribution (n = {})",
+            opts.n_default()
+        ),
+        &["data set", "index", "size (MB)", "construction (s)"],
+        s_rows,
     );
 }
 
 // ---------------------------------------------------------------------
 // Figures 8 & 9: point queries, size, construction vs data-set size
 // ---------------------------------------------------------------------
-fn fig8_9(opts: &Opts) {
+fn fig8_9(opts: &Opts, report: &mut Report) {
     let cfg = opts.harness();
     let mut q_rows = Vec::new();
     let mut s_rows = Vec::new();
@@ -371,21 +487,15 @@ fn fig8_9(opts: &Opts) {
             ]);
         }
     }
-    println!(
-        "{}",
-        markdown_table(
-            "Figure 8 — point query vs data set size (Skewed)",
-            &["n", "index", "query time (us)", "block accesses"],
-            &q_rows
-        )
+    report.table(
+        "Figure 8 — point query vs data set size (Skewed)",
+        &["n", "index", "query time (us)", "block accesses"],
+        q_rows,
     );
-    println!(
-        "{}",
-        markdown_table(
-            "Figure 9 — index size and construction time vs data set size (Skewed)",
-            &["n", "index", "size (MB)", "construction (s)"],
-            &s_rows
-        )
+    report.table(
+        "Figure 9 — index size and construction time vs data set size (Skewed)",
+        &["n", "index", "size (MB)", "construction (s)"],
+        s_rows,
     );
 }
 
@@ -398,6 +508,7 @@ fn window_experiment(
     configs: &[WindowConfig],
     cfg: &IndexConfig,
     opts: &Opts,
+    report: &mut Report,
 ) {
     let mut rows = Vec::new();
     for (label, data, windows) in configs {
@@ -412,13 +523,10 @@ fn window_experiment(
             ]);
         }
     }
-    println!(
-        "{}",
-        markdown_table(title, &[axis, "index", "query time (ms)", "recall"], &rows)
-    );
+    report.table(title, &[axis, "index", "query time (ms)", "recall"], rows);
 }
 
-fn fig10(opts: &Opts) {
+fn fig10(opts: &Opts, report: &mut Report) {
     let cfg = opts.harness();
     let configs: Vec<WindowConfig> = Distribution::all()
         .iter()
@@ -437,10 +545,11 @@ fn fig10(opts: &Opts) {
         &configs,
         &cfg,
         opts,
+        report,
     );
 }
 
-fn fig11(opts: &Opts) {
+fn fig11(opts: &Opts, report: &mut Report) {
     let cfg = opts.harness();
     let configs: Vec<WindowConfig> = opts
         .sizes()
@@ -457,10 +566,11 @@ fn fig11(opts: &Opts) {
         &configs,
         &cfg,
         opts,
+        report,
     );
 }
 
-fn fig12(opts: &Opts) {
+fn fig12(opts: &Opts, report: &mut Report) {
     let cfg = opts.harness();
     let data = dataset(Distribution::skewed_default(), opts.n_default());
     let configs: Vec<WindowConfig> = queries::WINDOW_SIZE_PERCENTS
@@ -483,10 +593,11 @@ fn fig12(opts: &Opts) {
         &configs,
         &cfg,
         opts,
+        report,
     );
 }
 
-fn fig13(opts: &Opts) {
+fn fig13(opts: &Opts, report: &mut Report) {
     let cfg = opts.harness();
     let data = dataset(Distribution::skewed_default(), opts.n_default());
     let configs: Vec<WindowConfig> = queries::ASPECT_RATIOS
@@ -509,13 +620,21 @@ fn fig13(opts: &Opts) {
         &configs,
         &cfg,
         opts,
+        report,
     );
 }
 
 // ---------------------------------------------------------------------
 // kNN figures
 // ---------------------------------------------------------------------
-fn knn_experiment(title: &str, axis: &str, configs: &[KnnConfig], cfg: &IndexConfig, opts: &Opts) {
+fn knn_experiment(
+    title: &str,
+    axis: &str,
+    configs: &[KnnConfig],
+    cfg: &IndexConfig,
+    opts: &Opts,
+    report: &mut Report,
+) {
     let mut rows = Vec::new();
     for (label, data, qs, k) in configs {
         for kind in opts.kinds(IndexKind::all()) {
@@ -529,13 +648,10 @@ fn knn_experiment(title: &str, axis: &str, configs: &[KnnConfig], cfg: &IndexCon
             ]);
         }
     }
-    println!(
-        "{}",
-        markdown_table(title, &[axis, "index", "query time (ms)", "recall"], &rows)
-    );
+    report.table(title, &[axis, "index", "query time (ms)", "recall"], rows);
 }
 
-fn fig14(opts: &Opts) {
+fn fig14(opts: &Opts, report: &mut Report) {
     let cfg = opts.harness();
     let configs: Vec<KnnConfig> = Distribution::all()
         .iter()
@@ -554,10 +670,11 @@ fn fig14(opts: &Opts) {
         &configs,
         &cfg,
         opts,
+        report,
     );
 }
 
-fn fig15(opts: &Opts) {
+fn fig15(opts: &Opts, report: &mut Report) {
     let cfg = opts.harness();
     let configs: Vec<KnnConfig> = opts
         .sizes()
@@ -574,10 +691,11 @@ fn fig15(opts: &Opts) {
         &configs,
         &cfg,
         opts,
+        report,
     );
 }
 
-fn fig16(opts: &Opts) {
+fn fig16(opts: &Opts, report: &mut Report) {
     let cfg = opts.harness();
     let data = dataset(Distribution::skewed_default(), opts.n_default());
     let qs = queries::knn_queries(&data, RANGE_QUERIES, 7);
@@ -594,13 +712,14 @@ fn fig16(opts: &Opts) {
         &configs,
         &cfg,
         opts,
+        report,
     );
 }
 
 // ---------------------------------------------------------------------
 // Figures 17–19: update handling
 // ---------------------------------------------------------------------
-fn fig17_18_19(opts: &Opts) {
+fn fig17_18_19(opts: &Opts, report: &mut Report) {
     let cfg = opts.harness();
     let data = dataset(Distribution::skewed_default(), opts.n_default());
     let total_inserts = data.len() / 2;
@@ -686,49 +805,35 @@ fn fig17_18_19(opts: &Opts) {
         }
     }
 
-    println!(
-        "{}",
-        markdown_table(
-            &format!(
-                "Figure 17a — insertion time (Skewed, n = {})",
-                opts.n_default()
-            ),
-            &["inserted", "index", "insert time (us)"],
-            &insert_rows
-        )
+    report.table(
+        &format!(
+            "Figure 17a — insertion time (Skewed, n = {})",
+            opts.n_default()
+        ),
+        &["inserted", "index", "insert time (us)"],
+        insert_rows,
     );
-    println!(
-        "{}",
-        markdown_table(
-            "Figure 17b — point queries after insertions",
-            &["inserted", "index", "query time (us)", "block accesses"],
-            &point_rows
-        )
+    report.table(
+        "Figure 17b — point queries after insertions",
+        &["inserted", "index", "query time (us)", "block accesses"],
+        point_rows,
     );
-    println!(
-        "{}",
-        markdown_table(
-            "Figure 18 — window queries after insertions",
-            &["inserted", "index", "query time (ms)", "recall"],
-            &window_rows
-        )
+    report.table(
+        "Figure 18 — window queries after insertions",
+        &["inserted", "index", "query time (ms)", "recall"],
+        window_rows,
     );
-    println!(
-        "{}",
-        markdown_table(
-            "Figure 19 — kNN queries after insertions",
-            &["inserted", "index", "query time (ms)", "recall"],
-            &knn_rows
-        )
+    report.table(
+        "Figure 19 — kNN queries after insertions",
+        &["inserted", "index", "query time (ms)", "recall"],
+        knn_rows,
     );
 }
 
 // ---------------------------------------------------------------------
 // Sharded serving engine (crates/engine)
 // ---------------------------------------------------------------------
-fn sharded(opts: &Opts) {
-    use registry::BaseKind;
-
+fn sharded(opts: &Opts, report: &mut Report) {
     let n = opts.n_default();
     let data = dataset(Distribution::skewed_default(), n);
     let windows = queries::hotspot_window_queries(&data, WindowSpec::default(), RANGE_QUERIES, 3);
@@ -782,31 +887,28 @@ fn sharded(opts: &Opts) {
             fmt(per_query(stats.shards_pruned)),
         ]);
     }
-    println!(
-        "{}",
-        markdown_table(
-            &format!(
-                "Sharded serving — hotspot windows (Skewed, n = {n}, S = {}, {} worker threads)",
-                opts.shards, opts.threads
-            ),
-            &[
-                "index",
-                "unsharded (ms)",
-                "sharded 1-thread (ms)",
-                &format!("sharded {}-thread (ms)", opts.threads),
-                "batch speedup",
-                "shards visited/query",
-                "shards pruned/query",
-            ],
-            &rows
-        )
+    report.table(
+        &format!(
+            "Sharded serving — hotspot windows (Skewed, n = {n}, S = {}, {} worker threads)",
+            opts.shards, opts.threads
+        ),
+        &[
+            "index",
+            "unsharded (ms)",
+            "sharded 1-thread (ms)",
+            &format!("sharded {}-thread (ms)", opts.threads),
+            "batch speedup",
+            "shards visited/query",
+            "shards pruned/query",
+        ],
+        rows,
     );
 }
 
 // ---------------------------------------------------------------------
 // Ablations (DESIGN.md §5)
 // ---------------------------------------------------------------------
-fn ablation_rank(opts: &Opts) {
+fn ablation_rank(opts: &Opts, report: &mut Report) {
     // Error bounds are internal model diagnostics (see `table4`), so the
     // concrete RSMI type is used here; the query measurement itself goes
     // through the uniform API.
@@ -827,21 +929,18 @@ fn ablation_rank(opts: &Opts) {
             fmt(blocks),
         ]);
     }
-    println!(
-        "{}",
-        markdown_table(
-            "Ablation — rank-space ordering vs raw-coordinate ordering (Skewed)",
-            &[
-                "leaf ordering",
-                "max (err_l, err_a)",
-                "point-query block accesses"
-            ],
-            &rows
-        )
+    report.table(
+        "Ablation — rank-space ordering vs raw-coordinate ordering (Skewed)",
+        &[
+            "leaf ordering",
+            "max (err_l, err_a)",
+            "point-query block accesses",
+        ],
+        rows,
     );
 }
 
-fn ablation_curve(opts: &Opts) {
+fn ablation_curve(opts: &Opts, report: &mut Report) {
     use sfc::CurveKind;
     let data = dataset(Distribution::skewed_default(), opts.n_default());
     let ws = queries::window_queries(&data, WindowSpec::default(), RANGE_QUERIES, 2);
@@ -862,17 +961,14 @@ fn ablation_curve(opts: &Opts) {
             fmt(m.recall),
         ]);
     }
-    println!(
-        "{}",
-        markdown_table(
-            "Ablation — ordering curve for RSMI window queries (Skewed)",
-            &["curve", "window query time (ms)", "recall"],
-            &rows
-        )
+    report.table(
+        "Ablation — ordering curve for RSMI window queries (Skewed)",
+        &["curve", "window query time (ms)", "recall"],
+        rows,
     );
 }
 
-fn ablation_grouping(opts: &Opts) {
+fn ablation_grouping(opts: &Opts, report: &mut Report) {
     let data = dataset(Distribution::skewed_default(), opts.n_default());
     let point_qs = queries::point_queries(&data, POINT_QUERIES, 1);
     let mut rows = Vec::new();
@@ -900,12 +996,165 @@ fn ablation_grouping(opts: &Opts) {
             fmt(hits as f64 / point_qs.len() as f64),
         ]);
     }
-    println!(
-        "{}",
-        markdown_table(
-            "Ablation — grouping points by model prediction vs true cell (Skewed)",
-            &["grouping", "point-query hit rate"],
-            &rows
-        )
+    report.table(
+        "Ablation — grouping points by model prediction vs true cell (Skewed)",
+        &["grouping", "point-query hit rate"],
+        rows,
     );
+}
+
+// ---------------------------------------------------------------------
+// Persistence: the snapshot / serve pair (build-once, restart-fast)
+// ---------------------------------------------------------------------
+
+fn snapshot_kind(opts: &Opts) -> IndexKind {
+    opts.kind.unwrap_or_else(|| BaseKind::Hrr.sharded())
+}
+
+fn snapshot_path(opts: &Opts) -> PathBuf {
+    match &opts.path {
+        Some(p) => p.clone(),
+        None => usage_error("the snapshot/serve experiments require --path FILE"),
+    }
+}
+
+/// `snapshot`: build → workload → save → drop → load → replay → assert
+/// identical answers and stats, all in one process.  Returns whether the
+/// round trip verified.
+fn snapshot_experiment(opts: &Opts, report: &mut Report) -> bool {
+    let kind = snapshot_kind(opts);
+    let path = snapshot_path(opts);
+    let data = dataset(Distribution::skewed_default(), opts.n_default());
+    let cfg = opts.harness();
+
+    let built = build_timed(kind, &data, &cfg);
+    let reference = replay_workload(built.index.as_ref(), &data, &ReplaySpec::default());
+
+    let start = std::time::Instant::now();
+    if let Err(e) = registry::save_index(built.index.as_ref(), &path) {
+        eprintln!("failed to save snapshot to {}: {e}", path.display());
+        return false;
+    }
+    let save_s = start.elapsed().as_secs_f64();
+    let file_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    drop(built);
+
+    let start = std::time::Instant::now();
+    let loaded = match registry::load_index(&path) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("failed to load snapshot from {}: {e}", path.display());
+            return false;
+        }
+    };
+    let load_s = start.elapsed().as_secs_f64();
+    let replayed = replay_workload(loaded.as_ref(), &data, &ReplaySpec::default());
+    let verified = reference.matches(&replayed);
+
+    report.table(
+        &format!(
+            "Snapshot round trip — {} (Skewed, n = {})",
+            kind.name(),
+            data.len()
+        ),
+        &[
+            "index",
+            "snapshot (MB)",
+            "save (ms)",
+            "load (ms)",
+            "blocks/workload",
+            "identical answers + stats",
+        ],
+        vec![vec![
+            kind.name().to_string(),
+            fmt(file_bytes as f64 / (1024.0 * 1024.0)),
+            fmt(save_s * 1e3),
+            fmt(load_s * 1e3),
+            replayed.stats.blocks_touched.to_string(),
+            if verified { "yes" } else { "NO" }.to_string(),
+        ]],
+    );
+    if !verified {
+        eprintln!("snapshot round trip FAILED: loaded index diverged from the built one");
+    }
+    verified
+}
+
+/// `serve`: the restart side of the pair.  Loads the snapshot written by a
+/// previous `snapshot` invocation (a different process), rebuilds the same
+/// index deterministically from the same parameters, and diffs the replayed
+/// workload answers and statistics.  Returns whether they match.
+fn serve_experiment(opts: &Opts, report: &mut Report) -> bool {
+    let path = snapshot_path(opts);
+    let start = std::time::Instant::now();
+    let loaded = match registry::load_index(&path) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("failed to load snapshot from {}: {e}", path.display());
+            return false;
+        }
+    };
+    let load_s = start.elapsed().as_secs_f64();
+
+    let kind = match &opts.kind {
+        Some(k) => *k,
+        // The snapshot header knows what it holds; its display name parses
+        // back through the registry.
+        None => match loaded.name().parse() {
+            Ok(k) => k,
+            Err(_) => {
+                eprintln!("snapshot holds unregistered kind '{}'", loaded.name());
+                return false;
+            }
+        },
+    };
+    if kind.name() != loaded.name() {
+        eprintln!(
+            "--kind {} does not match the snapshot's kind {}",
+            kind.name(),
+            loaded.name()
+        );
+        return false;
+    }
+
+    let data = dataset(Distribution::skewed_default(), opts.n_default());
+    let fresh = build_timed(kind, &data, &opts.harness());
+    if fresh.index.len() != loaded.len() {
+        eprintln!(
+            "snapshot holds {} points but the fresh build has {} — were snapshot and serve \
+             invoked with the same --scale?",
+            loaded.len(),
+            fresh.index.len()
+        );
+        return false;
+    }
+    let from_snapshot = replay_workload(loaded.as_ref(), &data, &ReplaySpec::default());
+    let from_build = replay_workload(fresh.index.as_ref(), &data, &ReplaySpec::default());
+    let verified = from_snapshot.matches(&from_build);
+
+    report.table(
+        &format!(
+            "Serve from snapshot — {} (Skewed, n = {})",
+            kind.name(),
+            data.len()
+        ),
+        &[
+            "index",
+            "load (ms)",
+            "fresh build (s)",
+            "restart speedup",
+            "identical answers + stats",
+        ],
+        vec![vec![
+            kind.name().to_string(),
+            fmt(load_s * 1e3),
+            fmt(fresh.build_seconds),
+            fmt(fresh.build_seconds / load_s.max(1e-9)),
+            if verified { "yes" } else { "NO" }.to_string(),
+        ]],
+    );
+    if !verified {
+        eprintln!("serve verification FAILED: snapshot diverged from the fresh build");
+    }
+    verified
 }

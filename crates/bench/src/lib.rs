@@ -34,7 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use common::{brute_force, metrics, QueryContext, SpatialIndex};
+use common::{brute_force, metrics, QueryContext, QueryStats, SpatialIndex};
 use geom::{Point, Rect};
 
 pub use registry::{build_index, BaseKind, IndexConfig, IndexKind};
@@ -164,6 +164,218 @@ pub fn measure_insertions(built: &mut BuiltIndex, inserts: &[Point]) -> Measurem
     }
 }
 
+// ---------------------------------------------------------------------
+// Persistence replay workload (shared by the snapshot/serve CLI and the
+// snapshot round-trip tests, so both enforce the same acceptance criterion)
+// ---------------------------------------------------------------------
+
+/// Sizing of the persistence replay workload.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplaySpec {
+    /// Number of point queries.
+    pub point_queries: usize,
+    /// Number of window queries.
+    pub window_queries: usize,
+    /// Number of kNN queries.
+    pub knn_queries: usize,
+    /// `k` of the kNN queries.
+    pub k: usize,
+}
+
+impl Default for ReplaySpec {
+    /// The CLI gate's sizing; tests shrink it for speed.
+    fn default() -> Self {
+        Self {
+            point_queries: 1000,
+            window_queries: 100,
+            knn_queries: 100,
+            k: 25,
+        }
+    }
+}
+
+/// Answers of all three query types plus the merged per-query statistics —
+/// what a snapshot must reproduce *byte-identically* after a reload.
+pub struct WorkloadAnswers {
+    /// Per-query point-query answers.
+    pub points: Vec<Option<Point>>,
+    /// Per-query window result sets.
+    pub windows: Vec<Vec<Point>>,
+    /// Per-query kNN result lists.
+    pub knn: Vec<Vec<Point>>,
+    /// Statistics merged across the whole workload.
+    pub stats: QueryStats,
+}
+
+impl WorkloadAnswers {
+    /// Byte-level equality of answers and cost counters — the persistence
+    /// acceptance criterion.
+    pub fn matches(&self, other: &WorkloadAnswers) -> bool {
+        self.points == other.points
+            && self.windows == other.windows
+            && self.knn == other.knn
+            && self.stats == other.stats
+    }
+}
+
+/// Runs the standard persistence workload (point, window, and kNN batches,
+/// deterministic query generators) through one context.
+pub fn replay_workload(
+    index: &dyn SpatialIndex,
+    data: &[Point],
+    spec: &ReplaySpec,
+) -> WorkloadAnswers {
+    use datagen::queries::{self, WindowSpec};
+    let point_qs = queries::point_queries(data, spec.point_queries, 13);
+    let window_qs = queries::window_queries(data, WindowSpec::default(), spec.window_queries, 17);
+    let knn_qs = queries::knn_queries(data, spec.knn_queries, 19);
+    let mut cx = QueryContext::new();
+    let points = index.point_queries(&point_qs, &mut cx);
+    let windows = index.window_queries(&window_qs, &mut cx);
+    let knn = index.knn_queries(&knn_qs, spec.k, &mut cx);
+    WorkloadAnswers {
+        points,
+        windows,
+        knn,
+        stats: cx.take_stats(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Machine-readable experiment reports
+// ---------------------------------------------------------------------
+
+/// One experiment table: the unit both the markdown output and the JSON
+/// summary are built from.
+#[derive(Debug, Clone)]
+pub struct ReportTable {
+    /// Table caption (the figure/table name).
+    pub title: String,
+    /// Column names.
+    pub header: Vec<String>,
+    /// Row cells, one inner vector per row.
+    pub rows: Vec<Vec<String>>,
+}
+
+/// Collects every table an experiments run produces, printing each as
+/// markdown as it lands and optionally serialising the whole run as JSON —
+/// the machine-readable artifact CI archives as the repo's perf trajectory.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Run-level metadata (`scale`, `epochs`, the experiment id, …).
+    pub meta: Vec<(String, String)>,
+    /// The tables, in emission order.
+    pub tables: Vec<ReportTable>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one piece of run-level metadata.
+    pub fn meta(&mut self, key: &str, value: impl std::fmt::Display) {
+        self.meta.push((key.to_string(), value.to_string()));
+    }
+
+    /// Prints a table as markdown and records it for the JSON summary.
+    pub fn table(&mut self, title: &str, header: &[&str], rows: Vec<Vec<String>>) {
+        println!("{}", markdown_table(title, header, &rows));
+        self.tables.push(ReportTable {
+            title: title.to_string(),
+            header: header.iter().map(|h| h.to_string()).collect(),
+            rows,
+        });
+    }
+
+    /// Serialises the report as a JSON document (hand-rolled writer — the
+    /// build environment is offline, so no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"meta\": {");
+        for (i, (k, v)) in self.meta.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    {}: {}", json_string(k), json_scalar(v)));
+        }
+        out.push_str("\n  },\n  \"tables\": [");
+        for (i, t) in self.tables.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\n      \"title\": {},",
+                json_string(&t.title)
+            ));
+            out.push_str("\n      \"header\": [");
+            out.push_str(
+                &t.header
+                    .iter()
+                    .map(|h| json_string(h))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            );
+            out.push_str("],\n      \"rows\": [");
+            for (j, row) in t.rows.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str("\n        [");
+                out.push_str(
+                    &row.iter()
+                        .map(|c| json_scalar(c))
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                );
+                out.push(']');
+            }
+            out.push_str("\n      ]\n    }");
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Writes the JSON summary to a file, creating parent directories.
+    pub fn write_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Emits a cell as a JSON number when it parses as one (so downstream
+/// tooling can plot the trajectory without re-parsing strings), falling back
+/// to a JSON string.
+fn json_scalar(s: &str) -> String {
+    match s.parse::<f64>() {
+        Ok(v) if v.is_finite() && !s.is_empty() => s.to_string(),
+        _ => json_string(s),
+    }
+}
+
 /// Formats a list of measurements as a GitHub-flavoured markdown table.
 pub fn markdown_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
     let mut out = String::new();
@@ -285,6 +497,43 @@ mod tests {
             .collect();
         assert_eq!(batch, single);
         assert_eq!(batch_cx.stats, single_cx.stats);
+    }
+
+    #[test]
+    fn report_collects_tables_and_serialises_json() {
+        let mut report = Report::new();
+        report.meta("scale", 0.5);
+        report.meta("experiment", "table3");
+        report.table(
+            "Demo",
+            &["index", "time (us)"],
+            vec![vec!["RSMI".into(), "1.25".into()]],
+        );
+        assert_eq!(report.tables.len(), 1);
+        let json = report.to_json();
+        // Numbers stay numbers, strings get quoted and escaped.
+        assert!(json.contains("\"scale\": 0.5"), "{json}");
+        assert!(json.contains("\"experiment\": \"table3\""), "{json}");
+        assert!(json.contains("\"RSMI\", 1.25"), "{json}");
+        assert!(json.contains("\"title\": \"Demo\""), "{json}");
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("0.01%"), "\"0.01%\"");
+    }
+
+    #[test]
+    fn report_json_writes_to_nested_paths() {
+        let dir = std::env::temp_dir().join(format!("bench-json-{}", std::process::id()));
+        let path = dir.join("nested/summary.json");
+        let mut report = Report::new();
+        report.meta("experiment", "smoke");
+        report.write_json(&path).expect("write json");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        assert!(text.starts_with('{') && text.trim_end().ends_with('}'));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -232,6 +232,25 @@ pub trait SpatialIndex: Send + Sync {
         0
     }
 
+    /// Serialises the index's complete state into a snapshot, so that a
+    /// build can be persisted and served again after a restart without
+    /// reconstruction (blocks, chain links, model weights, directory — the
+    /// loaded index answers every query with byte-identical results and
+    /// [`QueryStats`]).
+    ///
+    /// Implementations append checksummed sections to the writer; the file
+    /// header (magic, version, kind tag) and the load-time dispatch by kind
+    /// live in the `registry` crate.  The default returns
+    /// [`persist::PersistError::Unsupported`] so third-party index types
+    /// opt in explicitly.
+    fn write_snapshot(
+        &self,
+        writer: &mut persist::SnapshotWriter,
+    ) -> Result<(), persist::PersistError> {
+        let _ = writer;
+        Err(persist::PersistError::Unsupported(self.name()))
+    }
+
     // ------------------------------------------------------------------
     // Provided: Vec adapters over the visitor core
     // ------------------------------------------------------------------

@@ -1,13 +1,22 @@
 //! The RSMI index: queries (§4), updates (§5), and statistics.
 
 use crate::build::Builder;
-use crate::node::{LeafNode, Node, NodeId};
+use crate::node::{InternalNode, LeafNode, Node, NodeId};
 use crate::pmf::PiecewiseCdf;
 use crate::RsmiConfig;
 use common::{QueryContext, SpatialIndex};
 use geom::{Point, Rect};
+use mlp::ScaledRegressor;
+use persist::{PersistError, SnapshotReader, SnapshotWriter};
 use sfc::CurveKind;
 use storage::{BlockId, BlockStore};
+
+/// Section tag of the RSMI metadata (config and counts).
+const SECTION_RSMI_META: u32 = 0x5101;
+/// Section tag of the RSMI node arena (models, MBRs, block ranges).
+const SECTION_RSMI_NODES: u32 = 0x5102;
+/// Section tag of the marginal CDFs used by the kNN search region.
+const SECTION_RSMI_CDF: u32 = 0x5103;
 
 /// Summary statistics of a built RSMI (Tables 3 and 4 of the paper).
 #[derive(Debug, Clone, Copy)]
@@ -718,6 +727,190 @@ impl Rsmi {
     pub fn block_store(&self) -> &BlockStore {
         &self.store
     }
+
+    // ------------------------------------------------------------------
+    // Snapshots
+    // ------------------------------------------------------------------
+
+    /// Appends the complete structure (config, blocks, node arena with all
+    /// trained sub-models, marginal CDFs) to a snapshot.  Loading never
+    /// retrains anything: the saved weights and error bounds are served
+    /// as-is.
+    pub fn encode_snapshot(&self, w: &mut SnapshotWriter) {
+        w.begin_section(SECTION_RSMI_META);
+        w.put_usize(self.config.block_capacity);
+        w.put_usize(self.config.partition_threshold);
+        w.put_u8(curve_tag(self.config.curve));
+        w.put_usize(self.config.epochs);
+        w.put_f64(self.config.learning_rate);
+        w.put_u64(self.config.seed);
+        w.put_bool(self.config.use_rank_space);
+        w.put_bool(self.config.group_by_prediction);
+        w.put_usize(self.config.cdf_pieces);
+        w.put_usize(self.config.max_depth);
+        w.put_opt_usize(self.root);
+        w.put_usize(self.n_points);
+        w.put_usize(self.height);
+        w.put_usize(self.model_count);
+        w.put_f64(self.build_seconds);
+        w.end_section();
+
+        self.store.write_snapshot(w);
+
+        w.begin_section(SECTION_RSMI_NODES);
+        w.put_usize(self.nodes.len());
+        for node in &self.nodes {
+            match node {
+                Node::Internal(n) => {
+                    w.put_u8(0);
+                    n.model.encode(w);
+                    w.put_usize(n.children.len());
+                    for child in &n.children {
+                        w.put_opt_usize(*child);
+                    }
+                    for mbr in &n.child_mbrs {
+                        w.put_rect(mbr);
+                    }
+                    w.put_rect(&n.mbr);
+                }
+                Node::Leaf(leaf) => {
+                    w.put_u8(1);
+                    leaf.model.encode(w);
+                    w.put_usize(leaf.first_block);
+                    w.put_usize(leaf.n_blocks);
+                    w.put_rect(&leaf.mbr);
+                }
+            }
+        }
+        w.end_section();
+
+        w.begin_section(SECTION_RSMI_CDF);
+        self.cdf_x.encode(w);
+        self.cdf_y.encode(w);
+        w.end_section();
+    }
+
+    /// Reads an RSMI snapshot written by [`Rsmi::encode_snapshot`].
+    pub fn read_snapshot(r: &mut SnapshotReader<'_>) -> Result<Self, PersistError> {
+        r.begin_section(SECTION_RSMI_META)?;
+        let config = RsmiConfig {
+            block_capacity: r.get_usize()?,
+            partition_threshold: r.get_usize()?,
+            curve: curve_from_tag(r.get_u8()?)?,
+            epochs: r.get_usize()?,
+            learning_rate: r.get_f64()?,
+            seed: r.get_u64()?,
+            use_rank_space: r.get_bool()?,
+            group_by_prediction: r.get_bool()?,
+            cdf_pieces: r.get_usize()?,
+            max_depth: r.get_usize()?,
+        };
+        let root = r.get_opt_usize()?;
+        let n_points = r.get_usize()?;
+        let height = r.get_usize()?;
+        let model_count = r.get_usize()?;
+        let build_seconds = r.get_f64()?;
+        r.end_section()?;
+
+        let store = BlockStore::read_snapshot(r)?;
+
+        r.begin_section(SECTION_RSMI_NODES)?;
+        let n_nodes = r.get_len(1)?;
+        let mut nodes = Vec::with_capacity(n_nodes);
+        for _ in 0..n_nodes {
+            let node = match r.get_u8()? {
+                0 => {
+                    let model = ScaledRegressor::decode(r)?;
+                    let len = r.get_len(1)?;
+                    let mut children = Vec::with_capacity(len);
+                    for _ in 0..len {
+                        let child = r.get_opt_usize()?;
+                        if child.is_some_and(|c| c >= n_nodes) {
+                            return Err(PersistError::Corrupt(
+                                "RSMI child node out of range".into(),
+                            ));
+                        }
+                        children.push(child);
+                    }
+                    let mut child_mbrs = Vec::with_capacity(len);
+                    for _ in 0..len {
+                        child_mbrs.push(r.get_rect()?);
+                    }
+                    let mbr = r.get_rect()?;
+                    Node::Internal(InternalNode {
+                        model,
+                        children,
+                        child_mbrs,
+                        mbr,
+                    })
+                }
+                1 => {
+                    let model = ScaledRegressor::decode(r)?;
+                    let first_block = r.get_usize()?;
+                    let n_blocks = r.get_usize()?;
+                    if n_blocks > 0
+                        && first_block
+                            .checked_add(n_blocks)
+                            .is_none_or(|end| end > store.len())
+                    {
+                        return Err(PersistError::Corrupt(
+                            "RSMI leaf block range out of range".into(),
+                        ));
+                    }
+                    let mbr = r.get_rect()?;
+                    Node::Leaf(LeafNode {
+                        model,
+                        first_block,
+                        n_blocks,
+                        mbr,
+                    })
+                }
+                other => {
+                    return Err(PersistError::Corrupt(format!(
+                        "unknown RSMI node kind byte {other}"
+                    )))
+                }
+            };
+            nodes.push(node);
+        }
+        if root.is_some_and(|root| root >= n_nodes) {
+            return Err(PersistError::Corrupt("RSMI root out of range".into()));
+        }
+        r.end_section()?;
+
+        r.begin_section(SECTION_RSMI_CDF)?;
+        let cdf_x = PiecewiseCdf::decode(r)?;
+        let cdf_y = PiecewiseCdf::decode(r)?;
+        r.end_section()?;
+
+        Ok(Self {
+            config,
+            nodes,
+            root,
+            store,
+            n_points,
+            height,
+            model_count,
+            cdf_x,
+            cdf_y,
+            build_seconds,
+        })
+    }
+}
+
+fn curve_tag(curve: CurveKind) -> u8 {
+    match curve {
+        CurveKind::Z => 0,
+        CurveKind::Hilbert => 1,
+    }
+}
+
+fn curve_from_tag(tag: u8) -> Result<CurveKind, PersistError> {
+    match tag {
+        0 => Ok(CurveKind::Z),
+        1 => Ok(CurveKind::Hilbert),
+        other => Err(PersistError::Corrupt(format!("unknown curve tag {other}"))),
+    }
 }
 
 impl SpatialIndex for Rsmi {
@@ -778,6 +971,11 @@ impl SpatialIndex for Rsmi {
     fn model_count(&self) -> usize {
         self.model_count
     }
+
+    fn write_snapshot(&self, w: &mut SnapshotWriter) -> Result<(), PersistError> {
+        self.encode_snapshot(w);
+        Ok(())
+    }
 }
 
 /// The paper's **RSMIa** variant: the same structure as [`Rsmi`], answering
@@ -808,6 +1006,13 @@ impl RsmiExact {
     /// Unwraps into the plain (approximate) index.
     pub fn into_inner(self) -> Rsmi {
         self.0
+    }
+
+    /// Reads an RSMIa snapshot: the identical structure record as
+    /// [`Rsmi::read_snapshot`] (the variant differs only in its query
+    /// traversal, which the kind tag selects at load time).
+    pub fn read_snapshot(r: &mut SnapshotReader<'_>) -> Result<Self, PersistError> {
+        Ok(Self(Rsmi::read_snapshot(r)?))
     }
 }
 
@@ -865,6 +1070,11 @@ impl SpatialIndex for RsmiExact {
 
     fn model_count(&self) -> usize {
         SpatialIndex::model_count(&self.0)
+    }
+
+    fn write_snapshot(&self, w: &mut SnapshotWriter) -> Result<(), PersistError> {
+        self.0.encode_snapshot(w);
+        Ok(())
     }
 }
 

@@ -90,6 +90,25 @@ impl PiecewiseCdf {
     pub fn size_bytes(&self) -> usize {
         (self.xs.len() + self.fracs.len()) * std::mem::size_of::<f64>()
     }
+
+    /// Appends the breakpoints to a snapshot (sub-record of an index
+    /// section).
+    pub fn encode(&self, w: &mut persist::SnapshotWriter) {
+        w.put_f64s(&self.xs);
+        w.put_f64s(&self.fracs);
+    }
+
+    /// Reads a CDF written by [`PiecewiseCdf::encode`].
+    pub fn decode(r: &mut persist::SnapshotReader<'_>) -> Result<Self, persist::PersistError> {
+        let xs = r.get_f64s()?;
+        let fracs = r.get_f64s()?;
+        if xs.len() != fracs.len() || xs.is_empty() {
+            return Err(persist::PersistError::Corrupt(
+                "piecewise CDF breakpoint arrays are malformed".into(),
+            ));
+        }
+        Ok(Self { xs, fracs })
+    }
 }
 
 #[cfg(test)]

@@ -33,7 +33,16 @@ pub mod partition;
 use common::{QueryContext, SpatialIndex};
 use geom::{Point, Rect};
 use partition::Partitioner;
+use persist::{PersistError, SnapshotReader, SnapshotWriter};
 use sfc::CurveKind;
+
+/// Section tag of the sharded container metadata.
+const SECTION_SHARDED_META: u32 = 0x5401;
+/// Section tag of the frozen partitioner routing tables.
+const SECTION_SHARDED_PARTITIONER: u32 = 0x5402;
+/// Section tag of one shard (MBR, key range, embedded inner snapshot);
+/// repeated once per shard.
+const SECTION_SHARD: u32 = 0x5403;
 
 /// Configuration of the sharded serving layer.
 #[derive(Debug, Clone, Copy)]
@@ -59,6 +68,11 @@ impl Default for ShardedConfig {
 
 /// The factory building one shard's inner index from its points.
 pub type InnerBuilder<'a> = &'a (dyn Fn(&[Point]) -> Box<dyn SpatialIndex> + Sync);
+
+/// The loader turning one shard's embedded snapshot bytes back into an
+/// inner index — the registry passes its own snapshot loader (see
+/// [`ShardedIndex::read_snapshot`]).
+pub type InnerLoader<'a> = &'a dyn Fn(&[u8]) -> Result<Box<dyn SpatialIndex>, PersistError>;
 
 struct Shard {
     index: Box<dyn SpatialIndex>,
@@ -119,6 +133,64 @@ impl ShardedIndex {
     /// Worker threads used by the batch entry points.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Reads a sharded snapshot written by
+    /// [`SpatialIndex::write_snapshot`].
+    ///
+    /// The container stores per-shard sections (MBR, frozen curve-key range,
+    /// and the inner index as an embedded snapshot with its own header);
+    /// `load_inner` turns an inner snapshot's bytes back into an index — the
+    /// registry passes its own snapshot loader, so any registered leaf
+    /// family round-trips without this crate depending on index families.
+    /// `name` is the registered display name the loaded facade reports.
+    pub fn read_snapshot(
+        r: &mut SnapshotReader<'_>,
+        name: &'static str,
+        load_inner: InnerLoader<'_>,
+    ) -> Result<Self, PersistError> {
+        r.begin_section(SECTION_SHARDED_META)?;
+        let threads = r.get_usize()?.max(1);
+        let n_shards = r.get_usize()?;
+        r.end_section()?;
+
+        r.begin_section(SECTION_SHARDED_PARTITIONER)?;
+        let partitioner = Partitioner::decode(r)?;
+        r.end_section()?;
+        if partitioner.shard_count() != n_shards {
+            return Err(PersistError::Corrupt(format!(
+                "container announces {n_shards} shards, partitioner routes to {}",
+                partitioner.shard_count()
+            )));
+        }
+
+        let mut shards = Vec::with_capacity(n_shards);
+        for i in 0..n_shards {
+            r.begin_section(SECTION_SHARD)?;
+            let mbr = r.get_rect()?;
+            let key_lo = r.get_u64()?;
+            let key_hi = if r.get_bool()? {
+                Some(r.get_u64()?)
+            } else {
+                None
+            };
+            if (key_lo, key_hi) != partitioner.shard_key_range(i) {
+                return Err(PersistError::Corrupt(format!(
+                    "shard {i} key range disagrees with the partitioner"
+                )));
+            }
+            let blob = r.get_bytes()?;
+            let index = load_inner(blob)?;
+            r.end_section()?;
+            shards.push(Shard { index, mbr });
+        }
+
+        Ok(Self {
+            name,
+            partitioner,
+            shards,
+            threads,
+        })
     }
 
     /// Merges `(distance², point)` candidates, keeping the `k` best by
@@ -322,6 +394,39 @@ impl SpatialIndex for ShardedIndex {
 
     fn model_count(&self) -> usize {
         self.shards.iter().map(|s| s.index.model_count()).sum()
+    }
+
+    fn write_snapshot(&self, w: &mut SnapshotWriter) -> Result<(), PersistError> {
+        w.begin_section(SECTION_SHARDED_META);
+        w.put_usize(self.threads);
+        w.put_usize(self.shards.len());
+        w.end_section();
+
+        w.begin_section(SECTION_SHARDED_PARTITIONER);
+        self.partitioner.encode(w);
+        w.end_section();
+
+        // One section per shard: serving metadata (MBR, frozen key range)
+        // plus the inner index as a complete embedded snapshot, so each
+        // shard round-trips independently through the registry's loader.
+        for (i, shard) in self.shards.iter().enumerate() {
+            w.begin_section(SECTION_SHARD);
+            w.put_rect(&shard.mbr);
+            let (key_lo, key_hi) = self.partitioner.shard_key_range(i);
+            w.put_u64(key_lo);
+            match key_hi {
+                Some(hi) => {
+                    w.put_bool(true);
+                    w.put_u64(hi);
+                }
+                None => w.put_bool(false),
+            }
+            let mut inner = SnapshotWriter::new(shard.index.name());
+            shard.index.write_snapshot(&mut inner)?;
+            w.put_bytes(&inner.finish());
+            w.end_section();
+        }
+        Ok(())
     }
 
     // ------------------------------------------------------------------

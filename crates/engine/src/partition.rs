@@ -127,6 +127,94 @@ impl Partitioner {
         self.by_x.len() * std::mem::size_of::<(f64, f64)>() * 2
             + self.shard_key_lo.len() * std::mem::size_of::<u64>()
     }
+
+    /// The curve-key range `[lo, hi)` routed to shard `i` (`hi` is `None`
+    /// for the last shard, which is unbounded above).
+    pub fn shard_key_range(&self, i: usize) -> (u64, Option<u64>) {
+        (self.shard_key_lo[i], self.shard_key_lo.get(i + 1).copied())
+    }
+
+    /// Appends the frozen routing tables to a snapshot (sub-record of the
+    /// sharded container's partitioner section).
+    pub fn encode(&self, w: &mut persist::SnapshotWriter) {
+        w.put_u8(match self.curve {
+            CurveKind::Z => 0,
+            CurveKind::Hilbert => 1,
+        });
+        w.put_u32(self.order);
+        encode_pairs(w, &self.by_x);
+        encode_pairs(w, &self.by_y);
+        w.put_usize(self.shard_key_lo.len());
+        for &k in &self.shard_key_lo {
+            w.put_u64(k);
+        }
+    }
+
+    /// Reads a partitioner written by [`Partitioner::encode`].
+    pub fn decode(r: &mut persist::SnapshotReader<'_>) -> Result<Self, persist::PersistError> {
+        let curve = match r.get_u8()? {
+            0 => CurveKind::Z,
+            1 => CurveKind::Hilbert,
+            other => {
+                return Err(persist::PersistError::Corrupt(format!(
+                    "unknown curve tag {other}"
+                )))
+            }
+        };
+        let order = r.get_u32()?;
+        let by_x = decode_pairs(r)?;
+        let by_y = decode_pairs(r)?;
+        let n = r.get_len(8)?;
+        if n == 0 {
+            return Err(persist::PersistError::Corrupt(
+                "partitioner with zero shards".into(),
+            ));
+        }
+        let mut shard_key_lo = Vec::with_capacity(n);
+        for _ in 0..n {
+            shard_key_lo.push(r.get_u64()?);
+        }
+        // Routing binary-searches all three tables; unsorted data would not
+        // fail loudly — it would silently route queries to the wrong shard.
+        let sorted = |pairs: &[(f64, f64)]| {
+            pairs
+                .windows(2)
+                .all(|w| cmp_pair(&w[0], &w[1]) != std::cmp::Ordering::Greater)
+        };
+        if !sorted(&by_x) || !sorted(&by_y) || shard_key_lo.windows(2).any(|w| w[0] > w[1]) {
+            return Err(persist::PersistError::Corrupt(
+                "partitioner routing tables are not sorted".into(),
+            ));
+        }
+        Ok(Self {
+            curve,
+            order,
+            by_x,
+            by_y,
+            shard_key_lo,
+        })
+    }
+}
+
+fn encode_pairs(w: &mut persist::SnapshotWriter, pairs: &[(f64, f64)]) {
+    w.put_usize(pairs.len());
+    for &(a, b) in pairs {
+        w.put_f64(a);
+        w.put_f64(b);
+    }
+}
+
+fn decode_pairs(
+    r: &mut persist::SnapshotReader<'_>,
+) -> Result<Vec<(f64, f64)>, persist::PersistError> {
+    let n = r.get_len(16)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let a = r.get_f64()?;
+        let b = r.get_f64()?;
+        out.push((a, b));
+    }
+    Ok(out)
 }
 
 /// Total order on coordinate pairs (the data contains no NaNs).

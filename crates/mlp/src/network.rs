@@ -292,6 +292,59 @@ impl Mlp {
         p
     }
 
+    /// Appends the architecture and all weights to a snapshot (sub-record of
+    /// an index section).
+    pub fn encode(&self, w: &mut persist::SnapshotWriter) {
+        w.put_usize(self.config.input_dim);
+        w.put_usize(self.config.hidden);
+        w.put_f64(self.config.learning_rate);
+        w.put_usize(self.config.epochs);
+        w.put_usize(self.config.batch_size);
+        w.put_u64(self.config.seed);
+        w.put_f64s(&self.w1);
+        w.put_f64s(&self.b1);
+        w.put_f64s(&self.w2);
+        w.put_f64(self.b2);
+    }
+
+    /// Reads a network written by [`Mlp::encode`].  The stored weights are
+    /// used as-is — no retraining — after validating that their shapes match
+    /// the stored architecture.
+    pub fn decode(r: &mut persist::SnapshotReader<'_>) -> Result<Self, persist::PersistError> {
+        let config = MlpConfig {
+            input_dim: r.get_usize()?,
+            hidden: r.get_usize()?,
+            learning_rate: r.get_f64()?,
+            epochs: r.get_usize()?,
+            batch_size: r.get_usize()?,
+            seed: r.get_u64()?,
+        };
+        if config.input_dim == 0 || config.hidden == 0 {
+            return Err(persist::PersistError::Corrupt(
+                "MLP with zero-sized layer".into(),
+            ));
+        }
+        let w1 = r.get_f64s()?;
+        let b1 = r.get_f64s()?;
+        let w2 = r.get_f64s()?;
+        let b2 = r.get_f64()?;
+        if Some(w1.len()) != config.hidden.checked_mul(config.input_dim)
+            || b1.len() != config.hidden
+            || w2.len() != config.hidden
+        {
+            return Err(persist::PersistError::Corrupt(
+                "MLP weight shapes do not match its architecture".into(),
+            ));
+        }
+        Ok(Self {
+            config,
+            w1,
+            b1,
+            w2,
+            b2,
+        })
+    }
+
     /// Overwrites all parameters from a flat vector (for gradient checks).
     #[doc(hidden)]
     pub fn set_parameters(&mut self, p: &[f64]) {

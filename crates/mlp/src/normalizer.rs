@@ -80,6 +80,25 @@ impl Normalizer {
     pub fn size_bytes(&self) -> usize {
         (self.lo.len() + self.hi.len()) * std::mem::size_of::<f64>()
     }
+
+    /// Appends the fitted bounds to a snapshot (sub-record of an index
+    /// section; the enclosing section carries the checksum).
+    pub fn encode(&self, w: &mut persist::SnapshotWriter) {
+        w.put_f64s(&self.lo);
+        w.put_f64s(&self.hi);
+    }
+
+    /// Reads a normaliser written by [`Normalizer::encode`].
+    pub fn decode(r: &mut persist::SnapshotReader<'_>) -> Result<Self, persist::PersistError> {
+        let lo = r.get_f64s()?;
+        let hi = r.get_f64s()?;
+        if lo.len() != hi.len() {
+            return Err(persist::PersistError::Corrupt(
+                "normaliser bounds differ in dimensionality".into(),
+            ));
+        }
+        Ok(Self { lo, hi })
+    }
 }
 
 #[inline]

@@ -134,6 +134,34 @@ impl ScaledRegressor {
     pub fn size_bytes(&self) -> usize {
         self.mlp.size_bytes() + self.input_norm.size_bytes() + 3 * std::mem::size_of::<u64>()
     }
+
+    /// Appends the trained model (weights, normaliser, error bounds) to a
+    /// snapshot — the unit of learned-index persistence: a loaded regressor
+    /// predicts exactly what the saved one did, with the same error bounds,
+    /// and is never retrained.
+    pub fn encode(&self, w: &mut persist::SnapshotWriter) {
+        self.mlp.encode(w);
+        self.input_norm.encode(w);
+        w.put_u64(self.max_target);
+        w.put_u64(self.err_below);
+        w.put_u64(self.err_above);
+    }
+
+    /// Reads a model written by [`ScaledRegressor::encode`].
+    pub fn decode(r: &mut persist::SnapshotReader<'_>) -> Result<Self, persist::PersistError> {
+        let mlp = Mlp::decode(r)?;
+        let input_norm = Normalizer::decode(r)?;
+        let max_target = r.get_u64()?;
+        let err_below = r.get_u64()?;
+        let err_above = r.get_u64()?;
+        Ok(Self {
+            mlp,
+            input_norm,
+            max_target,
+            err_below,
+            err_above,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -225,5 +253,34 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn fitting_an_empty_set_panics() {
         let _ = ScaledRegressor::fit(fast_config(2), &[], &[]);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_predictions_and_bounds() {
+        let inputs: Vec<Vec<f64>> = (0..200)
+            .map(|i| vec![i as f64 / 200.0, (i * 7 % 200) as f64 / 200.0])
+            .collect();
+        let targets: Vec<u64> = (0..200).map(|i| (i / 8) as u64).collect();
+        let model = ScaledRegressor::fit(fast_config(2), &inputs, &targets);
+
+        let mut w = persist::SnapshotWriter::new("Model");
+        w.begin_section(0x01);
+        model.encode(&mut w);
+        w.end_section();
+        let bytes = w.finish();
+        let (_, mut r) = persist::SnapshotReader::open(&bytes).unwrap();
+        r.begin_section(0x01).unwrap();
+        let loaded = ScaledRegressor::decode(&mut r).unwrap();
+
+        assert_eq!(loaded.err_below(), model.err_below());
+        assert_eq!(loaded.err_above(), model.err_above());
+        assert_eq!(loaded.max_target(), model.max_target());
+        for row in &inputs {
+            assert_eq!(loaded.predict(row), model.predict(row));
+        }
+        assert_eq!(
+            loaded.predict_xy(0.123, 0.987),
+            model.predict_xy(0.123, 0.987)
+        );
     }
 }

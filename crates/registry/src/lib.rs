@@ -29,6 +29,9 @@ use common::SpatialIndex;
 use geom::Point;
 use rsmi::{Rsmi, RsmiConfig, RsmiExact};
 use sfc::CurveKind;
+use std::path::Path;
+
+pub use persist::PersistError;
 
 /// A leaf index family — the families compared head-to-head in the paper,
 /// and the inner-index payload of [`IndexKind::Sharded`].
@@ -399,6 +402,72 @@ pub fn build_index(kind: IndexKind, points: &[Point], cfg: &IndexConfig) -> Box<
     }
 }
 
+// ---------------------------------------------------------------------
+// Snapshot persistence: save any built index, load it back by kind tag
+// ---------------------------------------------------------------------
+
+/// Serialises a built index into snapshot bytes: the versioned header
+/// carries the family's display name as the kind tag, and the body is
+/// whatever the family's [`SpatialIndex::write_snapshot`] appends.
+pub fn snapshot_bytes(index: &dyn SpatialIndex) -> Result<Vec<u8>, PersistError> {
+    let mut w = persist::SnapshotWriter::new(index.name());
+    index.write_snapshot(&mut w)?;
+    Ok(w.finish())
+}
+
+/// Saves a built index to a snapshot file (see [`snapshot_bytes`]).
+pub fn save_index(index: &dyn SpatialIndex, path: &Path) -> Result<(), PersistError> {
+    persist::write_file(path, &snapshot_bytes(index)?)
+}
+
+/// Loads an index from snapshot bytes, dispatching on the kind tag embedded
+/// in the header.  The loaded index answers every query with byte-identical
+/// results and statistics to the index that was saved — nothing is rebuilt
+/// or retrained.
+pub fn load_index_bytes(bytes: &[u8]) -> Result<Box<dyn SpatialIndex>, PersistError> {
+    let (kind_tag, mut r) = persist::SnapshotReader::open(bytes)?;
+    let kind: IndexKind = kind_tag
+        .parse()
+        .map_err(|_| PersistError::UnknownKind(kind_tag.clone()))?;
+    let index: Box<dyn SpatialIndex> = match kind {
+        IndexKind::Grid => Box::new(GridFile::read_snapshot(&mut r)?),
+        IndexKind::Hrr => Box::new(HilbertRTree::read_snapshot(&mut r)?),
+        IndexKind::Kdb => Box::new(KdbTree::read_snapshot(&mut r)?),
+        IndexKind::RStar => Box::new(RStarTree::read_snapshot(&mut r)?),
+        IndexKind::Rsmi => Box::new(Rsmi::read_snapshot(&mut r)?),
+        IndexKind::Rsmia => Box::new(RsmiExact::read_snapshot(&mut r)?),
+        IndexKind::Zm => Box::new(ZOrderModel::read_snapshot(&mut r)?),
+        IndexKind::Sharded(base) => {
+            // The engine reads the container; this closure turns each
+            // embedded inner snapshot back into an index through this very
+            // function — mirroring how `build_index` hands the engine its
+            // own construction entry point.
+            let expected = base.unsharded();
+            let loaded = engine::ShardedIndex::read_snapshot(&mut r, kind.name(), &|blob| {
+                // Check the embedded snapshot's kind tag *before* recursing:
+                // a crafted sharded-in-sharded chain would otherwise nest
+                // loads until the stack overflows.  The expected inner kind
+                // is always a leaf family, so recursion depth is bounded.
+                let (inner_tag, _) = persist::SnapshotReader::open(blob)?;
+                if inner_tag != expected.name() {
+                    return Err(PersistError::Corrupt(format!(
+                        "sharded container for {} holds a '{inner_tag}' shard",
+                        kind.name(),
+                    )));
+                }
+                load_index_bytes(blob)
+            })?;
+            Box::new(loaded)
+        }
+    };
+    Ok(index)
+}
+
+/// Loads an index from a snapshot file (see [`load_index_bytes`]).
+pub fn load_index(path: &Path) -> Result<Box<dyn SpatialIndex>, PersistError> {
+    load_index_bytes(&persist::read_file(path)?)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -506,5 +575,59 @@ mod tests {
         fn assert_send_sync<T: Send + Sync + ?Sized>() {}
         assert_send_sync::<dyn SpatialIndex>();
         assert_send_sync::<Box<dyn SpatialIndex>>();
+    }
+
+    #[test]
+    fn snapshot_bytes_roundtrip_through_the_kind_tag() {
+        let data = generate(Distribution::Uniform, 600, 9);
+        for kind in [IndexKind::Grid, IndexKind::Rsmi, BaseKind::Kdb.sharded()] {
+            let index = build_index(kind, &data, &IndexConfig::fast().with_shards(3));
+            let bytes = snapshot_bytes(index.as_ref()).expect("serialise");
+            let loaded = load_index_bytes(&bytes).expect("load");
+            assert_eq!(loaded.name(), kind.name());
+            assert_eq!(loaded.len(), index.len());
+            let mut cx = QueryContext::new();
+            for p in data.iter().step_by(53) {
+                assert_eq!(
+                    loaded.point_query(p, &mut cx).map(|f| f.id),
+                    Some(p.id),
+                    "{} lost a point across the snapshot",
+                    kind.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn save_and_load_roundtrip_through_a_file() {
+        let data = generate(Distribution::Normal, 400, 21);
+        let index = build_index(IndexKind::Hrr, &data, &IndexConfig::fast());
+        let path = std::env::temp_dir().join(format!(
+            "rsmi-registry-test-{}.snapshot",
+            std::process::id()
+        ));
+        save_index(index.as_ref(), &path).expect("save");
+        let loaded = load_index(&path).expect("load");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.name(), "HRR");
+        assert_eq!(loaded.len(), data.len());
+    }
+
+    #[test]
+    fn loading_garbage_reports_typed_errors() {
+        assert!(matches!(
+            load_index_bytes(b"definitely not a snapshot"),
+            Err(PersistError::BadMagic)
+        ));
+        assert!(matches!(
+            load_index(Path::new("/nonexistent/rsmi.snapshot")),
+            Err(PersistError::Io(_))
+        ));
+        // A valid header whose kind tag names no registered family.
+        let w = persist::SnapshotWriter::new("NoSuchFamily");
+        assert!(matches!(
+            load_index_bytes(&w.finish()),
+            Err(PersistError::UnknownKind(k)) if k == "NoSuchFamily"
+        ));
     }
 }

@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 mod block;
+mod snapshot;
 mod store;
 
 pub use block::{Block, BlockId};

@@ -1,0 +1,176 @@
+//! Snapshot encoding of the block layer: every block's points, its
+//! `prev`/`next` chain links, and its overflow flag, so a reloaded store is
+//! bit-for-bit the store that was saved (block IDs included — query code
+//! holds IDs in its directory structures).
+
+use crate::{Block, BlockStore};
+use persist::{PersistError, SnapshotReader, SnapshotWriter};
+
+/// Section tag of the block-store record.
+pub const SECTION_STORE: u32 = 0x5301;
+
+impl BlockStore {
+    /// Writes the store as one checksummed section: capacity, then every
+    /// block in ID order (points, chain links, overflow flag).
+    pub fn write_snapshot(&self, w: &mut SnapshotWriter) {
+        w.begin_section(SECTION_STORE);
+        w.put_usize(self.capacity());
+        w.put_usize(self.len());
+        for (_, block) in self.iter() {
+            w.put_usize(block.len());
+            for p in block.points() {
+                w.put_point(p);
+            }
+            w.put_opt_usize(block.prev());
+            w.put_opt_usize(block.next());
+            w.put_bool(block.is_overflow());
+        }
+        w.end_section();
+    }
+
+    /// Reads a store section written by [`BlockStore::write_snapshot`],
+    /// validating occupancy and chain links against the block count.
+    pub fn read_snapshot(r: &mut SnapshotReader<'_>) -> Result<Self, PersistError> {
+        r.begin_section(SECTION_STORE)?;
+        let capacity = r.get_usize()?;
+        if capacity == 0 {
+            return Err(PersistError::Corrupt("zero block capacity".into()));
+        }
+        let n_blocks = r.get_len(1)?;
+        let mut store = BlockStore::new(capacity);
+        for id in 0..n_blocks {
+            let len = r.get_len(24)?;
+            if len > capacity {
+                return Err(PersistError::Corrupt(format!(
+                    "block {id} holds {len} points but capacity is {capacity}"
+                )));
+            }
+            let bid = store.allocate();
+            for _ in 0..len {
+                let p = r.get_point()?;
+                store.block_mut(bid).push(p);
+            }
+            let prev = checked_link(r.get_opt_usize()?, n_blocks, id, "prev")?;
+            let next = checked_link(r.get_opt_usize()?, n_blocks, id, "next")?;
+            let overflow = r.get_bool()?;
+            let block: &mut Block = store.block_mut(bid);
+            block.set_prev(prev);
+            block.set_next(next);
+            block.set_overflow(overflow);
+        }
+        r.end_section()?;
+        Ok(store)
+    }
+}
+
+fn checked_link(
+    link: Option<usize>,
+    n_blocks: usize,
+    id: usize,
+    which: &str,
+) -> Result<Option<usize>, PersistError> {
+    match link {
+        Some(target) if target >= n_blocks => Err(PersistError::Corrupt(format!(
+            "block {id} links {which} to nonexistent block {target}"
+        ))),
+        other => Ok(other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geom::Point;
+
+    fn pts(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| Point::with_id(i as f64 / n as f64, 1.0 - i as f64 / n as f64, i as u64))
+            .collect()
+    }
+
+    fn roundtrip(store: &BlockStore) -> BlockStore {
+        let mut w = SnapshotWriter::new("Store");
+        store.write_snapshot(&mut w);
+        let bytes = w.finish();
+        let (_, mut r) = SnapshotReader::open(&bytes).unwrap();
+        BlockStore::read_snapshot(&mut r).unwrap()
+    }
+
+    #[test]
+    fn packed_store_roundtrips_blocks_links_and_points() {
+        let mut store = BlockStore::new(4);
+        store.pack(&pts(10));
+        let loaded = roundtrip(&store);
+        assert_eq!(loaded.capacity(), 4);
+        assert_eq!(loaded.len(), store.len());
+        assert_eq!(loaded.total_points(), 10);
+        for (id, block) in store.iter() {
+            let l = loaded.block(id);
+            assert_eq!(l.points(), block.points());
+            assert_eq!(l.prev(), block.prev());
+            assert_eq!(l.next(), block.next());
+            assert_eq!(l.is_overflow(), block.is_overflow());
+        }
+    }
+
+    #[test]
+    fn overflow_chains_survive_the_roundtrip() {
+        let mut store = BlockStore::new(2);
+        store.pack(&pts(4));
+        let ov = store.insert_overflow_after(0);
+        store.block_mut(ov).push(Point::with_id(0.5, 0.5, 99));
+        let loaded = roundtrip(&store);
+        assert_eq!(loaded.overflow_chain(0), store.overflow_chain(0));
+        assert!(loaded.block(ov).is_overflow());
+    }
+
+    #[test]
+    fn empty_store_roundtrips() {
+        let store = BlockStore::new(7);
+        let loaded = roundtrip(&store);
+        assert_eq!(loaded.capacity(), 7);
+        assert!(loaded.is_empty());
+    }
+
+    #[test]
+    fn overfull_block_is_corrupt_not_panic() {
+        // Hand-craft a section claiming 5 points in a capacity-2 block.
+        let mut w = SnapshotWriter::new("Store");
+        w.begin_section(SECTION_STORE);
+        w.put_usize(2); // capacity
+        w.put_usize(1); // one block
+        w.put_usize(5); // five points: impossible
+        for p in pts(5) {
+            w.put_point(&p);
+        }
+        w.put_opt_usize(None);
+        w.put_opt_usize(None);
+        w.put_bool(false);
+        w.end_section();
+        let bytes = w.finish();
+        let (_, mut r) = SnapshotReader::open(&bytes).unwrap();
+        assert!(matches!(
+            BlockStore::read_snapshot(&mut r),
+            Err(PersistError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn dangling_chain_link_is_corrupt() {
+        let mut w = SnapshotWriter::new("Store");
+        w.begin_section(SECTION_STORE);
+        w.put_usize(2);
+        w.put_usize(1);
+        w.put_usize(0);
+        w.put_opt_usize(Some(17)); // prev points past the end
+        w.put_opt_usize(None);
+        w.put_bool(false);
+        w.end_section();
+        let bytes = w.finish();
+        let (_, mut r) = SnapshotReader::open(&bytes).unwrap();
+        assert!(matches!(
+            BlockStore::read_snapshot(&mut r),
+            Err(PersistError::Corrupt(_))
+        ));
+    }
+}

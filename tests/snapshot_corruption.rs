@@ -1,0 +1,142 @@
+//! Corrupt-snapshot rejection: a damaged or foreign file must produce a
+//! typed [`registry::PersistError`] — never a panic, never a silently wrong
+//! index.  Each corruption class the format defends against gets its own
+//! case: bad magic, unsupported version, truncation, and checksum mismatch,
+//! plus the registry-level failure modes (unknown kind tag, missing file,
+//! mismatched shard family).
+
+use datagen::{generate, Distribution};
+use registry::{
+    build_index, load_index, load_index_bytes, snapshot_bytes, BaseKind, IndexConfig, IndexKind,
+    PersistError,
+};
+
+fn snapshot_of(kind: IndexKind) -> Vec<u8> {
+    let data = generate(Distribution::Uniform, 500, 3);
+    let index = build_index(kind, &data, &IndexConfig::fast().with_shards(2));
+    snapshot_bytes(index.as_ref()).expect("serialise")
+}
+
+#[test]
+fn bad_magic_is_rejected() {
+    let mut bytes = snapshot_of(IndexKind::Grid);
+    bytes[0] ^= 0xFF;
+    assert!(matches!(
+        load_index_bytes(&bytes),
+        Err(PersistError::BadMagic)
+    ));
+    // An arbitrary non-snapshot file fails the same way.
+    assert!(matches!(
+        load_index_bytes(b"{\"not\": \"a snapshot\"}"),
+        Err(PersistError::BadMagic)
+    ));
+}
+
+#[test]
+fn unsupported_version_is_rejected() {
+    let mut bytes = snapshot_of(IndexKind::Kdb);
+    // The version field sits directly after the 8-byte magic.
+    bytes[8..12].copy_from_slice(&7u32.to_le_bytes());
+    assert!(matches!(
+        load_index_bytes(&bytes),
+        Err(PersistError::UnsupportedVersion(7))
+    ));
+}
+
+#[test]
+fn truncated_files_are_rejected_at_every_cut() {
+    let bytes = snapshot_of(IndexKind::Hrr);
+    // Cut the file at several depths: mid-header, mid-section, mid-checksum.
+    for keep in [10, bytes.len() / 3, bytes.len() - 3] {
+        let cut = &bytes[..keep];
+        match load_index_bytes(cut) {
+            Err(PersistError::Truncated) => {}
+            Ok(_) => panic!("cut at {keep} loaded successfully"),
+            Err(other) => panic!("cut at {keep}: expected Truncated, got {other}"),
+        }
+    }
+}
+
+#[test]
+fn checksum_mismatch_is_rejected_for_every_section() {
+    let bytes = snapshot_of(IndexKind::RStar);
+    // Flip one bit somewhere inside the body (past the header) and the
+    // enclosing section's CRC must catch it.  Probe several offsets.
+    let header_len = 8 + 4 + 2 + "RR*".len();
+    for at in [header_len + 20, bytes.len() / 2, bytes.len() - 40] {
+        let mut corrupted = bytes.clone();
+        corrupted[at] ^= 0x10;
+        match load_index_bytes(&corrupted) {
+            Err(
+                PersistError::ChecksumMismatch { .. }
+                // A flipped bit inside a section *length* field shifts the
+                // layout instead of the payload; that surfaces as
+                // truncation or a structural error — still typed, no panic.
+                | PersistError::Truncated
+                | PersistError::Corrupt(_),
+            ) => {}
+            Ok(_) => panic!("bit flip at {at} loaded successfully"),
+            Err(other) => panic!("bit flip at {at}: unexpected error {other}"),
+        }
+    }
+}
+
+#[test]
+fn learned_index_snapshots_detect_weight_corruption() {
+    let bytes = snapshot_of(IndexKind::Rsmi);
+    // Damage a byte in the back half of the file, where the node arena and
+    // its model weights live.
+    let mut corrupted = bytes.clone();
+    let at = bytes.len() * 3 / 4;
+    corrupted[at] ^= 0x01;
+    assert!(
+        load_index_bytes(&corrupted).is_err(),
+        "corrupted model weights loaded silently"
+    );
+}
+
+#[test]
+fn sharded_containers_reject_corrupt_inner_snapshots() {
+    let bytes = snapshot_of(BaseKind::Zm.sharded());
+    let mut corrupted = bytes.clone();
+    let at = bytes.len() * 2 / 3; // inside an embedded shard blob
+    corrupted[at] ^= 0x04;
+    assert!(
+        load_index_bytes(&corrupted).is_err(),
+        "corrupted shard blob loaded silently"
+    );
+}
+
+#[test]
+fn unknown_kind_tag_is_rejected() {
+    let w = persist::SnapshotWriter::new("FancyFutureIndex");
+    match load_index_bytes(&w.finish()) {
+        Err(PersistError::UnknownKind(kind)) => assert_eq!(kind, "FancyFutureIndex"),
+        Ok(_) => panic!("unknown kind loaded successfully"),
+        Err(other) => panic!("expected UnknownKind, got {other}"),
+    }
+}
+
+#[test]
+fn missing_file_is_an_io_error() {
+    assert!(matches!(
+        load_index(std::path::Path::new("/no/such/dir/index.snapshot")),
+        Err(PersistError::Io(_))
+    ));
+}
+
+#[test]
+fn empty_file_is_rejected() {
+    assert!(matches!(load_index_bytes(&[]), Err(PersistError::BadMagic)));
+}
+
+#[test]
+fn errors_format_for_operators() {
+    // The serve CLI prints these; they must be actionable one-liners.
+    let mut bytes = snapshot_of(IndexKind::Grid);
+    bytes[8..12].copy_from_slice(&42u32.to_le_bytes());
+    let Err(err) = load_index_bytes(&bytes) else {
+        panic!("version 42 loaded successfully");
+    };
+    assert!(err.to_string().contains("42"), "{err}");
+}

@@ -1,0 +1,182 @@
+//! Snapshot conformance: every registered kind — all seven leaf families
+//! and all seven sharded compositions — must round-trip through the
+//! versioned binary snapshot format with **byte-identical** query answers
+//! and [`QueryStats`] on a shared workload.
+//!
+//! This is the restart guarantee of the persistence subsystem: save → drop →
+//! load serves exactly what the freshly built index served, including the
+//! per-query cost accounting, because the snapshot captures the structure
+//! (blocks, chain links, overflow flags, model weights, error bounds,
+//! directory, shard routing tables) rather than the data.
+
+use bench::{replay_workload, ReplaySpec, WorkloadAnswers};
+use common::{QueryContext, SpatialIndex};
+use datagen::{generate, Distribution};
+use geom::{Point, Rect};
+use registry::{build_index, load_index, load_index_bytes, save_index, snapshot_bytes};
+use registry::{BaseKind, IndexConfig, IndexKind};
+
+fn cfg() -> IndexConfig {
+    IndexConfig::fast().with_shards(3).with_threads(2)
+}
+
+/// The CLI gate's replay workload (`bench::replay_workload`), shrunk for
+/// test speed — same harness, so tests and the CI gate enforce the same
+/// acceptance criterion.
+fn run_workload(index: &dyn SpatialIndex, data: &[Point]) -> WorkloadAnswers {
+    let spec = ReplaySpec {
+        point_queries: 60,
+        window_queries: 15,
+        knn_queries: 10,
+        k: 8,
+    };
+    replay_workload(index, data, &spec)
+}
+
+fn roundtrip_body(kind: IndexKind) {
+    let data = generate(Distribution::skewed_default(), 1_200, 83);
+    let built = build_index(kind, &data, &cfg());
+    let before = run_workload(built.as_ref(), &data);
+
+    let bytes = snapshot_bytes(built.as_ref())
+        .unwrap_or_else(|e| panic!("{} failed to serialise: {e}", kind.name()));
+    drop(built); // the loaded index must stand entirely on its own
+
+    let loaded =
+        load_index_bytes(&bytes).unwrap_or_else(|e| panic!("{} failed to load: {e}", kind.name()));
+    assert_eq!(loaded.name(), kind.name());
+    assert_eq!(loaded.len(), data.len());
+    assert_eq!(loaded.model_count() > 0, kind.is_learned());
+
+    let after = run_workload(loaded.as_ref(), &data);
+    assert_eq!(
+        before.points,
+        after.points,
+        "{} point answers changed across the snapshot",
+        kind.name()
+    );
+    assert_eq!(
+        before.windows,
+        after.windows,
+        "{} window answers changed across the snapshot",
+        kind.name()
+    );
+    assert_eq!(
+        before.knn,
+        after.knn,
+        "{} kNN answers changed across the snapshot",
+        kind.name()
+    );
+    assert_eq!(
+        before.stats,
+        after.stats,
+        "{} query statistics changed across the snapshot",
+        kind.name()
+    );
+
+    // A loaded index keeps serving updates: insert, find, delete.
+    let mut loaded = loaded;
+    let extra = Point::with_id(0.41521, 0.19289, 990_001);
+    loaded.insert(extra);
+    let mut cx = QueryContext::new();
+    assert_eq!(
+        loaded.point_query(&extra, &mut cx).map(|f| f.id),
+        Some(extra.id),
+        "{} lost a post-load insert",
+        kind.name()
+    );
+    assert!(loaded.delete(&extra), "{}", kind.name());
+}
+
+macro_rules! roundtrip_tests {
+    ($($name:ident => $kind:expr),+ $(,)?) => {
+        $(
+            #[test]
+            fn $name() {
+                roundtrip_body($kind);
+            }
+        )+
+    };
+}
+
+roundtrip_tests! {
+    roundtrip_grid => IndexKind::Grid,
+    roundtrip_hrr => IndexKind::Hrr,
+    roundtrip_kdb => IndexKind::Kdb,
+    roundtrip_rstar => IndexKind::RStar,
+    roundtrip_rsmi => IndexKind::Rsmi,
+    roundtrip_rsmia => IndexKind::Rsmia,
+    roundtrip_zm => IndexKind::Zm,
+    roundtrip_sharded_grid => BaseKind::Grid.sharded(),
+    roundtrip_sharded_hrr => BaseKind::Hrr.sharded(),
+    roundtrip_sharded_kdb => BaseKind::Kdb.sharded(),
+    roundtrip_sharded_rstar => BaseKind::RStar.sharded(),
+    roundtrip_sharded_rsmi => BaseKind::Rsmi.sharded(),
+    roundtrip_sharded_rsmia => BaseKind::Rsmia.sharded(),
+    roundtrip_sharded_zm => BaseKind::Zm.sharded(),
+}
+
+#[test]
+fn file_roundtrip_covers_save_and_load() {
+    let data = generate(Distribution::OsmLike, 900, 29);
+    let kind = BaseKind::Rsmi.sharded();
+    let built = build_index(kind, &data, &cfg());
+    let before = run_workload(built.as_ref(), &data);
+
+    let path = std::env::temp_dir().join(format!(
+        "rsmi-roundtrip-{}-{}.snapshot",
+        std::process::id(),
+        data.len()
+    ));
+    save_index(built.as_ref(), &path).expect("save");
+    drop(built);
+    let loaded = load_index(&path).expect("load");
+    std::fs::remove_file(&path).ok();
+
+    let after = run_workload(loaded.as_ref(), &data);
+    assert_eq!(before.points, after.points);
+    assert_eq!(before.windows, after.windows);
+    assert_eq!(before.knn, after.knn);
+    assert_eq!(before.stats, after.stats);
+}
+
+#[test]
+fn sharded_snapshot_preserves_routing_and_pruning() {
+    // The container format must round-trip the partitioner and shard MBRs:
+    // point routing hits exactly one shard and window pruning skips the
+    // same shards after a reload.
+    let data = generate(Distribution::skewed_default(), 2_000, 41);
+    let built = build_index(BaseKind::Hrr.sharded(), &data, &cfg().with_shards(5));
+    let bytes = snapshot_bytes(built.as_ref()).unwrap();
+    let loaded = load_index_bytes(&bytes).unwrap();
+
+    let mut cx_before = QueryContext::new();
+    let mut cx_after = QueryContext::new();
+    for p in data.iter().step_by(97) {
+        assert_eq!(
+            built.point_query(p, &mut cx_before),
+            loaded.point_query(p, &mut cx_after)
+        );
+    }
+    let w = Rect::new(0.1, 0.0, 0.4, 0.08);
+    let _ = built.window_query(&w, &mut cx_before);
+    let _ = loaded.window_query(&w, &mut cx_after);
+    let (b, a) = (cx_before.take_stats(), cx_after.take_stats());
+    assert_eq!(b, a, "shard fan-out counters changed across the snapshot");
+    assert!(b.shards_pruned > 0, "workload never exercised pruning");
+}
+
+#[test]
+fn empty_indices_roundtrip() {
+    for kind in IndexKind::all_with_sharded() {
+        let built = build_index(kind, &[], &cfg());
+        let bytes = snapshot_bytes(built.as_ref())
+            .unwrap_or_else(|e| panic!("{} empty serialise: {e}", kind.name()));
+        let loaded =
+            load_index_bytes(&bytes).unwrap_or_else(|e| panic!("{} empty load: {e}", kind.name()));
+        assert!(loaded.is_empty(), "{}", kind.name());
+        let mut cx = QueryContext::new();
+        assert!(loaded.point_query(&Point::new(0.5, 0.5), &mut cx).is_none());
+        assert!(loaded.window_query(&Rect::unit(), &mut cx).is_empty());
+    }
+}
