@@ -7,15 +7,17 @@
 //! experiments <id> [--scale S] [--epochs E] [--only INDEX[,INDEX...]]
 //!                  [--shards N] [--threads N] [--json PATH]
 //!                  [--path PATH] [--kind KIND]
+//!                  [--readers N] [--write-ratio R] [--queries N]
 //! experiments all
 //! ```
 //!
 //! where `<id>` is one of `table3`, `table4`, `fig6` … `fig19`,
 //! `ablation-rank`, `ablation-curve`, `ablation-grouping`, `sharded`,
-//! `snapshot`, `serve`, or `all`, and `--only` restricts the cross-family
-//! figures to the named index families (parsed through the registry, e.g.
-//! `--only RSMI,HRR`).  A missing or unknown experiment id, and any flag
-//! with a missing or unparsable value, prints usage and exits with status 2.
+//! `snapshot`, `serve`, `serve-live`, or `all`, and `--only` restricts the
+//! cross-family figures to the named index families (parsed through the
+//! registry, e.g. `--only RSMI,HRR`).  A missing or unknown experiment id,
+//! and any flag with a missing or unparsable value, prints usage and exits
+//! with status 2.
 //!
 //! `--json PATH` additionally writes the run's tables as a machine-readable
 //! JSON summary (hand-rolled writer, no serde) — CI archives it as the
@@ -26,6 +28,18 @@
 //! (`shards_visited` / `shards_pruned`) on a hotspot window workload and the
 //! wall-clock speedup of the multi-threaded batch executor.  `--shards` and
 //! `--threads` parameterise it (defaults 4 and 4).
+//!
+//! `serve-live` drives the **concurrent serving engine** (`crates/server`):
+//! it builds the index selected by `--kind` (default `HRR`) over the
+//! scaled data set (default 100k points), then runs `--readers` reader
+//! threads (default 8) against one writer thread applying a
+//! `--write-ratio` (default 0.1) read/write workload.  Every reader query
+//! records the write-sequence number its snapshot observed; after the run
+//! the whole interleaving is replayed single-threadedly against a naive
+//! `Vec`-scan oracle and **every** answer is compared — any divergence
+//! exits 1.  Background compaction must swap at least one epoch while the
+//! readers run (readers never block on it; that's the point), and the
+//! throughput summary is what CI archives as `BENCH_serve.json`.
 //!
 //! `snapshot` and `serve` drive persistence end-to-end.  `snapshot` builds
 //! the index selected by `--kind` (default `sharded-hrr`), runs the query
@@ -78,18 +92,22 @@ usage: experiments <id> [flags]
 experiment ids:
   table3 table4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15
   fig16 fig17 fig18 fig19 ablation-rank ablation-curve ablation-grouping
-  sharded snapshot serve all
+  sharded snapshot serve serve-live all
 
 flags:
-  --scale S      multiply all data-set sizes by S (default 1.0)
-  --epochs E     training epochs for the learned indices (default 30)
-  --only LIST    restrict cross-family experiments to these families,
-                 comma-separated (e.g. --only RSMI,HRR)
-  --shards N     shard count for the sharded engine (default 4)
-  --threads N    worker threads for batch execution (default 4)
-  --json PATH    also write the run's tables as a JSON summary
-  --path PATH    snapshot file for the snapshot/serve experiments
-  --kind KIND    index family for snapshot/serve (default sharded-hrr)";
+  --scale S        multiply all data-set sizes by S (default 1.0)
+  --epochs E       training epochs for the learned indices (default 30)
+  --only LIST      restrict cross-family experiments to these families,
+                   comma-separated (e.g. --only RSMI,HRR)
+  --shards N       shard count for the sharded engine (default 4)
+  --threads N      worker threads for batch execution (default 4)
+  --json PATH      also write the run's tables as a JSON summary
+  --path PATH      snapshot file for the snapshot/serve experiments
+  --kind KIND      index family for snapshot/serve/serve-live
+                   (default sharded-hrr; serve-live defaults to HRR)
+  --readers N      reader threads for serve-live (default 8)
+  --write-ratio R  write share of the serve-live workload (default 0.1)
+  --queries N      queries per reader thread for serve-live (default 500)";
 
 const KNOWN_EXPERIMENTS: &[&str] = &[
     "table3",
@@ -114,6 +132,7 @@ const KNOWN_EXPERIMENTS: &[&str] = &[
     "sharded",
     "snapshot",
     "serve",
+    "serve-live",
     "all",
 ];
 
@@ -134,6 +153,9 @@ struct Opts {
     json: Option<PathBuf>,
     path: Option<PathBuf>,
     kind: Option<IndexKind>,
+    readers: usize,
+    write_ratio: f64,
+    queries: usize,
 }
 
 impl Opts {
@@ -195,6 +217,9 @@ fn parse_args(args: &[String]) -> (String, Opts) {
         json: None,
         path: None,
         kind: None,
+        readers: 8,
+        write_ratio: 0.1,
+        queries: 500,
     };
     let mut it = args.iter().peekable();
     let Some(first) = it.next() else {
@@ -243,6 +268,24 @@ fn parse_args(args: &[String]) -> (String, Opts) {
             "--json" => opts.json = Some(PathBuf::from(flag_value::<String>(&mut it, "--json"))),
             "--path" => opts.path = Some(PathBuf::from(flag_value::<String>(&mut it, "--path"))),
             "--kind" => opts.kind = Some(flag_value(&mut it, "--kind")),
+            "--readers" => {
+                opts.readers = flag_value(&mut it, "--readers");
+                if opts.readers == 0 {
+                    usage_error("--readers must be positive");
+                }
+            }
+            "--write-ratio" => {
+                opts.write_ratio = flag_value(&mut it, "--write-ratio");
+                if !(0.0..1.0).contains(&opts.write_ratio) {
+                    usage_error("--write-ratio must be in [0, 1)");
+                }
+            }
+            "--queries" => {
+                opts.queries = flag_value(&mut it, "--queries");
+                if opts.queries == 0 {
+                    usage_error("--queries must be positive");
+                }
+            }
             other => usage_error(&format!("unknown argument: {other}")),
         }
     }
@@ -268,6 +311,19 @@ fn main() {
     report.meta("shards", opts.shards);
     report.meta("threads", opts.threads);
     report.meta("seed", SEED);
+    // The kind the run measured: explicit --kind, or the experiment's own
+    // default for the single-kind experiments, or "all" for the
+    // cross-family figures — the bench-summary artifact must be
+    // self-describing.
+    let effective_kind =
+        opts.kind
+            .map(|k| k.name().to_string())
+            .unwrap_or_else(|| match which.as_str() {
+                "snapshot" | "serve" => snapshot_kind(&opts).name().to_string(),
+                "serve-live" => serve_live_kind(&opts).name().to_string(),
+                _ => "all".to_string(),
+            });
+    report.meta("kind", effective_kind);
 
     let all = which == "all";
     let run = |name: &str| all || which == name;
@@ -319,6 +375,9 @@ fn main() {
     }
     if which == "serve" {
         failed |= !serve_experiment(&opts, &mut report);
+    }
+    if which == "serve-live" {
+        failed |= !serve_live(&opts, &mut report);
     }
     if run("ablation-rank") {
         ablation_rank(&opts, &mut report);
@@ -1156,5 +1215,147 @@ fn serve_experiment(opts: &Opts, report: &mut Report) -> bool {
     if !verified {
         eprintln!("serve verification FAILED: snapshot diverged from the fresh build");
     }
+    verified
+}
+
+// ---------------------------------------------------------------------
+// Live concurrent serving: readers + writer + compaction, oracle-verified
+// ---------------------------------------------------------------------
+
+fn serve_live_kind(opts: &Opts) -> IndexKind {
+    opts.kind.unwrap_or(IndexKind::Hrr)
+}
+
+/// `serve-live`: builds a `SpatialServer` over the scaled data set, runs
+/// `--readers` reader threads concurrently with one writer thread applying
+/// a `--write-ratio` read/write workload, then replays the recorded
+/// interleaving single-threadedly against a `Vec`-scan oracle
+/// (`bench::live`, shared with `tests/serve_concurrent.rs`): every
+/// point-query answer is verified for every kind, and window/kNN answers
+/// for exact kinds.  Background compaction must swap at least one epoch
+/// under the readers.  Returns whether everything verified.
+fn serve_live(opts: &Opts, report: &mut Report) -> bool {
+    let kind = serve_live_kind(opts);
+    let n = (100_000.0 * opts.scale) as usize;
+    let data = dataset(Distribution::skewed_default(), n);
+    let k = 25;
+
+    // One stream at the requested write ratio; reads fan out over the
+    // reader threads, writes stay in stream order on the writer thread.
+    let total_reads_target = opts.readers * opts.queries;
+    let total_ops = (total_reads_target as f64 / (1.0 - opts.write_ratio)).round() as usize;
+    let ops = queries::read_write_workload(
+        &data,
+        WindowSpec::default(),
+        k,
+        total_ops,
+        opts.write_ratio,
+        SEED ^ 0xA11E,
+    );
+    let (reads, writes) = bench::live::split_stream(&ops);
+
+    let cfg = opts.harness();
+    let threshold = (writes.len() / 4).max(16);
+    let start = std::time::Instant::now();
+    let server = registry::serve_index(
+        kind,
+        &data,
+        &cfg,
+        registry::ServerConfig::default().with_compact_threshold(threshold),
+    );
+    let build_s = start.elapsed().as_secs_f64();
+
+    // Serve: N readers snapshot-and-query, 1 writer applies the write
+    // stream (paced so it spans the read phase), compaction runs in the
+    // server's own background thread throughout.  The shared harness in
+    // `bench::live` records (observed seq, answer) per query.
+    let run = bench::live::run_live_serving(
+        &server,
+        &reads,
+        &writes,
+        opts.readers,
+        std::time::Duration::from_micros(500),
+    );
+    let mut observations = run.observations;
+    // The writer is deliberately paced to span the read phase, so the two
+    // throughput numbers use their own clocks: reads over the readers'
+    // wall time, writes over the writer's unpaced busy time.
+    let read_wall_s = run.read_wall.as_secs_f64();
+    let write_busy_s = run.write_busy.as_secs_f64();
+
+    // Readers must have been served across epoch swaps: with this many
+    // writes the background compactor is required to fold at least once —
+    // but its final rebuild may still be in flight when the threads join,
+    // so wait for it rather than sampling the counter once.
+    let compactions = if writes.len() >= threshold {
+        bench::live::await_compactions(&server, 1, std::time::Duration::from_secs(30))
+    } else {
+        server.stats().compactions
+    };
+    let compaction_ok = writes.len() < threshold || compactions >= 1;
+    if !compaction_ok {
+        eprintln!(
+            "serve-live FAILED: {} writes buffered but no background compaction ran",
+            writes.len()
+        );
+    }
+
+    // Single-threaded replay oracle: every recorded answer is compared
+    // against a naive scan of the write prefix its snapshot observed.
+    let outcome = bench::live::replay_against_oracle(
+        &data,
+        &writes,
+        &mut observations,
+        kind.exact_windows(),
+        kind.exact_knn(),
+    );
+    let (checked, skipped) = (outcome.checked, outcome.skipped);
+    for d in &outcome.divergences {
+        eprintln!("serve-live divergence at {d}");
+    }
+    if !outcome.verified() {
+        eprintln!(
+            "serve-live FAILED: {} of {} verified answers diverged from the \
+             single-threaded replay oracle",
+            outcome.mismatches,
+            checked + outcome.mismatches
+        );
+    }
+    let verified = outcome.verified() && compaction_ok;
+
+    report.meta("readers", opts.readers);
+    report.meta("write_ratio", opts.write_ratio);
+    report.meta("queries_per_reader", opts.queries);
+    report.meta("verified_answers", checked);
+    report.table(
+        &format!(
+            "Live serving — {} readers + 1 writer, {:.0}% writes (Skewed, n = {n}, {})",
+            opts.readers,
+            opts.write_ratio * 100.0,
+            kind.name()
+        ),
+        &[
+            "index",
+            "build (s)",
+            "reads",
+            "writes",
+            "read throughput (q/s)",
+            "write throughput (op/s, unpaced)",
+            "epochs swapped",
+            "answers verified",
+            "oracle match",
+        ],
+        vec![vec![
+            kind.name().to_string(),
+            fmt(build_s),
+            observations.len().to_string(),
+            writes.len().to_string(),
+            fmt(observations.len() as f64 / read_wall_s.max(1e-9)),
+            fmt(writes.len() as f64 / write_busy_s.max(1e-9)),
+            compactions.to_string(),
+            format!("{checked} (+{skipped} unverified approximate)"),
+            if verified { "yes" } else { "NO" }.to_string(),
+        ]],
+    );
     verified
 }

@@ -34,6 +34,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod live;
+
 use common::{brute_force, metrics, QueryContext, QueryStats, SpatialIndex};
 use geom::{Point, Rect};
 
@@ -257,6 +259,16 @@ pub struct ReportTable {
     pub rows: Vec<Vec<String>>,
 }
 
+/// Version of the JSON document layout [`Report::to_json`] emits, recorded
+/// as the top-level `schema_version` field so downstream tooling can detect
+/// layout changes in archived `bench-summary` artifacts.  History:
+///
+/// * **1** — `meta` object + `tables` array (unversioned in the artifact).
+/// * **2** — adds the explicit `schema_version` field; runs carry
+///   self-describing metadata (`experiment`, `kind`, `shards`, `threads`,
+///   `seed`, …) in `meta`.
+pub const BENCH_SUMMARY_SCHEMA_VERSION: u32 = 2;
+
 /// Collects every table an experiments run produces, printing each as
 /// markdown as it lands and optionally serialising the whole run as JSON —
 /// the machine-readable artifact CI archives as the repo's perf trajectory.
@@ -292,7 +304,8 @@ impl Report {
     /// Serialises the report as a JSON document (hand-rolled writer — the
     /// build environment is offline, so no serde).
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"meta\": {");
+        let mut out =
+            format!("{{\n  \"schema_version\": {BENCH_SUMMARY_SCHEMA_VERSION},\n  \"meta\": {{");
         for (i, (k, v)) in self.meta.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -511,6 +524,13 @@ mod tests {
         );
         assert_eq!(report.tables.len(), 1);
         let json = report.to_json();
+        // The document is self-describing: schema version first.
+        assert!(
+            json.starts_with(&format!(
+                "{{\n  \"schema_version\": {BENCH_SUMMARY_SCHEMA_VERSION},"
+            )),
+            "{json}"
+        );
         // Numbers stay numbers, strings get quoted and escaped.
         assert!(json.contains("\"scale\": 0.5"), "{json}");
         assert!(json.contains("\"experiment\": \"table3\""), "{json}");

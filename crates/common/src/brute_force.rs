@@ -43,6 +43,88 @@ pub fn kth_distance(points: &[Point], q: &Point, k: usize) -> f64 {
     nn.last().map_or(f64::INFINITY, |p| p.dist(q))
 }
 
+/// A [`SpatialIndex`](crate::SpatialIndex) that answers every query by
+/// scanning a plain `Vec<Point>` — the reference semantics every real index
+/// is tested against, packaged as an index so oracles, doc examples, and
+/// serving-layer tests can use it wherever a `SpatialIndex` is expected.
+///
+/// Updates follow exact `Vec` semantics: `insert` appends, `delete` removes
+/// *all* copies matching the argument's location and id, and `point_query`
+/// returns the first match in `Vec` order.  Every query charges one block
+/// scan over the whole vector to the caller's context.
+#[derive(Debug, Clone, Default)]
+pub struct ScanIndex(Vec<Point>);
+
+impl ScanIndex {
+    /// Creates a scan index over the given points (kept in the given order).
+    pub fn new(points: Vec<Point>) -> Self {
+        Self(points)
+    }
+
+    /// The indexed points, in `Vec` order.
+    pub fn points(&self) -> &[Point] {
+        &self.0
+    }
+}
+
+impl crate::SpatialIndex for ScanIndex {
+    fn name(&self) -> &'static str {
+        "Scan"
+    }
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn point_query(&self, q: &Point, cx: &mut crate::QueryContext) -> Option<Point> {
+        cx.count_block_scan(self.0.len());
+        point_query(&self.0, q)
+    }
+
+    fn window_query_visit(
+        &self,
+        window: &Rect,
+        cx: &mut crate::QueryContext,
+        visit: &mut dyn FnMut(&Point),
+    ) {
+        cx.count_block_scan(self.0.len());
+        for p in self.0.iter().filter(|p| window.contains(p)) {
+            visit(p);
+        }
+    }
+
+    fn knn_query_visit(
+        &self,
+        q: &Point,
+        k: usize,
+        cx: &mut crate::QueryContext,
+        visit: &mut dyn FnMut(&Point),
+    ) {
+        cx.count_block_scan(self.0.len());
+        for p in knn_query(&self.0, q, k) {
+            visit(&p);
+        }
+    }
+
+    fn insert(&mut self, p: Point) {
+        self.0.push(p);
+    }
+
+    fn delete(&mut self, p: &Point) -> bool {
+        let before = self.0.len();
+        self.0.retain(|x| !(x.same_location(p) && x.id == p.id));
+        self.0.len() != before
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.0.len() * std::mem::size_of::<Point>()
+    }
+
+    fn height(&self) -> usize {
+        1
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,6 +171,38 @@ mod tests {
     fn knn_with_k_larger_than_n_returns_all() {
         let pts = sample();
         assert_eq!(knn_query(&pts, &Point::new(0.0, 0.0), 100).len(), pts.len());
+    }
+
+    #[test]
+    fn scan_index_follows_vec_semantics() {
+        use crate::{QueryContext, SpatialIndex};
+        let mut idx = ScanIndex::new(sample());
+        let mut cx = QueryContext::new();
+        // First match in Vec order, full-vector scan charged.
+        assert_eq!(
+            idx.point_query(&Point::new(0.5, 0.5), &mut cx).unwrap().id,
+            4
+        );
+        assert_eq!(cx.take_stats().candidates_scanned, 5);
+        // Insert appends; delete removes all matching copies.
+        idx.insert(Point::with_id(0.5, 0.5, 9));
+        assert_eq!(idx.len(), 6);
+        assert!(idx.delete(&Point::with_id(0.5, 0.5, 4)));
+        assert!(!idx.delete(&Point::with_id(0.5, 0.5, 4)));
+        assert_eq!(
+            idx.point_query(&Point::new(0.5, 0.5), &mut cx).unwrap().id,
+            9
+        );
+        // Window and kNN agree with the free functions.
+        let w = Rect::new(0.0, 0.0, 0.3, 0.3);
+        assert_eq!(
+            idx.window_query(&w, &mut cx),
+            window_query(idx.points(), &w)
+        );
+        assert_eq!(
+            idx.knn_query(&Point::new(0.5, 0.5), 3, &mut cx),
+            knn_query(idx.points(), &Point::new(0.5, 0.5), 3)
+        );
     }
 
     #[test]

@@ -168,6 +168,99 @@ pub fn mixed_workload(
         .collect()
 }
 
+/// One operation of a live read/write serving workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServeOp {
+    /// A read: point, window, or kNN query.
+    Read(MixedQuery),
+    /// Insert a new point (fresh id, following the data distribution).
+    Insert(Point),
+    /// Delete a point that existed at some earlier moment of the stream
+    /// (an original data point or an earlier insert; a point may be chosen
+    /// twice, making the second delete a no-op — serving layers must cope).
+    Delete(Point),
+}
+
+impl ServeOp {
+    /// Whether the op mutates the data set.
+    pub fn is_write(&self) -> bool {
+        !matches!(self, ServeOp::Read(_))
+    }
+}
+
+/// Generates a mixed **read/write** serving workload: a shuffled stream in
+/// which each op is a write with probability `write_ratio` (half inserts,
+/// half deletes on average) and otherwise a read drawn like
+/// [`mixed_workload`] (roughly equal parts point/window/kNN, following the
+/// data distribution).
+///
+/// Inserts carry fresh ids (continuing after `data.len()` and never
+/// clashing); deletes target either an original data point or an earlier
+/// insert from the same stream, so replaying the stream in order against
+/// `data` is always well-defined.  Deterministic for a `(data, seed)` pair.
+pub fn read_write_workload(
+    data: &[Point],
+    spec: WindowSpec,
+    k: usize,
+    count: usize,
+    write_ratio: f64,
+    seed: u64,
+) -> Vec<ServeOp> {
+    assert!(
+        (0.0..=1.0).contains(&write_ratio),
+        "write_ratio must be a probability, got {write_ratio}"
+    );
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x53E7);
+    let (w, h) = spec.dimensions();
+    let mut next_id = data.len() as u64;
+    // Every point that has ever been live: delete targets come from here.
+    let mut inserted: Vec<Point> = Vec::new();
+    (0..count)
+        .map(|i| {
+            if rng.gen::<f64>() < write_ratio {
+                if rng.gen::<f64>() < 0.5 {
+                    let anchor = data[rng.gen_range(0..data.len())];
+                    let p = Point::with_id(
+                        (anchor.x + 0.01 * (rng.gen::<f64>() - 0.5)).clamp(0.0, 1.0),
+                        (anchor.y + 0.01 * (rng.gen::<f64>() - 0.5)).clamp(0.0, 1.0),
+                        next_id,
+                    );
+                    next_id += 1;
+                    inserted.push(p);
+                    ServeOp::Insert(p)
+                } else {
+                    let total = data.len() + inserted.len();
+                    let pick = rng.gen_range(0..total);
+                    let victim = if pick < data.len() {
+                        data[pick]
+                    } else {
+                        inserted[pick - data.len()]
+                    };
+                    ServeOp::Delete(victim)
+                }
+            } else {
+                let p = data[rng.gen_range(0..data.len())];
+                ServeOp::Read(match rng.gen_range(0..3u64) {
+                    0 => MixedQuery::Point(p),
+                    1 => {
+                        let cx = p.x.clamp(w / 2.0, 1.0 - w / 2.0);
+                        let cy = p.y.clamp(h / 2.0, 1.0 - h / 2.0);
+                        MixedQuery::Window(Rect::centered(cx, cy, w, h))
+                    }
+                    _ => MixedQuery::Knn(
+                        Point::with_id(
+                            (p.x + 0.001 * (rng.gen::<f64>() - 0.5)).clamp(0.0, 1.0),
+                            (p.y + 0.001 * (rng.gen::<f64>() - 0.5)).clamp(0.0, 1.0),
+                            i as u64,
+                        ),
+                        k,
+                    ),
+                })
+            }
+        })
+        .collect()
+}
+
 /// Generates `count` kNN query points following the data distribution
 /// (sampled data points with a small jitter so they are rarely exact data
 /// locations).
@@ -326,6 +419,55 @@ mod tests {
         for share in [points, windows, knns] {
             assert!((60..=140).contains(&share), "unbalanced mix: {share}/300");
         }
+    }
+
+    #[test]
+    fn read_write_workload_respects_the_ratio_and_replays_cleanly() {
+        let data = generate(Distribution::skewed_default(), 800, 27);
+        let ops = read_write_workload(&data, WindowSpec::default(), 10, 2_000, 0.1, 9);
+        assert_eq!(ops.len(), 2_000);
+        // Deterministic for a seed.
+        assert_eq!(
+            ops,
+            read_write_workload(&data, WindowSpec::default(), 10, 2_000, 0.1, 9)
+        );
+        let writes = ops.iter().filter(|o| o.is_write()).count();
+        assert!(
+            (120..=280).contains(&writes),
+            "write share {writes}/2000 far from the 10% ratio"
+        );
+
+        // Replaying the stream in order is always well-defined: inserts have
+        // fresh unique ids, and every delete names a point that was either in
+        // the data or inserted earlier in the stream.
+        let mut known: Vec<Point> = data.clone();
+        let mut seen_ids: Vec<u64> = Vec::new();
+        for op in &ops {
+            match op {
+                ServeOp::Insert(p) => {
+                    assert!(p.id >= data.len() as u64);
+                    assert!(!seen_ids.contains(&p.id), "insert id {} reused", p.id);
+                    seen_ids.push(p.id);
+                    known.push(*p);
+                }
+                ServeOp::Delete(p) => {
+                    assert!(
+                        known.iter().any(|x| x.same_location(p) && x.id == p.id),
+                        "delete targets an unknown point"
+                    );
+                }
+                ServeOp::Read(_) => {}
+            }
+        }
+    }
+
+    #[test]
+    fn read_write_workload_edge_ratios() {
+        let data = generate(Distribution::Uniform, 100, 3);
+        let all_reads = read_write_workload(&data, WindowSpec::default(), 5, 200, 0.0, 1);
+        assert!(all_reads.iter().all(|o| !o.is_write()));
+        let all_writes = read_write_workload(&data, WindowSpec::default(), 5, 200, 1.0, 1);
+        assert!(all_writes.iter().all(|o| o.is_write()));
     }
 
     #[test]

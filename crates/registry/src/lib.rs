@@ -409,6 +409,28 @@ pub fn build_index(kind: IndexKind, points: &[Point], cfg: &IndexConfig) -> Box<
 /// Serialises a built index into snapshot bytes: the versioned header
 /// carries the family's display name as the kind tag, and the body is
 /// whatever the family's [`SpatialIndex::write_snapshot`] appends.
+///
+/// The full build → query → save → load round trip:
+///
+/// ```
+/// use common::{QueryContext, SpatialIndex};
+/// use geom::Point;
+/// use registry::{build_index, load_index_bytes, snapshot_bytes, IndexConfig, IndexKind};
+///
+/// let points: Vec<Point> = (0..400)
+///     .map(|i| Point::with_id((i as f64 * 0.618) % 1.0, (i as f64 * 0.414) % 1.0, i))
+///     .collect();
+/// let index = build_index(IndexKind::Hrr, &points, &IndexConfig::fast());
+/// let mut cx = QueryContext::new();
+/// let before = index.point_query(&points[42], &mut cx);
+///
+/// // Save, drop the built index, load it back: answers are identical.
+/// let bytes = snapshot_bytes(index.as_ref()).unwrap();
+/// drop(index);
+/// let restored = load_index_bytes(&bytes).unwrap();
+/// assert_eq!(restored.name(), "HRR");
+/// assert_eq!(restored.point_query(&points[42], &mut cx), before);
+/// ```
 pub fn snapshot_bytes(index: &dyn SpatialIndex) -> Result<Vec<u8>, PersistError> {
     let mut w = persist::SnapshotWriter::new(index.name());
     index.write_snapshot(&mut w)?;
@@ -466,6 +488,98 @@ pub fn load_index_bytes(bytes: &[u8]) -> Result<Box<dyn SpatialIndex>, PersistEr
 /// Loads an index from a snapshot file (see [`load_index_bytes`]).
 pub fn load_index(path: &Path) -> Result<Box<dyn SpatialIndex>, PersistError> {
     load_index_bytes(&persist::read_file(path)?)
+}
+
+// ---------------------------------------------------------------------
+// Live serving: wrap any registered kind in a SpatialServer
+// ---------------------------------------------------------------------
+
+pub use server::{ServerConfig, SpatialServer};
+
+/// The compaction rebuild closure for one registered kind: the registry's
+/// own [`build_index`] with the kind and configuration captured, which is
+/// how every family composes with the serving engine.
+pub fn rebuild_fn(kind: IndexKind, cfg: &IndexConfig) -> server::RebuildFn {
+    let cfg = *cfg;
+    Box::new(move |pts: &[Point]| build_index(kind, pts, &cfg))
+}
+
+/// Builds an index of `kind` over `points` and starts a live
+/// [`SpatialServer`] around it: lock-free snapshot reads, sequenced
+/// delta-buffered writes, and background compaction that rebuilds through
+/// the registry.
+///
+/// ```
+/// use common::QueryContext;
+/// use geom::Point;
+/// use registry::{serve_index, IndexConfig, IndexKind, ServerConfig};
+///
+/// let points: Vec<Point> = (0..300)
+///     .map(|i| Point::with_id((i as f64 * 0.618) % 1.0, (i as f64 * 0.414) % 1.0, i))
+///     .collect();
+/// let server = serve_index(IndexKind::Grid, &points, &IndexConfig::fast(), ServerConfig::default());
+///
+/// // Writers go through &self; readers snapshot concurrently.
+/// let seq = server.insert(Point::with_id(0.123, 0.456, 9_000));
+/// assert_eq!(seq, 1);
+/// let mut cx = QueryContext::new();
+/// let hit = server.point_query(&Point::new(0.123, 0.456), &mut cx);
+/// assert_eq!(hit.map(|p| p.id), Some(9_000));
+/// assert_eq!(server.len(), 301);
+/// ```
+pub fn serve_index(
+    kind: IndexKind,
+    points: &[Point],
+    cfg: &IndexConfig,
+    server_cfg: ServerConfig,
+) -> SpatialServer {
+    SpatialServer::new(points.to_vec(), rebuild_fn(kind, cfg), server_cfg)
+}
+
+/// Warm start: loads a snapshot (see [`load_index_bytes`]) and starts a live
+/// [`SpatialServer`] around the loaded index, skipping the initial build.
+///
+/// The server needs the canonical point set for compaction; it is recovered
+/// from the loaded index with a full-space window scan over the unit data
+/// square (the repository's data convention).  Kinds whose window queries
+/// are approximate (RSMI, ZM) may scan back fewer points than the index
+/// holds — that is reported as [`PersistError::Corrupt`] rather than served
+/// with silent point loss, so warm starts are for exact kinds.
+pub fn serve_snapshot_bytes(
+    bytes: &[u8],
+    cfg: &IndexConfig,
+    server_cfg: ServerConfig,
+) -> Result<SpatialServer, PersistError> {
+    let index = load_index_bytes(bytes)?;
+    let kind: IndexKind = index
+        .name()
+        .parse()
+        .map_err(|_| PersistError::UnknownKind(index.name().to_string()))?;
+    let mut cx = common::QueryContext::new();
+    let points = index.window_query(&geom::Rect::unit(), &mut cx);
+    if points.len() != index.len() {
+        return Err(PersistError::Corrupt(format!(
+            "canonical scan recovered {} of {} points — warm start requires a kind whose \
+             full-space window scan is exact",
+            points.len(),
+            index.len()
+        )));
+    }
+    Ok(SpatialServer::from_parts(
+        index,
+        points,
+        rebuild_fn(kind, cfg),
+        server_cfg,
+    ))
+}
+
+/// Warm start from a snapshot file (see [`serve_snapshot_bytes`]).
+pub fn serve_snapshot(
+    path: &Path,
+    cfg: &IndexConfig,
+    server_cfg: ServerConfig,
+) -> Result<SpatialServer, PersistError> {
+    serve_snapshot_bytes(&persist::read_file(path)?, cfg, server_cfg)
 }
 
 #[cfg(test)]
@@ -628,6 +742,62 @@ mod tests {
         assert!(matches!(
             load_index_bytes(&w.finish()),
             Err(PersistError::UnknownKind(k)) if k == "NoSuchFamily"
+        ));
+    }
+
+    #[test]
+    fn serve_index_wraps_any_kind_with_live_writes() {
+        let data = generate(Distribution::Uniform, 500, 33);
+        let scfg = ServerConfig::default().with_auto_compact(false);
+        for kind in [IndexKind::Hrr, BaseKind::Grid.sharded()] {
+            let server = serve_index(kind, &data, &IndexConfig::fast().with_shards(3), scfg);
+            let mut cx = QueryContext::new();
+            assert_eq!(server.len(), data.len());
+            let extra = Point::with_id(0.111, 0.222, 700_000);
+            server.insert(extra);
+            let (removed, _) = server.delete(&data[5]);
+            assert!(removed);
+            assert_eq!(
+                server.point_query(&extra, &mut cx).map(|p| p.id),
+                Some(extra.id)
+            );
+            assert!(server.point_query(&data[5], &mut cx).is_none());
+            // Compaction rebuilds through the registry and preserves answers.
+            assert!(server.compact_now());
+            assert_eq!(server.stats().epoch, 1);
+            assert_eq!(
+                server.point_query(&extra, &mut cx).map(|p| p.id),
+                Some(extra.id)
+            );
+            assert!(server.point_query(&data[5], &mut cx).is_none());
+            assert_eq!(server.len(), data.len());
+        }
+    }
+
+    #[test]
+    fn serve_snapshot_bytes_warm_starts_exact_kinds() {
+        let data = generate(Distribution::Normal, 400, 35);
+        let cfg = IndexConfig::fast();
+        let index = build_index(IndexKind::Kdb, &data, &cfg);
+        let bytes = snapshot_bytes(index.as_ref()).expect("serialise");
+        let scfg = ServerConfig::default().with_auto_compact(false);
+        let server = serve_snapshot_bytes(&bytes, &cfg, scfg).expect("warm start");
+        assert_eq!(server.len(), data.len());
+        let mut cx = QueryContext::new();
+        assert_eq!(
+            server.point_query(&data[9], &mut cx).map(|p| p.id),
+            Some(data[9].id)
+        );
+        // The warm-started server still compacts: writes fold into a fresh
+        // base built by the registry.
+        server.insert(Point::with_id(0.4321, 0.1234, 900_000));
+        assert!(server.compact_now());
+        assert_eq!(server.len(), data.len() + 1);
+
+        // Garbage bytes surface the persist error, not a panic.
+        assert!(matches!(
+            serve_snapshot_bytes(b"garbage", &cfg, scfg),
+            Err(PersistError::BadMagic)
         ));
     }
 }

@@ -1,0 +1,427 @@
+//! The write-side **delta overlay**: sequenced inserts and deletes buffered
+//! between compactions, merged into every read.
+//!
+//! The overlay stores two coupled representations of the same ops:
+//!
+//! * a **log** of [`SequencedOp`]s in application order — what compaction
+//!   replays into the canonical point set, and what carries leftover ops
+//!   into the next epoch, and
+//! * a **net per-key state** ([`DeltaState::entries`]) — what queries merge
+//!   with the base index: live inserted copies (unioned into results) and
+//!   masked base keys (filtered out of base results).
+//!
+//! Keys identify a point exactly the way [`common::SpatialIndex::delete`]
+//! matches one: by bit-exact location plus id.  The net state is kept in a
+//! `BTreeMap` so iteration (window unions, kNN unions) is deterministic.
+
+use geom::{Point, Rect};
+use std::collections::BTreeMap;
+
+/// Exact identity of a point: canonical coordinate bit patterns plus id.
+///
+/// `-0.0` is folded onto `+0.0` so the key relation matches
+/// [`geom::Point::same_location`] (float equality) exactly.
+pub(crate) type Key = (u64, u64, u64);
+
+#[inline]
+fn coord_bits(v: f64) -> u64 {
+    if v == 0.0 {
+        0f64.to_bits()
+    } else {
+        v.to_bits()
+    }
+}
+
+/// The delta key of a point.
+#[inline]
+pub(crate) fn key_of(p: &Point) -> Key {
+    (coord_bits(p.x), coord_bits(p.y), p.id)
+}
+
+/// One write operation accepted by the server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WriteOp {
+    /// Insert the point (appended after all existing points, `Vec` style).
+    Insert(Point),
+    /// Delete every live copy of the point, matched by exact location and
+    /// id — the same relation [`common::SpatialIndex::delete`] uses.
+    Delete(Point),
+}
+
+/// A write operation tagged with the global sequence number under which the
+/// server applied it.  Sequence numbers are dense and start at 1; a query
+/// that observed sequence `s` sees exactly the effects of ops `1..=s`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SequencedOp {
+    /// The op's position in the server's total write order.
+    pub seq: u64,
+    /// The operation itself.
+    pub op: WriteOp,
+}
+
+/// Net effect of the delta ops on one key.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    /// The point (identical for every copy of the key).
+    point: Point,
+    /// Live inserted copies of the key.
+    copies: u32,
+    /// Sequence number of the earliest still-live insert; orders duplicate
+    /// location matches the way `Vec` append order would.
+    first_seq: u64,
+    /// The key's base copy has been deleted.  Only ever set for keys the
+    /// epoch's base actually contains, so masked counts stay exact.
+    base_masked: bool,
+}
+
+/// An immutable-once-shared snapshot of the buffered write ops of one epoch.
+///
+/// The server keeps the current `DeltaState` behind `RwLock<Arc<..>>`:
+/// readers clone the `Arc` (so their view is frozen) and the single writer
+/// mutates through [`std::sync::Arc::make_mut`], which copies only when a
+/// reader still holds the previous state.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct DeltaState {
+    /// Last applied sequence number (0 = none since the epoch's base).
+    seq: u64,
+    /// Raw ops in application order, for compaction replay and epoch
+    /// hand-over.
+    log: Vec<SequencedOp>,
+    /// Net per-key state, deterministic iteration order.
+    entries: BTreeMap<Key, Entry>,
+    /// Number of keys with `base_masked` set (each masks exactly one base
+    /// copy).
+    masked_base: usize,
+    /// Total live inserted copies across all keys.
+    live_inserts: usize,
+}
+
+impl DeltaState {
+    /// An empty overlay that continues the sequence after `seq` (used when a
+    /// fresh epoch takes over mid-stream).
+    pub(crate) fn resume_at(seq: u64) -> Self {
+        Self {
+            seq,
+            ..Self::default()
+        }
+    }
+
+    /// Last applied sequence number.
+    pub(crate) fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Number of buffered ops (the compaction trigger measure).
+    pub(crate) fn op_count(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Whether no ops are buffered.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.log.is_empty()
+    }
+
+    /// The buffered ops in application order.
+    pub(crate) fn log(&self) -> &[SequencedOp] {
+        &self.log
+    }
+
+    /// Total number of base copies masked by deletes (a key the base holds
+    /// `c` times contributes `c` once deleted, so `len` and kNN over-fetch
+    /// stay exact even for duplicate identical points).
+    pub(crate) fn masked_base(&self) -> usize {
+        self.masked_base
+    }
+
+    /// Number of live inserted copies.
+    pub(crate) fn live_inserts(&self) -> usize {
+        self.live_inserts
+    }
+
+    /// Approximate memory footprint of the overlay.
+    pub(crate) fn size_bytes(&self) -> usize {
+        self.log.len() * std::mem::size_of::<SequencedOp>()
+            + self.entries.len() * (std::mem::size_of::<Key>() + std::mem::size_of::<Entry>())
+    }
+
+    /// Applies one op under sequence number `op.seq`.  `base_copies_of`
+    /// reports how many copies of a key the epoch's base index holds (>1
+    /// only when identical points were inserted repeatedly and then folded
+    /// by compaction).  Returns whether a delete removed anything (`true`
+    /// for every insert).
+    pub(crate) fn apply(&mut self, op: SequencedOp, base_copies_of: &dyn Fn(&Key) -> u32) -> bool {
+        debug_assert!(op.seq > self.seq, "ops must arrive in sequence order");
+        self.seq = op.seq;
+        self.log.push(op);
+        match op.op {
+            WriteOp::Insert(p) => {
+                let e = self.entries.entry(key_of(&p)).or_insert(Entry {
+                    point: p,
+                    copies: 0,
+                    first_seq: op.seq,
+                    base_masked: false,
+                });
+                if e.copies == 0 {
+                    e.first_seq = op.seq;
+                }
+                e.copies += 1;
+                self.live_inserts += 1;
+                true
+            }
+            WriteOp::Delete(p) => {
+                let key = key_of(&p);
+                let e = self.entries.entry(key).or_insert(Entry {
+                    point: p,
+                    copies: 0,
+                    first_seq: 0,
+                    base_masked: false,
+                });
+                let mut removed = e.copies > 0;
+                self.live_inserts -= e.copies as usize;
+                e.copies = 0;
+                if !e.base_masked {
+                    let in_base = base_copies_of(&key);
+                    if in_base > 0 {
+                        e.base_masked = true;
+                        self.masked_base += in_base as usize;
+                        removed = true;
+                    }
+                }
+                if !e.base_masked {
+                    // The delete neither masked a base copy nor killed a
+                    // delta copy: drop the entry so queries don't scan a
+                    // dead key until compaction (the log still records the
+                    // op — sequence numbers stay dense and replays agree).
+                    self.entries.remove(&key);
+                }
+                removed
+            }
+        }
+    }
+
+    /// Whether the base copy of `p` has been deleted (base query results with
+    /// this key must be filtered out).
+    #[inline]
+    pub(crate) fn masks(&self, p: &Point) -> bool {
+        self.entries.get(&key_of(p)).is_some_and(|e| e.base_masked)
+    }
+
+    /// The earliest-inserted live copy at exactly the query's location, if
+    /// any — the delta side of a point query.  Returns the number of delta
+    /// entries examined so the caller can charge them as candidates.
+    pub(crate) fn point_lookup(&self, q: &Point) -> (Option<Point>, usize) {
+        let (xb, yb) = (coord_bits(q.x), coord_bits(q.y));
+        let mut best: Option<(u64, Point)> = None;
+        let mut examined = 0;
+        for e in self
+            .entries
+            .range((xb, yb, u64::MIN)..=(xb, yb, u64::MAX))
+            .map(|(_, e)| e)
+        {
+            examined += 1;
+            if e.copies > 0 && best.is_none_or(|(fs, _)| e.first_seq < fs) {
+                best = Some((e.first_seq, e.point));
+            }
+        }
+        (best.map(|(_, p)| p), examined)
+    }
+
+    /// Visits every live inserted copy inside `window` (a key with `c`
+    /// copies is visited `c` times).  Returns the number of entries examined.
+    pub(crate) fn visit_inserts_in(&self, window: &Rect, visit: &mut dyn FnMut(&Point)) -> usize {
+        let mut examined = 0;
+        for e in self.entries.values() {
+            examined += 1;
+            if e.copies > 0 && window.contains(&e.point) {
+                for _ in 0..e.copies {
+                    visit(&e.point);
+                }
+            }
+        }
+        examined
+    }
+
+    /// Visits every live inserted copy (for kNN unions).  Returns the number
+    /// of entries examined.
+    pub(crate) fn visit_inserts(&self, visit: &mut dyn FnMut(&Point)) -> usize {
+        let mut examined = 0;
+        for e in self.entries.values() {
+            examined += 1;
+            for _ in 0..e.copies {
+                visit(&e.point);
+            }
+        }
+        examined
+    }
+}
+
+/// Applies a log of ops to a canonical point vector with exact `Vec`
+/// semantics: inserts append, deletes remove all copies matching location
+/// and id — the reference the delta merge must agree with, used by
+/// compaction to fold an epoch's delta into the next base.
+pub(crate) fn apply_log_to_points(points: &mut Vec<Point>, log: &[SequencedOp], up_to_seq: u64) {
+    for op in log.iter().take_while(|o| o.seq <= up_to_seq) {
+        match op.op {
+            WriteOp::Insert(p) => points.push(p),
+            WriteOp::Delete(p) => {
+                points.retain(|x| !(x.same_location(&p) && x.id == p.id));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64, id: u64) -> Point {
+        Point::with_id(x, y, id)
+    }
+
+    fn apply(d: &mut DeltaState, seq: u64, op: WriteOp, base: &[Point]) -> bool {
+        let keys: Vec<Key> = base.iter().map(key_of).collect();
+        d.apply(SequencedOp { seq, op }, &|k| {
+            keys.iter().filter(|bk| *bk == k).count() as u32
+        })
+    }
+
+    #[test]
+    fn insert_then_delete_then_reinsert_tracks_net_state() {
+        let base = vec![p(0.1, 0.1, 1)];
+        let mut d = DeltaState::default();
+        assert!(apply(&mut d, 1, WriteOp::Insert(p(0.5, 0.5, 7)), &base));
+        assert_eq!(d.live_inserts(), 1);
+        assert!(apply(&mut d, 2, WriteOp::Delete(p(0.5, 0.5, 7)), &base));
+        assert_eq!(d.live_inserts(), 0);
+        assert_eq!(d.masked_base(), 0, "key was never in base");
+        assert!(apply(&mut d, 3, WriteOp::Insert(p(0.5, 0.5, 7)), &base));
+        let (hit, _) = d.point_lookup(&p(0.5, 0.5, 0));
+        assert_eq!(hit.map(|q| q.id), Some(7));
+        assert_eq!(d.seq(), 3);
+        assert_eq!(d.op_count(), 3);
+    }
+
+    #[test]
+    fn deleting_a_base_point_masks_exactly_one_copy() {
+        let base = vec![p(0.1, 0.1, 1), p(0.2, 0.2, 2)];
+        let mut d = DeltaState::default();
+        assert!(apply(&mut d, 1, WriteOp::Delete(p(0.1, 0.1, 1)), &base));
+        assert!(d.masks(&p(0.1, 0.1, 1)));
+        assert!(!d.masks(&p(0.2, 0.2, 2)));
+        assert_eq!(d.masked_base(), 1);
+        // Deleting again removes nothing.
+        assert!(!apply(&mut d, 2, WriteOp::Delete(p(0.1, 0.1, 1)), &base));
+        assert_eq!(d.masked_base(), 1);
+        // Deleting something that never existed removes nothing.
+        assert!(!apply(&mut d, 3, WriteOp::Delete(p(0.9, 0.9, 9)), &base));
+    }
+
+    #[test]
+    fn point_lookup_prefers_earliest_live_insert() {
+        let mut d = DeltaState::default();
+        assert!(apply(&mut d, 1, WriteOp::Insert(p(0.5, 0.5, 30)), &[]));
+        assert!(apply(&mut d, 2, WriteOp::Insert(p(0.5, 0.5, 10)), &[]));
+        // Vec order: id 30 was appended first, so it is the first match.
+        let (hit, examined) = d.point_lookup(&p(0.5, 0.5, 0));
+        assert_eq!(hit.map(|q| q.id), Some(30));
+        assert_eq!(examined, 2);
+        // Delete the earliest; the later insert becomes the first match.
+        assert!(apply(&mut d, 3, WriteOp::Delete(p(0.5, 0.5, 30)), &[]));
+        let (hit, _) = d.point_lookup(&p(0.5, 0.5, 0));
+        assert_eq!(hit.map(|q| q.id), Some(10));
+    }
+
+    #[test]
+    fn duplicate_inserts_visit_once_per_copy() {
+        let mut d = DeltaState::default();
+        for seq in 1..=3 {
+            apply(&mut d, seq, WriteOp::Insert(p(0.3, 0.3, 5)), &[]);
+        }
+        let mut seen = 0;
+        d.visit_inserts_in(&Rect::unit(), &mut |q| {
+            assert_eq!(q.id, 5);
+            seen += 1;
+        });
+        assert_eq!(seen, 3);
+        let mut all = 0;
+        d.visit_inserts(&mut |_| all += 1);
+        assert_eq!(all, 3);
+        assert_eq!(d.live_inserts(), 3);
+    }
+
+    #[test]
+    fn apply_log_to_points_matches_vec_semantics() {
+        let mut points = vec![p(0.1, 0.1, 1), p(0.2, 0.2, 2)];
+        let log = vec![
+            SequencedOp {
+                seq: 1,
+                op: WriteOp::Insert(p(0.3, 0.3, 3)),
+            },
+            SequencedOp {
+                seq: 2,
+                op: WriteOp::Delete(p(0.1, 0.1, 1)),
+            },
+            SequencedOp {
+                seq: 3,
+                op: WriteOp::Insert(p(0.4, 0.4, 4)),
+            },
+        ];
+        apply_log_to_points(&mut points, &log, 2);
+        assert_eq!(
+            points.iter().map(|q| q.id).collect::<Vec<_>>(),
+            vec![2, 3],
+            "ops beyond the cut-off must not be applied"
+        );
+        apply_log_to_points(&mut points, &log[2..], u64::MAX);
+        assert_eq!(
+            points.iter().map(|q| q.id).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn deleting_a_duplicated_base_key_masks_every_copy() {
+        // Two identical points folded into the base (same location AND id):
+        // one delete removes both, and the masked count says so.
+        let base = vec![p(0.4, 0.4, 8), p(0.4, 0.4, 8)];
+        let mut d = DeltaState::default();
+        assert!(apply(&mut d, 1, WriteOp::Delete(p(0.4, 0.4, 8)), &base));
+        assert!(d.masks(&p(0.4, 0.4, 8)));
+        assert_eq!(d.masked_base(), 2);
+    }
+
+    #[test]
+    fn noop_deletes_leave_no_dead_entries() {
+        let mut d = DeltaState::default();
+        assert!(!apply(&mut d, 1, WriteOp::Delete(p(0.9, 0.9, 9)), &[]));
+        // The op is logged (sequence numbers stay dense) but no entry
+        // lingers for queries to scan.
+        assert_eq!(d.op_count(), 1);
+        assert_eq!(d.seq(), 1);
+        let examined = d.visit_inserts(&mut |_| {});
+        assert_eq!(examined, 0, "a no-op delete left a dead entry behind");
+        // Killing a delta-only copy also leaves nothing behind.
+        assert!(apply(&mut d, 2, WriteOp::Insert(p(0.8, 0.8, 8)), &[]));
+        assert!(apply(&mut d, 3, WriteOp::Delete(p(0.8, 0.8, 8)), &[]));
+        assert_eq!(d.visit_inserts(&mut |_| {}), 0);
+    }
+
+    #[test]
+    fn negative_zero_folds_onto_positive_zero() {
+        let mut d = DeltaState::default();
+        apply(&mut d, 1, WriteOp::Insert(p(0.0, 0.5, 1)), &[]);
+        let (hit, _) = d.point_lookup(&p(-0.0, 0.5, 0));
+        assert_eq!(hit.map(|q| q.id), Some(1));
+    }
+
+    #[test]
+    fn resume_continues_the_sequence() {
+        let mut d = DeltaState::resume_at(41);
+        assert_eq!(d.seq(), 41);
+        assert!(d.is_empty());
+        apply(&mut d, 42, WriteOp::Insert(p(0.6, 0.6, 6)), &[]);
+        assert_eq!(d.seq(), 42);
+        assert_eq!(d.log().len(), 1);
+        assert!(d.size_bytes() > 0);
+    }
+}

@@ -1,0 +1,1113 @@
+//! Concurrent serving engine: epoch-swapped reads, delta-buffered writes,
+//! background compaction.
+//!
+//! Every index in this repository is `Send + Sync` for *queries*, but writes
+//! go through `&mut self` — whoever owns the index serialises everything.
+//! This crate turns any [`SpatialIndex`] into a long-lived server the way
+//! "The Case for Learned Spatial Indexes" (Pandey et al.) and LiLIS frame
+//! learned spatial indices: a system whose metric is query throughput under
+//! concurrent updates, not one-shot build-and-probe.
+//!
+//! # Design
+//!
+//! * **Epoch-swapped reads.**  The immutable base index lives inside an
+//!   epoch behind an `Arc`.  A reader takes a [`Snapshot`] — two `Arc`
+//!   clones under momentary read locks — and then runs any number of
+//!   point/window/kNN queries against that frozen view with its own
+//!   [`QueryContext`], never blocking other readers, writers, or compaction.
+//! * **Delta-buffered writes.**  Inserts and deletes do not touch the base.
+//!   They land in a sequenced delta overlay ([`WriteOp`] → [`SequencedOp`]);
+//!   every query merges base and delta — deleted points are masked out of
+//!   base results, inserted points are unioned in, and per-query statistics
+//!   stay exact because delta candidates are charged to the context like any
+//!   block scan.  A query's [`Snapshot::seq`] says exactly which prefix of
+//!   the write stream it observes, which is what makes concurrent runs
+//!   verifiable against a single-threaded replay oracle.
+//! * **Background compaction.**  When the delta grows past
+//!   [`ServerConfig::compact_threshold`], a background thread folds it into
+//!   the canonical point set, rebuilds a fresh base through the caller's
+//!   rebuild closure (the registry passes `build_index`, so any registered
+//!   family composes), and atomically swaps in a new epoch.  Readers holding
+//!   the old epoch keep getting correct answers from it; the swap itself is
+//!   one `Arc` store.  Rebuilds happen entirely outside the read path.
+//!
+//! # Example: serve and write concurrently
+//!
+//! ```
+//! use common::{brute_force::ScanIndex, QueryContext, SpatialIndex};
+//! use geom::Point;
+//! use server::{ServerConfig, SpatialServer};
+//!
+//! let points: Vec<Point> = (0..100)
+//!     .map(|i| Point::with_id(i as f64 / 100.0, (i as f64 * 0.37) % 1.0, i))
+//!     .collect();
+//! let server = SpatialServer::new(
+//!     points,
+//!     Box::new(|pts| Box::new(ScanIndex::new(pts.to_vec()))),
+//!     ServerConfig::default(),
+//! );
+//!
+//! // A writer thread inserts while this thread queries: readers take
+//! // snapshots and never block on the writer or on compaction.
+//! std::thread::scope(|scope| {
+//!     scope.spawn(|| {
+//!         for i in 0..50u64 {
+//!             server.insert(Point::with_id(0.5, 0.001 * i as f64, 1_000 + i));
+//!         }
+//!     });
+//!     let mut cx = QueryContext::new();
+//!     let snap = server.snapshot();
+//!     // The snapshot is frozen: it sees a definite prefix of the writes.
+//!     assert!(snap.seq() <= 50);
+//!     assert_eq!(
+//!         snap.point_query(&Point::new(7.0 / 100.0, (7.0 * 0.37) % 1.0), &mut cx)
+//!             .map(|p| p.id),
+//!         Some(7),
+//!     );
+//! });
+//!
+//! // After the writer finishes, a fresh snapshot sees all 50 inserts.
+//! assert_eq!(server.len(), 150);
+//! let mut cx = QueryContext::new();
+//! let hit = server.point_query(&Point::new(0.5, 0.001 * 13.0), &mut cx);
+//! assert_eq!(hit.map(|p| p.id), Some(1_013));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod delta;
+
+pub use delta::{SequencedOp, WriteOp};
+
+use common::{QueryContext, SpatialIndex};
+use delta::{key_of, DeltaState, Key};
+use geom::{Point, Rect};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::Duration;
+
+/// The closure that rebuilds the base index from the canonical point set
+/// during compaction.  The registry passes its own `build_index` (with the
+/// kind and config captured), so every registered family composes with the
+/// server without a dependency cycle.
+pub type RebuildFn = Box<dyn Fn(&[Point]) -> Box<dyn SpatialIndex> + Send + Sync>;
+
+/// Tuning knobs of a [`SpatialServer`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Number of buffered delta ops that triggers a background compaction.
+    pub compact_threshold: usize,
+    /// Whether the background compaction thread runs at all.  With `false`
+    /// the delta only ever shrinks through explicit
+    /// [`SpatialServer::compact_now`] calls — what deterministic tests use.
+    pub auto_compact: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            compact_threshold: 1_024,
+            auto_compact: true,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Returns a copy with the given compaction threshold.
+    pub fn with_compact_threshold(mut self, ops: usize) -> Self {
+        self.compact_threshold = ops.max(1);
+        self
+    }
+
+    /// Returns a copy with background compaction enabled or disabled.
+    pub fn with_auto_compact(mut self, on: bool) -> Self {
+        self.auto_compact = on;
+        self
+    }
+}
+
+/// One immutable generation of the server: a frozen base index plus the
+/// delta overlay accumulating the writes that arrived after the base was
+/// built.  Readers hold an `Arc<Epoch>`; compaction replaces the server's
+/// current epoch but never mutates an existing one, so in-flight readers
+/// stay correct.
+/// Per-key bookkeeping of one epoch's base contents.
+#[derive(Debug, Clone, Copy)]
+struct BaseKeyInfo {
+    /// Copies of the key in the base (>1 only when identical points were
+    /// inserted repeatedly and folded by compaction).
+    copies: u32,
+    /// Position of the key's first occurrence in the canonical point
+    /// vector, so duplicate-location lookups can honour `Vec` first-match
+    /// order without asking the base.
+    first_pos: u32,
+}
+
+struct Epoch {
+    /// Monotone epoch counter (0 = the initial build).
+    id: u64,
+    /// The frozen base index.
+    base: Box<dyn SpatialIndex>,
+    /// Copy counts and canonical positions of every key the base contains,
+    /// so deletes can decide in O(1) how many base copies they mask (keeps
+    /// `len()`, kNN over-fetch, and delete results exact without querying
+    /// the base) and duplicate-location point queries resolve in `Vec`
+    /// order.
+    base_keys: HashMap<Key, BaseKeyInfo>,
+    /// Writes since this epoch's base was built.  Readers clone the `Arc`
+    /// under a momentary read lock; the (single) writer appends through
+    /// `Arc::make_mut` under the write lock.
+    delta: RwLock<Arc<DeltaState>>,
+}
+
+/// Builds the per-key bookkeeping from the canonical point vector.
+fn index_base_keys(points: &[Point]) -> HashMap<Key, BaseKeyInfo> {
+    let mut keys: HashMap<Key, BaseKeyInfo> = HashMap::with_capacity(points.len());
+    for (pos, p) in points.iter().enumerate() {
+        keys.entry(key_of(p))
+            .or_insert(BaseKeyInfo {
+                copies: 0,
+                first_pos: pos as u32,
+            })
+            .copies += 1;
+    }
+    keys
+}
+
+/// Counters describing a server's current state, for experiments and logs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Current epoch id (number of compactions folded into the base).
+    pub epoch: u64,
+    /// Last write sequence number handed out.
+    pub seq: u64,
+    /// Ops currently buffered in the delta overlay.
+    pub delta_ops: usize,
+    /// Completed compactions (epoch swaps).
+    pub compactions: u64,
+    /// Live points (base minus masked deletes plus live inserts).
+    pub len: usize,
+}
+
+/// Shared state between the server handle and its compaction thread.
+struct Core {
+    /// The current epoch; replaced (never mutated) by compaction.
+    epoch: RwLock<Arc<Epoch>>,
+    /// Serialises writers against each other and against the epoch swap.
+    /// Readers never touch it.
+    write_gate: Mutex<()>,
+    /// Serialises compactions and owns the canonical point set (the base's
+    /// contents as a plain `Vec`, maintained fold-by-fold).
+    compact_state: Mutex<Vec<Point>>,
+    /// Builds a fresh base from the canonical points.
+    rebuild: RebuildFn,
+    cfg: ServerConfig,
+    /// Completed epoch swaps.
+    compactions: AtomicU64,
+    /// Wake-up signal for the compaction thread.
+    signal: Mutex<CompactorSignal>,
+    signal_cv: Condvar,
+}
+
+#[derive(Default)]
+struct CompactorSignal {
+    kicked: bool,
+    shutdown: bool,
+}
+
+impl Core {
+    fn current_epoch(&self) -> Arc<Epoch> {
+        self.epoch.read().expect("epoch lock poisoned").clone()
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        let epoch = self.current_epoch();
+        let delta = epoch.delta.read().expect("delta lock poisoned").clone();
+        Snapshot { epoch, delta }
+    }
+
+    /// Applies one write op; returns `(removed, seq)`.
+    ///
+    /// Cost note: when a reader still holds a snapshot of the current delta
+    /// (`Arc` shared), `Arc::make_mut` copies the overlay before appending —
+    /// bounded by [`ServerConfig::compact_threshold`] entries, which is the
+    /// deliberate trade for readers that never take the write path's locks.
+    fn apply(&self, op: WriteOp) -> (bool, u64) {
+        let buffered;
+        let result;
+        {
+            let _gate = self.write_gate.lock().expect("write gate poisoned");
+            let epoch = self.current_epoch();
+            let mut guard = epoch.delta.write().expect("delta lock poisoned");
+            let state = Arc::make_mut(&mut guard);
+            let seq = state.seq() + 1;
+            let removed = state.apply(SequencedOp { seq, op }, &|k| {
+                epoch.base_keys.get(k).map_or(0, |i| i.copies)
+            });
+            buffered = state.op_count();
+            result = (removed, seq);
+        }
+        if self.cfg.auto_compact && buffered >= self.cfg.compact_threshold {
+            let mut sig = self.signal.lock().expect("signal lock poisoned");
+            sig.kicked = true;
+            self.signal_cv.notify_all();
+        }
+        result
+    }
+
+    /// Folds the buffered delta into a freshly rebuilt base and swaps in a
+    /// new epoch.  Returns whether an epoch swap happened (false when the
+    /// delta was empty).  The expensive rebuild runs outside every lock the
+    /// read or write paths use; only the final pointer swap takes the write
+    /// gate.
+    fn compact(&self) -> bool {
+        let mut points = self.compact_state.lock().expect("compact lock poisoned");
+        let epoch = self.current_epoch();
+        let captured = epoch.delta.read().expect("delta lock poisoned").clone();
+        if captured.is_empty() {
+            return false;
+        }
+        let fold_seq = captured.seq();
+        delta::apply_log_to_points(&mut points, captured.log(), fold_seq);
+        let new_base = (self.rebuild)(&points);
+        let new_keys = index_base_keys(&points);
+
+        // Swap: with the write gate held no new ops can land, so the ops
+        // beyond the fold point are exactly the leftover the new epoch's
+        // delta must start from.  Readers are not blocked: they only take
+        // the epoch read lock for the duration of an `Arc` clone.
+        {
+            let _gate = self.write_gate.lock().expect("write gate poisoned");
+            let current = self.current_epoch();
+            let current_delta = current.delta.read().expect("delta lock poisoned").clone();
+            let mut leftover = DeltaState::resume_at(fold_seq);
+            for op in current_delta.log().iter().filter(|o| o.seq > fold_seq) {
+                leftover.apply(*op, &|k| new_keys.get(k).map_or(0, |i| i.copies));
+            }
+            let next = Arc::new(Epoch {
+                id: current.id + 1,
+                base: new_base,
+                base_keys: new_keys,
+                delta: RwLock::new(Arc::new(leftover)),
+            });
+            *self.epoch.write().expect("epoch lock poisoned") = next;
+        }
+        self.compactions.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+}
+
+/// A long-lived concurrent serving engine wrapping one [`SpatialIndex`].
+///
+/// All methods take `&self`: readers call [`snapshot`](Self::snapshot) (or
+/// the convenience query methods) from any number of threads, writers call
+/// [`insert`](Self::insert) / [`delete`](Self::delete) from any thread
+/// (writes are serialised internally), and compaction runs in a background
+/// thread owned by the server.  Dropping the server shuts the compaction
+/// thread down.
+///
+/// The server also implements [`SpatialIndex`] itself, so it can stand
+/// wherever an index is expected: trait queries read through a fresh
+/// snapshot, trait updates go through the delta overlay, `rebuild` forces a
+/// compaction, and `write_snapshot` persists the compacted base through the
+/// ordinary registry machinery.
+pub struct SpatialServer {
+    core: Arc<Core>,
+    compactor: Option<std::thread::JoinHandle<()>>,
+}
+
+impl SpatialServer {
+    /// Builds the base index over `points` with `rebuild` and starts serving.
+    pub fn new(points: Vec<Point>, rebuild: RebuildFn, cfg: ServerConfig) -> Self {
+        let base = rebuild(&points);
+        Self::from_parts(base, points, rebuild, cfg)
+    }
+
+    /// Starts serving an already-built base index (e.g. one loaded from a
+    /// snapshot) whose contents are exactly `points` — the canonical set
+    /// compaction folds writes into.
+    pub fn from_parts(
+        base: Box<dyn SpatialIndex>,
+        points: Vec<Point>,
+        rebuild: RebuildFn,
+        cfg: ServerConfig,
+    ) -> Self {
+        debug_assert_eq!(
+            base.len(),
+            points.len(),
+            "canonical points must match the base index contents"
+        );
+        let base_keys = index_base_keys(&points);
+        let core = Arc::new(Core {
+            epoch: RwLock::new(Arc::new(Epoch {
+                id: 0,
+                base,
+                base_keys,
+                delta: RwLock::new(Arc::new(DeltaState::default())),
+            })),
+            write_gate: Mutex::new(()),
+            compact_state: Mutex::new(points),
+            rebuild,
+            cfg,
+            compactions: AtomicU64::new(0),
+            signal: Mutex::new(CompactorSignal::default()),
+            signal_cv: Condvar::new(),
+        });
+        let compactor = cfg.auto_compact.then(|| {
+            let worker = Arc::clone(&core);
+            std::thread::Builder::new()
+                .name("rsmi-compactor".into())
+                .spawn(move || compactor_loop(&worker))
+                .expect("failed to spawn the compaction thread")
+        });
+        Self { core, compactor }
+    }
+
+    /// Takes a frozen, consistent view of the server: one epoch plus the
+    /// delta prefix it had at this instant.  Cheap (two `Arc` clones); hold
+    /// it for as many queries as a consistent view is needed for.
+    pub fn snapshot(&self) -> Snapshot {
+        self.core.snapshot()
+    }
+
+    /// Inserts a point; returns the sequence number the write was applied
+    /// under.
+    pub fn insert(&self, p: Point) -> u64 {
+        self.core.apply(WriteOp::Insert(p)).1
+    }
+
+    /// Deletes every live copy matching `p`'s location and id; returns
+    /// whether anything was removed, plus the write's sequence number.
+    pub fn delete(&self, p: &Point) -> (bool, u64) {
+        self.core.apply(WriteOp::Delete(*p))
+    }
+
+    /// Applies one [`WriteOp`]; returns `(removed, seq)` (`removed` is
+    /// always `true` for inserts).
+    pub fn apply(&self, op: WriteOp) -> (bool, u64) {
+        self.core.apply(op)
+    }
+
+    /// Synchronously folds the buffered delta into a fresh base and swaps
+    /// epochs.  Returns whether a swap happened (`false` if the delta was
+    /// empty).  Safe to call while the background thread is running — the
+    /// two serialise on the compaction lock.
+    pub fn compact_now(&self) -> bool {
+        self.core.compact()
+    }
+
+    /// Current server counters (epoch, sequence, delta size, live points).
+    pub fn stats(&self) -> ServerStats {
+        let snap = self.snapshot();
+        ServerStats {
+            epoch: snap.epoch_id(),
+            seq: snap.seq(),
+            delta_ops: snap.delta.op_count(),
+            compactions: self.core.compactions.load(Ordering::Relaxed),
+            len: snap.len(),
+        }
+    }
+
+    /// Live points currently visible to a fresh snapshot.
+    pub fn len(&self) -> usize {
+        self.snapshot().len()
+    }
+
+    /// Whether no points are visible.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Convenience: a point query against a fresh snapshot.
+    pub fn point_query(&self, q: &Point, cx: &mut QueryContext) -> Option<Point> {
+        self.snapshot().point_query(q, cx)
+    }
+
+    /// Convenience: a window query against a fresh snapshot.
+    pub fn window_query(&self, window: &Rect, cx: &mut QueryContext) -> Vec<Point> {
+        self.snapshot().window_query(window, cx)
+    }
+
+    /// Convenience: a kNN query against a fresh snapshot.
+    pub fn knn_query(&self, q: &Point, k: usize, cx: &mut QueryContext) -> Vec<Point> {
+        self.snapshot().knn_query(q, k, cx)
+    }
+}
+
+impl Drop for SpatialServer {
+    fn drop(&mut self) {
+        if let Some(handle) = self.compactor.take() {
+            {
+                let mut sig = self.core.signal.lock().expect("signal lock poisoned");
+                sig.shutdown = true;
+                self.core.signal_cv.notify_all();
+            }
+            let _ = handle.join();
+        }
+    }
+}
+
+/// How long the compaction thread sleeps between trigger checks when nobody
+/// kicks it (a kick from the write path wakes it immediately).
+const COMPACTOR_POLL: Duration = Duration::from_millis(25);
+
+fn compactor_loop(core: &Core) {
+    loop {
+        {
+            let mut sig = core.signal.lock().expect("signal lock poisoned");
+            while !sig.shutdown && !sig.kicked {
+                let (guard, timeout) = core
+                    .signal_cv
+                    .wait_timeout(sig, COMPACTOR_POLL)
+                    .expect("signal lock poisoned");
+                sig = guard;
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+            if sig.shutdown {
+                return;
+            }
+            sig.kicked = false;
+        }
+        let epoch = core.current_epoch();
+        let buffered = epoch.delta.read().expect("delta lock poisoned").op_count();
+        drop(epoch);
+        if buffered >= core.cfg.compact_threshold {
+            core.compact();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Snapshot: the reader-side merged view
+// ---------------------------------------------------------------------
+
+/// A frozen, consistent view of a [`SpatialServer`]: one epoch's base index
+/// plus the delta overlay as of the moment the snapshot was taken.
+///
+/// Queries merge the two sides: base results whose key was deleted are
+/// masked out, live inserted points are unioned in, and every delta entry
+/// examined is charged to the caller's [`QueryContext`] as a scanned
+/// candidate, so per-query statistics stay exact.  [`seq`](Self::seq) names
+/// the exact prefix of the write stream this view observes — the handle a
+/// replay oracle verifies concurrent runs against.
+pub struct Snapshot {
+    epoch: Arc<Epoch>,
+    delta: Arc<DeltaState>,
+}
+
+impl Snapshot {
+    /// Last write sequence number this view observes (0 = none).
+    pub fn seq(&self) -> u64 {
+        self.delta.seq()
+    }
+
+    /// The epoch this view reads from.
+    pub fn epoch_id(&self) -> u64 {
+        self.epoch.id
+    }
+
+    /// Live points in this view.
+    pub fn len(&self) -> usize {
+        self.epoch.base.len() - self.delta.masked_base() + self.delta.live_inserts()
+    }
+
+    /// Whether the view holds no live points.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Display name of the underlying base index family.
+    pub fn base_name(&self) -> &'static str {
+        self.epoch.base.name()
+    }
+
+    /// Looks up a live point with exactly the query's coordinates.
+    ///
+    /// Matches `Vec` semantics: a live base copy wins over inserted copies,
+    /// and among inserted copies the earliest still-live insert wins.
+    pub fn point_query(&self, q: &Point, cx: &mut QueryContext) -> Option<Point> {
+        if self.delta.is_empty() {
+            return self.epoch.base.point_query(q, cx);
+        }
+        let (delta_hit, examined) = self.delta.point_lookup(q);
+        cx.count_candidates(examined);
+        let base_hit = match self.epoch.base.point_query(q, cx) {
+            Some(p) if !self.delta.masks(&p) => Some(p),
+            Some(_) => {
+                // The base's answer at this location is deleted.  Another
+                // base copy can only exist if the data had duplicate
+                // locations under different ids; recover it with an
+                // exhaustive degenerate-window probe, resolving ties by the
+                // copies' canonical (`Vec`) positions so the answer matches
+                // a plain scan's first match.
+                let mut alt: Option<(u32, Point)> = None;
+                self.epoch
+                    .base
+                    .window_query_visit(&Rect::from_point(*q), cx, &mut |p| {
+                        if self.delta.masks(p) {
+                            return;
+                        }
+                        let pos = self
+                            .epoch
+                            .base_keys
+                            .get(&key_of(p))
+                            .map_or(u32::MAX, |i| i.first_pos);
+                        if alt.is_none_or(|(best, _)| pos < best) {
+                            alt = Some((pos, *p));
+                        }
+                    });
+                alt.map(|(_, p)| p)
+            }
+            None => None,
+        };
+        base_hit.or(delta_hit)
+    }
+
+    /// Calls `visit` for every live point inside `window`: unmasked base
+    /// results first, then live inserted copies.
+    pub fn window_query_visit(
+        &self,
+        window: &Rect,
+        cx: &mut QueryContext,
+        visit: &mut dyn FnMut(&Point),
+    ) {
+        if self.delta.is_empty() {
+            self.epoch.base.window_query_visit(window, cx, visit);
+            return;
+        }
+        self.epoch.base.window_query_visit(window, cx, &mut |p| {
+            if !self.delta.masks(p) {
+                visit(p);
+            }
+        });
+        let examined = self.delta.visit_inserts_in(window, visit);
+        cx.count_candidates(examined);
+    }
+
+    /// Returns the live points inside `window` as a fresh vector.
+    pub fn window_query(&self, window: &Rect, cx: &mut QueryContext) -> Vec<Point> {
+        let mut out = Vec::new();
+        self.window_query_visit(window, cx, &mut |p| out.push(*p));
+        out
+    }
+
+    /// Calls `visit` for (up to) the `k` live nearest neighbours of `q`,
+    /// closest first, ties broken by id — the same deterministic order as
+    /// [`common::brute_force::knn_query`].
+    pub fn knn_query_visit(
+        &self,
+        q: &Point,
+        k: usize,
+        cx: &mut QueryContext,
+        visit: &mut dyn FnMut(&Point),
+    ) {
+        if self.delta.is_empty() {
+            self.epoch.base.knn_query_visit(q, k, cx, visit);
+            return;
+        }
+        if k == 0 {
+            return;
+        }
+        // Ask the base for enough extra neighbours to survive masking: at
+        // most `masked_base` of its answers can be deleted.
+        let k_base = k.saturating_add(self.delta.masked_base());
+        let mut best: Vec<(f64, Point)> = Vec::with_capacity(k + 1);
+        let mut push = |p: &Point| {
+            let d = p.dist_sq(q);
+            if best.len() >= k {
+                let (wd, wp) = best[k - 1];
+                if (d, p.id) >= (wd, wp.id) {
+                    return;
+                }
+            }
+            let pos = best
+                .binary_search_by(|(bd, bp)| {
+                    bd.partial_cmp(&d)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(bp.id.cmp(&p.id))
+                })
+                .unwrap_or_else(|e| e);
+            best.insert(pos, (d, *p));
+            best.truncate(k);
+        };
+        self.epoch.base.knn_query_visit(q, k_base, cx, &mut |p| {
+            if !self.delta.masks(p) {
+                push(p);
+            }
+        });
+        let examined = self.delta.visit_inserts(&mut push);
+        cx.count_candidates(examined);
+        for (_, p) in &best {
+            visit(p);
+        }
+    }
+
+    /// Returns (up to) the `k` live nearest neighbours of `q` as a fresh
+    /// vector, closest first.
+    pub fn knn_query(&self, q: &Point, k: usize, cx: &mut QueryContext) -> Vec<Point> {
+        let mut out = Vec::with_capacity(k);
+        self.knn_query_visit(q, k, cx, &mut |p| out.push(*p));
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// The server is itself a SpatialIndex
+// ---------------------------------------------------------------------
+
+impl SpatialIndex for SpatialServer {
+    fn name(&self) -> &'static str {
+        self.snapshot().base_name()
+    }
+
+    fn len(&self) -> usize {
+        SpatialServer::len(self)
+    }
+
+    fn point_query(&self, q: &Point, cx: &mut QueryContext) -> Option<Point> {
+        self.snapshot().point_query(q, cx)
+    }
+
+    fn window_query_visit(
+        &self,
+        window: &Rect,
+        cx: &mut QueryContext,
+        visit: &mut dyn FnMut(&Point),
+    ) {
+        self.snapshot().window_query_visit(window, cx, visit)
+    }
+
+    fn knn_query_visit(
+        &self,
+        q: &Point,
+        k: usize,
+        cx: &mut QueryContext,
+        visit: &mut dyn FnMut(&Point),
+    ) {
+        self.snapshot().knn_query_visit(q, k, cx, visit)
+    }
+
+    fn insert(&mut self, p: Point) {
+        SpatialServer::insert(self, p);
+    }
+
+    fn delete(&mut self, p: &Point) -> bool {
+        SpatialServer::delete(self, p).0
+    }
+
+    fn rebuild(&mut self) {
+        self.compact_now();
+    }
+
+    fn size_bytes(&self) -> usize {
+        let snap = self.snapshot();
+        snap.epoch.base.size_bytes() + snap.delta.size_bytes()
+    }
+
+    fn height(&self) -> usize {
+        self.snapshot().epoch.base.height()
+    }
+
+    fn model_count(&self) -> usize {
+        self.snapshot().epoch.base.model_count()
+    }
+
+    fn write_snapshot(
+        &self,
+        writer: &mut persist::SnapshotWriter,
+    ) -> Result<(), persist::PersistError> {
+        // Fold pending writes first so the persisted base is complete.  A
+        // concurrent writer can still append after the fold; quiesce writers
+        // for an exact capture.
+        self.compact_now();
+        self.snapshot().epoch.base.write_snapshot(writer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use common::brute_force::{self, ScanIndex};
+    use datagen::{generate, Distribution};
+
+    fn scan_rebuild() -> RebuildFn {
+        Box::new(|pts| Box::new(ScanIndex::new(pts.to_vec())))
+    }
+
+    fn manual_cfg() -> ServerConfig {
+        ServerConfig::default().with_auto_compact(false)
+    }
+
+    fn serve(n: usize, seed: u64) -> (Vec<Point>, SpatialServer) {
+        let data = generate(Distribution::skewed_default(), n, seed);
+        let server = SpatialServer::new(data.clone(), scan_rebuild(), manual_cfg());
+        (data, server)
+    }
+
+    #[test]
+    fn fresh_server_answers_like_its_base() {
+        let (data, server) = serve(500, 3);
+        let mut cx = QueryContext::new();
+        assert_eq!(server.len(), 500);
+        assert_eq!(server.stats().epoch, 0);
+        assert_eq!(server.stats().seq, 0);
+        for p in data.iter().step_by(41) {
+            assert_eq!(server.point_query(p, &mut cx).map(|f| f.id), Some(p.id));
+        }
+        let w = Rect::new(0.2, 0.2, 0.6, 0.6);
+        let mut got: Vec<u64> = server
+            .window_query(&w, &mut cx)
+            .iter()
+            .map(|p| p.id)
+            .collect();
+        let mut truth: Vec<u64> = brute_force::window_query(&data, &w)
+            .iter()
+            .map(|p| p.id)
+            .collect();
+        got.sort_unstable();
+        truth.sort_unstable();
+        assert_eq!(got, truth);
+    }
+
+    #[test]
+    fn inserts_and_deletes_are_sequenced_and_visible() {
+        let (data, server) = serve(300, 5);
+        let mut cx = QueryContext::new();
+        let extra = Point::with_id(0.123, 0.456, 90_000);
+        assert_eq!(server.insert(extra), 1);
+        assert_eq!(
+            server.point_query(&extra, &mut cx).map(|p| p.id),
+            Some(extra.id)
+        );
+        assert_eq!(server.len(), 301);
+
+        let victim = data[7];
+        let (removed, seq) = server.delete(&victim);
+        assert!(removed);
+        assert_eq!(seq, 2);
+        assert!(server.point_query(&victim, &mut cx).is_none());
+        assert_eq!(server.len(), 300);
+
+        // Deleting again removes nothing but still advances the sequence.
+        let (removed, seq) = server.delete(&victim);
+        assert!(!removed);
+        assert_eq!(seq, 3);
+    }
+
+    #[test]
+    fn deleted_points_are_masked_from_window_and_knn() {
+        let (data, server) = serve(400, 7);
+        let mut cx = QueryContext::new();
+        let victim = data[11];
+        server.delete(&victim);
+        let w = Rect::centered(
+            victim.x.clamp(0.05, 0.95),
+            victim.y.clamp(0.05, 0.95),
+            0.1,
+            0.1,
+        );
+        assert!(
+            !server
+                .window_query(&w, &mut cx)
+                .iter()
+                .any(|p| p.id == victim.id),
+            "deleted point leaked into a window result"
+        );
+        let nn = server.knn_query(&victim, 10, &mut cx);
+        assert!(!nn.iter().any(|p| p.id == victim.id));
+        assert_eq!(nn.len(), 10);
+    }
+
+    #[test]
+    fn merged_answers_match_the_vec_oracle_through_a_compaction() {
+        let (data, server) = serve(600, 11);
+        let mut oracle = data.clone();
+        let mut cx = QueryContext::new();
+
+        // A burst of interleaved writes.
+        for i in 0..40u64 {
+            let p = Point::with_id(
+                (0.05 + 0.021 * i as f64) % 1.0,
+                (0.93 - 0.017 * i as f64).abs() % 1.0,
+                10_000 + i,
+            );
+            server.insert(p);
+            oracle.push(p);
+            if i % 3 == 0 {
+                let victim = oracle[(i as usize * 13) % oracle.len()];
+                let (removed, _) = server.delete(&victim);
+                assert!(removed);
+                oracle.retain(|x| !(x.same_location(&victim) && x.id == victim.id));
+            }
+        }
+        let check = |server: &SpatialServer, oracle: &[Point], cx: &mut QueryContext| {
+            assert_eq!(server.len(), oracle.len());
+            for q in oracle.iter().step_by(29) {
+                assert_eq!(server.point_query(q, cx).map(|p| p.id), Some(q.id));
+            }
+            let w = Rect::new(0.0, 0.5, 0.5, 1.0);
+            let mut got: Vec<u64> = server.window_query(&w, cx).iter().map(|p| p.id).collect();
+            let mut truth: Vec<u64> = brute_force::window_query(oracle, &w)
+                .iter()
+                .map(|p| p.id)
+                .collect();
+            got.sort_unstable();
+            truth.sort_unstable();
+            assert_eq!(got, truth);
+            let q = Point::new(0.31, 0.64);
+            assert_eq!(
+                server
+                    .knn_query(&q, 15, cx)
+                    .iter()
+                    .map(|p| p.id)
+                    .collect::<Vec<_>>(),
+                brute_force::knn_query(oracle, &q, 15)
+                    .iter()
+                    .map(|p| p.id)
+                    .collect::<Vec<_>>()
+            );
+        };
+        check(&server, &oracle, &mut cx);
+
+        // Fold the delta into a fresh base; answers must not change.
+        let seq_before = server.stats().seq;
+        assert!(server.compact_now());
+        assert_eq!(server.stats().epoch, 1);
+        assert_eq!(server.stats().delta_ops, 0);
+        assert_eq!(
+            server.stats().seq,
+            seq_before,
+            "compaction must not invent writes"
+        );
+        check(&server, &oracle, &mut cx);
+
+        // Nothing buffered: a second compaction is a no-op.
+        assert!(!server.compact_now());
+    }
+
+    #[test]
+    fn snapshots_are_frozen_views() {
+        let (data, server) = serve(200, 13);
+        let before = server.snapshot();
+        let extra = Point::with_id(0.505, 0.505, 77_000);
+        server.insert(extra);
+        server.delete(&data[0]);
+        let after = server.snapshot();
+
+        let mut cx = QueryContext::new();
+        // The old view still sees the pre-write world.
+        assert_eq!(before.seq(), 0);
+        assert_eq!(before.len(), 200);
+        assert!(before.point_query(&extra, &mut cx).is_none());
+        assert_eq!(
+            before.point_query(&data[0], &mut cx).map(|p| p.id),
+            Some(data[0].id)
+        );
+        // The new view sees both writes.
+        assert_eq!(after.seq(), 2);
+        assert_eq!(after.len(), 200);
+        assert_eq!(
+            after.point_query(&extra, &mut cx).map(|p| p.id),
+            Some(extra.id)
+        );
+        assert!(after.point_query(&data[0], &mut cx).is_none());
+    }
+
+    #[test]
+    fn old_epoch_snapshots_survive_a_swap() {
+        let (data, server) = serve(200, 17);
+        server.delete(&data[3]);
+        let old = server.snapshot();
+        assert!(server.compact_now());
+        let new = server.snapshot();
+        assert_eq!(old.epoch_id(), 0);
+        assert_eq!(new.epoch_id(), 1);
+        let mut cx = QueryContext::new();
+        // Both views agree (the old one reads base + delta, the new one a
+        // folded base), and both exclude the deleted point.
+        assert_eq!(old.len(), new.len());
+        assert!(old.point_query(&data[3], &mut cx).is_none());
+        assert!(new.point_query(&data[3], &mut cx).is_none());
+        assert_eq!(
+            old.point_query(&data[8], &mut cx).map(|p| p.id),
+            new.point_query(&data[8], &mut cx).map(|p| p.id),
+        );
+    }
+
+    #[test]
+    fn background_compaction_triggers_on_threshold() {
+        let data = generate(Distribution::Uniform, 400, 19);
+        let server = SpatialServer::new(
+            data.clone(),
+            scan_rebuild(),
+            ServerConfig::default().with_compact_threshold(32),
+        );
+        for i in 0..200u64 {
+            server.insert(Point::with_id(
+                (0.11 * i as f64) % 1.0,
+                (0.07 * i as f64) % 1.0,
+                50_000 + i,
+            ));
+        }
+        // The background thread needs a moment; poll briefly.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while server.stats().compactions == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let stats = server.stats();
+        assert!(stats.compactions >= 1, "no background compaction ran");
+        assert_eq!(stats.len, 600);
+        assert_eq!(stats.seq, 200);
+        let mut cx = QueryContext::new();
+        assert_eq!(
+            server.point_query(&data[5], &mut cx).map(|p| p.id),
+            Some(data[5].id)
+        );
+    }
+
+    #[test]
+    fn concurrent_readers_and_writer_stay_consistent() {
+        let (data, server) = serve(2_000, 23);
+        let writes: Vec<Point> = (0..300u64)
+            .map(|i| {
+                Point::with_id(
+                    (0.003 * i as f64 + 0.001) % 1.0,
+                    (0.007 * i as f64 + 0.002) % 1.0,
+                    100_000 + i,
+                )
+            })
+            .collect();
+        std::thread::scope(|scope| {
+            let server = &server;
+            let data = &data;
+            scope.spawn(move || {
+                for (i, p) in writes.iter().enumerate() {
+                    server.insert(*p);
+                    if i % 4 == 0 {
+                        server.delete(&data[i]);
+                    }
+                    if i % 64 == 0 {
+                        server.compact_now();
+                    }
+                }
+            });
+            for _ in 0..3 {
+                scope.spawn(move || {
+                    let mut cx = QueryContext::new();
+                    for round in 0..200 {
+                        let snap = server.snapshot();
+                        let frozen_len = snap.len();
+                        let q = data[(round * 7) % data.len()];
+                        if let Some(hit) = snap.point_query(&q, &mut cx) {
+                            assert_eq!(hit.id, q.id);
+                        }
+                        // A frozen view's length never changes.
+                        assert_eq!(snap.len(), frozen_len);
+                    }
+                });
+            }
+        });
+        assert_eq!(server.stats().seq, 300 + 75);
+        assert_eq!(server.len(), 2_000 + 300 - 75);
+    }
+
+    #[test]
+    fn server_implements_spatial_index() {
+        let (data, mut server) = serve(300, 29);
+        fn takes_index(ix: &mut dyn SpatialIndex, probe: Point) {
+            let mut cx = QueryContext::new();
+            assert!(ix.point_query(&probe, &mut cx).is_some());
+            let n = ix.len();
+            ix.insert(Point::with_id(0.42, 0.42, 123_456));
+            assert_eq!(ix.len(), n + 1);
+            assert!(ix.delete(&Point::with_id(0.42, 0.42, 123_456)));
+            ix.rebuild();
+            assert_eq!(ix.len(), n);
+            assert!(ix.size_bytes() > 0);
+            assert!(ix.height() >= 1);
+        }
+        takes_index(&mut server, data[0]);
+        assert_eq!(common::SpatialIndex::name(&server), "Scan");
+        // rebuild() compacted, so the write survived into epoch 1's base.
+        assert!(server.stats().epoch >= 1);
+    }
+
+    #[test]
+    fn masked_duplicate_locations_resolve_in_vec_order() {
+        // Same location, distinct ids, in deliberately non-ascending order:
+        // point queries must walk the canonical Vec order as copies are
+        // deleted, exactly like a plain scan.
+        let pts = vec![
+            Point::with_id(0.5, 0.5, 30),
+            Point::with_id(0.5, 0.5, 20),
+            Point::with_id(0.5, 0.5, 10),
+        ];
+        let server = SpatialServer::new(pts, scan_rebuild(), manual_cfg());
+        let mut cx = QueryContext::new();
+        let q = Point::new(0.5, 0.5);
+        assert_eq!(server.point_query(&q, &mut cx).map(|p| p.id), Some(30));
+        server.delete(&Point::with_id(0.5, 0.5, 30));
+        assert_eq!(
+            server.point_query(&q, &mut cx).map(|p| p.id),
+            Some(20),
+            "next Vec-order match, not the minimum id"
+        );
+        server.delete(&Point::with_id(0.5, 0.5, 20));
+        assert_eq!(server.point_query(&q, &mut cx).map(|p| p.id), Some(10));
+        server.delete(&Point::with_id(0.5, 0.5, 10));
+        assert!(server.point_query(&q, &mut cx).is_none());
+        assert_eq!(server.len(), 0);
+    }
+
+    #[test]
+    fn duplicate_identical_inserts_survive_compaction_and_delete_fully() {
+        let server = SpatialServer::new(Vec::new(), scan_rebuild(), manual_cfg());
+        let p = Point::with_id(0.5, 0.5, 1);
+        server.insert(p);
+        server.insert(p);
+        assert_eq!(server.len(), 2);
+        // Fold both identical copies into the base, then delete: one delete
+        // removes every copy (Vec semantics), and len/queries agree.
+        assert!(server.compact_now());
+        assert_eq!(server.len(), 2);
+        let (removed, _) = server.delete(&p);
+        assert!(removed);
+        assert_eq!(server.len(), 0);
+        let mut cx = QueryContext::new();
+        assert!(server.point_query(&p, &mut cx).is_none());
+        assert!(server.window_query(&Rect::unit(), &mut cx).is_empty());
+        assert!(server.knn_query(&p, 5, &mut cx).is_empty());
+        // kNN over-fetch stays correct with other live points around.
+        let q = Point::with_id(0.25, 0.25, 9);
+        server.insert(q);
+        assert_eq!(
+            server
+                .knn_query(&p, 2, &mut cx)
+                .iter()
+                .map(|x| x.id)
+                .collect::<Vec<_>>(),
+            vec![9]
+        );
+    }
+
+    #[test]
+    fn empty_server_answers_gracefully() {
+        let server = SpatialServer::new(Vec::new(), scan_rebuild(), manual_cfg());
+        let mut cx = QueryContext::new();
+        assert!(server.is_empty());
+        assert!(server.point_query(&Point::new(0.5, 0.5), &mut cx).is_none());
+        assert!(server.window_query(&Rect::unit(), &mut cx).is_empty());
+        assert!(server
+            .knn_query(&Point::new(0.5, 0.5), 5, &mut cx)
+            .is_empty());
+        // Writes onto an empty base work too.
+        server.insert(Point::with_id(0.5, 0.5, 1));
+        assert_eq!(server.len(), 1);
+        assert!(server.compact_now());
+        assert_eq!(server.len(), 1);
+    }
+}

@@ -1,0 +1,121 @@
+//! A live map service: reader threads answer point/window/kNN queries while
+//! a writer streams in updates and the background compactor folds them into
+//! fresh epochs — nobody stops serving.
+//!
+//! Shows the concurrent serving engine (`crates/server`) end to end:
+//! registry-built base index, snapshot reads with per-worker contexts,
+//! sequenced delta writes, and epoch swaps observed live.
+//!
+//! Run with `cargo run --release --example live_serve`.
+
+use bench::live::split_stream;
+use common::QueryContext;
+use datagen::queries::{self, MixedQuery, WindowSpec};
+use datagen::{generate, Distribution};
+use registry::{serve_index, IndexConfig, IndexKind, ServerConfig};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+fn main() {
+    let n = 200_000;
+    let readers = 6;
+    let data = generate(Distribution::skewed_default(), n, 42);
+
+    let build = Instant::now();
+    let server = serve_index(
+        IndexKind::Hrr,
+        &data,
+        &IndexConfig::default(),
+        ServerConfig::default().with_compact_threshold(2_000),
+    );
+    println!(
+        "built HRR over {n} points in {:.2}s — serving with {readers} readers + 1 writer",
+        build.elapsed().as_secs_f64()
+    );
+
+    // A 20%-write workload: the writer applies the writes, the readers
+    // split the reads.
+    let ops = queries::read_write_workload(&data, WindowSpec::default(), 25, 60_000, 0.2, 7);
+    let (reads, writes) = split_stream(&ops);
+
+    let answered = AtomicU64::new(0);
+    let total_reads = reads.len();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        let server = &server;
+        let answered = &answered;
+
+        scope.spawn({
+            let writes = &writes;
+            move || {
+                for op in writes {
+                    server.apply(*op);
+                }
+                println!("writer done: {} ops applied", writes.len());
+            }
+        });
+
+        for r in 0..readers {
+            let reads = &reads;
+            scope.spawn(move || {
+                let mut cx = QueryContext::new();
+                let mut results = 0u64;
+                for q in reads.iter().skip(r).step_by(readers) {
+                    let snap = server.snapshot();
+                    match *q {
+                        MixedQuery::Point(p) => {
+                            results += snap.point_query(&p, &mut cx).is_some() as u64;
+                        }
+                        MixedQuery::Window(w) => {
+                            snap.window_query_visit(&w, &mut cx, &mut |_| results += 1);
+                        }
+                        MixedQuery::Knn(p, k) => {
+                            snap.knn_query_visit(&p, k, &mut cx, &mut |_| results += 1);
+                        }
+                    }
+                    answered.fetch_add(1, Ordering::Relaxed);
+                }
+                let stats = cx.take_stats();
+                println!(
+                    "reader {r}: {} queries, {} results, {} block+node accesses",
+                    reads.len() / readers,
+                    results,
+                    stats.total_accesses()
+                );
+            });
+        }
+
+        // A progress thread watches epochs swap while everyone else runs.
+        scope.spawn(move || loop {
+            let st = server.stats();
+            println!(
+                "  t+{:>5.2}s  epoch {:>2}  seq {:>6}  delta {:>5} ops  {:>6} queries answered",
+                start.elapsed().as_secs_f64(),
+                st.epoch,
+                st.seq,
+                st.delta_ops,
+                answered.load(Ordering::Relaxed)
+            );
+            if answered.load(Ordering::Relaxed) >= total_reads as u64 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(250));
+        });
+    });
+
+    let elapsed = start.elapsed().as_secs_f64();
+    let stats = server.stats();
+    println!(
+        "\nserved {} reads and {} writes in {elapsed:.2}s \
+         ({:.0} reads/s, {:.0} writes/s)",
+        reads.len(),
+        writes.len(),
+        reads.len() as f64 / elapsed,
+        writes.len() as f64 / elapsed,
+    );
+    println!(
+        "epochs swapped: {} (background compactions, readers never paused); \
+         final size {} points at seq {}",
+        stats.compactions, stats.len, stats.seq
+    );
+}
