@@ -252,6 +252,57 @@ impl SpatialIndex for GridFile {
         }
     }
 
+    fn for_each_point(&self, visit: &mut dyn FnMut(&Point)) {
+        for (_, block) in self.store.iter() {
+            for p in block.points() {
+                visit(p);
+            }
+        }
+    }
+
+    fn distance_join_probes(
+        &self,
+        probes: &[Point],
+        radius: f64,
+        cx: &mut QueryContext,
+        visit: &mut dyn FnMut(&Point, &Point),
+    ) {
+        // Cell-level filter cascade: each occupied cell discards every probe
+        // farther than the radius from its extent, then its blocks are read
+        // once and paired against the survivors — instead of one bounding-box
+        // window probe per point of the other index.
+        if !radius.is_finite() || radius < 0.0 || probes.is_empty() {
+            return;
+        }
+        let r_sq = radius * radius;
+        let mut kept: Vec<Point> = Vec::new();
+        for (cell, blocks) in self.cells.iter().enumerate() {
+            if blocks.is_empty() {
+                continue;
+            }
+            let rect = self.cell_rect(cell);
+            kept.clear();
+            kept.extend(
+                probes
+                    .iter()
+                    .filter(|q| rect.min_dist_sq(q) <= r_sq)
+                    .copied(),
+            );
+            if kept.is_empty() {
+                continue;
+            }
+            for &b in blocks {
+                for p in self.read_block(b, cx).points() {
+                    for q in &kept {
+                        if p.dist_sq(q) <= r_sq {
+                            visit(p, q);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     fn insert(&mut self, p: Point) {
         let cell = Self::cell_of(self.side, &p);
         // "Grid adds a new point p to the last block in the cell enclosing p"

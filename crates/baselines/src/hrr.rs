@@ -446,6 +446,122 @@ impl SpatialIndex for HilbertRTree {
         }
     }
 
+    fn range_query_visit(
+        &self,
+        center: &Point,
+        radius: f64,
+        cx: &mut QueryContext,
+        visit: &mut dyn FnMut(&Point),
+    ) {
+        // MINDIST traversal: tighter than the default circumscribing-box
+        // window (a node overlapping the box's corners but not the circle is
+        // pruned here).
+        if !radius.is_finite() || radius < 0.0 {
+            return;
+        }
+        let r_sq = radius * radius;
+        let Some(root) = self.root else { return };
+        if self.nodes[root].mbr.min_dist_sq(center) > r_sq {
+            return;
+        }
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            cx.count_node();
+            match &self.nodes[id].kind {
+                NodeKind::Internal(children) => {
+                    for &c in children {
+                        if self.nodes[c].mbr.min_dist_sq(center) <= r_sq {
+                            stack.push(c);
+                        }
+                    }
+                }
+                NodeKind::LeafParent(blocks) => {
+                    for &b in blocks {
+                        if self.block_mbr(b).min_dist_sq(center) > r_sq {
+                            continue;
+                        }
+                        for p in self.read_block(b, cx).points() {
+                            if p.dist_sq(center) <= r_sq {
+                                visit(p);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn for_each_point(&self, visit: &mut dyn FnMut(&Point)) {
+        for (_, block) in self.store.iter() {
+            for p in block.points() {
+                visit(p);
+            }
+        }
+    }
+
+    fn distance_join_probes(
+        &self,
+        probes: &[Point],
+        radius: f64,
+        cx: &mut QueryContext,
+        visit: &mut dyn FnMut(&Point, &Point),
+    ) {
+        // Directory-MBR filter cascade: one traversal carries the whole
+        // probe set, discarding probes farther than the radius from each
+        // node's MBR before descending.  Every surviving block is read once,
+        // however many probes reach it — block-level pruning instead of one
+        // root-to-leaf probe per point.
+        if !radius.is_finite() || radius < 0.0 || probes.is_empty() {
+            return;
+        }
+        let r_sq = radius * radius;
+        let Some(root) = self.root else { return };
+        let root_kept: Vec<Point> = probes
+            .iter()
+            .filter(|q| self.nodes[root].mbr.min_dist_sq(q) <= r_sq)
+            .copied()
+            .collect();
+        if root_kept.is_empty() {
+            return;
+        }
+        let mut stack = vec![(root, root_kept)];
+        while let Some((id, cand)) = stack.pop() {
+            cx.count_node();
+            match &self.nodes[id].kind {
+                NodeKind::Internal(children) => {
+                    for &c in children {
+                        let mbr = self.nodes[c].mbr;
+                        let kept: Vec<Point> = cand
+                            .iter()
+                            .filter(|q| mbr.min_dist_sq(q) <= r_sq)
+                            .copied()
+                            .collect();
+                        if !kept.is_empty() {
+                            stack.push((c, kept));
+                        }
+                    }
+                }
+                NodeKind::LeafParent(blocks) => {
+                    for &b in blocks {
+                        let mbr = self.block_mbr(b);
+                        let kept: Vec<&Point> =
+                            cand.iter().filter(|q| mbr.min_dist_sq(q) <= r_sq).collect();
+                        if kept.is_empty() {
+                            continue;
+                        }
+                        for p in self.read_block(b, cx).points() {
+                            for q in &kept {
+                                if p.dist_sq(q) <= r_sq {
+                                    visit(p, q);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     fn insert(&mut self, p: Point) {
         if self.root.is_none() {
             *self = HilbertRTree::build(vec![p], self.store.capacity());

@@ -424,6 +424,106 @@ impl SpatialIndex for KdbTree {
         }
     }
 
+    fn range_query_visit(
+        &self,
+        center: &Point,
+        radius: f64,
+        cx: &mut QueryContext,
+        visit: &mut dyn FnMut(&Point),
+    ) {
+        // MINDIST traversal over the tiling regions: tighter than the default
+        // circumscribing-box window query.
+        if !radius.is_finite() || radius < 0.0 {
+            return;
+        }
+        let r_sq = radius * radius;
+        let Some(root) = self.root else { return };
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            if self.nodes[id].region.min_dist_sq(center) > r_sq {
+                continue;
+            }
+            match &self.nodes[id].kind {
+                NodeKind::Internal(children) => {
+                    cx.count_node();
+                    for &c in children {
+                        if self.nodes[c].region.min_dist_sq(center) <= r_sq {
+                            stack.push(c);
+                        }
+                    }
+                }
+                NodeKind::Leaf(block) => {
+                    for p in self.read_block(*block, cx).points() {
+                        if p.dist_sq(center) <= r_sq {
+                            visit(p);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn for_each_point(&self, visit: &mut dyn FnMut(&Point)) {
+        for (_, block) in self.store.iter() {
+            for p in block.points() {
+                visit(p);
+            }
+        }
+    }
+
+    fn distance_join_probes(
+        &self,
+        probes: &[Point],
+        radius: f64,
+        cx: &mut QueryContext,
+        visit: &mut dyn FnMut(&Point, &Point),
+    ) {
+        // Region filter cascade: each directory region discards every probe
+        // farther than the radius before descending, and each leaf block is
+        // read once for all surviving probes.
+        if !radius.is_finite() || radius < 0.0 || probes.is_empty() {
+            return;
+        }
+        let r_sq = radius * radius;
+        let Some(root) = self.root else { return };
+        let root_kept: Vec<Point> = probes
+            .iter()
+            .filter(|q| self.nodes[root].region.min_dist_sq(q) <= r_sq)
+            .copied()
+            .collect();
+        if root_kept.is_empty() {
+            return;
+        }
+        let mut stack = vec![(root, root_kept)];
+        while let Some((id, cand)) = stack.pop() {
+            match &self.nodes[id].kind {
+                NodeKind::Internal(children) => {
+                    cx.count_node();
+                    for &c in children {
+                        let region = self.nodes[c].region;
+                        let kept: Vec<Point> = cand
+                            .iter()
+                            .filter(|q| region.min_dist_sq(q) <= r_sq)
+                            .copied()
+                            .collect();
+                        if !kept.is_empty() {
+                            stack.push((c, kept));
+                        }
+                    }
+                }
+                NodeKind::Leaf(block) => {
+                    for p in self.read_block(*block, cx).points() {
+                        for q in &cand {
+                            if p.dist_sq(q) <= r_sq {
+                                visit(p, q);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     fn insert(&mut self, p: Point) {
         if self.root.is_none() {
             *self = KdbTree::build(vec![p], self.store.capacity());

@@ -510,6 +510,117 @@ impl SpatialIndex for RStarTree {
         }
     }
 
+    fn range_query_visit(
+        &self,
+        center: &Point,
+        radius: f64,
+        cx: &mut QueryContext,
+        visit: &mut dyn FnMut(&Point),
+    ) {
+        // MINDIST traversal: tighter than the default circumscribing-box
+        // window query.
+        if !radius.is_finite() || radius < 0.0 {
+            return;
+        }
+        let r_sq = radius * radius;
+        let Some(root) = self.root else { return };
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            if self.nodes[id].mbr.min_dist_sq(center) > r_sq {
+                continue;
+            }
+            match &self.nodes[id].kind {
+                NodeKind::Internal(children) => {
+                    cx.count_node();
+                    for (rect, child) in children {
+                        if rect.min_dist_sq(center) <= r_sq {
+                            stack.push(*child);
+                        }
+                    }
+                }
+                NodeKind::Leaf(points) => {
+                    cx.count_block_scan(points.len());
+                    for p in points {
+                        if p.dist_sq(center) <= r_sq {
+                            visit(p);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn for_each_point(&self, visit: &mut dyn FnMut(&Point)) {
+        let Some(root) = self.root else { return };
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            match &self.nodes[id].kind {
+                NodeKind::Internal(children) => {
+                    for (_, child) in children {
+                        stack.push(*child);
+                    }
+                }
+                NodeKind::Leaf(points) => {
+                    for p in points {
+                        visit(p);
+                    }
+                }
+            }
+        }
+    }
+
+    fn distance_join_probes(
+        &self,
+        probes: &[Point],
+        radius: f64,
+        cx: &mut QueryContext,
+        visit: &mut dyn FnMut(&Point, &Point),
+    ) {
+        // Directory-MBR filter cascade (see the HRR implementation): one
+        // traversal carries the probe set, each leaf page is charged once.
+        if !radius.is_finite() || radius < 0.0 || probes.is_empty() {
+            return;
+        }
+        let r_sq = radius * radius;
+        let Some(root) = self.root else { return };
+        let root_kept: Vec<Point> = probes
+            .iter()
+            .filter(|q| self.nodes[root].mbr.min_dist_sq(q) <= r_sq)
+            .copied()
+            .collect();
+        if root_kept.is_empty() {
+            return;
+        }
+        let mut stack = vec![(root, root_kept)];
+        while let Some((id, cand)) = stack.pop() {
+            match &self.nodes[id].kind {
+                NodeKind::Internal(children) => {
+                    cx.count_node();
+                    for (rect, child) in children {
+                        let kept: Vec<Point> = cand
+                            .iter()
+                            .filter(|q| rect.min_dist_sq(q) <= r_sq)
+                            .copied()
+                            .collect();
+                        if !kept.is_empty() {
+                            stack.push((*child, kept));
+                        }
+                    }
+                }
+                NodeKind::Leaf(points) => {
+                    cx.count_block_scan(points.len());
+                    for p in points {
+                        for q in &cand {
+                            if p.dist_sq(q) <= r_sq {
+                                visit(p, q);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     fn insert(&mut self, p: Point) {
         match self.root {
             None => {

@@ -1,0 +1,51 @@
+//! Distance-range query latency benchmarks: per-query latency of every
+//! index family on the default radius (0.02 of the unit space), data-
+//! following centres.  Unlike window/kNN, every family answers this query
+//! class exactly, so the numbers compare identical work.
+//!
+//! The visitor form is benchmarked (count results, no allocation), which is
+//! what the zero-copy API is for.
+
+use bench::{build_timed, IndexConfig, IndexKind};
+use common::QueryContext;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::{generate, queries, Distribution};
+
+fn bench_range_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("range_query_skewed_20k");
+    group.sample_size(30);
+    let data = generate(Distribution::skewed_default(), 20_000, 1);
+    let centers = queries::range_query_centers(&data, 128, 3);
+    let radius = queries::DEFAULT_RANGE_RADIUS;
+    let cfg = IndexConfig {
+        block_capacity: 100,
+        partition_threshold: 5_000,
+        epochs: 20,
+        seed: 1,
+        ..IndexConfig::default()
+    };
+    for kind in IndexKind::all() {
+        let built = build_timed(kind, &data, &cfg);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &built,
+            |b, built| {
+                let mut cx = QueryContext::new();
+                let mut i = 0usize;
+                b.iter(|| {
+                    let q = &centers[i % centers.len()];
+                    i += 1;
+                    let mut count = 0usize;
+                    built
+                        .index
+                        .range_query_visit(q, radius, &mut cx, &mut |_| count += 1);
+                    black_box(count)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_range_queries);
+criterion_main!(benches);

@@ -8,16 +8,28 @@
 //!                  [--shards N] [--threads N] [--json PATH]
 //!                  [--path PATH] [--kind KIND]
 //!                  [--readers N] [--write-ratio R] [--queries N]
+//!                  [--radius R] [--join-ratio R]
 //! experiments all
 //! ```
 //!
 //! where `<id>` is one of `table3`, `table4`, `fig6` … `fig19`,
 //! `ablation-rank`, `ablation-curve`, `ablation-grouping`, `sharded`,
-//! `snapshot`, `serve`, `serve-live`, or `all`, and `--only` restricts the
-//! cross-family figures to the named index families (parsed through the
-//! registry, e.g. `--only RSMI,HRR`).  A missing or unknown experiment id,
-//! and any flag with a missing or unparsable value, prints usage and exits
-//! with status 2.
+//! `range`, `join`, `snapshot`, `serve`, `serve-live`, or `all`, and
+//! `--only` restricts the cross-family figures to the named index families
+//! (parsed through the registry, e.g. `--only RSMI,HRR`).  A missing or
+//! unknown experiment id, and any flag with a missing, unparsable, or
+//! out-of-range value, prints usage and exits with status 2.
+//!
+//! `range` and `join` measure the distance-predicate query classes across
+//! **all 14 registered kinds** (leaf families and their sharded
+//! compositions): `range` runs a batch of distance-range queries of
+//! `--radius` and verifies every answer against the brute-force oracle;
+//! `join` builds a second (inner) index of `--join-ratio` times the data
+//! size per kind and runs the index-nested `distance_join`, verifying the
+//! pair set against the nested-loop oracle.  Both exit 1 on any oracle
+//! divergence, and their JSON summaries (`BENCH_range.json` /
+//! `BENCH_join.json` in CI) are the inputs of the perf-regression gate
+//! (see the `perf_gate` binary).
 //!
 //! `--json PATH` additionally writes the run's tables as a machine-readable
 //! JSON summary (hand-rolled writer, no serde) — CI archives it as the
@@ -92,7 +104,7 @@ usage: experiments <id> [flags]
 experiment ids:
   table3 table4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15
   fig16 fig17 fig18 fig19 ablation-rank ablation-curve ablation-grouping
-  sharded snapshot serve serve-live all
+  sharded range join snapshot serve serve-live all
 
 flags:
   --scale S        multiply all data-set sizes by S (default 1.0)
@@ -107,7 +119,12 @@ flags:
                    (default sharded-hrr; serve-live defaults to HRR)
   --readers N      reader threads for serve-live (default 8)
   --write-ratio R  write share of the serve-live workload (default 0.1)
-  --queries N      queries per reader thread for serve-live (default 500)";
+  --queries N      queries per reader thread for serve-live (default 500)
+  --radius R       query radius for the range/join experiments, as a
+                   fraction of the unit data space (default 0.02; must be
+                   finite and positive)
+  --join-ratio R   inner-index size of the join experiment as a fraction of
+                   the data size (default 0.25; must be in (0, 1])";
 
 const KNOWN_EXPERIMENTS: &[&str] = &[
     "table3",
@@ -130,6 +147,8 @@ const KNOWN_EXPERIMENTS: &[&str] = &[
     "ablation-curve",
     "ablation-grouping",
     "sharded",
+    "range",
+    "join",
     "snapshot",
     "serve",
     "serve-live",
@@ -156,6 +175,8 @@ struct Opts {
     readers: usize,
     write_ratio: f64,
     queries: usize,
+    radius: f64,
+    join_ratio: f64,
 }
 
 impl Opts {
@@ -220,6 +241,8 @@ fn parse_args(args: &[String]) -> (String, Opts) {
         readers: 8,
         write_ratio: 0.1,
         queries: 500,
+        radius: queries::DEFAULT_RANGE_RADIUS,
+        join_ratio: 0.25,
     };
     let mut it = args.iter().peekable();
     let Some(first) = it.next() else {
@@ -286,6 +309,18 @@ fn parse_args(args: &[String]) -> (String, Opts) {
                     usage_error("--queries must be positive");
                 }
             }
+            "--radius" => {
+                opts.radius = flag_value(&mut it, "--radius");
+                if !opts.radius.is_finite() || opts.radius <= 0.0 {
+                    usage_error("--radius must be finite and positive");
+                }
+            }
+            "--join-ratio" => {
+                opts.join_ratio = flag_value(&mut it, "--join-ratio");
+                if !opts.join_ratio.is_finite() || opts.join_ratio <= 0.0 || opts.join_ratio > 1.0 {
+                    usage_error("--join-ratio must be in (0, 1]");
+                }
+            }
             other => usage_error(&format!("unknown argument: {other}")),
         }
     }
@@ -311,6 +346,8 @@ fn main() {
     report.meta("shards", opts.shards);
     report.meta("threads", opts.threads);
     report.meta("seed", SEED);
+    report.meta("radius", opts.radius);
+    report.meta("join_ratio", opts.join_ratio);
     // The kind the run measured: explicit --kind, or the experiment's own
     // default for the single-kind experiments, or "all" for the
     // cross-family figures — the bench-summary artifact must be
@@ -327,8 +364,9 @@ fn main() {
 
     let all = which == "all";
     let run = |name: &str| all || which == name;
-    // Set by the snapshot/serve verifications; a mismatch fails the run
-    // after the JSON summary is written.
+    // Set by the verified experiments (snapshot/serve/serve-live and the
+    // range/join oracle checks); a mismatch fails the run after the JSON
+    // summary is written.
     let mut failed = false;
 
     if run("table3") {
@@ -369,6 +407,12 @@ fn main() {
     }
     if run("sharded") {
         sharded(&opts, &mut report);
+    }
+    if run("range") {
+        failed |= !range_experiment(&opts, &mut report);
+    }
+    if run("join") {
+        failed |= !join_experiment(&opts, &mut report);
     }
     if which == "snapshot" {
         failed |= !snapshot_experiment(&opts, &mut report);
@@ -962,6 +1006,136 @@ fn sharded(opts: &Opts, report: &mut Report) {
         ],
         rows,
     );
+}
+
+// ---------------------------------------------------------------------
+// Distance-range and distance-join experiments (all 14 registered kinds)
+// ---------------------------------------------------------------------
+
+/// `range`: a batch of distance-range queries per kind, every answer
+/// verified against the brute-force oracle (distance-range queries are
+/// exact for every family).  Returns whether every kind verified.
+fn range_experiment(opts: &Opts, report: &mut Report) -> bool {
+    use bench::measure_range_queries;
+    let n = opts.n_default();
+    let data = dataset(Distribution::skewed_default(), n);
+    let centers = queries::range_query_centers(&data, RANGE_QUERIES, 23);
+    let cfg = opts.harness();
+    let mut verified = true;
+    let mut rows = Vec::new();
+    for kind in opts.kinds(IndexKind::all_with_sharded()) {
+        let built = build_timed(kind, &data, &cfg);
+        // Best-of-3 timing: the perf gate compares these latencies across
+        // runs (and runner machines), so the minimum — the classic
+        // noise-robust estimator — is reported, while every repetition's
+        // answers are still oracle-verified.
+        let mut m = measure_range_queries(&built, &data, &centers, opts.radius);
+        for _ in 0..2 {
+            let again = measure_range_queries(&built, &data, &centers, opts.radius);
+            if again.recall < m.recall {
+                m.recall = again.recall;
+            }
+            if again.avg_time_us < m.avg_time_us {
+                m.avg_time_us = again.avg_time_us;
+            }
+        }
+        if m.recall < 1.0 {
+            verified = false;
+            eprintln!(
+                "range experiment FAILED: {} recall {} against the oracle",
+                kind.name(),
+                m.recall
+            );
+        }
+        rows.push(vec![
+            m.index.clone(),
+            fmt(m.avg_time_us),
+            fmt(m.avg_block_accesses),
+            fmt(m.avg_candidates),
+            fmt(m.recall),
+        ]);
+    }
+    report.table(
+        &format!(
+            "Distance-range queries — r = {} (Skewed, n = {n}, {} queries)",
+            opts.radius, RANGE_QUERIES
+        ),
+        &[
+            "index",
+            "query time (us)",
+            "block accesses",
+            "candidates",
+            "oracle recall",
+        ],
+        rows,
+    );
+    verified
+}
+
+/// `join`: the index-nested distance join per kind — outer index over the
+/// data set, inner index of `--join-ratio` times its size built from the
+/// same kind — with the pair set verified against the nested-loop oracle.
+/// Returns whether every kind verified.
+fn join_experiment(opts: &Opts, report: &mut Report) -> bool {
+    use bench::measure_distance_join;
+    let n = opts.n_default();
+    let data = dataset(Distribution::skewed_default(), n);
+    let inner_n = ((n as f64 * opts.join_ratio) as usize).max(1);
+    let inner = queries::join_points(&data, inner_n, 29);
+    let cfg = opts.harness();
+    let mut verified = true;
+    let mut rows = Vec::new();
+    for kind in opts.kinds(IndexKind::all_with_sharded()) {
+        let built = build_timed(kind, &data, &cfg);
+        let other = bench::build_index(kind, &inner, &cfg);
+        // Best-of-3 timing for the perf gate (see `range_experiment`); every
+        // repetition's pair set is still oracle-verified.
+        let mut jm = measure_distance_join(&built, &data, other.as_ref(), &inner, opts.radius);
+        for _ in 0..2 {
+            let again = measure_distance_join(&built, &data, other.as_ref(), &inner, opts.radius);
+            if again.measurement.recall < jm.measurement.recall {
+                jm.measurement.recall = again.measurement.recall;
+            }
+            if again.measurement.avg_time_us < jm.measurement.avg_time_us {
+                jm.measurement.avg_time_us = again.measurement.avg_time_us;
+            }
+        }
+        if jm.measurement.recall < 1.0 {
+            verified = false;
+            eprintln!(
+                "join experiment FAILED: {} pair set diverged from the oracle (recall {})",
+                kind.name(),
+                jm.measurement.recall
+            );
+        }
+        rows.push(vec![
+            jm.measurement.index.clone(),
+            fmt(jm.measurement.avg_time_us / 1000.0),
+            jm.pairs.to_string(),
+            fmt(jm.measurement.avg_block_accesses),
+            if jm.measurement.recall >= 1.0 {
+                "yes"
+            } else {
+                "NO"
+            }
+            .to_string(),
+        ]);
+    }
+    report.table(
+        &format!(
+            "Distance join — r = {} (Skewed, outer n = {n}, inner n = {inner_n})",
+            opts.radius
+        ),
+        &[
+            "index",
+            "join time (ms)",
+            "pairs",
+            "block accesses",
+            "oracle match",
+        ],
+        rows,
+    );
+    verified
 }
 
 // ---------------------------------------------------------------------

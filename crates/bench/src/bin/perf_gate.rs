@@ -1,0 +1,142 @@
+//! CI perf-regression gate: compares the per-kind latencies of a fresh
+//! `bench-summary` JSON run against a baseline run and fails on regression.
+//!
+//! Usage:
+//!
+//! ```text
+//! perf_gate --baseline BASELINE.json --current CURRENT.json
+//!           [--max-regression-pct P]
+//! ```
+//!
+//! Both files are `bench-summary` documents written by the `experiments`
+//! binary (`--json`); the gate extracts every numeric cell in a column whose
+//! header contains `"time"`, keyed by `(table title, row label, column)`.
+//! For each metric present in the baseline:
+//!
+//! * missing from the current run → **fail** (a kind cannot silently drop
+//!   out of the gate), and
+//! * `current > baseline * (1 + P/100)` → **fail** (default P = 25).
+//!
+//! Metrics that only exist in the current run (new kinds, new tables) pass:
+//! the gate ratchets coverage forward, never blocks it.  Exit status: 0 on
+//! pass, 1 on regression/coverage loss or unreadable input, 2 on CLI
+//! misuse.  In CI the baseline is the previous run's `bench-summary`
+//! artifact when one can be downloaded, falling back to the committed
+//! `ci/BENCH_baseline_*.json` files — see `.github/workflows/ci.yml` and
+//! the Perf gate section of `docs/ARCHITECTURE.md` for the contract.
+
+use bench::summary;
+use std::path::PathBuf;
+
+const USAGE: &str = "\
+usage: perf_gate --baseline FILE --current FILE [--max-regression-pct P]
+
+  --baseline FILE          baseline bench-summary JSON (previous artifact
+                           or the committed ci/BENCH_baseline_*.json)
+  --current FILE           the fresh run's bench-summary JSON
+  --max-regression-pct P   allowed latency growth in percent (default 25)";
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("error: {msg}\n\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn load_metrics(path: &PathBuf, role: &str) -> Vec<summary::Metric> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("perf_gate: cannot read {role} {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    };
+    let doc = match summary::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!(
+                "perf_gate: {role} {} is not valid JSON: {e}",
+                path.display()
+            );
+            std::process::exit(1);
+        }
+    };
+    match summary::latency_metrics(&doc) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!(
+                "perf_gate: {role} {} is not a bench summary: {e}",
+                path.display()
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline: Option<PathBuf> = None;
+    let mut current: Option<PathBuf> = None;
+    let mut max_pct: f64 = 25.0;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--baseline" => match it.next() {
+                Some(v) => baseline = Some(PathBuf::from(v)),
+                None => usage_error("--baseline requires a value"),
+            },
+            "--current" => match it.next() {
+                Some(v) => current = Some(PathBuf::from(v)),
+                None => usage_error("--current requires a value"),
+            },
+            "--max-regression-pct" => match it.next().map(|v| v.parse::<f64>()) {
+                Some(Ok(v)) if v.is_finite() && v >= 0.0 => max_pct = v,
+                Some(_) => usage_error("--max-regression-pct must be a non-negative number"),
+                None => usage_error("--max-regression-pct requires a value"),
+            },
+            other => usage_error(&format!("unknown argument: {other}")),
+        }
+    }
+    let Some(baseline) = baseline else {
+        usage_error("--baseline is required");
+    };
+    let Some(current) = current else {
+        usage_error("--current is required");
+    };
+
+    let base_metrics = load_metrics(&baseline, "baseline");
+    let curr_metrics = load_metrics(&current, "current");
+    if base_metrics.is_empty() {
+        eprintln!(
+            "perf_gate: baseline {} contains no latency metrics",
+            baseline.display()
+        );
+        std::process::exit(1);
+    }
+
+    let cmp = summary::compare(&base_metrics, &curr_metrics, max_pct / 100.0);
+    println!(
+        "# perf gate — {} vs {} (allowed +{max_pct}%)\n",
+        current.display(),
+        baseline.display()
+    );
+    for line in &cmp.lines {
+        println!("{line}");
+    }
+    for key in &cmp.missing {
+        println!("{key}: present in baseline, MISSING from current run");
+    }
+    println!(
+        "\n{} metrics compared, {} regressed, {} missing",
+        cmp.compared,
+        cmp.regressions.len(),
+        cmp.missing.len()
+    );
+    if !cmp.passed() {
+        for r in &cmp.regressions {
+            eprintln!("perf_gate: REGRESSION {r}");
+        }
+        for m in &cmp.missing {
+            eprintln!("perf_gate: MISSING {m}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,475 @@
+//! Reading and comparing `bench-summary` JSON artifacts — the parser side
+//! of the CI perf-regression gate.
+//!
+//! [`Report::to_json`](crate::Report::to_json) writes the artifacts with a
+//! hand-rolled serialiser (the build environment is offline, so no serde);
+//! this module is the matching hand-rolled reader.  It parses the JSON
+//! subset the writer emits (objects, arrays, strings, finite numbers,
+//! booleans, null), extracts per-kind latency metrics from the tables, and
+//! compares two runs, flagging every metric whose latency regressed beyond
+//! a tolerance — the contract the CI gate enforces between the committed
+//! baseline (or the previous run's artifact) and the current run.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value (the subset the report writer emits).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in document order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up a key of an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a finite number, if it is one.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a JSON document.  Errors carry the byte offset of the problem.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(bytes, pos);
+    if *pos < bytes.len() && bytes[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of document".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = match parse_value(bytes, pos)? {
+                    Json::Str(s) => s,
+                    _ => return Err(format!("object key is not a string at byte {}", *pos)),
+                };
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos)?;
+                fields.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b't') => parse_literal(bytes, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false").map(|()| Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null").map(|()| Json::Null),
+        Some(_) => parse_number(bytes, pos).map(Json::Num),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(bytes[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                            16,
+                        )
+                        .map_err(|_| "bad \\u escape")?;
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Copy the full UTF-8 character, not just one byte.
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|_| "invalid UTF-8")?;
+                let c = rest.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<f64, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|v| v.is_finite())
+        .ok_or_else(|| format!("invalid number at byte {start}"))
+}
+
+// ---------------------------------------------------------------------
+// Latency-metric extraction and run-to-run comparison
+// ---------------------------------------------------------------------
+
+/// One latency datapoint extracted from a bench summary: a (table, row
+/// label, column) coordinate plus its value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Table title the value came from.
+    pub table: String,
+    /// Row label (the first cell — the index-kind column in the range/join
+    /// tables).
+    pub label: String,
+    /// Column header (a header containing "time").
+    pub column: String,
+    /// The measured value.
+    pub value: f64,
+}
+
+impl Metric {
+    /// The comparison key: same table + label + column = same metric.
+    pub fn key(&self) -> String {
+        format!("{} / {} / {}", self.table, self.label, self.column)
+    }
+}
+
+/// Extracts every latency metric from a parsed bench summary: for each
+/// table, each numeric cell in a column whose header contains `"time"`,
+/// keyed by the row's first cell.  Verifies the document carries a
+/// `schema_version` (the self-description contract every summary has
+/// honoured since schema 2).
+pub fn latency_metrics(doc: &Json) -> Result<Vec<Metric>, String> {
+    let version = doc
+        .get("schema_version")
+        .and_then(Json::as_num)
+        .ok_or("summary has no schema_version — not a bench-summary document")?;
+    if version < 2.0 {
+        return Err(format!("unsupported bench-summary schema {version}"));
+    }
+    let tables = doc
+        .get("tables")
+        .and_then(Json::as_arr)
+        .ok_or("summary has no tables array")?;
+    let mut out = Vec::new();
+    for table in tables {
+        let title = table
+            .get("title")
+            .and_then(Json::as_str)
+            .ok_or("table without title")?;
+        let header = table
+            .get("header")
+            .and_then(Json::as_arr)
+            .ok_or("table without header")?;
+        let time_cols: Vec<(usize, String)> = header
+            .iter()
+            .enumerate()
+            .filter_map(|(i, h)| {
+                h.as_str()
+                    .filter(|name| name.to_ascii_lowercase().contains("time"))
+                    .map(|name| (i, name.to_string()))
+            })
+            .collect();
+        if time_cols.is_empty() {
+            continue;
+        }
+        let rows = table
+            .get("rows")
+            .and_then(Json::as_arr)
+            .ok_or("table without rows")?;
+        for row in rows {
+            let cells = row.as_arr().ok_or("row is not an array")?;
+            let label = match cells.first() {
+                Some(Json::Str(s)) => s.clone(),
+                Some(Json::Num(v)) => format!("{v}"),
+                _ => continue,
+            };
+            for (col, name) in &time_cols {
+                if let Some(value) = cells.get(*col).and_then(Json::as_num) {
+                    out.push(Metric {
+                        table: title.to_string(),
+                        label: label.clone(),
+                        column: name.clone(),
+                        value,
+                    });
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Outcome of comparing a current run against a baseline.
+#[derive(Debug, Default)]
+pub struct Comparison {
+    /// One formatted line per compared metric (baseline, current, delta).
+    pub lines: Vec<String>,
+    /// Metrics that regressed beyond the tolerance.
+    pub regressions: Vec<String>,
+    /// Baseline metrics missing from the current run (coverage loss —
+    /// treated as failures so a kind cannot silently drop out of the gate).
+    pub missing: Vec<String>,
+    /// Metrics compared.
+    pub compared: usize,
+}
+
+impl Comparison {
+    /// Whether the current run passes the gate.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty() && self.missing.is_empty()
+    }
+}
+
+/// Compares two metric sets: every baseline metric must exist in the
+/// current run and must not exceed `baseline * (1 + max_regression)`.
+/// Metrics only present in the current run (new kinds) pass silently.
+pub fn compare(baseline: &[Metric], current: &[Metric], max_regression: f64) -> Comparison {
+    let current_by_key: BTreeMap<String, f64> =
+        current.iter().map(|m| (m.key(), m.value)).collect();
+    let mut out = Comparison::default();
+    for base in baseline {
+        let key = base.key();
+        let Some(&now) = current_by_key.get(&key) else {
+            out.missing.push(key);
+            continue;
+        };
+        out.compared += 1;
+        // Noise guard: a value below the floor (1e-3 of the table's unit)
+        // was never a meaningful measurement, so a comparison involving one
+        // on EITHER side is treated as unchanged — a sub-floor baseline
+        // must not turn timer jitter in the current run into a regression.
+        let floor = 1e-3;
+        let ratio = if base.value < floor || now < floor {
+            1.0
+        } else {
+            now / base.value
+        };
+        let delta_pct = (ratio - 1.0) * 100.0;
+        let verdict = if ratio > 1.0 + max_regression {
+            out.regressions.push(format!(
+                "{key}: {:.3} -> {now:.3} (+{delta_pct:.1}%)",
+                base.value
+            ));
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        out.lines.push(format!(
+            "{key}: baseline {:.3}, current {now:.3} ({delta_pct:+.1}%) {verdict}",
+            base.value
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_summary(time_us: f64) -> String {
+        let mut report = crate::Report::new();
+        report.meta("experiment", "range");
+        report.meta("kind", "all");
+        report.table(
+            "Range — test",
+            &["index", "query time (us)", "blocks"],
+            vec![
+                vec!["HRR".into(), format!("{time_us}"), "4.0".into()],
+                vec!["Grid".into(), "2.0".into(), "6.0".into()],
+            ],
+        );
+        report.to_json()
+    }
+
+    #[test]
+    fn parses_what_the_report_writer_emits() {
+        let doc = parse(&sample_summary(1.5)).expect("parse");
+        assert_eq!(
+            doc.get("schema_version").and_then(Json::as_num),
+            Some(crate::BENCH_SUMMARY_SCHEMA_VERSION as f64)
+        );
+        let metrics = latency_metrics(&doc).expect("metrics");
+        assert_eq!(metrics.len(), 2);
+        assert_eq!(metrics[0].label, "HRR");
+        assert_eq!(metrics[0].value, 1.5);
+        assert_eq!(metrics[1].label, "Grid");
+    }
+
+    #[test]
+    fn parser_rejects_garbage_and_handles_escapes() {
+        assert!(parse("not json").is_err());
+        assert!(parse("{\"a\": }").is_err());
+        assert!(parse("{\"a\": 1} trailing").is_err());
+        let doc = parse("{\"s\": \"a\\\"b\\n\\u0041\", \"n\": -1.5e2, \"b\": true, \"z\": null}")
+            .expect("parse");
+        assert_eq!(doc.get("s").and_then(Json::as_str), Some("a\"b\nA"));
+        assert_eq!(doc.get("n").and_then(Json::as_num), Some(-150.0));
+        assert_eq!(doc.get("b"), Some(&Json::Bool(true)));
+        assert_eq!(doc.get("z"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn unversioned_documents_are_rejected() {
+        let doc = parse("{\"tables\": []}").expect("parse");
+        assert!(latency_metrics(&doc).is_err());
+    }
+
+    #[test]
+    fn comparison_flags_regressions_beyond_the_tolerance() {
+        let base = latency_metrics(&parse(&sample_summary(1.0)).unwrap()).unwrap();
+        let ok = latency_metrics(&parse(&sample_summary(1.2)).unwrap()).unwrap();
+        let bad = latency_metrics(&parse(&sample_summary(1.6)).unwrap()).unwrap();
+        let cmp = compare(&base, &ok, 0.25);
+        assert!(cmp.passed(), "{:?}", cmp.regressions);
+        assert_eq!(cmp.compared, 2);
+        let cmp = compare(&base, &bad, 0.25);
+        assert!(!cmp.passed());
+        assert_eq!(cmp.regressions.len(), 1);
+        assert!(cmp.regressions[0].contains("HRR"), "{:?}", cmp.regressions);
+    }
+
+    #[test]
+    fn missing_kinds_fail_the_gate() {
+        let base = latency_metrics(&parse(&sample_summary(1.0)).unwrap()).unwrap();
+        let cmp = compare(&base, &base[..1], 0.25);
+        assert!(!cmp.passed());
+        assert_eq!(cmp.missing.len(), 1);
+        // The reverse (new kinds in current) passes.
+        let cmp = compare(&base[..1], &base, 0.25);
+        assert!(cmp.passed());
+    }
+
+    #[test]
+    fn sub_floor_noise_never_regresses() {
+        let mk = |v: f64| Metric {
+            table: "t".into(),
+            label: "x".into(),
+            column: "time".into(),
+            value: v,
+        };
+        // Both sides below the floor.
+        let cmp = compare(&[mk(0.0001)], &[mk(0.0009)], 0.25);
+        assert!(cmp.passed(), "{:?}", cmp.regressions);
+        // Only the baseline below the floor: the current value is jitter on
+        // the same scale, not a regression.
+        let cmp = compare(&[mk(0.0005)], &[mk(0.0015)], 0.25);
+        assert!(cmp.passed(), "{:?}", cmp.regressions);
+        // Both sides above the floor still regress normally.
+        let cmp = compare(&[mk(1.0)], &[mk(1.6)], 0.25);
+        assert!(!cmp.passed());
+    }
+}

@@ -43,6 +43,41 @@ pub fn kth_distance(points: &[Point], q: &Point, k: usize) -> f64 {
     nn.last().map_or(f64::INFINITY, |p| p.dist(q))
 }
 
+/// Returns all points within Euclidean distance `radius` of `center`
+/// (boundary inclusive), in input order — the distance-range oracle.
+/// Non-finite or negative radii yield no results, matching
+/// [`SpatialIndex::range_query_visit`](crate::SpatialIndex::range_query_visit).
+pub fn range_query(points: &[Point], center: &Point, radius: f64) -> Vec<Point> {
+    if !radius.is_finite() || radius < 0.0 {
+        return Vec::new();
+    }
+    let r_sq = radius * radius;
+    points
+        .iter()
+        .copied()
+        .filter(|p| p.dist_sq(center) <= r_sq)
+        .collect()
+}
+
+/// Returns every cross pair `(p ∈ left, q ∈ right)` with `dist(p, q) ≤
+/// radius`, in nested input order — the distance-join oracle.  Each stored
+/// copy on either side contributes its own pairs.
+pub fn distance_join(left: &[Point], right: &[Point], radius: f64) -> Vec<(Point, Point)> {
+    if !radius.is_finite() || radius < 0.0 {
+        return Vec::new();
+    }
+    let r_sq = radius * radius;
+    let mut out = Vec::new();
+    for p in left {
+        for q in right {
+            if p.dist_sq(q) <= r_sq {
+                out.push((*p, *q));
+            }
+        }
+    }
+    out
+}
+
 /// A [`SpatialIndex`](crate::SpatialIndex) that answers every query by
 /// scanning a plain `Vec<Point>` — the reference semantics every real index
 /// is tested against, packaged as an index so oracles, doc examples, and
@@ -103,6 +138,25 @@ impl crate::SpatialIndex for ScanIndex {
         cx.count_block_scan(self.0.len());
         for p in knn_query(&self.0, q, k) {
             visit(&p);
+        }
+    }
+
+    fn range_query_visit(
+        &self,
+        center: &Point,
+        radius: f64,
+        cx: &mut crate::QueryContext,
+        visit: &mut dyn FnMut(&Point),
+    ) {
+        cx.count_block_scan(self.0.len());
+        for p in range_query(&self.0, center, radius) {
+            visit(&p);
+        }
+    }
+
+    fn for_each_point(&self, visit: &mut dyn FnMut(&Point)) {
+        for p in &self.0 {
+            visit(p);
         }
     }
 
@@ -203,6 +257,67 @@ mod tests {
             idx.knn_query(&Point::new(0.5, 0.5), 3, &mut cx),
             knn_query(idx.points(), &Point::new(0.5, 0.5), 3)
         );
+    }
+
+    #[test]
+    fn range_query_is_boundary_inclusive_and_rejects_bad_radii() {
+        let pts = sample();
+        let c = Point::new(0.5, 0.5);
+        let got = range_query(&pts, &c, 0.1);
+        assert_eq!(got.iter().map(|p| p.id).collect::<Vec<_>>(), vec![4, 5]);
+        assert!(range_query(&pts, &c, -0.1).is_empty());
+        assert!(range_query(&pts, &c, f64::NAN).is_empty());
+        assert_eq!(range_query(&pts, &c, 2.0).len(), pts.len());
+        // Boundary inclusive, with exactly representable distances: 0.25 is
+        // a power-of-two fraction, so dist == radius holds bit-for-bit.
+        let boundary = vec![Point::with_id(0.25, 0.5, 1), Point::with_id(1.0, 0.5, 2)];
+        let got = range_query(&boundary, &c, 0.25);
+        assert_eq!(got.iter().map(|p| p.id).collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn distance_join_pairs_every_copy() {
+        let left = vec![Point::with_id(0.1, 0.1, 1), Point::with_id(0.1, 0.1, 1)];
+        let right = vec![Point::with_id(0.1, 0.12, 7), Point::with_id(0.9, 0.9, 8)];
+        let pairs = distance_join(&left, &right, 0.05);
+        // Both identical left copies pair with the near right point.
+        assert_eq!(pairs.len(), 2);
+        for (p, q) in &pairs {
+            assert_eq!((p.id, q.id), (1, 7));
+        }
+        assert!(distance_join(&left, &right, f64::INFINITY).is_empty());
+    }
+
+    #[test]
+    fn scan_index_range_and_join_match_the_free_functions() {
+        use crate::{QueryContext, SpatialIndex};
+        let idx = ScanIndex::new(sample());
+        let other = ScanIndex::new(vec![
+            Point::with_id(0.5, 0.52, 100),
+            Point::with_id(0.05, 0.05, 101),
+        ]);
+        let mut cx = QueryContext::new();
+        let c = Point::new(0.5, 0.5);
+        assert_eq!(
+            idx.range_query(&c, 0.1, &mut cx),
+            range_query(idx.points(), &c, 0.1)
+        );
+        let mut got: Vec<(u64, u64)> = idx
+            .distance_join(&other, 0.1, &mut cx)
+            .iter()
+            .map(|(p, q)| (p.id, q.id))
+            .collect();
+        let mut truth: Vec<(u64, u64)> = distance_join(idx.points(), other.points(), 0.1)
+            .iter()
+            .map(|(p, q)| (p.id, q.id))
+            .collect();
+        got.sort_unstable();
+        truth.sort_unstable();
+        assert_eq!(got, truth);
+        // Enumeration is exact.
+        let mut n = 0;
+        idx.for_each_point(&mut |_| n += 1);
+        assert_eq!(n, idx.points().len());
     }
 
     #[test]

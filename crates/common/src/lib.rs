@@ -2,7 +2,8 @@
 //!
 //! * [`SpatialIndex`] — the trait all indices (RSMI and the five baselines)
 //!   implement so that the experiment harness, examples, and integration
-//!   tests can treat them uniformly.  Queries come in three forms: zero-copy
+//!   tests can treat them uniformly.  Five query classes (point, window,
+//!   kNN, distance-range, distance-join) come in three forms: zero-copy
 //!   visitor methods (the required core), `Vec`-returning adapters, and
 //!   batch entry points that amortise per-call overhead.
 //! * [`QueryContext`] / [`QueryStats`] — explicit per-query cost accounting
@@ -10,7 +11,7 @@
 //!   count accesses through interior mutability, so every index is
 //!   `Send + Sync` and a single index can serve many threads, each with its
 //!   own context.
-//! * [`brute_force`] — reference implementations of the three query types,
+//! * [`brute_force`] — reference implementations of every query type,
 //!   used as ground truth for recall measurements and correctness tests.
 //! * [`metrics`] — recall computation and small measurement helpers.
 
@@ -144,26 +145,48 @@ impl QueryContext {
 
 /// The interface shared by every spatial index in this repository.
 ///
-/// The three query types are the paper's: point queries (§4.1), window
+/// The first three query types are the paper's: point queries (§4.1), window
 /// queries (§4.2) and k-nearest-neighbour queries (§4.3).  Indices that only
 /// produce approximate window/kNN answers (RSMI, ZM) document this on their
 /// concrete types; the trait itself does not promise exactness.
 ///
+/// Two further query classes extend the paper's workloads to the
+/// distance-predicate shapes of the follow-up literature ("The Case for
+/// Learned Spatial Indexes", Pandey et al.):
+///
+/// * **Distance-range queries** ([`range_query_visit`](Self::range_query_visit)):
+///   all points within Euclidean distance `r` of a centre.  Unlike
+///   window/kNN, range answers are **exact for every registered family** —
+///   the approximate families override the default with an MBR-guided (RSMI)
+///   or bounded-sweep (ZM) traversal instead of the learned scan-range
+///   prediction, and a test-enforced oracle holds all of them to the
+///   brute-force answer.
+/// * **Index-nested distance joins** ([`distance_join_visit`](Self::distance_join_visit)):
+///   all cross-index pairs `(p ∈ self, q ∈ other)` with `dist(p, q) ≤ r`.
+///   The other index is enumerated exactly once through
+///   [`for_each_point`](Self::for_each_point) and joined against this
+///   index's structure; families with a directory override
+///   [`distance_join_probes`](Self::distance_join_probes) to prune whole
+///   subtrees/blocks/shards against the probe set instead of probing point
+///   by point.
+///
 /// # Query forms
 ///
 /// * **Visitor methods** ([`window_query_visit`](Self::window_query_visit),
-///   [`knn_query_visit`](Self::knn_query_visit)) are the required core: they
-///   hand each result to a callback by reference and never allocate on
+///   [`knn_query_visit`](Self::knn_query_visit),
+///   [`range_query_visit`](Self::range_query_visit)) are the required core:
+///   they hand each result to a callback by reference and never allocate on
 ///   behalf of the caller.
 /// * **`Vec` adapters** ([`window_query`](Self::window_query),
-///   [`knn_query`](Self::knn_query)) are provided for ergonomics and copy
-///   results into a fresh vector.
+///   [`knn_query`](Self::knn_query), [`range_query`](Self::range_query),
+///   [`distance_join`](Self::distance_join)) are provided for ergonomics and
+///   copy results into a fresh vector.
 /// * **Batch entry points** ([`point_queries`](Self::point_queries),
 ///   [`window_queries`](Self::window_queries),
-///   [`knn_queries`](Self::knn_queries)) run a whole workload through one
-///   context.  They are the unit future sharding/parallel execution will
-///   apply to; implementations may override them with cache-friendlier
-///   schedules.
+///   [`knn_queries`](Self::knn_queries),
+///   [`range_queries`](Self::range_queries)) run a whole workload through
+///   one context.  They are the unit sharding/parallel execution applies
+///   to; implementations may override them with cache-friendlier schedules.
 ///
 /// # Statistics
 ///
@@ -207,6 +230,18 @@ pub trait SpatialIndex: Send + Sync {
         visit: &mut dyn FnMut(&Point),
     );
 
+    /// Visits every indexed point **exactly** (each stored copy once), in an
+    /// unspecified order.
+    ///
+    /// This is the exact enumeration primitive the distance-join machinery
+    /// builds on: the probe side of [`distance_join_visit`](Self::distance_join_visit)
+    /// is materialised through it, so it must be exact even for families
+    /// whose window/kNN answers are approximate (every family stores its
+    /// points in blocks/leaves it can stream).  Enumeration is a
+    /// maintenance-style streaming read, like rebuilds: it charges nothing
+    /// to any [`QueryContext`].
+    fn for_each_point(&self, visit: &mut dyn FnMut(&Point));
+
     /// Inserts a point.
     fn insert(&mut self, p: Point);
 
@@ -249,6 +284,121 @@ pub trait SpatialIndex: Send + Sync {
     ) -> Result<(), persist::PersistError> {
         let _ = writer;
         Err(persist::PersistError::Unsupported(self.name()))
+    }
+
+    // ------------------------------------------------------------------
+    // Provided: distance-range queries
+    // ------------------------------------------------------------------
+
+    /// Calls `visit` for every point within Euclidean distance `radius` of
+    /// `center` (boundary inclusive: `dist == radius` is a result).  Visit
+    /// order is unspecified.  Non-finite or negative radii yield no results.
+    ///
+    /// The default derives the answer from the window machinery: a window
+    /// query over the circle's circumscribing box, filtered by true
+    /// distance.  That is exact wherever window queries are exact; the
+    /// approximate families (RSMI, ZM) override this with an exact traversal
+    /// of their own structure, so distance-range answers match the
+    /// brute-force oracle for **every** registered family (test-enforced).
+    fn range_query_visit(
+        &self,
+        center: &Point,
+        radius: f64,
+        cx: &mut QueryContext,
+        visit: &mut dyn FnMut(&Point),
+    ) {
+        if !radius.is_finite() || radius < 0.0 {
+            return;
+        }
+        let bbox = Rect::centered(center.x, center.y, 2.0 * radius, 2.0 * radius);
+        let r_sq = radius * radius;
+        self.window_query_visit(&bbox, cx, &mut |p| {
+            if p.dist_sq(center) <= r_sq {
+                visit(p);
+            }
+        });
+    }
+
+    /// Returns the points within `radius` of `center` as a fresh vector.
+    fn range_query(&self, center: &Point, radius: f64, cx: &mut QueryContext) -> Vec<Point> {
+        let mut out = Vec::new();
+        self.range_query_visit(center, radius, cx, &mut |p| out.push(*p));
+        out
+    }
+
+    /// Runs a batch of distance-range queries (same radius) through one
+    /// context, returning one result set per centre.
+    fn range_queries(
+        &self,
+        centers: &[Point],
+        radius: f64,
+        cx: &mut QueryContext,
+    ) -> Vec<Vec<Point>> {
+        centers
+            .iter()
+            .map(|c| self.range_query(c, radius, cx))
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Provided: index-nested distance joins
+    // ------------------------------------------------------------------
+
+    /// Calls `visit` for every pair `(p, q)` with `p` indexed here, `q`
+    /// indexed in `other`, and `dist(p, q) ≤ radius`.  Pair order is
+    /// unspecified; each qualifying pair is visited exactly once (per stored
+    /// copy on either side).
+    ///
+    /// This is an **index-nested** join: `other` is enumerated exactly once
+    /// through [`for_each_point`](Self::for_each_point) (uncharged, like any
+    /// streaming read) and the resulting probe set is joined against this
+    /// index's structure by [`distance_join_probes`](Self::distance_join_probes),
+    /// which is where all pruning and cost accounting happen.
+    fn distance_join_visit(
+        &self,
+        other: &dyn SpatialIndex,
+        radius: f64,
+        cx: &mut QueryContext,
+        visit: &mut dyn FnMut(&Point, &Point),
+    ) {
+        let mut probes = Vec::with_capacity(other.len());
+        other.for_each_point(&mut |q| probes.push(*q));
+        self.distance_join_probes(&probes, radius, cx, visit);
+    }
+
+    /// The join worker: calls `visit(p, q)` for every indexed point `p` and
+    /// probe `q ∈ probes` with `dist(p, q) ≤ radius`.
+    ///
+    /// The default probes point by point (one
+    /// [`range_query_visit`](Self::range_query_visit) per probe — a plain
+    /// index-nested-loop join).  Families with a directory override this to
+    /// prune at the block/MBR level instead: one traversal of the structure
+    /// carries the whole probe set, discarding every probe farther than
+    /// `radius` from a node's MBR before descending, so each data block is
+    /// read **once** regardless of how many probes survive to it.
+    fn distance_join_probes(
+        &self,
+        probes: &[Point],
+        radius: f64,
+        cx: &mut QueryContext,
+        visit: &mut dyn FnMut(&Point, &Point),
+    ) {
+        for q in probes {
+            self.range_query_visit(q, radius, cx, &mut |p| visit(p, q));
+        }
+    }
+
+    /// Returns every qualifying `(self_point, other_point)` pair as a fresh
+    /// vector (see [`distance_join_visit`](Self::distance_join_visit)).
+    fn distance_join(
+        &self,
+        other: &dyn SpatialIndex,
+        radius: f64,
+        cx: &mut QueryContext,
+    ) -> Vec<(Point, Point)> {
+        let mut out = Vec::new();
+        self.distance_join_visit(other, radius, cx, &mut |p, q| out.push((*p, *q)));
+        out
     }
 
     // ------------------------------------------------------------------
@@ -363,6 +513,11 @@ mod tests {
                 visit(p);
             }
         }
+        fn for_each_point(&self, visit: &mut dyn FnMut(&Point)) {
+            for p in &self.0 {
+                visit(p);
+            }
+        }
         fn insert(&mut self, p: Point) {
             self.0.push(p);
         }
@@ -453,6 +608,73 @@ mod tests {
 
         let knn = d.knn_queries(&pts[..3], 2, &mut cx);
         assert!(knn.iter().all(|r| r.len() == 2));
+    }
+
+    #[test]
+    fn default_range_query_filters_the_bbox_window() {
+        let d = Dummy(vec![
+            Point::with_id(0.5, 0.5, 1),
+            Point::with_id(0.59, 0.5, 2),  // inside the circle
+            Point::with_id(0.58, 0.58, 3), // inside the bbox, outside the circle
+            Point::with_id(0.9, 0.9, 4),   // outside both
+        ]);
+        let mut cx = QueryContext::new();
+        let c = Point::new(0.5, 0.5);
+        let got = d.range_query(&c, 0.1, &mut cx);
+        let mut ids: Vec<u64> = got.iter().map(|p| p.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2]);
+        // Visitor and Vec forms agree; the boundary is inclusive.
+        let mut visited = Vec::new();
+        d.range_query_visit(&c, 0.09, &mut cx, &mut |p| visited.push(p.id));
+        visited.sort_unstable();
+        assert_eq!(visited, vec![1, 2], "dist == radius must be included");
+        // Degenerate radii.
+        assert_eq!(d.range_query(&c, 0.0, &mut cx).len(), 1);
+        assert!(d.range_query(&c, -1.0, &mut cx).is_empty());
+        assert!(d.range_query(&c, f64::NAN, &mut cx).is_empty());
+        assert!(d.range_query(&c, f64::INFINITY, &mut cx).is_empty());
+        // Batch form answers every centre.
+        let batches = d.range_queries(&[c, Point::new(0.9, 0.9)], 0.05, &mut cx);
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].len(), 1);
+        assert_eq!(batches[1].len(), 1);
+    }
+
+    #[test]
+    fn default_distance_join_pairs_both_sides() {
+        let left = Dummy(vec![
+            Point::with_id(0.1, 0.1, 1),
+            Point::with_id(0.9, 0.9, 2),
+        ]);
+        let right = Dummy(vec![
+            Point::with_id(0.12, 0.1, 10),
+            Point::with_id(0.5, 0.5, 11),
+            Point::with_id(0.9, 0.88, 12),
+        ]);
+        let mut cx = QueryContext::new();
+        let mut pairs: Vec<(u64, u64)> = left
+            .distance_join(&right, 0.05, &mut cx)
+            .iter()
+            .map(|(p, q)| (p.id, q.id))
+            .collect();
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(1, 10), (2, 12)]);
+        // A join against an empty index yields no pairs.
+        let empty = Dummy(vec![]);
+        assert!(left.distance_join(&empty, 1.0, &mut cx).is_empty());
+        assert!(empty.distance_join(&right, 1.0, &mut cx).is_empty());
+    }
+
+    #[test]
+    fn for_each_point_enumerates_every_copy_uncharged() {
+        let d = Dummy(vec![Point::with_id(0.5, 0.5, 1); 3]);
+        let mut n = 0;
+        d.for_each_point(&mut |p| {
+            assert_eq!(p.id, 1);
+            n += 1;
+        });
+        assert_eq!(n, 3, "every stored copy must be visited");
     }
 
     #[test]

@@ -47,7 +47,8 @@ pub struct RsmiStats {
 /// See the crate-level documentation for an overview and a usage example.
 /// Window and kNN answers are **approximate** (high recall, no false
 /// positives); wrap the index in [`RsmiExact`] for the paper's RSMIa variant
-/// with exact answers.
+/// with exact answers.  Distance-range queries and distance joins are exact
+/// for *both* variants (see [`Rsmi::range_query_exact_visit`]).
 #[derive(Debug)]
 pub struct Rsmi {
     config: RsmiConfig,
@@ -390,6 +391,136 @@ impl Rsmi {
         let mut out = Vec::new();
         self.window_query_exact_visit(window, cx, &mut |p| out.push(*p));
         out
+    }
+
+    // ------------------------------------------------------------------
+    // Distance-range queries and joins (exact for both RSMI variants)
+    // ------------------------------------------------------------------
+
+    /// Exact distance-range query: an R-tree-style `MINDIST` traversal over
+    /// the MBRs stored with every sub-model (the same machinery as the
+    /// RSMIa window/kNN variants).
+    ///
+    /// Unlike window and kNN queries, distance-range answers are exact for
+    /// *both* RSMI variants: the learned scan-range prediction cannot bound
+    /// a circle (curve values inside a Hilbert window are not bracketed by
+    /// its corners), so the trait's distance queries always take this
+    /// MBR-guided path and are held to the brute-force oracle by the
+    /// conformance tests.
+    pub fn range_query_exact_visit(
+        &self,
+        center: &Point,
+        radius: f64,
+        cx: &mut QueryContext,
+        visit: &mut dyn FnMut(&Point),
+    ) {
+        if !radius.is_finite() || radius < 0.0 {
+            return;
+        }
+        let r_sq = radius * radius;
+        let Some(root) = self.root else { return };
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            match &self.nodes[id] {
+                Node::Internal(node) => {
+                    cx.count_node();
+                    for (cell, child) in node.children.iter().enumerate() {
+                        if let Some(c) = child {
+                            if node.child_mbrs[cell].min_dist_sq(center) <= r_sq {
+                                stack.push(*c);
+                            }
+                        }
+                    }
+                }
+                Node::Leaf(leaf) => {
+                    if leaf.mbr.min_dist_sq(center) > r_sq {
+                        continue;
+                    }
+                    for i in 0..leaf.n_blocks {
+                        for b in self.store.overflow_chain(leaf.first_block + i) {
+                            // The MBR test reads the block's points, so the
+                            // block access is charged even when it prunes.
+                            cx.count_block();
+                            let block = self.store.block(b);
+                            if block.mbr().min_dist_sq(center) > r_sq {
+                                continue;
+                            }
+                            cx.count_candidates(block.len());
+                            for p in block.points() {
+                                if p.dist_sq(center) <= r_sq {
+                                    visit(p);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Exact index-nested join worker over an explicit probe set: one
+    /// traversal of the model tree carries every probe, each node's MBR
+    /// discarding the probes beyond the radius before descending (the
+    /// learned directory doubles as the join's pruning directory), and each
+    /// surviving block is read once for all probes that reach it.
+    pub fn distance_join_probes_visit(
+        &self,
+        probes: &[Point],
+        radius: f64,
+        cx: &mut QueryContext,
+        visit: &mut dyn FnMut(&Point, &Point),
+    ) {
+        if !radius.is_finite() || radius < 0.0 || probes.is_empty() {
+            return;
+        }
+        let r_sq = radius * radius;
+        let Some(root) = self.root else { return };
+        let mut stack = vec![(root, probes.to_vec())];
+        while let Some((id, cand)) = stack.pop() {
+            match &self.nodes[id] {
+                Node::Internal(node) => {
+                    cx.count_node();
+                    for (cell, child) in node.children.iter().enumerate() {
+                        if let Some(c) = child {
+                            let mbr = &node.child_mbrs[cell];
+                            let kept: Vec<Point> = cand
+                                .iter()
+                                .filter(|q| mbr.min_dist_sq(q) <= r_sq)
+                                .copied()
+                                .collect();
+                            if !kept.is_empty() {
+                                stack.push((*c, kept));
+                            }
+                        }
+                    }
+                }
+                Node::Leaf(leaf) => {
+                    if cand.iter().all(|q| leaf.mbr.min_dist_sq(q) > r_sq) {
+                        continue;
+                    }
+                    for i in 0..leaf.n_blocks {
+                        for b in self.store.overflow_chain(leaf.first_block + i) {
+                            cx.count_block();
+                            let block = self.store.block(b);
+                            let mbr = block.mbr();
+                            let kept: Vec<&Point> =
+                                cand.iter().filter(|q| mbr.min_dist_sq(q) <= r_sq).collect();
+                            if kept.is_empty() {
+                                continue;
+                            }
+                            cx.count_candidates(block.len());
+                            for p in block.points() {
+                                for q in &kept {
+                                    if p.dist_sq(q) <= r_sq {
+                                        visit(p, q);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -945,6 +1076,34 @@ impl SpatialIndex for Rsmi {
         Rsmi::knn_query_visit(self, q, k, cx, visit)
     }
 
+    fn range_query_visit(
+        &self,
+        center: &Point,
+        radius: f64,
+        cx: &mut QueryContext,
+        visit: &mut dyn FnMut(&Point),
+    ) {
+        Rsmi::range_query_exact_visit(self, center, radius, cx, visit)
+    }
+
+    fn for_each_point(&self, visit: &mut dyn FnMut(&Point)) {
+        for (_, block) in self.store.iter() {
+            for p in block.points() {
+                visit(p);
+            }
+        }
+    }
+
+    fn distance_join_probes(
+        &self,
+        probes: &[Point],
+        radius: f64,
+        cx: &mut QueryContext,
+        visit: &mut dyn FnMut(&Point, &Point),
+    ) {
+        Rsmi::distance_join_probes_visit(self, probes, radius, cx, visit)
+    }
+
     fn insert(&mut self, p: Point) {
         Rsmi::insert(self, p)
     }
@@ -1046,6 +1205,30 @@ impl SpatialIndex for RsmiExact {
         visit: &mut dyn FnMut(&Point),
     ) {
         self.0.knn_query_exact_visit(q, k, cx, visit)
+    }
+
+    fn range_query_visit(
+        &self,
+        center: &Point,
+        radius: f64,
+        cx: &mut QueryContext,
+        visit: &mut dyn FnMut(&Point),
+    ) {
+        self.0.range_query_exact_visit(center, radius, cx, visit)
+    }
+
+    fn for_each_point(&self, visit: &mut dyn FnMut(&Point)) {
+        SpatialIndex::for_each_point(&self.0, visit)
+    }
+
+    fn distance_join_probes(
+        &self,
+        probes: &[Point],
+        radius: f64,
+        cx: &mut QueryContext,
+        visit: &mut dyn FnMut(&Point, &Point),
+    ) {
+        self.0.distance_join_probes_visit(probes, radius, cx, visit)
     }
 
     fn insert(&mut self, p: Point) {
@@ -1479,6 +1662,64 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<Rsmi>();
         assert_send_sync::<RsmiExact>();
+    }
+
+    #[test]
+    fn range_queries_are_exact_for_both_variants_even_after_inserts() {
+        let mut pts = pseudo_random_points(900, 83);
+        let mut index = Rsmi::build(pts.clone(), small_config());
+        // Inserted points must stay visible to the MBR traversal.
+        for i in 0..150 {
+            let base = pts[i * 5];
+            let p = Point::with_id((base.x + 0.003).min(1.0), base.y, 70_000 + i as u64);
+            index.insert(p);
+            pts.push(p);
+        }
+        let exact = RsmiExact::from_rsmi(Rsmi::build(pts.clone(), small_config()));
+        let mut c = cx();
+        for (center, r) in [
+            (Point::new(0.5, 0.5), 0.07),
+            (Point::new(0.02, 0.97), 0.2),
+            (Point::new(0.8, 0.1), 0.0),
+        ] {
+            let mut truth: Vec<u64> = brute_force::range_query(&pts, &center, r)
+                .iter()
+                .map(|p| p.id)
+                .collect();
+            truth.sort_unstable();
+            for got in [
+                SpatialIndex::range_query(&index, &center, r, &mut c),
+                SpatialIndex::range_query(&exact, &center, r, &mut c),
+            ] {
+                let mut ids: Vec<u64> = got.iter().map(|p| p.id).collect();
+                ids.sort_unstable();
+                assert_eq!(ids, truth, "center {center:?} r {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn distance_join_matches_the_nested_loop_oracle() {
+        let pts = pseudo_random_points(700, 91);
+        let others = pseudo_random_points(150, 17);
+        let index = Rsmi::build(pts.clone(), small_config());
+        let mut c = cx();
+        let mut got: Vec<(u64, u64)> = Vec::new();
+        index.distance_join_probes_visit(&others, 0.03, &mut c, &mut |p, q| {
+            got.push((p.id, q.id));
+        });
+        let mut truth: Vec<(u64, u64)> = brute_force::distance_join(&pts, &others, 0.03)
+            .iter()
+            .map(|(p, q)| (p.id, q.id))
+            .collect();
+        got.sort_unstable();
+        truth.sort_unstable();
+        assert_eq!(got, truth);
+        assert!(c.take_stats().blocks_touched > 0);
+        // Enumeration covers every point exactly once.
+        let mut n = 0;
+        SpatialIndex::for_each_point(&index, &mut |_| n += 1);
+        assert_eq!(n, pts.len());
     }
 
     #[test]

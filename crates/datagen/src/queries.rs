@@ -21,6 +21,14 @@ pub const ASPECT_RATIOS: [f64; 5] = [0.25, 0.5, 1.0, 2.0, 4.0];
 /// The paper's k axis for kNN queries, default 25.
 pub const K_VALUES: [usize; 5] = [1, 5, 25, 125, 625];
 
+/// Radius axis for distance-range and distance-join workloads, as a
+/// fraction of the unit data space (the default, 0.02, selects a circle of
+/// the same order of magnitude as the paper's default 0.01 % window).
+pub const RANGE_RADII: [f64; 4] = [0.005, 0.01, 0.02, 0.05];
+
+/// Default radius of distance-range and distance-join workloads.
+pub const DEFAULT_RANGE_RADIUS: f64 = 0.02;
+
 /// Parameters of a window-query workload.
 #[derive(Debug, Clone, Copy)]
 pub struct WindowSpec {
@@ -278,6 +286,42 @@ pub fn knn_queries(data: &[Point], count: usize, seed: u64) -> Vec<Point> {
         .collect()
 }
 
+/// Generates `count` distance-range query centres following the data
+/// distribution (sampled data points with a small jitter, like
+/// [`knn_queries`] but on an independent seed stream so the two workloads
+/// don't collide).
+pub fn range_query_centers(data: &[Point], count: usize, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7AD1);
+    (0..count)
+        .map(|i| {
+            let p = data[rng.gen_range(0..data.len())];
+            Point::with_id(
+                (p.x + 0.002 * (rng.gen::<f64>() - 0.5)).clamp(0.0, 1.0),
+                (p.y + 0.002 * (rng.gen::<f64>() - 0.5)).clamp(0.0, 1.0),
+                i as u64,
+            )
+        })
+        .collect()
+}
+
+/// Generates the **inner side of a distance join**: `count` points following
+/// the data distribution (sampled with jitter), with ids from a disjoint
+/// space (`1 << 40` upwards) so join pairs are unambiguous in test output.
+pub fn join_points(data: &[Point], count: usize, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x101B);
+    let base = 1u64 << 40;
+    (0..count)
+        .map(|i| {
+            let p = data[rng.gen_range(0..data.len())];
+            Point::with_id(
+                (p.x + 0.05 * (rng.gen::<f64>() - 0.5)).clamp(0.0, 1.0),
+                (p.y + 0.05 * (rng.gen::<f64>() - 0.5)).clamp(0.0, 1.0),
+                base + i as u64,
+            )
+        })
+        .collect()
+}
+
 /// Generates `count` new points for insertion experiments, following the same
 /// distribution as the data (sampled with jitter), with ids that do not clash
 /// with the existing `0..n` ids.
@@ -468,6 +512,26 @@ mod tests {
         assert!(all_reads.iter().all(|o| !o.is_write()));
         let all_writes = read_write_workload(&data, WindowSpec::default(), 5, 200, 1.0, 1);
         assert!(all_writes.iter().all(|o| o.is_write()));
+    }
+
+    #[test]
+    fn range_centers_and_join_points_are_deterministic_and_in_domain() {
+        let data = generate(Distribution::skewed_default(), 400, 31);
+        let centers = range_query_centers(&data, 60, 7);
+        assert_eq!(centers.len(), 60);
+        assert_eq!(centers, range_query_centers(&data, 60, 7));
+        for c in &centers {
+            assert!((0.0..=1.0).contains(&c.x) && (0.0..=1.0).contains(&c.y));
+        }
+        let inner = join_points(&data, 80, 9);
+        assert_eq!(inner.len(), 80);
+        assert_eq!(inner, join_points(&data, 80, 9));
+        for p in &inner {
+            assert!(p.id >= 1 << 40, "join ids must come from a disjoint space");
+            assert!((0.0..=1.0).contains(&p.x) && (0.0..=1.0).contains(&p.y));
+        }
+        // Different seeds give different workloads.
+        assert_ne!(inner, join_points(&data, 80, 10));
     }
 
     #[test]

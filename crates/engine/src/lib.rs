@@ -325,6 +325,78 @@ impl SpatialIndex for ShardedIndex {
         }
     }
 
+    fn range_query_visit(
+        &self,
+        center: &Point,
+        radius: f64,
+        cx: &mut QueryContext,
+        visit: &mut dyn FnMut(&Point),
+    ) {
+        // Shard-MBR fan-out: only shards whose MBR lies within the radius of
+        // the centre are queried; the rest are charged as pruned.
+        if !radius.is_finite() || radius < 0.0 {
+            return;
+        }
+        let r_sq = radius * radius;
+        let mut pruned = 0usize;
+        for s in &self.shards {
+            if !s.index.is_empty() && s.mbr.min_dist_sq(center) <= r_sq {
+                cx.count_shard_visit();
+                s.index.range_query_visit(center, radius, cx, visit);
+            } else {
+                pruned += 1;
+            }
+        }
+        cx.count_shards_pruned(pruned);
+    }
+
+    fn for_each_point(&self, visit: &mut dyn FnMut(&Point)) {
+        for s in &self.shards {
+            s.index.for_each_point(visit);
+        }
+    }
+
+    fn distance_join_probes(
+        &self,
+        probes: &[Point],
+        radius: f64,
+        cx: &mut QueryContext,
+        visit: &mut dyn FnMut(&Point, &Point),
+    ) {
+        // Shard-MBR fan-out: each shard joins only the probes within the
+        // radius of its MBR, through its own family-specific pruning.  The
+        // partitioner assigns every indexed point to exactly one shard, so
+        // the union of per-shard pair sets is duplicate-free by
+        // construction (test-enforced) — no cross-shard deduplication pass
+        // is needed.
+        if !radius.is_finite() || radius < 0.0 || probes.is_empty() {
+            return;
+        }
+        let r_sq = radius * radius;
+        let mut pruned = 0usize;
+        let mut kept: Vec<Point> = Vec::new();
+        for s in &self.shards {
+            if s.index.is_empty() {
+                pruned += 1;
+                continue;
+            }
+            kept.clear();
+            kept.extend(
+                probes
+                    .iter()
+                    .filter(|q| s.mbr.min_dist_sq(q) <= r_sq)
+                    .copied(),
+            );
+            if kept.is_empty() {
+                pruned += 1;
+                continue;
+            }
+            cx.count_shard_visit();
+            s.index.distance_join_probes(&kept, radius, cx, visit);
+        }
+        cx.count_shards_pruned(pruned);
+    }
+
     fn insert(&mut self, p: Point) {
         if self.shards.is_empty() {
             return;
@@ -456,6 +528,22 @@ impl SpatialIndex for ShardedIndex {
         cx.stats += stats;
         out
     }
+
+    fn range_queries(
+        &self,
+        centers: &[Point],
+        radius: f64,
+        cx: &mut QueryContext,
+    ) -> Vec<Vec<Point>> {
+        let (out, stats) = executor::run_batch(centers, self.threads, |chunk, wcx| {
+            chunk
+                .iter()
+                .map(|c| self.range_query(c, radius, wcx))
+                .collect()
+        });
+        cx.stats += stats;
+        out
+    }
 }
 
 #[cfg(test)]
@@ -500,6 +588,11 @@ mod tests {
             cx.count_block_scan(self.0.len());
             for p in brute_force::knn_query(&self.0, q, k) {
                 visit(&p);
+            }
+        }
+        fn for_each_point(&self, visit: &mut dyn FnMut(&Point)) {
+            for p in &self.0 {
+                visit(p);
             }
         }
         fn insert(&mut self, p: Point) {
@@ -637,6 +730,71 @@ mod tests {
             cx1.stats, cx4.stats,
             "merged stats must not depend on threading"
         );
+    }
+
+    #[test]
+    fn range_queries_prune_shards_and_match_brute_force() {
+        let data = generate(Distribution::Uniform, 3_000, 27);
+        let index = build(&data, 8, 1);
+        let mut cx = QueryContext::new();
+        let centers = queries::knn_queries(&data, 25, 31);
+        for c in &centers {
+            let mut got: Vec<u64> = index
+                .range_query(c, 0.05, &mut cx)
+                .iter()
+                .map(|p| p.id)
+                .collect();
+            let mut truth: Vec<u64> = brute_force::range_query(&data, c, 0.05)
+                .iter()
+                .map(|p| p.id)
+                .collect();
+            got.sort_unstable();
+            truth.sort_unstable();
+            assert_eq!(got, truth);
+        }
+        let stats = cx.take_stats();
+        assert!(stats.shards_pruned > 0, "small circles should prune shards");
+        assert_eq!(
+            stats.shards_visited + stats.shards_pruned,
+            8 * centers.len() as u64
+        );
+        // The parallel batch entry point returns identical answers.
+        let par = build(&data, 8, 4);
+        let (mut cx1, mut cx4) = (QueryContext::new(), QueryContext::new());
+        assert_eq!(
+            index.range_queries(&centers, 0.05, &mut cx1),
+            par.range_queries(&centers, 0.05, &mut cx4)
+        );
+        assert_eq!(cx1.stats, cx4.stats);
+    }
+
+    #[test]
+    fn distance_join_fans_out_by_shard_mbr_without_duplicate_pairs() {
+        let data = generate(Distribution::skewed_default(), 2_000, 33);
+        let probes = generate(Distribution::Uniform, 300, 35);
+        let index = build(&data, 6, 1);
+        let other = Naive(probes.clone());
+        let mut cx = QueryContext::new();
+        let mut got: Vec<(u64, u64)> = index
+            .distance_join(&other, 0.02, &mut cx)
+            .iter()
+            .map(|(p, q)| (p.id, q.id))
+            .collect();
+        let mut truth: Vec<(u64, u64)> = brute_force::distance_join(&data, &probes, 0.02)
+            .iter()
+            .map(|(p, q)| (p.id, q.id))
+            .collect();
+        got.sort_unstable();
+        truth.sort_unstable();
+        // Shards partition the points, so pairs are already duplicate-free.
+        let mut deduped = got.clone();
+        deduped.dedup();
+        assert_eq!(deduped.len(), got.len(), "cross-shard duplicate pairs");
+        assert_eq!(got, truth);
+        // Enumeration chains the shards and covers everything once.
+        let mut n = 0;
+        index.for_each_point(&mut |_| n += 1);
+        assert_eq!(n, data.len());
     }
 
     #[test]

@@ -18,6 +18,14 @@
 //! let index = build_index(IndexKind::Grid, &points, &IndexConfig::fast());
 //! let mut cx = QueryContext::new();
 //! assert_eq!(index.point_query(&points[7], &mut cx).unwrap().id, 7);
+//!
+//! // Distance-range queries and index-nested joins are part of the same
+//! // uniform API — and, unlike window/kNN, exact for every registered kind.
+//! let nearby = index.range_query(&points[7], 0.05, &mut cx);
+//! assert!(nearby.iter().any(|p| p.id == 7));
+//! let other = build_index(IndexKind::Hrr, &points[..50], &IndexConfig::fast());
+//! let pairs = index.distance_join(other.as_ref(), 0.01, &mut cx);
+//! assert!(pairs.len() >= 50, "every point pairs with its own copy");
 //! ```
 
 #![forbid(unsafe_code)]
@@ -659,6 +667,39 @@ mod tests {
         let n = data.iter().step_by(31).count() as u64;
         assert_eq!(stats.shards_visited, n, "point routing fanned out");
         assert_eq!(stats.shards_pruned, 3 * n);
+    }
+
+    #[test]
+    fn every_kind_answers_range_and_join_exactly_through_the_registry() {
+        // The exactness flags deliberately do NOT extend to the new query
+        // classes: distance-range and join answers are exact for every
+        // kind, including the approximate-window families.
+        let data = generate(Distribution::Uniform, 500, 47);
+        let inner = generate(Distribution::Uniform, 80, 49);
+        let other = common::brute_force::ScanIndex::new(inner.clone());
+        let mut cx = QueryContext::new();
+        for kind in IndexKind::all_with_sharded() {
+            let index = build_index(kind, &data, &IndexConfig::fast().with_shards(3));
+            let c = data[11];
+            let mut got: Vec<u64> = index
+                .range_query(&c, 0.06, &mut cx)
+                .iter()
+                .map(|p| p.id)
+                .collect();
+            let mut truth: Vec<u64> = common::brute_force::range_query(&data, &c, 0.06)
+                .iter()
+                .map(|p| p.id)
+                .collect();
+            got.sort_unstable();
+            truth.sort_unstable();
+            assert_eq!(got, truth, "{} range answer differs", kind.name());
+            assert_eq!(
+                index.distance_join(&other, 0.02, &mut cx).len(),
+                common::brute_force::distance_join(&data, &inner, 0.02).len(),
+                "{} join pair count differs",
+                kind.name()
+            );
+        }
     }
 
     #[test]

@@ -253,6 +253,27 @@ impl DeltaState {
         }
         examined
     }
+
+    /// Visits every live inserted copy within the circle of squared radius
+    /// `r_sq` around `center` (the distance-range union).  Returns the
+    /// number of entries examined.
+    pub(crate) fn visit_inserts_within(
+        &self,
+        center: &Point,
+        r_sq: f64,
+        visit: &mut dyn FnMut(&Point),
+    ) -> usize {
+        let mut examined = 0;
+        for e in self.entries.values() {
+            examined += 1;
+            if e.copies > 0 && e.point.dist_sq(center) <= r_sq {
+                for _ in 0..e.copies {
+                    visit(&e.point);
+                }
+            }
+        }
+        examined
+    }
 }
 
 /// Applies a log of ops to a canonical point vector with exact `Vec`

@@ -434,6 +434,11 @@ impl SpatialServer {
     pub fn knn_query(&self, q: &Point, k: usize, cx: &mut QueryContext) -> Vec<Point> {
         self.snapshot().knn_query(q, k, cx)
     }
+
+    /// Convenience: a distance-range query against a fresh snapshot.
+    pub fn range_query(&self, center: &Point, radius: f64, cx: &mut QueryContext) -> Vec<Point> {
+        self.snapshot().range_query(center, radius, cx)
+    }
 }
 
 impl Drop for SpatialServer {
@@ -653,6 +658,99 @@ impl Snapshot {
         self.knn_query_visit(q, k, cx, &mut |p| out.push(*p));
         out
     }
+
+    /// Calls `visit` for every live point within `radius` of `center`:
+    /// unmasked base results first, then live inserted copies.  Exact for
+    /// every base family (distance-range queries are exact throughout the
+    /// repository), so a live-served index answers exactly too.
+    pub fn range_query_visit(
+        &self,
+        center: &Point,
+        radius: f64,
+        cx: &mut QueryContext,
+        visit: &mut dyn FnMut(&Point),
+    ) {
+        if self.delta.is_empty() {
+            self.epoch.base.range_query_visit(center, radius, cx, visit);
+            return;
+        }
+        if !radius.is_finite() || radius < 0.0 {
+            return;
+        }
+        self.epoch
+            .base
+            .range_query_visit(center, radius, cx, &mut |p| {
+                if !self.delta.masks(p) {
+                    visit(p);
+                }
+            });
+        let examined = self
+            .delta
+            .visit_inserts_within(center, radius * radius, visit);
+        cx.count_candidates(examined);
+    }
+
+    /// Returns the live points within `radius` of `center` as a fresh
+    /// vector.
+    pub fn range_query(&self, center: &Point, radius: f64, cx: &mut QueryContext) -> Vec<Point> {
+        let mut out = Vec::new();
+        self.range_query_visit(center, radius, cx, &mut |p| out.push(*p));
+        out
+    }
+
+    /// The join worker against this view: every live `(p, q)` pair with `p`
+    /// in the view and `q ∈ probes` within `radius`.  Base pairs whose left
+    /// side was deleted are masked out; live inserted copies pair directly
+    /// against the probe set (each examined entry charged as a candidate) —
+    /// the delta-overlay merge that keeps live-served joins exact.
+    pub fn distance_join_probes(
+        &self,
+        probes: &[Point],
+        radius: f64,
+        cx: &mut QueryContext,
+        visit: &mut dyn FnMut(&Point, &Point),
+    ) {
+        if self.delta.is_empty() {
+            self.epoch
+                .base
+                .distance_join_probes(probes, radius, cx, visit);
+            return;
+        }
+        if !radius.is_finite() || radius < 0.0 || probes.is_empty() {
+            return;
+        }
+        let r_sq = radius * radius;
+        self.epoch
+            .base
+            .distance_join_probes(probes, radius, cx, &mut |p, q| {
+                if !self.delta.masks(p) {
+                    visit(p, q);
+                }
+            });
+        let examined = self.delta.visit_inserts(&mut |p| {
+            for q in probes {
+                if p.dist_sq(q) <= r_sq {
+                    visit(p, q);
+                }
+            }
+        });
+        cx.count_candidates(examined);
+    }
+
+    /// Visits every live point exactly once: unmasked base points, then
+    /// live inserted copies (uncharged, like any index enumeration).
+    pub fn for_each_point(&self, visit: &mut dyn FnMut(&Point)) {
+        if self.delta.is_empty() {
+            self.epoch.base.for_each_point(visit);
+            return;
+        }
+        self.epoch.base.for_each_point(&mut |p| {
+            if !self.delta.masks(p) {
+                visit(p);
+            }
+        });
+        self.delta.visit_inserts(visit);
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -689,6 +787,33 @@ impl SpatialIndex for SpatialServer {
         visit: &mut dyn FnMut(&Point),
     ) {
         self.snapshot().knn_query_visit(q, k, cx, visit)
+    }
+
+    fn range_query_visit(
+        &self,
+        center: &Point,
+        radius: f64,
+        cx: &mut QueryContext,
+        visit: &mut dyn FnMut(&Point),
+    ) {
+        self.snapshot().range_query_visit(center, radius, cx, visit)
+    }
+
+    fn for_each_point(&self, visit: &mut dyn FnMut(&Point)) {
+        self.snapshot().for_each_point(visit)
+    }
+
+    fn distance_join_probes(
+        &self,
+        probes: &[Point],
+        radius: f64,
+        cx: &mut QueryContext,
+        visit: &mut dyn FnMut(&Point, &Point),
+    ) {
+        // One snapshot answers the whole join, so the pair set reflects a
+        // single consistent write prefix even while writers keep appending.
+        self.snapshot()
+            .distance_join_probes(probes, radius, cx, visit)
     }
 
     fn insert(&mut self, p: Point) {
@@ -887,6 +1012,71 @@ mod tests {
 
         // Nothing buffered: a second compaction is a no-op.
         assert!(!server.compact_now());
+    }
+
+    #[test]
+    fn range_and_join_merge_the_delta_overlay_exactly() {
+        let (data, server) = serve(400, 41);
+        let mut oracle = data.clone();
+        // Interleaved writes: inserts near the centre, deletes of base
+        // points, one delete-reinsert.
+        for i in 0..30u64 {
+            let p = Point::with_id(
+                (0.45 + 0.003 * i as f64) % 1.0,
+                (0.55 - 0.002 * i as f64).abs() % 1.0,
+                20_000 + i,
+            );
+            server.insert(p);
+            oracle.push(p);
+            if i % 5 == 0 {
+                let victim = oracle[(i as usize * 7) % oracle.len()];
+                server.delete(&victim);
+                oracle.retain(|x| !(x.same_location(&victim) && x.id == victim.id));
+            }
+        }
+        let probes: Vec<Point> = (0..40)
+            .map(|i| Point::with_id(0.4 + 0.005 * i as f64, 0.5, 90_000 + i))
+            .collect();
+        let check = |server: &SpatialServer, oracle: &[Point], cx: &mut QueryContext| {
+            let c = Point::new(0.5, 0.5);
+            for r in [0.0, 0.04, 0.3] {
+                let mut got: Vec<u64> =
+                    server.range_query(&c, r, cx).iter().map(|p| p.id).collect();
+                let mut truth: Vec<u64> = brute_force::range_query(oracle, &c, r)
+                    .iter()
+                    .map(|p| p.id)
+                    .collect();
+                got.sort_unstable();
+                truth.sort_unstable();
+                assert_eq!(got, truth, "r = {r}");
+            }
+            let snap = server.snapshot();
+            let mut got: Vec<(u64, u64)> = Vec::new();
+            snap.distance_join_probes(&probes, 0.05, cx, &mut |p, q| got.push((p.id, q.id)));
+            let mut truth: Vec<(u64, u64)> = brute_force::distance_join(oracle, &probes, 0.05)
+                .iter()
+                .map(|(p, q)| (p.id, q.id))
+                .collect();
+            got.sort_unstable();
+            truth.sort_unstable();
+            assert_eq!(got, truth);
+            // Enumeration sees exactly the live set.
+            let mut n = 0;
+            snap.for_each_point(&mut |_| n += 1);
+            assert_eq!(n, oracle.len());
+        };
+        let mut cx = QueryContext::new();
+        check(&server, &oracle, &mut cx);
+        // Folding the delta into a fresh base must not change any answer.
+        assert!(server.compact_now());
+        check(&server, &oracle, &mut cx);
+        // The server also joins through the SpatialIndex facade.
+        let other = ScanIndex::new(probes.clone());
+        let via_trait = SpatialIndex::distance_join(&server, &other, 0.05, &mut cx);
+        assert_eq!(
+            via_trait.len(),
+            brute_force::distance_join(&oracle, &probes, 0.05).len()
+        );
     }
 
     #[test]

@@ -124,6 +124,60 @@ fn conformance_body(kind: IndexKind) {
         }
     }
 
+    // Distance-range queries: exact for EVERY family, including the ones
+    // whose window/kNN answers are approximate; visitor and Vec forms
+    // agree, degenerate radii yield nothing.
+    let centers = queries::range_query_centers(&data, 10, 11);
+    for c in &centers {
+        let got = index.range_query(c, 0.03, &mut cx);
+        let mut visited = Vec::new();
+        index.range_query_visit(c, 0.03, &mut cx, &mut |p| visited.push(*p));
+        assert_eq!(got, visited, "{} range visitor/Vec mismatch", kind.name());
+        let mut ids: Vec<u64> = got.iter().map(|p| p.id).collect();
+        let mut truth: Vec<u64> = brute_force::range_query(&data, c, 0.03)
+            .iter()
+            .map(|p| p.id)
+            .collect();
+        ids.sort_unstable();
+        truth.sort_unstable();
+        assert_eq!(ids, truth, "{} range answer differs", kind.name());
+    }
+    assert!(index.range_query(&data[0], -1.0, &mut cx).is_empty());
+    assert!(index.range_query(&data[0], f64::NAN, &mut cx).is_empty());
+
+    // Exact enumeration: for_each_point visits every indexed id exactly
+    // once — the primitive the join's probe side is built on.
+    let mut seen: Vec<u64> = Vec::with_capacity(index.len());
+    index.for_each_point(&mut |p| seen.push(p.id));
+    let mut expected: Vec<u64> = data.iter().map(|p| p.id).collect();
+    seen.sort_unstable();
+    expected.sort_unstable();
+    assert_eq!(seen, expected, "{} enumeration differs", kind.name());
+
+    // Distance joins match the nested-loop oracle, with no duplicate pairs.
+    let inner = queries::join_points(&data, 120, 13);
+    let other = brute_force::ScanIndex::new(inner.clone());
+    let mut pairs: Vec<(u64, u64)> = index
+        .distance_join(&other, 0.02, &mut cx)
+        .iter()
+        .map(|(p, q)| (p.id, q.id))
+        .collect();
+    let mut pair_truth: Vec<(u64, u64)> = brute_force::distance_join(&data, &inner, 0.02)
+        .iter()
+        .map(|(p, q)| (p.id, q.id))
+        .collect();
+    pairs.sort_unstable();
+    pair_truth.sort_unstable();
+    let mut deduped = pairs.clone();
+    deduped.dedup();
+    assert_eq!(
+        deduped.len(),
+        pairs.len(),
+        "{} duplicate pairs",
+        kind.name()
+    );
+    assert_eq!(pairs, pair_truth, "{} join answer differs", kind.name());
+
     // Batch entry points agree with per-call queries.
     let probe: Vec<Point> = data.iter().step_by(29).copied().collect();
     let batch = index.point_queries(&probe, &mut cx);
@@ -132,6 +186,17 @@ fn conformance_body(kind: IndexKind) {
         .map(|q| index.point_query(q, &mut cx))
         .collect();
     assert_eq!(batch, single, "{} batch/single mismatch", kind.name());
+    let range_batch = index.range_queries(&centers, 0.03, &mut cx);
+    let range_single: Vec<_> = centers
+        .iter()
+        .map(|c| index.range_query(c, 0.03, &mut cx))
+        .collect();
+    assert_eq!(
+        range_batch,
+        range_single,
+        "{} range batch/single mismatch",
+        kind.name()
+    );
 
     // Insert: findable afterwards, count grows.
     let extra = Point::with_id(0.42421, 0.13137, 900_001);
@@ -178,6 +243,14 @@ fn conformance_body(kind: IndexKind) {
     assert!(empty
         .knn_query(&Point::new(0.5, 0.5), 3, &mut cx)
         .is_empty());
+    assert!(empty
+        .range_query(&Point::new(0.5, 0.5), 0.5, &mut cx)
+        .is_empty());
+    let probe_side = brute_force::ScanIndex::new(data[..5].to_vec());
+    assert!(empty.distance_join(&probe_side, 0.5, &mut cx).is_empty());
+    let mut none = 0;
+    empty.for_each_point(&mut |_| none += 1);
+    assert_eq!(none, 0);
 }
 
 macro_rules! conformance_tests {
