@@ -9,12 +9,15 @@
 //!                  [--path PATH] [--kind KIND]
 //!                  [--readers N] [--write-ratio R] [--queries N]
 //!                  [--radius R] [--join-ratio R]
+//!                  [--port P] [--addr A] [--connections N] [--duration S]
+//!                  [--rate R] [--shutdown-server]
 //! experiments all
 //! ```
 //!
 //! where `<id>` is one of `table3`, `table4`, `fig6` … `fig19`,
 //! `ablation-rank`, `ablation-curve`, `ablation-grouping`, `sharded`,
-//! `range`, `join`, `snapshot`, `serve`, `serve-live`, or `all`, and
+//! `range`, `join`, `snapshot`, `serve`, `serve-live`, `net-serve`,
+//! `net-load`, or `all`, and
 //! `--only` restricts the cross-family figures to the named index families
 //! (parsed through the registry, e.g. `--only RSMI,HRR`).  A missing or
 //! unknown experiment id, and any flag with a missing, unparsable, or
@@ -52,6 +55,19 @@
 //! exits 1.  Background compaction must swap at least one epoch while the
 //! readers run (readers never block on it; that's the point), and the
 //! throughput summary is what CI archives as `BENCH_serve.json`.
+//!
+//! `net-serve` and `net-load` are the two halves of the **network serving
+//! front-end** (`crates/net`).  `net-serve` builds the index selected by
+//! `--kind` (default `HRR`) — or warm-starts from a `--path` snapshot —
+//! and serves it over the length-prefixed binary wire protocol on
+//! `127.0.0.1:--port`, printing the bound address on stdout; it drains and
+//! exits 0 on a wire `Shutdown` request or after `--duration` seconds.
+//! `net-load` drives `--connections` closed-loop client connections (plus
+//! an open-loop pass at `--rate` requests/s per connection when given)
+//! through all five query classes and both write kinds, and reports
+//! p50/p99 tail latency per class — the `BENCH_net.json` columns CI's
+//! perf-regression gate tracks.  `--shutdown-server` sends the graceful
+//! shutdown after the run so a scripted server process can be reaped.
 //!
 //! `snapshot` and `serve` drive persistence end-to-end.  `snapshot` builds
 //! the index selected by `--kind` (default `sharded-hrr`), runs the query
@@ -104,7 +120,7 @@ usage: experiments <id> [flags]
 experiment ids:
   table3 table4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15
   fig16 fig17 fig18 fig19 ablation-rank ablation-curve ablation-grouping
-  sharded range join snapshot serve serve-live all
+  sharded range join snapshot serve serve-live net-serve net-load all
 
 flags:
   --scale S        multiply all data-set sizes by S (default 1.0)
@@ -124,7 +140,18 @@ flags:
                    fraction of the unit data space (default 0.02; must be
                    finite and positive)
   --join-ratio R   inner-index size of the join experiment as a fraction of
-                   the data size (default 0.25; must be in (0, 1])";
+                   the data size (default 0.25; must be in (0, 1])
+  --port P         net-serve: TCP port to bind on 127.0.0.1 (default 0 =
+                   ephemeral; the bound address is printed on stdout)
+  --addr A         net-load: server address to connect to
+                   (default 127.0.0.1:7878)
+  --connections N  net-load: concurrent client connections (default 4)
+  --duration S     net-serve: serve for S seconds, then drain and exit 0
+                   (default: serve until a wire Shutdown request arrives)
+  --rate R         net-load: additionally run an open-loop pass at R
+                   requests/s per connection (default 0 = closed loop only)
+  --shutdown-server  net-load: send a graceful Shutdown to the server after
+                   the load run (lets CI reap the background process)";
 
 const KNOWN_EXPERIMENTS: &[&str] = &[
     "table3",
@@ -152,6 +179,8 @@ const KNOWN_EXPERIMENTS: &[&str] = &[
     "snapshot",
     "serve",
     "serve-live",
+    "net-serve",
+    "net-load",
     "all",
 ];
 
@@ -177,6 +206,12 @@ struct Opts {
     queries: usize,
     radius: f64,
     join_ratio: f64,
+    port: u16,
+    addr: String,
+    connections: usize,
+    duration: Option<f64>,
+    rate: f64,
+    shutdown_server: bool,
 }
 
 impl Opts {
@@ -243,6 +278,12 @@ fn parse_args(args: &[String]) -> (String, Opts) {
         queries: 500,
         radius: queries::DEFAULT_RANGE_RADIUS,
         join_ratio: 0.25,
+        port: 0,
+        addr: "127.0.0.1:7878".to_string(),
+        connections: 4,
+        duration: None,
+        rate: 0.0,
+        shutdown_server: false,
     };
     let mut it = args.iter().peekable();
     let Some(first) = it.next() else {
@@ -321,6 +362,33 @@ fn parse_args(args: &[String]) -> (String, Opts) {
                     usage_error("--join-ratio must be in (0, 1]");
                 }
             }
+            "--port" => opts.port = flag_value(&mut it, "--port"),
+            "--addr" => {
+                opts.addr = flag_value(&mut it, "--addr");
+                if !opts.addr.contains(':') {
+                    usage_error("--addr must be host:port");
+                }
+            }
+            "--connections" => {
+                opts.connections = flag_value(&mut it, "--connections");
+                if opts.connections == 0 {
+                    usage_error("--connections must be positive");
+                }
+            }
+            "--duration" => {
+                let d: f64 = flag_value(&mut it, "--duration");
+                if !d.is_finite() || d <= 0.0 {
+                    usage_error("--duration must be finite and positive");
+                }
+                opts.duration = Some(d);
+            }
+            "--rate" => {
+                opts.rate = flag_value(&mut it, "--rate");
+                if !opts.rate.is_finite() || opts.rate < 0.0 {
+                    usage_error("--rate must be finite and non-negative");
+                }
+            }
+            "--shutdown-server" => opts.shutdown_server = true,
             other => usage_error(&format!("unknown argument: {other}")),
         }
     }
@@ -358,6 +426,10 @@ fn main() {
             .unwrap_or_else(|| match which.as_str() {
                 "snapshot" | "serve" => snapshot_kind(&opts).name().to_string(),
                 "serve-live" => serve_live_kind(&opts).name().to_string(),
+                "net-serve" => net_serve_kind(&opts).name().to_string(),
+                // net-load is a pure client; the served kind lives in the
+                // net-serve run's own summary.
+                "net-load" => "remote".to_string(),
                 _ => "all".to_string(),
             });
     report.meta("kind", effective_kind);
@@ -422,6 +494,12 @@ fn main() {
     }
     if which == "serve-live" {
         failed |= !serve_live(&opts, &mut report);
+    }
+    if which == "net-serve" {
+        failed |= !net_serve(&opts, &mut report);
+    }
+    if which == "net-load" {
+        failed |= !net_load(&opts, &mut report);
     }
     if run("ablation-rank") {
         ablation_rank(&opts, &mut report);
@@ -1532,4 +1610,209 @@ fn serve_live(opts: &Opts, report: &mut Report) -> bool {
         ]],
     );
     verified
+}
+
+// ---------------------------------------------------------------------
+// Network serving: net-serve (server process) and net-load (load gen)
+// ---------------------------------------------------------------------
+
+fn net_serve_kind(opts: &Opts) -> IndexKind {
+    opts.kind.unwrap_or(IndexKind::Hrr)
+}
+
+/// `net-serve`: builds (or warm-starts from `--path` snapshot) a
+/// `SpatialServer` and serves it over the wire protocol on
+/// `127.0.0.1:--port` until a wire `Shutdown` request arrives (or
+/// `--duration` elapses), then drains in-flight work, refuses new
+/// requests, joins every listener/worker thread, and reports the session
+/// counters.  A client disconnecting mid-request only drops that
+/// connection.
+fn net_serve(opts: &Opts, report: &mut Report) -> bool {
+    let kind = net_serve_kind(opts);
+    let cfg = opts.harness();
+    let server_cfg = registry::ServerConfig::default();
+    let build_start = std::time::Instant::now();
+    let server = match &opts.path {
+        // Warm start: recover the points and the index from a versioned
+        // snapshot instead of rebuilding from raw data.
+        Some(path) => match registry::serve_snapshot(path, &cfg, server_cfg) {
+            Ok(s) => {
+                println!("_warm start from snapshot {}_", path.display());
+                s
+            }
+            Err(e) => {
+                eprintln!("net-serve: cannot load snapshot {}: {e}", path.display());
+                return false;
+            }
+        },
+        None => {
+            let n = (100_000.0 * opts.scale) as usize;
+            let data = dataset(Distribution::skewed_default(), n);
+            registry::serve_index(kind, &data, &cfg, server_cfg)
+        }
+    };
+    let build_s = build_start.elapsed().as_secs_f64();
+    let points_served = server.len();
+
+    let handle = match net::serve(
+        std::sync::Arc::new(server),
+        &format!("127.0.0.1:{}", opts.port),
+        net::NetConfig::default(),
+    ) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("net-serve: cannot bind 127.0.0.1:{}: {e}", opts.port);
+            return false;
+        }
+    };
+    // CI and scripts parse this line to learn the (possibly ephemeral)
+    // port; flush so a pipe reader sees it before the serve loop blocks.
+    println!("netserve listening on {}", handle.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    let deadline = opts
+        .duration
+        .map(|d| std::time::Instant::now() + std::time::Duration::from_secs_f64(d));
+    loop {
+        if handle.is_stopped() {
+            break;
+        }
+        if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+            handle.shutdown();
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    let stats = handle.stats();
+    // Drain: in-flight responses flush, then every thread joins — a
+    // leaked listener thread would hang the process right here.
+    handle.join();
+
+    report.meta("port", opts.port);
+    report.table(
+        &format!(
+            "Network serving session ({}, warm_start = {})",
+            kind.name(),
+            opts.path.is_some(),
+        ),
+        &[
+            "index",
+            "points",
+            "build (s)",
+            "connections",
+            "requests",
+            "shed",
+            "batches",
+            "mean batch size",
+        ],
+        vec![vec![
+            kind.name().to_string(),
+            points_served.to_string(),
+            fmt(build_s),
+            stats.connections.to_string(),
+            stats.requests.to_string(),
+            stats.shed.to_string(),
+            stats.batches.to_string(),
+            fmt(stats.batched as f64 / (stats.batches as f64).max(1.0)),
+        ]],
+    );
+    true
+}
+
+/// `net-load`: drives `--connections` closed-loop client connections (and,
+/// with `--rate`, an open-loop pass) against a running net-serve at
+/// `--addr`, reporting p50/p99 tail latency per query class — the columns
+/// the perf gate tracks — plus shed counts and throughput.
+fn net_load(opts: &Opts, report: &mut Report) -> bool {
+    use bench::netload;
+
+    let n = (100_000.0 * opts.scale) as usize;
+    // The same deterministic data set net-serve builds from at the same
+    // --scale, so point lookups hit and deletes target real points.
+    let data = dataset(Distribution::skewed_default(), n);
+    let k = 25;
+    let streams: Vec<Vec<netload::NetOp>> = (0..opts.connections)
+        .map(|c| {
+            netload::net_workload(
+                &data,
+                opts.queries,
+                k,
+                opts.radius,
+                opts.write_ratio,
+                SEED ^ (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                // Disjoint fresh-id planes per connection.
+                (1 << 33) + ((c as u64) << 24),
+            )
+        })
+        .collect();
+    report.meta(
+        "mode",
+        if opts.rate > 0.0 {
+            "closed+open"
+        } else {
+            "closed"
+        },
+    );
+    report.meta("connections", opts.connections);
+    report.meta("rate", opts.rate);
+    report.meta("write_ratio", opts.write_ratio);
+    report.meta("queries_per_connection", opts.queries);
+
+    let closed = match netload::run_closed_loop(&opts.addr, &streams) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("net-load: closed loop failed: {e}");
+            return false;
+        }
+    };
+    netload::emit_latency_table(
+        report,
+        "Networked serving — closed-loop tail latency per class",
+        &closed,
+    );
+    netload::emit_summary_table(
+        report,
+        "Networked serving — closed-loop summary",
+        "closed",
+        &closed,
+    );
+    let mut ok = closed.ok > 0;
+    if !ok {
+        eprintln!("net-load: no request was answered (all shed or none sent)");
+    }
+
+    if opts.rate > 0.0 {
+        let interval = std::time::Duration::from_secs_f64(1.0 / opts.rate);
+        match netload::run_open_loop(&opts.addr, &streams, interval, 64) {
+            Ok(open) => {
+                netload::emit_latency_table(
+                    report,
+                    "Networked serving — open-loop tail latency per class",
+                    &open,
+                );
+                netload::emit_summary_table(
+                    report,
+                    "Networked serving — open-loop summary",
+                    "open",
+                    &open,
+                );
+            }
+            Err(e) => {
+                eprintln!("net-load: open loop failed: {e}");
+                ok = false;
+            }
+        }
+    }
+
+    if opts.shutdown_server {
+        let sent = net::NetClient::connect(&opts.addr)
+            .and_then(|mut c| c.shutdown_server())
+            .is_ok();
+        if !sent {
+            eprintln!("net-load: could not deliver the shutdown request");
+            ok = false;
+        }
+    }
+    ok
 }

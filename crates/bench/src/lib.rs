@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod live;
+pub mod netload;
 pub mod summary;
 
 use common::{brute_force, metrics, QueryContext, QueryStats, SpatialIndex};
@@ -352,7 +353,14 @@ pub struct ReportTable {
 /// * **2** — adds the explicit `schema_version` field; runs carry
 ///   self-describing metadata (`experiment`, `kind`, `shards`, `threads`,
 ///   `seed`, …) in `meta`.
-pub const BENCH_SUMMARY_SCHEMA_VERSION: u32 = 2;
+/// * **3** — the networked-serving experiments (`net-serve`/`net-load`)
+///   emit per-query-class tail-latency tables whose `p50 time (us)` /
+///   `p99 time (us)` columns are load-bearing perf-gate metrics (the
+///   `p999 (us)` column is deliberately named without "time" so the gate
+///   does not fail on last-permille noise); `meta` gains the load-generator
+///   keys (`mode`, `connections`, `rate`).  Layout of `meta`/`tables` is
+///   unchanged, so version-2 consumers parse version-3 documents.
+pub const BENCH_SUMMARY_SCHEMA_VERSION: u32 = 3;
 
 /// Collects every table an experiments run produces, printing each as
 /// markdown as it lands and optionally serialising the whole run as JSON —

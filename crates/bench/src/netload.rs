@@ -1,0 +1,426 @@
+//! Closed- and open-loop load generators for the network serving
+//! front-end (`crates/net`), reporting tail latency per query class.
+//!
+//! * **Closed loop** — each connection runs one request at a time; latency
+//!   is pure service time and the offered load adapts to the server.  This
+//!   is the shape the perf gate tracks (stable on shared runners).
+//! * **Open loop** — each connection *schedules* sends at a fixed rate and
+//!   pipelines them without waiting; latency is measured from the
+//!   **scheduled** send time, so queueing delay under overload is charged
+//!   to the request (the standard coordinated-omission correction).  Shed
+//!   responses (typed `OVERLOAD`) are counted, not timed.
+//!
+//! Both generators are deterministic for a `(data, seed)` pair; the
+//! workload covers all five query classes plus insert/delete writes.
+
+use crate::Report;
+use datagen::queries::{
+    join_points, range_query_centers, read_write_workload, MixedQuery, ServeOp, WindowSpec,
+};
+use geom::{Point, Rect};
+use net::wire::{self, Request, Response};
+use net::{ErrorCode, NetClient, NetError};
+use std::collections::BTreeMap;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Number of probe points carried by one distance-join probe request.
+pub const JOIN_PROBES_PER_REQUEST: usize = 8;
+
+/// One load-generator operation (superset of the read/write serving
+/// stream: adds the distance-range and join-probe classes).
+#[derive(Debug, Clone)]
+pub enum NetOp {
+    /// Point lookup.
+    Point(Point),
+    /// Window query.
+    Window(Rect),
+    /// kNN query.
+    Knn(Point, u32),
+    /// Distance-range query.
+    Range(Point, f64),
+    /// Distance-join probe batch.
+    Join(Vec<Point>, f64),
+    /// Insert write.
+    Insert(Point),
+    /// Delete write.
+    Delete(Point),
+}
+
+impl NetOp {
+    /// Stable class label used as the row key of the latency tables.
+    pub fn class(&self) -> &'static str {
+        match self {
+            NetOp::Point(_) => "point",
+            NetOp::Window(_) => "window",
+            NetOp::Knn(..) => "knn",
+            NetOp::Range(..) => "range",
+            NetOp::Join(..) => "join-probe",
+            NetOp::Insert(_) => "insert",
+            NetOp::Delete(_) => "delete",
+        }
+    }
+
+    fn to_request(&self) -> Request {
+        match self {
+            NetOp::Point(p) => Request::Point(*p),
+            NetOp::Window(w) => Request::Window(*w),
+            NetOp::Knn(p, k) => Request::Knn(*p, *k),
+            NetOp::Range(p, r) => Request::Range(*p, *r),
+            NetOp::Join(probes, r) => Request::JoinProbes(probes.clone(), *r),
+            NetOp::Insert(p) => Request::Insert(*p),
+            NetOp::Delete(p) => Request::Delete(*p),
+        }
+    }
+}
+
+/// Builds one connection's deterministic op stream: the read/write serving
+/// mix of [`read_write_workload`] with every 5th read turned into a
+/// distance-range query and every 7th into a join-probe batch, so all five
+/// query classes appear.  Insert ids (and deletes targeting them) are
+/// shifted by `insert_id_base` so concurrent connections never collide.
+pub fn net_workload(
+    data: &[Point],
+    count: usize,
+    k: usize,
+    radius: f64,
+    write_ratio: f64,
+    seed: u64,
+    insert_id_base: u64,
+) -> Vec<NetOp> {
+    let stream = read_write_workload(data, WindowSpec::default(), k, count, write_ratio, seed);
+    let centers = range_query_centers(data, count.max(1), seed ^ 0x0A11CE);
+    let probe_pool = join_points(data, count.clamp(1, 1024), seed ^ 0x0B0B);
+    let fresh = data.len() as u64;
+    let remap = |p: Point| {
+        if p.id >= fresh {
+            Point::with_id(p.x, p.y, p.id + insert_id_base)
+        } else {
+            p
+        }
+    };
+    let mut read_i = 0usize;
+    let mut range_i = 0usize;
+    let mut join_i = 0usize;
+    stream
+        .into_iter()
+        .map(|op| match op {
+            ServeOp::Insert(p) => NetOp::Insert(remap(p)),
+            ServeOp::Delete(p) => NetOp::Delete(remap(p)),
+            ServeOp::Read(q) => {
+                read_i += 1;
+                if read_i.is_multiple_of(5) {
+                    let c = centers[range_i % centers.len()];
+                    range_i += 1;
+                    NetOp::Range(c, radius)
+                } else if read_i.is_multiple_of(7) {
+                    let start = (join_i * JOIN_PROBES_PER_REQUEST) % probe_pool.len();
+                    join_i += 1;
+                    let probes: Vec<Point> = (0..JOIN_PROBES_PER_REQUEST)
+                        .map(|j| probe_pool[(start + j) % probe_pool.len()])
+                        .collect();
+                    NetOp::Join(probes, radius)
+                } else {
+                    match q {
+                        MixedQuery::Point(p) => NetOp::Point(p),
+                        MixedQuery::Window(w) => NetOp::Window(w),
+                        MixedQuery::Knn(p, kk) => NetOp::Knn(p, kk as u32),
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
+/// What a load run produced: latencies per class (microseconds,
+/// unsorted), shed/refused counts, and the wall-clock envelope.
+#[derive(Debug, Default)]
+pub struct NetLoadOutcome {
+    /// Recorded latencies in microseconds, keyed by query class.
+    pub latencies: BTreeMap<&'static str, Vec<f64>>,
+    /// Requests shed by the server's admission control.
+    pub shed: usize,
+    /// Requests answered successfully.
+    pub ok: usize,
+    /// Wall-clock time of the whole run.
+    pub wall: Duration,
+}
+
+impl NetLoadOutcome {
+    fn absorb(&mut self, other: NetLoadOutcome) {
+        for (class, mut v) in other.latencies {
+            self.latencies.entry(class).or_default().append(&mut v);
+        }
+        self.shed += other.shed;
+        self.ok += other.ok;
+    }
+
+    /// Total requests that completed (answered or shed).
+    pub fn total(&self) -> usize {
+        self.ok + self.shed
+    }
+
+    /// Completed requests per second over the wall-clock envelope.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.total() as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Nearest-rank percentile (`q` in `[0, 100]`) of an ascending-sorted
+/// slice; 0.0 for an empty slice.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Runs one closed-loop client per op stream (one stream = one
+/// connection), each sending its ops sequentially and timing every
+/// response.  Returns the merged outcome or the first connection error.
+pub fn run_closed_loop(addr: &str, streams: &[Vec<NetOp>]) -> Result<NetLoadOutcome, String> {
+    let started = Instant::now();
+    let results: Vec<Result<NetLoadOutcome, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = streams
+            .iter()
+            .map(|ops| {
+                scope.spawn(move || {
+                    let mut client = NetClient::connect_retry(addr, Duration::from_secs(10))
+                        .map_err(|e| format!("connect {addr}: {e}"))?;
+                    let mut out = NetLoadOutcome::default();
+                    for op in ops {
+                        let class = op.class();
+                        let t0 = Instant::now();
+                        let result = match op {
+                            NetOp::Point(p) => client.point(p).map(|_| ()),
+                            NetOp::Window(w) => client.window(w).map(|_| ()),
+                            NetOp::Knn(p, k) => client.knn(p, *k).map(|_| ()),
+                            NetOp::Range(p, r) => client.range(p, *r).map(|_| ()),
+                            NetOp::Join(probes, r) => client.join_probes(probes, *r).map(|_| ()),
+                            NetOp::Insert(p) => client.insert(p).map(|_| ()),
+                            NetOp::Delete(p) => client.delete(p).map(|_| ()),
+                        };
+                        match result {
+                            Ok(()) => {
+                                let us = t0.elapsed().as_secs_f64() * 1e6;
+                                out.latencies.entry(class).or_default().push(us);
+                                out.ok += 1;
+                            }
+                            Err(NetError::Overload) => out.shed += 1,
+                            Err(e) => return Err(format!("{class} query failed: {e}")),
+                        }
+                    }
+                    Ok(out)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|_| Err("client panicked".into())))
+            .collect()
+    });
+    let mut merged = NetLoadOutcome::default();
+    for r in results {
+        merged.absorb(r?);
+    }
+    merged.wall = started.elapsed();
+    Ok(merged)
+}
+
+/// Runs one open-loop client per op stream: a sender half paces one
+/// request every `interval` (pipelining without waiting, at most
+/// `max_inflight` outstanding) while a receiver half times responses
+/// against the **scheduled** send instants.
+pub fn run_open_loop(
+    addr: &str,
+    streams: &[Vec<NetOp>],
+    interval: Duration,
+    max_inflight: usize,
+) -> Result<NetLoadOutcome, String> {
+    let started = Instant::now();
+    let results: Vec<Result<NetLoadOutcome, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = streams
+            .iter()
+            .map(|ops| {
+                scope.spawn(move || {
+                    let client = NetClient::connect_retry(addr, Duration::from_secs(10))
+                        .map_err(|e| format!("connect {addr}: {e}"))?;
+                    let mut recv_stream = client.into_stream();
+                    let mut send_stream = recv_stream
+                        .try_clone()
+                        .map_err(|e| format!("clone stream: {e}"))?;
+                    let (tx, rx) =
+                        mpsc::sync_channel::<(&'static str, Instant)>(max_inflight.max(1));
+                    let sender = scope.spawn(move || -> Result<(), String> {
+                        let t0 = Instant::now();
+                        for (i, op) in ops.iter().enumerate() {
+                            let scheduled = t0 + interval.mul_f64(i as f64);
+                            let now = Instant::now();
+                            if scheduled > now {
+                                std::thread::sleep(scheduled - now);
+                            }
+                            // Blocks when max_inflight requests are
+                            // outstanding — bounds client memory without
+                            // hiding queueing delay (latency is measured
+                            // from `scheduled`).
+                            tx.send((op.class(), scheduled))
+                                .map_err(|_| "receiver hung up".to_string())?;
+                            wire::write_frame(&mut send_stream, &op.to_request().encode())
+                                .map_err(|e| format!("send: {e}"))?;
+                        }
+                        Ok(())
+                    });
+                    let mut out = NetLoadOutcome::default();
+                    while let Ok((class, scheduled)) = rx.recv() {
+                        let payload = wire::read_frame(&mut recv_stream)
+                            .map_err(|e| format!("recv: {e}"))?
+                            .ok_or("server closed mid-run")?;
+                        match Response::decode(&payload).map_err(|e| e.to_string())? {
+                            Response::Error {
+                                code: ErrorCode::Overload,
+                                ..
+                            } => out.shed += 1,
+                            Response::Error { code, message } => {
+                                return Err(format!("server refused ({code:?}): {message}"))
+                            }
+                            _ => {
+                                let us = scheduled.elapsed().as_secs_f64() * 1e6;
+                                out.latencies.entry(class).or_default().push(us);
+                                out.ok += 1;
+                            }
+                        }
+                    }
+                    sender
+                        .join()
+                        .unwrap_or_else(|_| Err("sender panicked".into()))?;
+                    Ok(out)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|_| Err("client panicked".into())))
+            .collect()
+    });
+    let mut merged = NetLoadOutcome::default();
+    for r in results {
+        merged.absorb(r?);
+    }
+    merged.wall = started.elapsed();
+    Ok(merged)
+}
+
+/// Emits the per-class tail-latency table.  The `p50 time (us)` and
+/// `p99 time (us)` columns are perf-gate metrics (their headers contain
+/// "time"); `p999 (us)` and `max (us)` are deliberately reported outside
+/// the gate — the last permille of a few hundred samples is noise on
+/// shared CI runners.
+pub fn emit_latency_table(report: &mut Report, title: &str, outcome: &NetLoadOutcome) {
+    let rows: Vec<Vec<String>> = outcome
+        .latencies
+        .iter()
+        .map(|(class, lat)| {
+            let mut sorted = lat.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            vec![
+                (*class).to_string(),
+                sorted.len().to_string(),
+                crate::fmt(percentile(&sorted, 50.0)),
+                crate::fmt(percentile(&sorted, 99.0)),
+                crate::fmt(percentile(&sorted, 99.9)),
+                crate::fmt(sorted.last().copied().unwrap_or(0.0)),
+            ]
+        })
+        .collect();
+    report.table(
+        title,
+        &[
+            "class",
+            "requests",
+            "p50 time (us)",
+            "p99 time (us)",
+            "p999 (us)",
+            "max (us)",
+        ],
+        rows,
+    );
+}
+
+/// Emits the one-row load summary (throughput, shed counts) for one mode.
+pub fn emit_summary_table(report: &mut Report, title: &str, mode: &str, outcome: &NetLoadOutcome) {
+    report.table(
+        title,
+        &[
+            "mode",
+            "requests",
+            "answered",
+            "shed",
+            "wall (s)",
+            "throughput (req/s)",
+        ],
+        vec![vec![
+            mode.to_string(),
+            outcome.total().to_string(),
+            outcome.ok.to_string(),
+            outcome.shed.to_string(),
+            crate::fmt(outcome.wall.as_secs_f64()),
+            crate::fmt(outcome.throughput()),
+        ]],
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&v, 50.0), 50.0);
+        assert_eq!(percentile(&v, 99.0), 99.0);
+        assert_eq!(percentile(&v, 99.9), 100.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn workload_is_deterministic_and_covers_every_class() {
+        let data: Vec<Point> = (0..500)
+            .map(|i| Point::with_id((i as f64 * 0.377) % 1.0, (i as f64 * 0.618) % 1.0, i))
+            .collect();
+        let a = net_workload(&data, 400, 5, 0.02, 0.2, 42, 1 << 33);
+        let b = net_workload(&data, 400, 5, 0.02, 0.2, 42, 1 << 33);
+        assert_eq!(a.len(), 400);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.class(), y.class());
+        }
+        let mut classes: Vec<&str> = a.iter().map(|op| op.class()).collect();
+        classes.sort_unstable();
+        classes.dedup();
+        assert_eq!(
+            classes,
+            vec![
+                "delete",
+                "insert",
+                "join-probe",
+                "knn",
+                "point",
+                "range",
+                "window"
+            ]
+        );
+        // Insert ids are shifted past the collision base.
+        for op in &a {
+            if let NetOp::Insert(p) = op {
+                assert!(p.id >= (1 << 33));
+            }
+        }
+    }
+}

@@ -1,0 +1,723 @@
+//! The admission-controlled TCP server.
+//!
+//! Topology: an acceptor pool (thread-per-core by default) blocks on the
+//! shared `TcpListener`; each accepted connection gets a reader thread and
+//! a writer thread.  Readers decode frames, run admission control, and
+//! push admitted requests onto one global job queue; a worker pool drains
+//! that queue in micro-batches, pins **one** [`server::Snapshot`] per
+//! batch, and answers every read in the batch through the snapshot's
+//! batch entry points (`point_queries` / `window_queries` / `knn_queries`
+//! / `range_queries`).  Responses are routed back to each connection's
+//! ordered outbox, so a pipelining client always receives responses in
+//! request order.
+//!
+//! Admission control is two bounded counters — per-connection in-flight
+//! and global in-flight.  When either is exhausted the request is **shed**
+//! immediately with a typed `OVERLOAD` response instead of queueing
+//! unboundedly; the connection stays healthy and later requests are
+//! admitted again as soon as in-flight work drains.
+//!
+//! Shutdown (via [`NetHandle::shutdown`] or a wire `Shutdown` request)
+//! drains: the acceptors stop accepting, every connection's read half is
+//! shut down so readers stop admitting new work, in-flight batches run to
+//! completion and their responses are flushed, and only then do the
+//! threads exit.  [`NetHandle::join`] (also run on drop) collects every
+//! thread — nothing is leaked.
+
+use crate::wire::{self, ErrorCode, Request, Response};
+use crate::NetError;
+use common::QueryContext;
+use geom::Point;
+use server::SpatialServer;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Upper bound accepted for a kNN `k` — far above any workload in the
+/// paper (max 625), low enough that a hostile `k` cannot drive a
+/// pathological allocation.
+pub const MAX_KNN_K: u32 = 65_536;
+
+/// Tuning knobs for the serving loop.  The defaults suit the CI smoke
+/// workload; tests shrink the admission bounds to force shedding
+/// deterministically.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Acceptor threads blocking on the listener (thread-per-core capped
+    /// at 4 by default — accepting is cheap).
+    pub acceptors: usize,
+    /// Worker threads draining the batch queue (thread-per-core capped at
+    /// 8 by default).
+    pub workers: usize,
+    /// Maximum requests coalesced into one micro-batch (one pinned
+    /// snapshot).
+    pub batch_max: usize,
+    /// Bounded per-connection in-flight admission window.
+    pub per_conn_inflight: usize,
+    /// Bounded global in-flight admission window.
+    pub global_inflight: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism().map_or(2, |n| n.get());
+        Self {
+            acceptors: cores.clamp(1, 4),
+            workers: cores.clamp(1, 8),
+            batch_max: 32,
+            per_conn_inflight: 64,
+            global_inflight: 1024,
+        }
+    }
+}
+
+impl NetConfig {
+    /// Overrides the acceptor pool size.
+    pub fn with_acceptors(mut self, n: usize) -> Self {
+        self.acceptors = n.max(1);
+        self
+    }
+
+    /// Overrides the worker pool size.
+    pub fn with_workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// Overrides the micro-batch cap.
+    pub fn with_batch_max(mut self, n: usize) -> Self {
+        self.batch_max = n.max(1);
+        self
+    }
+
+    /// Overrides the per-connection in-flight admission window (0 sheds
+    /// everything — useful in tests).
+    pub fn with_per_conn_inflight(mut self, n: usize) -> Self {
+        self.per_conn_inflight = n;
+        self
+    }
+
+    /// Overrides the global in-flight admission window (0 sheds
+    /// everything — useful in tests).
+    pub fn with_global_inflight(mut self, n: usize) -> Self {
+        self.global_inflight = n;
+        self
+    }
+}
+
+/// A point-in-time sample of the serving counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NetStats {
+    /// Connections accepted since start.
+    pub connections: u64,
+    /// Requests fully decoded (including ones later shed).
+    pub requests: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Micro-batches executed.
+    pub batches: u64,
+    /// Requests answered through micro-batches (`batched / batches` is the
+    /// mean coalescing factor).
+    pub batched: u64,
+}
+
+#[derive(Default)]
+struct StatCounters {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    shed: AtomicU64,
+    batches: AtomicU64,
+    batched: AtomicU64,
+}
+
+/// One admitted request travelling from a reader to a worker.
+struct Job {
+    req: Request,
+    conn: Arc<ConnShared>,
+    order: u64,
+}
+
+/// Per-connection response routing: responses may be produced out of order
+/// by concurrent workers, the writer emits them in request order.
+struct Outbox {
+    ready: BTreeMap<u64, Response>,
+    /// Next order number the writer will emit.
+    next_write: u64,
+    /// Total order numbers issued by the reader.
+    issued: u64,
+    /// Reader finished (EOF, protocol error, or shutdown).
+    closed: bool,
+    /// Writer gave up (peer disconnected mid-response); responses are
+    /// dropped from here on.
+    dead: bool,
+}
+
+struct ConnShared {
+    outbox: Mutex<Outbox>,
+    cv: Condvar,
+    inflight: AtomicUsize,
+}
+
+impl ConnShared {
+    fn new() -> Self {
+        Self {
+            outbox: Mutex::new(Outbox {
+                ready: BTreeMap::new(),
+                next_write: 0,
+                issued: 0,
+                closed: false,
+                dead: false,
+            }),
+            cv: Condvar::new(),
+            inflight: AtomicUsize::new(0),
+        }
+    }
+
+    /// Queues `resp` as the response to order number `order` and wakes the
+    /// writer.  Never blocks (workers must not stall on a slow peer): if
+    /// the writer is dead the response is dropped.
+    fn deliver(&self, order: u64, resp: Response) {
+        let mut st = self.outbox.lock().unwrap();
+        if !st.dead {
+            st.ready.insert(order, resp);
+        } else {
+            // The writer is gone; advance its cursor so bookkeeping stays
+            // consistent for the drain accounting.
+            if order == st.next_write {
+                st.next_write += 1;
+            }
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+}
+
+struct Core {
+    spatial: Arc<SpatialServer>,
+    cfg: NetConfig,
+    addr: SocketAddr,
+    stop: AtomicBool,
+    queue: Mutex<VecDeque<Job>>,
+    queue_cv: Condvar,
+    /// Remaining global admission tokens.
+    global_tokens: AtomicUsize,
+    stats: StatCounters,
+    next_conn_id: AtomicU64,
+    /// Read-half handles of live connections, poked on shutdown so blocked
+    /// readers wake immediately.
+    conn_streams: Mutex<HashMap<u64, TcpStream>>,
+    /// Reader thread handles, joined at shutdown (finished ones are swept
+    /// opportunistically on accept).
+    conn_threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Core {
+    fn try_admit(&self, conn: &ConnShared) -> bool {
+        if self
+            .global_tokens
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |t| t.checked_sub(1))
+            .is_err()
+        {
+            return false;
+        }
+        let admitted = conn
+            .inflight
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                (n < self.cfg.per_conn_inflight).then_some(n + 1)
+            })
+            .is_ok();
+        if !admitted {
+            self.global_tokens.fetch_add(1, Ordering::AcqRel);
+        }
+        admitted
+    }
+
+    fn release(&self, conn: &ConnShared) {
+        conn.inflight.fetch_sub(1, Ordering::AcqRel);
+        self.global_tokens.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Sets the stop flag and unblocks everything that might be waiting on
+    /// a socket: acceptors get poke connections, connection readers get
+    /// their read half shut down.  In-flight work keeps draining.
+    fn begin_shutdown(&self) {
+        if self.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        for _ in 0..self.cfg.acceptors {
+            // A throwaway connection unblocks one blocked accept(); the
+            // acceptor sees the stop flag and exits.
+            let _ = TcpStream::connect(self.addr);
+        }
+        let streams = self.conn_streams.lock().unwrap();
+        for stream in streams.values() {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+        drop(streams);
+        self.queue_cv.notify_all();
+    }
+
+    fn stats(&self) -> NetStats {
+        NetStats {
+            connections: self.stats.connections.load(Ordering::Relaxed),
+            requests: self.stats.requests.load(Ordering::Relaxed),
+            shed: self.stats.shed.load(Ordering::Relaxed),
+            batches: self.stats.batches.load(Ordering::Relaxed),
+            batched: self.stats.batched.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Running server: owns every thread the listener spawned.
+///
+/// Dropping the handle shuts the server down and joins all threads; call
+/// [`NetHandle::shutdown`] + [`NetHandle::join`] to do it explicitly.
+pub struct NetHandle {
+    core: Arc<Core>,
+    acceptors: Vec<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl NetHandle {
+    /// The bound address (resolves the actual port when served on port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.core.addr
+    }
+
+    /// Point-in-time serving counters.
+    pub fn stats(&self) -> NetStats {
+        self.core.stats()
+    }
+
+    /// Whether a shutdown (local or via a wire `Shutdown` request) has
+    /// begun.
+    pub fn is_stopped(&self) -> bool {
+        self.core.stop.load(Ordering::Acquire)
+    }
+
+    /// Begins a graceful shutdown: stop accepting, refuse new requests,
+    /// drain in-flight work.  Idempotent; returns without waiting — call
+    /// [`NetHandle::join`] to wait for the drain.
+    pub fn shutdown(&self) {
+        self.core.begin_shutdown();
+    }
+
+    /// Waits for the full drain: acceptors, per-connection readers and
+    /// writers (in-flight responses are flushed first), then workers.
+    pub fn join(mut self) {
+        self.join_inner();
+    }
+
+    fn join_inner(&mut self) {
+        self.core.begin_shutdown();
+        for h in self.acceptors.drain(..) {
+            let _ = h.join();
+        }
+        // Connections registered concurrently with begin_shutdown's poke
+        // sweep get their read half shut down here instead.
+        let streams: Vec<TcpStream> = {
+            let mut map = self.core.conn_streams.lock().unwrap();
+            map.drain().map(|(_, s)| s).collect()
+        };
+        for s in &streams {
+            let _ = s.shutdown(Shutdown::Read);
+        }
+        let conn_threads: Vec<JoinHandle<()>> =
+            self.core.conn_threads.lock().unwrap().drain(..).collect();
+        for h in conn_threads {
+            let _ = h.join();
+        }
+        // No reader is left to enqueue jobs; workers drain what remains
+        // and exit on the (stop, empty-queue) condition.
+        self.core.queue_cv.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for NetHandle {
+    fn drop(&mut self) {
+        self.join_inner();
+    }
+}
+
+/// Binds `addr` (use port 0 for an ephemeral port) and starts serving
+/// `spatial` over the wire protocol.  Returns once the listener is bound
+/// and the pools are running.
+pub fn serve(
+    spatial: Arc<SpatialServer>,
+    addr: &str,
+    cfg: NetConfig,
+) -> Result<NetHandle, NetError> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let core = Arc::new(Core {
+        spatial,
+        cfg: cfg.clone(),
+        addr,
+        stop: AtomicBool::new(false),
+        queue: Mutex::new(VecDeque::new()),
+        queue_cv: Condvar::new(),
+        global_tokens: AtomicUsize::new(cfg.global_inflight),
+        stats: StatCounters::default(),
+        next_conn_id: AtomicU64::new(0),
+        conn_streams: Mutex::new(HashMap::new()),
+        conn_threads: Mutex::new(Vec::new()),
+    });
+    let acceptors = (0..cfg.acceptors)
+        .map(|_| {
+            let core = Arc::clone(&core);
+            let listener = listener.try_clone().map_err(NetError::Io)?;
+            Ok(std::thread::spawn(move || acceptor_loop(&core, &listener)))
+        })
+        .collect::<Result<Vec<_>, NetError>>()?;
+    let workers = (0..cfg.workers)
+        .map(|_| {
+            let core = Arc::clone(&core);
+            std::thread::spawn(move || worker_loop(&core))
+        })
+        .collect();
+    Ok(NetHandle {
+        core,
+        acceptors,
+        workers,
+    })
+}
+
+fn acceptor_loop(core: &Arc<Core>, listener: &TcpListener) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if core.stop.load(Ordering::Acquire) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if core.stop.load(Ordering::Acquire) {
+            // Either the shutdown poke or a client racing the drain;
+            // refusing new connections is the drain contract.
+            return;
+        }
+        core.stats.connections.fetch_add(1, Ordering::Relaxed);
+        let _ = stream.set_nodelay(true);
+        // A peer that stops reading must not pin a writer thread forever
+        // (it would stall the drain at shutdown); a stuck send errors out
+        // and the connection is dropped.
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+        let id = core.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        let (read_poke, write_half) = match (stream.try_clone(), stream.try_clone()) {
+            (Ok(a), Ok(b)) => (a, b),
+            _ => continue,
+        };
+        core.conn_streams.lock().unwrap().insert(id, read_poke);
+        let handle = {
+            let core = Arc::clone(core);
+            std::thread::spawn(move || connection_loop(&core, id, stream, write_half))
+        };
+        let mut threads = core.conn_threads.lock().unwrap();
+        threads.retain(|h| !h.is_finished());
+        threads.push(handle);
+        drop(threads);
+        // A connection accepted in the race window right before the stop
+        // flag was set would miss the poke sweep; re-check so its read
+        // half is shut down too.
+        if core.stop.load(Ordering::Acquire) {
+            if let Some(s) = core.conn_streams.lock().unwrap().get(&id) {
+                let _ = s.shutdown(Shutdown::Read);
+            }
+            return;
+        }
+    }
+}
+
+/// Semantic validation of an admitted request; framing-level corruption is
+/// already excluded by the frame CRC and the decoder.
+fn validate(req: &Request) -> Result<(), String> {
+    match req {
+        Request::Knn(_, k) if *k > MAX_KNN_K => {
+            Err(format!("k {k} exceeds the cap of {MAX_KNN_K}"))
+        }
+        Request::Range(_, radius) | Request::JoinProbes(_, radius)
+            if !radius.is_finite() || *radius < 0.0 =>
+        {
+            Err(format!(
+                "radius {radius} is not a finite non-negative value"
+            ))
+        }
+        _ => Ok(()),
+    }
+}
+
+/// Reader half of one connection: decode, admit (or shed), enqueue; spawns
+/// and finally joins the connection's writer thread.
+fn connection_loop(core: &Arc<Core>, id: u64, mut stream: TcpStream, write_half: TcpStream) {
+    let conn = Arc::new(ConnShared::new());
+    let writer = {
+        let conn = Arc::clone(&conn);
+        std::thread::spawn(move || writer_loop(&conn, write_half))
+    };
+    let mut order: u64 = 0;
+    loop {
+        let payload = match wire::read_frame(&mut stream) {
+            Ok(Some(p)) => p,
+            // Clean EOF between frames (client done, or our read half was
+            // shut down by the drain) — stop reading.
+            Ok(None) => break,
+            // Framing broken mid-stream (client disconnected mid-request,
+            // or garbage): resynchronisation is impossible, drop the
+            // connection.  In-flight responses still flush below.
+            Err(_) => break,
+        };
+        core.stats.requests.fetch_add(1, Ordering::Relaxed);
+        // Backpressure for reader-issued responses (errors, pongs): a peer
+        // that sends requests but never reads responses would otherwise
+        // grow the outbox unboundedly.  Admitted jobs are already bounded
+        // by the admission window.
+        let outbox_cap = core.cfg.per_conn_inflight + 64;
+        let issue = |resp: Response, conn: &Arc<ConnShared>, order: &mut u64| {
+            let mut st = conn.outbox.lock().unwrap();
+            while st.ready.len() >= outbox_cap && !st.dead {
+                st = conn.cv.wait(st).unwrap();
+            }
+            st.issued += 1;
+            drop(st);
+            conn.deliver(*order, resp);
+            *order += 1;
+        };
+        let req = match Request::decode(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                // The frame passed its CRC, so framing is intact and the
+                // stream can continue; only this message is refused.
+                issue(
+                    Response::Error {
+                        code: ErrorCode::BadRequest,
+                        message: e.to_string(),
+                    },
+                    &conn,
+                    &mut order,
+                );
+                continue;
+            }
+        };
+        match req {
+            Request::Ping => {
+                let seq = core.spatial.snapshot().seq();
+                issue(Response::Pong { seq }, &conn, &mut order);
+            }
+            Request::Shutdown => {
+                // Flip the stop flag BEFORE acknowledging: a client that
+                // received the ack must observe the server as stopped.
+                // The writer thread still flushes the ack — shutdown only
+                // closes the read halves.
+                core.begin_shutdown();
+                let seq = core.spatial.snapshot().seq();
+                issue(Response::Pong { seq }, &conn, &mut order);
+            }
+            req => {
+                if core.stop.load(Ordering::Acquire) {
+                    issue(
+                        Response::Error {
+                            code: ErrorCode::ShuttingDown,
+                            message: "server is draining".into(),
+                        },
+                        &conn,
+                        &mut order,
+                    );
+                } else if let Err(msg) = validate(&req) {
+                    issue(
+                        Response::Error {
+                            code: ErrorCode::BadRequest,
+                            message: msg,
+                        },
+                        &conn,
+                        &mut order,
+                    );
+                } else if !core.try_admit(&conn) {
+                    core.stats.shed.fetch_add(1, Ordering::Relaxed);
+                    issue(
+                        Response::Error {
+                            code: ErrorCode::Overload,
+                            message: "in-flight queue full".into(),
+                        },
+                        &conn,
+                        &mut order,
+                    );
+                } else {
+                    let mut st = conn.outbox.lock().unwrap();
+                    st.issued += 1;
+                    drop(st);
+                    let mut q = core.queue.lock().unwrap();
+                    q.push_back(Job {
+                        req,
+                        conn: Arc::clone(&conn),
+                        order,
+                    });
+                    drop(q);
+                    core.queue_cv.notify_one();
+                    order += 1;
+                }
+            }
+        }
+    }
+    // Drain contract: mark the outbox closed so the writer exits once
+    // every issued response has been flushed, then wait for it.
+    let mut st = conn.outbox.lock().unwrap();
+    st.closed = true;
+    drop(st);
+    conn.cv.notify_all();
+    let _ = writer.join();
+    core.conn_streams.lock().unwrap().remove(&id);
+}
+
+/// Writer half of one connection: emits responses strictly in request
+/// order, exits when the reader has closed and everything issued has been
+/// flushed (or the peer is gone).
+fn writer_loop(conn: &Arc<ConnShared>, mut stream: TcpStream) {
+    loop {
+        let resp = {
+            let mut st = conn.outbox.lock().unwrap();
+            loop {
+                let next = st.next_write;
+                if let Some(r) = st.ready.remove(&next) {
+                    st.next_write += 1;
+                    break r;
+                }
+                if st.dead || (st.closed && st.next_write >= st.issued) {
+                    return;
+                }
+                st = conn.cv.wait(st).unwrap();
+            }
+        };
+        // A pop freed outbox space; wake any reader blocked on the
+        // backpressure cap.
+        conn.cv.notify_all();
+        if wire::write_frame(&mut stream, &resp.encode()).is_err() {
+            // Peer disconnected mid-response; drop the rest.
+            let mut st = conn.outbox.lock().unwrap();
+            st.dead = true;
+            st.ready.clear();
+            drop(st);
+            conn.cv.notify_all();
+            return;
+        }
+    }
+}
+
+fn worker_loop(core: &Arc<Core>) {
+    loop {
+        let batch: Vec<Job> = {
+            let mut q = core.queue.lock().unwrap();
+            loop {
+                if !q.is_empty() {
+                    let n = q.len().min(core.cfg.batch_max);
+                    break q.drain(..n).collect();
+                }
+                if core.stop.load(Ordering::Acquire) {
+                    return;
+                }
+                let (guard, _) = core
+                    .queue_cv
+                    .wait_timeout(q, Duration::from_millis(50))
+                    .unwrap();
+                q = guard;
+            }
+        };
+        execute_batch(core, &batch);
+    }
+}
+
+/// Runs one micro-batch: one pinned snapshot, reads grouped per class
+/// through the snapshot's batch entry points, writes applied in queue
+/// order through the delta overlay.
+fn execute_batch(core: &Arc<Core>, jobs: &[Job]) {
+    core.stats.batches.fetch_add(1, Ordering::Relaxed);
+    core.stats
+        .batched
+        .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+    let snap = core.spatial.snapshot();
+    let seq = snap.seq();
+    let mut cx = QueryContext::new();
+    let mut responses: Vec<Option<Response>> = (0..jobs.len()).map(|_| None).collect();
+    let mut points: Vec<(usize, Point)> = Vec::new();
+    let mut windows: Vec<(usize, geom::Rect)> = Vec::new();
+    let mut knns: BTreeMap<u32, Vec<(usize, Point)>> = BTreeMap::new();
+    let mut ranges: BTreeMap<u64, Vec<(usize, Point)>> = BTreeMap::new();
+    for (i, job) in jobs.iter().enumerate() {
+        match &job.req {
+            Request::Point(p) => points.push((i, *p)),
+            Request::Window(w) => windows.push((i, *w)),
+            Request::Knn(p, k) => knns.entry(*k).or_default().push((i, *p)),
+            Request::Range(p, radius) => ranges.entry(radius.to_bits()).or_default().push((i, *p)),
+            Request::JoinProbes(probes, radius) => {
+                let mut pairs = Vec::new();
+                snap.distance_join_probes(probes, *radius, &mut cx, &mut |a, b| {
+                    pairs.push((*a, *b));
+                });
+                responses[i] = Some(Response::Pairs { seq, pairs });
+            }
+            Request::Insert(p) => {
+                let wseq = core.spatial.insert(*p);
+                responses[i] = Some(Response::Written {
+                    seq: wseq,
+                    removed: false,
+                });
+            }
+            Request::Delete(p) => {
+                let (removed, wseq) = core.spatial.delete(p);
+                responses[i] = Some(Response::Written { seq: wseq, removed });
+            }
+            // Handled inline by the reader; never enqueued.
+            Request::Ping | Request::Shutdown => {
+                responses[i] = Some(Response::Pong { seq });
+            }
+        }
+    }
+    let qs: Vec<Point> = points.iter().map(|(_, p)| *p).collect();
+    for ((i, _), hit) in points.iter().zip(snap.point_queries(&qs, &mut cx)) {
+        responses[*i] = Some(Response::Point { seq, hit });
+    }
+    let ws: Vec<geom::Rect> = windows.iter().map(|(_, w)| *w).collect();
+    for ((i, _), result) in windows.iter().zip(snap.window_queries(&ws, &mut cx)) {
+        responses[*i] = Some(Response::Points {
+            seq,
+            points: result,
+        });
+    }
+    for (k, group) in &knns {
+        let qs: Vec<Point> = group.iter().map(|(_, p)| *p).collect();
+        for ((i, _), result) in group
+            .iter()
+            .zip(snap.knn_queries(&qs, *k as usize, &mut cx))
+        {
+            responses[*i] = Some(Response::Knn {
+                seq,
+                points: result,
+            });
+        }
+    }
+    for (radius_bits, group) in &ranges {
+        let radius = f64::from_bits(*radius_bits);
+        let qs: Vec<Point> = group.iter().map(|(_, p)| *p).collect();
+        for ((i, _), result) in group.iter().zip(snap.range_queries(&qs, radius, &mut cx)) {
+            responses[*i] = Some(Response::Points {
+                seq,
+                points: result,
+            });
+        }
+    }
+    for (job, resp) in jobs.iter().zip(responses) {
+        let resp = resp.unwrap_or(Response::Error {
+            code: ErrorCode::BadRequest,
+            message: "request class not answerable".into(),
+        });
+        job.conn.deliver(job.order, resp);
+        core.release(&job.conn);
+    }
+}

@@ -1,0 +1,723 @@
+//! The wire protocol: length-prefixed binary frames carrying one request or
+//! one response each, little-endian throughout, CRC-protected.
+//!
+//! The encoding deliberately mirrors the `persist` snapshot format (same
+//! little-endian scalar layout, same length-prefix-then-validate discipline,
+//! same IEEE CRC via [`persist::crc32`]) so there is exactly one set of
+//! framing conventions in the codebase.  One frame looks like:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic, the bytes "RNET"
+//! 4       2     protocol version, u16 LE (currently 1)
+//! 6       4     payload length in bytes, u32 LE (<= MAX_FRAME_LEN)
+//! 10      len   payload (first payload byte is the message tag)
+//! 10+len  4     CRC32 (IEEE) of the payload bytes, u32 LE
+//! ```
+//!
+//! Decoding is defensive in the same way `persist::SnapshotReader` is: the
+//! length prefix is validated against [`MAX_FRAME_LEN`] **before** any
+//! allocation, element counts inside the payload are validated against the
+//! bytes actually present (`get_len`-style), and every malformed input maps
+//! to a typed [`NetError`] — never a panic, never an unbounded allocation.
+
+use crate::NetError;
+use geom::{Point, Rect};
+use std::io::{Read, Write};
+
+/// Magic bytes opening every frame in either direction.
+pub const MAGIC: [u8; 4] = *b"RNET";
+
+/// Wire protocol version; bumped on any incompatible layout change.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Upper bound on a frame payload.  A length prefix above this is rejected
+/// before any buffer is allocated, so a corrupt (or hostile) length field
+/// cannot OOM the server.
+pub const MAX_FRAME_LEN: u32 = 8 * 1024 * 1024;
+
+/// Frame header size: magic + version + payload length.
+pub const HEADER_LEN: usize = 4 + 2 + 4;
+
+// Request message tags (first payload byte).
+const TAG_POINT: u8 = 0x01;
+const TAG_WINDOW: u8 = 0x02;
+const TAG_KNN: u8 = 0x03;
+const TAG_RANGE: u8 = 0x04;
+const TAG_JOIN_PROBES: u8 = 0x05;
+const TAG_INSERT: u8 = 0x06;
+const TAG_DELETE: u8 = 0x07;
+const TAG_PING: u8 = 0x08;
+const TAG_SHUTDOWN: u8 = 0x09;
+
+// Response message tags.  The high bit distinguishes responses from
+// requests so a desynchronised peer fails fast with a Corrupt error.
+const TAG_RESP_POINT: u8 = 0x81;
+const TAG_RESP_POINTS: u8 = 0x82;
+const TAG_RESP_KNN: u8 = 0x83;
+const TAG_RESP_PAIRS: u8 = 0x84;
+const TAG_RESP_WRITTEN: u8 = 0x85;
+const TAG_RESP_PONG: u8 = 0x86;
+const TAG_RESP_ERROR: u8 = 0x87;
+
+/// Typed server-side refusal codes carried by an error response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Admission control shed the request (a bounded queue was full).
+    Overload,
+    /// The request decoded but was semantically invalid (e.g. a negative
+    /// or non-finite radius).
+    BadRequest,
+    /// The server is draining: in-flight requests finish, new ones are
+    /// refused.
+    ShuttingDown,
+}
+
+impl ErrorCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            ErrorCode::Overload => 1,
+            ErrorCode::BadRequest => 2,
+            ErrorCode::ShuttingDown => 3,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, NetError> {
+        match v {
+            1 => Ok(ErrorCode::Overload),
+            2 => Ok(ErrorCode::BadRequest),
+            3 => Ok(ErrorCode::ShuttingDown),
+            other => Err(NetError::Corrupt(format!(
+                "unknown error code {other:#04x}"
+            ))),
+        }
+    }
+}
+
+/// One client request: the five query classes plus the two delta-overlay
+/// writes and the two control messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Exact point lookup.
+    Point(Point),
+    /// Window (rectangle containment) query.
+    Window(Rect),
+    /// k-nearest-neighbour query.
+    Knn(Point, u32),
+    /// Distance-range query: all points within `radius` of the centre.
+    Range(Point, f64),
+    /// Distance-join probe batch: for every probe, all points within
+    /// `radius` of it, returned as (probe, match) pairs.
+    JoinProbes(Vec<Point>, f64),
+    /// Insert into the server's delta overlay.
+    Insert(Point),
+    /// Delete through the server's delta overlay.
+    Delete(Point),
+    /// Health check; the response carries the current write sequence.
+    Ping,
+    /// Ask the server to drain in-flight work and stop accepting new
+    /// requests.  Acknowledged with a pong before the drain begins.
+    Shutdown,
+}
+
+/// One server response.  Every data-bearing response carries the write
+/// sequence number ([`server::Snapshot::seq`]) its snapshot observed, which
+/// is what lets clients replay-verify networked answers against an oracle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Point-query answer.
+    Point {
+        /// Observed write sequence.
+        seq: u64,
+        /// The hit, if any.
+        hit: Option<Point>,
+    },
+    /// Window or distance-range result set.
+    Points {
+        /// Observed write sequence.
+        seq: u64,
+        /// Matching points (window: unspecified order; range: unspecified
+        /// order).
+        points: Vec<Point>,
+    },
+    /// kNN result, closest first (the order is part of the contract).
+    Knn {
+        /// Observed write sequence.
+        seq: u64,
+        /// The k nearest points, closest first, distance ties by id.
+        points: Vec<Point>,
+    },
+    /// Distance-join probe result.
+    Pairs {
+        /// Observed write sequence.
+        seq: u64,
+        /// (probe, match) pairs in probe order.
+        pairs: Vec<(Point, Point)>,
+    },
+    /// Acknowledgement of an insert or delete.
+    Written {
+        /// Sequence number assigned to the write.
+        seq: u64,
+        /// For deletes: whether the point existed.  Always `true` for
+        /// inserts.
+        removed: bool,
+    },
+    /// Ping/shutdown acknowledgement.
+    Pong {
+        /// Current write sequence at the server.
+        seq: u64,
+    },
+    /// Typed refusal; see [`ErrorCode`].
+    Error {
+        /// Why the request was refused.
+        code: ErrorCode,
+        /// Operator-facing detail.
+        message: String,
+    },
+}
+
+/// Little-endian payload writer, mirroring `persist::SnapshotWriter`'s
+/// scalar conventions.
+#[derive(Default)]
+struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_point(&mut self, p: &Point) {
+        self.put_f64(p.x);
+        self.put_f64(p.y);
+        self.put_u64(p.id);
+    }
+
+    fn put_rect(&mut self, r: &Rect) {
+        self.put_f64(r.min_x);
+        self.put_f64(r.min_y);
+        self.put_f64(r.max_x);
+        self.put_f64(r.max_y);
+    }
+
+    fn put_str(&mut self, s: &str) {
+        self.put_u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Bounds-checked payload reader, mirroring `persist::SnapshotReader`'s
+/// `take`/`get_len` discipline: every read is validated against the bytes
+/// actually present, and element counts are rejected when the claimed
+/// elements cannot fit in the remaining payload.
+struct WireReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], NetError> {
+        if self
+            .pos
+            .checked_add(n)
+            .is_none_or(|end| end > self.data.len())
+        {
+            return Err(NetError::Truncated);
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn get_u8(&mut self) -> Result<u8, NetError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn get_u32(&mut self) -> Result<u32, NetError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn get_u64(&mut self) -> Result<u64, NetError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn get_f64(&mut self) -> Result<f64, NetError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an element count and rejects it when `count * min_elem_bytes`
+    /// exceeds the bytes still present — a corrupt count cannot drive an
+    /// allocation larger than the payload that carried it.
+    fn get_len(&mut self, min_elem_bytes: usize) -> Result<usize, NetError> {
+        let n = self.get_u32()? as usize;
+        if n.checked_mul(min_elem_bytes.max(1))
+            .is_none_or(|bytes| bytes > self.remaining())
+        {
+            return Err(NetError::Corrupt(format!(
+                "element count {n} exceeds remaining payload ({} bytes)",
+                self.remaining()
+            )));
+        }
+        Ok(n)
+    }
+
+    fn get_point(&mut self) -> Result<Point, NetError> {
+        let x = self.get_f64()?;
+        let y = self.get_f64()?;
+        let id = self.get_u64()?;
+        Ok(Point::with_id(x, y, id))
+    }
+
+    fn get_rect(&mut self) -> Result<Rect, NetError> {
+        let min_x = self.get_f64()?;
+        let min_y = self.get_f64()?;
+        let max_x = self.get_f64()?;
+        let max_y = self.get_f64()?;
+        Ok(Rect {
+            min_x,
+            min_y,
+            max_x,
+            max_y,
+        })
+    }
+
+    fn get_str(&mut self) -> Result<String, NetError> {
+        let n = self.get_len(1)?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| NetError::Corrupt("error message is not UTF-8".into()))
+    }
+
+    /// Rejects trailing bytes — a well-formed payload is consumed exactly.
+    fn finish(self) -> Result<(), NetError> {
+        if self.remaining() != 0 {
+            return Err(NetError::Corrupt(format!(
+                "{} trailing bytes after message",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+const POINT_BYTES: usize = 24;
+
+impl Request {
+    /// Encodes the request into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::default();
+        match self {
+            Request::Point(p) => {
+                w.put_u8(TAG_POINT);
+                w.put_point(p);
+            }
+            Request::Window(r) => {
+                w.put_u8(TAG_WINDOW);
+                w.put_rect(r);
+            }
+            Request::Knn(p, k) => {
+                w.put_u8(TAG_KNN);
+                w.put_point(p);
+                w.put_u32(*k);
+            }
+            Request::Range(p, radius) => {
+                w.put_u8(TAG_RANGE);
+                w.put_point(p);
+                w.put_f64(*radius);
+            }
+            Request::JoinProbes(probes, radius) => {
+                w.put_u8(TAG_JOIN_PROBES);
+                w.put_f64(*radius);
+                w.put_u32(probes.len() as u32);
+                for p in probes {
+                    w.put_point(p);
+                }
+            }
+            Request::Insert(p) => {
+                w.put_u8(TAG_INSERT);
+                w.put_point(p);
+            }
+            Request::Delete(p) => {
+                w.put_u8(TAG_DELETE);
+                w.put_point(p);
+            }
+            Request::Ping => w.put_u8(TAG_PING),
+            Request::Shutdown => w.put_u8(TAG_SHUTDOWN),
+        }
+        w.buf
+    }
+
+    /// Decodes a frame payload into a request, consuming it exactly.
+    pub fn decode(payload: &[u8]) -> Result<Request, NetError> {
+        let mut r = WireReader::new(payload);
+        let req = match r.get_u8()? {
+            TAG_POINT => Request::Point(r.get_point()?),
+            TAG_WINDOW => Request::Window(r.get_rect()?),
+            TAG_KNN => {
+                let p = r.get_point()?;
+                let k = r.get_u32()?;
+                Request::Knn(p, k)
+            }
+            TAG_RANGE => {
+                let p = r.get_point()?;
+                let radius = r.get_f64()?;
+                Request::Range(p, radius)
+            }
+            TAG_JOIN_PROBES => {
+                let radius = r.get_f64()?;
+                let n = r.get_len(POINT_BYTES)?;
+                let mut probes = Vec::with_capacity(n);
+                for _ in 0..n {
+                    probes.push(r.get_point()?);
+                }
+                Request::JoinProbes(probes, radius)
+            }
+            TAG_INSERT => Request::Insert(r.get_point()?),
+            TAG_DELETE => Request::Delete(r.get_point()?),
+            TAG_PING => Request::Ping,
+            TAG_SHUTDOWN => Request::Shutdown,
+            other => {
+                return Err(NetError::Corrupt(format!(
+                    "unknown request tag {other:#04x}"
+                )))
+            }
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encodes the response into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::default();
+        match self {
+            Response::Point { seq, hit } => {
+                w.put_u8(TAG_RESP_POINT);
+                w.put_u64(*seq);
+                match hit {
+                    Some(p) => {
+                        w.put_u8(1);
+                        w.put_point(p);
+                    }
+                    None => w.put_u8(0),
+                }
+            }
+            Response::Points { seq, points } => {
+                w.put_u8(TAG_RESP_POINTS);
+                w.put_u64(*seq);
+                w.put_u32(points.len() as u32);
+                for p in points {
+                    w.put_point(p);
+                }
+            }
+            Response::Knn { seq, points } => {
+                w.put_u8(TAG_RESP_KNN);
+                w.put_u64(*seq);
+                w.put_u32(points.len() as u32);
+                for p in points {
+                    w.put_point(p);
+                }
+            }
+            Response::Pairs { seq, pairs } => {
+                w.put_u8(TAG_RESP_PAIRS);
+                w.put_u64(*seq);
+                w.put_u32(pairs.len() as u32);
+                for (a, b) in pairs {
+                    w.put_point(a);
+                    w.put_point(b);
+                }
+            }
+            Response::Written { seq, removed } => {
+                w.put_u8(TAG_RESP_WRITTEN);
+                w.put_u64(*seq);
+                w.put_u8(u8::from(*removed));
+            }
+            Response::Pong { seq } => {
+                w.put_u8(TAG_RESP_PONG);
+                w.put_u64(*seq);
+            }
+            Response::Error { code, message } => {
+                w.put_u8(TAG_RESP_ERROR);
+                w.put_u8(code.to_u8());
+                w.put_str(message);
+            }
+        }
+        w.buf
+    }
+
+    /// Decodes a frame payload into a response, consuming it exactly.
+    pub fn decode(payload: &[u8]) -> Result<Response, NetError> {
+        let mut r = WireReader::new(payload);
+        let resp = match r.get_u8()? {
+            TAG_RESP_POINT => {
+                let seq = r.get_u64()?;
+                let hit = match r.get_u8()? {
+                    0 => None,
+                    1 => Some(r.get_point()?),
+                    other => {
+                        return Err(NetError::Corrupt(format!(
+                            "bad option discriminant {other}"
+                        )))
+                    }
+                };
+                Response::Point { seq, hit }
+            }
+            TAG_RESP_POINTS => {
+                let seq = r.get_u64()?;
+                let n = r.get_len(POINT_BYTES)?;
+                let mut points = Vec::with_capacity(n);
+                for _ in 0..n {
+                    points.push(r.get_point()?);
+                }
+                Response::Points { seq, points }
+            }
+            TAG_RESP_KNN => {
+                let seq = r.get_u64()?;
+                let n = r.get_len(POINT_BYTES)?;
+                let mut points = Vec::with_capacity(n);
+                for _ in 0..n {
+                    points.push(r.get_point()?);
+                }
+                Response::Knn { seq, points }
+            }
+            TAG_RESP_PAIRS => {
+                let seq = r.get_u64()?;
+                let n = r.get_len(2 * POINT_BYTES)?;
+                let mut pairs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let a = r.get_point()?;
+                    let b = r.get_point()?;
+                    pairs.push((a, b));
+                }
+                Response::Pairs { seq, pairs }
+            }
+            TAG_RESP_WRITTEN => {
+                let seq = r.get_u64()?;
+                let removed = r.get_u8()? != 0;
+                Response::Written { seq, removed }
+            }
+            TAG_RESP_PONG => Response::Pong { seq: r.get_u64()? },
+            TAG_RESP_ERROR => {
+                let code = ErrorCode::from_u8(r.get_u8()?)?;
+                let message = r.get_str()?;
+                Response::Error { code, message }
+            }
+            other => {
+                return Err(NetError::Corrupt(format!(
+                    "unknown response tag {other:#04x}"
+                )))
+            }
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+}
+
+/// Encodes a payload into a complete frame (header + payload + CRC).
+///
+/// Panics if `payload` exceeds [`MAX_FRAME_LEN`]; all payloads produced by
+/// this module are far below the cap.
+pub fn frame_bytes(payload: &[u8]) -> Vec<u8> {
+    assert!(payload.len() <= MAX_FRAME_LEN as usize, "frame too large");
+    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len() + 4);
+    buf.extend_from_slice(&MAGIC);
+    buf.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(payload);
+    buf.extend_from_slice(&persist::crc32(payload).to_le_bytes());
+    buf
+}
+
+/// Writes one frame to `w`.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), NetError> {
+    w.write_all(&frame_bytes(payload)).map_err(NetError::Io)?;
+    w.flush().map_err(NetError::Io)
+}
+
+/// Reads exactly `buf.len()` bytes.  A clean EOF before the first byte
+/// returns `Ok(false)` when `at_start` is set; any other short read is
+/// [`NetError::Truncated`].
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8], at_start: bool) -> Result<bool, NetError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 && at_start {
+                    Ok(false)
+                } else {
+                    Err(NetError::Truncated)
+                }
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(NetError::Io(e)),
+        }
+    }
+    Ok(true)
+}
+
+/// Reads one frame and returns its CRC-verified payload, or `Ok(None)` on a
+/// clean EOF at a frame boundary (the peer closed the connection between
+/// messages).  Every malformed input maps to a typed [`NetError`]: wrong
+/// magic is [`NetError::BadMagic`], an unknown version is
+/// [`NetError::UnsupportedVersion`], a length prefix above
+/// [`MAX_FRAME_LEN`] is [`NetError::FrameTooLarge`] (rejected before
+/// allocation), a short read is [`NetError::Truncated`], and a CRC failure
+/// is [`NetError::ChecksumMismatch`].
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, NetError> {
+    let mut header = [0u8; HEADER_LEN];
+    if !read_exact_or_eof(r, &mut header, true)? {
+        return Ok(None);
+    }
+    if header[..4] != MAGIC {
+        return Err(NetError::BadMagic);
+    }
+    let version = u16::from_le_bytes(header[4..6].try_into().unwrap());
+    if version != PROTOCOL_VERSION {
+        return Err(NetError::UnsupportedVersion(version));
+    }
+    let len = u32::from_le_bytes(header[6..10].try_into().unwrap());
+    if len > MAX_FRAME_LEN {
+        return Err(NetError::FrameTooLarge(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    read_exact_or_eof(r, &mut payload, false)?;
+    let mut crc = [0u8; 4];
+    read_exact_or_eof(r, &mut crc, false)?;
+    if u32::from_le_bytes(crc) != persist::crc32(&payload) {
+        return Err(NetError::ChecksumMismatch);
+    }
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let payload = req.encode();
+        assert_eq!(Request::decode(&payload).unwrap(), req);
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let payload = resp.encode();
+        assert_eq!(Response::decode(&payload).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_request(Request::Point(Point::with_id(0.25, -1.5, 7)));
+        roundtrip_request(Request::Window(Rect::new(0.0, 0.0, 1.0, 1.0)));
+        roundtrip_request(Request::Knn(Point::with_id(0.5, 0.5, 0), 25));
+        roundtrip_request(Request::Range(Point::new(0.1, 0.9), 0.02));
+        roundtrip_request(Request::JoinProbes(
+            vec![Point::with_id(0.1, 0.2, 1), Point::with_id(0.3, 0.4, 2)],
+            0.05,
+        ));
+        roundtrip_request(Request::Insert(Point::with_id(0.7, 0.7, 99)));
+        roundtrip_request(Request::Delete(Point::with_id(0.7, 0.7, 99)));
+        roundtrip_request(Request::Ping);
+        roundtrip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_response(Response::Point {
+            seq: 42,
+            hit: Some(Point::with_id(1.0, 2.0, 3)),
+        });
+        roundtrip_response(Response::Point { seq: 0, hit: None });
+        roundtrip_response(Response::Points {
+            seq: 7,
+            points: vec![Point::with_id(0.0, 0.0, 1)],
+        });
+        roundtrip_response(Response::Knn {
+            seq: 7,
+            points: vec![Point::with_id(0.0, 0.0, 1), Point::with_id(1.0, 1.0, 2)],
+        });
+        roundtrip_response(Response::Pairs {
+            seq: 9,
+            pairs: vec![(Point::with_id(0.0, 0.0, 1), Point::with_id(0.1, 0.1, 2))],
+        });
+        roundtrip_response(Response::Written {
+            seq: 11,
+            removed: true,
+        });
+        roundtrip_response(Response::Pong { seq: 12 });
+        roundtrip_response(Response::Error {
+            code: ErrorCode::Overload,
+            message: "queue full".into(),
+        });
+    }
+
+    #[test]
+    fn frames_roundtrip_through_io() {
+        let payload = Request::Knn(Point::new(0.5, 0.5), 5).encode();
+        let frame = frame_bytes(&payload);
+        let mut cursor = std::io::Cursor::new(frame);
+        let back = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(back, payload);
+        // A second read sees a clean EOF at the frame boundary.
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn coordinates_survive_bit_exactly() {
+        // Byte-identical answers require bit-exact f64 transport, including
+        // awkward values.
+        for v in [0.1 + 0.2, f64::MIN_POSITIVE, -0.0, 1e300] {
+            let p = Point::with_id(v, -v, u64::MAX);
+            let payload = Request::Point(p).encode();
+            match Request::decode(&payload).unwrap() {
+                Request::Point(q) => {
+                    assert_eq!(q.x.to_bits(), p.x.to_bits());
+                    assert_eq!(q.y.to_bits(), p.y.to_bits());
+                    assert_eq!(q.id, p.id);
+                }
+                other => panic!("decoded {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut payload = Request::Ping.encode();
+        payload.push(0);
+        assert!(matches!(
+            Request::decode(&payload),
+            Err(NetError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn bogus_probe_count_is_rejected_without_allocation() {
+        // A JoinProbes payload claiming u32::MAX probes but carrying none.
+        let mut w = Vec::new();
+        w.push(TAG_JOIN_PROBES);
+        w.extend_from_slice(&0.05f64.to_le_bytes());
+        w.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(Request::decode(&w), Err(NetError::Corrupt(_))));
+    }
+}

@@ -751,6 +751,44 @@ impl Snapshot {
         });
         self.delta.visit_inserts(visit);
     }
+
+    // -----------------------------------------------------------------
+    // Micro-batch entry points.  The [`SpatialIndex`] batch defaults take
+    // one snapshot *per query*; these run a whole batch against this one
+    // pinned view, so every answer in the batch observes the same write
+    // prefix ([`Snapshot::seq`]) — which is what a network worker that
+    // coalesces concurrently-arriving requests needs to report a single
+    // sequence number per batch.
+    // -----------------------------------------------------------------
+
+    /// Answers every point query against this one view.
+    pub fn point_queries(&self, qs: &[Point], cx: &mut QueryContext) -> Vec<Option<Point>> {
+        qs.iter().map(|q| self.point_query(q, cx)).collect()
+    }
+
+    /// Answers every window query against this one view.
+    pub fn window_queries(&self, windows: &[Rect], cx: &mut QueryContext) -> Vec<Vec<Point>> {
+        windows.iter().map(|w| self.window_query(w, cx)).collect()
+    }
+
+    /// Answers every kNN query (same `k`) against this one view.
+    pub fn knn_queries(&self, qs: &[Point], k: usize, cx: &mut QueryContext) -> Vec<Vec<Point>> {
+        qs.iter().map(|q| self.knn_query(q, k, cx)).collect()
+    }
+
+    /// Answers every distance-range query (same `radius`) against this one
+    /// view.
+    pub fn range_queries(
+        &self,
+        centers: &[Point],
+        radius: f64,
+        cx: &mut QueryContext,
+    ) -> Vec<Vec<Point>> {
+        centers
+            .iter()
+            .map(|c| self.range_query(c, radius, cx))
+            .collect()
+    }
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,289 @@
+//! End-to-end exactness over the wire: a live networked server takes mixed
+//! reads and writes from several concurrent client connections, and every
+//! networked answer is replay-verified against the single-threaded
+//! [`ScanIndex`] oracle — the same verification the in-process serving gate
+//! uses (`bench::live::replay_against_oracle`), now crossing a real TCP
+//! socket and the request-coalescing worker pool.
+//!
+//! The mechanism carries over unchanged because every data-bearing response
+//! carries the write sequence its snapshot observed: replaying the write
+//! stream up to that sequence into the oracle reproduces exactly the state
+//! the networked query saw, no matter how connections, micro-batches, and
+//! worker threads interleaved.  Point/window/kNN answers go through the
+//! shared replay; distance-range and join-probe answers (which the
+//! in-process harness does not record) get their own seq-sorted replay
+//! below.
+
+use bench::live::{replay_against_oracle, split_stream, LiveAnswer, LiveObs};
+use common::brute_force::ScanIndex;
+use common::SpatialIndex;
+use datagen::queries::{
+    range_query_centers, read_write_workload, MixedQuery, WindowSpec, DEFAULT_RANGE_RADIUS,
+};
+use datagen::{generate, Distribution};
+use geom::Point;
+use net::{NetClient, NetConfig};
+use registry::{serve_index, IndexConfig, IndexKind, ServerConfig};
+use server::WriteOp;
+use std::sync::Arc;
+use std::time::Duration;
+
+const READERS: usize = 3;
+
+/// A recorded distance-range answer: ids sorted (visit order is
+/// unspecified).
+struct RangeObs {
+    seq: u64,
+    center: Point,
+    ids: Vec<u64>,
+}
+
+/// A recorded join-probe answer, reduced to sorted `(probe id, match id)`
+/// pairs.
+struct JoinObs {
+    seq: u64,
+    probes: Vec<Point>,
+    pairs: Vec<(u64, u64)>,
+}
+
+#[test]
+fn networked_answers_replay_verify_against_the_oracle() {
+    // An exact kind, so window and kNN answers are verifiable.
+    let kind = IndexKind::Grid;
+    assert!(kind.exact_windows() && kind.exact_knn());
+
+    let data = generate(Distribution::skewed_default(), 1_500, 41);
+    let ops = read_write_workload(&data, WindowSpec::default(), 5, 600, 0.2, 3);
+    let (reads, writes) = split_stream(&ops);
+    let centers = range_query_centers(&data, 40, 17);
+
+    // A small compaction threshold so the background compactor runs mid-test
+    // and the epoch swap is exercised under networked load.
+    let server = serve_index(
+        kind,
+        &data,
+        &IndexConfig::fast(),
+        ServerConfig::default().with_compact_threshold((writes.len() / 2).max(4)),
+    );
+    let handle = net::serve(Arc::new(server), "127.0.0.1:0", NetConfig::default()).unwrap();
+    let addr = handle.local_addr().to_string();
+
+    let mut observations: Vec<LiveObs> = Vec::new();
+    let mut range_obs: Vec<RangeObs> = Vec::new();
+    let mut join_obs: Vec<JoinObs> = Vec::new();
+
+    std::thread::scope(|scope| {
+        // One writer connection applies the write stream in order; the
+        // blocking client waits for each acknowledgement, so write k is
+        // assigned sequence k+1 and the oracle replay can reconstruct any
+        // observed prefix.
+        let addr_ref = &addr;
+        let writes_ref = &writes;
+        let writer = scope.spawn(move || {
+            let mut client = NetClient::connect(addr_ref).unwrap();
+            for w in writes_ref {
+                match w {
+                    WriteOp::Insert(p) => {
+                        client.insert(p).unwrap();
+                    }
+                    WriteOp::Delete(p) => {
+                        client.delete(p).unwrap();
+                    }
+                }
+                // Pace the writes so they span the read phase.
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        });
+
+        // Reader connections take strides of the mixed read stream.
+        let reads_ref = &reads;
+        let readers: Vec<_> = (0..READERS)
+            .map(|r| {
+                scope.spawn(move || {
+                    let mut client = NetClient::connect(addr_ref).unwrap();
+                    let mut out = Vec::new();
+                    for q in reads_ref.iter().skip(r).step_by(READERS) {
+                        let obs = match *q {
+                            MixedQuery::Point(p) => {
+                                let (seq, hit) = client.point(&p).unwrap();
+                                LiveObs {
+                                    seq,
+                                    query: *q,
+                                    answer: LiveAnswer::Point(hit.map(|x| x.id)),
+                                }
+                            }
+                            MixedQuery::Window(w) => {
+                                let (seq, pts) = client.window(&w).unwrap();
+                                let mut ids: Vec<u64> = pts.iter().map(|p| p.id).collect();
+                                ids.sort_unstable();
+                                LiveObs {
+                                    seq,
+                                    query: *q,
+                                    answer: LiveAnswer::Window(ids),
+                                }
+                            }
+                            MixedQuery::Knn(p, k) => {
+                                let (seq, pts) = client.knn(&p, k as u32).unwrap();
+                                LiveObs {
+                                    seq,
+                                    query: *q,
+                                    answer: LiveAnswer::Knn(pts.iter().map(|x| x.id).collect()),
+                                }
+                            }
+                        };
+                        out.push(obs);
+                    }
+                    out
+                })
+            })
+            .collect();
+
+        // A fourth reader covers the two classes the in-process harness
+        // does not record: distance-range and join-probe.
+        let centers_ref = &centers;
+        let range_join = scope.spawn(move || {
+            let mut client = NetClient::connect(addr_ref).unwrap();
+            let mut ranges = Vec::new();
+            let mut joins = Vec::new();
+            for (i, c) in centers_ref.iter().enumerate() {
+                let (seq, pts) = client.range(c, DEFAULT_RANGE_RADIUS).unwrap();
+                let mut ids: Vec<u64> = pts.iter().map(|p| p.id).collect();
+                ids.sort_unstable();
+                ranges.push(RangeObs {
+                    seq,
+                    center: *c,
+                    ids,
+                });
+                if i.is_multiple_of(4) {
+                    let probes: Vec<Point> = centers_ref.iter().skip(i).take(4).copied().collect();
+                    let (seq, pairs) = client.join_probes(&probes, DEFAULT_RANGE_RADIUS).unwrap();
+                    // The wire carries (match, probe) pairs; reduce to
+                    // sorted (probe id, match id) for the set comparison.
+                    let mut pairs: Vec<(u64, u64)> =
+                        pairs.iter().map(|(m, p)| (p.id, m.id)).collect();
+                    pairs.sort_unstable();
+                    joins.push(JoinObs { seq, probes, pairs });
+                }
+            }
+            (ranges, joins)
+        });
+
+        writer.join().unwrap();
+        for h in readers {
+            observations.extend(h.join().unwrap());
+        }
+        let (r, j) = range_join.join().unwrap();
+        range_obs = r;
+        join_obs = j;
+    });
+
+    handle.shutdown();
+    handle.join();
+
+    // Point/window/kNN: the shared oracle replay, unchanged from the
+    // in-process serving gate.
+    assert_eq!(observations.len(), reads.len());
+    let outcome = replay_against_oracle(&data, &writes, &mut observations, true, true);
+    assert_eq!(outcome.skipped, 0, "Grid answers every class exactly");
+    assert_eq!(outcome.checked, reads.len());
+    assert!(
+        outcome.verified(),
+        "networked answers diverged from the oracle: {:?}",
+        outcome.divergences
+    );
+
+    // Distance-range and join-probe: seq-sorted replay against the same
+    // oracle, boundary-inclusive on dist² ≤ radius².
+    let r_sq = DEFAULT_RANGE_RADIUS * DEFAULT_RANGE_RADIUS;
+    enum Rj<'a> {
+        Range(&'a RangeObs),
+        Join(&'a JoinObs),
+    }
+    let mut rj: Vec<Rj> = range_obs
+        .iter()
+        .map(Rj::Range)
+        .chain(join_obs.iter().map(Rj::Join))
+        .collect();
+    rj.sort_by_key(|o| match o {
+        Rj::Range(r) => r.seq,
+        Rj::Join(j) => j.seq,
+    });
+    let mut oracle = ScanIndex::new(data.clone());
+    let mut applied = 0usize;
+    let mut checked = 0usize;
+    for obs in rj {
+        let seq = match &obs {
+            Rj::Range(r) => r.seq,
+            Rj::Join(j) => j.seq,
+        };
+        while (applied as u64) < seq {
+            match writes[applied] {
+                WriteOp::Insert(p) => oracle.insert(p),
+                WriteOp::Delete(p) => {
+                    oracle.delete(&p);
+                }
+            }
+            applied += 1;
+        }
+        match obs {
+            Rj::Range(r) => {
+                let mut truth: Vec<u64> = oracle
+                    .points()
+                    .iter()
+                    .filter(|p| p.dist_sq(&r.center) <= r_sq)
+                    .map(|p| p.id)
+                    .collect();
+                truth.sort_unstable();
+                assert_eq!(r.ids, truth, "range answer at seq {seq} diverged");
+            }
+            Rj::Join(j) => {
+                let mut truth: Vec<(u64, u64)> = Vec::new();
+                for probe in &j.probes {
+                    for p in oracle.points() {
+                        if p.dist_sq(probe) <= r_sq {
+                            truth.push((probe.id, p.id));
+                        }
+                    }
+                }
+                truth.sort_unstable();
+                assert_eq!(j.pairs, truth, "join-probe answer at seq {seq} diverged");
+            }
+        }
+        checked += 1;
+    }
+    assert_eq!(checked, range_obs.len() + join_obs.len());
+    assert!(checked > 40, "range/join replay exercised too few answers");
+}
+
+#[test]
+fn warm_started_snapshot_serves_over_the_network() {
+    // Build → snapshot to disk → warm-start a server from the snapshot →
+    // serve it over the wire: the load-and-serve path and the network
+    // front-end compose.
+    let data = generate(Distribution::Uniform, 800, 23);
+    let index = registry::build_index(IndexKind::Grid, &data, &IndexConfig::fast());
+    let dir = std::env::temp_dir().join(format!("net-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("grid.snapshot");
+    registry::save_index(index.as_ref(), &path).unwrap();
+
+    let server = registry::serve_snapshot(&path, &IndexConfig::fast(), ServerConfig::default())
+        .expect("warm start from snapshot");
+    let handle = net::serve(Arc::new(server), "127.0.0.1:0", NetConfig::default()).unwrap();
+    let mut client = NetClient::connect(&handle.local_addr().to_string()).unwrap();
+
+    let q = data[123];
+    let (seq, hit) = client.point(&q).unwrap();
+    assert_eq!(seq, 0, "warm start begins at sequence zero");
+    assert_eq!(hit.map(|p| p.id), Some(q.id));
+
+    // Writes land in the warm-started server's delta overlay too.
+    let fresh = Point::with_id(0.5, 0.5, 1_000_000);
+    assert_eq!(client.insert(&fresh).unwrap(), 1);
+    let (_, hit) = client.point(&fresh).unwrap();
+    assert_eq!(hit.map(|p| p.id), Some(1_000_000));
+
+    handle.shutdown();
+    handle.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
