@@ -707,6 +707,10 @@ impl SpatialIndex for ZOrderModel {
         self.model_count
     }
 
+    fn model_error_bounds(&self) -> Option<(u64, u64)> {
+        Some(self.error_bounds_blocks())
+    }
+
     fn write_snapshot(&self, w: &mut SnapshotWriter) -> Result<(), PersistError> {
         w.begin_section(SECTION_ZM_META);
         w.put_usize(self.config.block_capacity);

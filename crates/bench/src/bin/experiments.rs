@@ -17,7 +17,7 @@
 //! where `<id>` is one of `table3`, `table4`, `fig6` … `fig19`,
 //! `ablation-rank`, `ablation-curve`, `ablation-grouping`, `sharded`,
 //! `range`, `join`, `snapshot`, `serve`, `serve-live`, `net-serve`,
-//! `net-load`, or `all`, and
+//! `net-load`, `net-stats`, or `all`, and
 //! `--only` restricts the cross-family figures to the named index families
 //! (parsed through the registry, e.g. `--only RSMI,HRR`).  A missing or
 //! unknown experiment id, and any flag with a missing, unparsable, or
@@ -68,6 +68,15 @@
 //! p50/p99 tail latency per class — the `BENCH_net.json` columns CI's
 //! perf-regression gate tracks.  `--shutdown-server` sends the graceful
 //! shutdown after the run so a scripted server process can be reaped.
+//! With `--verify-stats`, net-load additionally scrapes the server's live
+//! telemetry (the wire `STATS`/`EVENTS` requests) before, during, and
+//! after the run and reconciles the server's per-class request/shed
+//! counters against its own counts **exactly** — plus requires at least
+//! one background compaction (or epoch swap) in the event journal — and
+//! exits 1 on any drift.  `net-stats` is the standalone scraper: it
+//! connects to `--addr`, decodes one telemetry snapshot (counters,
+//! gauges, latency histograms, lifecycle events) and prints it as tables
+//! (or `--json`), optionally sending the graceful shutdown afterwards.
 //!
 //! `snapshot` and `serve` drive persistence end-to-end.  `snapshot` builds
 //! the index selected by `--kind` (default `sharded-hrr`), runs the query
@@ -120,7 +129,8 @@ usage: experiments <id> [flags]
 experiment ids:
   table3 table4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15
   fig16 fig17 fig18 fig19 ablation-rank ablation-curve ablation-grouping
-  sharded range join snapshot serve serve-live net-serve net-load all
+  sharded range join snapshot serve serve-live net-serve net-load
+  net-stats all
 
 flags:
   --scale S        multiply all data-set sizes by S (default 1.0)
@@ -150,8 +160,15 @@ flags:
                    (default: serve until a wire Shutdown request arrives)
   --rate R         net-load: additionally run an open-loop pass at R
                    requests/s per connection (default 0 = closed loop only)
-  --shutdown-server  net-load: send a graceful Shutdown to the server after
-                   the load run (lets CI reap the background process)";
+  --shutdown-server  net-load/net-stats: send a graceful Shutdown to the
+                   server after the run (lets CI reap the background
+                   process)
+  --verify-stats   net-load: scrape live telemetry before/during/after the
+                   run and require the server's per-class counters to
+                   reconcile exactly with the load generator (exit 1 on
+                   drift or if no compaction/epoch-swap event appears)
+  --compact-threshold N  net-serve: delta ops that trigger a background
+                   compaction (default 1024)";
 
 const KNOWN_EXPERIMENTS: &[&str] = &[
     "table3",
@@ -181,6 +198,7 @@ const KNOWN_EXPERIMENTS: &[&str] = &[
     "serve-live",
     "net-serve",
     "net-load",
+    "net-stats",
     "all",
 ];
 
@@ -212,6 +230,8 @@ struct Opts {
     duration: Option<f64>,
     rate: f64,
     shutdown_server: bool,
+    verify_stats: bool,
+    compact_threshold: Option<usize>,
 }
 
 impl Opts {
@@ -284,6 +304,8 @@ fn parse_args(args: &[String]) -> (String, Opts) {
         duration: None,
         rate: 0.0,
         shutdown_server: false,
+        verify_stats: false,
+        compact_threshold: None,
     };
     let mut it = args.iter().peekable();
     let Some(first) = it.next() else {
@@ -389,6 +411,14 @@ fn parse_args(args: &[String]) -> (String, Opts) {
                 }
             }
             "--shutdown-server" => opts.shutdown_server = true,
+            "--verify-stats" => opts.verify_stats = true,
+            "--compact-threshold" => {
+                let t: usize = flag_value(&mut it, "--compact-threshold");
+                if t == 0 {
+                    usage_error("--compact-threshold must be positive");
+                }
+                opts.compact_threshold = Some(t);
+            }
             other => usage_error(&format!("unknown argument: {other}")),
         }
     }
@@ -427,9 +457,9 @@ fn main() {
                 "snapshot" | "serve" => snapshot_kind(&opts).name().to_string(),
                 "serve-live" => serve_live_kind(&opts).name().to_string(),
                 "net-serve" => net_serve_kind(&opts).name().to_string(),
-                // net-load is a pure client; the served kind lives in the
-                // net-serve run's own summary.
-                "net-load" => "remote".to_string(),
+                // net-load/net-stats are pure clients; the served kind
+                // lives in the net-serve run's own summary.
+                "net-load" | "net-stats" => "remote".to_string(),
                 _ => "all".to_string(),
             });
     report.meta("kind", effective_kind);
@@ -500,6 +530,9 @@ fn main() {
     }
     if which == "net-load" {
         failed |= !net_load(&opts, &mut report);
+    }
+    if which == "net-stats" {
+        failed |= !net_stats(&opts, &mut report);
     }
     if run("ablation-rank") {
         ablation_rank(&opts, &mut report);
@@ -1630,7 +1663,10 @@ fn net_serve_kind(opts: &Opts) -> IndexKind {
 fn net_serve(opts: &Opts, report: &mut Report) -> bool {
     let kind = net_serve_kind(opts);
     let cfg = opts.harness();
-    let server_cfg = registry::ServerConfig::default();
+    let mut server_cfg = registry::ServerConfig::default();
+    if let Some(t) = opts.compact_threshold {
+        server_cfg = server_cfg.with_compact_threshold(t);
+    }
     let build_start = std::time::Instant::now();
     let server = match &opts.path {
         // Warm start: recover the points and the index from a versioned
@@ -1654,8 +1690,11 @@ fn net_serve(opts: &Opts, report: &mut Report) -> bool {
     let build_s = build_start.elapsed().as_secs_f64();
     let points_served = server.len();
 
+    // Keep a handle on the engine: its telemetry registry outlives the
+    // serve loop and backs the shutdown summary below.
+    let engine = std::sync::Arc::new(server);
     let handle = match net::serve(
-        std::sync::Arc::new(server),
+        std::sync::Arc::clone(&engine),
         &format!("127.0.0.1:{}", opts.port),
         net::NetConfig::default(),
     ) {
@@ -1688,6 +1727,60 @@ fn net_serve(opts: &Opts, report: &mut Report) -> bool {
     // Drain: in-flight responses flush, then every thread joins — a
     // leaked listener thread would hang the process right here.
     handle.join();
+
+    // Shutdown summary: the session's telemetry registry and event
+    // journal outlive the serve loop on the engine Arc, so the per-class
+    // totals here are final (every worker has delivered and counted).
+    let telemetry = engine.telemetry();
+    let metrics = telemetry.metrics.snapshot();
+    let events = telemetry.journal.snapshot();
+    let uptime_s = telemetry.journal.uptime_us() as f64 / 1e6;
+    let compactions = events
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, obs::EventKind::CompactionEnd { .. }))
+        .count();
+    let drained = events
+        .events
+        .iter()
+        .rev()
+        .find_map(|e| match e.kind {
+            obs::EventKind::Shutdown { drained, .. } => Some(drained),
+            _ => None,
+        })
+        .unwrap_or(0);
+    let mut total_completed = 0u64;
+    let mut total_shed = 0u64;
+    let class_rows: Vec<Vec<String>> = net::REQUEST_CLASSES
+        .iter()
+        .map(|class| {
+            let done = metrics
+                .counter(&format!("net.requests.{class}"))
+                .unwrap_or(0);
+            let shed = metrics.counter(&format!("net.shed.{class}")).unwrap_or(0);
+            total_completed += done;
+            total_shed += shed;
+            let lat = metrics.histogram(&format!("net.latency_us.{class}"));
+            vec![
+                class.to_string(),
+                done.to_string(),
+                shed.to_string(),
+                lat.map_or(0, |h| h.percentile(50.0)).to_string(),
+                lat.map_or(0, |h| h.percentile(99.0)).to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "netserve shutdown: uptime {uptime_s:.1}s, {total_completed} completed, \
+         {total_shed} shed, {drained} drained in flight, {compactions} compactions, \
+         {} journal events",
+        events.events.len()
+    );
+    report.table(
+        "Shutdown summary — per-class session telemetry",
+        &["class", "completed", "shed", "p50 (us)", "p99 (us)"],
+        class_rows,
+    );
 
     report.meta("port", opts.port);
     report.table(
@@ -1758,6 +1851,22 @@ fn net_load(opts: &Opts, report: &mut Report) -> bool {
     report.meta("rate", opts.rate);
     report.meta("write_ratio", opts.write_ratio);
     report.meta("queries_per_connection", opts.queries);
+    report.meta("verify_stats", opts.verify_stats);
+
+    // --verify-stats: a baseline scrape before any load, and a background
+    // scraper hammering STATS *during* the run (the scrape path bypasses
+    // admission control, so it must keep answering under full load).
+    let verifier = if opts.verify_stats {
+        match StatsVerifier::start(&opts.addr) {
+            Ok(v) => Some(v),
+            Err(e) => {
+                eprintln!("net-load: --verify-stats baseline scrape failed: {e}");
+                return false;
+            }
+        }
+    } else {
+        None
+    };
 
     let closed = match netload::run_closed_loop(&opts.addr, &streams) {
         Ok(o) => o,
@@ -1782,6 +1891,7 @@ fn net_load(opts: &Opts, report: &mut Report) -> bool {
         eprintln!("net-load: no request was answered (all shed or none sent)");
     }
 
+    let mut open_outcome = None;
     if opts.rate > 0.0 {
         let interval = std::time::Duration::from_secs_f64(1.0 / opts.rate);
         match netload::run_open_loop(&opts.addr, &streams, interval, 64) {
@@ -1797,12 +1907,21 @@ fn net_load(opts: &Opts, report: &mut Report) -> bool {
                     "open",
                     &open,
                 );
+                open_outcome = Some(open);
             }
             Err(e) => {
                 eprintln!("net-load: open loop failed: {e}");
                 ok = false;
             }
         }
+    }
+
+    if let Some(verifier) = verifier {
+        let mut outcomes: Vec<&netload::NetLoadOutcome> = vec![&closed];
+        if let Some(open) = &open_outcome {
+            outcomes.push(open);
+        }
+        ok &= verifier.finish(&outcomes, report);
     }
 
     if opts.shutdown_server {
@@ -1815,4 +1934,247 @@ fn net_load(opts: &Opts, report: &mut Report) -> bool {
         }
     }
     ok
+}
+
+/// Live-telemetry verification harness for `net-load --verify-stats`: a
+/// baseline STATS scrape before the load starts, a background thread
+/// scraping throughout the run (the scrape path bypasses admission
+/// control, so it must keep answering under full load, and counters must
+/// never go backwards), then a drain-side reconciliation of the server's
+/// per-class request/shed counters against the load generator's own
+/// counts — exact, or the run fails.
+struct StatsVerifier {
+    addr: String,
+    baseline: obs::MetricsSnapshot,
+    stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    scraper: std::thread::JoinHandle<Result<usize, String>>,
+}
+
+impl StatsVerifier {
+    fn start(addr: &str) -> Result<Self, String> {
+        let mut client = net::NetClient::connect_retry(addr, std::time::Duration::from_secs(10))
+            .map_err(|e| format!("connect {addr}: {e}"))?;
+        let (_, baseline) = client.stats().map_err(|e| format!("baseline STATS: {e}"))?;
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let scraper = {
+            let stop = std::sync::Arc::clone(&stop);
+            std::thread::spawn(move || -> Result<usize, String> {
+                let mut prev: std::collections::BTreeMap<String, u64> = Default::default();
+                let mut scrapes = 0usize;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let (_, snap) = client.stats().map_err(|e| format!("mid-run STATS: {e}"))?;
+                    for (name, v) in &snap.counters {
+                        if prev.get(name).is_some_and(|&old| *v < old) {
+                            return Err(format!(
+                                "counter {name} went backwards: {} -> {v}",
+                                prev[name]
+                            ));
+                        }
+                        prev.insert(name.clone(), *v);
+                    }
+                    scrapes += 1;
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                }
+                Ok(scrapes)
+            })
+        };
+        Ok(Self {
+            addr: addr.to_string(),
+            baseline,
+            stop,
+            scraper,
+        })
+    }
+
+    fn finish(self, outcomes: &[&bench::netload::NetLoadOutcome], report: &mut Report) -> bool {
+        self.stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let mut ok = true;
+        let mid_scrapes = match self
+            .scraper
+            .join()
+            .unwrap_or_else(|_| Err("scraper panicked".into()))
+        {
+            Ok(n) if n > 0 => n,
+            Ok(_) => {
+                eprintln!("net-load: the mid-run scraper never completed a scrape");
+                ok = false;
+                0
+            }
+            Err(e) => {
+                eprintln!("net-load: mid-run telemetry scraper failed: {e}");
+                ok = false;
+                0
+            }
+        };
+
+        let mut client =
+            match net::NetClient::connect_retry(&self.addr, std::time::Duration::from_secs(10)) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("net-load: drain-side connect {}: {e}", self.addr);
+                    return false;
+                }
+            };
+        let after = match client.stats() {
+            Ok((_, snap)) => snap,
+            Err(e) => {
+                eprintln!("net-load: drain-side STATS failed: {e}");
+                return false;
+            }
+        };
+        let (rows, discrepancies) =
+            bench::netload::reconcile_stats(&self.baseline, &after, outcomes);
+        report.table(
+            "Telemetry reconciliation — server counters vs load generator",
+            &bench::netload::RECONCILE_HEADER,
+            rows,
+        );
+        for d in &discrepancies {
+            eprintln!("net-load: telemetry drift: {d}");
+        }
+        ok &= discrepancies.is_empty();
+
+        // The run's writes must have driven background compaction; the
+        // final fold may still be in flight when the load ends, so poll
+        // the journal rather than sampling it once.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let mut saw_compaction = false;
+        loop {
+            match client.events(0) {
+                Ok((_, events)) => {
+                    saw_compaction = events.events.iter().any(|e| {
+                        matches!(
+                            e.kind,
+                            obs::EventKind::CompactionEnd { .. } | obs::EventKind::EpochSwap { .. }
+                        )
+                    });
+                }
+                Err(e) => {
+                    eprintln!("net-load: EVENTS scrape failed: {e}");
+                    ok = false;
+                    break;
+                }
+            }
+            if saw_compaction || std::time::Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(100));
+        }
+        if !saw_compaction {
+            eprintln!(
+                "net-load: no compaction/epoch-swap event in the journal after the run \
+                 (did the workload buffer enough writes for the server's compact threshold?)"
+            );
+            ok = false;
+        }
+        println!(
+            "telemetry verification: {mid_scrapes} mid-run scrapes, per-class counters {}, \
+             compaction event {}",
+            if discrepancies.is_empty() {
+                "reconciled exactly".to_string()
+            } else {
+                format!("{} DISCREPANCIES", discrepancies.len())
+            },
+            if saw_compaction { "present" } else { "MISSING" },
+        );
+        ok
+    }
+}
+
+/// `net-stats`: the standalone telemetry scraper — connects to a running
+/// net-serve, decodes one wire STATS snapshot plus the EVENTS journal,
+/// and prints them as tables (counters, gauges, latency distributions,
+/// lifecycle events).  With `--shutdown-server` it then asks the server
+/// to drain — the shape the CI observability gate uses to archive the
+/// final telemetry as `BENCH_obs.json` and reap the background process.
+fn net_stats(opts: &Opts, report: &mut Report) -> bool {
+    report.meta("addr", &opts.addr);
+    let mut client =
+        match net::NetClient::connect_retry(&opts.addr, std::time::Duration::from_secs(10)) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("net-stats: connect {}: {e}", opts.addr);
+                return false;
+            }
+        };
+    let (seq, metrics) = match client.stats() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("net-stats: STATS request failed: {e}");
+            return false;
+        }
+    };
+    let (_, events) = match client.events(0) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("net-stats: EVENTS request failed: {e}");
+            return false;
+        }
+    };
+    report.meta("seq", seq);
+
+    report.table(
+        "Telemetry — counters",
+        &["counter", "value"],
+        metrics
+            .counters
+            .iter()
+            .map(|(k, v)| vec![k.clone(), v.to_string()])
+            .collect(),
+    );
+    report.table(
+        "Telemetry — gauges",
+        &["gauge", "value"],
+        metrics
+            .gauges
+            .iter()
+            .map(|(k, v)| vec![k.clone(), v.to_string()])
+            .collect(),
+    );
+    report.table(
+        "Telemetry — distributions",
+        &["histogram", "count", "mean", "p50", "p99", "p999", "max"],
+        metrics
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                vec![
+                    k.clone(),
+                    h.count.to_string(),
+                    fmt(h.mean()),
+                    h.percentile(50.0).to_string(),
+                    h.percentile(99.0).to_string(),
+                    h.percentile(99.9).to_string(),
+                    if h.count == 0 { 0 } else { h.max }.to_string(),
+                ]
+            })
+            .collect(),
+    );
+    report.table(
+        &format!(
+            "Telemetry — lifecycle events ({} dropped from the bounded journal)",
+            events.dropped
+        ),
+        &["seq", "at (s)", "event", "details"],
+        events
+            .events
+            .iter()
+            .map(|e| {
+                vec![
+                    e.seq.to_string(),
+                    fmt(e.at_us as f64 / 1e6),
+                    e.kind.name().to_string(),
+                    e.kind.describe(),
+                ]
+            })
+            .collect(),
+    );
+
+    if opts.shutdown_server {
+        if let Err(e) = client.shutdown_server() {
+            eprintln!("net-stats: could not deliver the shutdown request: {e}");
+            return false;
+        }
+    }
+    true
 }

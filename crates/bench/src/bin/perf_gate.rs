@@ -118,6 +118,8 @@ fn main() {
         current.display(),
         baseline.display()
     );
+    // Per-metric actual deltas, worst regression first — the diagnostic a
+    // red (or almost-red) gate run is read by.
     for line in &cmp.lines {
         println!("{line}");
     }
@@ -130,6 +132,12 @@ fn main() {
         cmp.regressions.len(),
         cmp.missing.len()
     );
+    if let Some(worst) = cmp.worst() {
+        println!(
+            "worst mover: {} {:+.1}% ({:.3} -> {:.3}, allowed +{max_pct}%)",
+            worst.key, worst.delta_pct, worst.baseline, worst.current
+        );
+    }
     if !cmp.passed() {
         for r in &cmp.regressions {
             eprintln!("perf_gate: REGRESSION {r}");

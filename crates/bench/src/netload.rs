@@ -140,6 +140,10 @@ pub struct NetLoadOutcome {
     pub latencies: BTreeMap<&'static str, Vec<f64>>,
     /// Requests shed by the server's admission control.
     pub shed: usize,
+    /// Sheds per query class — the client-side mirror of the server's
+    /// `net.shed.<class>` counters, so a telemetry scrape can be
+    /// reconciled exactly.
+    pub shed_by_class: BTreeMap<&'static str, usize>,
     /// Requests answered successfully.
     pub ok: usize,
     /// Wall-clock time of the whole run.
@@ -151,8 +155,26 @@ impl NetLoadOutcome {
         for (class, mut v) in other.latencies {
             self.latencies.entry(class).or_default().append(&mut v);
         }
+        for (class, n) in other.shed_by_class {
+            *self.shed_by_class.entry(class).or_default() += n;
+        }
         self.shed += other.shed;
         self.ok += other.ok;
+    }
+
+    fn record_shed(&mut self, class: &'static str) {
+        self.shed += 1;
+        *self.shed_by_class.entry(class).or_default() += 1;
+    }
+
+    /// Successfully answered requests of one class.
+    pub fn ok_of(&self, class: &str) -> usize {
+        self.latencies.get(class).map_or(0, Vec::len)
+    }
+
+    /// Sheds of one class.
+    pub fn shed_of(&self, class: &str) -> usize {
+        self.shed_by_class.get(class).copied().unwrap_or(0)
     }
 
     /// Total requests that completed (answered or shed).
@@ -212,7 +234,7 @@ pub fn run_closed_loop(addr: &str, streams: &[Vec<NetOp>]) -> Result<NetLoadOutc
                                 out.latencies.entry(class).or_default().push(us);
                                 out.ok += 1;
                             }
-                            Err(NetError::Overload) => out.shed += 1,
+                            Err(NetError::Overload) => out.record_shed(class),
                             Err(e) => return Err(format!("{class} query failed: {e}")),
                         }
                     }
@@ -285,7 +307,7 @@ pub fn run_open_loop(
                             Response::Error {
                                 code: ErrorCode::Overload,
                                 ..
-                            } => out.shed += 1,
+                            } => out.record_shed(class),
                             Response::Error { code, message } => {
                                 return Err(format!("server refused ({code:?}): {message}"))
                             }
@@ -375,6 +397,67 @@ pub fn emit_summary_table(report: &mut Report, title: &str, mode: &str, outcome:
     );
 }
 
+/// Reconciles two server telemetry scrapes — taken before and after a load
+/// run — against what the load generator itself observed.  For every
+/// request class the delta of the server's `net.requests.<class>` counter
+/// must equal the client-side completed count **exactly**, and likewise
+/// `net.shed.<class>` against the client's typed-OVERLOAD count; the
+/// server counts responses it delivered and the closed-loop client counts
+/// responses it received, so any drift is a lost or double-counted
+/// request.  Returns the per-class reconciliation rows (for the report
+/// table) and a list of discrepancies (empty = exact match).
+pub fn reconcile_stats(
+    baseline: &obs::MetricsSnapshot,
+    after: &obs::MetricsSnapshot,
+    outcomes: &[&NetLoadOutcome],
+) -> (Vec<Vec<String>>, Vec<String>) {
+    let delta = |name: &str| -> u64 {
+        after
+            .counter(name)
+            .unwrap_or(0)
+            .saturating_sub(baseline.counter(name).unwrap_or(0))
+    };
+    let mut rows = Vec::new();
+    let mut discrepancies = Vec::new();
+    for class in net::REQUEST_CLASSES {
+        let client_ok: usize = outcomes.iter().map(|o| o.ok_of(class)).sum();
+        let client_shed: usize = outcomes.iter().map(|o| o.shed_of(class)).sum();
+        let server_ok = delta(&format!("net.requests.{class}"));
+        let server_shed = delta(&format!("net.shed.{class}"));
+        let matches = server_ok == client_ok as u64 && server_shed == client_shed as u64;
+        if server_ok != client_ok as u64 {
+            discrepancies.push(format!(
+                "{class}: client completed {client_ok} but server counted {server_ok}"
+            ));
+        }
+        if server_shed != client_shed as u64 {
+            discrepancies.push(format!(
+                "{class}: client saw {client_shed} sheds but server counted {server_shed}"
+            ));
+        }
+        rows.push(vec![
+            class.to_string(),
+            client_ok.to_string(),
+            server_ok.to_string(),
+            client_shed.to_string(),
+            server_shed.to_string(),
+            if matches { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    (rows, discrepancies)
+}
+
+/// Column headers for the [`reconcile_stats`] table.  Deliberately free of
+/// the word "time": reconciliation counts are not perf-gate metrics.
+pub const RECONCILE_HEADER: [&str; 6] = [
+    "class",
+    "client completed",
+    "server completed",
+    "client shed",
+    "server shed",
+    "exact match",
+];
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -422,5 +505,34 @@ mod tests {
                 assert!(p.id >= (1 << 33));
             }
         }
+    }
+
+    #[test]
+    fn reconciliation_is_exact_and_flags_drift() {
+        let registry = obs::MetricsRegistry::new();
+        let baseline = registry.snapshot();
+        registry.counter("net.requests.point").add(7);
+        registry.counter("net.requests.insert").add(2);
+        registry.counter("net.shed.window").add(1);
+        let after = registry.snapshot();
+
+        let mut out = NetLoadOutcome::default();
+        out.latencies.insert("point", vec![1.0; 7]);
+        out.latencies.insert("insert", vec![1.0; 2]);
+        out.record_shed("window");
+        out.ok = 9;
+
+        let (rows, bad) = reconcile_stats(&baseline, &after, &[&out]);
+        assert!(bad.is_empty(), "{bad:?}");
+        assert_eq!(rows.len(), net::REQUEST_CLASSES.len());
+        assert!(rows.iter().all(|r| r[5] == "yes"), "{rows:?}");
+
+        // A lost response shows up as a per-class discrepancy.
+        registry.counter("net.requests.point").inc();
+        let drifted = registry.snapshot();
+        let (rows, bad) = reconcile_stats(&baseline, &drifted, &[&out]);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].contains("point"), "{bad:?}");
+        assert!(rows.iter().any(|r| r[5] == "NO"));
     }
 }

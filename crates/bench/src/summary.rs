@@ -313,10 +313,46 @@ pub fn latency_metrics(doc: &Json) -> Result<Vec<Metric>, String> {
     Ok(out)
 }
 
+/// One compared metric with its actual baseline-vs-current numbers — the
+/// structured form behind the gate's per-metric output, so CI logs show
+/// *how far* every metric moved, not just pass/fail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delta {
+    /// The metric's comparison key (`table / label / column`).
+    pub key: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// Percentage change (`+` = slower); 0.0 when either side is below the
+    /// noise floor.
+    pub delta_pct: f64,
+    /// Whether the delta exceeded the gate tolerance.
+    pub regressed: bool,
+}
+
+impl Delta {
+    /// The one-line rendering CI logs show.
+    pub fn render(&self) -> String {
+        format!(
+            "{}: baseline {:.3}, current {:.3} ({:+.1}%) {}",
+            self.key,
+            self.baseline,
+            self.current,
+            self.delta_pct,
+            if self.regressed { "REGRESSED" } else { "ok" }
+        )
+    }
+}
+
 /// Outcome of comparing a current run against a baseline.
 #[derive(Debug, Default)]
 pub struct Comparison {
-    /// One formatted line per compared metric (baseline, current, delta).
+    /// Every compared metric with its actual values, sorted worst
+    /// regression first — the diagnostic CI prints.
+    pub deltas: Vec<Delta>,
+    /// One formatted line per compared metric (baseline, current, delta),
+    /// in the same worst-first order as [`Comparison::deltas`].
     pub lines: Vec<String>,
     /// Metrics that regressed beyond the tolerance.
     pub regressions: Vec<String>,
@@ -332,11 +368,19 @@ impl Comparison {
     pub fn passed(&self) -> bool {
         self.regressions.is_empty() && self.missing.is_empty()
     }
+
+    /// The single metric that moved the most toward slower, if any
+    /// compared metric moved at all — the headline CI prints.
+    pub fn worst(&self) -> Option<&Delta> {
+        self.deltas.first().filter(|d| d.delta_pct > 0.0)
+    }
 }
 
 /// Compares two metric sets: every baseline metric must exist in the
 /// current run and must not exceed `baseline * (1 + max_regression)`.
 /// Metrics only present in the current run (new kinds) pass silently.
+/// The returned deltas carry the actual values and are sorted worst
+/// regression first.
 pub fn compare(baseline: &[Metric], current: &[Metric], max_regression: f64) -> Comparison {
     let current_by_key: BTreeMap<String, f64> =
         current.iter().map(|m| (m.key(), m.value)).collect();
@@ -359,20 +403,30 @@ pub fn compare(baseline: &[Metric], current: &[Metric], max_regression: f64) -> 
             now / base.value
         };
         let delta_pct = (ratio - 1.0) * 100.0;
-        let verdict = if ratio > 1.0 + max_regression {
+        let regressed = ratio > 1.0 + max_regression;
+        if regressed {
             out.regressions.push(format!(
                 "{key}: {:.3} -> {now:.3} (+{delta_pct:.1}%)",
                 base.value
             ));
-            "REGRESSED"
-        } else {
-            "ok"
-        };
-        out.lines.push(format!(
-            "{key}: baseline {:.3}, current {now:.3} ({delta_pct:+.1}%) {verdict}",
-            base.value
-        ));
+        }
+        out.deltas.push(Delta {
+            key,
+            baseline: base.value,
+            current: now,
+            delta_pct,
+            regressed,
+        });
     }
+    // Worst first: the regression (or near-miss) CI should look at leads
+    // the log; ties and improvements follow in descending delta order.
+    out.deltas.sort_by(|a, b| {
+        b.delta_pct
+            .partial_cmp(&a.delta_pct)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.key.cmp(&b.key))
+    });
+    out.lines = out.deltas.iter().map(Delta::render).collect();
     out
 }
 
@@ -451,6 +505,41 @@ mod tests {
         // The reverse (new kinds in current) passes.
         let cmp = compare(&base[..1], &base, 0.25);
         assert!(cmp.passed());
+    }
+
+    #[test]
+    fn deltas_carry_actual_values_worst_first() {
+        let base = latency_metrics(&parse(&sample_summary(1.0)).unwrap()).unwrap();
+        // HRR slows to 1.6 (+60%), Grid speeds up 2.0 -> 1.0 (-50%).
+        let mut current = base.clone();
+        current[0].value = 1.6;
+        current[1].value = 1.0;
+        let cmp = compare(&base, &current, 0.25);
+        assert_eq!(cmp.deltas.len(), 2);
+        // Worst regression leads.
+        assert!(cmp.deltas[0].key.contains("HRR"));
+        assert_eq!(cmp.deltas[0].baseline, 1.0);
+        assert_eq!(cmp.deltas[0].current, 1.6);
+        assert!((cmp.deltas[0].delta_pct - 60.0).abs() < 1e-9);
+        assert!(cmp.deltas[0].regressed);
+        assert!(cmp.deltas[1].key.contains("Grid"));
+        assert!((cmp.deltas[1].delta_pct - -50.0).abs() < 1e-9);
+        assert!(!cmp.deltas[1].regressed);
+        // The headline is the worst mover; lines render in the same order.
+        assert_eq!(cmp.worst().unwrap().key, cmp.deltas[0].key);
+        assert!(cmp.lines[0].contains("+60.0%"), "{:?}", cmp.lines);
+        // An all-improvement run has no "worst regression" headline.
+        let better = compare(
+            &base,
+            &{
+                let mut c = base.clone();
+                c[0].value = 0.5;
+                c[1].value = 1.5;
+                c
+            },
+            0.25,
+        );
+        assert!(better.worst().is_none());
     }
 
     #[test]

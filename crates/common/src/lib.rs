@@ -267,6 +267,16 @@ pub trait SpatialIndex: Send + Sync {
         0
     }
 
+    /// Worst-case prediction error of the learned models as
+    /// `(max_below, max_above)` in the structure's native position unit
+    /// (blocks for block-directory models, positions for leaf models).
+    /// `None` for structures with no learned component — the telemetry
+    /// layer reports the bounds as live gauges so model drift under
+    /// updates is observable without an offline bench run.
+    fn model_error_bounds(&self) -> Option<(u64, u64)> {
+        None
+    }
+
     /// Serialises the index's complete state into a snapshot, so that a
     /// build can be persisted and served again after a restart without
     /// reconstruction (blocks, chain links, model weights, directory — the

@@ -1131,6 +1131,11 @@ impl SpatialIndex for Rsmi {
         self.model_count
     }
 
+    fn model_error_bounds(&self) -> Option<(u64, u64)> {
+        let stats = self.stats();
+        Some((stats.max_err_below, stats.max_err_above))
+    }
+
     fn write_snapshot(&self, w: &mut SnapshotWriter) -> Result<(), PersistError> {
         self.encode_snapshot(w);
         Ok(())
@@ -1253,6 +1258,10 @@ impl SpatialIndex for RsmiExact {
 
     fn model_count(&self) -> usize {
         SpatialIndex::model_count(&self.0)
+    }
+
+    fn model_error_bounds(&self) -> Option<(u64, u64)> {
+        SpatialIndex::model_error_bounds(&self.0)
     }
 
     fn write_snapshot(&self, w: &mut SnapshotWriter) -> Result<(), PersistError> {

@@ -468,6 +468,15 @@ impl SpatialIndex for ShardedIndex {
         self.shards.iter().map(|s| s.index.model_count()).sum()
     }
 
+    fn model_error_bounds(&self) -> Option<(u64, u64)> {
+        // Element-wise worst case across shards; None only when no shard
+        // has a learned component.
+        self.shards
+            .iter()
+            .filter_map(|s| s.index.model_error_bounds())
+            .reduce(|(b0, a0), (b1, a1)| (b0.max(b1), a0.max(a1)))
+    }
+
     fn write_snapshot(&self, w: &mut SnapshotWriter) -> Result<(), PersistError> {
         w.begin_section(SECTION_SHARDED_META);
         w.put_usize(self.threads);

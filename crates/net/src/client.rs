@@ -142,6 +142,26 @@ impl NetClient {
             other => Err(unexpected(&other)),
         }
     }
+
+    /// Scrapes the server's live metrics registry; returns the observed
+    /// write sequence and the decoded snapshot.  Answered inline (bypasses
+    /// admission control), so it works even against an overloaded or
+    /// draining server.
+    pub fn stats(&mut self) -> Result<(u64, obs::MetricsSnapshot), NetError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats { seq, metrics } => Ok((seq, metrics)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches journalled lifecycle events with sequence numbers greater
+    /// than `since` (0 = everything the bounded journal retains).
+    pub fn events(&mut self, since: u64) -> Result<(u64, obs::EventsSnapshot), NetError> {
+        match self.call(&Request::Events { since })? {
+            Response::Events { seq, events } => Ok((seq, events)),
+            other => Err(unexpected(&other)),
+        }
+    }
 }
 
 fn unexpected(resp: &Response) -> NetError {

@@ -51,7 +51,7 @@ pub mod server_loop;
 pub mod wire;
 
 pub use client::NetClient;
-pub use server_loop::{serve, NetConfig, NetHandle, NetStats};
+pub use server_loop::{serve, NetConfig, NetHandle, NetStats, REQUEST_CLASSES};
 pub use wire::{ErrorCode, Request, Response};
 
 /// Everything that can go wrong on the wire, mirroring the

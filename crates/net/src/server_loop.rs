@@ -28,13 +28,14 @@ use crate::wire::{self, ErrorCode, Request, Response};
 use crate::NetError;
 use common::QueryContext;
 use geom::Point;
+use obs::{Counter, EventKind, Gauge, Histogram, Telemetry};
 use server::SpatialServer;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Upper bound accepted for a kNN `k` — far above any workload in the
 /// paper (max 625), low enough that a hostile `k` cannot drive a
@@ -133,11 +134,107 @@ struct StatCounters {
     batched: AtomicU64,
 }
 
+/// The request classes tracked per-class by telemetry, in tag order.  The
+/// labels match the load generator's class names
+/// (`crates/bench/src/netload.rs`), so a scraped `net.requests.<class>`
+/// counter reconciles directly against client-side per-class counts.
+pub const REQUEST_CLASSES: [&str; 7] = [
+    "point",
+    "window",
+    "knn",
+    "range",
+    "join-probe",
+    "insert",
+    "delete",
+];
+
+/// Index into [`REQUEST_CLASSES`] for a queue-eligible request; `None` for
+/// the control messages the reader answers inline.
+fn class_index(req: &Request) -> Option<usize> {
+    match req {
+        Request::Point(_) => Some(0),
+        Request::Window(_) => Some(1),
+        Request::Knn(..) => Some(2),
+        Request::Range(..) => Some(3),
+        Request::JoinProbes(..) => Some(4),
+        Request::Insert(_) => Some(5),
+        Request::Delete(_) => Some(6),
+        Request::Ping | Request::Shutdown | Request::Stats | Request::Events { .. } => None,
+    }
+}
+
+/// Pre-registered telemetry handles for the serving hot paths.  Recording
+/// through these is a handful of relaxed atomic ops per request; nothing
+/// here takes a lock after registration, which is how the perf gate's p99
+/// holds with telemetry always-on.
+struct NetMetrics {
+    /// `net.requests.<class>`: responses delivered successfully, per class.
+    completed: [Counter; 7],
+    /// `net.shed.<class>`: requests refused by admission control, per class.
+    shed: [Counter; 7],
+    /// `net.latency_us.<class>`: decode-to-delivery latency, microseconds.
+    latency: [Histogram; 7],
+    /// `net.bad_request`: frames that decoded but failed validation (plus
+    /// undecodable payloads on an intact stream).
+    bad_request: Counter,
+    /// `net.queue_depth`: jobs waiting in the global batch queue.
+    queue_depth: Gauge,
+    /// `net.inflight`: admission tokens currently held.
+    inflight: Gauge,
+    /// `net.connections_open` / `net.connections_total`.
+    connections_open: Gauge,
+    connections_total: Counter,
+    /// `net.outbox_depth`: per-connection ready-response backlog, sampled
+    /// at every worker delivery.
+    outbox_depth: Histogram,
+    /// `query.*` / `engine.*`: per-query statistics aggregated from each
+    /// batch's [`QueryContext`] — shard fan-out and visit/prune counters.
+    blocks_touched: Counter,
+    nodes_visited: Counter,
+    candidates_scanned: Counter,
+    shards_visited: Counter,
+    shards_pruned: Counter,
+}
+
+impl NetMetrics {
+    fn register(t: &Telemetry) -> Self {
+        Self {
+            completed: std::array::from_fn(|i| {
+                t.metrics
+                    .counter(&format!("net.requests.{}", REQUEST_CLASSES[i]))
+            }),
+            shed: std::array::from_fn(|i| {
+                t.metrics
+                    .counter(&format!("net.shed.{}", REQUEST_CLASSES[i]))
+            }),
+            latency: std::array::from_fn(|i| {
+                t.metrics
+                    .histogram(&format!("net.latency_us.{}", REQUEST_CLASSES[i]))
+            }),
+            bad_request: t.metrics.counter("net.bad_request"),
+            queue_depth: t.metrics.gauge("net.queue_depth"),
+            inflight: t.metrics.gauge("net.inflight"),
+            connections_open: t.metrics.gauge("net.connections_open"),
+            connections_total: t.metrics.counter("net.connections_total"),
+            outbox_depth: t.metrics.histogram("net.outbox_depth"),
+            blocks_touched: t.metrics.counter("query.blocks_touched"),
+            nodes_visited: t.metrics.counter("query.nodes_visited"),
+            candidates_scanned: t.metrics.counter("query.candidates_scanned"),
+            shards_visited: t.metrics.counter("engine.shards_visited"),
+            shards_pruned: t.metrics.counter("engine.shards_pruned"),
+        }
+    }
+}
+
 /// One admitted request travelling from a reader to a worker.
 struct Job {
     req: Request,
     conn: Arc<ConnShared>,
     order: u64,
+    /// Decode time, for the delivered-latency histogram.
+    t0: Instant,
+    /// Index into [`REQUEST_CLASSES`].
+    class: usize,
 }
 
 /// Per-connection response routing: responses may be produced out of order
@@ -178,20 +275,24 @@ impl ConnShared {
 
     /// Queues `resp` as the response to order number `order` and wakes the
     /// writer.  Never blocks (workers must not stall on a slow peer): if
-    /// the writer is dead the response is dropped.
-    fn deliver(&self, order: u64, resp: Response) {
+    /// the writer is dead the response is dropped.  Returns the ready
+    /// backlog after the insert, for the outbox-depth telemetry.
+    fn deliver(&self, order: u64, resp: Response) -> usize {
         let mut st = self.outbox.lock().unwrap();
-        if !st.dead {
+        let depth = if !st.dead {
             st.ready.insert(order, resp);
+            st.ready.len()
         } else {
             // The writer is gone; advance its cursor so bookkeeping stays
             // consistent for the drain accounting.
             if order == st.next_write {
                 st.next_write += 1;
             }
-        }
+            0
+        };
         drop(st);
         self.cv.notify_all();
+        depth
     }
 }
 
@@ -212,6 +313,18 @@ struct Core {
     /// Reader thread handles, joined at shutdown (finished ones are swept
     /// opportunistically on accept).
     conn_threads: Mutex<Vec<JoinHandle<()>>>,
+    /// Shared telemetry sink (the spatial server's — one scrape covers
+    /// both layers).
+    telemetry: Arc<Telemetry>,
+    /// Pre-registered handles into `telemetry`.
+    metrics: NetMetrics,
+    /// Journal timestamp (µs) of the last `OverloadShed` event, for
+    /// rate-limiting: shed storms must not evict the compaction events a
+    /// bounded journal retains (the exact shed totals are in counters).
+    last_shed_event_us: AtomicU64,
+    /// In-flight requests observed at the moment shutdown began — the
+    /// "drained" count the shutdown summary reports.
+    drained_at_shutdown: AtomicU64,
 }
 
 impl Core {
@@ -231,6 +344,8 @@ impl Core {
             .is_ok();
         if !admitted {
             self.global_tokens.fetch_add(1, Ordering::AcqRel);
+        } else {
+            self.metrics.inflight.add(1);
         }
         admitted
     }
@@ -238,6 +353,27 @@ impl Core {
     fn release(&self, conn: &ConnShared) {
         conn.inflight.fetch_sub(1, Ordering::AcqRel);
         self.global_tokens.fetch_add(1, Ordering::AcqRel);
+        self.metrics.inflight.add(-1);
+    }
+
+    /// Counts one shed and journals an `OverloadShed` event, rate-limited
+    /// to one per second so a shed storm cannot evict rarer lifecycle
+    /// events from the bounded journal.
+    fn note_shed(&self, class: usize) {
+        self.stats.shed.fetch_add(1, Ordering::Relaxed);
+        self.metrics.shed[class].inc();
+        let now_us = self.telemetry.journal.uptime_us();
+        let last = self.last_shed_event_us.load(Ordering::Relaxed);
+        if now_us.saturating_sub(last) >= 1_000_000
+            && self
+                .last_shed_event_us
+                .compare_exchange(last, now_us, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        {
+            self.telemetry.journal.record(EventKind::OverloadShed {
+                shed_total: self.stats.shed.load(Ordering::Relaxed),
+            });
+        }
     }
 
     /// Sets the stop flag and unblocks everything that might be waiting on
@@ -247,6 +383,16 @@ impl Core {
         if self.stop.swap(true, Ordering::AcqRel) {
             return;
         }
+        let inflight = (self.cfg.global_inflight
+            - self
+                .global_tokens
+                .load(Ordering::Acquire)
+                .min(self.cfg.global_inflight)) as u64;
+        self.drained_at_shutdown.store(inflight, Ordering::Relaxed);
+        self.telemetry.journal.record(EventKind::Shutdown {
+            uptime_us: self.telemetry.journal.uptime_us(),
+            drained: inflight,
+        });
         for _ in 0..self.cfg.acceptors {
             // A throwaway connection unblocks one blocked accept(); the
             // acceptor sees the stop flag and exits.
@@ -355,6 +501,8 @@ pub fn serve(
 ) -> Result<NetHandle, NetError> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
+    let telemetry = Arc::clone(spatial.telemetry());
+    let metrics = NetMetrics::register(&telemetry);
     let core = Arc::new(Core {
         spatial,
         cfg: cfg.clone(),
@@ -367,6 +515,10 @@ pub fn serve(
         next_conn_id: AtomicU64::new(0),
         conn_streams: Mutex::new(HashMap::new()),
         conn_threads: Mutex::new(Vec::new()),
+        telemetry,
+        metrics,
+        last_shed_event_us: AtomicU64::new(0),
+        drained_at_shutdown: AtomicU64::new(0),
     });
     let acceptors = (0..cfg.acceptors)
         .map(|_| {
@@ -405,6 +557,7 @@ fn acceptor_loop(core: &Arc<Core>, listener: &TcpListener) {
             return;
         }
         core.stats.connections.fetch_add(1, Ordering::Relaxed);
+        core.metrics.connections_total.inc();
         let _ = stream.set_nodelay(true);
         // A peer that stops reading must not pin a writer thread forever
         // (it would stall the drain at shutdown); a stuck send errors out
@@ -458,6 +611,10 @@ fn validate(req: &Request) -> Result<(), String> {
 /// and finally joins the connection's writer thread.
 fn connection_loop(core: &Arc<Core>, id: u64, mut stream: TcpStream, write_half: TcpStream) {
     let conn = Arc::new(ConnShared::new());
+    core.metrics.connections_open.add(1);
+    core.telemetry
+        .journal
+        .record(EventKind::ConnOpen { conn: id });
     let writer = {
         let conn = Arc::clone(&conn);
         std::thread::spawn(move || writer_loop(&conn, write_half))
@@ -474,6 +631,7 @@ fn connection_loop(core: &Arc<Core>, id: u64, mut stream: TcpStream, write_half:
             // connection.  In-flight responses still flush below.
             Err(_) => break,
         };
+        let t0 = Instant::now();
         core.stats.requests.fetch_add(1, Ordering::Relaxed);
         // Backpressure for reader-issued responses (errors, pongs): a peer
         // that sends requests but never reads responses would otherwise
@@ -495,6 +653,7 @@ fn connection_loop(core: &Arc<Core>, id: u64, mut stream: TcpStream, write_half:
             Err(e) => {
                 // The frame passed its CRC, so framing is intact and the
                 // stream can continue; only this message is refused.
+                core.metrics.bad_request.inc();
                 issue(
                     Response::Error {
                         code: ErrorCode::BadRequest,
@@ -510,6 +669,31 @@ fn connection_loop(core: &Arc<Core>, id: u64, mut stream: TcpStream, write_half:
             Request::Ping => {
                 let seq = core.spatial.snapshot().seq();
                 issue(Response::Pong { seq }, &conn, &mut order);
+            }
+            // Telemetry scrapes are answered inline like Ping and bypass
+            // admission control: an overloaded (or draining) server must
+            // still be observable — that is the point of the telemetry.
+            Request::Stats => {
+                let seq = core.spatial.snapshot().seq();
+                issue(
+                    Response::Stats {
+                        seq,
+                        metrics: core.telemetry.metrics.snapshot(),
+                    },
+                    &conn,
+                    &mut order,
+                );
+            }
+            Request::Events { since } => {
+                let seq = core.spatial.snapshot().seq();
+                issue(
+                    Response::Events {
+                        seq,
+                        events: core.telemetry.journal.since(since),
+                    },
+                    &conn,
+                    &mut order,
+                );
             }
             Request::Shutdown => {
                 // Flip the stop flag BEFORE acknowledging: a client that
@@ -531,6 +715,7 @@ fn connection_loop(core: &Arc<Core>, id: u64, mut stream: TcpStream, write_half:
                         &mut order,
                     );
                 } else if let Err(msg) = validate(&req) {
+                    core.metrics.bad_request.inc();
                     issue(
                         Response::Error {
                             code: ErrorCode::BadRequest,
@@ -540,7 +725,8 @@ fn connection_loop(core: &Arc<Core>, id: u64, mut stream: TcpStream, write_half:
                         &mut order,
                     );
                 } else if !core.try_admit(&conn) {
-                    core.stats.shed.fetch_add(1, Ordering::Relaxed);
+                    let class = class_index(&req).expect("queue-eligible request");
+                    core.note_shed(class);
                     issue(
                         Response::Error {
                             code: ErrorCode::Overload,
@@ -550,6 +736,7 @@ fn connection_loop(core: &Arc<Core>, id: u64, mut stream: TcpStream, write_half:
                         &mut order,
                     );
                 } else {
+                    let class = class_index(&req).expect("queue-eligible request");
                     let mut st = conn.outbox.lock().unwrap();
                     st.issued += 1;
                     drop(st);
@@ -558,7 +745,10 @@ fn connection_loop(core: &Arc<Core>, id: u64, mut stream: TcpStream, write_half:
                         req,
                         conn: Arc::clone(&conn),
                         order,
+                        t0,
+                        class,
                     });
+                    core.metrics.queue_depth.set(q.len() as i64);
                     drop(q);
                     core.queue_cv.notify_one();
                     order += 1;
@@ -574,6 +764,10 @@ fn connection_loop(core: &Arc<Core>, id: u64, mut stream: TcpStream, write_half:
     conn.cv.notify_all();
     let _ = writer.join();
     core.conn_streams.lock().unwrap().remove(&id);
+    core.metrics.connections_open.add(-1);
+    core.telemetry
+        .journal
+        .record(EventKind::ConnClose { conn: id });
 }
 
 /// Writer half of one connection: emits responses strictly in request
@@ -617,7 +811,9 @@ fn worker_loop(core: &Arc<Core>) {
             loop {
                 if !q.is_empty() {
                     let n = q.len().min(core.cfg.batch_max);
-                    break q.drain(..n).collect();
+                    let batch: Vec<Job> = q.drain(..n).collect();
+                    core.metrics.queue_depth.set(q.len() as i64);
+                    break batch;
                 }
                 if core.stop.load(Ordering::Acquire) {
                     return;
@@ -677,6 +873,12 @@ fn execute_batch(core: &Arc<Core>, jobs: &[Job]) {
             Request::Ping | Request::Shutdown => {
                 responses[i] = Some(Response::Pong { seq });
             }
+            Request::Stats | Request::Events { .. } => {
+                responses[i] = Some(Response::Error {
+                    code: ErrorCode::BadRequest,
+                    message: "telemetry requests are answered inline".into(),
+                });
+            }
         }
     }
     let qs: Vec<Point> = points.iter().map(|(_, p)| *p).collect();
@@ -712,12 +914,28 @@ fn execute_batch(core: &Arc<Core>, jobs: &[Job]) {
             });
         }
     }
+    // Aggregate the batch's per-query statistics into the live counters:
+    // block/node/candidate work from every index layer, shard fan-out and
+    // pruning from the engine's sharded executor.
+    let qstats = cx.take_stats();
+    core.metrics.blocks_touched.add(qstats.blocks_touched);
+    core.metrics.nodes_visited.add(qstats.nodes_visited);
+    core.metrics
+        .candidates_scanned
+        .add(qstats.candidates_scanned);
+    core.metrics.shards_visited.add(qstats.shards_visited);
+    core.metrics.shards_pruned.add(qstats.shards_pruned);
     for (job, resp) in jobs.iter().zip(responses) {
         let resp = resp.unwrap_or(Response::Error {
             code: ErrorCode::BadRequest,
             message: "request class not answerable".into(),
         });
-        job.conn.deliver(job.order, resp);
+        // Count before delivering: a closed-loop client that sees this
+        // response and immediately scrapes STATS must find it reflected.
+        core.metrics.completed[job.class].inc();
+        core.metrics.latency[job.class].record(job.t0.elapsed().as_micros() as u64);
+        let depth = job.conn.deliver(job.order, resp);
+        core.metrics.outbox_depth.record(depth as u64);
         core.release(&job.conn);
     }
 }

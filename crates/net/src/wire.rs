@@ -9,7 +9,7 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic, the bytes "RNET"
-//! 4       2     protocol version, u16 LE (currently 1)
+//! 4       2     protocol version, u16 LE (currently 2)
 //! 6       4     payload length in bytes, u32 LE (<= MAX_FRAME_LEN)
 //! 10      len   payload (first payload byte is the message tag)
 //! 10+len  4     CRC32 (IEEE) of the payload bytes, u32 LE
@@ -29,7 +29,13 @@ use std::io::{Read, Write};
 pub const MAGIC: [u8; 4] = *b"RNET";
 
 /// Wire protocol version; bumped on any incompatible layout change.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// Version 2 added the `STATS`/`EVENTS` telemetry tags; every version-1
+/// tag is unchanged, so version-1 frames are still accepted (see
+/// [`MIN_PROTOCOL_VERSION`]).
+pub const PROTOCOL_VERSION: u16 = 2;
+
+/// Oldest protocol version [`read_frame`] still accepts.
+pub const MIN_PROTOCOL_VERSION: u16 = 1;
 
 /// Upper bound on a frame payload.  A length prefix above this is rejected
 /// before any buffer is allocated, so a corrupt (or hostile) length field
@@ -49,6 +55,9 @@ const TAG_INSERT: u8 = 0x06;
 const TAG_DELETE: u8 = 0x07;
 const TAG_PING: u8 = 0x08;
 const TAG_SHUTDOWN: u8 = 0x09;
+// Protocol version 2: live telemetry scrapes.
+const TAG_STATS: u8 = 0x0A;
+const TAG_EVENTS: u8 = 0x0B;
 
 // Response message tags.  The high bit distinguishes responses from
 // requests so a desynchronised peer fails fast with a Corrupt error.
@@ -59,6 +68,9 @@ const TAG_RESP_PAIRS: u8 = 0x84;
 const TAG_RESP_WRITTEN: u8 = 0x85;
 const TAG_RESP_PONG: u8 = 0x86;
 const TAG_RESP_ERROR: u8 = 0x87;
+// Protocol version 2: live telemetry scrapes.
+const TAG_RESP_STATS: u8 = 0x88;
+const TAG_RESP_EVENTS: u8 = 0x89;
 
 /// Typed server-side refusal codes carried by an error response.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -118,6 +130,16 @@ pub enum Request {
     /// Ask the server to drain in-flight work and stop accepting new
     /// requests.  Acknowledged with a pong before the drain begins.
     Shutdown,
+    /// Scrape the server's live metrics registry (protocol version 2).
+    /// Answered inline like `Ping` — telemetry reads bypass admission
+    /// control so an overloaded server can still be observed.
+    Stats,
+    /// Fetch journalled lifecycle events with sequence numbers greater
+    /// than `since` (0 = everything retained; protocol version 2).
+    Events {
+        /// Last event sequence number the client has already seen.
+        since: u64,
+    },
 }
 
 /// One server response.  Every data-bearing response carries the write
@@ -174,6 +196,28 @@ pub enum Response {
         /// Operator-facing detail.
         message: String,
     },
+    /// Live metrics snapshot (protocol version 2).
+    Stats {
+        /// Current write sequence at the server.
+        seq: u64,
+        /// Every registered counter, gauge, and histogram.
+        metrics: obs::MetricsSnapshot,
+    },
+    /// Journalled lifecycle events (protocol version 2).
+    Events {
+        /// Current write sequence at the server.
+        seq: u64,
+        /// The retained events (filtered by the request's `since`).
+        events: obs::EventsSnapshot,
+    },
+}
+
+/// Maps a telemetry-codec failure onto the wire error taxonomy.
+fn obs_err(e: obs::ObsError) -> NetError {
+    match e {
+        obs::ObsError::Truncated => NetError::Truncated,
+        other => NetError::Corrupt(format!("telemetry payload: {other}")),
+    }
 }
 
 /// Little-endian payload writer, mirroring `persist::SnapshotWriter`'s
@@ -364,6 +408,11 @@ impl Request {
             }
             Request::Ping => w.put_u8(TAG_PING),
             Request::Shutdown => w.put_u8(TAG_SHUTDOWN),
+            Request::Stats => w.put_u8(TAG_STATS),
+            Request::Events { since } => {
+                w.put_u8(TAG_EVENTS);
+                w.put_u64(*since);
+            }
         }
         w.buf
     }
@@ -397,6 +446,10 @@ impl Request {
             TAG_DELETE => Request::Delete(r.get_point()?),
             TAG_PING => Request::Ping,
             TAG_SHUTDOWN => Request::Shutdown,
+            TAG_STATS => Request::Stats,
+            TAG_EVENTS => Request::Events {
+                since: r.get_u64()?,
+            },
             other => {
                 return Err(NetError::Corrupt(format!(
                     "unknown request tag {other:#04x}"
@@ -463,6 +516,20 @@ impl Response {
                 w.put_u8(code.to_u8());
                 w.put_str(message);
             }
+            Response::Stats { seq, metrics } => {
+                w.put_u8(TAG_RESP_STATS);
+                w.put_u64(*seq);
+                let inner = metrics.encode();
+                w.put_u32(inner.len() as u32);
+                w.buf.extend_from_slice(&inner);
+            }
+            Response::Events { seq, events } => {
+                w.put_u8(TAG_RESP_EVENTS);
+                w.put_u64(*seq);
+                let inner = events.encode();
+                w.put_u32(inner.len() as u32);
+                w.buf.extend_from_slice(&inner);
+            }
         }
         w.buf
     }
@@ -523,6 +590,18 @@ impl Response {
                 let code = ErrorCode::from_u8(r.get_u8()?)?;
                 let message = r.get_str()?;
                 Response::Error { code, message }
+            }
+            TAG_RESP_STATS => {
+                let seq = r.get_u64()?;
+                let n = r.get_len(1)?;
+                let metrics = obs::MetricsSnapshot::decode(r.take(n)?).map_err(obs_err)?;
+                Response::Stats { seq, metrics }
+            }
+            TAG_RESP_EVENTS => {
+                let seq = r.get_u64()?;
+                let n = r.get_len(1)?;
+                let events = obs::EventsSnapshot::decode(r.take(n)?).map_err(obs_err)?;
+                Response::Events { seq, events }
             }
             other => {
                 return Err(NetError::Corrupt(format!(
@@ -595,7 +674,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, NetError> {
         return Err(NetError::BadMagic);
     }
     let version = u16::from_le_bytes(header[4..6].try_into().unwrap());
-    if version != PROTOCOL_VERSION {
+    if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) {
         return Err(NetError::UnsupportedVersion(version));
     }
     let len = u32::from_le_bytes(header[6..10].try_into().unwrap());
@@ -640,6 +719,8 @@ mod tests {
         roundtrip_request(Request::Delete(Point::with_id(0.7, 0.7, 99)));
         roundtrip_request(Request::Ping);
         roundtrip_request(Request::Shutdown);
+        roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Events { since: 42 });
     }
 
     #[test]
@@ -670,6 +751,27 @@ mod tests {
             code: ErrorCode::Overload,
             message: "queue full".into(),
         });
+        let t = obs::Telemetry::new();
+        t.metrics.counter("net.requests.point").add(5);
+        t.metrics.histogram("net.latency_us.knn").record(120);
+        t.journal.record(obs::EventKind::ServerStart { points: 9 });
+        roundtrip_response(Response::Stats {
+            seq: 13,
+            metrics: t.metrics.snapshot(),
+        });
+        roundtrip_response(Response::Events {
+            seq: 14,
+            events: t.journal.snapshot(),
+        });
+    }
+
+    #[test]
+    fn version_one_frames_are_still_accepted() {
+        let payload = Request::Ping.encode();
+        let mut frame = frame_bytes(&payload);
+        frame[4..6].copy_from_slice(&1u16.to_le_bytes());
+        let mut cursor = std::io::Cursor::new(frame);
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), payload);
     }
 
     #[test]

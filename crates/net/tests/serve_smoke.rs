@@ -161,6 +161,61 @@ fn garbage_and_disconnects_do_not_take_the_server_down() {
 }
 
 #[test]
+fn live_stats_and_events_reconcile_with_traffic() {
+    let points = test_points(300);
+    let (_engine, handle) = spawn_server(points.clone(), NetConfig::default());
+    let addr = handle.local_addr().to_string();
+    let mut client = NetClient::connect(&addr).unwrap();
+
+    // Generate a known mix of traffic: 5 points, 2 windows, 1 knn, 3 inserts.
+    for i in 0..5 {
+        client.point(&points[i * 7]).unwrap();
+    }
+    for _ in 0..2 {
+        client.window(&Rect::new(0.1, 0.1, 0.4, 0.4)).unwrap();
+    }
+    client.knn(&points[9], 3).unwrap();
+    for i in 0..3 {
+        client
+            .insert(&Point::with_id(0.01 * i as f64, 0.02, 8_000_000 + i as u64))
+            .unwrap();
+    }
+
+    // The scrape itself bypasses admission control and reflects every
+    // request already delivered (the client is closed-loop, so all prior
+    // responses have arrived by the time Stats is sent).
+    let (seq, metrics) = client.stats().unwrap();
+    assert_eq!(seq, 3, "three writes were applied");
+    assert_eq!(metrics.counter("net.requests.point"), Some(5));
+    assert_eq!(metrics.counter("net.requests.window"), Some(2));
+    assert_eq!(metrics.counter("net.requests.knn"), Some(1));
+    assert_eq!(metrics.counter("net.requests.insert"), Some(3));
+    // All classes are pre-registered so scrapers see a stable name set.
+    assert_eq!(metrics.counter("net.requests.delete"), Some(0));
+    assert_eq!(metrics.gauge("server.delta_ops"), Some(3));
+    assert_eq!(metrics.gauge("server.seq"), Some(3));
+    assert_eq!(metrics.gauge("net.connections_open"), Some(1));
+    let lat = metrics
+        .histogram("net.latency_us.point")
+        .expect("point latency histogram present");
+    assert_eq!(lat.count, 5);
+
+    // The journal holds the lifecycle trace: a server-start and this
+    // connection's open event.
+    let (_, events) = client.events(0).unwrap();
+    let names: Vec<&str> = events.events.iter().map(|e| e.kind.name()).collect();
+    assert!(names.contains(&"server-start"), "events: {names:?}");
+    assert!(names.contains(&"conn-open"), "events: {names:?}");
+    // Seqs are strictly ascending, and `since` filters.
+    let last = events.events.last().unwrap().seq;
+    let (_, tail) = client.events(last).unwrap();
+    assert!(tail.events.iter().all(|e| e.seq > last));
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
 fn concurrent_clients_coalesce_into_micro_batches() {
     let points = test_points(2000);
     let cfg = NetConfig::default().with_workers(2).with_batch_max(16);

@@ -1,0 +1,564 @@
+//! Versioned binary codec for telemetry snapshots.
+//!
+//! The layout mirrors the defensive conventions of the `net` wire module:
+//! little-endian fixed-width integers, length-prefixed strings, and element
+//! counts validated against the bytes actually present *before* any
+//! allocation, so a hostile length field can never trigger a huge reserve.
+
+use crate::journal::{Event, EventKind, EventsSnapshot};
+use crate::metrics::{HistogramSnapshot, MetricsSnapshot, HIST_BUCKETS};
+
+/// Version stamp leading every encoded snapshot payload.
+pub const OBS_SNAPSHOT_VERSION: u16 = 1;
+
+/// Longest metric name the codec accepts (defensive bound; real names are
+/// short dotted paths like `net.latency_us.knn`).
+const MAX_NAME_LEN: usize = 256;
+
+/// Decode failures for telemetry snapshot payloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ObsError {
+    /// The payload ended before the announced structure was complete.
+    Truncated,
+    /// The payload announced a snapshot version this build cannot read.
+    UnsupportedVersion(u16),
+    /// The payload was structurally invalid (bad counts, out-of-range
+    /// bucket indices, trailing bytes, ...).
+    Corrupt(String),
+}
+
+impl std::fmt::Display for ObsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ObsError::Truncated => write!(f, "telemetry snapshot truncated"),
+            ObsError::UnsupportedVersion(v) => {
+                write!(f, "unsupported telemetry snapshot version {v}")
+            }
+            ObsError::Corrupt(msg) => write!(f, "corrupt telemetry snapshot: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ObsError {}
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        let mut buf = Vec::with_capacity(256);
+        buf.extend_from_slice(&OBS_SNAPSHOT_VERSION.to_le_bytes());
+        Self { buf }
+    }
+
+    fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_str(&mut self, s: &str) {
+        debug_assert!(s.len() <= MAX_NAME_LEN);
+        self.put_u16(s.len().min(MAX_NAME_LEN) as u16);
+        self.buf
+            .extend_from_slice(&s.as_bytes()[..s.len().min(MAX_NAME_LEN)]);
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Result<Self, ObsError> {
+        let mut r = Self { buf, pos: 0 };
+        let version = r.get_u16()?;
+        if version != OBS_SNAPSHOT_VERSION {
+            return Err(ObsError::UnsupportedVersion(version));
+        }
+        Ok(r)
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ObsError> {
+        if self.remaining() < n {
+            return Err(ObsError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn get_u8(&mut self) -> Result<u8, ObsError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn get_u16(&mut self) -> Result<u16, ObsError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn get_u32(&mut self) -> Result<u32, ObsError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn get_u64(&mut self) -> Result<u64, ObsError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn get_i64(&mut self) -> Result<i64, ObsError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an element count and validates it against the bytes left,
+    /// assuming each element occupies at least `min_elem_bytes`; rejects
+    /// impossible counts before the caller allocates.
+    fn get_len(&mut self, min_elem_bytes: usize) -> Result<usize, ObsError> {
+        let n = self.get_u32()? as usize;
+        if n.saturating_mul(min_elem_bytes) > self.remaining() {
+            return Err(ObsError::Corrupt(format!(
+                "element count {n} exceeds available bytes"
+            )));
+        }
+        Ok(n)
+    }
+
+    fn get_str(&mut self) -> Result<String, ObsError> {
+        let len = self.get_u16()? as usize;
+        if len > MAX_NAME_LEN {
+            return Err(ObsError::Corrupt(format!("name length {len} too large")));
+        }
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| ObsError::Corrupt("metric name is not UTF-8".into()))
+    }
+
+    fn finish(self) -> Result<(), ObsError> {
+        if self.remaining() != 0 {
+            return Err(ObsError::Corrupt(format!(
+                "{} trailing bytes after snapshot",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl MetricsSnapshot {
+    /// Encodes the snapshot to the versioned binary payload carried by the
+    /// wire `STATS` response.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u32(self.counters.len() as u32);
+        for (name, v) in &self.counters {
+            w.put_str(name);
+            w.put_u64(*v);
+        }
+        w.put_u32(self.gauges.len() as u32);
+        for (name, v) in &self.gauges {
+            w.put_str(name);
+            w.put_i64(*v);
+        }
+        w.put_u32(self.histograms.len() as u32);
+        for (name, h) in &self.histograms {
+            w.put_str(name);
+            w.put_u64(h.count);
+            w.put_u64(h.sum);
+            w.put_u64(h.min);
+            w.put_u64(h.max);
+            w.put_u32(h.buckets.len() as u32);
+            for (idx, n) in &h.buckets {
+                w.put_u16(*idx);
+                w.put_u64(*n);
+            }
+        }
+        w.buf
+    }
+
+    /// Decodes a payload produced by [`MetricsSnapshot::encode`],
+    /// validating every count against the bytes present and rejecting
+    /// trailing garbage.
+    pub fn decode(bytes: &[u8]) -> Result<MetricsSnapshot, ObsError> {
+        let mut r = Reader::new(bytes)?;
+        // Minimum element sizes: name length prefix (2) + value.
+        let n_counters = r.get_len(2 + 8)?;
+        let mut counters = Vec::with_capacity(n_counters);
+        for _ in 0..n_counters {
+            let name = r.get_str()?;
+            let v = r.get_u64()?;
+            counters.push((name, v));
+        }
+        let n_gauges = r.get_len(2 + 8)?;
+        let mut gauges = Vec::with_capacity(n_gauges);
+        for _ in 0..n_gauges {
+            let name = r.get_str()?;
+            let v = r.get_i64()?;
+            gauges.push((name, v));
+        }
+        // Histogram header: name prefix (2) + count/sum/min/max (32) +
+        // bucket count (4).
+        let n_hists = r.get_len(2 + 32 + 4)?;
+        let mut histograms = Vec::with_capacity(n_hists);
+        for _ in 0..n_hists {
+            let name = r.get_str()?;
+            let count = r.get_u64()?;
+            let sum = r.get_u64()?;
+            let min = r.get_u64()?;
+            let max = r.get_u64()?;
+            let n_buckets = r.get_len(2 + 8)?;
+            if n_buckets > HIST_BUCKETS {
+                return Err(ObsError::Corrupt(format!(
+                    "histogram {name:?} announces {n_buckets} buckets (max {HIST_BUCKETS})"
+                )));
+            }
+            let mut buckets = Vec::with_capacity(n_buckets);
+            let mut last_idx: Option<u16> = None;
+            for _ in 0..n_buckets {
+                let idx = r.get_u16()?;
+                let n = r.get_u64()?;
+                if idx as usize >= HIST_BUCKETS {
+                    return Err(ObsError::Corrupt(format!(
+                        "histogram {name:?} bucket index {idx} out of range"
+                    )));
+                }
+                if let Some(last) = last_idx {
+                    if idx <= last {
+                        return Err(ObsError::Corrupt(format!(
+                            "histogram {name:?} bucket indices not strictly ascending"
+                        )));
+                    }
+                }
+                last_idx = Some(idx);
+                buckets.push((idx, n));
+            }
+            histograms.push((
+                name,
+                HistogramSnapshot {
+                    count,
+                    sum,
+                    min,
+                    max,
+                    buckets,
+                },
+            ));
+        }
+        r.finish()?;
+        Ok(MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        })
+    }
+}
+
+/// Fixed payload width (in `u64`s) for each event tag.
+fn event_field_count(tag: u8) -> Option<usize> {
+    match tag {
+        1 | 2 => Some(1), // ServerStart, SnapshotLoad
+        3 => Some(2),     // CompactionStart
+        4 => Some(4),     // CompactionEnd
+        5 => Some(2),     // EpochSwap
+        6 => Some(1),     // OverloadShed
+        7 | 8 => Some(1), // ConnOpen, ConnClose
+        9 => Some(2),     // Shutdown
+        _ => None,
+    }
+}
+
+fn encode_kind(w: &mut Writer, kind: &EventKind) {
+    w.put_u8(kind.tag());
+    match *kind {
+        EventKind::ServerStart { points } | EventKind::SnapshotLoad { points } => {
+            w.put_u64(points);
+        }
+        EventKind::CompactionStart { epoch, delta_ops } => {
+            w.put_u64(epoch);
+            w.put_u64(delta_ops);
+        }
+        EventKind::CompactionEnd {
+            epoch,
+            pause_us,
+            rebuild_us,
+            points,
+        } => {
+            w.put_u64(epoch);
+            w.put_u64(pause_us);
+            w.put_u64(rebuild_us);
+            w.put_u64(points);
+        }
+        EventKind::EpochSwap { epoch, seq } => {
+            w.put_u64(epoch);
+            w.put_u64(seq);
+        }
+        EventKind::OverloadShed { shed_total } => w.put_u64(shed_total),
+        EventKind::ConnOpen { conn } | EventKind::ConnClose { conn } => w.put_u64(conn),
+        EventKind::Shutdown { uptime_us, drained } => {
+            w.put_u64(uptime_us);
+            w.put_u64(drained);
+        }
+    }
+}
+
+fn decode_kind(r: &mut Reader<'_>) -> Result<EventKind, ObsError> {
+    let tag = r.get_u8()?;
+    let n_fields = event_field_count(tag)
+        .ok_or_else(|| ObsError::Corrupt(format!("unknown event tag {tag}")))?;
+    let mut f = [0u64; 4];
+    for slot in f.iter_mut().take(n_fields) {
+        *slot = r.get_u64()?;
+    }
+    Ok(match tag {
+        1 => EventKind::ServerStart { points: f[0] },
+        2 => EventKind::SnapshotLoad { points: f[0] },
+        3 => EventKind::CompactionStart {
+            epoch: f[0],
+            delta_ops: f[1],
+        },
+        4 => EventKind::CompactionEnd {
+            epoch: f[0],
+            pause_us: f[1],
+            rebuild_us: f[2],
+            points: f[3],
+        },
+        5 => EventKind::EpochSwap {
+            epoch: f[0],
+            seq: f[1],
+        },
+        6 => EventKind::OverloadShed { shed_total: f[0] },
+        7 => EventKind::ConnOpen { conn: f[0] },
+        8 => EventKind::ConnClose { conn: f[0] },
+        9 => EventKind::Shutdown {
+            uptime_us: f[0],
+            drained: f[1],
+        },
+        _ => unreachable!("tag validated above"),
+    })
+}
+
+impl EventsSnapshot {
+    /// Encodes the snapshot to the versioned binary payload carried by the
+    /// wire `EVENTS` response.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u64(self.dropped);
+        w.put_u32(self.events.len() as u32);
+        for e in &self.events {
+            w.put_u64(e.seq);
+            w.put_u64(e.at_us);
+            encode_kind(&mut w, &e.kind);
+        }
+        w.buf
+    }
+
+    /// Decodes a payload produced by [`EventsSnapshot::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<EventsSnapshot, ObsError> {
+        let mut r = Reader::new(bytes)?;
+        let dropped = r.get_u64()?;
+        // Minimum event size: seq (8) + at_us (8) + tag (1) + one field (8).
+        let n_events = r.get_len(8 + 8 + 1 + 8)?;
+        let mut events = Vec::with_capacity(n_events);
+        let mut last_seq: Option<u64> = None;
+        for _ in 0..n_events {
+            let seq = r.get_u64()?;
+            let at_us = r.get_u64()?;
+            let kind = decode_kind(&mut r)?;
+            if let Some(last) = last_seq {
+                if seq <= last {
+                    return Err(ObsError::Corrupt(
+                        "event sequence numbers not strictly ascending".into(),
+                    ));
+                }
+            }
+            last_seq = Some(seq);
+            events.push(Event { seq, at_us, kind });
+        }
+        r.finish()?;
+        Ok(EventsSnapshot { dropped, events })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+    use crate::EventJournal;
+
+    fn sample_metrics() -> MetricsSnapshot {
+        let reg = MetricsRegistry::new();
+        reg.counter("net.requests.point").add(42);
+        reg.counter("net.shed.knn").add(3);
+        reg.gauge("server.delta_ops").set(-7);
+        let h = reg.histogram("net.latency_us.window");
+        for v in [1u64, 5, 800, 80_000, 1_000_000] {
+            h.record(v);
+        }
+        reg.snapshot()
+    }
+
+    fn sample_events() -> EventsSnapshot {
+        let j = EventJournal::with_capacity(8);
+        j.record(EventKind::ServerStart { points: 100 });
+        j.record(EventKind::CompactionStart {
+            epoch: 1,
+            delta_ops: 50,
+        });
+        j.record(EventKind::CompactionEnd {
+            epoch: 2,
+            pause_us: 120,
+            rebuild_us: 9000,
+            points: 150,
+        });
+        j.record(EventKind::EpochSwap { epoch: 2, seq: 150 });
+        j.record(EventKind::OverloadShed { shed_total: 12 });
+        j.record(EventKind::ConnOpen { conn: 1 });
+        j.record(EventKind::ConnClose { conn: 1 });
+        j.record(EventKind::Shutdown {
+            uptime_us: 1_000_000,
+            drained: 4,
+        });
+        j.snapshot()
+    }
+
+    #[test]
+    fn metrics_roundtrip_is_byte_identical() {
+        let snap = sample_metrics();
+        let bytes = snap.encode();
+        let back = MetricsSnapshot::decode(&bytes).expect("decode");
+        assert_eq!(back, snap);
+        assert_eq!(back.encode(), bytes, "re-encode must be byte-identical");
+    }
+
+    #[test]
+    fn events_roundtrip_is_byte_identical() {
+        let snap = sample_events();
+        let bytes = snap.encode();
+        let back = EventsSnapshot::decode(&bytes).expect("decode");
+        assert_eq!(back, snap);
+        assert_eq!(back.encode(), bytes, "re-encode must be byte-identical");
+    }
+
+    #[test]
+    fn empty_snapshots_roundtrip() {
+        let m = MetricsSnapshot::default();
+        assert_eq!(MetricsSnapshot::decode(&m.encode()).unwrap(), m);
+        let e = EventsSnapshot::default();
+        assert_eq!(EventsSnapshot::decode(&e.encode()).unwrap(), e);
+    }
+
+    #[test]
+    fn truncation_at_every_byte_is_a_typed_error() {
+        for bytes in [sample_metrics().encode(), sample_events().encode()] {
+            for cut in 0..bytes.len() {
+                let m = MetricsSnapshot::decode(&bytes[..cut]);
+                let e = EventsSnapshot::decode(&bytes[..cut]);
+                assert!(m.is_err() || e.is_err(), "cut={cut} decoded on both paths");
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut bytes = sample_metrics().encode();
+        bytes[0] = 0xFF;
+        bytes[1] = 0xFF;
+        assert!(matches!(
+            MetricsSnapshot::decode(&bytes),
+            Err(ObsError::UnsupportedVersion(0xFFFF))
+        ));
+    }
+
+    #[test]
+    fn bogus_counts_never_allocate() {
+        // Announce u32::MAX counters with only a version header present.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&OBS_SNAPSHOT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            MetricsSnapshot::decode(&bytes),
+            Err(ObsError::Corrupt(_))
+        ));
+        // Same for events: dropped + huge count.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&OBS_SNAPSHOT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            EventsSnapshot::decode(&bytes),
+            Err(ObsError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn out_of_range_bucket_index_is_corrupt() {
+        let reg = MetricsRegistry::new();
+        reg.histogram("h").record(10);
+        let mut snap = reg.snapshot();
+        snap.histograms[0].1.buckets[0].0 = HIST_BUCKETS as u16;
+        let bytes = snap.encode();
+        assert!(matches!(
+            MetricsSnapshot::decode(&bytes),
+            Err(ObsError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_event_tag_is_corrupt() {
+        let j = EventJournal::with_capacity(4);
+        j.record(EventKind::ConnOpen { conn: 9 });
+        let mut bytes = j.snapshot().encode();
+        // Tag byte sits after version(2) + dropped(8) + count(4) + seq(8) + at_us(8).
+        let tag_pos = 2 + 8 + 4 + 8 + 8;
+        bytes[tag_pos] = 0xEE;
+        assert!(matches!(
+            EventsSnapshot::decode(&bytes),
+            Err(ObsError::Corrupt(msg)) if msg.contains("unknown event tag")
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = sample_metrics().encode();
+        bytes.push(0);
+        assert!(matches!(
+            MetricsSnapshot::decode(&bytes),
+            Err(ObsError::Corrupt(msg)) if msg.contains("trailing")
+        ));
+        let mut bytes = sample_events().encode();
+        bytes.push(0);
+        assert!(matches!(
+            EventsSnapshot::decode(&bytes),
+            Err(ObsError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn non_ascending_event_seq_is_corrupt() {
+        let j = EventJournal::with_capacity(4);
+        j.record(EventKind::ConnOpen { conn: 1 });
+        j.record(EventKind::ConnOpen { conn: 2 });
+        let mut snap = j.snapshot();
+        snap.events[1].seq = snap.events[0].seq;
+        assert!(matches!(
+            EventsSnapshot::decode(&snap.encode()),
+            Err(ObsError::Corrupt(_))
+        ));
+    }
+}

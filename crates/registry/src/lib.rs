@@ -573,12 +573,13 @@ pub fn serve_snapshot_bytes(
             index.len()
         )));
     }
-    Ok(SpatialServer::from_parts(
-        index,
-        points,
-        rebuild_fn(kind, cfg),
-        server_cfg,
-    ))
+    let n_points = points.len() as u64;
+    let server = SpatialServer::from_parts(index, points, rebuild_fn(kind, cfg), server_cfg);
+    server
+        .telemetry()
+        .journal
+        .record(obs::EventKind::SnapshotLoad { points: n_points });
+    Ok(server)
 }
 
 /// Warm start from a snapshot file (see [`serve_snapshot_bytes`]).

@@ -83,10 +83,11 @@ pub use delta::{SequencedOp, WriteOp};
 use common::{QueryContext, SpatialIndex};
 use delta::{key_of, DeltaState, Key};
 use geom::{Point, Rect};
+use obs::{EventKind, Gauge, Histogram, Telemetry};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// The closure that rebuilds the base index from the canonical point set
 /// during compaction.  The registry passes its own `build_index` (with the
@@ -191,6 +192,49 @@ pub struct ServerStats {
     pub len: usize,
 }
 
+/// Pre-registered telemetry handles for the hot paths, so recording a
+/// write or a compaction never looks a metric name up.
+struct ServerMetrics {
+    /// `server.epoch`: current epoch id.
+    epoch: Gauge,
+    /// `server.seq`: last write sequence handed out.
+    seq: Gauge,
+    /// `server.delta_ops`: ops buffered in the delta overlay (= ops since
+    /// the last compaction folded).
+    delta_ops: Gauge,
+    /// `server.model_err_below` / `server.model_err_above`: worst-case
+    /// model prediction error of the live base, refreshed at every rebuild
+    /// — the drift signal incremental maintenance triggers on.
+    model_err_below: Gauge,
+    model_err_above: Gauge,
+    /// `server.compaction_pause_us`: writer-visible pause during the epoch
+    /// swap.
+    compaction_pause_us: Histogram,
+    /// `server.compaction_rebuild_us`: off-lock rebuild duration.
+    compaction_rebuild_us: Histogram,
+}
+
+impl ServerMetrics {
+    fn register(t: &Telemetry) -> Self {
+        Self {
+            epoch: t.metrics.gauge("server.epoch"),
+            seq: t.metrics.gauge("server.seq"),
+            delta_ops: t.metrics.gauge("server.delta_ops"),
+            model_err_below: t.metrics.gauge("server.model_err_below"),
+            model_err_above: t.metrics.gauge("server.model_err_above"),
+            compaction_pause_us: t.metrics.histogram("server.compaction_pause_us"),
+            compaction_rebuild_us: t.metrics.histogram("server.compaction_rebuild_us"),
+        }
+    }
+
+    fn set_model_error(&self, base: &dyn SpatialIndex) {
+        if let Some((below, above)) = base.model_error_bounds() {
+            self.model_err_below.set(below.min(i64::MAX as u64) as i64);
+            self.model_err_above.set(above.min(i64::MAX as u64) as i64);
+        }
+    }
+}
+
 /// Shared state between the server handle and its compaction thread.
 struct Core {
     /// The current epoch; replaced (never mutated) by compaction.
@@ -209,6 +253,11 @@ struct Core {
     /// Wake-up signal for the compaction thread.
     signal: Mutex<CompactorSignal>,
     signal_cv: Condvar,
+    /// Shared telemetry sink (always on; the network layer records into
+    /// the same instance so one `STATS` scrape covers every layer).
+    telemetry: Arc<Telemetry>,
+    /// Pre-registered handles into `telemetry`.
+    metrics: ServerMetrics,
 }
 
 #[derive(Default)]
@@ -248,6 +297,8 @@ impl Core {
             });
             buffered = state.op_count();
             result = (removed, seq);
+            self.metrics.seq.set(seq.min(i64::MAX as u64) as i64);
+            self.metrics.delta_ops.set(buffered as i64);
         }
         if self.cfg.auto_compact && buffered >= self.cfg.compact_threshold {
             let mut sig = self.signal.lock().expect("signal lock poisoned");
@@ -270,15 +321,26 @@ impl Core {
             return false;
         }
         let fold_seq = captured.seq();
+        self.telemetry.journal.record(EventKind::CompactionStart {
+            epoch: epoch.id,
+            delta_ops: captured.op_count() as u64,
+        });
         delta::apply_log_to_points(&mut points, captured.log(), fold_seq);
+        let rebuild_t0 = Instant::now();
         let new_base = (self.rebuild)(&points);
+        let rebuild_us = rebuild_t0.elapsed().as_micros() as u64;
+        let new_points = points.len() as u64;
         let new_keys = index_base_keys(&points);
+        self.metrics.set_model_error(new_base.as_ref());
 
         // Swap: with the write gate held no new ops can land, so the ops
         // beyond the fold point are exactly the leftover the new epoch's
         // delta must start from.  Readers are not blocked: they only take
         // the epoch read lock for the duration of an `Arc` clone.
+        let new_epoch_id;
+        let pause_us;
         {
+            let pause_t0 = Instant::now();
             let _gate = self.write_gate.lock().expect("write gate poisoned");
             let current = self.current_epoch();
             let current_delta = current.delta.read().expect("delta lock poisoned").clone();
@@ -286,15 +348,33 @@ impl Core {
             for op in current_delta.log().iter().filter(|o| o.seq > fold_seq) {
                 leftover.apply(*op, &|k| new_keys.get(k).map_or(0, |i| i.copies));
             }
+            new_epoch_id = current.id + 1;
+            self.metrics.delta_ops.set(leftover.op_count() as i64);
             let next = Arc::new(Epoch {
-                id: current.id + 1,
+                id: new_epoch_id,
                 base: new_base,
                 base_keys: new_keys,
                 delta: RwLock::new(Arc::new(leftover)),
             });
             *self.epoch.write().expect("epoch lock poisoned") = next;
+            pause_us = pause_t0.elapsed().as_micros() as u64;
         }
         self.compactions.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .epoch
+            .set(new_epoch_id.min(i64::MAX as u64) as i64);
+        self.metrics.compaction_pause_us.record(pause_us);
+        self.metrics.compaction_rebuild_us.record(rebuild_us);
+        self.telemetry.journal.record(EventKind::CompactionEnd {
+            epoch: new_epoch_id,
+            pause_us,
+            rebuild_us,
+            points: new_points,
+        });
+        self.telemetry.journal.record(EventKind::EpochSwap {
+            epoch: new_epoch_id,
+            seq: fold_seq,
+        });
         true
     }
 }
@@ -340,6 +420,12 @@ impl SpatialServer {
             "canonical points must match the base index contents"
         );
         let base_keys = index_base_keys(&points);
+        let telemetry = Arc::new(Telemetry::new());
+        let metrics = ServerMetrics::register(&telemetry);
+        metrics.set_model_error(base.as_ref());
+        telemetry.journal.record(EventKind::ServerStart {
+            points: points.len() as u64,
+        });
         let core = Arc::new(Core {
             epoch: RwLock::new(Arc::new(Epoch {
                 id: 0,
@@ -354,6 +440,8 @@ impl SpatialServer {
             compactions: AtomicU64::new(0),
             signal: Mutex::new(CompactorSignal::default()),
             signal_cv: Condvar::new(),
+            telemetry,
+            metrics,
         });
         let compactor = cfg.auto_compact.then(|| {
             let worker = Arc::clone(&core);
@@ -370,6 +458,13 @@ impl SpatialServer {
     /// it for as many queries as a consistent view is needed for.
     pub fn snapshot(&self) -> Snapshot {
         self.core.snapshot()
+    }
+
+    /// The server's always-on telemetry sink.  The network layer records
+    /// its own metrics and lifecycle events into the same instance, so one
+    /// `STATS`/`EVENTS` scrape covers every layer of the process.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.core.telemetry
     }
 
     /// Inserts a point; returns the sequence number the write was applied
@@ -879,6 +974,10 @@ impl SpatialIndex for SpatialServer {
         self.snapshot().epoch.base.model_count()
     }
 
+    fn model_error_bounds(&self) -> Option<(u64, u64)> {
+        self.snapshot().epoch.base.model_error_bounds()
+    }
+
     fn write_snapshot(
         &self,
         writer: &mut persist::SnapshotWriter,
@@ -1320,6 +1419,38 @@ mod tests {
                 .collect::<Vec<_>>(),
             vec![9]
         );
+    }
+
+    #[test]
+    fn telemetry_traces_compactions_and_write_depth() {
+        let (_, server) = serve(200, 31);
+        for i in 0..10u64 {
+            server.insert(Point::with_id(0.001 * i as f64, 0.5, 40_000 + i));
+        }
+        let t = server.telemetry();
+        let snap = t.metrics.snapshot();
+        assert_eq!(snap.gauge("server.delta_ops"), Some(10));
+        assert_eq!(snap.gauge("server.seq"), Some(10));
+        assert!(server.compact_now());
+        let snap = t.metrics.snapshot();
+        assert_eq!(snap.gauge("server.delta_ops"), Some(0));
+        assert_eq!(snap.gauge("server.epoch"), Some(1));
+        let pause = snap.histogram("server.compaction_pause_us").unwrap();
+        assert_eq!(pause.count, 1);
+        let events = t.journal.snapshot().events;
+        let names: Vec<&str> = events.iter().map(|e| e.kind.name()).collect();
+        assert_eq!(names[0], "server-start");
+        assert!(names.contains(&"compaction-start"));
+        assert!(names.contains(&"compaction-end"));
+        assert!(names.contains(&"epoch-swap"));
+        let end = events
+            .iter()
+            .find_map(|e| match e.kind {
+                EventKind::CompactionEnd { points, .. } => Some(points),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(end, 210);
     }
 
     #[test]

@@ -225,6 +225,119 @@ fn trailing_bytes_are_rejected() {
     ));
 }
 
+/// A populated STATS response: tag, seq, u32 inner length, obs payload.
+fn stats_payload() -> Vec<u8> {
+    let registry = obs::MetricsRegistry::new();
+    registry.counter("net.requests.point").inc();
+    registry.gauge("net.connections_open").add(3);
+    registry.histogram("net.latency_us.point").record(125);
+    Response::Stats {
+        seq: 7,
+        metrics: registry.snapshot(),
+    }
+    .encode()
+}
+
+/// A populated EVENTS response with the same outer layout.
+fn events_payload() -> Vec<u8> {
+    let telemetry = obs::Telemetry::new();
+    telemetry
+        .journal
+        .record(obs::EventKind::ServerStart { points: 100 });
+    telemetry
+        .journal
+        .record(obs::EventKind::ConnOpen { conn: 1 });
+    Response::Events {
+        seq: 7,
+        events: telemetry.journal.snapshot(),
+    }
+    .encode()
+}
+
+/// Byte offset of the u32 inner-payload length in a STATS/EVENTS
+/// response: 1 tag byte + 8 seq bytes.
+const INNER_LEN_AT: usize = 9;
+
+#[test]
+fn telemetry_responses_are_rejected_at_every_payload_cut() {
+    // Truncation anywhere — in the outer header, the inner length, or the
+    // embedded obs snapshot — must be a typed error, mirroring the query
+    // responses above.  The cut can never decode and never panic.
+    for (name, payload) in [("stats", stats_payload()), ("events", events_payload())] {
+        assert!(Response::decode(&payload).is_ok(), "{name}: intact decodes");
+        for keep in 0..payload.len() {
+            match Response::decode(&payload[..keep]) {
+                Err(NetError::Truncated | NetError::Corrupt(_)) => {}
+                Ok(_) => panic!("{name}: cut at {keep} decoded successfully"),
+                Err(other) => panic!("{name}: cut at {keep}: unexpected error {other}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn bogus_telemetry_lengths_cannot_drive_allocation() {
+    // A hostile inner-length prefix claiming u32::MAX bytes of telemetry:
+    // get_len validates the claim against the bytes actually present
+    // before anything is sized, exactly like the point-count checks.
+    for payload in [stats_payload(), events_payload()] {
+        let mut corrupted = payload;
+        corrupted[INNER_LEN_AT..INNER_LEN_AT + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            Response::decode(&corrupted),
+            Err(NetError::Corrupt(_))
+        ));
+    }
+}
+
+#[test]
+fn corrupt_inner_telemetry_is_a_typed_error() {
+    // The embedded obs codec has its own version byte and element counts;
+    // damage below the wire layer still surfaces as a NetError.
+    let payload = stats_payload();
+
+    // Unsupported telemetry snapshot version.
+    let mut versioned = payload.clone();
+    versioned[INNER_LEN_AT + 4] = 0x63;
+    assert!(matches!(
+        Response::decode(&versioned),
+        Err(NetError::Corrupt(_))
+    ));
+
+    // Garbage where the snapshot body should be (length prefix intact).
+    let mut garbage = payload;
+    for b in &mut garbage[INNER_LEN_AT + 4..] {
+        *b = 0xFF;
+    }
+    assert!(matches!(
+        Response::decode(&garbage),
+        Err(NetError::Truncated | NetError::Corrupt(_))
+    ));
+}
+
+#[test]
+fn telemetry_requests_reject_trailing_bytes() {
+    // STATS carries no fields and EVENTS exactly one u64 — anything after
+    // is corruption, keeping the request grammar closed under v2.
+    let mut stats = Request::Stats.encode();
+    stats.push(0x00);
+    assert!(matches!(Request::decode(&stats), Err(NetError::Corrupt(_))));
+
+    let events = Request::Events { since: 42 }.encode();
+    for keep in 1..events.len() {
+        assert!(
+            Request::decode(&events[..keep]).is_err(),
+            "events request cut at {keep} decoded successfully"
+        );
+    }
+    let mut events = events;
+    events.push(0x00);
+    assert!(matches!(
+        Request::decode(&events),
+        Err(NetError::Corrupt(_))
+    ));
+}
+
 #[test]
 fn errors_format_for_operators() {
     // The serving loop logs these; they must be actionable one-liners.
