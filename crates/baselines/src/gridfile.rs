@@ -149,7 +149,7 @@ impl SpatialIndex for GridFile {
         let cell = Self::cell_of(self.side, q);
         for &b in &self.cells[cell] {
             if let Some(p) = self.read_block(b, cx).find_at(q.x, q.y) {
-                return Some(*p);
+                return Some(p);
             }
         }
         None
@@ -163,11 +163,8 @@ impl SpatialIndex for GridFile {
     ) {
         for cell in self.cells_in_window(window) {
             for &b in &self.cells[cell] {
-                for p in self.read_block(b, cx).points() {
-                    if window.contains(p) {
-                        visit(p);
-                    }
-                }
+                self.read_block(b, cx)
+                    .for_each_in_rect(window, |p| visit(&p));
             }
         }
     }
@@ -209,8 +206,8 @@ impl SpatialIndex for GridFile {
                     return;
                 }
                 for &b in &self.cells[cell] {
-                    for p in self.read_block(b, cx).points() {
-                        let d = p.dist(q);
+                    self.read_block(b, cx).for_each_dist_sq(q, |p, d_sq| {
+                        let d = d_sq.sqrt();
                         // (distance, id) acceptance so distance ties resolve
                         // to the smaller id, matching brute force and the
                         // sharded engine's k-way merge.
@@ -224,12 +221,12 @@ impl SpatialIndex for GridFile {
                                         .then(bp.id.cmp(&p.id))
                                 })
                                 .unwrap_or_else(|e| e);
-                            best.insert(pos, (d, *p));
+                            best.insert(pos, (d, p));
                             if best.len() > k_eff {
                                 best.pop();
                             }
                         }
-                    }
+                    });
                 }
             };
             if ring == 0 {
@@ -254,8 +251,8 @@ impl SpatialIndex for GridFile {
 
     fn for_each_point(&self, visit: &mut dyn FnMut(&Point)) {
         for (_, block) in self.store.iter() {
-            for p in block.points() {
-                visit(p);
+            for p in block.iter_points() {
+                visit(&p);
             }
         }
     }
@@ -281,21 +278,23 @@ impl SpatialIndex for GridFile {
                 continue;
             }
             let rect = self.cell_rect(cell);
-            kept.clear();
-            kept.extend(
-                probes
-                    .iter()
-                    .filter(|q| rect.min_dist_sq(q) <= r_sq)
-                    .copied(),
-            );
+            storage::kernels::probes_within(probes, &rect, r_sq, &mut kept);
             if kept.is_empty() {
                 continue;
             }
             for &b in blocks {
-                for p in self.read_block(b, cx).points() {
-                    for q in &kept {
-                        if p.dist_sq(q) <= r_sq {
-                            visit(p, q);
+                let blk = self.read_block(b, cx);
+                if let [q] = kept.as_slice() {
+                    // Single surviving probe: the vectorized radius filter
+                    // preserves the (point-major) visit order.
+                    let q = *q;
+                    blk.for_each_within(&q, r_sq, |p, _| visit(&p, &q));
+                } else {
+                    for p in blk.iter_points() {
+                        for q in &kept {
+                            if p.dist_sq(q) <= r_sq {
+                                visit(&p, q);
+                            }
                         }
                     }
                 }

@@ -303,7 +303,7 @@ impl SpatialIndex for HilbertRTree {
                             continue;
                         }
                         if let Some(p) = self.read_block(b, cx).find_at(q.x, q.y) {
-                            return Some(*p);
+                            return Some(p);
                         }
                     }
                 }
@@ -338,11 +338,8 @@ impl SpatialIndex for HilbertRTree {
                         if !self.block_mbr(b).intersects(window) {
                             continue;
                         }
-                        for p in self.read_block(b, cx).points() {
-                            if window.contains(p) {
-                                visit(p);
-                            }
-                        }
+                        self.read_block(b, cx)
+                            .for_each_in_rect(window, |p| visit(&p));
                     }
                 }
             }
@@ -413,9 +410,9 @@ impl SpatialIndex for HilbertRTree {
                     }
                 }
                 Item::Block(b) => {
-                    for p in self.read_block(b, cx).points() {
-                        heap.push(Reverse(Entry(p.dist(q), true, p.id, Item::Point(*p))));
-                    }
+                    self.read_block(b, cx).for_each_dist_sq(q, |p, d_sq| {
+                        heap.push(Reverse(Entry(d_sq.sqrt(), true, p.id, Item::Point(p))));
+                    });
                 }
                 Item::Node(id) => {
                     cx.count_node();
@@ -480,11 +477,8 @@ impl SpatialIndex for HilbertRTree {
                         if self.block_mbr(b).min_dist_sq(center) > r_sq {
                             continue;
                         }
-                        for p in self.read_block(b, cx).points() {
-                            if p.dist_sq(center) <= r_sq {
-                                visit(p);
-                            }
-                        }
+                        self.read_block(b, cx)
+                            .for_each_within(center, r_sq, |p, _| visit(&p));
                     }
                 }
             }
@@ -493,8 +487,8 @@ impl SpatialIndex for HilbertRTree {
 
     fn for_each_point(&self, visit: &mut dyn FnMut(&Point)) {
         for (_, block) in self.store.iter() {
-            for p in block.points() {
-                visit(p);
+            for p in block.iter_points() {
+                visit(&p);
             }
         }
     }
@@ -516,11 +510,8 @@ impl SpatialIndex for HilbertRTree {
         }
         let r_sq = radius * radius;
         let Some(root) = self.root else { return };
-        let root_kept: Vec<Point> = probes
-            .iter()
-            .filter(|q| self.nodes[root].mbr.min_dist_sq(q) <= r_sq)
-            .copied()
-            .collect();
+        let mut root_kept = Vec::new();
+        storage::kernels::probes_within(probes, &self.nodes[root].mbr, r_sq, &mut root_kept);
         if root_kept.is_empty() {
             return;
         }
@@ -530,29 +521,32 @@ impl SpatialIndex for HilbertRTree {
             match &self.nodes[id].kind {
                 NodeKind::Internal(children) => {
                     for &c in children {
-                        let mbr = self.nodes[c].mbr;
-                        let kept: Vec<Point> = cand
-                            .iter()
-                            .filter(|q| mbr.min_dist_sq(q) <= r_sq)
-                            .copied()
-                            .collect();
+                        let mut kept = Vec::new();
+                        storage::kernels::probes_within(&cand, &self.nodes[c].mbr, r_sq, &mut kept);
                         if !kept.is_empty() {
                             stack.push((c, kept));
                         }
                     }
                 }
                 NodeKind::LeafParent(blocks) => {
+                    let mut kept = Vec::new();
                     for &b in blocks {
-                        let mbr = self.block_mbr(b);
-                        let kept: Vec<&Point> =
-                            cand.iter().filter(|q| mbr.min_dist_sq(q) <= r_sq).collect();
+                        storage::kernels::probes_within(&cand, &self.block_mbr(b), r_sq, &mut kept);
                         if kept.is_empty() {
                             continue;
                         }
-                        for p in self.read_block(b, cx).points() {
-                            for q in &kept {
-                                if p.dist_sq(q) <= r_sq {
-                                    visit(p, q);
+                        let blk = self.read_block(b, cx);
+                        if let [q] = kept.as_slice() {
+                            // Single surviving probe: the vectorized radius
+                            // filter preserves the (point-major) visit order.
+                            let q = *q;
+                            blk.for_each_within(&q, r_sq, |p, _| visit(&p, &q));
+                        } else {
+                            for p in blk.iter_points() {
+                                for q in &kept {
+                                    if p.dist_sq(q) <= r_sq {
+                                        visit(&p, q);
+                                    }
                                 }
                             }
                         }
@@ -575,7 +569,7 @@ impl SpatialIndex for HilbertRTree {
             // Split: move the half of the block farthest from the new point's
             // side along the longer MBR axis into a fresh block registered
             // under the same leaf parent.
-            let mut pts: Vec<Point> = self.store.block(block).points().to_vec();
+            let mut pts: Vec<Point> = self.store.block(block).to_points();
             pts.push(p);
             let mbr = pts.iter().fold(Rect::empty(), |mut acc, q| {
                 acc.expand_to_point(*q);
@@ -590,7 +584,7 @@ impl SpatialIndex for HilbertRTree {
             let second: Vec<Point> = pts.split_off(half);
             // Rewrite the original block with the first half.
             let original = self.store.block_mut(block);
-            let old_ids: Vec<u64> = original.points().iter().map(|q| q.id).collect();
+            let old_ids: Vec<u64> = original.ids().to_vec();
             for id in old_ids {
                 original.remove_by_id(id);
             }

@@ -155,7 +155,7 @@ impl KdbTree {
             NodeKind::Leaf(b) => (self.nodes[leaf_idx].region, *b),
             NodeKind::Internal(_) => unreachable!("split_leaf called on an internal node"),
         };
-        let mut pts: Vec<Point> = self.store.block(block).points().to_vec();
+        let mut pts: Vec<Point> = self.store.block(block).to_points();
         pts.push(extra);
         let split_x = region.width() >= region.height();
         if split_x {
@@ -180,7 +180,7 @@ impl KdbTree {
         // Reuse the existing block for the left half.
         {
             let blk = self.store.block_mut(block);
-            let ids: Vec<u64> = blk.points().iter().map(|p| p.id).collect();
+            let ids: Vec<u64> = blk.ids().to_vec();
             for id in ids {
                 blk.remove_by_id(id);
             }
@@ -301,7 +301,7 @@ impl SpatialIndex for KdbTree {
                 }
                 NodeKind::Leaf(block) => {
                     if let Some(p) = self.read_block(*block, cx).find_at(q.x, q.y) {
-                        return Some(*p);
+                        return Some(p);
                     }
                 }
             }
@@ -331,11 +331,8 @@ impl SpatialIndex for KdbTree {
                     }
                 }
                 NodeKind::Leaf(block) => {
-                    for p in self.read_block(*block, cx).points() {
-                        if window.contains(p) {
-                            visit(p);
-                        }
-                    }
+                    self.read_block(*block, cx)
+                        .for_each_in_rect(window, |p| visit(&p));
                 }
             }
         }
@@ -415,9 +412,9 @@ impl SpatialIndex for KdbTree {
                         }
                     }
                     NodeKind::Leaf(block) => {
-                        for p in self.read_block(*block, cx).points() {
-                            heap.push(Reverse(Entry(p.dist(q), true, p.id, Item::Point(*p))));
-                        }
+                        self.read_block(*block, cx).for_each_dist_sq(q, |p, d_sq| {
+                            heap.push(Reverse(Entry(d_sq.sqrt(), true, p.id, Item::Point(p))));
+                        });
                     }
                 },
             }
@@ -453,11 +450,8 @@ impl SpatialIndex for KdbTree {
                     }
                 }
                 NodeKind::Leaf(block) => {
-                    for p in self.read_block(*block, cx).points() {
-                        if p.dist_sq(center) <= r_sq {
-                            visit(p);
-                        }
-                    }
+                    self.read_block(*block, cx)
+                        .for_each_within(center, r_sq, |p, _| visit(&p));
                 }
             }
         }
@@ -465,8 +459,8 @@ impl SpatialIndex for KdbTree {
 
     fn for_each_point(&self, visit: &mut dyn FnMut(&Point)) {
         for (_, block) in self.store.iter() {
-            for p in block.points() {
-                visit(p);
+            for p in block.iter_points() {
+                visit(&p);
             }
         }
     }
@@ -486,11 +480,8 @@ impl SpatialIndex for KdbTree {
         }
         let r_sq = radius * radius;
         let Some(root) = self.root else { return };
-        let root_kept: Vec<Point> = probes
-            .iter()
-            .filter(|q| self.nodes[root].region.min_dist_sq(q) <= r_sq)
-            .copied()
-            .collect();
+        let mut root_kept = Vec::new();
+        storage::kernels::probes_within(probes, &self.nodes[root].region, r_sq, &mut root_kept);
         if root_kept.is_empty() {
             return;
         }
@@ -500,22 +491,31 @@ impl SpatialIndex for KdbTree {
                 NodeKind::Internal(children) => {
                     cx.count_node();
                     for &c in children {
-                        let region = self.nodes[c].region;
-                        let kept: Vec<Point> = cand
-                            .iter()
-                            .filter(|q| region.min_dist_sq(q) <= r_sq)
-                            .copied()
-                            .collect();
+                        let mut kept = Vec::new();
+                        storage::kernels::probes_within(
+                            &cand,
+                            &self.nodes[c].region,
+                            r_sq,
+                            &mut kept,
+                        );
                         if !kept.is_empty() {
                             stack.push((c, kept));
                         }
                     }
                 }
                 NodeKind::Leaf(block) => {
-                    for p in self.read_block(*block, cx).points() {
-                        for q in &cand {
-                            if p.dist_sq(q) <= r_sq {
-                                visit(p, q);
+                    let blk = self.read_block(*block, cx);
+                    if let [q] = cand.as_slice() {
+                        // Single surviving probe: the vectorized radius filter
+                        // preserves the (point-major) visit order.
+                        let q = *q;
+                        blk.for_each_within(&q, r_sq, |p, _| visit(&p, &q));
+                    } else {
+                        for p in blk.iter_points() {
+                            for q in &cand {
+                                if p.dist_sq(q) <= r_sq {
+                                    visit(&p, q);
+                                }
                             }
                         }
                     }

@@ -395,7 +395,7 @@ impl SpatialIndex for ZOrderModel {
         self.scan_chain(lo, hi, cx, |block| {
             if found.is_none() {
                 if let Some(p) = block.find_at(q.x, q.y) {
-                    found = Some(*p);
+                    found = Some(p);
                 }
             }
         });
@@ -423,11 +423,7 @@ impl SpatialIndex for ZOrderModel {
         };
         let (lo, hi) = (lo.min(hi), hi.max(lo));
         self.scan_chain(lo, hi, cx, |block| {
-            for p in block.points() {
-                if window.contains(p) {
-                    visit(p);
-                }
-            }
+            block.for_each_in_rect(window, |p| visit(&p));
         });
     }
 
@@ -477,8 +473,8 @@ impl SpatialIndex for ZOrderModel {
                     best.clear();
                     for (id, _) in self.store.iter() {
                         let block = self.read_block(id, cx);
-                        for p in block.points() {
-                            let d = p.dist(q);
+                        block.for_each_dist_sq(q, |p, d_sq| {
+                            let d = d_sq.sqrt();
                             let pos = best
                                 .binary_search_by(|(bd, bp)| {
                                     bd.partial_cmp(&d)
@@ -487,12 +483,12 @@ impl SpatialIndex for ZOrderModel {
                                 })
                                 .unwrap_or_else(|e| e);
                             if pos < k_eff {
-                                best.insert(pos, (d, *p));
+                                best.insert(pos, (d, p));
                                 if best.len() > k_eff {
                                     best.pop();
                                 }
                             }
-                        }
+                        });
                     }
                     break;
                 }
@@ -539,18 +535,14 @@ impl SpatialIndex for ZOrderModel {
                 continue;
             }
             cx.count_candidates(block.len());
-            for p in block.points() {
-                if p.dist_sq(center) <= r_sq {
-                    visit(p);
-                }
-            }
+            block.for_each_within(center, r_sq, |p, _| visit(&p));
         }
     }
 
     fn for_each_point(&self, visit: &mut dyn FnMut(&Point)) {
         for (_, block) in self.store.iter() {
-            for p in block.points() {
-                visit(p);
+            for p in block.iter_points() {
+                visit(&p);
             }
         }
     }
@@ -577,21 +569,22 @@ impl SpatialIndex for ZOrderModel {
                 continue;
             }
             let mbr = block.mbr();
-            kept.clear();
-            kept.extend(
-                probes
-                    .iter()
-                    .filter(|q| mbr.min_dist_sq(q) <= r_sq)
-                    .copied(),
-            );
+            storage::kernels::probes_within(probes, &mbr, r_sq, &mut kept);
             if kept.is_empty() {
                 continue;
             }
             cx.count_candidates(block.len());
-            for p in block.points() {
-                for q in &kept {
-                    if p.dist_sq(q) <= r_sq {
-                        visit(p, q);
+            if let [q] = kept.as_slice() {
+                // Single surviving probe: the vectorized radius filter
+                // preserves the (point-major) visit order.
+                let q = *q;
+                block.for_each_within(&q, r_sq, |p, _| visit(&p, &q));
+            } else {
+                for p in block.iter_points() {
+                    for q in &kept {
+                        if p.dist_sq(q) <= r_sq {
+                            visit(&p, q);
+                        }
                     }
                 }
             }

@@ -16,8 +16,8 @@
 //!
 //! where `<id>` is one of `table3`, `table4`, `fig6` … `fig19`,
 //! `ablation-rank`, `ablation-curve`, `ablation-grouping`, `sharded`,
-//! `range`, `join`, `snapshot`, `serve`, `serve-live`, `net-serve`,
-//! `net-load`, `net-stats`, or `all`, and
+//! `range`, `join`, `scan`, `snapshot`, `serve`, `serve-live`,
+//! `net-serve`, `net-load`, `net-stats`, or `all`, and
 //! `--only` restricts the cross-family figures to the named index families
 //! (parsed through the registry, e.g. `--only RSMI,HRR`).  A missing or
 //! unknown experiment id, and any flag with a missing, unparsable, or
@@ -33,6 +33,18 @@
 //! divergence, and their JSON summaries (`BENCH_range.json` /
 //! `BENCH_join.json` in CI) are the inputs of the perf-regression gate
 //! (see the `perf_gate` binary).
+//!
+//! `scan` is the throughput side of the same gate: it measures
+//! window/range/point query **throughput** (queries per second, best of
+//! three batches) across all 14 registered kinds at one fixed scale, and
+//! verifies the distance-range answers against the brute-force oracle
+//! (exact for every family — window and point recall are reported but are
+//! legitimately below 1 for the approximate learned families).  Its
+//! summary (`BENCH_scan.json` in CI, committed as
+//! `ci/BENCH_baseline_scan.json`) feeds `perf_gate --throughput`, which
+//! fails CI when any kind's throughput drops below the absolute floor or
+//! regresses beyond the tolerance against the baseline — the gate that
+//! locks in the struct-of-arrays scan-kernel speedup.
 //!
 //! `--json PATH` additionally writes the run's tables as a machine-readable
 //! JSON summary (hand-rolled writer, no serde) — CI archives it as the
@@ -121,6 +133,16 @@ type KnnConfig = (String, Vec<Point>, Vec<Point>, usize);
 
 const POINT_QUERIES: usize = 1000;
 const RANGE_QUERIES: usize = 100;
+/// The scan experiment feeds a throughput *gate*, so its per-round
+/// measurement windows must be long enough to dominate timer and scheduler
+/// noise: queries run microseconds each, so the gate's batches are several
+/// times the latency experiments' (a 100-query round is ~2 ms of wall
+/// clock — one scheduler hiccup halves its observed rate).
+const SCAN_POINT_QUERIES: usize = 4 * POINT_QUERIES;
+const SCAN_RANGE_QUERIES: usize = 10 * RANGE_QUERIES;
+/// Best-of-N rounds for the scan gate (the other experiments use 1): the
+/// maximum observed rate is the noise-robust estimator on a shared runner.
+const SCAN_ROUNDS: usize = 5;
 const SEED: u64 = 42;
 
 const USAGE: &str = "\
@@ -129,7 +151,7 @@ usage: experiments <id> [flags]
 experiment ids:
   table3 table4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15
   fig16 fig17 fig18 fig19 ablation-rank ablation-curve ablation-grouping
-  sharded range join snapshot serve serve-live net-serve net-load
+  sharded range join scan snapshot serve serve-live net-serve net-load
   net-stats all
 
 flags:
@@ -193,6 +215,7 @@ const KNOWN_EXPERIMENTS: &[&str] = &[
     "sharded",
     "range",
     "join",
+    "scan",
     "snapshot",
     "serve",
     "serve-live",
@@ -515,6 +538,9 @@ fn main() {
     }
     if run("join") {
         failed |= !join_experiment(&opts, &mut report);
+    }
+    if run("scan") {
+        failed |= !scan_experiment(&opts, &mut report);
     }
     if which == "snapshot" {
         failed |= !snapshot_experiment(&opts, &mut report);
@@ -1243,6 +1269,93 @@ fn join_experiment(opts: &Opts, report: &mut Report) -> bool {
             "pairs",
             "block accesses",
             "oracle match",
+        ],
+        rows,
+    );
+    verified
+}
+
+/// `scan`: window/range/point query **throughput** (queries per second)
+/// per kind at one fixed scale — the input of the CI throughput floor
+/// (`perf_gate --throughput`).  Best-of-3 batches per class; the
+/// distance-range answers are oracle-verified (exact for every family)
+/// and any recall below 1 fails the run.  Window and point recall are
+/// reported but not gated: the approximate learned families legitimately
+/// miss there (a paper property, not a bug).  Returns whether every kind
+/// verified.
+fn scan_experiment(opts: &Opts, report: &mut Report) -> bool {
+    use bench::measure_range_queries;
+    let n = opts.n_default();
+    let data = dataset(Distribution::skewed_default(), n);
+    let windows = queries::window_queries(&data, WindowSpec::default(), SCAN_RANGE_QUERIES, 37);
+    let centers = queries::range_query_centers(&data, SCAN_RANGE_QUERIES, 23);
+    let point_qs = queries::point_queries(&data, SCAN_POINT_QUERIES, 31);
+    let cfg = opts.harness();
+    // Throughput from a best-of-SCAN_ROUNDS per-query latency: the maximum
+    // observed rate is the noise-robust estimator, mirroring the
+    // minimum-latency convention of the range/join experiments.
+    let throughput = |avg_time_us: f64| {
+        if avg_time_us > 0.0 {
+            1e6 / avg_time_us
+        } else {
+            0.0
+        }
+    };
+    let mut verified = true;
+    let mut rows = Vec::new();
+    for kind in opts.kinds(IndexKind::all_with_sharded()) {
+        let built = build_timed(kind, &data, &cfg);
+        let mut wm = measure_window_queries(&built, &data, &windows);
+        let mut rm = measure_range_queries(&built, &data, &centers, opts.radius);
+        let mut pm = measure_point_queries(&built, &point_qs);
+        for _ in 1..SCAN_ROUNDS {
+            let again = measure_window_queries(&built, &data, &windows);
+            wm.avg_time_us = wm.avg_time_us.min(again.avg_time_us);
+            wm.recall = wm.recall.min(again.recall);
+            let again = measure_range_queries(&built, &data, &centers, opts.radius);
+            rm.avg_time_us = rm.avg_time_us.min(again.avg_time_us);
+            rm.recall = rm.recall.min(again.recall);
+            let again = measure_point_queries(&built, &point_qs);
+            pm.avg_time_us = pm.avg_time_us.min(again.avg_time_us);
+            pm.recall = pm.recall.min(again.recall);
+        }
+        if rm.recall < 1.0 {
+            verified = false;
+            eprintln!(
+                "scan experiment FAILED: {} range recall {} against the oracle",
+                kind.name(),
+                rm.recall
+            );
+        }
+        rows.push(vec![
+            wm.index.clone(),
+            fmt(throughput(wm.avg_time_us)),
+            fmt(throughput(rm.avg_time_us)),
+            fmt(throughput(pm.avg_time_us)),
+            fmt(wm.recall),
+            fmt(rm.recall),
+            fmt(pm.recall),
+        ]);
+    }
+    // Column names deliberately say "throughput", never "time": the
+    // latency side of the perf gate keys on "time" columns and must not
+    // see these higher-is-better numbers, while `perf_gate --throughput`
+    // keys on "throughput" columns.
+    report.table(
+        &format!(
+            "Scan throughput — window/range/point (Skewed, n = {n}, \
+             {SCAN_RANGE_QUERIES} windows, {SCAN_RANGE_QUERIES} ranges at r = {}, \
+             {SCAN_POINT_QUERIES} points)",
+            opts.radius
+        ),
+        &[
+            "index",
+            "window throughput (q/s)",
+            "range throughput (q/s)",
+            "point throughput (q/s)",
+            "window recall",
+            "range recall",
+            "point recall",
         ],
         rows,
     );

@@ -5,17 +5,23 @@
 //!
 //! ```text
 //! perf_gate --baseline BASELINE.json --current CURRENT.json
-//!           [--max-regression-pct P]
+//!           [--max-regression-pct P] [--throughput [--floor F]]
 //! ```
 //!
 //! Both files are `bench-summary` documents written by the `experiments`
 //! binary (`--json`); the gate extracts every numeric cell in a column whose
-//! header contains `"time"`, keyed by `(table title, row label, column)`.
-//! For each metric present in the baseline:
+//! header contains `"time"` (or `"throughput"` in `--throughput` mode),
+//! keyed by `(table title, row label, column)`.  For each metric present in
+//! the baseline:
 //!
 //! * missing from the current run → **fail** (a kind cannot silently drop
 //!   out of the gate), and
-//! * `current > baseline * (1 + P/100)` → **fail** (default P = 25).
+//! * latency mode: `current > baseline * (1 + P/100)` → **fail**
+//!   (default P = 25), or
+//! * throughput mode: `current < baseline * (1 - P/100)` → **fail**, and
+//!   `current < F` (the absolute minimum-throughput floor, when given) →
+//!   **fail** — the floor holds even against a baseline that is itself
+//!   below it, so a slow baseline refresh cannot ratchet the floor down.
 //!
 //! Metrics that only exist in the current run (new kinds, new tables) pass:
 //! the gate ratchets coverage forward, never blocks it.  Exit status: 0 on
@@ -30,18 +36,26 @@ use std::path::PathBuf;
 
 const USAGE: &str = "\
 usage: perf_gate --baseline FILE --current FILE [--max-regression-pct P]
+                 [--throughput [--floor F]]
 
   --baseline FILE          baseline bench-summary JSON (previous artifact
                            or the committed ci/BENCH_baseline_*.json)
   --current FILE           the fresh run's bench-summary JSON
-  --max-regression-pct P   allowed latency growth in percent (default 25)";
+  --max-regression-pct P   allowed latency growth (or throughput drop, in
+                           --throughput mode) in percent (default 25)
+  --throughput             gate on \"throughput\" columns instead of
+                           \"time\" columns; higher is better, so the gate
+                           fails on drops
+  --floor F                --throughput only: absolute minimum throughput
+                           (q/s) any metric may report, regardless of the
+                           baseline";
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("error: {msg}\n\n{USAGE}");
     std::process::exit(2);
 }
 
-fn load_metrics(path: &PathBuf, role: &str) -> Vec<summary::Metric> {
+fn load_metrics(path: &PathBuf, role: &str, throughput: bool) -> Vec<summary::Metric> {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -59,7 +73,12 @@ fn load_metrics(path: &PathBuf, role: &str) -> Vec<summary::Metric> {
             std::process::exit(1);
         }
     };
-    match summary::latency_metrics(&doc) {
+    let metrics = if throughput {
+        summary::throughput_metrics(&doc)
+    } else {
+        summary::latency_metrics(&doc)
+    };
+    match metrics {
         Ok(m) => m,
         Err(e) => {
             eprintln!(
@@ -76,6 +95,8 @@ fn main() {
     let mut baseline: Option<PathBuf> = None;
     let mut current: Option<PathBuf> = None;
     let mut max_pct: f64 = 25.0;
+    let mut throughput = false;
+    let mut floor: Option<f64> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -92,6 +113,12 @@ fn main() {
                 Some(_) => usage_error("--max-regression-pct must be a non-negative number"),
                 None => usage_error("--max-regression-pct requires a value"),
             },
+            "--throughput" => throughput = true,
+            "--floor" => match it.next().map(|v| v.parse::<f64>()) {
+                Some(Ok(v)) if v.is_finite() && v > 0.0 => floor = Some(v),
+                Some(_) => usage_error("--floor must be a positive number"),
+                None => usage_error("--floor requires a value"),
+            },
             other => usage_error(&format!("unknown argument: {other}")),
         }
     }
@@ -101,23 +128,48 @@ fn main() {
     let Some(current) = current else {
         usage_error("--current is required");
     };
+    if floor.is_some() && !throughput {
+        usage_error("--floor only applies in --throughput mode");
+    }
 
-    let base_metrics = load_metrics(&baseline, "baseline");
-    let curr_metrics = load_metrics(&current, "current");
+    let base_metrics = load_metrics(&baseline, "baseline", throughput);
+    let curr_metrics = load_metrics(&current, "current", throughput);
+    let family = if throughput { "throughput" } else { "latency" };
     if base_metrics.is_empty() {
         eprintln!(
-            "perf_gate: baseline {} contains no latency metrics",
+            "perf_gate: baseline {} contains no {family} metrics",
             baseline.display()
         );
         std::process::exit(1);
     }
 
-    let cmp = summary::compare(&base_metrics, &curr_metrics, max_pct / 100.0);
-    println!(
-        "# perf gate — {} vs {} (allowed +{max_pct}%)\n",
-        current.display(),
-        baseline.display()
-    );
+    let cmp = if throughput {
+        summary::compare_throughput(
+            &base_metrics,
+            &curr_metrics,
+            max_pct / 100.0,
+            floor.unwrap_or(0.0),
+        )
+    } else {
+        summary::compare(&base_metrics, &curr_metrics, max_pct / 100.0)
+    };
+    match (throughput, floor) {
+        (false, _) => println!(
+            "# perf gate — {} vs {} (allowed +{max_pct}%)\n",
+            current.display(),
+            baseline.display()
+        ),
+        (true, None) => println!(
+            "# perf gate (throughput) — {} vs {} (allowed -{max_pct}%)\n",
+            current.display(),
+            baseline.display()
+        ),
+        (true, Some(f)) => println!(
+            "# perf gate (throughput) — {} vs {} (allowed -{max_pct}%, floor {f} q/s)\n",
+            current.display(),
+            baseline.display()
+        ),
+    }
     // Per-metric actual deltas, worst regression first — the diagnostic a
     // red (or almost-red) gate run is read by.
     for line in &cmp.lines {
@@ -132,10 +184,19 @@ fn main() {
         cmp.regressions.len(),
         cmp.missing.len()
     );
-    if let Some(worst) = cmp.worst() {
+    let headline = if throughput {
+        cmp.worst_drop()
+    } else {
+        cmp.worst()
+    };
+    if let Some(worst) = headline {
         println!(
-            "worst mover: {} {:+.1}% ({:.3} -> {:.3}, allowed +{max_pct}%)",
-            worst.key, worst.delta_pct, worst.baseline, worst.current
+            "worst mover: {} {:+.1}% ({:.3} -> {:.3}, allowed {}{max_pct}%)",
+            worst.key,
+            worst.delta_pct,
+            worst.baseline,
+            worst.current,
+            if throughput { "-" } else { "+" }
         );
     }
     if !cmp.passed() {

@@ -254,6 +254,20 @@ impl Metric {
 /// `schema_version` (the self-description contract every summary has
 /// honoured since schema 2).
 pub fn latency_metrics(doc: &Json) -> Result<Vec<Metric>, String> {
+    metrics_matching(doc, "time")
+}
+
+/// Extracts every throughput metric (column header containing
+/// `"throughput"`) — the higher-is-better twin of [`latency_metrics`],
+/// compared with [`compare_throughput`].  The two column families are
+/// disjoint by construction: throughput headers never contain "time" and
+/// latency headers never contain "throughput", so each gate mode sees only
+/// its own direction.
+pub fn throughput_metrics(doc: &Json) -> Result<Vec<Metric>, String> {
+    metrics_matching(doc, "throughput")
+}
+
+fn metrics_matching(doc: &Json, needle: &str) -> Result<Vec<Metric>, String> {
     let version = doc
         .get("schema_version")
         .and_then(Json::as_num)
@@ -280,7 +294,7 @@ pub fn latency_metrics(doc: &Json) -> Result<Vec<Metric>, String> {
             .enumerate()
             .filter_map(|(i, h)| {
                 h.as_str()
-                    .filter(|name| name.to_ascii_lowercase().contains("time"))
+                    .filter(|name| name.to_ascii_lowercase().contains(needle))
                     .map(|name| (i, name.to_string()))
             })
             .collect();
@@ -374,6 +388,13 @@ impl Comparison {
     pub fn worst(&self) -> Option<&Delta> {
         self.deltas.first().filter(|d| d.delta_pct > 0.0)
     }
+
+    /// The throughput-direction headline: the metric that dropped the most,
+    /// if any dropped at all.  Valid on [`compare_throughput`] results,
+    /// whose deltas are sorted worst drop (most negative) first.
+    pub fn worst_drop(&self) -> Option<&Delta> {
+        self.deltas.first().filter(|d| d.delta_pct < 0.0)
+    }
 }
 
 /// Compares two metric sets: every baseline metric must exist in the
@@ -423,6 +444,72 @@ pub fn compare(baseline: &[Metric], current: &[Metric], max_regression: f64) -> 
     out.deltas.sort_by(|a, b| {
         b.delta_pct
             .partial_cmp(&a.delta_pct)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.key.cmp(&b.key))
+    });
+    out.lines = out.deltas.iter().map(Delta::render).collect();
+    out
+}
+
+/// Compares two **throughput** metric sets — the higher-is-better inverse
+/// of [`compare`]: every baseline metric must exist in the current run,
+/// must not fall below `baseline * (1 - max_drop)`, and must not fall
+/// below the absolute `floor` (pass `0.0` for no floor).  The floor fails
+/// a metric even when the committed baseline itself is already below it —
+/// that is the point of a floor: it cannot be ratcheted down by re-running
+/// the baseline on a slow machine.  Deltas are sorted worst drop first;
+/// `delta_pct` keeps its `compare` meaning (`-` = lower than baseline).
+pub fn compare_throughput(
+    baseline: &[Metric],
+    current: &[Metric],
+    max_drop: f64,
+    floor: f64,
+) -> Comparison {
+    let current_by_key: BTreeMap<String, f64> =
+        current.iter().map(|m| (m.key(), m.value)).collect();
+    let mut out = Comparison::default();
+    for base in baseline {
+        let key = base.key();
+        let Some(&now) = current_by_key.get(&key) else {
+            out.missing.push(key);
+            continue;
+        };
+        out.compared += 1;
+        // Same noise guard as `compare`: a sub-floor measurement on either
+        // side was never meaningful, so the ratio is treated as unchanged
+        // (the absolute throughput floor below still applies).
+        let noise = 1e-3;
+        let ratio = if base.value < noise || now < noise {
+            1.0
+        } else {
+            now / base.value
+        };
+        let delta_pct = (ratio - 1.0) * 100.0;
+        let dropped = ratio < 1.0 - max_drop;
+        let under_floor = floor > 0.0 && now < floor;
+        let regressed = dropped || under_floor;
+        if dropped {
+            out.regressions.push(format!(
+                "{key}: {:.3} -> {now:.3} ({delta_pct:.1}%)",
+                base.value
+            ));
+        }
+        if under_floor {
+            out.regressions
+                .push(format!("{key}: {now:.3} is below the floor {floor:.3}"));
+        }
+        out.deltas.push(Delta {
+            key,
+            baseline: base.value,
+            current: now,
+            delta_pct,
+            regressed,
+        });
+    }
+    // Worst drop first — the inverse of `compare`'s ordering.
+    out.deltas.sort_by(|a, b| {
+        a.delta_pct
+            .partial_cmp(&b.delta_pct)
             .unwrap_or(std::cmp::Ordering::Equal)
             .then_with(|| a.key.cmp(&b.key))
     });
@@ -540,6 +627,92 @@ mod tests {
             0.25,
         );
         assert!(better.worst().is_none());
+    }
+
+    fn sample_scan_summary(hrr_qps: f64) -> String {
+        let mut report = crate::Report::new();
+        report.meta("experiment", "scan");
+        report.meta("kind", "all");
+        report.table(
+            "Scan throughput — test",
+            &[
+                "index",
+                "window throughput (q/s)",
+                "point throughput (q/s)",
+                "window recall",
+            ],
+            vec![
+                vec![
+                    "HRR".into(),
+                    format!("{hrr_qps}"),
+                    "9000.0".into(),
+                    "1.0".into(),
+                ],
+                vec![
+                    "Grid".into(),
+                    "5000.0".into(),
+                    "8000.0".into(),
+                    "1.0".into(),
+                ],
+            ],
+        );
+        report.to_json()
+    }
+
+    #[test]
+    fn throughput_metrics_see_only_throughput_columns() {
+        let doc = parse(&sample_scan_summary(4000.0)).expect("parse");
+        let tp = throughput_metrics(&doc).expect("metrics");
+        assert_eq!(tp.len(), 4); // 2 kinds x 2 throughput columns
+        assert!(tp.iter().all(|m| m.column.contains("throughput")));
+        // The latency gate must not see higher-is-better columns, and the
+        // throughput gate must not see latency columns.
+        assert!(latency_metrics(&doc).expect("metrics").is_empty());
+        let lat_doc = parse(&sample_summary(1.0)).expect("parse");
+        assert!(throughput_metrics(&lat_doc).expect("metrics").is_empty());
+    }
+
+    #[test]
+    fn throughput_comparison_fails_on_drops_not_gains() {
+        let base = throughput_metrics(&parse(&sample_scan_summary(4000.0)).unwrap()).unwrap();
+        // +50% throughput passes; -40% fails at a 25% tolerance.
+        let faster = throughput_metrics(&parse(&sample_scan_summary(6000.0)).unwrap()).unwrap();
+        let slower = throughput_metrics(&parse(&sample_scan_summary(2400.0)).unwrap()).unwrap();
+        let cmp = compare_throughput(&base, &faster, 0.25, 0.0);
+        assert!(cmp.passed(), "{:?}", cmp.regressions);
+        assert_eq!(cmp.compared, 4);
+        assert!(cmp.worst_drop().is_none());
+        let cmp = compare_throughput(&base, &slower, 0.25, 0.0);
+        assert!(!cmp.passed());
+        assert_eq!(cmp.regressions.len(), 1);
+        assert!(cmp.regressions[0].contains("HRR"), "{:?}", cmp.regressions);
+        // Worst drop leads the deltas.
+        assert!(cmp.deltas[0].key.contains("HRR"));
+        assert!((cmp.deltas[0].delta_pct - -40.0).abs() < 1e-9);
+        assert_eq!(cmp.worst_drop().unwrap().key, cmp.deltas[0].key);
+    }
+
+    #[test]
+    fn throughput_floor_is_absolute() {
+        let base = throughput_metrics(&parse(&sample_scan_summary(4000.0)).unwrap()).unwrap();
+        // 3500 q/s is only a 12.5% drop (within tolerance) but is below a
+        // 3600 q/s floor — the floor alone must fail the gate.
+        let current = throughput_metrics(&parse(&sample_scan_summary(3500.0)).unwrap()).unwrap();
+        let cmp = compare_throughput(&base, &current, 0.25, 3600.0);
+        assert!(!cmp.passed());
+        assert!(
+            cmp.regressions
+                .iter()
+                .any(|r| r.contains("below the floor")),
+            "{:?}",
+            cmp.regressions
+        );
+        // Without the floor the same run passes.
+        assert!(compare_throughput(&base, &current, 0.25, 0.0).passed());
+        // Missing kinds still fail in throughput mode.
+        let cmp = compare_throughput(&base, &current[..1], 0.25, 0.0);
+        assert!(!cmp.passed());
+        assert!(!cmp.missing.is_empty());
     }
 
     #[test]

@@ -273,7 +273,7 @@ mod tests {
         let mut ids: Vec<u64> = out
             .store
             .iter()
-            .flat_map(|(_, b)| b.points().iter().map(|p| p.id))
+            .flat_map(|(_, b)| b.ids().iter().copied())
             .collect();
         ids.sort_unstable();
         ids.dedup();

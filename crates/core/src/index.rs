@@ -151,7 +151,7 @@ impl Rsmi {
     pub fn collect_points(&self) -> Vec<Point> {
         self.store
             .iter()
-            .flat_map(|(_, b)| b.points().iter().copied())
+            .flat_map(|(_, b)| b.iter_points())
             .collect()
     }
 
@@ -228,7 +228,7 @@ impl Rsmi {
             for id in self.store.overflow_chain(base) {
                 let block = self.read_block(id, cx);
                 if let Some(p) = block.find_at(q.x, q.y) {
-                    return Some(*p);
+                    return Some(p);
                 }
             }
         }
@@ -328,11 +328,7 @@ impl Rsmi {
             return;
         };
         self.scan_chain(begin, end, cx, |block| {
-            for p in block.points() {
-                if window.contains(p) {
-                    visit(p);
-                }
-            }
+            block.for_each_in_rect(window, |p| visit(&p));
         });
     }
 
@@ -374,11 +370,7 @@ impl Rsmi {
                                 continue;
                             }
                             cx.count_candidates(block.len());
-                            for p in block.points() {
-                                if window.contains(p) {
-                                    visit(p);
-                                }
-                            }
+                            block.for_each_in_rect(window, |p| visit(&p));
                         }
                     }
                 }
@@ -446,11 +438,7 @@ impl Rsmi {
                                 continue;
                             }
                             cx.count_candidates(block.len());
-                            for p in block.points() {
-                                if p.dist_sq(center) <= r_sq {
-                                    visit(p);
-                                }
-                            }
+                            block.for_each_within(center, r_sq, |p, _| visit(&p));
                         }
                     }
                 }
@@ -482,12 +470,13 @@ impl Rsmi {
                     cx.count_node();
                     for (cell, child) in node.children.iter().enumerate() {
                         if let Some(c) = child {
-                            let mbr = &node.child_mbrs[cell];
-                            let kept: Vec<Point> = cand
-                                .iter()
-                                .filter(|q| mbr.min_dist_sq(q) <= r_sq)
-                                .copied()
-                                .collect();
+                            let mut kept = Vec::new();
+                            storage::kernels::probes_within(
+                                &cand,
+                                &node.child_mbrs[cell],
+                                r_sq,
+                                &mut kept,
+                            );
                             if !kept.is_empty() {
                                 stack.push((*c, kept));
                             }
@@ -503,16 +492,24 @@ impl Rsmi {
                             cx.count_block();
                             let block = self.store.block(b);
                             let mbr = block.mbr();
-                            let kept: Vec<&Point> =
-                                cand.iter().filter(|q| mbr.min_dist_sq(q) <= r_sq).collect();
+                            let mut kept = Vec::new();
+                            storage::kernels::probes_within(&cand, &mbr, r_sq, &mut kept);
                             if kept.is_empty() {
                                 continue;
                             }
                             cx.count_candidates(block.len());
-                            for p in block.points() {
-                                for q in &kept {
-                                    if p.dist_sq(q) <= r_sq {
-                                        visit(p, q);
+                            if let [q] = kept.as_slice() {
+                                // Single surviving probe: the vectorized
+                                // radius filter preserves the (point-major)
+                                // visit order.
+                                let q = *q;
+                                block.for_each_within(&q, r_sq, |p, _| visit(&p, &q));
+                            } else {
+                                for p in block.iter_points() {
+                                    for q in &kept {
+                                        if p.dist_sq(q) <= r_sq {
+                                            visit(&p, q);
+                                        }
                                     }
                                 }
                             }
@@ -568,8 +565,8 @@ impl Rsmi {
                     if best.len() >= k_eff && block.mbr().min_dist(q) >= dist_bound {
                         return;
                     }
-                    for p in block.points() {
-                        let d = p.dist(q);
+                    block.for_each_dist_sq(q, |p, d_sq| {
+                        let d = d_sq.sqrt();
                         if best.len() < k_eff || d < kth(&best) {
                             // Expansion rounds re-scan earlier blocks: an
                             // exact (distance, id) hit means this point was
@@ -580,13 +577,13 @@ impl Rsmi {
                                     .unwrap_or(std::cmp::Ordering::Equal)
                                     .then(bp.id.cmp(&p.id))
                             }) {
-                                best.insert(pos, (d, *p));
+                                best.insert(pos, (d, p));
                                 if best.len() > k_eff {
                                     best.pop();
                                 }
                             }
                         }
-                    }
+                    });
                 });
             }
 
@@ -627,8 +624,8 @@ impl Rsmi {
         best.clear();
         for (id, _) in self.store.iter() {
             let block = self.read_block(id, cx);
-            for p in block.points() {
-                let d = p.dist(q);
+            block.for_each_dist_sq(q, |p, d_sq| {
+                let d = d_sq.sqrt();
                 let pos = best
                     .binary_search_by(|(bd, bp)| {
                         bd.partial_cmp(&d)
@@ -637,12 +634,12 @@ impl Rsmi {
                     })
                     .unwrap_or_else(|e| e);
                 if pos < k {
-                    best.insert(pos, (d, *p));
+                    best.insert(pos, (d, p));
                     if best.len() > k {
                         best.pop();
                     }
                 }
-            }
+            });
         }
     }
 
@@ -716,13 +713,13 @@ impl Rsmi {
                 }
                 EntryKind::Block(id) => {
                     let block = self.read_block(id, cx);
-                    for p in block.points() {
+                    block.for_each_dist_sq(q, |p, d_sq| {
                         heap.push(Reverse(Entry {
-                            dist: p.dist(q),
+                            dist: d_sq.sqrt(),
                             tie: (true, p.id),
-                            kind: EntryKind::Point(*p),
+                            kind: EntryKind::Point(p),
                         }));
-                    }
+                    });
                 }
                 EntryKind::Node(id) => match &self.nodes[id] {
                     Node::Internal(node) => {
@@ -1088,8 +1085,8 @@ impl SpatialIndex for Rsmi {
 
     fn for_each_point(&self, visit: &mut dyn FnMut(&Point)) {
         for (_, block) in self.store.iter() {
-            for p in block.points() {
-                visit(p);
+            for p in block.iter_points() {
+                visit(&p);
             }
         }
     }

@@ -380,13 +380,7 @@ impl SpatialIndex for ShardedIndex {
                 pruned += 1;
                 continue;
             }
-            kept.clear();
-            kept.extend(
-                probes
-                    .iter()
-                    .filter(|q| s.mbr.min_dist_sq(q) <= r_sq)
-                    .copied(),
-            );
+            storage::kernels::probes_within(probes, &s.mbr, r_sq, &mut kept);
             if kept.is_empty() {
                 pruned += 1;
                 continue;

@@ -243,6 +243,14 @@ impl SnapshotWriter {
         }
     }
 
+    /// Appends a length-prefixed slice of `u64`s.
+    pub fn put_u64s(&mut self, vs: &[u64]) {
+        self.put_usize(vs.len());
+        for &v in vs {
+            self.put_u64(v);
+        }
+    }
+
     /// Appends a length-prefixed UTF-8 string.
     pub fn put_str(&mut self, s: &str) {
         self.put_usize(s.len());
@@ -358,6 +366,24 @@ impl<'a> SnapshotReader<'a> {
         Ok(())
     }
 
+    /// Returns the tag of the next section without consuming it, so callers
+    /// can dispatch on versioned section layouts (e.g. the block store's
+    /// v1/v2 formats) before committing to [`SnapshotReader::begin_section`].
+    ///
+    /// # Panics
+    /// Panics if called while a section is open (sections do not nest).
+    pub fn peek_section_tag(&self) -> Result<u32, PersistError> {
+        assert!(!self.in_section, "peek_section_tag inside a section");
+        if self.pos.checked_add(4).is_none_or(|end| end > self.limit) {
+            return Err(PersistError::Truncated);
+        }
+        Ok(u32::from_le_bytes(
+            self.data[self.pos..self.pos + 4]
+                .try_into()
+                .expect("4 bytes"),
+        ))
+    }
+
     /// Closes the open section, skipping any unread payload and the CRC.
     pub fn end_section(&mut self) -> Result<(), PersistError> {
         assert!(self.in_section, "no open section");
@@ -451,6 +477,16 @@ impl<'a> SnapshotReader<'a> {
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
             out.push(self.get_f64()?);
+        }
+        Ok(out)
+    }
+
+    /// Reads a length-prefixed `u64` vector.
+    pub fn get_u64s(&mut self) -> Result<Vec<u64>, PersistError> {
+        let n = self.get_len(8)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.get_u64()?);
         }
         Ok(out)
     }

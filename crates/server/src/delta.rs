@@ -16,6 +16,7 @@
 
 use geom::{Point, Rect};
 use std::collections::BTreeMap;
+use storage::kernels;
 
 /// Exact identity of a point: canonical coordinate bit patterns plus id.
 ///
@@ -89,6 +90,16 @@ pub(crate) struct DeltaState {
     log: Vec<SequencedOp>,
     /// Net per-key state, deterministic iteration order.
     entries: BTreeMap<Key, Entry>,
+    /// Sorted-lane mirror of `entries` for the vectorized scan kernels:
+    /// `lane_keys` repeats the map's key order, and the coordinate, id and
+    /// copy-count lanes are parallel to it.  The coordinate lanes hold the
+    /// *raw* point values (keys fold `-0.0` onto `+0.0`; visited points must
+    /// reproduce the inserted bits exactly).
+    lane_keys: Vec<Key>,
+    lane_xs: Vec<f64>,
+    lane_ys: Vec<f64>,
+    lane_ids: Vec<u64>,
+    lane_copies: Vec<u32>,
     /// Number of keys with `base_masked` set (each masks exactly one base
     /// copy).
     masked_base: usize,
@@ -141,7 +152,36 @@ impl DeltaState {
     /// Approximate memory footprint of the overlay.
     pub(crate) fn size_bytes(&self) -> usize {
         self.log.len() * std::mem::size_of::<SequencedOp>()
-            + self.entries.len() * (std::mem::size_of::<Key>() + std::mem::size_of::<Entry>())
+            + self.entries.len()
+                * (2 * std::mem::size_of::<Key>()
+                    + std::mem::size_of::<Entry>()
+                    + 2 * std::mem::size_of::<f64>()
+                    + std::mem::size_of::<u64>()
+                    + std::mem::size_of::<u32>())
+    }
+
+    /// Reconciles the lane mirror with `entries` for one key after `apply`
+    /// mutated it (insert, copy-count change, or removal).
+    fn sync_lanes(&mut self, key: Key) {
+        let entry = self.entries.get(&key).copied();
+        match (entry, self.lane_keys.binary_search(&key)) {
+            (Some(e), Ok(pos)) => self.lane_copies[pos] = e.copies,
+            (Some(e), Err(pos)) => {
+                self.lane_keys.insert(pos, key);
+                self.lane_xs.insert(pos, e.point.x);
+                self.lane_ys.insert(pos, e.point.y);
+                self.lane_ids.insert(pos, e.point.id);
+                self.lane_copies.insert(pos, e.copies);
+            }
+            (None, Ok(pos)) => {
+                self.lane_keys.remove(pos);
+                self.lane_xs.remove(pos);
+                self.lane_ys.remove(pos);
+                self.lane_ids.remove(pos);
+                self.lane_copies.remove(pos);
+            }
+            (None, Err(_)) => {}
+        }
     }
 
     /// Applies one op under sequence number `op.seq`.  `base_copies_of`
@@ -155,7 +195,8 @@ impl DeltaState {
         self.log.push(op);
         match op.op {
             WriteOp::Insert(p) => {
-                let e = self.entries.entry(key_of(&p)).or_insert(Entry {
+                let key = key_of(&p);
+                let e = self.entries.entry(key).or_insert(Entry {
                     point: p,
                     copies: 0,
                     first_seq: op.seq,
@@ -166,6 +207,7 @@ impl DeltaState {
                 }
                 e.copies += 1;
                 self.live_inserts += 1;
+                self.sync_lanes(key);
                 true
             }
             WriteOp::Delete(p) => {
@@ -194,6 +236,7 @@ impl DeltaState {
                     // op — sequence numbers stay dense and replays agree).
                     self.entries.remove(&key);
                 }
+                self.sync_lanes(key);
                 removed
             }
         }
@@ -227,18 +270,30 @@ impl DeltaState {
     }
 
     /// Visits every live inserted copy inside `window` (a key with `c`
-    /// copies is visited `c` times).  Returns the number of entries examined.
+    /// copies is visited `c` times), in key order, via the chunked rect
+    /// kernel over the lane mirror.  Returns the number of entries examined
+    /// (every entry: the kernel tests all lanes, exactly as the old per-entry
+    /// scan did).
     pub(crate) fn visit_inserts_in(&self, window: &Rect, visit: &mut dyn FnMut(&Point)) -> usize {
-        let mut examined = 0;
-        for e in self.entries.values() {
-            examined += 1;
-            if e.copies > 0 && window.contains(&e.point) {
-                for _ in 0..e.copies {
-                    visit(&e.point);
+        let n = self.lane_keys.len();
+        let mut start = 0;
+        while start < n {
+            let end = (start + kernels::CHUNK).min(n);
+            let mut mask =
+                kernels::rect_mask(&self.lane_xs[start..end], &self.lane_ys[start..end], window);
+            while mask != 0 {
+                let i = start + mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                if self.lane_copies[i] > 0 {
+                    let p = Point::with_id(self.lane_xs[i], self.lane_ys[i], self.lane_ids[i]);
+                    for _ in 0..self.lane_copies[i] {
+                        visit(&p);
+                    }
                 }
             }
+            start = end;
         }
-        examined
+        n
     }
 
     /// Visits every live inserted copy (for kNN unions).  Returns the number
@@ -255,24 +310,39 @@ impl DeltaState {
     }
 
     /// Visits every live inserted copy within the circle of squared radius
-    /// `r_sq` around `center` (the distance-range union).  Returns the
-    /// number of entries examined.
+    /// `r_sq` around `center` (the distance-range union), in key order, via
+    /// the chunked radius kernel over the lane mirror.  Returns the number
+    /// of entries examined.
     pub(crate) fn visit_inserts_within(
         &self,
         center: &Point,
         r_sq: f64,
         visit: &mut dyn FnMut(&Point),
     ) -> usize {
-        let mut examined = 0;
-        for e in self.entries.values() {
-            examined += 1;
-            if e.copies > 0 && e.point.dist_sq(center) <= r_sq {
-                for _ in 0..e.copies {
-                    visit(&e.point);
+        let n = self.lane_keys.len();
+        let mut start = 0;
+        while start < n {
+            let end = (start + kernels::CHUNK).min(n);
+            let mut mask = kernels::within_mask(
+                &self.lane_xs[start..end],
+                &self.lane_ys[start..end],
+                center.x,
+                center.y,
+                r_sq,
+            );
+            while mask != 0 {
+                let i = start + mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                if self.lane_copies[i] > 0 {
+                    let p = Point::with_id(self.lane_xs[i], self.lane_ys[i], self.lane_ids[i]);
+                    for _ in 0..self.lane_copies[i] {
+                        visit(&p);
+                    }
                 }
             }
+            start = end;
         }
-        examined
+        n
     }
 }
 
@@ -425,6 +495,61 @@ mod tests {
         assert!(apply(&mut d, 2, WriteOp::Insert(p(0.8, 0.8, 8)), &[]));
         assert!(apply(&mut d, 3, WriteOp::Delete(p(0.8, 0.8, 8)), &[]));
         assert_eq!(d.visit_inserts(&mut |_| {}), 0);
+    }
+
+    #[test]
+    fn lane_mirror_visits_match_a_naive_entry_scan() {
+        // More entries than one kernel chunk, with interleaved deletes so
+        // the lanes see inserts, copy-count updates and removals; the
+        // kernel-driven visits must agree with a naive filter over the log's
+        // net state, in key order.
+        let mut d = DeltaState::default();
+        let mut seq = 0;
+        for i in 0..(storage::kernels::CHUNK as u64 * 2 + 9) {
+            seq += 1;
+            let x = (i as f64 * 0.37).fract();
+            let y = (i as f64 * 0.71).fract();
+            apply(&mut d, seq, WriteOp::Insert(p(x, y, i)), &[]);
+            if i % 3 == 0 {
+                seq += 1;
+                apply(&mut d, seq, WriteOp::Delete(p(x, y, i)), &[]);
+            }
+            if i % 7 == 0 {
+                seq += 1;
+                apply(&mut d, seq, WriteOp::Insert(p(x, y, i)), &[]);
+            }
+        }
+        let mut naive: Vec<(Key, Point, u32)> = Vec::new();
+        for (k, e) in &d.entries {
+            naive.push((*k, e.point, e.copies));
+        }
+
+        let w = Rect::new(0.2, 0.1, 0.8, 0.9);
+        let mut got = Vec::new();
+        assert_eq!(
+            d.visit_inserts_in(&w, &mut |q| got.push(q.id)),
+            d.entries.len()
+        );
+        let expect: Vec<u64> = naive
+            .iter()
+            .filter(|(_, pt, c)| *c > 0 && w.contains(pt))
+            .flat_map(|(_, pt, c)| std::iter::repeat_n(pt.id, *c as usize))
+            .collect();
+        assert_eq!(got, expect);
+
+        let center = p(0.5, 0.5, 0);
+        let r_sq = 0.04;
+        let mut got = Vec::new();
+        assert_eq!(
+            d.visit_inserts_within(&center, r_sq, &mut |q| got.push(q.id)),
+            d.entries.len()
+        );
+        let expect: Vec<u64> = naive
+            .iter()
+            .filter(|(_, pt, c)| *c > 0 && pt.dist_sq(&center) <= r_sq)
+            .flat_map(|(_, pt, c)| std::iter::repeat_n(pt.id, *c as usize))
+            .collect();
+        assert_eq!(got, expect);
     }
 
     #[test]

@@ -1,11 +1,18 @@
-//! A single data block.
+//! A single data block, stored struct-of-arrays.
 
+use crate::kernels;
 use geom::{Point, Rect};
 
 /// Identifier of a block within a [`crate::BlockStore`].
 pub type BlockId = usize;
 
-/// A fixed-capacity block of data points.
+/// A fixed-capacity block of data points, stored as separate `x`/`y`/`id`
+/// lanes (struct-of-arrays) so the scan kernels in [`crate::kernels`] read
+/// contiguous coordinate arrays instead of striding over interleaved
+/// `Point`s.  The two coordinate lanes share one fixed allocation
+/// (`x` lane at `coords[..capacity]`, `y` lane at `coords[capacity..]`):
+/// tree-shaped families visit many small scattered blocks per query, and a
+/// second heap hop per visit costs more than the lane split saves.
 ///
 /// Blocks are chained with `prev`/`next` pointers in curve-value order so
 /// that window queries can scan a contiguous range of blocks (§3.2).  Blocks
@@ -15,7 +22,10 @@ pub type BlockId = usize;
 /// predecessor block.
 #[derive(Debug, Clone)]
 pub struct Block {
-    entries: Vec<Point>,
+    /// `[x0..x_cap | y0..y_cap]`; only the first `len` entries of each half
+    /// are live.
+    coords: Box<[f64]>,
+    ids: Vec<u64>,
     capacity: usize,
     prev: Option<BlockId>,
     next: Option<BlockId>,
@@ -27,7 +37,8 @@ impl Block {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "block capacity must be positive");
         Self {
-            entries: Vec::with_capacity(capacity),
+            coords: vec![0.0; 2 * capacity].into_boxed_slice(),
+            ids: Vec::with_capacity(capacity),
             capacity,
             prev: None,
             next: None,
@@ -38,19 +49,19 @@ impl Block {
     /// Number of live points in the block.
     #[inline]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.ids.len()
     }
 
     /// Whether the block holds no points.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.ids.is_empty()
     }
 
     /// Whether the block is at capacity.
     #[inline]
     pub fn is_full(&self) -> bool {
-        self.entries.len() >= self.capacity
+        self.ids.len() >= self.capacity
     }
 
     /// The block's configured capacity (`B`).
@@ -102,43 +113,115 @@ impl Block {
     /// [`Block::is_full`] and allocate an overflow block instead.
     pub fn push(&mut self, p: Point) {
         assert!(!self.is_full(), "push into a full block");
-        self.entries.push(p);
+        let n = self.ids.len();
+        self.coords[n] = p.x;
+        self.coords[self.capacity + n] = p.y;
+        self.ids.push(p.id);
     }
 
-    /// The points currently stored in the block.
+    /// The x-coordinate lane.
     #[inline]
-    pub fn points(&self) -> &[Point] {
-        &self.entries
+    pub fn xs(&self) -> &[f64] {
+        &self.coords[..self.ids.len()]
+    }
+
+    /// The y-coordinate lane.
+    #[inline]
+    pub fn ys(&self) -> &[f64] {
+        &self.coords[self.capacity..self.capacity + self.ids.len()]
+    }
+
+    /// The id lane.
+    #[inline]
+    pub fn ids(&self) -> &[u64] {
+        &self.ids
+    }
+
+    /// The `i`-th point, re-assembled from the lanes.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn point(&self, i: usize) -> Point {
+        assert!(i < self.ids.len());
+        Point::with_id(self.coords[i], self.coords[self.capacity + i], self.ids[i])
+    }
+
+    /// Iterates the block's points in lane order.
+    pub fn iter_points(&self) -> impl Iterator<Item = Point> + '_ {
+        (0..self.len()).map(move |i| self.point(i))
+    }
+
+    /// The block's points as an owned vector (maintenance paths: splits,
+    /// rebuilds, verification; query paths use the kernel filters instead).
+    pub fn to_points(&self) -> Vec<Point> {
+        self.iter_points().collect()
+    }
+
+    /// Visits every point inside `rect`, in lane order — the kernel-driven
+    /// window filter ([`kernels::for_each_in_rect`]).
+    #[inline]
+    pub fn for_each_in_rect(&self, rect: &Rect, visit: impl FnMut(Point)) {
+        kernels::for_each_in_rect(self.xs(), self.ys(), &self.ids, rect, visit);
+    }
+
+    /// Visits every point within squared distance `r_sq` of `center`
+    /// (with its squared distance), in lane order — the kernel-driven
+    /// distance-range filter ([`kernels::for_each_within`]).
+    #[inline]
+    pub fn for_each_within(&self, center: &Point, r_sq: f64, visit: impl FnMut(Point, f64)) {
+        kernels::for_each_within(
+            self.xs(),
+            self.ys(),
+            &self.ids,
+            center.x,
+            center.y,
+            r_sq,
+            visit,
+        );
+    }
+
+    /// Visits every point with its squared distance from `center`, in lane
+    /// order — the kNN push loop ([`kernels::for_each_dist_sq`]).
+    #[inline]
+    pub fn for_each_dist_sq(&self, center: &Point, visit: impl FnMut(Point, f64)) {
+        kernels::for_each_dist_sq(self.xs(), self.ys(), &self.ids, center.x, center.y, visit);
     }
 
     /// Removes the point with the given id, swapping in the last entry
     /// (the paper's deletion strategy: "swap p with the last point in this
     /// block and mark p as deleted").  Returns the removed point.
     pub fn remove_by_id(&mut self, id: u64) -> Option<Point> {
-        let pos = self.entries.iter().position(|p| p.id == id)?;
-        Some(self.entries.swap_remove(pos))
+        let pos = self.ids.iter().position(|&i| i == id)?;
+        let p = self.point(pos);
+        let last = self.ids.len() - 1;
+        self.coords[pos] = self.coords[last];
+        self.coords[self.capacity + pos] = self.coords[self.capacity + last];
+        self.ids.swap_remove(pos);
+        Some(p)
     }
 
     /// Finds a point with exactly the given coordinates.
-    pub fn find_at(&self, x: f64, y: f64) -> Option<&Point> {
-        self.entries.iter().find(|p| p.x == x && p.y == y)
+    pub fn find_at(&self, x: f64, y: f64) -> Option<Point> {
+        let (xs, ys) = (self.xs(), self.ys());
+        (0..xs.len())
+            .find(|&i| xs[i] == x && ys[i] == y)
+            .map(|i| self.point(i))
     }
 
     /// The minimum bounding rectangle of the block's points (empty rectangle
-    /// for an empty block).
+    /// for an empty block) — a packed min/max fold over the lanes.
     pub fn mbr(&self) -> Rect {
-        let mut r = Rect::empty();
-        for p in &self.entries {
-            r.expand_to_point(*p);
-        }
-        r
+        kernels::mbr_of(self.xs(), self.ys())
     }
 
     /// Approximate in-memory size of the block in bytes, for index-size
     /// accounting.  The fixed capacity is charged even when the block is not
-    /// full, mirroring an on-disk page.
+    /// full, mirroring an on-disk page (the lane split leaves the per-point
+    /// footprint unchanged: two `f64`s plus one `u64`).
     pub fn size_bytes(&self) -> usize {
-        self.capacity * std::mem::size_of::<Point>() + 4 * std::mem::size_of::<usize>()
+        self.capacity * (2 * std::mem::size_of::<f64>() + std::mem::size_of::<u64>())
+            + 4 * std::mem::size_of::<usize>()
     }
 }
 
@@ -161,7 +244,22 @@ mod tests {
     }
 
     #[test]
-    fn remove_by_id_frees_space() {
+    fn lanes_stay_parallel_and_points_reassemble() {
+        let mut b = Block::new(4);
+        b.push(Point::with_id(0.1, 0.9, 7));
+        b.push(Point::with_id(0.2, 0.8, 8));
+        assert_eq!(b.xs(), &[0.1, 0.2]);
+        assert_eq!(b.ys(), &[0.9, 0.8]);
+        assert_eq!(b.ids(), &[7, 8]);
+        assert_eq!(b.point(1), Point::with_id(0.2, 0.8, 8));
+        assert_eq!(
+            b.to_points(),
+            vec![Point::with_id(0.1, 0.9, 7), Point::with_id(0.2, 0.8, 8)]
+        );
+    }
+
+    #[test]
+    fn remove_by_id_frees_space_and_swaps_all_lanes() {
         let mut b = Block::new(2);
         b.push(Point::with_id(0.1, 0.1, 7));
         b.push(Point::with_id(0.2, 0.2, 8));
@@ -170,6 +268,8 @@ mod tests {
         assert_eq!(removed.id, 7);
         assert!(!b.is_full());
         assert_eq!(b.len(), 1);
+        // The swapped-in survivor keeps its own coordinates on every lane.
+        assert_eq!(b.point(0), Point::with_id(0.2, 0.2, 8));
         assert!(b.remove_by_id(99).is_none());
     }
 
@@ -189,6 +289,43 @@ mod tests {
         b.push(Point::new(0.6, 0.1));
         let m = b.mbr();
         assert_eq!(m, Rect::new(0.2, 0.1, 0.6, 0.8));
+    }
+
+    #[test]
+    fn kernel_filters_agree_with_scalar_scans() {
+        let mut b = Block::new(10);
+        for i in 0..10 {
+            b.push(Point::with_id(i as f64 / 10.0, 1.0 - i as f64 / 10.0, i));
+        }
+        let w = Rect::new(0.2, 0.2, 0.8, 0.8);
+        let mut got = Vec::new();
+        b.for_each_in_rect(&w, |p| got.push(p.id));
+        let expect: Vec<u64> = b
+            .iter_points()
+            .filter(|p| w.contains(p))
+            .map(|p| p.id)
+            .collect();
+        assert_eq!(got, expect);
+
+        let q = Point::new(0.5, 0.5);
+        let mut within = Vec::new();
+        b.for_each_within(&q, 0.05, |p, d| {
+            assert_eq!(d.to_bits(), p.dist_sq(&q).to_bits());
+            within.push(p.id);
+        });
+        let expect: Vec<u64> = b
+            .iter_points()
+            .filter(|p| p.dist_sq(&q) <= 0.05)
+            .map(|p| p.id)
+            .collect();
+        assert_eq!(within, expect);
+
+        let mut n = 0;
+        b.for_each_dist_sq(&q, |p, d| {
+            assert_eq!(d.to_bits(), p.dist_sq(&q).to_bits());
+            n += 1;
+        });
+        assert_eq!(n, b.len());
     }
 
     #[test]

@@ -7,8 +7,12 @@
 //!
 //! * [`Block`] — a fixed-capacity container of points with `prev`/`next`
 //!   links so that consecutive blocks can be scanned like a linked list
-//!   (Fig. 4 of the paper),
-//! * [`BlockStore`] — an arena of blocks.
+//!   (Fig. 4 of the paper), stored struct-of-arrays (separate `x`/`y`/`id`
+//!   lanes),
+//! * [`BlockStore`] — an arena of blocks,
+//! * [`kernels`] — chunked, autovectorizable scan kernels (batch
+//!   rect-contains, batch distance-squared, branchless MINDIST, candidate
+//!   filters) shared by every block-backed query path.
 //!
 //! Everything is kept in main memory, exactly as in the paper's experimental
 //! setup ("We run all indices and algorithms in main memory for ease of
@@ -21,10 +25,12 @@
 #![warn(missing_docs)]
 
 mod block;
+pub mod kernels;
 mod snapshot;
 mod store;
 
 pub use block::{Block, BlockId};
+pub use snapshot::{SECTION_STORE_V1, SECTION_STORE_V2};
 pub use store::BlockStore;
 
 /// The block capacity used throughout the paper's experiments (`B = 100`).

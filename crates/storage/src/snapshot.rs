@@ -2,25 +2,43 @@
 //! `prev`/`next` chain links, and its overflow flag, so a reloaded store is
 //! bit-for-bit the store that was saved (block IDs included — query code
 //! holds IDs in its directory structures).
+//!
+//! Two section versions exist:
+//!
+//! * [`SECTION_STORE_V1`] (`0x5301`) — the original array-of-structs layout
+//!   (one interleaved `Point` record per point).  Still **read** for
+//!   compatibility with pre-rewrite snapshots; never written.
+//! * [`SECTION_STORE_V2`] (`0x5302`) — the struct-of-arrays layout matching
+//!   the in-memory [`Block`] lanes: per block, the whole `x` lane, then the
+//!   `y` lane, then the `id` lane, each length-prefixed.  This is what
+//!   [`BlockStore::write_snapshot`] emits; lanes serialise and deserialise
+//!   as contiguous runs.
+//!
+//! [`BlockStore::read_snapshot`] peeks the section tag and dispatches, so a
+//! v1 snapshot loads into the SoA store via conversion and replays
+//! byte-identically (`tests/snapshot_compat.rs` polices this).
 
 use crate::{Block, BlockStore};
 use persist::{PersistError, SnapshotReader, SnapshotWriter};
 
-/// Section tag of the block-store record.
-pub const SECTION_STORE: u32 = 0x5301;
+/// Section tag of the legacy array-of-structs block-store record (read-only).
+pub const SECTION_STORE_V1: u32 = 0x5301;
+
+/// Section tag of the struct-of-arrays block-store record.
+pub const SECTION_STORE_V2: u32 = 0x5302;
 
 impl BlockStore {
-    /// Writes the store as one checksummed section: capacity, then every
-    /// block in ID order (points, chain links, overflow flag).
+    /// Writes the store as one checksummed v2 (struct-of-arrays) section:
+    /// capacity, then every block in ID order (coordinate/id lanes, chain
+    /// links, overflow flag).
     pub fn write_snapshot(&self, w: &mut SnapshotWriter) {
-        w.begin_section(SECTION_STORE);
+        w.begin_section(SECTION_STORE_V2);
         w.put_usize(self.capacity());
         w.put_usize(self.len());
         for (_, block) in self.iter() {
-            w.put_usize(block.len());
-            for p in block.points() {
-                w.put_point(p);
-            }
+            w.put_f64s(block.xs());
+            w.put_f64s(block.ys());
+            w.put_u64s(block.ids());
             w.put_opt_usize(block.prev());
             w.put_opt_usize(block.next());
             w.put_bool(block.is_overflow());
@@ -28,10 +46,59 @@ impl BlockStore {
         w.end_section();
     }
 
-    /// Reads a store section written by [`BlockStore::write_snapshot`],
-    /// validating occupancy and chain links against the block count.
+    /// Reads a store section in either version, validating capacity,
+    /// occupancy, and chain links against the block count.  A zero or
+    /// oversold capacity surfaces as [`PersistError::Corrupt`] — never a
+    /// panic — because snapshot bytes are untrusted input.
     pub fn read_snapshot(r: &mut SnapshotReader<'_>) -> Result<Self, PersistError> {
-        r.begin_section(SECTION_STORE)?;
+        match r.peek_section_tag()? {
+            SECTION_STORE_V1 => Self::read_snapshot_v1(r),
+            _ => Self::read_snapshot_v2(r),
+        }
+    }
+
+    /// Reads the current struct-of-arrays section.
+    fn read_snapshot_v2(r: &mut SnapshotReader<'_>) -> Result<Self, PersistError> {
+        r.begin_section(SECTION_STORE_V2)?;
+        let capacity = r.get_usize()?;
+        if capacity == 0 {
+            return Err(PersistError::Corrupt("zero block capacity".into()));
+        }
+        let n_blocks = r.get_len(1)?;
+        let mut store = BlockStore::new(capacity);
+        for id in 0..n_blocks {
+            let xs = r.get_f64s()?;
+            let ys = r.get_f64s()?;
+            let ids = r.get_u64s()?;
+            if xs.len() != ys.len() || xs.len() != ids.len() {
+                return Err(PersistError::Corrupt(format!(
+                    "block {id} lanes disagree: {} xs, {} ys, {} ids",
+                    xs.len(),
+                    ys.len(),
+                    ids.len()
+                )));
+            }
+            if xs.len() > capacity {
+                return Err(PersistError::Corrupt(format!(
+                    "block {id} holds {} points but capacity is {capacity}",
+                    xs.len()
+                )));
+            }
+            let bid = store.allocate();
+            for i in 0..xs.len() {
+                store
+                    .block_mut(bid)
+                    .push(geom::Point::with_id(xs[i], ys[i], ids[i]));
+            }
+            read_block_tail(r, store.block_mut(bid), n_blocks, id)?;
+        }
+        r.end_section()?;
+        Ok(store)
+    }
+
+    /// Reads a legacy array-of-structs section, converting to lanes.
+    fn read_snapshot_v1(r: &mut SnapshotReader<'_>) -> Result<Self, PersistError> {
+        r.begin_section(SECTION_STORE_V1)?;
         let capacity = r.get_usize()?;
         if capacity == 0 {
             return Err(PersistError::Corrupt("zero block capacity".into()));
@@ -50,17 +117,28 @@ impl BlockStore {
                 let p = r.get_point()?;
                 store.block_mut(bid).push(p);
             }
-            let prev = checked_link(r.get_opt_usize()?, n_blocks, id, "prev")?;
-            let next = checked_link(r.get_opt_usize()?, n_blocks, id, "next")?;
-            let overflow = r.get_bool()?;
-            let block: &mut Block = store.block_mut(bid);
-            block.set_prev(prev);
-            block.set_next(next);
-            block.set_overflow(overflow);
+            read_block_tail(r, store.block_mut(bid), n_blocks, id)?;
         }
         r.end_section()?;
         Ok(store)
     }
+}
+
+/// Reads the per-block suffix shared by both section versions: chain links
+/// (validated against the block count) and the overflow flag.
+fn read_block_tail(
+    r: &mut SnapshotReader<'_>,
+    block: &mut Block,
+    n_blocks: usize,
+    id: usize,
+) -> Result<(), PersistError> {
+    let prev = checked_link(r.get_opt_usize()?, n_blocks, id, "prev")?;
+    let next = checked_link(r.get_opt_usize()?, n_blocks, id, "next")?;
+    let overflow = r.get_bool()?;
+    block.set_prev(prev);
+    block.set_next(next);
+    block.set_overflow(overflow);
+    Ok(())
 }
 
 fn checked_link(
@@ -96,21 +174,73 @@ mod tests {
         BlockStore::read_snapshot(&mut r).unwrap()
     }
 
+    /// Writes a store the way the pre-rewrite (v1, array-of-structs) writer
+    /// did, so the conversion path stays covered even though the writer is
+    /// gone.
+    fn write_v1(store: &BlockStore, w: &mut SnapshotWriter) {
+        w.begin_section(SECTION_STORE_V1);
+        w.put_usize(store.capacity());
+        w.put_usize(store.len());
+        for (_, block) in store.iter() {
+            w.put_usize(block.len());
+            for p in block.iter_points() {
+                w.put_point(&p);
+            }
+            w.put_opt_usize(block.prev());
+            w.put_opt_usize(block.next());
+            w.put_bool(block.is_overflow());
+        }
+        w.end_section();
+    }
+
+    fn assert_stores_equal(a: &BlockStore, b: &BlockStore) {
+        assert_eq!(a.capacity(), b.capacity());
+        assert_eq!(a.len(), b.len());
+        for (id, block) in a.iter() {
+            let l = b.block(id);
+            assert_eq!(l.to_points(), block.to_points());
+            assert_eq!(l.prev(), block.prev());
+            assert_eq!(l.next(), block.next());
+            assert_eq!(l.is_overflow(), block.is_overflow());
+        }
+    }
+
     #[test]
     fn packed_store_roundtrips_blocks_links_and_points() {
         let mut store = BlockStore::new(4);
         store.pack(&pts(10));
         let loaded = roundtrip(&store);
-        assert_eq!(loaded.capacity(), 4);
-        assert_eq!(loaded.len(), store.len());
         assert_eq!(loaded.total_points(), 10);
-        for (id, block) in store.iter() {
-            let l = loaded.block(id);
-            assert_eq!(l.points(), block.points());
-            assert_eq!(l.prev(), block.prev());
-            assert_eq!(l.next(), block.next());
-            assert_eq!(l.is_overflow(), block.is_overflow());
-        }
+        assert_stores_equal(&store, &loaded);
+    }
+
+    #[test]
+    fn v2_sections_roundtrip_byte_identically() {
+        let mut store = BlockStore::new(4);
+        store.pack(&pts(10));
+        let mut w = SnapshotWriter::new("Store");
+        store.write_snapshot(&mut w);
+        let first = w.finish();
+        let (_, mut r) = SnapshotReader::open(&first).unwrap();
+        let loaded = BlockStore::read_snapshot(&mut r).unwrap();
+        let mut w = SnapshotWriter::new("Store");
+        loaded.write_snapshot(&mut w);
+        assert_eq!(first, w.finish(), "save -> load -> save must be stable");
+    }
+
+    #[test]
+    fn legacy_v1_sections_load_via_conversion() {
+        let mut store = BlockStore::new(4);
+        store.pack(&pts(11));
+        let ov = store.insert_overflow_after(1);
+        store.block_mut(ov).push(Point::with_id(0.5, 0.5, 99));
+        let mut w = SnapshotWriter::new("Store");
+        write_v1(&store, &mut w);
+        let bytes = w.finish();
+        let (_, mut r) = SnapshotReader::open(&bytes).unwrap();
+        let loaded = BlockStore::read_snapshot(&mut r).unwrap();
+        assert_stores_equal(&store, &loaded);
+        assert_eq!(loaded.overflow_chain(1), store.overflow_chain(1));
     }
 
     #[test]
@@ -133,16 +263,56 @@ mod tests {
     }
 
     #[test]
+    fn zero_capacity_is_corrupt_not_panic_in_both_versions() {
+        for tag in [SECTION_STORE_V1, SECTION_STORE_V2] {
+            let mut w = SnapshotWriter::new("Store");
+            w.begin_section(tag);
+            w.put_usize(0); // capacity 0: would assert in Block::new
+            w.put_usize(0); // no blocks
+            w.end_section();
+            let bytes = w.finish();
+            let (_, mut r) = SnapshotReader::open(&bytes).unwrap();
+            match BlockStore::read_snapshot(&mut r) {
+                Err(PersistError::Corrupt(msg)) => {
+                    assert!(msg.contains("capacity"), "tag 0x{tag:04x}: {msg}")
+                }
+                other => panic!("tag 0x{tag:04x}: expected Corrupt, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
     fn overfull_block_is_corrupt_not_panic() {
-        // Hand-craft a section claiming 5 points in a capacity-2 block.
+        // Hand-craft a v2 section claiming 5 points in a capacity-2 block.
         let mut w = SnapshotWriter::new("Store");
-        w.begin_section(SECTION_STORE);
+        w.begin_section(SECTION_STORE_V2);
         w.put_usize(2); // capacity
         w.put_usize(1); // one block
-        w.put_usize(5); // five points: impossible
-        for p in pts(5) {
-            w.put_point(&p);
-        }
+        let five = pts(5);
+        w.put_f64s(&five.iter().map(|p| p.x).collect::<Vec<_>>());
+        w.put_f64s(&five.iter().map(|p| p.y).collect::<Vec<_>>());
+        w.put_u64s(&five.iter().map(|p| p.id).collect::<Vec<_>>());
+        w.put_opt_usize(None);
+        w.put_opt_usize(None);
+        w.put_bool(false);
+        w.end_section();
+        let bytes = w.finish();
+        let (_, mut r) = SnapshotReader::open(&bytes).unwrap();
+        assert!(matches!(
+            BlockStore::read_snapshot(&mut r),
+            Err(PersistError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn disagreeing_lanes_are_corrupt() {
+        let mut w = SnapshotWriter::new("Store");
+        w.begin_section(SECTION_STORE_V2);
+        w.put_usize(4);
+        w.put_usize(1);
+        w.put_f64s(&[0.1, 0.2]);
+        w.put_f64s(&[0.3]); // one y short
+        w.put_u64s(&[1, 2]);
         w.put_opt_usize(None);
         w.put_opt_usize(None);
         w.put_bool(false);
@@ -158,10 +328,12 @@ mod tests {
     #[test]
     fn dangling_chain_link_is_corrupt() {
         let mut w = SnapshotWriter::new("Store");
-        w.begin_section(SECTION_STORE);
+        w.begin_section(SECTION_STORE_V2);
         w.put_usize(2);
         w.put_usize(1);
-        w.put_usize(0);
+        w.put_f64s(&[]);
+        w.put_f64s(&[]);
+        w.put_u64s(&[]);
         w.put_opt_usize(Some(17)); // prev points past the end
         w.put_opt_usize(None);
         w.put_bool(false);

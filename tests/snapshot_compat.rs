@@ -1,17 +1,23 @@
 //! Snapshot **compatibility smoke**: fixture snapshot bytes checked into
-//! `tests/fixtures/` (written before the distance-range/join trait
-//! extension landed — the format has not changed since) must keep loading
-//! and serving every pre-existing query type unchanged.  This guards the
-//! `SpatialIndex` trait extension (and any future one) against accidental
-//! format or behaviour drift: a loaded old snapshot must answer
-//! point/window/kNN queries — and their statistics — exactly like a
+//! `tests/fixtures/` must keep loading and serving every pre-existing query
+//! type unchanged.  This guards trait extensions and storage rewrites
+//! against accidental format or behaviour drift: a loaded old snapshot must
+//! answer point/window/kNN queries — and their statistics — exactly like a
 //! deterministic fresh build of the same parameters.
 //!
+//! Two fixture generations are committed:
+//!
+//! * `*_v1.snapshot` — written by the pre-SoA writer (block-store section
+//!   `0x5301`, interleaved per-point records).  Frozen forever: today's
+//!   reader converts them on load, and their replays must stay identical.
+//! * the unsuffixed fixtures — today's format (SoA lane section `0x5302`),
+//!   held byte-identical to what today's writer produces.
+//!
 //! The fixtures deliberately use the two model-free families (Grid, HRR),
-//! whose builds are bit-deterministic across platforms.  Regenerate them
-//! with `cargo test --test snapshot_compat -- --ignored` after an
-//! *intentional* format change (and bump `persist`'s format version when
-//! doing so).
+//! whose builds are bit-deterministic across platforms.  Regenerate the
+//! unsuffixed ones with `cargo test --test snapshot_compat -- --ignored`
+//! after an *intentional* format change (never touch the `_v1` copies; add
+//! a new frozen generation instead when the format changes again).
 
 use bench::{replay_workload, ReplaySpec};
 use common::QueryContext;
@@ -24,6 +30,13 @@ use std::path::PathBuf;
 const FIXTURES: &[(&str, IndexKind, usize, u64)] = &[
     ("grid_300_seed71.snapshot", IndexKind::Grid, 300, 71),
     ("hrr_300_seed71.snapshot", IndexKind::Hrr, 300, 71),
+];
+
+/// Frozen pre-SoA fixtures (legacy block-store section `0x5301`): never
+/// regenerated, only read.
+const FIXTURES_V1: &[(&str, IndexKind, usize, u64)] = &[
+    ("grid_300_seed71_v1.snapshot", IndexKind::Grid, 300, 71),
+    ("hrr_300_seed71_v1.snapshot", IndexKind::Hrr, 300, 71),
 ];
 
 fn fixture_path(name: &str) -> PathBuf {
@@ -45,54 +58,84 @@ fn replay_spec() -> ReplaySpec {
     }
 }
 
+fn assert_fixture_serves_unchanged(name: &str, kind: IndexKind, n: usize, seed: u64) {
+    let path = fixture_path(name);
+    let bytes = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "fixture {} unreadable ({e}) — regenerate with `cargo test --test \
+             snapshot_compat -- --ignored`",
+            path.display()
+        )
+    });
+    let loaded =
+        load_index_bytes(&bytes).unwrap_or_else(|e| panic!("fixture {name} no longer loads: {e}"));
+    assert_eq!(loaded.name(), kind.name(), "fixture {name} kind drifted");
+
+    let data = generate(Distribution::skewed_default(), n, seed);
+    assert_eq!(
+        loaded.len(),
+        data.len(),
+        "fixture {name} point count drifted"
+    );
+    let fresh = build_index(kind, &data, &fixture_cfg());
+
+    // Every pre-existing query type — answers AND statistics — must be
+    // byte-identical to the deterministic fresh build.
+    let from_fixture = replay_workload(loaded.as_ref(), &data, &replay_spec());
+    let from_build = replay_workload(fresh.as_ref(), &data, &replay_spec());
+    assert!(
+        from_fixture.matches(&from_build),
+        "fixture {name} diverged from a fresh build — snapshot behaviour drift"
+    );
+
+    // Query classes added after the fixtures were frozen need no serialized
+    // state: they work on the loaded old snapshot too, exactly.
+    let mut cx = QueryContext::new();
+    let center = data[7];
+    let mut got: Vec<u64> = loaded
+        .range_query(&center, 0.05, &mut cx)
+        .iter()
+        .map(|p| p.id)
+        .collect();
+    let mut truth: Vec<u64> = common::brute_force::range_query(&data, &center, 0.05)
+        .iter()
+        .map(|p| p.id)
+        .collect();
+    got.sort_unstable();
+    truth.sort_unstable();
+    assert_eq!(got, truth, "fixture {name} range answer differs");
+}
+
 #[test]
-fn pre_extension_snapshots_still_serve_all_old_query_types_unchanged() {
+fn current_snapshots_still_serve_all_query_types_unchanged() {
     for &(name, kind, n, seed) in FIXTURES {
-        let path = fixture_path(name);
-        let bytes = std::fs::read(&path).unwrap_or_else(|e| {
-            panic!(
-                "fixture {} unreadable ({e}) — regenerate with `cargo test --test \
-                 snapshot_compat -- --ignored`",
-                path.display()
-            )
-        });
-        let loaded = load_index_bytes(&bytes)
-            .unwrap_or_else(|e| panic!("fixture {name} no longer loads: {e}"));
-        assert_eq!(loaded.name(), kind.name(), "fixture {name} kind drifted");
+        assert_fixture_serves_unchanged(name, kind, n, seed);
+    }
+}
 
-        let data = generate(Distribution::skewed_default(), n, seed);
+/// Pre-SoA snapshots (interleaved block-store section) load through the
+/// legacy-section reader and must replay answer- and stats-identically.
+#[test]
+fn pre_soa_snapshots_still_serve_all_query_types_unchanged() {
+    for &(name, kind, n, seed) in FIXTURES_V1 {
+        assert_fixture_serves_unchanged(name, kind, n, seed);
+    }
+}
+
+/// Loading a legacy v1 snapshot and re-saving it must produce exactly
+/// today's (v2) bytes: the conversion is total, and a converted store is
+/// indistinguishable from a freshly built one.
+#[test]
+fn legacy_snapshots_resave_as_todays_bytes() {
+    for (&(v1_name, ..), &(name, ..)) in FIXTURES_V1.iter().zip(FIXTURES) {
+        let old = std::fs::read(fixture_path(v1_name)).expect("read v1 fixture");
+        let current = std::fs::read(fixture_path(name)).expect("read fixture");
+        let loaded = load_index_bytes(&old).expect("load v1 fixture");
+        let resaved = snapshot_bytes(loaded.as_ref()).expect("serialise");
         assert_eq!(
-            loaded.len(),
-            data.len(),
-            "fixture {name} point count drifted"
+            resaved, current,
+            "fixture {v1_name}: conversion to the current format drifted"
         );
-        let fresh = build_index(kind, &data, &fixture_cfg());
-
-        // Every pre-existing query type — answers AND statistics — must be
-        // byte-identical to the deterministic fresh build.
-        let from_fixture = replay_workload(loaded.as_ref(), &data, &replay_spec());
-        let from_build = replay_workload(fresh.as_ref(), &data, &replay_spec());
-        assert!(
-            from_fixture.matches(&from_build),
-            "fixture {name} diverged from a fresh build — snapshot behaviour drift"
-        );
-
-        // The new query classes need no serialized state: they work on the
-        // loaded old snapshot too, exactly.
-        let mut cx = QueryContext::new();
-        let center = data[7];
-        let mut got: Vec<u64> = loaded
-            .range_query(&center, 0.05, &mut cx)
-            .iter()
-            .map(|p| p.id)
-            .collect();
-        let mut truth: Vec<u64> = common::brute_force::range_query(&data, &center, 0.05)
-            .iter()
-            .map(|p| p.id)
-            .collect();
-        got.sort_unstable();
-        truth.sort_unstable();
-        assert_eq!(got, truth, "fixture {name} range answer differs");
     }
 }
 

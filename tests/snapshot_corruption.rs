@@ -108,6 +108,49 @@ fn sharded_containers_reject_corrupt_inner_snapshots() {
 }
 
 #[test]
+fn zero_block_capacity_is_corrupt_not_a_panic() {
+    // `Block::new` asserts a positive capacity; a crafted snapshot must be
+    // rejected by the reader *before* that assert can fire, in either
+    // block-store section generation.
+    for tag in [storage::SECTION_STORE_V1, storage::SECTION_STORE_V2] {
+        let mut w = persist::SnapshotWriter::new("Grid");
+        w.begin_section(tag);
+        w.put_usize(0); // capacity — invalid
+        w.put_usize(0); // block count
+        w.end_section();
+        match load_index_bytes(&w.finish()) {
+            Err(PersistError::Corrupt(msg)) => {
+                assert!(msg.contains("capacity"), "unhelpful message: {msg}")
+            }
+            Ok(_) => panic!("zero-capacity snapshot loaded successfully"),
+            Err(other) => panic!("expected Corrupt, got {other}"),
+        }
+    }
+}
+
+#[test]
+fn disagreeing_soa_lanes_are_corrupt_not_a_panic() {
+    // A v2 section whose coordinate and id lanes disagree in length must be
+    // rejected; zipping them blindly would silently drop or invent points.
+    let mut w = persist::SnapshotWriter::new("Grid");
+    w.begin_section(storage::SECTION_STORE_V2);
+    w.put_usize(4); // capacity
+    w.put_usize(1); // block count
+    w.put_f64s(&[0.1, 0.2]); // xs: 2 entries
+    w.put_f64s(&[0.3]); // ys: 1 entry
+    w.put_u64s(&[7, 8]);
+    w.put_opt_usize(None);
+    w.put_opt_usize(None);
+    w.put_bool(false);
+    w.end_section();
+    match load_index_bytes(&w.finish()) {
+        Err(PersistError::Corrupt(_)) => {}
+        Ok(_) => panic!("lane-mismatched snapshot loaded successfully"),
+        Err(other) => panic!("expected Corrupt, got {other}"),
+    }
+}
+
+#[test]
 fn unknown_kind_tag_is_rejected() {
     let w = persist::SnapshotWriter::new("FancyFutureIndex");
     match load_index_bytes(&w.finish()) {
