@@ -1650,16 +1650,34 @@ fn serve_live(opts: &Opts, report: &mut Report) -> bool {
         opts.write_ratio,
         SEED ^ 0xA11E,
     );
-    let (reads, writes) = bench::live::split_stream(&ops);
+    let (reads, mut writes) = bench::live::split_stream(&ops);
+    // `Rsmi::delete` treats id 0 as a location wildcard, which the serving
+    // layer must answer with a full-rebuild pass; redirect the rare delete
+    // of the id-0 point so the learned kinds exercise the partial path for
+    // the whole run (for exact-id kinds the redirect is just a different,
+    // equally valid victim).
+    for w in writes.iter_mut() {
+        if let server::WriteOp::Delete(p) = w {
+            if p.id == 0 {
+                *w = server::WriteOp::Delete(data[1]);
+            }
+        }
+    }
 
     let cfg = opts.harness();
     let threshold = (writes.len() / 4).max(16);
+    // Policy-driven compaction: kinds with maintenance support serve their
+    // epoch swaps as drift-triggered partial rebuilds, everything else
+    // falls back to the full fold-and-rebuild pass automatically.
+    let policy = registry::CompactionPolicy::default()
+        .with_ops_trigger(threshold)
+        .with_drift_trigger(0.05);
     let start = std::time::Instant::now();
     let server = registry::serve_index(
         kind,
         &data,
         &cfg,
-        registry::ServerConfig::default().with_compact_threshold(threshold),
+        registry::ServerConfig::default().with_policy(policy),
     );
     let build_s = start.elapsed().as_secs_f64();
 
@@ -1719,7 +1737,53 @@ fn serve_live(opts: &Opts, report: &mut Report) -> bool {
             checked + outcome.mismatches
         );
     }
-    let verified = outcome.verified() && compaction_ok;
+    // Maintenance contract: a learned kind under an incremental policy
+    // must have served its swaps with partial passes, and every
+    // writer-visible swap pause must fit the policy's pause budget.
+    let stats = server.stats();
+    let learned = matches!(
+        kind,
+        IndexKind::Rsmi
+            | IndexKind::Rsmia
+            | IndexKind::Sharded(BaseKind::Rsmi)
+            | IndexKind::Sharded(BaseKind::Rsmia)
+    );
+    let mut maint_ok = true;
+    if learned && stats.compactions > 0 && stats.partial_compactions == 0 {
+        eprintln!(
+            "serve-live FAILED: {} epoch swaps on {} but none ran as a partial pass",
+            stats.compactions,
+            kind.name()
+        );
+        maint_ok = false;
+    }
+    let journal = server.telemetry().journal.snapshot();
+    let mut pause_us: Vec<u64> = Vec::new();
+    let mut rebuild_us: Vec<u64> = Vec::new();
+    for e in &journal.events {
+        match e.kind {
+            obs::EventKind::PartialCompactionEnd {
+                pause_us: p,
+                rebuild_us: r,
+                ..
+            } => {
+                pause_us.push(p);
+                rebuild_us.push(r);
+            }
+            obs::EventKind::CompactionEnd { pause_us: p, .. } => pause_us.push(p),
+            _ => {}
+        }
+    }
+    let worst_pause = pause_us.iter().copied().max().unwrap_or(0);
+    if worst_pause >= policy.pause_budget_us {
+        eprintln!(
+            "serve-live FAILED: swap pause {worst_pause}us exceeded the \
+             {}us policy budget",
+            policy.pause_budget_us
+        );
+        maint_ok = false;
+    }
+    let verified = outcome.verified() && compaction_ok && maint_ok;
 
     report.meta("readers", opts.readers);
     report.meta("write_ratio", opts.write_ratio);
@@ -1753,6 +1817,39 @@ fn serve_live(opts: &Opts, report: &mut Report) -> bool {
             compactions.to_string(),
             format!("{checked} (+{skipped} unverified approximate)"),
             if verified { "yes" } else { "NO" }.to_string(),
+        ]],
+    );
+
+    // The maintenance datapoint (BENCH_maint.json in the CI maintenance
+    // gate): swap counts plus the pause/rebuild tails.  The "time" columns
+    // are what perf_gate gates against the committed baseline.
+    let p99 = |series: &[u64]| -> f64 {
+        if series.is_empty() {
+            return 0.0;
+        }
+        let mut v = series.to_vec();
+        v.sort_unstable();
+        v[((v.len() - 1) * 99) / 100] as f64 / 1_000.0
+    };
+    report.table(
+        &format!("Incremental maintenance — {}", kind.name()),
+        &[
+            "index",
+            "epochs swapped",
+            "partial passes",
+            "full passes",
+            "subtree rebuilds",
+            "swap pause p99 time (ms)",
+            "partial rebuild p99 time (ms)",
+        ],
+        vec![vec![
+            kind.name().to_string(),
+            stats.compactions.to_string(),
+            stats.partial_compactions.to_string(),
+            (stats.compactions - stats.partial_compactions).to_string(),
+            stats.subtree_rebuilds.to_string(),
+            fmt(p99(&pause_us)),
+            fmt(p99(&rebuild_us)),
         ]],
     );
     verified

@@ -143,6 +143,67 @@ impl QueryContext {
     }
 }
 
+/// Budget handed to [`SpatialIndex::rebuild_partial`]: how much retraining
+/// work one maintenance pass may do, and how stale a subtree must be before
+/// it qualifies.
+///
+/// The drift of a subtree is measured as the sum of error-bound widening
+/// (in native position units) plus mutations since its model was last
+/// trained, normalised by the subtree's capacity — see the maintenance
+/// section of `ARCHITECTURE.md` for the exact formula each family uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MaintenanceBudget {
+    /// Maximum number of subtrees (leaf models for RSMI) to retrain in this
+    /// pass.  `usize::MAX` means "all stale subtrees".
+    pub max_subtrees: usize,
+    /// Minimum drift score a subtree must reach to be retrained.  Subtrees
+    /// below the threshold are left untouched even if the pass has budget
+    /// remaining.
+    pub drift_threshold: f64,
+}
+
+impl Default for MaintenanceBudget {
+    fn default() -> Self {
+        Self {
+            max_subtrees: usize::MAX,
+            drift_threshold: 0.0,
+        }
+    }
+}
+
+/// Aggregate maintenance state of an index, reported by
+/// [`SpatialIndex::maintenance_stats`].  The serving layer's compaction
+/// policy consumes these to decide between partial and full rebuilds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintenanceStats {
+    /// Mutations (inserts + deletes) applied since the last (partial or
+    /// full) rebuild touched the affected subtree.
+    pub ops_since_train: u64,
+    /// Total error-bound widening below predictions accumulated by in-place
+    /// inserts since training (native position units).
+    pub widened_below: u64,
+    /// Total error-bound widening above predictions (native position units).
+    pub widened_above: u64,
+    /// Subtrees whose drift currently exceeds the index's own staleness
+    /// heuristic (used for gauges; the policy applies its own threshold).
+    pub stale_subtrees: usize,
+    /// Total retrainable subtrees (leaf models for RSMI).
+    pub subtrees: usize,
+}
+
+/// What a [`SpatialIndex::rebuild_partial`] call actually did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintenanceOutcome {
+    /// The index fell back to a full [`SpatialIndex::rebuild`] (either
+    /// because it does not support partial maintenance or because it decided
+    /// drift was structural).
+    pub full_rebuild: bool,
+    /// Subtrees retrained in place by this pass.
+    pub subtrees_rebuilt: usize,
+    /// Stale subtrees left for a later pass because the budget ran out.
+    pub subtrees_deferred: usize,
+}
+
 /// The interface shared by every spatial index in this repository.
 ///
 /// The first three query types are the paper's: point queries (§4.1), window
@@ -274,6 +335,49 @@ pub trait SpatialIndex: Send + Sync {
     /// layer reports the bounds as live gauges so model drift under
     /// updates is observable without an offline bench run.
     fn model_error_bounds(&self) -> Option<(u64, u64)> {
+        None
+    }
+
+    /// Reports the index's accumulated maintenance state (ops since train,
+    /// error-bound widening, stale-subtree counts).  `None` for structures
+    /// with no incremental-maintenance support; the serving layer treats
+    /// those as always requiring a full rebuild.
+    fn maintenance_stats(&self) -> Option<MaintenanceStats> {
+        None
+    }
+
+    /// Retrains only the subtrees whose drift exceeds
+    /// `budget.drift_threshold`, at most `budget.max_subtrees` of them —
+    /// the incremental realisation of the paper's RSMIr maintenance hook.
+    /// Answers after a partial rebuild must be identical to answers after a
+    /// full [`rebuild`](Self::rebuild) on the same live set (test-enforced
+    /// for every family that overrides this).
+    ///
+    /// The default falls back to a full rebuild and reports it as such, so
+    /// callers can always invoke this method and observe what happened.
+    fn rebuild_partial(&mut self, budget: &MaintenanceBudget) -> MaintenanceOutcome {
+        let _ = budget;
+        self.rebuild();
+        MaintenanceOutcome {
+            full_rebuild: true,
+            subtrees_rebuilt: 0,
+            subtrees_deferred: 0,
+        }
+    }
+
+    /// Clones the index behind the trait object, if the concrete type
+    /// supports it.  The serving layer uses this to run partial compactions
+    /// on a copy while readers keep the current epoch; `None` forces the
+    /// fold-and-rebuild path.
+    fn clone_index(&self) -> Option<Box<dyn SpatialIndex>> {
+        None
+    }
+
+    /// Per-shard live point counts for sharded structures (`None` for
+    /// unsharded ones).  The compaction policy uses the skew between shards
+    /// as a full-rebuild trigger: partial maintenance cannot move points
+    /// between shards.
+    fn shard_point_counts(&self) -> Option<Vec<usize>> {
         None
     }
 

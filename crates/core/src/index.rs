@@ -17,6 +17,10 @@ const SECTION_RSMI_META: u32 = 0x5101;
 const SECTION_RSMI_NODES: u32 = 0x5102;
 /// Section tag of the marginal CDFs used by the kNN search region.
 const SECTION_RSMI_CDF: u32 = 0x5103;
+/// Section tag of the per-leaf maintenance state (drift counters).  The
+/// section is optional on read: snapshots written before incremental
+/// maintenance existed load with zeroed counters.
+const SECTION_RSMI_MAINT: u32 = 0x5104;
 
 /// Summary statistics of a built RSMI (Tables 3 and 4 of the paper).
 #[derive(Debug, Clone, Copy)]
@@ -49,7 +53,7 @@ pub struct RsmiStats {
 /// positives); wrap the index in [`RsmiExact`] for the paper's RSMIa variant
 /// with exact answers.  Distance-range queries and distance joins are exact
 /// for *both* variants (see [`Rsmi::range_query_exact_visit`]).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Rsmi {
     config: RsmiConfig,
     nodes: Vec<Node>,
@@ -61,7 +65,40 @@ pub struct Rsmi {
     cdf_x: PiecewiseCdf,
     cdf_y: PiecewiseCdf,
     build_seconds: f64,
+    /// Per-node maintenance counters, indexed like `nodes` (internal slots
+    /// stay zero).  Not part of query state: drift tracking only.
+    maint: Vec<LeafMaint>,
 }
+
+/// Drift counters of one leaf model: how far it has degraded since its
+/// weights were last trained.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct LeafMaint {
+    /// Inserts + deletes routed through this leaf since its model was
+    /// (re)trained.
+    ops_since_train: u64,
+    /// Error-bound widening below predictions (blocks) applied by in-place
+    /// inserts since training.
+    widened_below: u64,
+    /// Error-bound widening above predictions (blocks).
+    widened_above: u64,
+}
+
+impl LeafMaint {
+    #[inline]
+    fn widened_total(&self) -> u64 {
+        self.widened_below + self.widened_above
+    }
+}
+
+/// Per-insert cap on error-bound widening, in blocks: a free slot farther
+/// than this outside the predicted range is not worth covering — the insert
+/// overflows instead and the accumulated drift triggers a retrain.
+const WIDEN_CAP_PER_INSERT: u64 = 4;
+/// Per-leaf cap on accumulated widening, in blocks.  Once a leaf has
+/// widened this much, the slot-reuse path shuts off (every further insert
+/// overflows) until a retrain resets the bounds.
+const WIDEN_CAP_PER_LEAF: u64 = 32;
 
 impl Rsmi {
     /// Bulk-loads an RSMI from a point set.
@@ -73,6 +110,7 @@ impl Rsmi {
         let cdf_x = PiecewiseCdf::fit(&xs, config.cdf_pieces);
         let cdf_y = PiecewiseCdf::fit(&ys, config.cdf_pieces);
         let out = Builder::run(config, points);
+        let maint = vec![LeafMaint::default(); out.nodes.len()];
         Self {
             config,
             nodes: out.nodes,
@@ -84,6 +122,7 @@ impl Rsmi {
             cdf_x,
             cdf_y,
             build_seconds: start.elapsed().as_secs_f64(),
+            maint,
         }
     }
 
@@ -809,12 +848,69 @@ impl Rsmi {
                 break;
             }
         }
-        let target = target.unwrap_or_else(|| {
-            self.store
-                .insert_overflow_after(*chain.last().expect("chain contains the base block"))
-        });
+        // The predicted chain is full: before growing it with a fresh
+        // overflow block, try a free slot in another of the leaf's bulk
+        // blocks (freed by deletes, or the bulk tail), widening the model's
+        // error bounds just enough to keep the point findable.  Bounded
+        // widening instead of chain growth; the next drift-triggered retrain
+        // reclaims the slack.
+        let target = match target {
+            Some(id) => id,
+            None => match self.reusable_leaf_slot(leaf_id, &p) {
+                Some(alt) => alt,
+                None => self
+                    .store
+                    .insert_overflow_after(*chain.last().expect("chain contains the base block")),
+            },
+        };
         self.store.block_mut(target).push(p);
         self.n_points += 1;
+        self.maint[leaf_id].ops_since_train += 1;
+    }
+
+    /// A non-full bulk block of `leaf_id` that can absorb `p` for at most
+    /// [`WIDEN_CAP_PER_INSERT`] blocks of error-bound widening (zero if the
+    /// block is already inside the predicted range), or `None` if no such
+    /// slot exists or the leaf has exhausted [`WIDEN_CAP_PER_LEAF`].
+    /// Applies the widening and charges it to the leaf's drift counters.
+    fn reusable_leaf_slot(&mut self, leaf_id: NodeId, p: &Point) -> Option<BlockId> {
+        if self.maint[leaf_id].widened_total() >= WIDEN_CAP_PER_LEAF {
+            return None;
+        }
+        let (first, n_blocks, pred_lo, pred_hi) = {
+            let leaf = self.leaf(leaf_id);
+            let (lo, hi) = leaf.predicted_range(p.x, p.y);
+            (leaf.first_block, leaf.n_blocks, lo, hi)
+        };
+        // Nearest free bulk block, measured in blocks of widening required.
+        let mut best: Option<(u64, BlockId)> = None;
+        for i in 0..n_blocks {
+            let base = first + i;
+            if self.store.block(base).is_full() {
+                continue;
+            }
+            let dist = if base < pred_lo {
+                (pred_lo - base) as u64
+            } else if base > pred_hi {
+                (base - pred_hi) as u64
+            } else {
+                0
+            };
+            if dist > WIDEN_CAP_PER_INSERT {
+                continue;
+            }
+            if best.is_none_or(|(d, _)| dist < d) {
+                best = Some((dist, base));
+            }
+        }
+        let (_, base) = best?;
+        let offset = (base - first) as u64;
+        if let Node::Leaf(leaf) = &mut self.nodes[leaf_id] {
+            let (extra_below, extra_above) = leaf.model.widen_to_cover_xy(p.x, p.y, offset);
+            self.maint[leaf_id].widened_below += extra_below;
+            self.maint[leaf_id].widened_above += extra_above;
+        }
+        Some(base)
     }
 
     /// Deletes the point with the given coordinates and id.  Returns whether
@@ -837,6 +933,7 @@ impl Rsmi {
                     if found_id == p.id || p.id == 0 {
                         self.store.block_mut(id).remove_by_id(found_id);
                         self.n_points -= 1;
+                        self.maint[leaf_id].ops_since_train += 1;
                         return true;
                     }
                 }
@@ -854,6 +951,146 @@ impl Rsmi {
     /// Read access to the underlying block store.
     pub fn block_store(&self) -> &BlockStore {
         &self.store
+    }
+
+    // ------------------------------------------------------------------
+    // Incremental maintenance (drift-triggered partial rebuilds)
+    // ------------------------------------------------------------------
+
+    /// Drift score of one leaf: `ops / (n_blocks · B) + widened / n_blocks`
+    /// — mutations normalised by the leaf's bulk capacity, plus error-bound
+    /// widening normalised by its block count.  A score of 1.0 means the
+    /// leaf has absorbed as many mutations as it holds points, or its scan
+    /// range has doubled; either way its model is due for a retrain.
+    fn leaf_drift(&self, leaf_id: NodeId) -> f64 {
+        let m = &self.maint[leaf_id];
+        if m.ops_since_train == 0 && m.widened_total() == 0 {
+            return 0.0;
+        }
+        let leaf = self.leaf(leaf_id);
+        let n_blocks = leaf.n_blocks.max(1) as f64;
+        let capacity_points = n_blocks * self.store.capacity().max(1) as f64;
+        m.ops_since_train as f64 / capacity_points + m.widened_total() as f64 / n_blocks
+    }
+
+    /// Aggregate maintenance state over all leaf models.  `stale_subtrees`
+    /// counts leaves whose [drift](Self::leaf_drift) has reached 1.0.
+    pub fn maintenance_stats(&self) -> common::MaintenanceStats {
+        let mut s = common::MaintenanceStats::default();
+        for (id, node) in self.nodes.iter().enumerate() {
+            if !matches!(node, Node::Leaf(_)) {
+                continue;
+            }
+            s.subtrees += 1;
+            let m = &self.maint[id];
+            s.ops_since_train += m.ops_since_train;
+            s.widened_below += m.widened_below;
+            s.widened_above += m.widened_above;
+            if self.leaf_drift(id) >= 1.0 {
+                s.stale_subtrees += 1;
+            }
+        }
+        s
+    }
+
+    /// Retrains the leaf models whose drift meets `budget.drift_threshold`,
+    /// most-drifted first (ties by node id), retraining at most
+    /// `budget.max_subtrees` of them — the incremental realisation of the
+    /// paper's RSMIr hook (§5: retrain the sub-models that degraded, not the
+    /// whole structure).
+    ///
+    /// A retrain fits a fresh model on each point's *actual* home block, so
+    /// the new error bounds cover every stored point by construction and all
+    /// accumulated widening is reclaimed.  The structure (routing models,
+    /// MBRs, block chains) is untouched: answers are identical before and
+    /// after, only scan ranges tighten.  Overflow blocks are not reclaimed —
+    /// only a full [`rebuild`](Self::rebuild) repacks storage.
+    pub fn rebuild_partial(
+        &mut self,
+        budget: &common::MaintenanceBudget,
+    ) -> common::MaintenanceOutcome {
+        let mut stale: Vec<(NodeId, f64)> = (0..self.nodes.len())
+            .filter(|&id| matches!(self.nodes[id], Node::Leaf(_)))
+            .filter_map(|id| {
+                let drift = self.leaf_drift(id);
+                (drift > 0.0 && drift >= budget.drift_threshold).then_some((id, drift))
+            })
+            .collect();
+        stale.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        let take = budget.max_subtrees.min(stale.len());
+        for &(id, _) in &stale[..take] {
+            self.retrain_leaf(id);
+        }
+        common::MaintenanceOutcome {
+            full_rebuild: false,
+            subtrees_rebuilt: take,
+            subtrees_deferred: stale.len() - take,
+        }
+    }
+
+    /// Refits one leaf's model on the `(coordinates → home block offset)`
+    /// pairs of every point currently stored under the leaf (bulk blocks and
+    /// their overflow chains), then resets its drift counters.  Deterministic
+    /// for a given store state: the fit seed derives from the build seed and
+    /// the leaf id.
+    fn retrain_leaf(&mut self, leaf_id: NodeId) {
+        let (first, n_blocks) = {
+            let leaf = self.leaf(leaf_id);
+            (leaf.first_block, leaf.n_blocks)
+        };
+        let mut inputs: Vec<Vec<f64>> = Vec::new();
+        let mut targets: Vec<u64> = Vec::new();
+        for i in 0..n_blocks {
+            for id in self.store.overflow_chain(first + i) {
+                for p in self.store.block(id).iter_points() {
+                    inputs.push(vec![p.x, p.y]);
+                    targets.push(i as u64);
+                }
+            }
+        }
+        self.maint[leaf_id] = LeafMaint::default();
+        if inputs.is_empty() {
+            return;
+        }
+        let mut cfg = mlp::MlpConfig::for_coordinates(n_blocks.max(1));
+        cfg.epochs = self.config.epochs;
+        cfg.learning_rate = self.config.learning_rate;
+        cfg.seed = self
+            .config
+            .seed
+            .wrapping_add(leaf_id as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let model = ScaledRegressor::fit(cfg, &inputs, &targets);
+        if let Node::Leaf(leaf) = &mut self.nodes[leaf_id] {
+            leaf.model = model;
+        }
+    }
+
+    /// Counts stored points whose home block lies outside the predicted
+    /// range of their leaf's model — the error-bound soundness invariant
+    /// (zero means every point is reachable by a point query).  Test/debug
+    /// helper; walks all blocks.
+    pub fn bounds_violations(&self) -> usize {
+        let mut violations = 0;
+        for node in &self.nodes {
+            let Node::Leaf(leaf) = node else { continue };
+            for i in 0..leaf.n_blocks {
+                let base = leaf.first_block + i;
+                for id in self.store.overflow_chain(base) {
+                    for p in self.store.block(id).iter_points() {
+                        let (lo, hi) = leaf.predicted_range(p.x, p.y);
+                        if base < lo || base > hi {
+                            violations += 1;
+                        }
+                    }
+                }
+            }
+        }
+        violations
     }
 
     // ------------------------------------------------------------------
@@ -915,6 +1152,18 @@ impl Rsmi {
         w.begin_section(SECTION_RSMI_CDF);
         self.cdf_x.encode(w);
         self.cdf_y.encode(w);
+        w.end_section();
+
+        // Drift state: written last so pre-maintenance readers (and the
+        // reader below, for pre-maintenance snapshots) can treat it as
+        // optional.
+        w.begin_section(SECTION_RSMI_MAINT);
+        w.put_usize(self.maint.len());
+        for m in &self.maint {
+            w.put_u64(m.ops_since_train);
+            w.put_u64(m.widened_below);
+            w.put_u64(m.widened_above);
+        }
         w.end_section();
     }
 
@@ -1011,6 +1260,32 @@ impl Rsmi {
         let cdf_y = PiecewiseCdf::decode(r)?;
         r.end_section()?;
 
+        // Optional trailing drift state: snapshots written before
+        // incremental maintenance existed (or truncated right after the CDF
+        // section) load with zeroed counters — maintenance state defaults
+        // sanely.
+        let maint = if r.remaining() >= 4 && r.peek_section_tag()? == SECTION_RSMI_MAINT {
+            r.begin_section(SECTION_RSMI_MAINT)?;
+            let len = r.get_len(24)?;
+            if len != nodes.len() {
+                return Err(PersistError::Corrupt(
+                    "RSMI maintenance table length mismatch".into(),
+                ));
+            }
+            let mut maint = Vec::with_capacity(len);
+            for _ in 0..len {
+                maint.push(LeafMaint {
+                    ops_since_train: r.get_u64()?,
+                    widened_below: r.get_u64()?,
+                    widened_above: r.get_u64()?,
+                });
+            }
+            r.end_section()?;
+            maint
+        } else {
+            vec![LeafMaint::default(); nodes.len()]
+        };
+
         Ok(Self {
             config,
             nodes,
@@ -1022,6 +1297,7 @@ impl Rsmi {
             cdf_x,
             cdf_y,
             build_seconds,
+            maint,
         })
     }
 }
@@ -1133,6 +1409,21 @@ impl SpatialIndex for Rsmi {
         Some((stats.max_err_below, stats.max_err_above))
     }
 
+    fn maintenance_stats(&self) -> Option<common::MaintenanceStats> {
+        Some(Rsmi::maintenance_stats(self))
+    }
+
+    fn rebuild_partial(
+        &mut self,
+        budget: &common::MaintenanceBudget,
+    ) -> common::MaintenanceOutcome {
+        Rsmi::rebuild_partial(self, budget)
+    }
+
+    fn clone_index(&self) -> Option<Box<dyn SpatialIndex>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn write_snapshot(&self, w: &mut SnapshotWriter) -> Result<(), PersistError> {
         self.encode_snapshot(w);
         Ok(())
@@ -1145,7 +1436,7 @@ impl SpatialIndex for Rsmi {
 ///
 /// The wrapper shares no state with other indices — it owns its `Rsmi` — so
 /// the registry can hand it out as an independent `Box<dyn SpatialIndex>`.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RsmiExact(Rsmi);
 
 impl RsmiExact {
@@ -1259,6 +1550,21 @@ impl SpatialIndex for RsmiExact {
 
     fn model_error_bounds(&self) -> Option<(u64, u64)> {
         SpatialIndex::model_error_bounds(&self.0)
+    }
+
+    fn maintenance_stats(&self) -> Option<common::MaintenanceStats> {
+        Some(Rsmi::maintenance_stats(&self.0))
+    }
+
+    fn rebuild_partial(
+        &mut self,
+        budget: &common::MaintenanceBudget,
+    ) -> common::MaintenanceOutcome {
+        Rsmi::rebuild_partial(&mut self.0, budget)
+    }
+
+    fn clone_index(&self) -> Option<Box<dyn SpatialIndex>> {
+        Some(Box::new(self.clone()))
     }
 
     fn write_snapshot(&self, w: &mut SnapshotWriter) -> Result<(), PersistError> {
@@ -1755,6 +2061,226 @@ mod tests {
             .map(|p| p.id)
             .collect();
         truth.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(got, truth);
+    }
+
+    /// Seeded churn against `index`, mirrored into `live`: inserts clustered
+    /// to stress a few leaves, deletes spread across the survivors.
+    fn churn(index: &mut Rsmi, live: &mut Vec<Point>, rounds: usize, seed: u64) {
+        let mut state = seed | 1;
+        for i in 0..rounds {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            if state % 10 < 7 {
+                let x = 0.4 + ((state >> 17) % 1000) as f64 / 5000.0;
+                let y = 0.4 + ((state >> 31) % 1000) as f64 / 5000.0;
+                let p = Point::with_id(x, y, 500_000 + i as u64);
+                index.insert(p);
+                live.push(p);
+            } else if !live.is_empty() {
+                let victim = live[(state >> 13) as usize % live.len()];
+                assert!(index.delete(&victim), "victim {victim:?} not deleted");
+                let pos = live
+                    .iter()
+                    .position(|q| q.same_location(&victim) && q.id == victim.id)
+                    .unwrap();
+                live.remove(pos);
+            }
+        }
+    }
+
+    #[test]
+    fn maintenance_stats_track_churn_and_partial_rebuild_resets_them() {
+        let pts = pseudo_random_points(1200, 21);
+        let mut index = Rsmi::build(pts.clone(), small_config());
+        let fresh = index.maintenance_stats();
+        assert!(fresh.subtrees >= 1);
+        assert_eq!(fresh.ops_since_train, 0);
+        assert_eq!(fresh.stale_subtrees, 0);
+        assert_eq!(index.bounds_violations(), 0);
+
+        let mut live = pts;
+        churn(&mut index, &mut live, 400, 77);
+        let dirty = index.maintenance_stats();
+        assert!(dirty.ops_since_train > 0, "churn left no drift");
+        assert_eq!(index.bounds_violations(), 0, "churn broke the bounds");
+
+        let outcome = index.rebuild_partial(&common::MaintenanceBudget::default());
+        assert!(!outcome.full_rebuild);
+        assert!(outcome.subtrees_rebuilt >= 1);
+        assert_eq!(outcome.subtrees_deferred, 0);
+        let clean = index.maintenance_stats();
+        assert_eq!(clean.ops_since_train, 0);
+        assert_eq!(clean.widened_below + clean.widened_above, 0);
+        assert_eq!(clean.stale_subtrees, 0);
+        assert_eq!(index.bounds_violations(), 0, "retrain broke the bounds");
+        // Every live point is still found after the in-place retrains.
+        let mut c = cx();
+        for p in &live {
+            assert_eq!(index.point_query(p, &mut c).map(|f| f.id), Some(p.id));
+        }
+        assert_eq!(index.len(), live.len());
+    }
+
+    #[test]
+    fn subtree_budget_defers_the_less_drifted_leaves() {
+        let pts = pseudo_random_points(1500, 43);
+        let mut index = Rsmi::build(pts.clone(), small_config());
+        let mut live = pts;
+        churn(&mut index, &mut live, 600, 91);
+        let stale_before: usize = (0..index.nodes.len())
+            .filter(|&id| matches!(index.nodes[id], Node::Leaf(_)))
+            .filter(|&id| index.leaf_drift(id) > 0.0)
+            .count();
+        assert!(stale_before >= 2, "need at least two drifted leaves");
+        let budget = common::MaintenanceBudget {
+            max_subtrees: 1,
+            drift_threshold: 0.0,
+        };
+        let outcome = index.rebuild_partial(&budget);
+        assert_eq!(outcome.subtrees_rebuilt, 1);
+        assert_eq!(outcome.subtrees_deferred, stale_before - 1);
+        // Repeated bounded passes drain the backlog.
+        let mut guard = 0;
+        while index.rebuild_partial(&budget).subtrees_rebuilt > 0 {
+            guard += 1;
+            assert!(guard < 10_000);
+        }
+        assert_eq!(index.maintenance_stats().ops_since_train, 0);
+    }
+
+    #[test]
+    fn widening_keeps_adversarial_inserts_findable_without_chain_growth() {
+        // Fill one leaf's predicted chain, then keep inserting into the same
+        // spot: the index must widen bounds onto free bulk slots (created by
+        // deletes elsewhere in the leaf) rather than lose the points.
+        let pts = grid_points(30);
+        let mut index = Rsmi::build(pts.clone(), small_config());
+        let anchor = pts[450];
+        // Free slots across the anchor's leaf.
+        let mut live: Vec<Point> = pts.clone();
+        for p in pts.iter().skip(440).take(20) {
+            assert!(index.delete(p));
+            live.retain(|q| !(q.same_location(p) && q.id == p.id));
+        }
+        let mut c = cx();
+        for i in 0..40u64 {
+            let p = Point::with_id(
+                anchor.x + (i as f64) * 1e-6,
+                anchor.y - (i as f64) * 1e-6,
+                600_000 + i,
+            );
+            index.insert(p);
+            live.push(p);
+        }
+        assert_eq!(index.bounds_violations(), 0);
+        for p in &live {
+            assert_eq!(index.point_query(p, &mut c).map(|f| f.id), Some(p.id));
+        }
+        let stats = index.maintenance_stats();
+        // Whether widening was needed depends on where predictions landed,
+        // but the caps must hold either way.
+        assert!(stats.widened_below + stats.widened_above <= 32 * stats.subtrees as u64);
+        // A partial rebuild reclaims all widening and stays sound.
+        index.rebuild_partial(&common::MaintenanceBudget::default());
+        let after = index.maintenance_stats();
+        assert_eq!(after.widened_below + after.widened_above, 0);
+        assert_eq!(index.bounds_violations(), 0);
+        for p in &live {
+            assert!(index.point_query(p, &mut c).is_some());
+        }
+    }
+
+    #[test]
+    fn partial_rebuild_is_deterministic_across_clones() {
+        let pts = pseudo_random_points(1000, 57);
+        let mut index = Rsmi::build(pts.clone(), small_config());
+        let mut live = pts;
+        churn(&mut index, &mut live, 300, 13);
+        let mut a = index.clone();
+        let mut b = index;
+        let oa = a.rebuild_partial(&common::MaintenanceBudget::default());
+        let ob = b.rebuild_partial(&common::MaintenanceBudget::default());
+        assert_eq!(oa, ob);
+        assert_eq!(a.maintenance_stats(), b.maintenance_stats());
+        let mut c = cx();
+        for q in live.iter().step_by(7) {
+            assert_eq!(
+                a.point_query(q, &mut c).map(|p| p.id),
+                b.point_query(q, &mut c).map(|p| p.id)
+            );
+        }
+        let (ea, eb) = (a.model_error_bounds(), b.model_error_bounds());
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_maintenance_state() {
+        let pts = pseudo_random_points(900, 67);
+        let mut index = Rsmi::build(pts.clone(), small_config());
+        let mut live = pts;
+        churn(&mut index, &mut live, 250, 29);
+        let before = index.maintenance_stats();
+        assert!(before.ops_since_train > 0);
+        let mut w = SnapshotWriter::new("RSMI");
+        index.encode_snapshot(&mut w);
+        let bytes = w.finish();
+        let (_, mut r) = SnapshotReader::open(&bytes).unwrap();
+        let restored = Rsmi::read_snapshot(&mut r).unwrap();
+        assert_eq!(restored.maintenance_stats(), before);
+        assert_eq!(restored.len(), index.len());
+        let mut c = cx();
+        for q in live.iter().step_by(11) {
+            assert_eq!(
+                restored.point_query(q, &mut c).map(|p| p.id),
+                index.point_query(q, &mut c).map(|p| p.id)
+            );
+        }
+    }
+
+    #[test]
+    fn exact_variant_delegates_maintenance_to_the_inner_index() {
+        let pts = pseudo_random_points(800, 71);
+        let mut exact = RsmiExact::build(pts.clone(), small_config());
+        for i in 0..120u64 {
+            SpatialIndex::insert(
+                &mut exact,
+                Point::with_id(0.3 + 1e-5 * i as f64, 0.7, 700_000 + i),
+            );
+        }
+        let stats = SpatialIndex::maintenance_stats(&exact).unwrap();
+        assert_eq!(stats.ops_since_train, 120);
+        let clone = SpatialIndex::clone_index(&exact).expect("RsmiExact clones");
+        assert_eq!(clone.len(), exact.0.len());
+        let outcome =
+            SpatialIndex::rebuild_partial(&mut exact, &common::MaintenanceBudget::default());
+        assert!(!outcome.full_rebuild);
+        assert!(outcome.subtrees_rebuilt >= 1);
+        assert_eq!(
+            SpatialIndex::maintenance_stats(&exact)
+                .unwrap()
+                .ops_since_train,
+            0
+        );
+        // The exact (MBR-driven) query paths are untouched by retraining.
+        let mut c = cx();
+        let w = Rect::new(0.25, 0.6, 0.45, 0.8);
+        let truth = {
+            let mut all = pts.clone();
+            all.extend(
+                (0..120u64).map(|i| Point::with_id(0.3 + 1e-5 * i as f64, 0.7, 700_000 + i)),
+            );
+            let mut ids: Vec<u64> = brute_force::window_query(&all, &w)
+                .iter()
+                .map(|p| p.id)
+                .collect();
+            ids.sort_unstable();
+            ids
+        };
+        let mut got: Vec<u64> = SpatialIndex::window_query(&exact, &w, &mut c)
+            .iter()
+            .map(|p| p.id)
+            .collect();
         got.sort_unstable();
         assert_eq!(got, truth);
     }

@@ -471,6 +471,89 @@ impl SpatialIndex for ShardedIndex {
             .reduce(|(b0, a0), (b1, a1)| (b0.max(b1), a0.max(a1)))
     }
 
+    fn maintenance_stats(&self) -> Option<common::MaintenanceStats> {
+        // Aggregate over shards; None only when no shard supports
+        // incremental maintenance.
+        self.shards
+            .iter()
+            .filter_map(|s| s.index.maintenance_stats())
+            .reduce(|mut acc, s| {
+                acc.ops_since_train += s.ops_since_train;
+                acc.widened_below += s.widened_below;
+                acc.widened_above += s.widened_above;
+                acc.stale_subtrees += s.stale_subtrees;
+                acc.subtrees += s.subtrees;
+                acc
+            })
+    }
+
+    fn rebuild_partial(
+        &mut self,
+        budget: &common::MaintenanceBudget,
+    ) -> common::MaintenanceOutcome {
+        // Distribute the subtree budget across shards, most-drifted shard
+        // first, charging each shard's spend against the remainder.  The
+        // partitioning is frozen — partial maintenance never moves points
+        // between shards (the policy layer falls back to a full rebuild on
+        // skew).
+        // Shards without maintenance support are skipped: the trait default
+        // would turn a "partial" pass into a per-shard full rebuild.
+        let mut order: Vec<(usize, u64)> = self
+            .shards
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| {
+                let m = s.index.maintenance_stats()?;
+                let drift = m.ops_since_train + m.widened_below + m.widened_above;
+                (drift > 0).then_some((i, drift))
+            })
+            .collect();
+        order.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mut remaining = budget.max_subtrees;
+        let mut out = common::MaintenanceOutcome::default();
+        for (i, _) in order {
+            if remaining == 0 {
+                // Out of budget: everything still stale in the remaining
+                // shards is deferred to the next pass.
+                if let Some(m) = self.shards[i].index.maintenance_stats() {
+                    out.subtrees_deferred += m.stale_subtrees;
+                }
+                continue;
+            }
+            let shard_budget = common::MaintenanceBudget {
+                max_subtrees: remaining,
+                drift_threshold: budget.drift_threshold,
+            };
+            let r = self.shards[i].index.rebuild_partial(&shard_budget);
+            out.full_rebuild |= r.full_rebuild;
+            out.subtrees_rebuilt += r.subtrees_rebuilt;
+            out.subtrees_deferred += r.subtrees_deferred;
+            remaining = remaining.saturating_sub(r.subtrees_rebuilt);
+        }
+        out
+    }
+
+    fn clone_index(&self) -> Option<Box<dyn SpatialIndex>> {
+        // Cloneable iff every inner index is.
+        let mut shards = Vec::with_capacity(self.shards.len());
+        for s in &self.shards {
+            shards.push(Shard {
+                index: s.index.clone_index()?,
+                mbr: s.mbr,
+            });
+        }
+        Some(Box::new(ShardedIndex {
+            name: self.name,
+            partitioner: self.partitioner.clone(),
+            shards,
+            threads: self.threads,
+        }))
+    }
+
+    fn shard_point_counts(&self) -> Option<Vec<usize>> {
+        Some(self.shards.iter().map(|s| s.index.len()).collect())
+    }
+
     fn write_snapshot(&self, w: &mut SnapshotWriter) -> Result<(), PersistError> {
         w.begin_section(SECTION_SHARDED_META);
         w.put_usize(self.threads);
@@ -855,5 +938,185 @@ mod tests {
         assert!(index.size_bytes() > data.len() * std::mem::size_of::<Point>());
         assert_eq!(index.height(), 2); // routing level + naive level
         assert_eq!(index.model_count(), 0);
+    }
+
+    /// [`Naive`] plus the maintenance protocol: one subtree per shard whose
+    /// drift is the op count since the last partial retrain.
+    #[derive(Clone)]
+    struct MaintNaive {
+        pts: Vec<Point>,
+        ops: u64,
+    }
+
+    impl SpatialIndex for MaintNaive {
+        fn name(&self) -> &'static str {
+            "MaintNaive"
+        }
+        fn len(&self) -> usize {
+            self.pts.len()
+        }
+        fn point_query(&self, q: &Point, cx: &mut QueryContext) -> Option<Point> {
+            cx.count_block_scan(self.pts.len());
+            brute_force::point_query(&self.pts, q)
+        }
+        fn window_query_visit(
+            &self,
+            window: &Rect,
+            cx: &mut QueryContext,
+            visit: &mut dyn FnMut(&Point),
+        ) {
+            cx.count_block_scan(self.pts.len());
+            for p in self.pts.iter().filter(|p| window.contains(p)) {
+                visit(p);
+            }
+        }
+        fn knn_query_visit(
+            &self,
+            q: &Point,
+            k: usize,
+            cx: &mut QueryContext,
+            visit: &mut dyn FnMut(&Point),
+        ) {
+            cx.count_block_scan(self.pts.len());
+            for p in brute_force::knn_query(&self.pts, q, k) {
+                visit(&p);
+            }
+        }
+        fn for_each_point(&self, visit: &mut dyn FnMut(&Point)) {
+            for p in &self.pts {
+                visit(p);
+            }
+        }
+        fn insert(&mut self, p: Point) {
+            self.ops += 1;
+            self.pts.push(p);
+        }
+        fn delete(&mut self, p: &Point) -> bool {
+            let before = self.pts.len();
+            self.pts.retain(|x| !(x.same_location(p) && x.id == p.id));
+            let removed = self.pts.len() != before;
+            if removed {
+                self.ops += 1;
+            }
+            removed
+        }
+        fn size_bytes(&self) -> usize {
+            self.pts.len() * std::mem::size_of::<Point>()
+        }
+        fn height(&self) -> usize {
+            1
+        }
+        fn maintenance_stats(&self) -> Option<common::MaintenanceStats> {
+            Some(common::MaintenanceStats {
+                ops_since_train: self.ops,
+                widened_below: 0,
+                widened_above: 0,
+                stale_subtrees: usize::from(self.ops > 0),
+                subtrees: 1,
+            })
+        }
+        fn rebuild_partial(
+            &mut self,
+            budget: &common::MaintenanceBudget,
+        ) -> common::MaintenanceOutcome {
+            let stale = self.ops > 0;
+            let retrain = stale && budget.max_subtrees >= 1;
+            if retrain {
+                self.ops = 0;
+            }
+            common::MaintenanceOutcome {
+                full_rebuild: false,
+                subtrees_rebuilt: usize::from(retrain),
+                subtrees_deferred: usize::from(stale && !retrain),
+            }
+        }
+        fn clone_index(&self) -> Option<Box<dyn SpatialIndex>> {
+            Some(Box::new(self.clone()))
+        }
+    }
+
+    fn build_maint(data: &[Point], shards: usize) -> ShardedIndex {
+        ShardedIndex::build(
+            data,
+            ShardedConfig {
+                shards,
+                threads: 1,
+                curve: CurveKind::Hilbert,
+            },
+            "Sharded-MaintNaive",
+            &|pts: &[Point]| {
+                Box::new(MaintNaive {
+                    pts: pts.to_vec(),
+                    ops: 0,
+                }) as Box<dyn SpatialIndex>
+            },
+        )
+    }
+
+    #[test]
+    fn maintenance_aggregates_and_budgets_across_shards() {
+        let data = generate(Distribution::Uniform, 2_000, 27);
+        let mut index = build_maint(&data, 4);
+        let fresh = index.maintenance_stats().expect("maint-capable shards");
+        assert_eq!(fresh.subtrees, 4);
+        assert_eq!(fresh.ops_since_train, 0);
+        // Spread writes across the key space so several shards drift.
+        for i in 0..80u64 {
+            index.insert(Point::with_id(
+                (i as f64 + 0.5) / 80.0,
+                ((i as f64 * 0.37) + 0.01) % 1.0,
+                900_000 + i,
+            ));
+        }
+        let dirty = index.maintenance_stats().unwrap();
+        assert_eq!(dirty.ops_since_train, 80);
+        assert!(dirty.stale_subtrees >= 2, "writes all landed in one shard");
+        let counts = index.shard_point_counts().expect("sharded counts");
+        assert_eq!(counts.len(), 4);
+        assert_eq!(counts.iter().sum::<usize>(), index.len());
+
+        // A budget of one subtree retrains only the most-drifted shard and
+        // defers the rest; repeated passes drain the backlog.
+        let tight = common::MaintenanceBudget {
+            max_subtrees: 1,
+            drift_threshold: 0.0,
+        };
+        let first = index.rebuild_partial(&tight);
+        assert!(!first.full_rebuild);
+        assert_eq!(first.subtrees_rebuilt, 1);
+        assert_eq!(first.subtrees_deferred, dirty.stale_subtrees - 1);
+        let mut guard = 0;
+        while index.rebuild_partial(&tight).subtrees_rebuilt > 0 {
+            guard += 1;
+            assert!(guard < 100);
+        }
+        assert_eq!(index.maintenance_stats().unwrap().ops_since_train, 0);
+    }
+
+    #[test]
+    fn clone_index_requires_every_shard_to_clone() {
+        let data = generate(Distribution::Uniform, 1_000, 29);
+        // Naive shards opt out of cloning, so the facade does too.
+        assert!(build(&data, 3, 1).clone_index().is_none());
+        assert!(build(&data, 3, 1).maintenance_stats().is_none());
+
+        let mut index = build_maint(&data, 3);
+        let clone = index.clone_index().expect("maint shards clone");
+        assert_eq!(clone.len(), index.len());
+        let mut cx = QueryContext::new();
+        for p in data.iter().step_by(101) {
+            assert_eq!(
+                clone.point_query(p, &mut cx).map(|f| f.id),
+                index.point_query(p, &mut cx).map(|f| f.id)
+            );
+        }
+        // The clone is independent: writes to the original do not leak in.
+        index.insert(Point::with_id(0.42, 0.42, 777_777));
+        assert_eq!(clone.len(), data.len());
+        assert_eq!(index.len(), data.len() + 1);
+        // And the clone keeps the sharded query machinery (routing prunes).
+        cx.take_stats();
+        clone.point_query(&data[0], &mut cx);
+        assert_eq!(cx.take_stats().shards_visited, 1);
     }
 }

@@ -124,6 +124,35 @@ impl ScaledRegressor {
         self.err_above += extra_above;
     }
 
+    /// Widens the error bounds by exactly as much as needed for the
+    /// prediction at `(x, y)` to cover `target`, and returns the widening
+    /// applied as `(extra_below, extra_above)` — `(0, 0)` when the current
+    /// bounds already cover it.  This is the delta-aware maintenance
+    /// primitive: an insert that lands a point outside its predicted range
+    /// stays findable without retraining, at the cost of a wider scan range
+    /// that the drift-triggered retrain later reclaims.
+    pub fn widen_to_cover_xy(&mut self, x: f64, y: f64, target: u64) -> (u64, u64) {
+        let pred = self.predict_xy(x, y);
+        if target < pred {
+            // Over-prediction: the covering interval below is [pred - err_above, ..].
+            let need = pred - target;
+            if need > self.err_above {
+                let extra = need - self.err_above;
+                self.err_above = need;
+                return (0, extra);
+            }
+        } else if target > pred {
+            // Under-prediction: the covering interval above is [.., pred + err_below].
+            let need = target - pred;
+            if need > self.err_below {
+                let extra = need - self.err_below;
+                self.err_below = need;
+                return (extra, 0);
+            }
+        }
+        (0, 0)
+    }
+
     /// The largest target value seen during training.
     #[inline]
     pub fn max_target(&self) -> u64 {
@@ -238,6 +267,26 @@ mod tests {
         model.widen_error_bounds(2, 3);
         assert_eq!(model.err_below(), b + 2);
         assert_eq!(model.err_above(), a + 3);
+    }
+
+    #[test]
+    fn widen_to_cover_makes_any_target_fall_inside_the_bounds() {
+        let inputs = vec![vec![0.0, 0.0], vec![1.0, 1.0]];
+        let targets = vec![0u64, 1];
+        let mut model = ScaledRegressor::fit(fast_config(2), &inputs, &targets);
+
+        for &(x, y, t) in &[(0.3, 0.7, 40u64), (0.9, 0.1, 0u64), (0.5, 0.5, 7u64)] {
+            let before = (model.err_below(), model.err_above());
+            let (eb, ea) = model.widen_to_cover_xy(x, y, t);
+            assert_eq!(model.err_below(), before.0 + eb);
+            assert_eq!(model.err_above(), before.1 + ea);
+            // Covered after widening: t within [pred - err_above, pred + err_below].
+            let pred = model.predict_xy(x, y) as i64;
+            assert!(t as i64 >= pred - model.err_above() as i64);
+            assert!(t as i64 <= pred + model.err_below() as i64);
+            // Idempotent: already-covered targets require no widening.
+            assert_eq!(model.widen_to_cover_xy(x, y, t), (0, 0));
+        }
     }
 
     #[test]

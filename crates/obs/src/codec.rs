@@ -279,6 +279,7 @@ fn event_field_count(tag: u8) -> Option<usize> {
         6 => Some(1),     // OverloadShed
         7 | 8 => Some(1), // ConnOpen, ConnClose
         9 => Some(2),     // Shutdown
+        10 => Some(4),    // PartialCompactionEnd
         _ => None,
     }
 }
@@ -310,6 +311,17 @@ fn encode_kind(w: &mut Writer, kind: &EventKind) {
         }
         EventKind::OverloadShed { shed_total } => w.put_u64(shed_total),
         EventKind::ConnOpen { conn } | EventKind::ConnClose { conn } => w.put_u64(conn),
+        EventKind::PartialCompactionEnd {
+            epoch,
+            pause_us,
+            rebuild_us,
+            subtrees,
+        } => {
+            w.put_u64(epoch);
+            w.put_u64(pause_us);
+            w.put_u64(rebuild_us);
+            w.put_u64(subtrees);
+        }
         EventKind::Shutdown { uptime_us, drained } => {
             w.put_u64(uptime_us);
             w.put_u64(drained);
@@ -348,6 +360,12 @@ fn decode_kind(r: &mut Reader<'_>) -> Result<EventKind, ObsError> {
         9 => EventKind::Shutdown {
             uptime_us: f[0],
             drained: f[1],
+        },
+        10 => EventKind::PartialCompactionEnd {
+            epoch: f[0],
+            pause_us: f[1],
+            rebuild_us: f[2],
+            subtrees: f[3],
         },
         _ => unreachable!("tag validated above"),
     })

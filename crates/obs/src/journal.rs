@@ -66,6 +66,19 @@ pub enum EventKind {
         /// In-flight requests drained during shutdown.
         drained: u64,
     },
+    /// An incremental (partial) compaction finished: stale subtrees were
+    /// retrained in place and the delta folded, without rebuilding the base
+    /// structure.
+    PartialCompactionEnd {
+        /// New epoch id now serving.
+        epoch: u64,
+        /// Writer-visible pause while the epoch swapped, microseconds.
+        pause_us: u64,
+        /// Off-lock partial-rebuild duration, microseconds.
+        rebuild_us: u64,
+        /// Subtrees retrained by this pass.
+        subtrees: u64,
+    },
 }
 
 impl EventKind {
@@ -82,6 +95,7 @@ impl EventKind {
             EventKind::ConnOpen { .. } => 7,
             EventKind::ConnClose { .. } => 8,
             EventKind::Shutdown { .. } => 9,
+            EventKind::PartialCompactionEnd { .. } => 10,
         }
     }
 
@@ -97,6 +111,7 @@ impl EventKind {
             EventKind::ConnOpen { .. } => "conn-open",
             EventKind::ConnClose { .. } => "conn-close",
             EventKind::Shutdown { .. } => "shutdown",
+            EventKind::PartialCompactionEnd { .. } => "partial-compaction-end",
         }
     }
 
@@ -122,6 +137,16 @@ impl EventKind {
             EventKind::ConnClose { conn } => format!("conn={conn}"),
             EventKind::Shutdown { uptime_us, drained } => {
                 format!("uptime_us={uptime_us} drained={drained}")
+            }
+            EventKind::PartialCompactionEnd {
+                epoch,
+                pause_us,
+                rebuild_us,
+                subtrees,
+            } => {
+                format!(
+                    "epoch={epoch} pause_us={pause_us} rebuild_us={rebuild_us} subtrees={subtrees}"
+                )
             }
         }
     }
@@ -292,6 +317,12 @@ mod tests {
             EventKind::Shutdown {
                 uptime_us: 0,
                 drained: 0,
+            },
+            EventKind::PartialCompactionEnd {
+                epoch: 0,
+                pause_us: 0,
+                rebuild_us: 0,
+                subtrees: 0,
             },
         ];
         for (i, k) in kinds.iter().enumerate() {

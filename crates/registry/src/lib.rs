@@ -502,7 +502,7 @@ pub fn load_index(path: &Path) -> Result<Box<dyn SpatialIndex>, PersistError> {
 // Live serving: wrap any registered kind in a SpatialServer
 // ---------------------------------------------------------------------
 
-pub use server::{ServerConfig, SpatialServer};
+pub use server::{CompactionMode, CompactionPolicy, ServerConfig, SpatialServer};
 
 /// The compaction rebuild closure for one registered kind: the registry's
 /// own [`build_index`] with the kind and configuration captured, which is
@@ -813,6 +813,47 @@ mod tests {
             );
             assert!(server.point_query(&data[5], &mut cx).is_none());
             assert_eq!(server.len(), data.len());
+        }
+    }
+
+    #[test]
+    fn serve_index_maintains_learned_kinds_incrementally() {
+        let data = generate(Distribution::Uniform, 800, 39);
+        let scfg = ServerConfig::default().with_auto_compact(false);
+        for kind in [IndexKind::Rsmi, IndexKind::Rsmia] {
+            let server = serve_index(kind, &data, &IndexConfig::fast(), scfg);
+            let mut cx = QueryContext::new();
+            let mut inserted = Vec::new();
+            let mut deleted = Vec::new();
+            for i in 0..60u64 {
+                let p = Point::with_id(
+                    (0.013 * i as f64) % 1.0,
+                    (0.029 * i as f64) % 1.0,
+                    800_000 + i,
+                );
+                server.insert(p);
+                inserted.push(p);
+                if i % 5 == 0 {
+                    // Skip index 0: its id is 0, the trait-level wildcard.
+                    let victim = data[1 + (i as usize * 11) % (data.len() - 1)];
+                    if server.delete(&victim).0 {
+                        deleted.push(victim);
+                    }
+                }
+            }
+            assert!(server.maintain_now());
+            let stats = server.stats();
+            assert_eq!(
+                stats.partial_compactions, 1,
+                "{kind:?} did not run a partial pass"
+            );
+            // The partially rebuilt base still answers exactly.
+            for p in &inserted {
+                assert_eq!(server.point_query(p, &mut cx).map(|f| f.id), Some(p.id));
+            }
+            for p in &deleted {
+                assert!(server.point_query(p, &mut cx).is_none());
+            }
         }
     }
 

@@ -24,12 +24,20 @@
 //!   the write stream it observes, which is what makes concurrent runs
 //!   verifiable against a single-threaded replay oracle.
 //! * **Background compaction.**  When the delta grows past
-//!   [`ServerConfig::compact_threshold`], a background thread folds it into
-//!   the canonical point set, rebuilds a fresh base through the caller's
-//!   rebuild closure (the registry passes `build_index`, so any registered
-//!   family composes), and atomically swaps in a new epoch.  Readers holding
-//!   the old epoch keep getting correct answers from it; the swap itself is
-//!   one `Arc` store.  Rebuilds happen entirely outside the read path.
+//!   [`CompactionPolicy::ops_trigger`], a background thread folds it into
+//!   the canonical point set, refreshes the base, and atomically swaps in a
+//!   new epoch.  Readers holding the old epoch keep getting correct answers
+//!   from it; the swap itself is one `Arc` store.  Rebuilds happen entirely
+//!   outside the read path.
+//! * **Incremental maintenance.**  A full rebuild (the caller's rebuild
+//!   closure — the registry passes `build_index`, so any registered family
+//!   composes) is the fallback.  When the base supports it
+//!   ([`SpatialIndex::clone_index`] + [`SpatialIndex::rebuild_partial`]),
+//!   the [`CompactionPolicy`] instead clones the base, replays the captured
+//!   delta into the clone, and retrains only the subtrees whose model drift
+//!   crossed [`CompactionPolicy::drift_trigger`] — bounded per pass by a
+//!   pause budget so compaction cost stays proportional to churn, not to
+//!   data size.  The epoch swap discipline is identical either way.
 //!
 //! # Example: serve and write concurrently
 //!
@@ -80,10 +88,10 @@ mod delta;
 
 pub use delta::{SequencedOp, WriteOp};
 
-use common::{QueryContext, SpatialIndex};
+use common::{MaintenanceBudget, QueryContext, SpatialIndex};
 use delta::{key_of, DeltaState, Key};
 use geom::{Point, Rect};
-use obs::{EventKind, Gauge, Histogram, Telemetry};
+use obs::{Counter, EventKind, Gauge, Histogram, Telemetry};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
@@ -95,30 +103,126 @@ use std::time::{Duration, Instant};
 /// server without a dependency cycle.
 pub type RebuildFn = Box<dyn Fn(&[Point]) -> Box<dyn SpatialIndex> + Send + Sync>;
 
+/// When and how the server compacts: the trigger for folding the delta,
+/// and the decision between a full rebuild and an incremental (partial)
+/// one.  The policy is plain data, so experiments sweep it and tests pin
+/// it; [`SpatialServer`] consults it on every policy-driven compaction
+/// ([`SpatialServer::maintain_now`] and the background thread).
+#[derive(Debug, Clone, Copy)]
+pub struct CompactionPolicy {
+    /// Number of buffered delta ops that triggers a compaction.
+    pub ops_trigger: usize,
+    /// Per-subtree drift at or above which a partial pass retrains the
+    /// subtree (the unit is "fractions of a retrain's worth of churn"; see
+    /// the drift metric in `docs/ARCHITECTURE.md`).  Subtrees below it
+    /// keep their (possibly widened) models.
+    pub drift_trigger: f64,
+    /// Max-to-mean per-shard point-count ratio at or above which a sharded
+    /// base is considered skewed enough to force a full rebuild (partial
+    /// retraining cannot move points between shards).
+    pub skew_trigger: f64,
+    /// Budget, in microseconds, for the off-lock partial-rebuild work of
+    /// one pass.  The server keeps a running estimate of per-subtree
+    /// retrain cost and caps the number of subtrees per pass so the pass
+    /// fits the budget; the remainder is deferred to the next pass.
+    pub pause_budget_us: u64,
+    /// Hard cap on subtrees retrained per partial pass, independent of the
+    /// cost estimate.
+    pub max_subtrees: usize,
+    /// Whether partial compaction is attempted at all.  With `false` every
+    /// policy-driven compaction is a full rebuild (the pre-maintenance
+    /// behaviour).
+    pub incremental: bool,
+    /// Force a full rebuild every Nth compaction (0 = never force).  A
+    /// periodic full pass bounds long-run structural decay that per-subtree
+    /// retraining cannot repair (overflow chains, shard skew below the
+    /// trigger).
+    pub full_every: u64,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        Self {
+            ops_trigger: 1_024,
+            drift_trigger: 1.0,
+            skew_trigger: 4.0,
+            pause_budget_us: 50_000,
+            max_subtrees: 64,
+            incremental: true,
+            full_every: 0,
+        }
+    }
+}
+
+impl CompactionPolicy {
+    /// Returns a copy with the given ops trigger (clamped to at least 1).
+    pub fn with_ops_trigger(mut self, ops: usize) -> Self {
+        self.ops_trigger = ops.max(1);
+        self
+    }
+
+    /// Returns a copy with the given per-subtree drift trigger.
+    pub fn with_drift_trigger(mut self, drift: f64) -> Self {
+        self.drift_trigger = drift;
+        self
+    }
+
+    /// Returns a copy with the given pause budget in microseconds.
+    pub fn with_pause_budget_us(mut self, us: u64) -> Self {
+        self.pause_budget_us = us;
+        self
+    }
+
+    /// Returns a copy with the given per-pass subtree cap (at least 1).
+    pub fn with_max_subtrees(mut self, n: usize) -> Self {
+        self.max_subtrees = n.max(1);
+        self
+    }
+
+    /// Returns a copy with partial compaction enabled or disabled.
+    pub fn with_incremental(mut self, on: bool) -> Self {
+        self.incremental = on;
+        self
+    }
+
+    /// Returns a copy forcing a full rebuild every `n`th compaction.
+    pub fn with_full_every(mut self, n: u64) -> Self {
+        self.full_every = n;
+        self
+    }
+}
+
 /// Tuning knobs of a [`SpatialServer`].
 #[derive(Debug, Clone, Copy)]
 pub struct ServerConfig {
-    /// Number of buffered delta ops that triggers a background compaction.
-    pub compact_threshold: usize,
+    /// When to compact and whether to do it incrementally.
+    pub policy: CompactionPolicy,
     /// Whether the background compaction thread runs at all.  With `false`
     /// the delta only ever shrinks through explicit
-    /// [`SpatialServer::compact_now`] calls — what deterministic tests use.
+    /// [`SpatialServer::compact_now`] / [`SpatialServer::maintain_now`]
+    /// calls — what deterministic tests use.
     pub auto_compact: bool,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         Self {
-            compact_threshold: 1_024,
+            policy: CompactionPolicy::default(),
             auto_compact: true,
         }
     }
 }
 
 impl ServerConfig {
-    /// Returns a copy with the given compaction threshold.
+    /// Returns a copy with the given compaction (ops) threshold.
     pub fn with_compact_threshold(mut self, ops: usize) -> Self {
-        self.compact_threshold = ops.max(1);
+        self.policy.ops_trigger = ops.max(1);
+        self
+    }
+
+    /// Returns a copy with the given compaction policy.
+    pub fn with_policy(mut self, policy: CompactionPolicy) -> Self {
+        self.policy = policy;
         self
     }
 
@@ -127,6 +231,21 @@ impl ServerConfig {
         self.auto_compact = on;
         self
     }
+}
+
+/// What a compaction pass does to the base index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompactionMode {
+    /// Rebuild the base from scratch through the rebuild closure.
+    Full,
+    /// Clone the base, replay the captured delta into the clone, and
+    /// retrain only drifted subtrees.  Falls back to [`Full`]
+    /// (`CompactionMode::Full`) when the base does not support cloning or
+    /// the captured log contains a wildcard delete a clone cannot replay
+    /// faithfully.
+    Partial,
+    /// Let the [`CompactionPolicy`] decide per pass.
+    Auto,
 }
 
 /// One immutable generation of the server: a frozen base index plus the
@@ -186,8 +305,12 @@ pub struct ServerStats {
     pub seq: u64,
     /// Ops currently buffered in the delta overlay.
     pub delta_ops: usize,
-    /// Completed compactions (epoch swaps).
+    /// Completed compactions (epoch swaps), full and partial.
     pub compactions: u64,
+    /// Compactions that ran as partial (incremental) passes.
+    pub partial_compactions: u64,
+    /// Subtrees retrained across all partial passes.
+    pub subtree_rebuilds: u64,
     /// Live points (base minus masked deletes plus live inserts).
     pub len: usize,
 }
@@ -212,6 +335,26 @@ struct ServerMetrics {
     compaction_pause_us: Histogram,
     /// `server.compaction_rebuild_us`: off-lock rebuild duration.
     compaction_rebuild_us: Histogram,
+    /// `server.compactions_full` / `server.compactions_partial`: how the
+    /// swaps were produced — the soak suite asserts partial passes carried
+    /// the steady-state load.
+    compactions_full: Counter,
+    compactions_partial: Counter,
+    /// `server.subtree_rebuilds`: subtrees retrained across all partial
+    /// passes.
+    subtree_rebuilds: Counter,
+    /// `server.partial_rebuild_us`: off-lock duration of partial passes
+    /// only (full rebuilds go to `server.compaction_rebuild_us`).
+    partial_rebuild_us: Histogram,
+    /// `server.maint_ops_since_train`: writes absorbed by the live base's
+    /// leaves since their models were trained — the raw drift signal.
+    maint_ops_since_train: Gauge,
+    /// `server.maint_widened`: total error-bound widening (blocks, below +
+    /// above) the live base's leaves carry.
+    maint_widened: Gauge,
+    /// `server.maint_stale_subtrees`: subtrees currently at or past the
+    /// default drift threshold.
+    maint_stale_subtrees: Gauge,
 }
 
 impl ServerMetrics {
@@ -224,6 +367,13 @@ impl ServerMetrics {
             model_err_above: t.metrics.gauge("server.model_err_above"),
             compaction_pause_us: t.metrics.histogram("server.compaction_pause_us"),
             compaction_rebuild_us: t.metrics.histogram("server.compaction_rebuild_us"),
+            compactions_full: t.metrics.counter("server.compactions_full"),
+            compactions_partial: t.metrics.counter("server.compactions_partial"),
+            subtree_rebuilds: t.metrics.counter("server.subtree_rebuilds"),
+            partial_rebuild_us: t.metrics.histogram("server.partial_rebuild_us"),
+            maint_ops_since_train: t.metrics.gauge("server.maint_ops_since_train"),
+            maint_widened: t.metrics.gauge("server.maint_widened"),
+            maint_stale_subtrees: t.metrics.gauge("server.maint_stale_subtrees"),
         }
     }
 
@@ -231,6 +381,16 @@ impl ServerMetrics {
         if let Some((below, above)) = base.model_error_bounds() {
             self.model_err_below.set(below.min(i64::MAX as u64) as i64);
             self.model_err_above.set(above.min(i64::MAX as u64) as i64);
+        }
+    }
+
+    fn set_maintenance(&self, base: &dyn SpatialIndex) {
+        if let Some(m) = base.maintenance_stats() {
+            self.maint_ops_since_train
+                .set(m.ops_since_train.min(i64::MAX as u64) as i64);
+            self.maint_widened
+                .set((m.widened_below + m.widened_above).min(i64::MAX as u64) as i64);
+            self.maint_stale_subtrees.set(m.stale_subtrees as i64);
         }
     }
 }
@@ -248,8 +408,16 @@ struct Core {
     /// Builds a fresh base from the canonical points.
     rebuild: RebuildFn,
     cfg: ServerConfig,
-    /// Completed epoch swaps.
+    /// Completed epoch swaps (full + partial).
     compactions: AtomicU64,
+    /// Epoch swaps produced by partial (incremental) passes.
+    partial_compactions: AtomicU64,
+    /// Subtrees retrained across all partial passes.
+    subtree_rebuilds: AtomicU64,
+    /// Running estimate of per-subtree retrain cost in microseconds
+    /// (exponential moving average, 0 = no estimate yet).  Divides the
+    /// policy's pause budget into a per-pass subtree cap.
+    partial_cost_ema_us: AtomicU64,
     /// Wake-up signal for the compaction thread.
     signal: Mutex<CompactorSignal>,
     signal_cv: Condvar,
@@ -281,7 +449,7 @@ impl Core {
     ///
     /// Cost note: when a reader still holds a snapshot of the current delta
     /// (`Arc` shared), `Arc::make_mut` copies the overlay before appending —
-    /// bounded by [`ServerConfig::compact_threshold`] entries, which is the
+    /// bounded by [`CompactionPolicy::ops_trigger`] entries, which is the
     /// deliberate trade for readers that never take the write path's locks.
     fn apply(&self, op: WriteOp) -> (bool, u64) {
         let buffered;
@@ -300,7 +468,7 @@ impl Core {
             self.metrics.seq.set(seq.min(i64::MAX as u64) as i64);
             self.metrics.delta_ops.set(buffered as i64);
         }
-        if self.cfg.auto_compact && buffered >= self.cfg.compact_threshold {
+        if self.cfg.auto_compact && buffered >= self.cfg.policy.ops_trigger {
             let mut sig = self.signal.lock().expect("signal lock poisoned");
             sig.kicked = true;
             self.signal_cv.notify_all();
@@ -308,12 +476,72 @@ impl Core {
         result
     }
 
-    /// Folds the buffered delta into a freshly rebuilt base and swaps in a
-    /// new epoch.  Returns whether an epoch swap happened (false when the
-    /// delta was empty).  The expensive rebuild runs outside every lock the
-    /// read or write paths use; only the final pointer swap takes the write
+    /// Picks the mode a policy-driven compaction of `base` should run in.
+    /// Partial is chosen only when the policy allows it, it is not a forced
+    /// full round, the base reports maintenance state, and (for sharded
+    /// bases) the per-shard point counts are not skewed past the trigger —
+    /// per-subtree retraining cannot move points between shards, so a
+    /// skewed sharding needs the full repartitioning rebuild.
+    fn decide_mode(&self, base: &dyn SpatialIndex) -> CompactionMode {
+        let p = &self.cfg.policy;
+        if !p.incremental {
+            return CompactionMode::Full;
+        }
+        if p.full_every > 0
+            && (self.compactions.load(Ordering::Relaxed) + 1).is_multiple_of(p.full_every)
+        {
+            return CompactionMode::Full;
+        }
+        if base.maintenance_stats().is_none() {
+            return CompactionMode::Full;
+        }
+        if let Some(counts) = base.shard_point_counts() {
+            if counts.len() > 1 {
+                let total: usize = counts.iter().sum();
+                let mean = total as f64 / counts.len() as f64;
+                let max = counts.iter().copied().max().unwrap_or(0) as f64;
+                if mean > 0.0 && max / mean >= p.skew_trigger {
+                    return CompactionMode::Full;
+                }
+            }
+        }
+        CompactionMode::Partial
+    }
+
+    /// How many subtrees the next partial pass may retrain: the policy's
+    /// hard cap, shrunk so that `subtrees x estimated per-subtree cost`
+    /// fits the pause budget once a cost estimate exists.
+    fn partial_budget(&self) -> MaintenanceBudget {
+        let p = &self.cfg.policy;
+        let mut max_subtrees = p.max_subtrees.max(1);
+        let ema = self.partial_cost_ema_us.load(Ordering::Relaxed);
+        if let Some(affordable) = p.pause_budget_us.checked_div(ema) {
+            let affordable = affordable.max(1);
+            max_subtrees = max_subtrees.min(affordable.min(usize::MAX as u64) as usize);
+        }
+        MaintenanceBudget {
+            max_subtrees,
+            drift_threshold: p.drift_trigger,
+        }
+    }
+
+    /// Folds the buffered delta into a refreshed base and swaps in a new
+    /// epoch.  Returns whether an epoch swap happened (false when the delta
+    /// was empty).  The expensive rebuild runs outside every lock the read
+    /// or write paths use; only the final pointer swap takes the write
     /// gate.
-    fn compact(&self) -> bool {
+    ///
+    /// With [`CompactionMode::Partial`] (or [`CompactionMode::Auto`]
+    /// resolving to it) the base is cloned, the captured ops are replayed
+    /// into the clone in sequence order, and only drifted subtrees are
+    /// retrained under [`Core::partial_budget`].  The canonical point
+    /// vector is folded identically in both modes, so a later full rebuild
+    /// always starts from the same ground truth.  Partial silently falls
+    /// back to full when the base cannot be cloned or the captured log
+    /// contains a wildcard delete (`id == 0` matches any id in
+    /// [`SpatialIndex::delete`], which an index replay cannot reproduce
+    /// faithfully against `Vec` fold semantics).
+    fn compact_with(&self, mode: CompactionMode) -> bool {
         let mut points = self.compact_state.lock().expect("compact lock poisoned");
         let epoch = self.current_epoch();
         let captured = epoch.delta.read().expect("delta lock poisoned").clone();
@@ -321,17 +549,51 @@ impl Core {
             return false;
         }
         let fold_seq = captured.seq();
+        let mode = match mode {
+            CompactionMode::Auto => self.decide_mode(epoch.base.as_ref()),
+            m => m,
+        };
         self.telemetry.journal.record(EventKind::CompactionStart {
             epoch: epoch.id,
             delta_ops: captured.op_count() as u64,
         });
         delta::apply_log_to_points(&mut points, captured.log(), fold_seq);
+
+        let wildcard_delete = captured
+            .log()
+            .iter()
+            .any(|o| matches!(o.op, WriteOp::Delete(p) if p.id == 0));
         let rebuild_t0 = Instant::now();
-        let new_base = (self.rebuild)(&points);
+        let mut partial_outcome = None;
+        let new_base = if mode == CompactionMode::Partial && !wildcard_delete {
+            match epoch.base.clone_index() {
+                Some(mut clone) => {
+                    for op in captured.log().iter().filter(|o| o.seq <= fold_seq) {
+                        match op.op {
+                            WriteOp::Insert(p) => clone.insert(p),
+                            // Vec fold semantics remove every matching
+                            // copy; `SpatialIndex::delete` removes one.
+                            WriteOp::Delete(p) => while clone.delete(&p) {},
+                        }
+                    }
+                    partial_outcome = Some(clone.rebuild_partial(&self.partial_budget()));
+                    clone
+                }
+                None => (self.rebuild)(&points),
+            }
+        } else {
+            (self.rebuild)(&points)
+        };
         let rebuild_us = rebuild_t0.elapsed().as_micros() as u64;
         let new_points = points.len() as u64;
         let new_keys = index_base_keys(&points);
+        debug_assert_eq!(
+            new_base.len(),
+            points.len(),
+            "partial replay must reproduce the canonical fold"
+        );
         self.metrics.set_model_error(new_base.as_ref());
+        self.metrics.set_maintenance(new_base.as_ref());
 
         // Swap: with the write gate held no new ops can land, so the ops
         // beyond the fold point are exactly the leftover the new epoch's
@@ -364,13 +626,42 @@ impl Core {
             .epoch
             .set(new_epoch_id.min(i64::MAX as u64) as i64);
         self.metrics.compaction_pause_us.record(pause_us);
-        self.metrics.compaction_rebuild_us.record(rebuild_us);
-        self.telemetry.journal.record(EventKind::CompactionEnd {
-            epoch: new_epoch_id,
-            pause_us,
-            rebuild_us,
-            points: new_points,
-        });
+        match partial_outcome {
+            // A clone whose `rebuild_partial` fell back to a full rebuild
+            // still counts as a full pass: the whole structure was redone.
+            Some(outcome) if !outcome.full_rebuild => {
+                let subtrees = outcome.subtrees_rebuilt as u64;
+                self.partial_compactions.fetch_add(1, Ordering::Relaxed);
+                self.subtree_rebuilds.fetch_add(subtrees, Ordering::Relaxed);
+                self.metrics.compactions_partial.inc();
+                self.metrics.subtree_rebuilds.add(subtrees);
+                self.metrics.partial_rebuild_us.record(rebuild_us);
+                if let Some(per) = rebuild_us.checked_div(subtrees) {
+                    let per = per.max(1);
+                    let ema = self.partial_cost_ema_us.load(Ordering::Relaxed);
+                    let next = if ema == 0 { per } else { (3 * ema + per) / 4 };
+                    self.partial_cost_ema_us.store(next, Ordering::Relaxed);
+                }
+                self.telemetry
+                    .journal
+                    .record(EventKind::PartialCompactionEnd {
+                        epoch: new_epoch_id,
+                        pause_us,
+                        rebuild_us,
+                        subtrees,
+                    });
+            }
+            _ => {
+                self.metrics.compactions_full.inc();
+                self.metrics.compaction_rebuild_us.record(rebuild_us);
+                self.telemetry.journal.record(EventKind::CompactionEnd {
+                    epoch: new_epoch_id,
+                    pause_us,
+                    rebuild_us,
+                    points: new_points,
+                });
+            }
+        }
         self.telemetry.journal.record(EventKind::EpochSwap {
             epoch: new_epoch_id,
             seq: fold_seq,
@@ -423,6 +714,7 @@ impl SpatialServer {
         let telemetry = Arc::new(Telemetry::new());
         let metrics = ServerMetrics::register(&telemetry);
         metrics.set_model_error(base.as_ref());
+        metrics.set_maintenance(base.as_ref());
         telemetry.journal.record(EventKind::ServerStart {
             points: points.len() as u64,
         });
@@ -438,6 +730,9 @@ impl SpatialServer {
             rebuild,
             cfg,
             compactions: AtomicU64::new(0),
+            partial_compactions: AtomicU64::new(0),
+            subtree_rebuilds: AtomicU64::new(0),
+            partial_cost_ema_us: AtomicU64::new(0),
             signal: Mutex::new(CompactorSignal::default()),
             signal_cv: Condvar::new(),
             telemetry,
@@ -485,12 +780,31 @@ impl SpatialServer {
         self.core.apply(op)
     }
 
+    /// Synchronously runs one policy-driven compaction: the
+    /// [`CompactionPolicy`] decides between a partial pass (retrain only
+    /// drifted subtrees in a clone of the base) and a full rebuild, and the
+    /// resulting epoch swaps in atomically either way.  Returns whether a
+    /// swap happened (`false` if the delta was empty).  This is what the
+    /// background thread runs on every trigger.
+    pub fn maintain_now(&self) -> bool {
+        self.core.compact_with(CompactionMode::Auto)
+    }
+
+    /// Synchronously compacts in an explicit [`CompactionMode`].  Partial
+    /// falls back to full when the base cannot support it.
+    pub fn compact_in(&self, mode: CompactionMode) -> bool {
+        self.core.compact_with(mode)
+    }
+
     /// Synchronously folds the buffered delta into a fresh base and swaps
-    /// epochs.  Returns whether a swap happened (`false` if the delta was
-    /// empty).  Safe to call while the background thread is running — the
-    /// two serialise on the compaction lock.
+    /// epochs, always as a **full** rebuild — the deterministic baseline
+    /// (and what trait-level `rebuild` / `write_snapshot` use).  Returns
+    /// whether a swap happened (`false` if the delta was empty).  Safe to
+    /// call while the background thread is running — the two serialise on
+    /// the compaction lock.  See [`maintain_now`](Self::maintain_now) for
+    /// the policy-driven (possibly partial) variant.
     pub fn compact_now(&self) -> bool {
-        self.core.compact()
+        self.core.compact_with(CompactionMode::Full)
     }
 
     /// Current server counters (epoch, sequence, delta size, live points).
@@ -501,6 +815,8 @@ impl SpatialServer {
             seq: snap.seq(),
             delta_ops: snap.delta.op_count(),
             compactions: self.core.compactions.load(Ordering::Relaxed),
+            partial_compactions: self.core.partial_compactions.load(Ordering::Relaxed),
+            subtree_rebuilds: self.core.subtree_rebuilds.load(Ordering::Relaxed),
             len: snap.len(),
         }
     }
@@ -575,8 +891,8 @@ fn compactor_loop(core: &Core) {
         let epoch = core.current_epoch();
         let buffered = epoch.delta.read().expect("delta lock poisoned").op_count();
         drop(epoch);
-        if buffered >= core.cfg.compact_threshold {
-            core.compact();
+        if buffered >= core.cfg.policy.ops_trigger {
+            core.compact_with(CompactionMode::Auto);
         }
     }
 }
@@ -1451,6 +1767,229 @@ mod tests {
             })
             .unwrap();
         assert_eq!(end, 210);
+    }
+
+    /// A scan index that opts into the maintenance protocol: one "subtree"
+    /// whose drift is the op count since the last (partial) retrain.  Lets
+    /// the policy/fallback machinery be tested without a learned index.
+    #[derive(Clone)]
+    struct MaintScan {
+        inner: ScanIndex,
+        ops: u64,
+    }
+
+    impl MaintScan {
+        fn new(points: Vec<Point>) -> Self {
+            Self {
+                inner: ScanIndex::new(points),
+                ops: 0,
+            }
+        }
+    }
+
+    impl SpatialIndex for MaintScan {
+        fn name(&self) -> &'static str {
+            "MaintScan"
+        }
+        fn len(&self) -> usize {
+            self.inner.len()
+        }
+        fn point_query(&self, q: &Point, cx: &mut QueryContext) -> Option<Point> {
+            self.inner.point_query(q, cx)
+        }
+        fn window_query_visit(
+            &self,
+            window: &Rect,
+            cx: &mut QueryContext,
+            visit: &mut dyn FnMut(&Point),
+        ) {
+            self.inner.window_query_visit(window, cx, visit)
+        }
+        fn knn_query_visit(
+            &self,
+            q: &Point,
+            k: usize,
+            cx: &mut QueryContext,
+            visit: &mut dyn FnMut(&Point),
+        ) {
+            self.inner.knn_query_visit(q, k, cx, visit)
+        }
+        fn for_each_point(&self, visit: &mut dyn FnMut(&Point)) {
+            self.inner.for_each_point(visit)
+        }
+        fn insert(&mut self, p: Point) {
+            self.ops += 1;
+            self.inner.insert(p);
+        }
+        fn delete(&mut self, p: &Point) -> bool {
+            let removed = self.inner.delete(p);
+            if removed {
+                self.ops += 1;
+            }
+            removed
+        }
+        fn size_bytes(&self) -> usize {
+            self.inner.size_bytes()
+        }
+        fn height(&self) -> usize {
+            self.inner.height()
+        }
+        fn maintenance_stats(&self) -> Option<common::MaintenanceStats> {
+            Some(common::MaintenanceStats {
+                ops_since_train: self.ops,
+                widened_below: 0,
+                widened_above: 0,
+                stale_subtrees: usize::from(self.ops > 0),
+                subtrees: 1,
+            })
+        }
+        fn rebuild_partial(&mut self, budget: &MaintenanceBudget) -> common::MaintenanceOutcome {
+            let stale = self.ops > 0;
+            let retrain = stale && budget.max_subtrees >= 1;
+            if retrain {
+                self.ops = 0;
+            }
+            common::MaintenanceOutcome {
+                full_rebuild: false,
+                subtrees_rebuilt: usize::from(retrain),
+                subtrees_deferred: usize::from(stale && !retrain),
+            }
+        }
+        fn clone_index(&self) -> Option<Box<dyn SpatialIndex>> {
+            Some(Box::new(self.clone()))
+        }
+    }
+
+    fn maint_rebuild() -> RebuildFn {
+        Box::new(|pts| Box::new(MaintScan::new(pts.to_vec())))
+    }
+
+    #[test]
+    fn policy_driven_compaction_runs_partial_passes() {
+        let data = generate(Distribution::skewed_default(), 400, 37);
+        let mut oracle = data.clone();
+        let server = SpatialServer::new(data, maint_rebuild(), manual_cfg());
+        for i in 0..50u64 {
+            let p = Point::with_id(0.001 * i as f64, 0.77, 60_000 + i);
+            server.insert(p);
+            oracle.push(p);
+        }
+        assert!(server.maintain_now());
+        let stats = server.stats();
+        assert_eq!(stats.compactions, 1);
+        assert_eq!(stats.partial_compactions, 1);
+        assert_eq!(stats.subtree_rebuilds, 1);
+        assert_eq!(stats.delta_ops, 0);
+        assert_eq!(stats.len, oracle.len());
+        // The merged view still matches the oracle after the partial swap.
+        let mut cx = QueryContext::new();
+        for q in oracle.iter().step_by(37) {
+            assert_eq!(server.point_query(q, &mut cx).map(|p| p.id), Some(q.id));
+        }
+        // Journal and metrics say "partial", not "full".
+        let t = server.telemetry();
+        let names: Vec<&str> = t
+            .journal
+            .snapshot()
+            .events
+            .iter()
+            .map(|e| e.kind.name())
+            .collect();
+        assert!(names.contains(&"partial-compaction-end"));
+        assert!(!names.contains(&"compaction-end"));
+        let m = t.metrics.snapshot();
+        assert_eq!(m.counter("server.compactions_partial"), Some(1));
+        assert_eq!(m.counter("server.compactions_full"), Some(0));
+        assert_eq!(m.counter("server.subtree_rebuilds"), Some(1));
+        assert_eq!(m.histogram("server.partial_rebuild_us").unwrap().count, 1);
+        // Drift gauges were refreshed from the post-pass base.
+        assert_eq!(m.gauge("server.maint_ops_since_train"), Some(0));
+        assert_eq!(m.gauge("server.maint_stale_subtrees"), Some(0));
+    }
+
+    #[test]
+    fn wildcard_deletes_force_a_full_pass() {
+        // `SpatialIndex::delete` treats id 0 as "match any id", which a
+        // clone replay cannot reconcile with the Vec fold's exact-id
+        // semantics — the pass must fall back to a full rebuild.
+        let server = SpatialServer::new(Vec::new(), maint_rebuild(), manual_cfg());
+        server.insert(Point::with_id(0.3, 0.3, 7));
+        server.insert(Point::with_id(0.6, 0.6, 8));
+        server.delete(&Point::with_id(0.3, 0.3, 0));
+        assert!(server.maintain_now());
+        let stats = server.stats();
+        assert_eq!(stats.compactions, 1);
+        assert_eq!(stats.partial_compactions, 0, "wildcard delete went partial");
+        assert_eq!(server.len(), 2, "exact-id fold must keep both points");
+    }
+
+    #[test]
+    fn policy_full_every_and_incremental_off_force_full_rebuilds() {
+        let cfg = ServerConfig::default()
+            .with_auto_compact(false)
+            .with_policy(CompactionPolicy::default().with_full_every(2));
+        let server = SpatialServer::new(Vec::new(), maint_rebuild(), cfg);
+        for round in 0..4u64 {
+            server.insert(Point::with_id(0.1 * round as f64, 0.2, round));
+            assert!(server.maintain_now());
+        }
+        let stats = server.stats();
+        assert_eq!(stats.compactions, 4);
+        // Rounds 2 and 4 were forced full; rounds 1 and 3 ran partial.
+        assert_eq!(stats.partial_compactions, 2);
+
+        let cfg = ServerConfig::default()
+            .with_auto_compact(false)
+            .with_policy(CompactionPolicy::default().with_incremental(false));
+        let server = SpatialServer::new(Vec::new(), maint_rebuild(), cfg);
+        server.insert(Point::with_id(0.5, 0.5, 1));
+        assert!(server.maintain_now());
+        assert_eq!(server.stats().partial_compactions, 0);
+    }
+
+    #[test]
+    fn maintain_now_falls_back_to_full_for_plain_bases() {
+        // ScanIndex reports no maintenance state, so Auto resolves to Full.
+        let (_, server) = serve(100, 43);
+        server.insert(Point::with_id(0.9, 0.9, 50_000));
+        assert!(server.maintain_now());
+        let stats = server.stats();
+        assert_eq!(stats.compactions, 1);
+        assert_eq!(stats.partial_compactions, 0);
+    }
+
+    #[test]
+    fn delta_only_delete_does_not_resurrect_after_partial_compaction() {
+        // Regression: a point that lived only in the delta overlay (insert
+        // + delete both buffered, never folded) must stay dead through a
+        // *partial* pass, which replays the log into a clone instead of
+        // rebuilding from the canonical fold.
+        let data = generate(Distribution::Uniform, 200, 47);
+        let server = SpatialServer::new(data.clone(), maint_rebuild(), manual_cfg());
+        let ghost = Point::with_id(0.123, 0.987, 70_001);
+        server.insert(ghost);
+        let (removed, _) = server.delete(&ghost);
+        assert!(removed);
+        // Duplicate copies of one key must also die together (Vec fold
+        // deletes every matching copy; the replay must loop `delete`).
+        let twin = Point::with_id(0.222, 0.333, 70_002);
+        server.insert(twin);
+        server.insert(twin);
+        let (removed, _) = server.delete(&twin);
+        assert!(removed);
+        assert!(server.maintain_now());
+        assert_eq!(server.stats().partial_compactions, 1);
+        let mut cx = QueryContext::new();
+        assert!(server.point_query(&ghost, &mut cx).is_none());
+        assert!(server.point_query(&twin, &mut cx).is_none());
+        assert_eq!(server.len(), 200);
+        // And the same holds for every query class via the merged view.
+        let w = Rect::from_point(ghost);
+        assert!(server.window_query(&w, &mut cx).is_empty());
+        assert!(!server
+            .knn_query(&twin, 5, &mut cx)
+            .iter()
+            .any(|p| p.id == twin.id));
     }
 
     #[test]

@@ -13,7 +13,7 @@ use std::ops::Range;
 /// The store itself does **no** access accounting: query code charges block
 /// reads to its `QueryContext` (`common::QueryContext`), which keeps the
 /// store free of interior mutability and therefore `Sync`.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BlockStore {
     blocks: Vec<Block>,
     capacity: usize,

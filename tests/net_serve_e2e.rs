@@ -287,3 +287,57 @@ fn warm_started_snapshot_serves_over_the_network() {
     handle.join();
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// Maintenance telemetry crosses the wire without a protocol change: the
+/// metrics codec is name-generic, so a STATS scrape after partial passes
+/// on a learned kind must expose the partial-compaction counters, the
+/// drift gauges, and the partial-rebuild histogram exactly as the
+/// in-process registry reports them.
+#[test]
+fn stats_scrape_exposes_maintenance_metrics() {
+    let data = generate(Distribution::skewed_default(), 1_200, 53);
+    let engine = Arc::new(serve_index(
+        IndexKind::Rsmi,
+        &data,
+        &IndexConfig::fast(),
+        ServerConfig::default().with_auto_compact(false),
+    ));
+    let handle = net::serve(Arc::clone(&engine), "127.0.0.1:0", NetConfig::default()).unwrap();
+    let mut client = NetClient::connect(&handle.local_addr().to_string()).unwrap();
+
+    // Churn over the wire, then fold it with a policy-driven pass.
+    for i in 0..24u64 {
+        let base = data[(i as usize * 37) % data.len()];
+        client
+            .insert(&Point::with_id(base.x, base.y, 5_000_000 + i))
+            .unwrap();
+    }
+    assert!(engine.maintain_now(), "nothing folded");
+    let stats = engine.stats();
+    assert_eq!(
+        stats.partial_compactions, 1,
+        "learned kind did not take the partial path"
+    );
+
+    let (seq, metrics) = client.stats().unwrap();
+    assert_eq!(seq, 24);
+    assert_eq!(metrics.counter("server.compactions_partial"), Some(1));
+    assert_eq!(metrics.counter("server.compactions_full"), Some(0));
+    assert_eq!(
+        metrics.counter("server.subtree_rebuilds"),
+        Some(stats.subtree_rebuilds)
+    );
+    // Drift gauges reflect the post-pass maintenance state of the base.
+    assert!(metrics.gauge("server.maint_ops_since_train").is_some());
+    assert!(metrics.gauge("server.maint_widened").is_some());
+    assert!(metrics.gauge("server.maint_stale_subtrees").is_some());
+    assert_eq!(
+        metrics
+            .histogram("server.partial_rebuild_us")
+            .map(|h| h.count),
+        Some(1)
+    );
+
+    handle.shutdown();
+    handle.join();
+}

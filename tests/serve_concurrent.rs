@@ -12,7 +12,7 @@
 use bench::live::{await_compactions, replay_against_oracle, run_live_serving, split_stream};
 use datagen::queries::{self, WindowSpec};
 use datagen::{generate, Distribution};
-use registry::{serve_index, IndexConfig, IndexKind, ServerConfig};
+use registry::{serve_index, CompactionPolicy, IndexConfig, IndexKind, ServerConfig};
 use server::WriteOp;
 use std::time::Duration;
 
@@ -79,4 +79,71 @@ fn concurrent_readers_writer_and_compaction_match_the_replay_oracle() {
         }
     }
     assert_eq!(server.len(), oracle.len());
+}
+
+/// Policy-driven variant: a **learned** kind under the background
+/// compactor with an incremental policy.  The background passes must run
+/// as partial rebuilds (clone, replay, retrain drifted subtrees) while
+/// readers race the epoch swaps, and every recorded answer must still
+/// replay exactly against the oracle — RSMIa is exact, so all three
+/// query types are held to full equality.
+#[test]
+fn background_partial_compaction_serves_a_learned_kind_verifiably() {
+    const READERS: usize = 4;
+    let data = generate(Distribution::skewed_default(), 3_000, 83);
+    let ops = queries::read_write_workload(&data, WindowSpec::default(), 10, 1_200, 0.3, 19);
+    let (reads, mut writes) = split_stream(&ops);
+    // `Rsmi::delete` treats id 0 as a location wildcard, which the server
+    // answers with a full-rebuild pass; redirect the rare delete of
+    // data[0] so this run exercises the partial path throughout.
+    for w in writes.iter_mut() {
+        if let WriteOp::Delete(p) = w {
+            if p.id == 0 {
+                *w = WriteOp::Delete(data[1]);
+            }
+        }
+    }
+    assert!(!writes.is_empty() && !reads.is_empty());
+
+    let threshold = (writes.len() / 6).max(8);
+    let policy = CompactionPolicy::default()
+        .with_ops_trigger(threshold)
+        .with_drift_trigger(0.05);
+    let server = serve_index(
+        IndexKind::Rsmia,
+        &data,
+        &IndexConfig::fast(),
+        ServerConfig::default().with_policy(policy),
+    );
+
+    let run = run_live_serving(
+        &server,
+        &reads,
+        &writes,
+        READERS,
+        Duration::from_micros(200),
+    );
+    let mut observations = run.observations;
+    assert_eq!(observations.len(), reads.len());
+
+    let compactions = await_compactions(&server, 1, Duration::from_secs(30));
+    assert!(
+        compactions >= 1,
+        "background compaction never ran (threshold {threshold})"
+    );
+    // Every background pass resolved to a partial rebuild: the full
+    // counter is monotone, so zero here means zero for the whole run.
+    let metrics = server.telemetry().metrics.snapshot();
+    assert_eq!(metrics.counter("server.compactions_full"), Some(0));
+    assert!(metrics.counter("server.compactions_partial") >= Some(1));
+
+    let outcome = replay_against_oracle(&data, &writes, &mut observations, true, true);
+    assert!(
+        outcome.verified(),
+        "{} answers diverged from the replay oracle: {:?}",
+        outcome.mismatches,
+        outcome.divergences
+    );
+    assert_eq!(outcome.checked, reads.len());
+    assert_eq!(outcome.skipped, 0);
 }

@@ -20,9 +20,13 @@
 //! a new frozen generation instead when the format changes again).
 
 use bench::{replay_workload, ReplaySpec};
-use common::QueryContext;
+use common::{MaintenanceBudget, QueryContext};
 use datagen::{generate, Distribution};
-use registry::{build_index, load_index_bytes, snapshot_bytes, IndexConfig, IndexKind};
+use registry::{
+    build_index, load_index_bytes, serve_snapshot_bytes, snapshot_bytes, CompactionPolicy,
+    IndexConfig, IndexKind, ServerConfig,
+};
+use server::WriteOp;
 use std::path::PathBuf;
 
 /// The fixture set: file name, kind, and the deterministic data-set
@@ -155,6 +159,66 @@ fn todays_writer_still_produces_the_fixture_bytes() {
             committed, now,
             "fixture {name}: snapshot bytes drifted — format or build change detected"
         );
+    }
+}
+
+/// Fixtures predate the incremental-maintenance layer: loading them must
+/// leave maintenance state at its sane defaults — the model-free kinds
+/// report no maintenance stats, a partial-rebuild request is answered by
+/// a (correct) full rebuild, and a policy-driven server detects the
+/// missing support and serves them with full compaction passes.
+#[test]
+fn fixtures_default_maintenance_state_sanely() {
+    for &(name, kind, n, seed) in FIXTURES.iter().chain(FIXTURES_V1) {
+        let bytes = std::fs::read(fixture_path(name)).expect("read fixture");
+        let mut loaded = load_index_bytes(&bytes).expect("load fixture");
+        assert!(
+            loaded.maintenance_stats().is_none(),
+            "fixture {name}: a model-free kind grew maintenance stats"
+        );
+        let outcome = loaded.rebuild_partial(&MaintenanceBudget::default());
+        assert!(
+            outcome.full_rebuild,
+            "fixture {name}: partial rebuild did not report its full fallback"
+        );
+        assert_eq!(outcome.subtrees_rebuilt, 0);
+        let data = generate(Distribution::skewed_default(), n, seed);
+        assert_eq!(
+            loaded.len(),
+            data.len(),
+            "fixture {name}: fallback lost points"
+        );
+
+        // Served under an incremental policy, the maintenance pass must
+        // fall back to a full rebuild — counted as such — and answers
+        // must stay correct.
+        let server = serve_snapshot_bytes(
+            &bytes,
+            &fixture_cfg(),
+            ServerConfig::default()
+                .with_policy(CompactionPolicy::default().with_ops_trigger(8))
+                .with_auto_compact(false),
+        )
+        .unwrap_or_else(|e| panic!("fixture {name} no longer serves: {e}"));
+        let extra = geom::Point::with_id(0.123, 0.789, 900_000 + seed);
+        server.apply(WriteOp::Insert(extra));
+        server.apply(WriteOp::Delete(data[3]));
+        assert!(server.maintain_now(), "fixture {name}: nothing folded");
+        let stats = server.stats();
+        assert_eq!(stats.compactions, 1);
+        assert_eq!(
+            stats.partial_compactions,
+            0,
+            "fixture {name} ({}): partial pass ran without maintenance support",
+            kind.name()
+        );
+        let mut cx = QueryContext::new();
+        let snap = server.snapshot();
+        assert_eq!(
+            snap.point_query(&extra, &mut cx).map(|p| p.id),
+            Some(extra.id)
+        );
+        assert_eq!(snap.point_query(&data[3], &mut cx), None);
     }
 }
 
