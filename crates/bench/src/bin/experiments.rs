@@ -17,7 +17,8 @@
 //! where `<id>` is one of `table3`, `table4`, `fig6` … `fig19`,
 //! `ablation-rank`, `ablation-curve`, `ablation-grouping`, `sharded`,
 //! `range`, `join`, `scan`, `snapshot`, `serve`, `serve-live`,
-//! `net-serve`, `net-load`, `net-stats`, or `all`, and
+//! `net-serve`, `net-load`, `net-stats`, `shard-serve`, `route-serve`,
+//! or `all`, and
 //! `--only` restricts the cross-family figures to the named index families
 //! (parsed through the registry, e.g. `--only RSMI,HRR`).  A missing or
 //! unknown experiment id, and any flag with a missing, unparsable, or
@@ -90,6 +91,19 @@
 //! gauges, latency histograms, lifecycle events) and prints it as tables
 //! (or `--json`), optionally sending the graceful shutdown afterwards.
 //!
+//! `shard-serve` and `route-serve` are the two halves of the
+//! **multi-process distributed serving** topology (`crates/router`).
+//! `shard-serve` extracts shard `--shard` from the sharded snapshot at
+//! `--path` and serves it over the wire protocol on `127.0.0.1:--port` —
+//! the unchanged single-process serving loop over one shard's data.
+//! `route-serve` loads *only the routing metadata* (partitioner + per-shard
+//! MBRs) from the same snapshot and serves the full query surface by
+//! scatter/gather over the shard servers listed in `--shard-addrs`
+//! (`;`-separated shards, each a `,`-separated replica list).  The router
+//! speaks the same wire protocol on both sides, so `net-load`, `net-stats`,
+//! and `--shutdown-server` (which propagates a graceful drain to every
+//! shard server) work against it unmodified.
+//!
 //! `snapshot` and `serve` drive persistence end-to-end.  `snapshot` builds
 //! the index selected by `--kind` (default `sharded-hrr`), runs the query
 //! workload, saves a versioned binary snapshot to `--path`, drops the
@@ -152,7 +166,7 @@ experiment ids:
   table3 table4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15
   fig16 fig17 fig18 fig19 ablation-rank ablation-curve ablation-grouping
   sharded range join scan snapshot serve serve-live net-serve net-load
-  net-stats all
+  net-stats shard-serve route-serve all
 
 flags:
   --scale S        multiply all data-set sizes by S (default 1.0)
@@ -189,8 +203,13 @@ flags:
                    run and require the server's per-class counters to
                    reconcile exactly with the load generator (exit 1 on
                    drift or if no compaction/epoch-swap event appears)
-  --compact-threshold N  net-serve: delta ops that trigger a background
-                   compaction (default 1024)";
+  --compact-threshold N  net-serve/shard-serve: delta ops that trigger a
+                   background compaction (default 1024)
+  --shard I        shard-serve: which shard of the --path snapshot to
+                   extract and serve (default 0)
+  --shard-addrs L  route-serve: shard server addresses — ';' separates
+                   shards (in shard order), ',' separates replicas of one
+                   shard (e.g. 'h1:7001,h2:7001;h1:7002')";
 
 const KNOWN_EXPERIMENTS: &[&str] = &[
     "table3",
@@ -222,6 +241,8 @@ const KNOWN_EXPERIMENTS: &[&str] = &[
     "net-serve",
     "net-load",
     "net-stats",
+    "shard-serve",
+    "route-serve",
     "all",
 ];
 
@@ -255,6 +276,8 @@ struct Opts {
     shutdown_server: bool,
     verify_stats: bool,
     compact_threshold: Option<usize>,
+    shard: usize,
+    shard_addrs: Option<String>,
 }
 
 impl Opts {
@@ -329,6 +352,8 @@ fn parse_args(args: &[String]) -> (String, Opts) {
         shutdown_server: false,
         verify_stats: false,
         compact_threshold: None,
+        shard: 0,
+        shard_addrs: None,
     };
     let mut it = args.iter().peekable();
     let Some(first) = it.next() else {
@@ -442,6 +467,17 @@ fn parse_args(args: &[String]) -> (String, Opts) {
                 }
                 opts.compact_threshold = Some(t);
             }
+            "--shard" => opts.shard = flag_value(&mut it, "--shard"),
+            "--shard-addrs" => {
+                let spec: String = flag_value(&mut it, "--shard-addrs");
+                if spec
+                    .split(';')
+                    .any(|shard| shard.split(',').any(|addr| !addr.contains(':')))
+                {
+                    usage_error("--shard-addrs entries must be host:port");
+                }
+                opts.shard_addrs = Some(spec);
+            }
             other => usage_error(&format!("unknown argument: {other}")),
         }
     }
@@ -483,6 +519,10 @@ fn main() {
                 // net-load/net-stats are pure clients; the served kind
                 // lives in the net-serve run's own summary.
                 "net-load" | "net-stats" => "remote".to_string(),
+                // shard-serve/route-serve take their kind from the
+                // snapshot header at runtime.
+                "shard-serve" => "snapshot-shard".to_string(),
+                "route-serve" => "router".to_string(),
                 _ => "all".to_string(),
             });
     report.meta("kind", effective_kind);
@@ -559,6 +599,12 @@ fn main() {
     }
     if which == "net-stats" {
         failed |= !net_stats(&opts, &mut report);
+    }
+    if which == "shard-serve" {
+        failed |= !shard_serve(&opts, &mut report);
+    }
+    if which == "route-serve" {
+        failed |= !route_serve(&opts, &mut report);
     }
     if run("ablation-rank") {
         ablation_rank(&opts, &mut report);
@@ -1873,28 +1919,37 @@ fn net_serve_kind(opts: &Opts) -> IndexKind {
 fn net_serve(opts: &Opts, report: &mut Report) -> bool {
     let kind = net_serve_kind(opts);
     let cfg = opts.harness();
-    let mut server_cfg = registry::ServerConfig::default();
+    // One unified serving configuration — bind address, warm start,
+    // compaction, admission — consumed by both the engine construction
+    // (`registry::serve_config`) and the network loop (`net::serve_config`).
+    let mut serve =
+        server::ServeConfig::default().with_bind_addr(format!("127.0.0.1:{}", opts.port));
     if let Some(t) = opts.compact_threshold {
-        server_cfg = server_cfg.with_compact_threshold(t);
+        serve = serve.with_compact_threshold(t);
     }
-    let build_start = std::time::Instant::now();
-    let server = match &opts.path {
+    if let Some(path) = &opts.path {
         // Warm start: recover the points and the index from a versioned
         // snapshot instead of rebuilding from raw data.
-        Some(path) => match registry::serve_snapshot(path, &cfg, server_cfg) {
-            Ok(s) => {
-                println!("_warm start from snapshot {}_", path.display());
-                s
-            }
-            Err(e) => {
-                eprintln!("net-serve: cannot load snapshot {}: {e}", path.display());
-                return false;
-            }
-        },
+        if !path.exists() {
+            eprintln!("net-serve: snapshot {} does not exist", path.display());
+            return false;
+        }
+        serve = serve.with_warm_start(path);
+        println!("_warm start from snapshot {}_", path.display());
+    }
+    let data = match &opts.path {
+        Some(_) => Vec::new(),
         None => {
             let n = (100_000.0 * opts.scale) as usize;
-            let data = dataset(Distribution::skewed_default(), n);
-            registry::serve_index(kind, &data, &cfg, server_cfg)
+            dataset(Distribution::skewed_default(), n)
+        }
+    };
+    let build_start = std::time::Instant::now();
+    let server = match registry::serve_config(kind, &data, &cfg, &serve) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("net-serve: cannot start the serving engine: {e}");
+            return false;
         }
     };
     let build_s = build_start.elapsed().as_secs_f64();
@@ -1903,14 +1958,10 @@ fn net_serve(opts: &Opts, report: &mut Report) -> bool {
     // Keep a handle on the engine: its telemetry registry outlives the
     // serve loop and backs the shutdown summary below.
     let engine = std::sync::Arc::new(server);
-    let handle = match net::serve(
-        std::sync::Arc::clone(&engine),
-        &format!("127.0.0.1:{}", opts.port),
-        net::NetConfig::default(),
-    ) {
+    let handle = match net::serve_config(std::sync::Arc::clone(&engine), &serve) {
         Ok(h) => h,
         Err(e) => {
-            eprintln!("net-serve: cannot bind 127.0.0.1:{}: {e}", opts.port);
+            eprintln!("net-serve: cannot bind {}: {e}", serve.bind_addr);
             return false;
         }
     };
@@ -2386,5 +2437,187 @@ fn net_stats(opts: &Opts, report: &mut Report) -> bool {
             return false;
         }
     }
+    true
+}
+
+// ---------------------------------------------------------------------
+// Distributed serving: shard-serve (one shard's process) and route-serve
+// ---------------------------------------------------------------------
+
+/// `shard-serve`: extracts shard `--shard` from the sharded snapshot at
+/// `--path`, warm-starts a `SpatialServer` over it, and serves it over the
+/// wire protocol on `127.0.0.1:--port` — the single-process serving loop,
+/// unchanged, over one shard's data.  Exits on a wire `Shutdown` (which
+/// the router propagates on drain) or after `--duration` seconds.
+fn shard_serve(opts: &Opts, report: &mut Report) -> bool {
+    let path = snapshot_path(opts);
+    let bytes = match registry::load_shard_snapshot(&path, opts.shard) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!(
+                "shard-serve: cannot extract shard {} from {}: {e}",
+                opts.shard,
+                path.display()
+            );
+            return false;
+        }
+    };
+    let mut serve =
+        server::ServeConfig::default().with_bind_addr(format!("127.0.0.1:{}", opts.port));
+    if let Some(t) = opts.compact_threshold {
+        serve = serve.with_compact_threshold(t);
+    }
+    let server =
+        match registry::serve_snapshot_bytes(&bytes, &opts.harness(), serve.server_config()) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("shard-serve: cannot serve shard {}: {e}", opts.shard);
+                return false;
+            }
+        };
+    let points = server.len();
+    let engine = std::sync::Arc::new(server);
+    let handle = match net::serve_config(std::sync::Arc::clone(&engine), &serve) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("shard-serve: cannot bind {}: {e}", serve.bind_addr);
+            return false;
+        }
+    };
+    // The router (and CI scripts) parse this line for the bound address.
+    println!(
+        "shardserve shard {} listening on {} ({points} points)",
+        opts.shard,
+        handle.local_addr()
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    let deadline = opts
+        .duration
+        .map(|d| std::time::Instant::now() + std::time::Duration::from_secs_f64(d));
+    loop {
+        if handle.is_stopped() {
+            break;
+        }
+        if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+            handle.shutdown();
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    let stats = handle.stats();
+    handle.join();
+    println!(
+        "shardserve shutdown: shard {}, {} connections, {} requests, {} shed",
+        opts.shard, stats.connections, stats.requests, stats.shed
+    );
+    report.meta("shard", opts.shard);
+    report.table(
+        "Shard serving session",
+        &["shard", "points", "connections", "requests", "shed"],
+        vec![vec![
+            opts.shard.to_string(),
+            points.to_string(),
+            stats.connections.to_string(),
+            stats.requests.to_string(),
+            stats.shed.to_string(),
+        ]],
+    );
+    true
+}
+
+/// `route-serve`: loads only the routing metadata (frozen partitioner +
+/// per-shard MBRs) from the sharded snapshot at `--path` — never any
+/// shard's data — and serves the full five-class query surface on
+/// `127.0.0.1:--port` by scatter/gather over the shard servers in
+/// `--shard-addrs`.  A wire `Shutdown` drains the router's own clients
+/// first, then propagates the graceful shutdown to every shard replica.
+fn route_serve(opts: &Opts, report: &mut Report) -> bool {
+    let path = snapshot_path(opts);
+    let (kind, manifest) = match registry::load_shard_manifest(&path) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!(
+                "route-serve: cannot read routing metadata from {}: {e}",
+                path.display()
+            );
+            return false;
+        }
+    };
+    let Some(spec) = &opts.shard_addrs else {
+        usage_error("route-serve requires --shard-addrs");
+    };
+    let replicas: Vec<Vec<String>> = spec
+        .split(';')
+        .map(|shard| shard.split(',').map(str::to_string).collect())
+        .collect();
+    let n_shards = manifest.shard_count();
+    let serve = server::ServeConfig::default().with_bind_addr(format!("127.0.0.1:{}", opts.port));
+    let handle = match router::serve(manifest, replicas, &serve) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("route-serve: cannot start the router: {e}");
+            return false;
+        }
+    };
+    // CI and scripts parse this line for the bound address.
+    println!(
+        "router listening on {} ({} shards, kind {})",
+        handle.local_addr(),
+        n_shards,
+        kind.name()
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    let deadline = opts
+        .duration
+        .map(|d| std::time::Instant::now() + std::time::Duration::from_secs_f64(d));
+    loop {
+        if handle.is_stopped() {
+            break;
+        }
+        if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+            handle.shutdown();
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    let stats = handle.stats();
+    let metrics = handle.telemetry().metrics.snapshot();
+    // Drain own clients, then propagate the shutdown to every shard
+    // replica — after this join no child server should be serving.
+    handle.join();
+    let visited = metrics.counter("router.shards_visited").unwrap_or(0);
+    let pruned = metrics.counter("router.shards_pruned").unwrap_or(0);
+    let failovers = metrics.counter("router.replica_failovers").unwrap_or(0);
+    println!(
+        "router shutdown: {} connections, {} requests, {} shed, \
+         {visited} shards visited, {pruned} pruned, {failovers} replica failovers",
+        stats.connections, stats.requests, stats.shed
+    );
+    report.meta("shards", n_shards);
+    report.table(
+        &format!("Router session — {} shards ({})", n_shards, kind.name()),
+        &[
+            "shards",
+            "connections",
+            "requests",
+            "shed",
+            "shards visited",
+            "shards pruned",
+            "replica failovers",
+        ],
+        vec![vec![
+            n_shards.to_string(),
+            stats.connections.to_string(),
+            stats.requests.to_string(),
+            stats.shed.to_string(),
+            visited.to_string(),
+            pruned.to_string(),
+            failovers.to_string(),
+        ]],
+    );
     true
 }

@@ -154,6 +154,198 @@ pub fn run_live_serving(
     }
 }
 
+/// Drives a mixed read stream through any [`SpatialIndex`] — a local
+/// index, a server snapshot wrapper, or a `net::RemoteIndex` speaking the
+/// wire protocol — recording one [`LiveObs`] per query.  `seq_after` is
+/// called immediately after each query and must report the write sequence
+/// that query's answer observed (for a remote index, the sequence its
+/// response frame carried; for a snapshot, the snapshot's own sequence).
+/// This is what lets the same oracle replay verify local and networked
+/// serving without per-transport glue.
+pub fn observe_reads(
+    index: &dyn SpatialIndex,
+    reads: &[MixedQuery],
+    seq_after: &mut dyn FnMut() -> u64,
+) -> Vec<LiveObs> {
+    let mut cx = QueryContext::new();
+    reads
+        .iter()
+        .map(|q| {
+            let answer = match *q {
+                MixedQuery::Point(p) => {
+                    LiveAnswer::Point(index.point_query(&p, &mut cx).map(|f| f.id))
+                }
+                MixedQuery::Window(w) => {
+                    let mut ids: Vec<u64> = index
+                        .window_query(&w, &mut cx)
+                        .iter()
+                        .map(|p| p.id)
+                        .collect();
+                    ids.sort_unstable();
+                    LiveAnswer::Window(ids)
+                }
+                MixedQuery::Knn(p, k) => LiveAnswer::Knn(
+                    index
+                        .knn_query(&p, k, &mut cx)
+                        .iter()
+                        .map(|f| f.id)
+                        .collect(),
+                ),
+            };
+            LiveObs {
+                seq: seq_after(),
+                query: *q,
+                answer,
+            }
+        })
+        .collect()
+}
+
+/// One recorded distance-range answer, reduced to sorted ids (visit order
+/// is unspecified).
+#[derive(Debug, Clone)]
+pub struct RangeObs {
+    /// Write sequence the answer observed.
+    pub seq: u64,
+    /// The query center.
+    pub center: Point,
+    /// Result ids, sorted.
+    pub ids: Vec<u64>,
+}
+
+/// One recorded join-probe answer, reduced to sorted `(probe id, match
+/// id)` pairs.
+#[derive(Debug, Clone)]
+pub struct JoinObs {
+    /// Write sequence the answer observed.
+    pub seq: u64,
+    /// The probe set.
+    pub probes: Vec<Point>,
+    /// `(probe id, match id)` pairs, sorted.
+    pub pairs: Vec<(u64, u64)>,
+}
+
+/// Drives the two distance-predicate classes the mixed stream does not
+/// carry — distance-range at every center, a 4-probe distance join at
+/// every fourth — through any [`SpatialIndex`], with the same `seq_after`
+/// contract as [`observe_reads`].
+pub fn observe_range_join(
+    index: &dyn SpatialIndex,
+    centers: &[Point],
+    radius: f64,
+    seq_after: &mut dyn FnMut() -> u64,
+) -> (Vec<RangeObs>, Vec<JoinObs>) {
+    let mut cx = QueryContext::new();
+    let mut ranges = Vec::new();
+    let mut joins = Vec::new();
+    for (i, c) in centers.iter().enumerate() {
+        let mut ids: Vec<u64> = index
+            .range_query(c, radius, &mut cx)
+            .iter()
+            .map(|p| p.id)
+            .collect();
+        ids.sort_unstable();
+        ranges.push(RangeObs {
+            seq: seq_after(),
+            center: *c,
+            ids,
+        });
+        if i.is_multiple_of(4) {
+            let probes: Vec<Point> = centers.iter().skip(i).take(4).copied().collect();
+            let mut pairs: Vec<(u64, u64)> = Vec::new();
+            index.distance_join_probes(&probes, radius, &mut cx, &mut |m, probe| {
+                pairs.push((probe.id, m.id));
+            });
+            pairs.sort_unstable();
+            joins.push(JoinObs {
+                seq: seq_after(),
+                probes,
+                pairs,
+            });
+        }
+    }
+    (ranges, joins)
+}
+
+/// The distance-predicate side of the replay oracle: sorts range and join
+/// observations by observed sequence, applies `writes` up to each prefix
+/// into a [`ScanIndex`] over `data`, and compares boundary-inclusively
+/// (dist² ≤ radius²).  Range and join answers are exact for every kind, so
+/// nothing is ever skipped.
+pub fn replay_range_join_against_oracle(
+    data: &[Point],
+    writes: &[WriteOp],
+    ranges: &[RangeObs],
+    joins: &[JoinObs],
+    radius: f64,
+) -> ReplayOutcome {
+    enum Rj<'a> {
+        Range(&'a RangeObs),
+        Join(&'a JoinObs),
+    }
+    let r_sq = radius * radius;
+    let mut rj: Vec<Rj> = ranges
+        .iter()
+        .map(Rj::Range)
+        .chain(joins.iter().map(Rj::Join))
+        .collect();
+    rj.sort_by_key(|o| match o {
+        Rj::Range(r) => r.seq,
+        Rj::Join(j) => j.seq,
+    });
+    let mut oracle = ScanIndex::new(data.to_vec());
+    let mut applied = 0usize;
+    let mut outcome = ReplayOutcome::default();
+    for obs in rj {
+        let seq = match &obs {
+            Rj::Range(r) => r.seq,
+            Rj::Join(j) => j.seq,
+        };
+        while (applied as u64) < seq {
+            match writes[applied] {
+                WriteOp::Insert(p) => oracle.insert(p),
+                WriteOp::Delete(p) => {
+                    oracle.delete(&p);
+                }
+            }
+            applied += 1;
+        }
+        let ok = match obs {
+            Rj::Range(r) => {
+                let mut truth: Vec<u64> = oracle
+                    .points()
+                    .iter()
+                    .filter(|p| p.dist_sq(&r.center) <= r_sq)
+                    .map(|p| p.id)
+                    .collect();
+                truth.sort_unstable();
+                r.ids == truth
+            }
+            Rj::Join(j) => {
+                let mut truth: Vec<(u64, u64)> = Vec::new();
+                for probe in &j.probes {
+                    for p in oracle.points() {
+                        if p.dist_sq(probe) <= r_sq {
+                            truth.push((probe.id, p.id));
+                        }
+                    }
+                }
+                truth.sort_unstable();
+                j.pairs == truth
+            }
+        };
+        if ok {
+            outcome.checked += 1;
+        } else {
+            outcome.mismatches += 1;
+            if outcome.divergences.len() < 5 {
+                outcome.divergences.push(format!("range/join at seq {seq}"));
+            }
+        }
+    }
+    outcome
+}
+
 /// Waits (polling, bounded by `deadline`) until the server's background
 /// compactor has completed at least `min` compactions, then returns the
 /// current count.  Joining the reader/writer threads does **not** join the

@@ -974,7 +974,7 @@ impl Rsmi {
     }
 
     /// Aggregate maintenance state over all leaf models.  `stale_subtrees`
-    /// counts leaves whose [drift](Self::leaf_drift) has reached 1.0.
+    /// counts leaves whose drift (see `leaf_drift`) has reached 1.0.
     pub fn maintenance_stats(&self) -> common::MaintenanceStats {
         let mut s = common::MaintenanceStats::default();
         for (id, node) in self.nodes.iter().enumerate() {

@@ -81,6 +81,134 @@ struct Shard {
     mbr: Rect,
 }
 
+/// Routing metadata of one shard as stored in the sharded container: the
+/// MBR and frozen curve-key range, without the shard's data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardMeta {
+    /// Bounding rectangle of the shard's contents at snapshot time.
+    pub mbr: Rect,
+    /// Inclusive lower bound of the shard's frozen curve-key range.
+    pub key_lo: u64,
+    /// Exclusive upper bound of the range (`None` = open-ended last shard).
+    pub key_hi: Option<u64>,
+}
+
+/// The routing-table view of a sharded snapshot: everything a distributed
+/// router needs to plan queries — the frozen [`Partitioner`] plus each
+/// shard's MBR and key range — **without** loading any shard's data.  This
+/// is the router's whole contract with the container format: it reads the
+/// meta sections and skips every embedded inner snapshot.
+#[derive(Debug, Clone)]
+pub struct ShardManifest {
+    /// Worker threads the snapshot was configured with (ignored by routers).
+    pub threads: usize,
+    /// The frozen rank-space routing table.
+    pub partitioner: Partitioner,
+    /// Per-shard routing metadata, in shard order.
+    pub shards: Vec<ShardMeta>,
+}
+
+impl ShardManifest {
+    /// Reads only the routing metadata from a sharded container, skipping
+    /// the embedded per-shard snapshots (their bytes are never parsed).
+    pub fn read(r: &mut SnapshotReader<'_>) -> Result<Self, PersistError> {
+        r.begin_section(SECTION_SHARDED_META)?;
+        let threads = r.get_usize()?.max(1);
+        let n_shards = r.get_usize()?;
+        r.end_section()?;
+
+        r.begin_section(SECTION_SHARDED_PARTITIONER)?;
+        let partitioner = Partitioner::decode(r)?;
+        r.end_section()?;
+        if partitioner.shard_count() != n_shards {
+            return Err(PersistError::Corrupt(format!(
+                "container announces {n_shards} shards, partitioner routes to {}",
+                partitioner.shard_count()
+            )));
+        }
+
+        let mut shards = Vec::with_capacity(n_shards);
+        for i in 0..n_shards {
+            r.begin_section(SECTION_SHARD)?;
+            let meta = read_shard_meta(r, &partitioner, i)?;
+            let _blob = r.get_bytes()?;
+            r.end_section()?;
+            shards.push(meta);
+        }
+        Ok(Self {
+            threads,
+            partitioner,
+            shards,
+        })
+    }
+
+    /// Number of shards the manifest routes to.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+/// Reads one shard section's routing metadata (MBR + key range), leaving
+/// the reader positioned at the embedded inner snapshot bytes.
+fn read_shard_meta(
+    r: &mut SnapshotReader<'_>,
+    partitioner: &Partitioner,
+    i: usize,
+) -> Result<ShardMeta, PersistError> {
+    let mbr = r.get_rect()?;
+    let key_lo = r.get_u64()?;
+    let key_hi = if r.get_bool()? {
+        Some(r.get_u64()?)
+    } else {
+        None
+    };
+    if (key_lo, key_hi) != partitioner.shard_key_range(i) {
+        return Err(PersistError::Corrupt(format!(
+            "shard {i} key range disagrees with the partitioner"
+        )));
+    }
+    Ok(ShardMeta {
+        mbr,
+        key_lo,
+        key_hi,
+    })
+}
+
+/// Extracts shard `shard`'s embedded inner snapshot from a sharded
+/// container — a complete snapshot image with its own header, loadable (or
+/// servable) on its own.  Other shards' bytes are skipped, never parsed:
+/// this is what lets a shard server start by reading one section of a
+/// container that may hold many times its memory.
+pub fn read_shard_snapshot_bytes(
+    r: &mut SnapshotReader<'_>,
+    shard: usize,
+) -> Result<Vec<u8>, PersistError> {
+    r.begin_section(SECTION_SHARDED_META)?;
+    let _threads = r.get_usize()?.max(1);
+    let n_shards = r.get_usize()?;
+    r.end_section()?;
+    if shard >= n_shards {
+        return Err(PersistError::Corrupt(format!(
+            "shard {shard} out of range: container holds {n_shards} shards"
+        )));
+    }
+
+    r.begin_section(SECTION_SHARDED_PARTITIONER)?;
+    let partitioner = Partitioner::decode(r)?;
+    r.end_section()?;
+
+    for i in 0..=shard {
+        r.begin_section(SECTION_SHARD)?;
+        let _meta = read_shard_meta(r, &partitioner, i)?;
+        let blob = r.get_bytes()?;
+        r.end_section()?;
+        if i == shard {
+            return Ok(blob.to_vec());
+        }
+    }
+    unreachable!("loop returns at i == shard")
+}
+
 /// A sharded spatial index: `S` inner indices behind one [`SpatialIndex`]
 /// facade, with routed point queries, pruned window/kNN fan-out, and
 /// multi-threaded batch execution.
@@ -167,22 +295,14 @@ impl ShardedIndex {
         let mut shards = Vec::with_capacity(n_shards);
         for i in 0..n_shards {
             r.begin_section(SECTION_SHARD)?;
-            let mbr = r.get_rect()?;
-            let key_lo = r.get_u64()?;
-            let key_hi = if r.get_bool()? {
-                Some(r.get_u64()?)
-            } else {
-                None
-            };
-            if (key_lo, key_hi) != partitioner.shard_key_range(i) {
-                return Err(PersistError::Corrupt(format!(
-                    "shard {i} key range disagrees with the partitioner"
-                )));
-            }
+            let meta = read_shard_meta(r, &partitioner, i)?;
             let blob = r.get_bytes()?;
             let index = load_inner(blob)?;
             r.end_section()?;
-            shards.push(Shard { index, mbr });
+            shards.push(Shard {
+                index,
+                mbr: meta.mbr,
+            });
         }
 
         Ok(Self {
@@ -195,8 +315,10 @@ impl ShardedIndex {
 
     /// Merges `(distance², point)` candidates, keeping the `k` best by
     /// `(distance, id)` — the deterministic tie-break shared with
-    /// `brute_force::knn_query`.
-    fn merge_candidate(best: &mut Vec<(f64, Point)>, k: usize, d_sq: f64, p: Point) {
+    /// `brute_force::knn_query`.  Public so the distributed router's k-way
+    /// gather uses byte-identical merge semantics (its per-shard candidate
+    /// streams must fold exactly like the single-process planner's).
+    pub fn merge_candidate(best: &mut Vec<(f64, Point)>, k: usize, d_sq: f64, p: Point) {
         if best.len() >= k && {
             let (kd, kp) = best[k - 1];
             (d_sq, p.id) >= (kd, kp.id)

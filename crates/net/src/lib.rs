@@ -46,12 +46,16 @@
 
 use std::fmt;
 
+pub mod admission;
 pub mod client;
+pub mod remote;
 pub mod server_loop;
 pub mod wire;
 
+pub use admission::{AdmissionGate, ConnSlots};
 pub use client::NetClient;
-pub use server_loop::{serve, NetConfig, NetHandle, NetStats, REQUEST_CLASSES};
+pub use remote::RemoteIndex;
+pub use server_loop::{serve, serve_config, NetConfig, NetHandle, NetStats, REQUEST_CLASSES};
 pub use wire::{ErrorCode, Request, Response};
 
 /// Everything that can go wrong on the wire, mirroring the
@@ -129,6 +133,20 @@ impl From<std::io::Error> for NetError {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn unified_serve_config_defaults_match_net_defaults() {
+        // `server::ServeConfig` restates the network defaults (the crate
+        // dependency points server → net-ward, not the other way); this
+        // pins the two against drifting apart.
+        let net = NetConfig::default();
+        let unified = NetConfig::from(&server::ServeConfig::default());
+        assert_eq!(net.acceptors, unified.acceptors);
+        assert_eq!(net.workers, unified.workers);
+        assert_eq!(net.batch_max, unified.batch_max);
+        assert_eq!(net.per_conn_inflight, unified.per_conn_inflight);
+        assert_eq!(net.global_inflight, unified.global_inflight);
+    }
 
     #[test]
     fn errors_format_for_operators() {

@@ -24,6 +24,7 @@
 //! threads exit.  [`NetHandle::join`] (also run on drop) collects every
 //! thread — nothing is leaked.
 
+use crate::admission::{AdmissionGate, ConnSlots};
 use crate::wire::{self, ErrorCode, Request, Response};
 use crate::NetError;
 use common::QueryContext;
@@ -32,7 +33,7 @@ use obs::{Counter, EventKind, Gauge, Histogram, Telemetry};
 use server::SpatialServer;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -106,6 +107,19 @@ impl NetConfig {
     pub fn with_global_inflight(mut self, n: usize) -> Self {
         self.global_inflight = n;
         self
+    }
+}
+
+impl From<&server::ServeConfig> for NetConfig {
+    /// The network subset of the unified serving configuration.
+    fn from(cfg: &server::ServeConfig) -> Self {
+        Self {
+            acceptors: cfg.acceptors.max(1),
+            workers: cfg.workers.max(1),
+            batch_max: cfg.batch_max.max(1),
+            per_conn_inflight: cfg.per_conn_inflight,
+            global_inflight: cfg.global_inflight,
+        }
     }
 }
 
@@ -255,7 +269,7 @@ struct Outbox {
 struct ConnShared {
     outbox: Mutex<Outbox>,
     cv: Condvar,
-    inflight: AtomicUsize,
+    slots: ConnSlots,
 }
 
 impl ConnShared {
@@ -269,7 +283,7 @@ impl ConnShared {
                 dead: false,
             }),
             cv: Condvar::new(),
-            inflight: AtomicUsize::new(0),
+            slots: ConnSlots::default(),
         }
     }
 
@@ -303,8 +317,8 @@ struct Core {
     stop: AtomicBool,
     queue: Mutex<VecDeque<Job>>,
     queue_cv: Condvar,
-    /// Remaining global admission tokens.
-    global_tokens: AtomicUsize,
+    /// Two-window admission control, shared machinery with the router.
+    admission: AdmissionGate,
     stats: StatCounters,
     next_conn_id: AtomicU64,
     /// Read-half handles of live connections, poked on shutdown so blocked
@@ -329,31 +343,11 @@ struct Core {
 
 impl Core {
     fn try_admit(&self, conn: &ConnShared) -> bool {
-        if self
-            .global_tokens
-            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |t| t.checked_sub(1))
-            .is_err()
-        {
-            return false;
-        }
-        let admitted = conn
-            .inflight
-            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
-                (n < self.cfg.per_conn_inflight).then_some(n + 1)
-            })
-            .is_ok();
-        if !admitted {
-            self.global_tokens.fetch_add(1, Ordering::AcqRel);
-        } else {
-            self.metrics.inflight.add(1);
-        }
-        admitted
+        self.admission.try_admit(&conn.slots)
     }
 
     fn release(&self, conn: &ConnShared) {
-        conn.inflight.fetch_sub(1, Ordering::AcqRel);
-        self.global_tokens.fetch_add(1, Ordering::AcqRel);
-        self.metrics.inflight.add(-1);
+        self.admission.release(&conn.slots);
     }
 
     /// Counts one shed and journals an `OverloadShed` event, rate-limited
@@ -383,11 +377,7 @@ impl Core {
         if self.stop.swap(true, Ordering::AcqRel) {
             return;
         }
-        let inflight = (self.cfg.global_inflight
-            - self
-                .global_tokens
-                .load(Ordering::Acquire)
-                .min(self.cfg.global_inflight)) as u64;
+        let inflight = self.admission.inflight();
         self.drained_at_shutdown.store(inflight, Ordering::Relaxed);
         self.telemetry.journal.record(EventKind::Shutdown {
             uptime_us: self.telemetry.journal.uptime_us(),
@@ -491,9 +481,24 @@ impl Drop for NetHandle {
     }
 }
 
+/// Binds the unified configuration's address and starts serving `spatial`
+/// over the wire protocol — the [`server::ServeConfig`] front door.  The
+/// compaction subset of `cfg` is not consulted here: it belongs to whoever
+/// constructed the [`SpatialServer`] (see `registry::serve_config`).
+pub fn serve_config(
+    spatial: Arc<SpatialServer>,
+    cfg: &server::ServeConfig,
+) -> Result<NetHandle, NetError> {
+    serve(spatial, &cfg.bind_addr, NetConfig::from(cfg))
+}
+
 /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
 /// `spatial` over the wire protocol.  Returns once the listener is bound
 /// and the pools are running.
+///
+/// Thin shim kept for existing call sites: prefer [`serve_config`] with a
+/// [`server::ServeConfig`], which carries the bind address and admission
+/// knobs in one builder.
 pub fn serve(
     spatial: Arc<SpatialServer>,
     addr: &str,
@@ -510,7 +515,11 @@ pub fn serve(
         stop: AtomicBool::new(false),
         queue: Mutex::new(VecDeque::new()),
         queue_cv: Condvar::new(),
-        global_tokens: AtomicUsize::new(cfg.global_inflight),
+        admission: AdmissionGate::new(
+            cfg.global_inflight,
+            cfg.per_conn_inflight,
+            metrics.inflight.clone(),
+        ),
         stats: StatCounters::default(),
         next_conn_id: AtomicU64::new(0),
         conn_streams: Mutex::new(HashMap::new()),

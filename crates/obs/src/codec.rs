@@ -280,6 +280,7 @@ fn event_field_count(tag: u8) -> Option<usize> {
         7 | 8 => Some(1), // ConnOpen, ConnClose
         9 => Some(2),     // Shutdown
         10 => Some(4),    // PartialCompactionEnd
+        11 => Some(2),    // ReplicaFailover
         _ => None,
     }
 }
@@ -326,6 +327,10 @@ fn encode_kind(w: &mut Writer, kind: &EventKind) {
             w.put_u64(uptime_us);
             w.put_u64(drained);
         }
+        EventKind::ReplicaFailover { shard, replica } => {
+            w.put_u64(shard);
+            w.put_u64(replica);
+        }
     }
 }
 
@@ -366,6 +371,10 @@ fn decode_kind(r: &mut Reader<'_>) -> Result<EventKind, ObsError> {
             pause_us: f[1],
             rebuild_us: f[2],
             subtrees: f[3],
+        },
+        11 => EventKind::ReplicaFailover {
+            shard: f[0],
+            replica: f[1],
         },
         _ => unreachable!("tag validated above"),
     })
@@ -451,6 +460,10 @@ mod tests {
         j.record(EventKind::Shutdown {
             uptime_us: 1_000_000,
             drained: 4,
+        });
+        j.record(EventKind::ReplicaFailover {
+            shard: 1,
+            replica: 0,
         });
         j.snapshot()
     }

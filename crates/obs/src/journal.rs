@@ -66,6 +66,15 @@ pub enum EventKind {
         /// In-flight requests drained during shutdown.
         drained: u64,
     },
+    /// A distributed router stopped routing to one shard replica after a
+    /// connection failure and failed over to the remaining replicas (read
+    /// capacity degrades; correctness does not).
+    ReplicaFailover {
+        /// Shard whose replica set degraded.
+        shard: u64,
+        /// Index of the replica taken out of rotation.
+        replica: u64,
+    },
     /// An incremental (partial) compaction finished: stale subtrees were
     /// retrained in place and the delta folded, without rebuilding the base
     /// structure.
@@ -96,6 +105,7 @@ impl EventKind {
             EventKind::ConnClose { .. } => 8,
             EventKind::Shutdown { .. } => 9,
             EventKind::PartialCompactionEnd { .. } => 10,
+            EventKind::ReplicaFailover { .. } => 11,
         }
     }
 
@@ -112,6 +122,7 @@ impl EventKind {
             EventKind::ConnClose { .. } => "conn-close",
             EventKind::Shutdown { .. } => "shutdown",
             EventKind::PartialCompactionEnd { .. } => "partial-compaction-end",
+            EventKind::ReplicaFailover { .. } => "replica-failover",
         }
     }
 
@@ -147,6 +158,9 @@ impl EventKind {
                 format!(
                     "epoch={epoch} pause_us={pause_us} rebuild_us={rebuild_us} subtrees={subtrees}"
                 )
+            }
+            EventKind::ReplicaFailover { shard, replica } => {
+                format!("shard={shard} replica={replica}")
             }
         }
     }
@@ -323,6 +337,10 @@ mod tests {
                 pause_us: 0,
                 rebuild_us: 0,
                 subtrees: 0,
+            },
+            EventKind::ReplicaFailover {
+                shard: 0,
+                replica: 0,
             },
         ];
         for (i, k) in kinds.iter().enumerate() {

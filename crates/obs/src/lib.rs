@@ -1,7 +1,7 @@
 //! Always-on runtime telemetry for the serving stack.
 //!
 //! The serving layers (`server`, `net`, `engine` via the batch executor's
-//! [`common::QueryStats`] — see the crates that depend on this one) record
+//! `common::QueryStats` — see the crates that depend on this one) record
 //! into three primitives, all designed so the hot path touches only
 //! atomics:
 //!

@@ -502,7 +502,7 @@ pub fn load_index(path: &Path) -> Result<Box<dyn SpatialIndex>, PersistError> {
 // Live serving: wrap any registered kind in a SpatialServer
 // ---------------------------------------------------------------------
 
-pub use server::{CompactionMode, CompactionPolicy, ServerConfig, SpatialServer};
+pub use server::{CompactionMode, CompactionPolicy, ServeConfig, ServerConfig, SpatialServer};
 
 /// The compaction rebuild closure for one registered kind: the registry's
 /// own [`build_index`] with the kind and configuration captured, which is
@@ -589,6 +589,89 @@ pub fn serve_snapshot(
     server_cfg: ServerConfig,
 ) -> Result<SpatialServer, PersistError> {
     serve_snapshot_bytes(&persist::read_file(path)?, cfg, server_cfg)
+}
+
+/// The unified-configuration serving entry: warm-starts from
+/// [`ServeConfig::warm_start`] when that snapshot file exists, otherwise
+/// builds an index of `kind` over `points` — exactly the decision the
+/// `net-serve` CLI used to make by hand.  Network knobs in `cfg` are
+/// consumed by `net::serve_config`, not here.
+pub fn serve_config(
+    kind: IndexKind,
+    points: &[Point],
+    cfg: &IndexConfig,
+    serve: &ServeConfig,
+) -> Result<SpatialServer, PersistError> {
+    match &serve.warm_start {
+        Some(path) if path.exists() => serve_snapshot(path, cfg, serve.server_config()),
+        _ => Ok(serve_index(kind, points, cfg, serve.server_config())),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Distributed serving: routing-table-only views of sharded snapshots
+// ---------------------------------------------------------------------
+
+/// Reads only the routing metadata of a sharded snapshot — the frozen
+/// partitioner plus per-shard MBRs and key ranges — without parsing any
+/// shard's data.  Returns the container's [`IndexKind`] alongside, so a
+/// router knows which family (and exactness contract) its shard servers
+/// hold.  Errors on non-sharded snapshots.
+pub fn load_shard_manifest_bytes(
+    bytes: &[u8],
+) -> Result<(IndexKind, engine::ShardManifest), PersistError> {
+    let (kind_tag, mut r) = persist::SnapshotReader::open(bytes)?;
+    let kind: IndexKind = kind_tag
+        .parse()
+        .map_err(|_| PersistError::UnknownKind(kind_tag.clone()))?;
+    if kind.base().is_none() {
+        return Err(PersistError::Corrupt(format!(
+            "'{kind_tag}' is not a sharded container — nothing to route to"
+        )));
+    }
+    Ok((kind, engine::ShardManifest::read(&mut r)?))
+}
+
+/// Reads a sharded snapshot file's routing metadata (see
+/// [`load_shard_manifest_bytes`]).
+pub fn load_shard_manifest(
+    path: &Path,
+) -> Result<(IndexKind, engine::ShardManifest), PersistError> {
+    load_shard_manifest_bytes(&persist::read_file(path)?)
+}
+
+/// Extracts one shard's embedded snapshot from a sharded container: a
+/// complete, self-describing snapshot image a shard server can
+/// [`load_index_bytes`] or [`serve_snapshot_bytes`] on its own.  Other
+/// shards' bytes are skipped, never parsed.
+pub fn load_shard_snapshot_bytes(bytes: &[u8], shard: usize) -> Result<Vec<u8>, PersistError> {
+    let (kind_tag, mut r) = persist::SnapshotReader::open(bytes)?;
+    let kind: IndexKind = kind_tag
+        .parse()
+        .map_err(|_| PersistError::UnknownKind(kind_tag.clone()))?;
+    let expected = match kind.base() {
+        Some(base) => base.unsharded(),
+        None => {
+            return Err(PersistError::Corrupt(format!(
+                "'{kind_tag}' is not a sharded container — no shard {shard} to extract"
+            )))
+        }
+    };
+    let blob = engine::read_shard_snapshot_bytes(&mut r, shard)?;
+    let (inner_tag, _) = persist::SnapshotReader::open(&blob)?;
+    if inner_tag != expected.name() {
+        return Err(PersistError::Corrupt(format!(
+            "sharded container for {} holds a '{inner_tag}' shard",
+            kind.name(),
+        )));
+    }
+    Ok(blob)
+}
+
+/// Extracts one shard's embedded snapshot from a sharded snapshot file
+/// (see [`load_shard_snapshot_bytes`]).
+pub fn load_shard_snapshot(path: &Path, shard: usize) -> Result<Vec<u8>, PersistError> {
+    load_shard_snapshot_bytes(&persist::read_file(path)?, shard)
 }
 
 #[cfg(test)]

@@ -1,0 +1,317 @@
+//! In-process distributed serving tests: each shard of a sharded snapshot
+//! is served by a real `net` serving loop over the shard's extracted
+//! snapshot image, and the router plans over them through real TCP
+//! connections.  The reference for every answer is the single-process
+//! sharded index loaded from the same snapshot.
+//!
+//! (The cross-*process* suite — subprocess shard servers, SIGKILL chaos —
+//! lives in the workspace-level `tests/sharded_determinism.rs`.)
+
+use common::{QueryContext, SpatialIndex};
+use datagen::{generate, queries, Distribution};
+use geom::Point;
+use net::{NetClient, RemoteIndex};
+use registry::{BaseKind, IndexConfig};
+use server::{ServeConfig, ServerConfig, SpatialServer};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const SHARDS: usize = 3;
+
+fn cfg() -> IndexConfig {
+    IndexConfig::fast().with_shards(SHARDS)
+}
+
+fn snapshot_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("router-{tag}-{}.snap", std::process::id()))
+}
+
+/// An in-process cluster: the router plus its shard servers.  Field order
+/// matters for drop: the router goes first (its drop propagates shutdown
+/// upstream while the shard servers are still alive), then the shard
+/// serving loops, then the spatial servers behind them.
+struct Cluster {
+    router: Option<router::RouterHandle>,
+    shard_handles: Vec<net::NetHandle>,
+    _servers: Vec<Arc<SpatialServer>>,
+}
+
+impl Cluster {
+    fn router_addr(&self) -> String {
+        self.router.as_ref().unwrap().local_addr().to_string()
+    }
+}
+
+/// Builds a sharded-grid snapshot over `data`, serves every shard over TCP
+/// (`replicas_shard0` copies of shard 0, one of each other shard), starts
+/// a router over the manifest, and loads the single-process reference
+/// index from the same snapshot.
+fn spawn_cluster(
+    data: &[Point],
+    replicas_shard0: usize,
+    tag: &str,
+) -> (Cluster, Box<dyn SpatialIndex>) {
+    let path = snapshot_path(tag);
+    let index = registry::build_index(BaseKind::Grid.sharded(), data, &cfg());
+    registry::save_index(index.as_ref(), &path).expect("save sharded snapshot");
+    let (_, manifest) = registry::load_shard_manifest(&path).expect("read manifest");
+    let mut shard_handles = Vec::new();
+    let mut servers = Vec::new();
+    let mut addrs = Vec::new();
+    for shard in 0..manifest.shard_count() {
+        let bytes = registry::load_shard_snapshot(&path, shard).expect("extract shard");
+        let copies = if shard == 0 { replicas_shard0 } else { 1 };
+        let mut shard_addrs = Vec::new();
+        for _ in 0..copies {
+            let server = Arc::new(
+                registry::serve_snapshot_bytes(&bytes, &cfg(), ServerConfig::default())
+                    .expect("warm-start shard server"),
+            );
+            let handle = net::serve_config(Arc::clone(&server), &ServeConfig::default())
+                .expect("serve shard");
+            shard_addrs.push(handle.local_addr().to_string());
+            shard_handles.push(handle);
+            servers.push(server);
+        }
+        addrs.push(shard_addrs);
+    }
+    let local = registry::load_index(&path).expect("load reference index");
+    let _ = std::fs::remove_file(&path);
+    let router = router::serve(manifest, addrs, &ServeConfig::default()).expect("start router");
+    (
+        Cluster {
+            router: Some(router),
+            shard_handles,
+            _servers: servers,
+        },
+        local,
+    )
+}
+
+fn by_id(mut points: Vec<Point>) -> Vec<Point> {
+    points.sort_by_key(|p| p.id);
+    points
+}
+
+fn pair_ids(index: &dyn SpatialIndex, probes: &[Point], radius: f64) -> Vec<(u64, u64)> {
+    let mut cx = QueryContext::new();
+    let mut pairs = Vec::new();
+    index.distance_join_probes(probes, radius, &mut cx, &mut |a, b| {
+        pairs.push((a.id, b.id));
+    });
+    pairs.sort_unstable();
+    pairs
+}
+
+#[test]
+fn router_matches_local_sharded_index_for_all_five_classes() {
+    let data = generate(Distribution::skewed_default(), 4_000, 71);
+    let (cluster, mut local) = spawn_cluster(&data, 1, "det");
+    let mut remote = RemoteIndex::connect(&cluster.router_addr()).expect("connect");
+
+    let windows = queries::window_queries(&data, queries::WindowSpec::default(), 25, 73);
+    let knn_qs = queries::knn_queries(&data, 20, 75);
+    let point_qs = queries::point_queries(&data, 100, 77);
+    let negative_qs = queries::negative_point_queries(&data, 30, 79);
+    let probes: Vec<Point> = data.iter().step_by(97).copied().collect();
+
+    let compare = |remote: &RemoteIndex, local: &dyn SpatialIndex| {
+        let mut cx = QueryContext::new();
+        for q in point_qs.iter().chain(&negative_qs) {
+            assert_eq!(
+                remote.point_query(q, &mut cx),
+                local.point_query(q, &mut cx),
+                "point answer diverged at {q:?}"
+            );
+        }
+        for w in &windows {
+            assert_eq!(
+                by_id(remote.window_query(w, &mut cx)),
+                by_id(local.window_query(w, &mut cx)),
+                "window set diverged at {w:?}"
+            );
+        }
+        for q in &knn_qs {
+            for k in [1usize, 7, 40] {
+                assert_eq!(
+                    remote.knn_query(q, k, &mut cx),
+                    local.knn_query(q, k, &mut cx),
+                    "kNN sequence diverged at {q:?}, k = {k}"
+                );
+            }
+            assert_eq!(
+                by_id(remote.range_query(q, 0.05, &mut cx)),
+                by_id(local.range_query(q, 0.05, &mut cx)),
+                "range set diverged at {q:?}"
+            );
+        }
+        assert_eq!(
+            pair_ids(remote, &probes, 0.02),
+            pair_ids(local, &probes, 0.02),
+            "join pair set diverged"
+        );
+    };
+
+    compare(&remote, local.as_ref());
+
+    // Route writes through both sides, then every class must still agree:
+    // inserts land in shard-server delta overlays behind the router, and
+    // directly in the reference index.
+    for i in 0..40u64 {
+        let p = Point::with_id(
+            (i as f64 * 0.37 + 0.11) % 1.0,
+            (i as f64 * 0.61 + 0.23) % 1.0,
+            5_000_000 + i,
+        );
+        remote.insert(p);
+        local.insert(p);
+    }
+    for p in data.iter().step_by(131).take(25) {
+        assert_eq!(
+            remote.delete(p),
+            local.delete(p),
+            "delete outcome diverged at {p:?}"
+        );
+    }
+    // 40 inserts + 25 deletes, each sequenced once by the router.
+    assert_eq!(remote.last_seq(), 65);
+
+    compare(&remote, local.as_ref());
+}
+
+#[test]
+fn router_fanout_accounting_matches_the_engine_planner() {
+    let data = generate(Distribution::Uniform, 3_000, 81);
+    let (cluster, local) = spawn_cluster(&data, 1, "stats");
+    let mut client = NetClient::connect(&cluster.router_addr()).expect("connect");
+
+    let windows = queries::window_queries(&data, queries::WindowSpec::default(), 15, 83);
+    let knn_qs = queries::knn_queries(&data, 10, 85);
+    let point_qs = queries::point_queries(&data, 50, 87);
+
+    let scrape = |client: &mut NetClient| -> (u64, u64) {
+        let (_, snap) = client.stats().expect("stats");
+        (
+            snap.counter("router.shards_visited").unwrap_or(0),
+            snap.counter("router.shards_pruned").unwrap_or(0),
+        )
+    };
+    let (v0, p0) = scrape(&mut client);
+    for w in &windows {
+        client.window(w).expect("window");
+    }
+    for q in &knn_qs {
+        client.knn(q, 10).expect("knn");
+    }
+    for q in &point_qs {
+        client.point(q).expect("point");
+    }
+    let (v1, p1) = scrape(&mut client);
+
+    let mut cx = QueryContext::new();
+    for w in &windows {
+        let _ = local.window_query(w, &mut cx);
+    }
+    for q in &knn_qs {
+        let _ = local.knn_query(q, 10, &mut cx);
+    }
+    for q in &point_qs {
+        let _ = local.point_query(q, &mut cx);
+    }
+    let stats = cx.take_stats();
+    assert_eq!(
+        v1 - v0,
+        stats.shards_visited,
+        "router visited a different shard set than the engine planner"
+    );
+    assert_eq!(
+        p1 - p0,
+        stats.shards_pruned,
+        "router pruned a different shard set than the engine planner"
+    );
+}
+
+#[test]
+fn killed_replica_degrades_capacity_not_correctness() {
+    let data = generate(Distribution::skewed_default(), 2_000, 91);
+    let (mut cluster, mut local) = spawn_cluster(&data, 2, "failover");
+    let mut client = NetClient::connect(&cluster.router_addr()).expect("connect");
+    let windows = queries::window_queries(&data, queries::WindowSpec::default(), 10, 93);
+
+    // Warm the round-robin so both shard-0 replicas hold served reads.
+    for w in &windows {
+        client.window(w).expect("window before failover");
+    }
+
+    // Take down shard 0's first replica (handles are pushed in shard-major
+    // order, so index 0 is shard 0, replica 0).
+    let victim = cluster.shard_handles.remove(0);
+    victim.shutdown();
+    victim.join();
+
+    // Every read must keep succeeding with correct answers: round-robin
+    // reads that land on the dead replica fail over transparently.
+    let mut cx = QueryContext::new();
+    for _ in 0..3 {
+        for w in &windows {
+            let (_, got) = client.window(w).expect("window after failover");
+            assert_eq!(
+                by_id(got),
+                by_id(local.window_query(w, &mut cx)),
+                "failover produced a wrong answer"
+            );
+        }
+    }
+
+    // Writes to the degraded shard still apply (fan-out skips the dead
+    // replica), and are visible to routed reads.
+    let p = Point::with_id(0.42, 0.42, 9_000_001);
+    client.insert(&p).expect("insert after failover");
+    local.insert(p);
+    let (_, hit) = client.point(&p).expect("point after failover");
+    assert_eq!(hit, Some(p));
+
+    let (_, snap) = client.stats().expect("stats");
+    assert!(
+        snap.counter("router.replica_failovers").unwrap_or(0) >= 1,
+        "failover was not recorded"
+    );
+}
+
+#[test]
+fn wire_shutdown_propagates_to_every_shard_server() {
+    let data = generate(Distribution::Uniform, 500, 95);
+    let (mut cluster, _local) = spawn_cluster(&data, 1, "shutdown");
+    let mut client = NetClient::connect(&cluster.router_addr()).expect("connect");
+    client.shutdown_server().expect("shutdown ack");
+    let router = cluster.router.take().unwrap();
+    assert!(router.is_stopped());
+    router.join();
+    // join propagated the shutdown upstream; every shard serving loop must
+    // already be stopped (its own drain finishes in its handle's join).
+    for h in &cluster.shard_handles {
+        assert!(
+            h.is_stopped(),
+            "a shard server did not receive the shutdown"
+        );
+    }
+}
+
+#[test]
+fn mismatched_replica_sets_are_rejected() {
+    let data = generate(Distribution::Uniform, 300, 97);
+    let path = snapshot_path("reject");
+    let index = registry::build_index(BaseKind::Grid.sharded(), &data, &cfg());
+    registry::save_index(index.as_ref(), &path).expect("save");
+    let (_, manifest) = registry::load_shard_manifest(&path).expect("manifest");
+    let _ = std::fs::remove_file(&path);
+    let n = manifest.shard_count();
+
+    // Wrong replica-set count.
+    let err = router::serve(manifest.clone(), Vec::new(), &ServeConfig::default());
+    assert!(err.is_err(), "zero replica sets must be rejected");
+
+    // A shard with no addresses.
+    let err = router::serve(manifest, vec![Vec::new(); n], &ServeConfig::default());
+    assert!(err.is_err(), "an empty replica set must be rejected");
+}

@@ -233,14 +233,135 @@ impl ServerConfig {
     }
 }
 
+/// The unified serving configuration: every knob a serving process needs —
+/// compaction ([`ServerConfig`]), network admission/batching (mirroring
+/// `net::NetConfig`), the bind address, and an optional snapshot warm-start
+/// path — behind one builder.
+///
+/// This is the front door for `registry::serve_config`, `net::serve_config`,
+/// the shard server, and the distributed router; construct it with the
+/// `with_*` builders.  The older split surface (`ServerConfig` here,
+/// `NetConfig` in `net`, positional bind addresses) remains as thin shims
+/// for one release so call sites can migrate mechanically — prefer
+/// `ServeConfig` in new code.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address the serving listener binds (port 0 = ephemeral).
+    pub bind_addr: String,
+    /// Snapshot to warm-start from instead of building fresh (`None` =
+    /// build from the supplied points).
+    pub warm_start: Option<std::path::PathBuf>,
+    /// Compaction knobs of the wrapped [`SpatialServer`].
+    pub server: ServerConfig,
+    /// Acceptor threads blocking on the listener.
+    pub acceptors: usize,
+    /// Worker threads draining the batch queue.
+    pub workers: usize,
+    /// Maximum requests coalesced into one micro-batch.
+    pub batch_max: usize,
+    /// Bounded per-connection in-flight admission window.
+    pub per_conn_inflight: usize,
+    /// Bounded global in-flight admission window.
+    pub global_inflight: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        // The network defaults must match `net::NetConfig::default()` (a
+        // test over there pins the agreement); they are restated here
+        // because the dependency points the other way.
+        let cores = std::thread::available_parallelism().map_or(2, |n| n.get());
+        Self {
+            bind_addr: "127.0.0.1:0".to_string(),
+            warm_start: None,
+            server: ServerConfig::default(),
+            acceptors: cores.clamp(1, 4),
+            workers: cores.clamp(1, 8),
+            batch_max: 32,
+            per_conn_inflight: 64,
+            global_inflight: 1024,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Returns a copy binding the given address (port 0 = ephemeral).
+    pub fn with_bind_addr(mut self, addr: impl Into<String>) -> Self {
+        self.bind_addr = addr.into();
+        self
+    }
+
+    /// Returns a copy that warm-starts from the given snapshot path.
+    pub fn with_warm_start(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.warm_start = Some(path.into());
+        self
+    }
+
+    /// Returns a copy with the given compaction (ops) threshold.
+    pub fn with_compact_threshold(mut self, ops: usize) -> Self {
+        self.server = self.server.with_compact_threshold(ops);
+        self
+    }
+
+    /// Returns a copy with the given compaction policy.
+    pub fn with_policy(mut self, policy: CompactionPolicy) -> Self {
+        self.server = self.server.with_policy(policy);
+        self
+    }
+
+    /// Returns a copy with background compaction enabled or disabled.
+    pub fn with_auto_compact(mut self, on: bool) -> Self {
+        self.server = self.server.with_auto_compact(on);
+        self
+    }
+
+    /// Returns a copy with the given acceptor pool size (at least 1).
+    pub fn with_acceptors(mut self, n: usize) -> Self {
+        self.acceptors = n.max(1);
+        self
+    }
+
+    /// Returns a copy with the given worker pool size (at least 1).
+    pub fn with_workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// Returns a copy with the given micro-batch cap (at least 1).
+    pub fn with_batch_max(mut self, n: usize) -> Self {
+        self.batch_max = n.max(1);
+        self
+    }
+
+    /// Returns a copy with the given per-connection in-flight window (0
+    /// sheds everything — useful in tests).
+    pub fn with_per_conn_inflight(mut self, n: usize) -> Self {
+        self.per_conn_inflight = n;
+        self
+    }
+
+    /// Returns a copy with the given global in-flight window (0 sheds
+    /// everything — useful in tests).
+    pub fn with_global_inflight(mut self, n: usize) -> Self {
+        self.global_inflight = n;
+        self
+    }
+
+    /// The compaction subset of the configuration, for constructing the
+    /// wrapped [`SpatialServer`].
+    pub fn server_config(&self) -> ServerConfig {
+        self.server
+    }
+}
+
 /// What a compaction pass does to the base index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CompactionMode {
     /// Rebuild the base from scratch through the rebuild closure.
     Full,
     /// Clone the base, replay the captured delta into the clone, and
-    /// retrain only drifted subtrees.  Falls back to [`Full`]
-    /// (`CompactionMode::Full`) when the base does not support cloning or
+    /// retrain only drifted subtrees.  Falls back to
+    /// [`Full`](CompactionMode::Full) when the base does not support cloning or
     /// the captured log contains a wildcard delete a clone cannot replay
     /// faithfully.
     Partial,
@@ -325,6 +446,11 @@ struct ServerMetrics {
     /// `server.delta_ops`: ops buffered in the delta overlay (= ops since
     /// the last compaction folded).
     delta_ops: Gauge,
+    /// `server.points`: live points visible to a fresh snapshot (base minus
+    /// masked deletes plus live inserts).  A distributed router scrapes
+    /// this at startup to learn each shard's cardinality without loading
+    /// shard data.
+    points: Gauge,
     /// `server.model_err_below` / `server.model_err_above`: worst-case
     /// model prediction error of the live base, refreshed at every rebuild
     /// — the drift signal incremental maintenance triggers on.
@@ -363,6 +489,7 @@ impl ServerMetrics {
             epoch: t.metrics.gauge("server.epoch"),
             seq: t.metrics.gauge("server.seq"),
             delta_ops: t.metrics.gauge("server.delta_ops"),
+            points: t.metrics.gauge("server.points"),
             model_err_below: t.metrics.gauge("server.model_err_below"),
             model_err_above: t.metrics.gauge("server.model_err_above"),
             compaction_pause_us: t.metrics.histogram("server.compaction_pause_us"),
@@ -467,6 +594,8 @@ impl Core {
             result = (removed, seq);
             self.metrics.seq.set(seq.min(i64::MAX as u64) as i64);
             self.metrics.delta_ops.set(buffered as i64);
+            let live = epoch.base.len() - state.masked_base() + state.live_inserts();
+            self.metrics.points.set(live as i64);
         }
         if self.cfg.auto_compact && buffered >= self.cfg.policy.ops_trigger {
             let mut sig = self.signal.lock().expect("signal lock poisoned");
@@ -612,6 +741,8 @@ impl Core {
             }
             new_epoch_id = current.id + 1;
             self.metrics.delta_ops.set(leftover.op_count() as i64);
+            let live = new_base.len() - leftover.masked_base() + leftover.live_inserts();
+            self.metrics.points.set(live as i64);
             let next = Arc::new(Epoch {
                 id: new_epoch_id,
                 base: new_base,
@@ -715,6 +846,7 @@ impl SpatialServer {
         let metrics = ServerMetrics::register(&telemetry);
         metrics.set_model_error(base.as_ref());
         metrics.set_maintenance(base.as_ref());
+        metrics.points.set(points.len() as i64);
         telemetry.journal.record(EventKind::ServerStart {
             points: points.len() as u64,
         });

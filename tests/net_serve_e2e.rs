@@ -1,50 +1,37 @@
 //! End-to-end exactness over the wire: a live networked server takes mixed
 //! reads and writes from several concurrent client connections, and every
 //! networked answer is replay-verified against the single-threaded
-//! [`ScanIndex`] oracle — the same verification the in-process serving gate
-//! uses (`bench::live::replay_against_oracle`), now crossing a real TCP
-//! socket and the request-coalescing worker pool.
+//! [`ScanIndex`](common::brute_force::ScanIndex) oracle — the same
+//! verification the in-process serving gate uses
+//! (`bench::live::replay_against_oracle`), now crossing a real TCP socket
+//! and the request-coalescing worker pool.
 //!
 //! The mechanism carries over unchanged because every data-bearing response
 //! carries the write sequence its snapshot observed: replaying the write
 //! stream up to that sequence into the oracle reproduces exactly the state
 //! the networked query saw, no matter how connections, micro-batches, and
-//! worker threads interleaved.  Point/window/kNN answers go through the
-//! shared replay; distance-range and join-probe answers (which the
-//! in-process harness does not record) get their own seq-sorted replay
-//! below.
+//! worker threads interleaved.  There is no per-transport glue left in this
+//! test: [`net::RemoteIndex`] exposes the uniform `common::SpatialIndex`
+//! surface, so the shared `bench::live` observers drive the remote server
+//! exactly like a local index, across all five query classes.
 
-use bench::live::{replay_against_oracle, split_stream, LiveAnswer, LiveObs};
-use common::brute_force::ScanIndex;
+use bench::live::{
+    observe_range_join, observe_reads, replay_against_oracle, replay_range_join_against_oracle,
+    split_stream, JoinObs, LiveObs, RangeObs,
+};
 use common::SpatialIndex;
 use datagen::queries::{
     range_query_centers, read_write_workload, MixedQuery, WindowSpec, DEFAULT_RANGE_RADIUS,
 };
 use datagen::{generate, Distribution};
 use geom::Point;
-use net::{NetClient, NetConfig};
-use registry::{serve_index, IndexConfig, IndexKind, ServerConfig};
+use net::{NetClient, RemoteIndex};
+use registry::{serve_index, IndexConfig, IndexKind, ServeConfig, ServerConfig};
 use server::WriteOp;
 use std::sync::Arc;
 use std::time::Duration;
 
 const READERS: usize = 3;
-
-/// A recorded distance-range answer: ids sorted (visit order is
-/// unspecified).
-struct RangeObs {
-    seq: u64,
-    center: Point,
-    ids: Vec<u64>,
-}
-
-/// A recorded join-probe answer, reduced to sorted `(probe id, match id)`
-/// pairs.
-struct JoinObs {
-    seq: u64,
-    probes: Vec<Point>,
-    pairs: Vec<(u64, u64)>,
-}
 
 #[test]
 fn networked_answers_replay_verify_against_the_oracle() {
@@ -65,7 +52,7 @@ fn networked_answers_replay_verify_against_the_oracle() {
         &IndexConfig::fast(),
         ServerConfig::default().with_compact_threshold((writes.len() / 2).max(4)),
     );
-    let handle = net::serve(Arc::new(server), "127.0.0.1:0", NetConfig::default()).unwrap();
+    let handle = net::serve_config(Arc::new(server), &ServeConfig::default()).unwrap();
     let addr = handle.local_addr().to_string();
 
     let mut observations: Vec<LiveObs> = Vec::new();
@@ -73,21 +60,22 @@ fn networked_answers_replay_verify_against_the_oracle() {
     let mut join_obs: Vec<JoinObs> = Vec::new();
 
     std::thread::scope(|scope| {
-        // One writer connection applies the write stream in order; the
+        // One writer connection applies the write stream in order through
+        // the same uniform `SpatialIndex` surface the readers use; the
         // blocking client waits for each acknowledgement, so write k is
         // assigned sequence k+1 and the oracle replay can reconstruct any
         // observed prefix.
         let addr_ref = &addr;
         let writes_ref = &writes;
         let writer = scope.spawn(move || {
-            let mut client = NetClient::connect(addr_ref).unwrap();
+            let mut remote = RemoteIndex::connect(addr_ref).unwrap();
             for w in writes_ref {
-                match w {
+                match *w {
                     WriteOp::Insert(p) => {
-                        client.insert(p).unwrap();
+                        remote.insert(p);
                     }
                     WriteOp::Delete(p) => {
-                        client.delete(p).unwrap();
+                        remote.delete(&p);
                     }
                 }
                 // Pace the writes so they span the read phase.
@@ -95,77 +83,28 @@ fn networked_answers_replay_verify_against_the_oracle() {
             }
         });
 
-        // Reader connections take strides of the mixed read stream.
+        // Reader connections take strides of the mixed read stream; each
+        // response frame's sequence number is what `last_seq` reports.
         let reads_ref = &reads;
         let readers: Vec<_> = (0..READERS)
             .map(|r| {
                 scope.spawn(move || {
-                    let mut client = NetClient::connect(addr_ref).unwrap();
-                    let mut out = Vec::new();
-                    for q in reads_ref.iter().skip(r).step_by(READERS) {
-                        let obs = match *q {
-                            MixedQuery::Point(p) => {
-                                let (seq, hit) = client.point(&p).unwrap();
-                                LiveObs {
-                                    seq,
-                                    query: *q,
-                                    answer: LiveAnswer::Point(hit.map(|x| x.id)),
-                                }
-                            }
-                            MixedQuery::Window(w) => {
-                                let (seq, pts) = client.window(&w).unwrap();
-                                let mut ids: Vec<u64> = pts.iter().map(|p| p.id).collect();
-                                ids.sort_unstable();
-                                LiveObs {
-                                    seq,
-                                    query: *q,
-                                    answer: LiveAnswer::Window(ids),
-                                }
-                            }
-                            MixedQuery::Knn(p, k) => {
-                                let (seq, pts) = client.knn(&p, k as u32).unwrap();
-                                LiveObs {
-                                    seq,
-                                    query: *q,
-                                    answer: LiveAnswer::Knn(pts.iter().map(|x| x.id).collect()),
-                                }
-                            }
-                        };
-                        out.push(obs);
-                    }
-                    out
+                    let remote = RemoteIndex::connect(addr_ref).unwrap();
+                    let mine: Vec<MixedQuery> =
+                        reads_ref.iter().skip(r).step_by(READERS).copied().collect();
+                    observe_reads(&remote, &mine, &mut || remote.last_seq())
                 })
             })
             .collect();
 
-        // A fourth reader covers the two classes the in-process harness
-        // does not record: distance-range and join-probe.
+        // A fourth reader covers the two distance-predicate classes the
+        // mixed stream does not carry.
         let centers_ref = &centers;
         let range_join = scope.spawn(move || {
-            let mut client = NetClient::connect(addr_ref).unwrap();
-            let mut ranges = Vec::new();
-            let mut joins = Vec::new();
-            for (i, c) in centers_ref.iter().enumerate() {
-                let (seq, pts) = client.range(c, DEFAULT_RANGE_RADIUS).unwrap();
-                let mut ids: Vec<u64> = pts.iter().map(|p| p.id).collect();
-                ids.sort_unstable();
-                ranges.push(RangeObs {
-                    seq,
-                    center: *c,
-                    ids,
-                });
-                if i.is_multiple_of(4) {
-                    let probes: Vec<Point> = centers_ref.iter().skip(i).take(4).copied().collect();
-                    let (seq, pairs) = client.join_probes(&probes, DEFAULT_RANGE_RADIUS).unwrap();
-                    // The wire carries (match, probe) pairs; reduce to
-                    // sorted (probe id, match id) for the set comparison.
-                    let mut pairs: Vec<(u64, u64)> =
-                        pairs.iter().map(|(m, p)| (p.id, m.id)).collect();
-                    pairs.sort_unstable();
-                    joins.push(JoinObs { seq, probes, pairs });
-                }
-            }
-            (ranges, joins)
+            let remote = RemoteIndex::connect(addr_ref).unwrap();
+            observe_range_join(&remote, centers_ref, DEFAULT_RANGE_RADIUS, &mut || {
+                remote.last_seq()
+            })
         });
 
         writer.join().unwrap();
@@ -192,67 +131,25 @@ fn networked_answers_replay_verify_against_the_oracle() {
         outcome.divergences
     );
 
-    // Distance-range and join-probe: seq-sorted replay against the same
-    // oracle, boundary-inclusive on dist² ≤ radius².
-    let r_sq = DEFAULT_RANGE_RADIUS * DEFAULT_RANGE_RADIUS;
-    enum Rj<'a> {
-        Range(&'a RangeObs),
-        Join(&'a JoinObs),
-    }
-    let mut rj: Vec<Rj> = range_obs
-        .iter()
-        .map(Rj::Range)
-        .chain(join_obs.iter().map(Rj::Join))
-        .collect();
-    rj.sort_by_key(|o| match o {
-        Rj::Range(r) => r.seq,
-        Rj::Join(j) => j.seq,
-    });
-    let mut oracle = ScanIndex::new(data.clone());
-    let mut applied = 0usize;
-    let mut checked = 0usize;
-    for obs in rj {
-        let seq = match &obs {
-            Rj::Range(r) => r.seq,
-            Rj::Join(j) => j.seq,
-        };
-        while (applied as u64) < seq {
-            match writes[applied] {
-                WriteOp::Insert(p) => oracle.insert(p),
-                WriteOp::Delete(p) => {
-                    oracle.delete(&p);
-                }
-            }
-            applied += 1;
-        }
-        match obs {
-            Rj::Range(r) => {
-                let mut truth: Vec<u64> = oracle
-                    .points()
-                    .iter()
-                    .filter(|p| p.dist_sq(&r.center) <= r_sq)
-                    .map(|p| p.id)
-                    .collect();
-                truth.sort_unstable();
-                assert_eq!(r.ids, truth, "range answer at seq {seq} diverged");
-            }
-            Rj::Join(j) => {
-                let mut truth: Vec<(u64, u64)> = Vec::new();
-                for probe in &j.probes {
-                    for p in oracle.points() {
-                        if p.dist_sq(probe) <= r_sq {
-                            truth.push((probe.id, p.id));
-                        }
-                    }
-                }
-                truth.sort_unstable();
-                assert_eq!(j.pairs, truth, "join-probe answer at seq {seq} diverged");
-            }
-        }
-        checked += 1;
-    }
-    assert_eq!(checked, range_obs.len() + join_obs.len());
-    assert!(checked > 40, "range/join replay exercised too few answers");
+    // Distance-range and join-probe: the shared seq-sorted replay against
+    // the same oracle, boundary-inclusive on dist² ≤ radius².
+    let rj = replay_range_join_against_oracle(
+        &data,
+        &writes,
+        &range_obs,
+        &join_obs,
+        DEFAULT_RANGE_RADIUS,
+    );
+    assert!(
+        rj.verified(),
+        "range/join answers diverged from the oracle: {:?}",
+        rj.divergences
+    );
+    assert_eq!(rj.checked, range_obs.len() + join_obs.len());
+    assert!(
+        rj.checked > 40,
+        "range/join replay exercised too few answers"
+    );
 }
 
 #[test]
@@ -269,7 +166,7 @@ fn warm_started_snapshot_serves_over_the_network() {
 
     let server = registry::serve_snapshot(&path, &IndexConfig::fast(), ServerConfig::default())
         .expect("warm start from snapshot");
-    let handle = net::serve(Arc::new(server), "127.0.0.1:0", NetConfig::default()).unwrap();
+    let handle = net::serve_config(Arc::new(server), &ServeConfig::default()).unwrap();
     let mut client = NetClient::connect(&handle.local_addr().to_string()).unwrap();
 
     let q = data[123];
@@ -302,7 +199,7 @@ fn stats_scrape_exposes_maintenance_metrics() {
         &IndexConfig::fast(),
         ServerConfig::default().with_auto_compact(false),
     ));
-    let handle = net::serve(Arc::clone(&engine), "127.0.0.1:0", NetConfig::default()).unwrap();
+    let handle = net::serve_config(Arc::clone(&engine), &ServeConfig::default()).unwrap();
     let mut client = NetClient::connect(&handle.local_addr().to_string()).unwrap();
 
     // Churn over the wire, then fold it with a policy-driven pass.
